@@ -1,0 +1,63 @@
+// Shared main() for figure-regeneration bench binaries.
+//
+// Each binary runs one (or a few) experiments from the core registry and
+// prints the paper-style table. `--quick` shrinks the workload; `--csv`
+// additionally emits machine-readable output.
+#pragma once
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/experiments.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+
+namespace snnfi::bench {
+
+inline int run_experiments(const std::vector<std::string>& ids, int argc,
+                           const char* const* argv) {
+    util::ArgParser parser("Regenerates paper figures: " +
+                           [&] {
+                               std::string joined;
+                               for (const auto& id : ids) {
+                                   if (!joined.empty()) joined += ", ";
+                                   joined += id;
+                               }
+                               return joined;
+                           }());
+    parser.add_flag("quick", "Shrink workloads (for smoke runs)");
+    parser.add_flag("csv", "Also print CSV rows");
+    parser.add_option("samples", "1000", "Training samples for SNN experiments");
+    parser.add_option("neurons", "100", "Neurons per layer for SNN experiments");
+    parser.add_option("workers", "0", "Parallel sweep workers (0 = all cores)");
+    try {
+        if (!parser.parse(argc, argv)) return 0;
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n" << parser.usage();
+        return 2;
+    }
+
+    util::set_log_level(util::LogLevel::kWarn);
+    core::ExperimentOptions options;
+    options.quick = parser.get_bool("quick");
+    options.train_samples = static_cast<std::size_t>(parser.get_int("samples"));
+    options.n_neurons = static_cast<std::size_t>(parser.get_int("neurons"));
+    options.max_workers = static_cast<std::size_t>(parser.get_int("workers"));
+
+    for (const auto& id : ids) {
+        const auto& experiment = core::find_experiment(id);
+        const auto start = std::chrono::steady_clock::now();
+        const util::ResultTable table = experiment.run(options);
+        const double seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+                .count();
+        std::cout << table;
+        if (parser.get_bool("csv")) std::cout << table.to_csv();
+        std::cout << "[" << id << " regenerated in " << seconds << " s]\n\n";
+    }
+    return 0;
+}
+
+}  // namespace snnfi::bench

@@ -1,0 +1,7 @@
+// Regenerates: fig10c (see core/experiments.hpp for the mapping to the
+// paper's figures).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+    return snnfi::bench::run_experiments({"fig10c"}, argc, argv);
+}

@@ -1,0 +1,7 @@
+// Regenerates: fig8b (see core/experiments.hpp for the mapping to the
+// paper's figures).
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+    return snnfi::bench::run_experiments({"fig8b"}, argc, argv);
+}

@@ -1,0 +1,65 @@
+// Microbenchmarks of the SNN training kernels (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "data/synthetic_digits.hpp"
+#include "snn/encoding.hpp"
+#include "snn/network.hpp"
+#include "snn/trainer.hpp"
+
+namespace {
+
+using namespace snnfi;
+
+void BM_PoissonEncoderStep(benchmark::State& state) {
+    util::Rng rng(5);
+    data::SyntheticDigitsConfig cfg;
+    const auto image = data::render_digit(8, rng, cfg);
+    snn::PoissonEncoder encoder;
+    encoder.set_image(image);
+    std::vector<std::uint32_t> active;
+    for (auto _ : state) {
+        encoder.step(rng, active);
+        benchmark::DoNotOptimize(active.data());
+    }
+}
+BENCHMARK(BM_PoissonEncoderStep);
+
+void BM_RenderDigit(benchmark::State& state) {
+    util::Rng rng(5);
+    data::SyntheticDigitsConfig cfg;
+    std::size_t label = 0;
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(data::render_digit(label, rng, cfg));
+        label = (label + 1) % 10;
+    }
+}
+BENCHMARK(BM_RenderDigit);
+
+void BM_NetworkSample(benchmark::State& state) {
+    snn::DiehlCookConfig cfg;
+    cfg.n_neurons = static_cast<std::size_t>(state.range(0));
+    snn::DiehlCookNetwork network(cfg, 7);
+    util::Rng rng(5);
+    const auto image = data::render_digit(3, rng, {});
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(network.run_sample(image));
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(cfg.steps_per_sample));
+}
+BENCHMARK(BM_NetworkSample)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_Training100Samples(benchmark::State& state) {
+    const auto dataset = data::make_synthetic_dataset(100, 42);
+    for (auto _ : state) {
+        snn::DiehlCookNetwork network(snn::DiehlCookConfig{}, 7);
+        snn::Trainer trainer(network);
+        benchmark::DoNotOptimize(trainer.run(dataset));
+    }
+    state.SetItemsProcessed(state.iterations() * 100);
+}
+BENCHMARK(BM_Training100Samples)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,78 @@
+// Microbenchmarks of the circuit-simulation kernels (google-benchmark).
+#include <benchmark/benchmark.h>
+
+#include "circuits/axon_hillock.hpp"
+#include "circuits/characterization.hpp"
+#include "spice/engine.hpp"
+#include "spice/linear.hpp"
+#include "spice/mosfet_model.hpp"
+#include "spice/ptm65.hpp"
+#include "util/random.hpp"
+
+namespace {
+
+using namespace snnfi;
+
+void BM_MosfetEval(benchmark::State& state) {
+    const spice::MosParams params = spice::ptm65::nmos(4.0);
+    double vgs = 0.1;
+    for (auto _ : state) {
+        vgs += 1e-9;  // defeat constant folding
+        benchmark::DoNotOptimize(spice::evaluate_nmos(params, vgs, 0.5));
+    }
+}
+BENCHMARK(BM_MosfetEval);
+
+void BM_LuSolve(benchmark::State& state) {
+    const auto n = static_cast<std::size_t>(state.range(0));
+    util::Rng rng(123);
+    spice::Matrix a(n, n);
+    std::vector<double> b(n);
+    for (std::size_t r = 0; r < n; ++r) {
+        for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+        a(r, r) += static_cast<double>(n);  // diagonally dominant
+        b[r] = rng.uniform(-1.0, 1.0);
+    }
+    for (auto _ : state) {
+        spice::LuFactorization lu;
+        lu.factorize(a);
+        benchmark::DoNotOptimize(lu.solve(b));
+    }
+    state.SetComplexityN(state.range(0));
+}
+BENCHMARK(BM_LuSolve)->Arg(8)->Arg(16)->Arg(32)->Complexity(benchmark::oNCubed);
+
+void BM_DcOperatingPoint(benchmark::State& state) {
+    for (auto _ : state) {
+        circuits::AxonHillockConfig cfg;
+        cfg.input_enabled = false;
+        spice::Netlist netlist = circuits::build_axon_hillock(cfg);
+        spice::Simulator sim(netlist);
+        benchmark::DoNotOptimize(sim.solve_dc());
+    }
+}
+BENCHMARK(BM_DcOperatingPoint);
+
+void BM_TransientMicrosecond(benchmark::State& state) {
+    for (auto _ : state) {
+        circuits::AxonHillockConfig cfg;
+        spice::Netlist netlist = circuits::build_axon_hillock(cfg);
+        spice::Simulator sim(netlist);
+        benchmark::DoNotOptimize(sim.run_transient(1e-6, 1.25e-9));
+    }
+    state.SetItemsProcessed(state.iterations() * 800);  // steps per run
+}
+BENCHMARK(BM_TransientMicrosecond);
+
+void BM_ThresholdBisection(benchmark::State& state) {
+    const circuits::Characterizer characterizer{circuits::CharacterizationConfig{}};
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(
+            characterizer.measure_threshold(circuits::NeuronKind::kAxonHillock, 1.0));
+    }
+}
+BENCHMARK(BM_ThresholdBisection);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,97 @@
+// Attack sweep: run any of the paper's five attacks from the command line.
+//
+//   $ ./attack_sweep --attack=3 --delta=-0.2 --fraction=1.0
+//   $ ./attack_sweep --attack=5 --vdd=0.8
+//   $ ./attack_sweep --attack=1 --delta=0.2
+//
+// Shows the attack layer's public API: FaultSpec construction, the VDD
+// calibration bridge (for Attack 5), and the shared AttackSuite runner.
+#include <iostream>
+
+#include "attack/calibration.hpp"
+#include "attack/scenarios.hpp"
+#include "data/idx.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+    using namespace snnfi;
+
+    util::ArgParser parser("snnfi attack sweep: Attacks 1-5 on demand");
+    parser.add_option("attack", "3", "Attack number 1-5 (paper §IV)");
+    parser.add_option("delta", "-0.2",
+                      "Theta change (attack 1) or threshold change (2-4), "
+                      "fractional: -0.2 = -20%");
+    parser.add_option("fraction", "1.0", "Fraction of the layer hit (attacks 2-3)");
+    parser.add_option("vdd", "0.8", "Supply voltage for attack 5 [V]");
+    parser.add_option("samples", "500", "Training images");
+    parser.add_option("neurons", "100", "Neurons per layer");
+    parser.add_flag("paper-calibration",
+                    "Use the paper's published VDD curves instead of "
+                    "re-simulating the circuits (attack 5)");
+    if (!parser.parse(argc, argv)) return 0;
+
+    const int attack_id = static_cast<int>(parser.get_int("attack"));
+    const double delta = parser.get_double("delta");
+    const double fraction = parser.get_double("fraction");
+    const double vdd = parser.get_double("vdd");
+
+    attack::AttackRunConfig config;
+    config.network.n_neurons = static_cast<std::size_t>(parser.get_int("neurons"));
+    config.train_samples = static_cast<std::size_t>(parser.get_int("samples"));
+    attack::AttackSuite suite(
+        data::load_digits(config.train_samples, /*seed=*/42), config);
+
+    attack::FaultSpec fault;
+    switch (attack_id) {
+        case 1:
+            fault.layer = attack::TargetLayer::kNone;
+            fault.driver_gain = 1.0 + delta;
+            break;
+        case 2:
+            fault.layer = attack::TargetLayer::kExcitatory;
+            fault.fraction = fraction;
+            fault.threshold_delta = delta;
+            break;
+        case 3:
+            fault.layer = attack::TargetLayer::kInhibitory;
+            fault.fraction = fraction;
+            fault.threshold_delta = delta;
+            break;
+        case 4:
+            fault.layer = attack::TargetLayer::kBoth;
+            fault.fraction = 1.0;
+            fault.threshold_delta = delta;
+            break;
+        case 5: {
+            const auto calibration =
+                parser.get_bool("paper-calibration")
+                    ? attack::VddCalibration::paper_reference()
+                    : attack::VddCalibration::from_circuits(
+                          circuits::Characterizer{circuits::CharacterizationConfig{}},
+                          {0.8, 0.9, 1.0, 1.1, 1.2},
+                          circuits::NeuronKind::kAxonHillock);
+            fault.layer = attack::TargetLayer::kBoth;
+            fault.fraction = 1.0;
+            fault.threshold_delta = calibration.threshold_delta(vdd);
+            fault.driver_gain = calibration.driver_gain(vdd);
+            std::cout << "attack 5 @ VDD=" << vdd << " V -> threshold "
+                      << fault.threshold_delta * 100.0 << "%, driver gain "
+                      << fault.driver_gain << "\n";
+            break;
+        }
+        default:
+            std::cerr << "error: --attack must be 1-5\n";
+            return 2;
+    }
+
+    std::cout << "training baseline...\n";
+    const double baseline = suite.baseline_accuracy();
+    std::cout << "baseline accuracy: " << baseline * 100.0 << "%\n"
+              << "training under attack " << attack_id << "...\n";
+    const attack::AttackOutcome outcome = suite.run(fault);
+    std::cout << "attacked accuracy: " << outcome.accuracy * 100.0 << "%  ("
+              << outcome.degradation_pct << "% relative)\n"
+              << "excitatory spikes/sample: " << outcome.exc_spikes_per_sample
+              << "\n";
+    return 0;
+}

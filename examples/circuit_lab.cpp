@@ -1,0 +1,66 @@
+// Circuit lab: simulate the analog neurons and dump waveforms.
+//
+//   $ ./circuit_lab --neuron=ah --vdd=1.0 --window-us=40 --csv=ah.csv
+//
+// Demonstrates the spice/circuits layers directly: builds a neuron
+// netlist, runs a transient, prints spike statistics, and (optionally)
+// writes the waveforms as CSV for plotting — the raw material of the
+// paper's Figs. 3 and 4.
+#include <fstream>
+#include <iostream>
+
+#include "circuits/characterization.hpp"
+#include "spice/engine.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+    using namespace snnfi;
+
+    util::ArgParser parser("snnfi circuit lab: neuron transient simulation");
+    parser.add_option("neuron", "ah", "Neuron model: 'ah' (Axon Hillock) or 'if'");
+    parser.add_option("vdd", "1.0", "Supply voltage [V] (paper range 0.8-1.2)");
+    parser.add_option("window-us", "40", "Simulation window [us]");
+    parser.add_option("csv", "", "Write waveforms to this CSV file");
+    if (!parser.parse(argc, argv)) return 0;
+
+    const double vdd = parser.get_double("vdd");
+    const double window = parser.get_double("window-us") * 1e-6;
+    const bool axon = parser.get("neuron") == "ah";
+
+    circuits::Characterizer characterizer{circuits::CharacterizationConfig{}};
+    const spice::TransientResult result =
+        axon ? characterizer.axon_hillock_waveforms(vdd, window)
+             : characterizer.vamp_if_waveforms(vdd, window);
+
+    const auto spikes = result.crossings("V(vout)", 0.5 * vdd, +1);
+    std::cout << (axon ? "Axon Hillock" : "Voltage-amplifier I&F") << " @ VDD = "
+              << vdd << " V\n"
+              << "  simulated " << result.num_points() << " timepoints over "
+              << window * 1e6 << " us\n"
+              << "  output spikes: " << spikes.size() << "\n";
+    if (!spikes.empty())
+        std::cout << "  first spike at " << spikes.front() * 1e6 << " us\n";
+    if (spikes.size() >= 2)
+        std::cout << "  mean period "
+                  << (spikes.back() - spikes.front()) /
+                         static_cast<double>(spikes.size() - 1) * 1e6
+                  << " us\n";
+    std::cout << "  Vmem range [" << result.min_value("V(vmem)") << ", "
+              << result.max_value("V(vmem)") << "] V\n";
+
+    const double threshold = characterizer.measure_threshold(
+        axon ? circuits::NeuronKind::kAxonHillock : circuits::NeuronKind::kVampIf,
+        vdd);
+    std::cout << "  membrane threshold (DC bisection): " << threshold << " V\n";
+
+    if (const std::string path = parser.get("csv"); !path.empty()) {
+        std::ofstream out(path);
+        if (!out) {
+            std::cerr << "error: cannot write " << path << "\n";
+            return 1;
+        }
+        out << result.to_csv({"V(vmem)", "V(vout)"}, /*stride=*/4);
+        std::cout << "  waveforms written to " << path << "\n";
+    }
+    return 0;
+}

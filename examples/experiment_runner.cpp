@@ -1,0 +1,58 @@
+// Experiment runner: regenerate any paper figure by id.
+//
+//   $ ./experiment_runner --list
+//   $ ./experiment_runner --id=fig8b
+//   $ ./experiment_runner --id=fig9a --quick --csv=fig9a.csv
+//
+// The same registry backs the bench binaries; this tool is the interactive
+// way to explore single experiments and export their data.
+#include <fstream>
+#include <iostream>
+
+#include "core/experiments.hpp"
+#include "util/cli.hpp"
+
+int main(int argc, char** argv) {
+    using namespace snnfi;
+
+    util::ArgParser parser("snnfi experiment runner (paper figure registry)");
+    parser.add_flag("list", "List all experiment ids and exit");
+    parser.add_option("id", "baseline", "Experiment id to run (see --list)");
+    parser.add_flag("quick", "Shrink the workload for a fast look");
+    parser.add_option("samples", "1000", "Training samples (SNN experiments)");
+    parser.add_option("neurons", "100", "Neurons per layer (SNN experiments)");
+    parser.add_option("csv", "", "Also write the table to this CSV file");
+    if (!parser.parse(argc, argv)) return 0;
+
+    if (parser.get_bool("list")) {
+        for (const auto& experiment : core::experiment_registry()) {
+            std::cout << "  " << experiment.id << "  —  " << experiment.title
+                      << " (" << experiment.description << ")\n";
+        }
+        return 0;
+    }
+
+    core::ExperimentOptions options;
+    options.quick = parser.get_bool("quick");
+    options.train_samples = static_cast<std::size_t>(parser.get_int("samples"));
+    options.n_neurons = static_cast<std::size_t>(parser.get_int("neurons"));
+
+    try {
+        const auto& experiment = core::find_experiment(parser.get("id"));
+        const util::ResultTable table = experiment.run(options);
+        std::cout << table;
+        if (const std::string path = parser.get("csv"); !path.empty()) {
+            std::ofstream out(path);
+            if (!out) {
+                std::cerr << "error: cannot write " << path << "\n";
+                return 1;
+            }
+            out << table.to_csv();
+            std::cout << "CSV written to " << path << "\n";
+        }
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n(use --list for available ids)\n";
+        return 1;
+    }
+    return 0;
+}

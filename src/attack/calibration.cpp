@@ -1,0 +1,45 @@
+#include "attack/calibration.hpp"
+
+namespace snnfi::attack {
+
+VddCalibration VddCalibration::from_circuits(
+    const circuits::Characterizer& characterizer, const std::vector<double>& vdds,
+    circuits::NeuronKind neuron_kind) {
+    const auto thresholds = characterizer.threshold_vs_vdd(neuron_kind, vdds);
+    const auto amplitudes = characterizer.driver_amplitude_vs_vdd(vdds, false);
+
+    std::vector<double> xs, thr_pct, gain;
+    xs.reserve(vdds.size());
+    thr_pct.reserve(vdds.size());
+    gain.reserve(vdds.size());
+    for (std::size_t i = 0; i < vdds.size(); ++i) {
+        xs.push_back(thresholds[i].vdd);
+        thr_pct.push_back(thresholds[i].change_pct);
+        gain.push_back(1.0 + amplitudes[i].change_pct / 100.0);
+    }
+    // Build the interpolators up front: constructing them inside the
+    // VddCalibration argument list would let one argument move xs out from
+    // under the other (unspecified evaluation order).
+    util::LinearInterpolator thr_curve(xs, std::move(thr_pct));
+    util::LinearInterpolator gain_curve(std::move(xs), std::move(gain));
+    return VddCalibration(std::move(thr_curve), std::move(gain_curve));
+}
+
+VddCalibration VddCalibration::paper_reference() {
+    // Fig. 6a (Axon Hillock) and Fig. 5b of the paper.
+    std::vector<double> vdds = {0.8, 0.9, 1.0, 1.1, 1.2};
+    std::vector<double> thr_pct = {-17.91, -9.0, 0.0, 8.5, 16.76};
+    std::vector<double> gain = {136.0 / 200.0, 168.0 / 200.0, 1.0, 232.0 / 200.0,
+                                264.0 / 200.0};
+    util::LinearInterpolator thr_curve(vdds, std::move(thr_pct));
+    util::LinearInterpolator gain_curve(std::move(vdds), std::move(gain));
+    return VddCalibration(std::move(thr_curve), std::move(gain_curve));
+}
+
+double VddCalibration::threshold_delta(double vdd) const {
+    return threshold_pct_(vdd) / 100.0;
+}
+
+double VddCalibration::driver_gain(double vdd) const { return gain_(vdd); }
+
+}  // namespace snnfi::attack

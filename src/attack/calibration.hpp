@@ -1,0 +1,47 @@
+// VDD -> network-parameter calibration bridge.
+//
+// Attack 5 (and the defense evaluations) need the mapping from supply
+// voltage to (a) membrane-threshold change and (b) input-driver amplitude.
+// The mapping comes from the circuit layer: threshold_vs_vdd (Fig. 6a) and
+// driver_amplitude_vs_vdd (Fig. 5b), interpolated piecewise-linearly.
+// `paper_reference()` provides the paper's published points instead, so the
+// SNN experiments can run without any circuit simulation (fast tests) or
+// against the paper's exact numbers.
+#pragma once
+
+#include <vector>
+
+#include "circuits/characterization.hpp"
+#include "util/stats.hpp"
+
+namespace snnfi::attack {
+
+class VddCalibration {
+public:
+    /// Builds the mapping by characterising the given circuits at `vdds`.
+    static VddCalibration from_circuits(const circuits::Characterizer& characterizer,
+                                        const std::vector<double>& vdds,
+                                        circuits::NeuronKind neuron_kind);
+
+    /// The paper's published curves (Figs. 5b and 6a), linearly interpolated.
+    static VddCalibration paper_reference();
+
+    /// Fractional threshold change at `vdd` (e.g. -0.18 at 0.8 V).
+    double threshold_delta(double vdd) const;
+    /// Driver output amplitude relative to nominal (e.g. 0.68 at 0.8 V).
+    double driver_gain(double vdd) const;
+
+    const util::LinearInterpolator& threshold_curve() const noexcept {
+        return threshold_pct_;
+    }
+    const util::LinearInterpolator& gain_curve() const noexcept { return gain_; }
+
+private:
+    VddCalibration(util::LinearInterpolator threshold_pct, util::LinearInterpolator gain)
+        : threshold_pct_(std::move(threshold_pct)), gain_(std::move(gain)) {}
+
+    util::LinearInterpolator threshold_pct_;  ///< vdd -> threshold change [%]
+    util::LinearInterpolator gain_;           ///< vdd -> amplitude ratio
+};
+
+}  // namespace snnfi::attack

@@ -1,0 +1,59 @@
+#include "attack/fault_model.hpp"
+
+#include <stdexcept>
+
+namespace snnfi::attack {
+
+const char* to_string(TargetLayer layer) {
+    switch (layer) {
+        case TargetLayer::kNone: return "none";
+        case TargetLayer::kExcitatory: return "excitatory";
+        case TargetLayer::kInhibitory: return "inhibitory";
+        case TargetLayer::kBoth: return "both";
+    }
+    return "?";
+}
+
+std::vector<std::size_t> fault_mask(std::size_t layer_size, double fraction,
+                                    std::uint64_t mask_seed, TargetLayer layer) {
+    if (fraction < 0.0 || fraction > 1.0)
+        throw std::invalid_argument("fault_mask: fraction outside [0,1]");
+    const auto count = static_cast<std::size_t>(
+        fraction * static_cast<double>(layer_size) + 0.5);
+    // Independent deterministic stream per (seed, layer) so EL and IL masks
+    // differ but reproduce exactly.
+    util::Rng rng(util::derive_seed(mask_seed, static_cast<std::uint64_t>(layer) + 11));
+    return rng.sample_indices(layer_size, count);
+}
+
+namespace {
+
+void apply_to_layer(snn::LifLayer& layer_ref, TargetLayer tag, const FaultSpec& fault) {
+    const std::vector<std::size_t> mask =
+        fault_mask(layer_ref.size(), fault.fraction, fault.mask_seed, tag);
+    if (fault.threshold_delta != 0.0) {
+        const auto delta = static_cast<float>(fault.threshold_delta);
+        if (fault.semantics == ThresholdSemantics::kBindsNetValue) {
+            layer_ref.apply_threshold_value_delta(mask, delta);
+        } else {
+            layer_ref.apply_threshold_scale(mask, 1.0f + delta);
+        }
+    }
+}
+
+}  // namespace
+
+void apply_fault(snn::DiehlCookNetwork& network, const FaultSpec& fault) {
+    network.clear_faults();
+    const bool exc = fault.layer == TargetLayer::kExcitatory ||
+                     fault.layer == TargetLayer::kBoth;
+    const bool inh = fault.layer == TargetLayer::kInhibitory ||
+                     fault.layer == TargetLayer::kBoth;
+    if (exc) apply_to_layer(network.excitatory(), TargetLayer::kExcitatory, fault);
+    if (inh) apply_to_layer(network.inhibitory(), TargetLayer::kInhibitory, fault);
+    // Driver corruption affects the input current drivers feeding the
+    // excitatory layer; it is a network-level gain on PSP delivery.
+    network.set_driver_gain(static_cast<float>(fault.driver_gain));
+}
+
+}  // namespace snnfi::attack

@@ -1,0 +1,187 @@
+#include "attack/scenarios.hpp"
+
+#include <future>
+#include <stdexcept>
+#include <thread>
+
+#include "snn/classifier.hpp"
+#include "util/stats.hpp"
+
+namespace snnfi::attack {
+
+AttackSuite::AttackSuite(snn::Dataset dataset, AttackRunConfig config)
+    : dataset_(std::move(dataset)), config_(config) {
+    if (dataset_.size() == 0) throw std::invalid_argument("AttackSuite: empty dataset");
+    if (config_.train_samples > dataset_.size())
+        config_.train_samples = dataset_.size();
+    if (config_.train_samples < dataset_.size()) {
+        dataset_.images.resize(config_.train_samples);
+        dataset_.labels.resize(config_.train_samples);
+    }
+}
+
+double AttackSuite::baseline_accuracy() {
+    if (!baseline_) {
+        snn::DiehlCookNetwork network(config_.network, config_.network_seed);
+        snn::Trainer trainer(network, config_.eval_window);
+        baseline_ = trainer.run(dataset_);
+    }
+    return baseline_->train_accuracy;
+}
+
+double AttackSuite::baseline_retro_accuracy() {
+    (void)baseline_accuracy();
+    return baseline_->retro_accuracy;
+}
+
+AttackOutcome AttackSuite::evaluate(const FaultSpec& fault) {
+    snn::DiehlCookNetwork network(config_.network, config_.network_seed);
+    apply_fault(network, fault);
+    snn::Trainer trainer(network, config_.eval_window);
+    const snn::TrainResult result = trainer.run(dataset_);
+
+    AttackOutcome outcome;
+    outcome.fault = fault;
+    outcome.accuracy = result.train_accuracy;
+    outcome.retro_accuracy = result.retro_accuracy;
+    outcome.exc_spikes_per_sample = result.mean_exc_spikes_per_sample;
+    return outcome;
+}
+
+AttackOutcome AttackSuite::evaluate_inference_only(const FaultSpec& fault) {
+    // Train clean, then inject the fault and re-evaluate with frozen
+    // weights and frozen assignments (ablation mode; see DESIGN.md).
+    snn::DiehlCookNetwork network(config_.network, config_.network_seed);
+    snn::Trainer trainer(network, config_.eval_window);
+    (void)trainer.run(dataset_);  // clean training pass
+
+    constexpr std::size_t kNumClasses = 10;
+    snn::ActivityClassifier classifier(config_.network.n_neurons, kNumClasses);
+    network.set_learning(false);
+    // Clean inference pass establishes assignments.
+    std::vector<snn::SampleActivity> clean;
+    clean.reserve(dataset_.size());
+    for (std::size_t i = 0; i < dataset_.size(); ++i) {
+        clean.push_back(network.run_sample(dataset_.images[i]));
+        classifier.accumulate(clean.back().exc_counts, dataset_.labels[i]);
+    }
+    classifier.assign_labels();
+
+    apply_fault(network, fault);
+    std::size_t correct = 0;
+    double exc_spikes = 0.0;
+    for (std::size_t i = 0; i < dataset_.size(); ++i) {
+        const snn::SampleActivity activity = network.run_sample(dataset_.images[i]);
+        exc_spikes += static_cast<double>(activity.total_exc_spikes);
+        if (classifier.predict(activity.exc_counts) == dataset_.labels[i]) ++correct;
+    }
+
+    AttackOutcome outcome;
+    outcome.fault = fault;
+    outcome.accuracy = static_cast<double>(correct) / static_cast<double>(dataset_.size());
+    outcome.retro_accuracy = outcome.accuracy;
+    outcome.exc_spikes_per_sample = exc_spikes / static_cast<double>(dataset_.size());
+    return outcome;
+}
+
+AttackOutcome AttackSuite::run(const FaultSpec& fault) {
+    const double base = baseline_accuracy();
+    AttackOutcome outcome = config_.phase == AttackPhase::kInferenceOnly
+                                ? evaluate_inference_only(fault)
+                                : evaluate(fault);
+    outcome.degradation_pct =
+        base > 0.0 ? util::percent_change(outcome.accuracy, base) : 0.0;
+    return outcome;
+}
+
+std::vector<AttackOutcome> AttackSuite::run_many(const std::vector<FaultSpec>& faults) {
+    const double base = baseline_accuracy();  // compute before forking workers
+
+    std::size_t workers = config_.max_workers;
+    if (workers == 0) {
+        workers = std::thread::hardware_concurrency();
+        if (workers == 0) workers = 4;
+    }
+
+    std::vector<AttackOutcome> outcomes(faults.size());
+    std::atomic<std::size_t> next{0};
+    auto worker = [&] {
+        for (;;) {
+            const std::size_t index = next.fetch_add(1);
+            if (index >= faults.size()) return;
+            outcomes[index] = config_.phase == AttackPhase::kInferenceOnly
+                                  ? evaluate_inference_only(faults[index])
+                                  : evaluate(faults[index]);
+            outcomes[index].degradation_pct =
+                base > 0.0 ? util::percent_change(outcomes[index].accuracy, base) : 0.0;
+        }
+    };
+    std::vector<std::thread> pool;
+    const std::size_t n_threads = std::min(workers, faults.size());
+    pool.reserve(n_threads);
+    for (std::size_t t = 0; t < n_threads; ++t) pool.emplace_back(worker);
+    for (auto& thread : pool) thread.join();
+    return outcomes;
+}
+
+std::vector<AttackOutcome> AttackSuite::attack1_theta(
+    const std::vector<double>& gain_deltas) {
+    std::vector<FaultSpec> faults;
+    faults.reserve(gain_deltas.size());
+    for (const double delta : gain_deltas) {
+        FaultSpec fault;
+        fault.layer = TargetLayer::kNone;
+        fault.driver_gain = 1.0 + delta;
+        faults.push_back(fault);
+    }
+    return run_many(faults);
+}
+
+std::vector<AttackOutcome> AttackSuite::attack_layer_grid(
+    TargetLayer layer, const std::vector<double>& deltas,
+    const std::vector<double>& fractions) {
+    std::vector<FaultSpec> faults;
+    faults.reserve(deltas.size() * fractions.size());
+    for (const double delta : deltas) {
+        for (const double fraction : fractions) {
+            FaultSpec fault;
+            fault.layer = layer;
+            fault.fraction = fraction;
+            fault.threshold_delta = delta;
+            faults.push_back(fault);
+        }
+    }
+    return run_many(faults);
+}
+
+std::vector<AttackOutcome> AttackSuite::attack4_both(const std::vector<double>& deltas) {
+    std::vector<FaultSpec> faults;
+    faults.reserve(deltas.size());
+    for (const double delta : deltas) {
+        FaultSpec fault;
+        fault.layer = TargetLayer::kBoth;
+        fault.fraction = 1.0;
+        fault.threshold_delta = delta;
+        faults.push_back(fault);
+    }
+    return run_many(faults);
+}
+
+std::vector<AttackOutcome> AttackSuite::attack5_vdd(const VddCalibration& calibration,
+                                                    const std::vector<double>& vdds) {
+    std::vector<FaultSpec> faults;
+    faults.reserve(vdds.size());
+    for (const double vdd : vdds) {
+        FaultSpec fault;
+        fault.layer = TargetLayer::kBoth;
+        fault.fraction = 1.0;
+        fault.threshold_delta = calibration.threshold_delta(vdd);
+        fault.driver_gain = calibration.driver_gain(vdd);
+        faults.push_back(fault);
+    }
+    std::vector<AttackOutcome> outcomes = run_many(faults);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) outcomes[i].vdd = vdds[i];
+    return outcomes;
+}
+
+}  // namespace snnfi::attack

@@ -1,0 +1,86 @@
+// The paper's five attack scenarios (§IV) as parameter-sweep runners.
+//
+//   Attack 1 (white box): corrupt the input current drivers -> scale the
+//             per-spike membrane voltage change ("theta") by -20%..+20%.
+//   Attack 2 (white box): threshold fault on 0-100% of the excitatory layer.
+//   Attack 3 (white box): threshold fault on 0-100% of the inhibitory layer.
+//   Attack 4 (white box): threshold fault on 100% of both layers.
+//   Attack 5 (black box): shared VDD corrupts driver amplitude *and* both
+//             layers' thresholds simultaneously, via the calibration bridge.
+//
+// Every sweep point trains a fresh Diehl&Cook network under the fault and
+// reports the online accuracy (the paper's metric) next to the attack-free
+// baseline. Sweep points run in parallel (they are independent trainings).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "attack/calibration.hpp"
+#include "attack/fault_model.hpp"
+#include "snn/trainer.hpp"
+
+namespace snnfi::attack {
+
+struct AttackRunConfig {
+    snn::DiehlCookConfig network;
+    std::size_t train_samples = 1000;
+    std::uint64_t data_seed = 42;
+    std::uint64_t network_seed = 7;
+    AttackPhase phase = AttackPhase::kTrainingAndInference;
+    std::size_t eval_window = 250;
+    /// Parallel workers for sweeps; 0 = hardware concurrency.
+    std::size_t max_workers = 0;
+};
+
+struct AttackOutcome {
+    FaultSpec fault;
+    double vdd = 0.0;              ///< attack-5 sweeps; 0 otherwise
+    double accuracy = 0.0;         ///< online accuracy under the fault
+    double retro_accuracy = 0.0;
+    double degradation_pct = 0.0;  ///< relative to baseline (paper convention)
+    double exc_spikes_per_sample = 0.0;
+};
+
+class AttackSuite {
+public:
+    /// Builds the suite over a fixed dataset. The baseline (fault-free)
+    /// accuracy is computed lazily on first use and cached.
+    AttackSuite(snn::Dataset dataset, AttackRunConfig config);
+
+    const AttackRunConfig& config() const noexcept { return config_; }
+    const snn::Dataset& dataset() const noexcept { return dataset_; }
+
+    /// Fault-free reference accuracy (cached).
+    double baseline_accuracy();
+    double baseline_retro_accuracy();
+
+    /// Runs one fault configuration.
+    AttackOutcome run(const FaultSpec& fault);
+    /// Runs many fault configurations in parallel.
+    std::vector<AttackOutcome> run_many(const std::vector<FaultSpec>& faults);
+
+    // --- paper sweeps ----------------------------------------------------
+    /// Attack 1, Fig. 7b: theta (driver gain) deltas, e.g. {-.2,-.1,.1,.2}.
+    std::vector<AttackOutcome> attack1_theta(const std::vector<double>& gain_deltas);
+    /// Attacks 2/3, Figs. 8a/8b: threshold deltas x fractions on one layer.
+    std::vector<AttackOutcome> attack_layer_grid(TargetLayer layer,
+                                                 const std::vector<double>& deltas,
+                                                 const std::vector<double>& fractions);
+    /// Attack 4, Fig. 8c: both layers at 100%.
+    std::vector<AttackOutcome> attack4_both(const std::vector<double>& deltas);
+    /// Attack 5, Fig. 9a: VDD sweep through the calibration bridge.
+    std::vector<AttackOutcome> attack5_vdd(const VddCalibration& calibration,
+                                           const std::vector<double>& vdds);
+
+private:
+    AttackOutcome evaluate(const FaultSpec& fault);
+    AttackOutcome evaluate_inference_only(const FaultSpec& fault);
+
+    snn::Dataset dataset_;
+    AttackRunConfig config_;
+    std::optional<snn::TrainResult> baseline_;
+};
+
+}  // namespace snnfi::attack

@@ -1,0 +1,39 @@
+#include "circuits/area_power.hpp"
+
+#include "spice/devices.hpp"
+
+namespace snnfi::circuits {
+
+AreaBreakdown estimate_area(const spice::Netlist& netlist,
+                            const AreaModelConstants& constants) {
+    AreaBreakdown area;
+    for (const auto& device : netlist.devices()) {
+        if (const auto* fet = dynamic_cast<const spice::Mosfet*>(device.get())) {
+            const double w_um = fet->params().w * 1e6;
+            const double l_um = fet->params().l * 1e6;
+            area.transistor_um2 += w_um * l_um * constants.transistor_multiplier;
+        } else if (const auto* cap = dynamic_cast<const spice::Capacitor*>(device.get())) {
+            area.capacitor_um2 +=
+                cap->capacitance() / constants.capacitor_density_f_per_um2;
+        } else if (const auto* res = dynamic_cast<const spice::Resistor*>(device.get())) {
+            const double squares = res->resistance() / constants.resistor_sheet_ohms;
+            area.resistor_um2 +=
+                squares * constants.resistor_width_um * constants.resistor_width_um;
+        } else if (dynamic_cast<const spice::OpAmp*>(device.get()) != nullptr) {
+            area.behavioral_um2 += constants.opamp_area_um2;
+        }
+        // Sources are test fixtures / external pins: zero layout area.
+    }
+    return area;
+}
+
+double supply_power(const spice::TransientResult& result,
+                    const std::string& supply_name, double t_start) {
+    // Branch current convention: positive current flows from the + terminal
+    // through the source, so a sourcing supply carries negative current.
+    const double p =
+        result.average_power("V(vdd)", "I(" + supply_name + ")", t_start);
+    return -p;
+}
+
+}  // namespace snnfi::circuits

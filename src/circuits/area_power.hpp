@@ -1,0 +1,52 @@
+// First-order layout-area and supply-power accounting (paper §V overheads).
+//
+// Area: transistors contribute W*L times a wiring/contact multiplier;
+// capacitors dominate neuromorphic cells and are costed at a MOS-cap
+// density; resistors are high-resistivity poly. The paper's qualitative
+// claims (neuron area is capacitor-dominated; driver hardening is
+// area-negligible) fall out of these constants.
+//
+// Power: measured from simulation as the time-average of VDD * I(VDD);
+// behavioral elements (op-amp) declare a quiescent power.
+#pragma once
+
+#include <string>
+
+#include "spice/netlist.hpp"
+#include "spice/waveform.hpp"
+
+namespace snnfi::circuits {
+
+struct AreaModelConstants {
+    double transistor_multiplier = 10.0;    ///< layout overhead vs raw W*L
+    double capacitor_density_f_per_um2 = 10e-15;  ///< MOS cap
+    double resistor_sheet_ohms = 10e3;      ///< hi-res poly per square
+    double resistor_width_um = 0.2;
+    double opamp_area_um2 = 30.0;  ///< small subthreshold op-amp footprint
+};
+
+struct AreaBreakdown {
+    double transistor_um2 = 0.0;
+    double capacitor_um2 = 0.0;
+    double resistor_um2 = 0.0;
+    double behavioral_um2 = 0.0;
+    double total() const {
+        return transistor_um2 + capacitor_um2 + resistor_um2 + behavioral_um2;
+    }
+};
+
+/// Sums the estimated layout area of every device in the netlist.
+AreaBreakdown estimate_area(const spice::Netlist& netlist,
+                            const AreaModelConstants& constants = {});
+
+/// Average power delivered by the named supply over [t_start, end] of a
+/// recorded transient: Vdd * mean(-I(supply)).
+double supply_power(const spice::TransientResult& result,
+                    const std::string& supply_name, double t_start = 0.0);
+
+/// Quiescent power attributed to behavioral op-amps (not captured by the
+/// branch-current integral since the behavioral model draws no supply
+/// current). Subthreshold amplifier class.
+inline constexpr double kOpAmpQuiescentPower = 10e-9;  // [W]
+
+}  // namespace snnfi::circuits

@@ -1,0 +1,51 @@
+#include "circuits/axon_hillock.hpp"
+
+#include "spice/ptm65.hpp"
+
+namespace snnfi::circuits {
+
+spice::Netlist build_axon_hillock(const AxonHillockConfig& config) {
+    using spice::SourceSpec;
+    spice::Netlist netlist;
+
+    netlist.add_voltage_source("VDD", AxonHillockNodes::kVdd, "0",
+                               SourceSpec::dc(config.vdd));
+
+    if (config.input_enabled) {
+        spice::PulseSpec pulse;
+        pulse.v1 = 0.0;
+        pulse.v2 = config.iin_amplitude;
+        pulse.delay = 0.0;
+        pulse.rise = 1e-9;
+        pulse.fall = 1e-9;
+        pulse.width = config.iin_width;
+        pulse.period = config.iin_period;
+        // Current pushed from ground into the membrane node.
+        netlist.add_current_source("IIN", "0", AxonHillockNodes::kVmem,
+                                   SourceSpec(pulse));
+    }
+
+    netlist.add_capacitor("CMEM", AxonHillockNodes::kVmem, "0", config.cmem);
+
+    // Two-inverter amplifier; the first inverter's switching point is the
+    // neuron's membrane threshold (attacked through VDD in the paper).
+    add_inverter(netlist, "INV1", AxonHillockNodes::kVmem, AxonHillockNodes::kInv1Out,
+                 AxonHillockNodes::kVdd, config.inv1);
+    add_inverter(netlist, "INV2", AxonHillockNodes::kInv1Out, AxonHillockNodes::kVout,
+                 AxonHillockNodes::kVdd, config.inv2);
+
+    // Positive feedback through the capacitive divider Cfb/(Cfb + Cmem).
+    netlist.add_capacitor("CFB", AxonHillockNodes::kVout, AxonHillockNodes::kVmem,
+                          config.cfb);
+
+    // Reset path: MN1 gated by the output spike, MN2 sets the reset current.
+    netlist.add_mosfet("MN1", AxonHillockNodes::kVmem, AxonHillockNodes::kVout, "n1",
+                       spice::ptm65::nmos(config.reset_w_over_l));
+    netlist.add_voltage_source("VPW", "vpw", "0", SourceSpec::dc(config.vpw));
+    netlist.add_mosfet("MN2", "n1", "vpw", "0",
+                       spice::ptm65::nmos(config.reset_w_over_l));
+
+    return netlist;
+}
+
+}  // namespace snnfi::circuits

@@ -1,0 +1,42 @@
+// Axon Hillock spiking neuron (Mead), paper Fig. 2a.
+//
+// Input current integrates on Cmem; a two-inverter amplifier detects the
+// membrane crossing its switching threshold; Cfb provides positive feedback
+// (capacitive divider) and MN1/MN2 implement the reset path whose current
+// is set by the Vpw bias.
+#pragma once
+
+#include <string>
+
+#include "spice/netlist.hpp"
+#include "circuits/blocks.hpp"
+
+namespace snnfi::circuits {
+
+struct AxonHillockConfig {
+    double vdd = 1.0;            ///< supply [V]
+    double cmem = 1e-12;         ///< membrane capacitance [F]
+    double cfb = 1e-12;          ///< feedback capacitance [F]
+    double iin_amplitude = 200e-9;  ///< input spike amplitude [A]
+    double iin_width = 12.5e-9;  ///< input spike width [s]
+    double iin_period = 25e-9;   ///< input spike period (40 MHz) [s]
+    double vpw = 0.60;           ///< reset-current bias on MN2 [V]
+    double reset_w_over_l = 8.0; ///< MN1/MN2 sizing
+    InverterSizing inv1;         ///< first inverter (sets membrane threshold)
+    InverterSizing inv2;         ///< output inverter
+    bool input_enabled = true;   ///< false: no Iin source (threshold probing)
+};
+
+/// Node names used by the builder (fixed, documented API).
+struct AxonHillockNodes {
+    static constexpr const char* kVdd = "vdd";
+    static constexpr const char* kVmem = "vmem";
+    static constexpr const char* kInv1Out = "x1";
+    static constexpr const char* kVout = "vout";
+};
+
+/// Builds the complete neuron; the caller owns the netlist.
+/// Device names: VDD, IIN, CMEM, CFB, INV1_*, INV2_*, MN1, MN2, VPW.
+spice::Netlist build_axon_hillock(const AxonHillockConfig& config);
+
+}  // namespace snnfi::circuits

@@ -1,0 +1,29 @@
+#include "circuits/bandgap.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace snnfi::circuits {
+
+double BandgapModel::vref(double vdd) const {
+    const double nominal_supply = 1.0;
+    if (vdd >= min_supply) {
+        // Smooth, bounded supply sensitivity: deviation grows with distance
+        // from the nominal supply and saturates at the published bound.
+        const double span = std::max(nominal_supply - min_supply, 1e-9);
+        const double normalized = (vdd - nominal_supply) / span;  // 0 at 1 V
+        const double bounded = std::tanh(normalized);
+        return nominal_vref * (1.0 + (max_deviation_pct / 100.0) * bounded);
+    }
+    // Dropout region: output collapses linearly towards zero.
+    const double frac = std::clamp((vdd - (min_supply - supply_headroom)) /
+                                       supply_headroom, 0.0, 1.0);
+    const double at_min = nominal_vref * (1.0 - max_deviation_pct / 100.0);
+    return at_min * frac;
+}
+
+double BandgapModel::deviation_pct(double vdd) const {
+    return 100.0 * (vref(vdd) - nominal_vref) / nominal_vref;
+}
+
+}  // namespace snnfi::circuits

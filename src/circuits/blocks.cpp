@@ -1,0 +1,54 @@
+#include "circuits/blocks.hpp"
+
+#include "spice/ptm65.hpp"
+
+namespace snnfi::circuits {
+
+using spice::ptm65::nmos;
+using spice::ptm65::pmos;
+
+void add_inverter(spice::Netlist& netlist, const std::string& prefix,
+                  const std::string& in, const std::string& out,
+                  const std::string& vdd_node, const InverterSizing& sizing) {
+    netlist.add_mosfet(prefix + "_MP", out, in, vdd_node,
+                       pmos(sizing.pmos_w_over_l, sizing.pmos_length_multiple));
+    netlist.add_mosfet(prefix + "_MN", out, in, "0",
+                       nmos(sizing.nmos_w_over_l, sizing.nmos_length_multiple));
+    // Output load (self + next-stage gate capacitance).
+    netlist.add_capacitor(prefix + "_CL", out, "0", 5e-15);
+}
+
+void add_ota(spice::Netlist& netlist, const std::string& prefix,
+             const std::string& in_plus, const std::string& in_minus,
+             const std::string& out, const std::string& vdd_node,
+             const OtaConfig& config) {
+    const std::string tail = prefix + "_tail";
+    const std::string mirror = prefix + "_mir";
+    const std::string bias = prefix + "_vb";
+
+    // Differential pair: in_plus drives the diode-connected (mirror input)
+    // side so that V(in_plus) > V(in_minus) steers extra current through the
+    // mirror and pulls `out` high.
+    netlist.add_mosfet(prefix + "_M1", mirror, in_plus, tail,
+                       nmos(config.diff_pair_w_over_l));
+    netlist.add_mosfet(prefix + "_M2", out, in_minus, tail,
+                       nmos(config.diff_pair_w_over_l));
+    // PMOS current-mirror load.
+    netlist.add_mosfet(prefix + "_M3", mirror, mirror, vdd_node,
+                       pmos(config.mirror_w_over_l));
+    netlist.add_mosfet(prefix + "_M4", out, mirror, vdd_node,
+                       pmos(config.mirror_w_over_l));
+    // Tail current sink with a fixed gate bias.
+    netlist.add_voltage_source(prefix + "_VB", bias, "0",
+                               spice::SourceSpec::dc(config.tail_bias));
+    netlist.add_mosfet(prefix + "_M5", tail, bias, "0", nmos(config.tail_w_over_l));
+
+    // Parasitic/load capacitance on the internal and output nodes. Keeps
+    // the high-gain nodes physical (finite slew) and the transient solver
+    // well-conditioned through regenerative switching.
+    netlist.add_capacitor(prefix + "_CO", out, "0", 5e-15);
+    netlist.add_capacitor(prefix + "_CM", mirror, "0", 2e-15);
+    netlist.add_capacitor(prefix + "_CT", tail, "0", 2e-15);
+}
+
+}  // namespace snnfi::circuits

@@ -1,0 +1,48 @@
+// Reusable sub-circuit builders: CMOS inverter and 5-transistor OTA.
+//
+// Builders add devices to an existing Netlist under a name prefix and wire
+// them to caller-supplied node names, mirroring how the paper's neuron
+// schematics are composed (Fig. 2a/2b).
+#pragma once
+
+#include <string>
+
+#include "spice/netlist.hpp"
+
+namespace snnfi::circuits {
+
+/// Geometry of one inverter (W/L as multiples of minimum size).
+struct InverterSizing {
+    double pmos_w_over_l = 3.82;  ///< calibrated so Vm(VDD=1.0) ~ 0.5 V
+    double nmos_w_over_l = 4.0;
+    /// Channel-length multiples. Lengthening the PMOS weakens it, pushing
+    /// the switching point towards the (VDD-independent) NMOS threshold —
+    /// the transistor-resizing defense of paper Fig. 9c.
+    double pmos_length_multiple = 1.0;
+    double nmos_length_multiple = 1.0;
+};
+
+/// Adds MP/MN of a static CMOS inverter: in -> out between vdd_node and gnd.
+void add_inverter(spice::Netlist& netlist, const std::string& prefix,
+                  const std::string& in, const std::string& out,
+                  const std::string& vdd_node, const InverterSizing& sizing = {});
+
+/// Sizing/bias for the 5T operational transconductance amplifier used as the
+/// I&F neuron's comparator (paper Fig. 2b) and the hardened AH first stage
+/// (paper Fig. 10a).
+struct OtaConfig {
+    double diff_pair_w_over_l = 8.0;
+    double mirror_w_over_l = 8.0;
+    double tail_w_over_l = 4.0;
+    double tail_bias = 0.55;  ///< gate bias of the tail current sink [V]
+};
+
+/// Adds a 5T OTA: output rises towards vdd when V(in_plus) > V(in_minus).
+/// NMOS diff pair (in_plus on the diode-connected mirror side), PMOS mirror
+/// load, NMOS tail sink biased by an internal DC source `<prefix>_VB`.
+void add_ota(spice::Netlist& netlist, const std::string& prefix,
+             const std::string& in_plus, const std::string& in_minus,
+             const std::string& out, const std::string& vdd_node,
+             const OtaConfig& config = {});
+
+}  // namespace snnfi::circuits

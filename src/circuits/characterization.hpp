@@ -1,0 +1,111 @@
+// Circuit characterisation: the measurement routines behind paper
+// Figs. 3-6, 9b, 9c and 10c.
+//
+// Thresholds are measured by bisecting a DC membrane sweep; time-to-spike
+// and spike rates come from transient runs; driver amplitudes from DC
+// solves of the (switch-held-on) driver.
+#pragma once
+
+#include <vector>
+
+#include "circuits/axon_hillock.hpp"
+#include "circuits/comparator_ah.hpp"
+#include "circuits/current_driver.hpp"
+#include "circuits/vamp_if.hpp"
+#include "spice/waveform.hpp"
+
+namespace snnfi::circuits {
+
+enum class NeuronKind { kAxonHillock, kVampIf };
+const char* to_string(NeuronKind kind);
+
+/// One point of a VDD sweep.
+struct VddPoint {
+    double vdd = 0.0;
+    double value = 0.0;       ///< measured quantity (volts, amps, seconds...)
+    double change_pct = 0.0;  ///< percent change vs the nominal-VDD value
+};
+
+struct CharacterizationConfig {
+    double nominal_vdd = 1.0;
+    AxonHillockConfig axon_hillock;
+    VampIfConfig vamp_if;
+    CurrentDriverConfig driver;
+    RobustDriverConfig robust_driver;
+    /// Transient resolution/windows (seconds).
+    double ah_dt = 1.25e-9;
+    double ah_window = 40e-6;
+    double if_dt = 10e-9;
+    double if_window = 800e-6;  ///< several spike periods incl. refractory
+};
+
+class Characterizer {
+public:
+    explicit Characterizer(CharacterizationConfig config = {});
+
+    const CharacterizationConfig& config() const noexcept { return config_; }
+
+    // --- membrane threshold (Fig. 6a) ---------------------------------
+    /// Effective membrane threshold voltage at a given supply: the membrane
+    /// voltage at which the neuron's detector stage commits to a spike.
+    double measure_threshold(NeuronKind kind, double vdd) const;
+    /// Threshold of the comparator-hardened AH neuron (defense, Fig. 10a).
+    double measure_comparator_ah_threshold(double vdd) const;
+    /// Threshold of the AH neuron with a resized first-inverter MP1
+    /// (defense, Fig. 9c). `sizing_ratio` is the paper's x-axis (1:1 ...
+    /// 32:1); in our EKV model the droop reduction is realised by making
+    /// MP1 longer-channel by this factor, which moves the switching point
+    /// into the VDD-independent NMOS-dominated regime.
+    double measure_ah_threshold_with_sizing(double vdd, double sizing_ratio) const;
+
+    std::vector<VddPoint> threshold_vs_vdd(NeuronKind kind,
+                                           std::vector<double> vdds) const;
+
+    // --- time-to-spike (Figs. 5c, 6b, 6c) ------------------------------
+    /// Axon Hillock: latency of the first output spike from a quiescent
+    /// start. Vamp I&F: steady-state inter-spike interval (the neuron has
+    /// an explicit refractory period, so its effective time-to-spike — and
+    /// the paper's reported sensitivities — include it).
+    double measure_time_to_spike(NeuronKind kind, double vdd,
+                                 double iin_amplitude) const;
+    std::vector<VddPoint> time_to_spike_vs_vdd(NeuronKind kind,
+                                               std::vector<double> vdds) const;
+    /// Sweep over input amplitude at nominal VDD (Fig. 5c; amplitudes from
+    /// the driver corruption of Fig. 5b).
+    std::vector<VddPoint> time_to_spike_vs_amplitude(
+        NeuronKind kind, std::vector<double> amplitudes) const;
+
+    // --- drivers (Figs. 5b, 9b) ----------------------------------------
+    double measure_driver_amplitude(double vdd) const;
+    double measure_robust_driver_amplitude(double vdd) const;
+    std::vector<VddPoint> driver_amplitude_vs_vdd(std::vector<double> vdds,
+                                                  bool robust) const;
+
+    // --- waveforms (Figs. 3, 4) ----------------------------------------
+    spice::TransientResult axon_hillock_waveforms(double vdd, double window) const;
+    spice::TransientResult vamp_if_waveforms(double vdd, double window) const;
+
+    // --- spike-rate + power --------------------------------------------
+    /// Mean output spike period in steady state (skips the first spike).
+    double measure_spike_period(NeuronKind kind, double vdd) const;
+    /// Average supply power of the neuron while spiking [W].
+    double measure_neuron_power(NeuronKind kind, double vdd) const;
+    /// Average supply power of a driver delivering its pulse train [W].
+    double measure_driver_power(bool robust, double vdd) const;
+
+private:
+    AxonHillockConfig ah_at(double vdd) const;
+    VampIfConfig if_at(double vdd) const;
+    CharacterizationConfig config_;
+};
+
+/// Bisects the PMOS W/L of a CMOS inverter so its switching point sits at
+/// `target` volts at the given supply (used once to calibrate the default
+/// InverterSizing so the AH threshold is ~0.5 V at VDD = 1 V).
+double calibrate_inverter_pmos(double target = 0.5, double vdd = 1.0,
+                               double nmos_w_over_l = 4.0);
+
+/// Switching point of a standalone inverter (DC bisection).
+double measure_inverter_threshold(double vdd, const InverterSizing& sizing);
+
+}  // namespace snnfi::circuits

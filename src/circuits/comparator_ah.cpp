@@ -1,0 +1,52 @@
+#include "circuits/comparator_ah.hpp"
+
+#include "spice/ptm65.hpp"
+
+namespace snnfi::circuits {
+
+spice::Netlist build_comparator_ah(const ComparatorAhConfig& config) {
+    using spice::SourceSpec;
+    spice::Netlist netlist;
+    const AxonHillockConfig& base = config.base;
+
+    netlist.add_voltage_source("VDD", AxonHillockNodes::kVdd, "0",
+                               SourceSpec::dc(base.vdd));
+
+    if (base.input_enabled) {
+        spice::PulseSpec pulse;
+        pulse.v1 = 0.0;
+        pulse.v2 = base.iin_amplitude;
+        pulse.rise = 1e-9;
+        pulse.fall = 1e-9;
+        pulse.width = base.iin_width;
+        pulse.period = base.iin_period;
+        netlist.add_current_source("IIN", "0", AxonHillockNodes::kVmem,
+                                   SourceSpec(pulse));
+    }
+    netlist.add_capacitor("CMEM", AxonHillockNodes::kVmem, "0", base.cmem);
+
+    // Bandgap-referenced threshold: tracks the defense model, not VDD.
+    BandgapModel bandgap = config.bandgap;
+    bandgap.nominal_vref = config.threshold;
+    netlist.add_voltage_source("VTHR", "vthr", "0",
+                               SourceSpec::dc(bandgap.vref(base.vdd)));
+
+    // Comparator output LOW when Vmem > threshold (inverting first stage):
+    // in- carries the membrane.
+    add_ota(netlist, "OTA", "vthr", AxonHillockNodes::kVmem,
+            AxonHillockNodes::kInv1Out, AxonHillockNodes::kVdd, config.ota);
+
+    add_inverter(netlist, "INV2", AxonHillockNodes::kInv1Out, AxonHillockNodes::kVout,
+                 AxonHillockNodes::kVdd, base.inv2);
+
+    netlist.add_capacitor("CFB", AxonHillockNodes::kVout, AxonHillockNodes::kVmem,
+                          base.cfb);
+    netlist.add_mosfet("MN1", AxonHillockNodes::kVmem, AxonHillockNodes::kVout, "n1",
+                       spice::ptm65::nmos(base.reset_w_over_l));
+    netlist.add_voltage_source("VPW", "vpw", "0", SourceSpec::dc(base.vpw));
+    netlist.add_mosfet("MN2", "n1", "vpw", "0",
+                       spice::ptm65::nmos(base.reset_w_over_l));
+    return netlist;
+}
+
+}  // namespace snnfi::circuits

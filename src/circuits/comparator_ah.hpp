@@ -1,0 +1,28 @@
+// Comparator-hardened Axon Hillock neuron (paper Fig. 10a, defense §V-B2).
+//
+// The first inverter — whose switching point tracks VDD and is the attack
+// surface — is replaced by a 5T OTA comparator referenced to a
+// bandgap-derived threshold, making the membrane threshold independent of
+// supply manipulation. The OTA output goes LOW when Vmem exceeds the
+// threshold (matching the replaced inverter's polarity), so the rest of
+// the neuron (second inverter, Cfb feedback, MN1/MN2 reset) is unchanged.
+#pragma once
+
+#include "circuits/axon_hillock.hpp"
+#include "circuits/bandgap.hpp"
+#include "circuits/blocks.hpp"
+
+namespace snnfi::circuits {
+
+struct ComparatorAhConfig {
+    AxonHillockConfig base;       ///< shared neuron parameters
+    BandgapModel bandgap;         ///< provides the VDD-independent reference
+    OtaConfig ota{.tail_bias = 0.40};  ///< paper: VB = 400 mV
+    double threshold = 0.5;       ///< programmed membrane threshold [V]
+};
+
+/// Same node names as the plain Axon Hillock neuron; the OTA replaces INV1
+/// (node x1 is the comparator output). Extra devices: OTA_*, VTHR.
+spice::Netlist build_comparator_ah(const ComparatorAhConfig& config);
+
+}  // namespace snnfi::circuits

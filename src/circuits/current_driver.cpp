@@ -1,0 +1,108 @@
+#include "circuits/current_driver.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "spice/engine.hpp"
+#include "spice/ptm65.hpp"
+
+namespace snnfi::circuits {
+
+using spice::SourceSpec;
+using spice::ptm65::nmos;
+using spice::ptm65::pmos;
+
+spice::Netlist build_current_driver(const CurrentDriverConfig& config) {
+    spice::Netlist netlist;
+    netlist.add_voltage_source("VDD", "vdd", "0", SourceSpec::dc(config.vdd));
+    netlist.add_resistor("R1", "vdd", "gate", config.r1);
+    netlist.add_mosfet("MN2", "gate", "gate", "0", nmos(config.mirror_w_over_l));
+
+    // Mirror output transistor; its drain current is steered through the
+    // MN1 switch into the output node.
+    const char* mirror_drain = config.switch_enabled ? "sw" : "out";
+    netlist.add_mosfet("MN3", mirror_drain, "gate", "0", nmos(config.mirror_w_over_l));
+    if (config.switch_enabled) {
+        spice::PulseSpec ctr;
+        ctr.v1 = 0.0;
+        ctr.v2 = config.vctr_high;
+        ctr.rise = 0.5e-9;
+        ctr.fall = 0.5e-9;
+        ctr.width = config.vctr_width;
+        ctr.period = config.vctr_period;
+        netlist.add_voltage_source("VCTR", "vctr", "0", SourceSpec(ctr));
+        netlist.add_mosfet("MN1", "out", "vctr", "sw", nmos(config.switch_w_over_l));
+    }
+    // The mirror *sinks* current, so the measured load current flows from
+    // the sink source into the driver.
+    netlist.add_voltage_source("VOUT", "out", "0", SourceSpec::dc(config.load_voltage));
+    return netlist;
+}
+
+spice::Netlist build_robust_driver(const RobustDriverConfig& config) {
+    spice::Netlist netlist;
+    netlist.add_voltage_source("VDD", "vdd", "0", SourceSpec::dc(config.vdd));
+    netlist.add_voltage_source("VREF", "vref", "0", SourceSpec::dc(config.vref));
+
+    // Negative feedback: if V(fb) < vref the op-amp output (driven by the
+    // + input fb minus the - input vref) falls, the PMOS gate voltage drops,
+    // MP1 sources more current and V(fb) rises back to vref.
+    netlist.add_opamp("OP1", "fb", "vref", "pgate", config.opamp_gain, 0.0,
+                      config.vdd);
+    netlist.add_mosfet("MP1", "fb", "pgate", "vdd",
+                       pmos(config.mirror_w_over_l, config.mirror_length_multiple));
+    netlist.add_resistor("R1", "fb", "0", config.r1);
+    // Compensation: dominant pole at the mirror gate stabilises the loop.
+    netlist.add_capacitor("CC", "pgate", "0", 100e-15);
+
+    const char* mirror_drain = config.switch_enabled ? "sw" : "out";
+    netlist.add_mosfet("MP2", mirror_drain, "pgate", "vdd",
+                       pmos(config.mirror_w_over_l, config.mirror_length_multiple));
+    if (config.switch_enabled) {
+        spice::PulseSpec ctr;
+        ctr.v1 = 0.0;
+        ctr.v2 = config.vctr_high;
+        ctr.rise = 0.5e-9;
+        ctr.fall = 0.5e-9;
+        ctr.width = config.vctr_width;
+        ctr.period = config.vctr_period;
+        netlist.add_voltage_source("VCTR", "vctr", "0", SourceSpec(ctr));
+        netlist.add_mosfet("MN1", "out", "vctr", "sw", nmos(config.switch_w_over_l));
+    }
+    netlist.add_voltage_source("VOUT", "out", "0", SourceSpec::dc(config.load_voltage));
+    return netlist;
+}
+
+double measure_driver_amplitude_dc(spice::Netlist& netlist) {
+    // Hold the switch on (if present) so the DC solution carries the full
+    // output amplitude.
+    if (netlist.has_device("VCTR")) netlist.voltage_source("VCTR").spec().set_dc(1.0);
+    spice::Simulator sim(netlist);
+    const spice::DcSolution dc = sim.solve_dc();
+    // VOUT branch current is positive when flowing from "out" through the
+    // sink to ground (PMOS robust driver pushes current into the sink);
+    // the NMOS mirror *pulls* current out of the sink, flipping the sign.
+    return std::abs(netlist.voltage_source("VOUT").branch_current(dc.unknowns()));
+}
+
+double calibrate_driver_r1(double target_amps, double vdd) {
+    if (target_amps <= 0.0) throw std::invalid_argument("calibrate_driver_r1: target <= 0");
+    double lo = 1e5, hi = 1e8;  // amplitude decreases monotonically with R1
+    for (int iter = 0; iter < 60; ++iter) {
+        const double mid = std::sqrt(lo * hi);  // geometric bisection
+        CurrentDriverConfig config;
+        config.vdd = vdd;
+        config.r1 = mid;
+        config.switch_enabled = false;
+        spice::Netlist netlist = build_current_driver(config);
+        const double amp = measure_driver_amplitude_dc(netlist);
+        if (amp > target_amps) {
+            lo = mid;
+        } else {
+            hi = mid;
+        }
+    }
+    return std::sqrt(lo * hi);
+}
+
+}  // namespace snnfi::circuits

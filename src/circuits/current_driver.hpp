@@ -1,0 +1,61 @@
+// SNN input current drivers.
+//
+// Unsecured driver (paper Fig. 5a): resistor-programmed NMOS current mirror
+// whose output amplitude tracks VDD — the vulnerability behind Attack 1/5.
+// Robust driver (paper Fig. 9b): op-amp regulated PMOS mirror referenced to
+// VRef, making the output amplitude independent of VDD (defense §V-A).
+#pragma once
+
+#include "spice/netlist.hpp"
+
+namespace snnfi::circuits {
+
+struct CurrentDriverConfig {
+    double vdd = 1.0;
+    double r1 = 3.4e6;            ///< programming resistor [ohm]
+    double mirror_w_over_l = 4.0;
+    double switch_w_over_l = 8.0;
+    /// Control-voltage spike train driving the MN1 switch.
+    double vctr_high = 1.0;
+    double vctr_width = 25e-9;
+    double vctr_period = 50e-9;
+    bool switch_enabled = true;   ///< false: static (always-on) output
+    /// Output terminal voltage during characterisation. The NMOS mirror
+    /// needs drain headroom, so the ideal sink sits at a mid-integration
+    /// membrane voltage rather than 0 V.
+    double load_voltage = 0.3;
+};
+
+/// Nodes: vdd, gate (mirror gate), out (current delivered into VOUT sink).
+/// Devices: VDD, R1, MN2 (diode), MN3 (mirror out), MN1 (switch), VCTR,
+/// VOUT (ammeter/sink). Output current = -I(VOUT) branch current into sink.
+spice::Netlist build_current_driver(const CurrentDriverConfig& config);
+
+struct RobustDriverConfig {
+    double vdd = 1.0;
+    double vref = 0.65;           ///< bandgap-derived reference [V]
+    double r1 = 3.25e6;           ///< Iout = vref / r1
+    double opamp_gain = 200.0;  ///< enough for <0.2% regulation error
+    double mirror_w_over_l = 8.0;
+    double mirror_length_multiple = 4.0;  ///< long channel per paper §V-A
+    double switch_w_over_l = 8.0;
+    double vctr_high = 1.0;
+    double vctr_width = 25e-9;
+    double vctr_period = 50e-9;
+    bool switch_enabled = true;
+    double load_voltage = 0.3;
+};
+
+/// Nodes: vdd, vref, fb (R1 top = op-amp + input), pgate, out.
+/// Devices: VDD, VREF, OP1, MP1, MP2, R1, MN1 (switch), VCTR, VOUT.
+spice::Netlist build_robust_driver(const RobustDriverConfig& config);
+
+/// Measures the steady-state output current amplitude [A] of either driver
+/// netlist at its present parameters (switch held on, DC solve).
+double measure_driver_amplitude_dc(spice::Netlist& netlist);
+
+/// Picks R1 for the unsecured driver so the output is `target` amps at
+/// `vdd` (bisection on DC solves).
+double calibrate_driver_r1(double target_amps = 200e-9, double vdd = 1.0);
+
+}  // namespace snnfi::circuits

@@ -1,0 +1,53 @@
+#include "circuits/dummy_neuron.hpp"
+
+#include <stdexcept>
+
+#include "spice/engine.hpp"
+
+namespace snnfi::circuits {
+
+double measure_dummy_spike_period(const DummyNeuronConfig& config, double vdd) {
+    spice::Netlist netlist;
+    if (config.kind == NeuronKind::kAxonHillock) {
+        AxonHillockConfig cfg;
+        cfg.vdd = vdd;
+        cfg.iin_amplitude = config.iin_amplitude;
+        cfg.iin_width = config.iin_width;
+        cfg.iin_period = config.iin_period;
+        netlist = build_axon_hillock(cfg);
+    } else {
+        VampIfConfig cfg;
+        cfg.vdd = vdd;
+        cfg.iin_amplitude = config.iin_amplitude;
+        cfg.iin_width = config.iin_width;
+        cfg.iin_period = config.iin_period;
+        netlist = build_vamp_if(cfg);
+    }
+    spice::Simulator sim(netlist);
+    const auto result = sim.run_transient(config.sim_window, config.dt);
+    const auto spikes = result.crossings("V(vout)", 0.5 * vdd, +1);
+    if (spikes.size() < 3)
+        throw std::runtime_error("dummy neuron produced fewer than 3 spikes");
+    return (spikes.back() - spikes[1]) / static_cast<double>(spikes.size() - 2);
+}
+
+std::vector<DummyNeuronReading> dummy_neuron_sweep(const DummyNeuronConfig& config,
+                                                   const std::vector<double>& vdds,
+                                                   double nominal_vdd) {
+    const double nominal_period = measure_dummy_spike_period(config, nominal_vdd);
+    const double nominal_count = config.sampling_window / nominal_period;
+
+    std::vector<DummyNeuronReading> readings;
+    readings.reserve(vdds.size());
+    for (double vdd : vdds) {
+        DummyNeuronReading r;
+        r.vdd = vdd;
+        r.spike_period = measure_dummy_spike_period(config, vdd);
+        r.spike_count = config.sampling_window / r.spike_period;
+        r.deviation_pct = 100.0 * (r.spike_count - nominal_count) / nominal_count;
+        readings.push_back(r);
+    }
+    return readings;
+}
+
+}  // namespace snnfi::circuits

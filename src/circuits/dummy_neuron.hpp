@@ -1,0 +1,45 @@
+// Dummy-neuron VDD-change sensor cell (paper Fig. 10b/10c, defense §V-C).
+//
+// One extra neuron per layer receives a *fixed* input spike train (200 nA,
+// 100 ns width, 200 ns period) that does not depend on upstream activity.
+// Under nominal conditions its output spike count over a sampling window is
+// a known constant; local VDD manipulation shifts the count, and a >= 10%
+// deviation flags an attack.
+//
+// Note on windows: the paper samples 100 ms of wall-clock circuit time.
+// Simulating 100 ms at nanosecond resolution is wasteful, so we measure the
+// steady-state output spike *period* over a few tens of spikes and report
+// the equivalent count N(window) = window / period; the deviation ratio is
+// window-invariant (documented in EXPERIMENTS.md).
+#pragma once
+
+#include "circuits/characterization.hpp"
+
+namespace snnfi::circuits {
+
+struct DummyNeuronConfig {
+    NeuronKind kind = NeuronKind::kAxonHillock;
+    double iin_amplitude = 200e-9;
+    double iin_width = 100e-9;
+    double iin_period = 200e-9;
+    double sampling_window = 100e-3;  ///< reporting window (paper: 100 ms)
+    double sim_window = 120e-6;       ///< transient used to estimate the rate
+    double dt = 2.5e-9;
+};
+
+struct DummyNeuronReading {
+    double vdd = 0.0;
+    double spike_period = 0.0;  ///< steady-state output period [s]
+    double spike_count = 0.0;   ///< equivalent count over sampling_window
+    double deviation_pct = 0.0; ///< vs the nominal-VDD count
+};
+
+/// Measures the dummy cell's output spike period at one supply voltage.
+double measure_dummy_spike_period(const DummyNeuronConfig& config, double vdd);
+
+/// Full VDD sweep with deviations referenced to `nominal_vdd` (Fig. 10c).
+std::vector<DummyNeuronReading> dummy_neuron_sweep(const DummyNeuronConfig& config,
+                                                   const std::vector<double>& vdds,
+                                                   double nominal_vdd = 1.0);
+
+}  // namespace snnfi::circuits

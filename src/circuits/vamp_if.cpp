@@ -1,0 +1,72 @@
+#include "circuits/vamp_if.hpp"
+
+#include "spice/ptm65.hpp"
+
+namespace snnfi::circuits {
+
+spice::Netlist build_vamp_if(const VampIfConfig& config) {
+    using spice::SourceSpec;
+    using spice::ptm65::nmos;
+    using spice::ptm65::pmos;
+    spice::Netlist netlist;
+
+    netlist.add_voltage_source("VDD", VampIfNodes::kVdd, "0", SourceSpec::dc(config.vdd));
+
+    if (config.input_enabled) {
+        spice::PulseSpec pulse;
+        pulse.v1 = 0.0;
+        pulse.v2 = config.iin_amplitude;
+        pulse.rise = 1e-9;
+        pulse.fall = 1e-9;
+        pulse.width = config.iin_width;
+        pulse.period = config.iin_period;
+        netlist.add_current_source("IIN", "0", VampIfNodes::kVmem, SourceSpec(pulse));
+    }
+
+    netlist.add_capacitor("CMEM", VampIfNodes::kVmem, "0", config.cmem);
+
+    // Membrane leak: MN4 biased in subthreshold by Vlk = 0.2 V.
+    netlist.add_voltage_source("VLK", "vlk", "0", SourceSpec::dc(config.vlk));
+    netlist.add_mosfet("MN4", VampIfNodes::kVmem, "vlk", "0",
+                       nmos(config.leak_w_over_l));
+
+    // Threshold voltage: resistive division of VDD (scales linearly with
+    // VDD — the vulnerability of paper Fig. 6a), or an external reference
+    // when the bandgap defense is active.
+    if (config.use_external_vthr) {
+        netlist.add_voltage_source("VTHR", VampIfNodes::kVthr, "0",
+                                   SourceSpec::dc(config.external_vthr));
+    } else {
+        const double r_top = config.divider_total_ohms * (1.0 - config.divider_ratio);
+        const double r_bot = config.divider_total_ohms * config.divider_ratio;
+        netlist.add_resistor("RD1", VampIfNodes::kVdd, VampIfNodes::kVthr, r_top);
+        netlist.add_resistor("RD2", VampIfNodes::kVthr, "0", r_bot);
+    }
+
+    // Comparator: out high when Vmem > Vthr.
+    add_ota(netlist, "OTA", VampIfNodes::kVmem, VampIfNodes::kVthr,
+            VampIfNodes::kCompOut, VampIfNodes::kVdd, config.ota);
+
+    add_inverter(netlist, "INV1", VampIfNodes::kCompOut, VampIfNodes::kInv1Out,
+                 VampIfNodes::kVdd);
+    add_inverter(netlist, "INV2", VampIfNodes::kInv1Out, VampIfNodes::kInv2Out,
+                 VampIfNodes::kVdd);
+
+    // Spike pull-up: INV1 output active-low during the spike.
+    netlist.add_mosfet("MPU", VampIfNodes::kVmem, VampIfNodes::kInv1Out,
+                       VampIfNodes::kVdd, pmos(config.pullup_w_over_l));
+
+    // Refractory circuit: MPK charges Ck during the spike; MNRF leaks Ck
+    // slowly (bias-limited); MN1 resets/holds the membrane while Ck is high.
+    netlist.add_mosfet("MPK", VampIfNodes::kVk, VampIfNodes::kInv1Out,
+                       VampIfNodes::kVdd, pmos(config.ck_charge_w_over_l));
+    netlist.add_capacitor("CK", VampIfNodes::kVk, "0", config.ck);
+    netlist.add_voltage_source("VRF", "vrf", "0", SourceSpec::dc(config.vrf));
+    netlist.add_mosfet("MNRF", VampIfNodes::kVk, "vrf", "0", nmos(1.0));
+    netlist.add_mosfet("MN1", VampIfNodes::kVmem, VampIfNodes::kVk, "0",
+                       nmos(config.reset_w_over_l));
+
+    return netlist;
+}
+
+}  // namespace snnfi::circuits

@@ -1,0 +1,56 @@
+// Voltage-amplifier integrate-and-fire neuron (van Schaik), paper Fig. 2b.
+//
+// A 5T OTA compares the membrane voltage against an explicit threshold Vthr
+// (derived from VDD by a resistive divider — the attack surface studied in
+// the paper). On crossing: the first inverter's low output pulls the
+// membrane up to VDD through a PMOS (the visible spike), the second
+// inverter charges Ck, and Ck's node voltage drives the reset transistor
+// MN1, holding the membrane low until Ck leaks away through a bias-limited
+// NMOS (the explicit refractory period).
+#pragma once
+
+#include "circuits/blocks.hpp"
+#include "spice/netlist.hpp"
+
+namespace snnfi::circuits {
+
+struct VampIfConfig {
+    double vdd = 1.0;             ///< supply [V]
+    double cmem = 10e-12;         ///< membrane capacitance [F]
+    double ck = 20e-12;           ///< refractory capacitance [F]
+    double iin_amplitude = 200e-9;///< input spike amplitude [A]
+    double iin_width = 25e-9;     ///< input spike width [s]
+    double iin_period = 50e-9;    ///< 25 ns width + 25 ns gap
+    double vlk = 0.20;            ///< membrane leak bias on MN4 [V]
+    double vrf = 0.37;            ///< refractory leak bias [V]
+    double leak_w_over_l = 2.0;   ///< MN4 sizing (subthreshold leak)
+    double reset_w_over_l = 16.0; ///< MN1 sizing (must win against pull-up)
+    double pullup_w_over_l = 4.0; ///< spike pull-up PMOS
+    double ck_charge_w_over_l = 32.0;  ///< fast Ck charge: repeatable refractory
+    /// Vthr divider: vthr = vdd * divider_ratio (0.5 nominal -> 0.5 V @ 1 V).
+    double divider_ratio = 0.5;
+    double divider_total_ohms = 2e6;
+    /// When set, Vthr comes from a fixed reference instead of the divider
+    /// (bandgap defense, paper §V-B1).
+    bool use_external_vthr = false;
+    double external_vthr = 0.5;
+    OtaConfig ota;
+    bool input_enabled = true;
+};
+
+struct VampIfNodes {
+    static constexpr const char* kVdd = "vdd";
+    static constexpr const char* kVmem = "vmem";
+    static constexpr const char* kVthr = "vthr";
+    static constexpr const char* kCompOut = "comp";
+    static constexpr const char* kInv1Out = "x1";
+    static constexpr const char* kInv2Out = "vout";
+    static constexpr const char* kVk = "vk";
+};
+
+/// Builds the complete neuron. Device names: VDD, IIN, CMEM, CK, RD1, RD2
+/// (divider), OTA_*, INV1_*, INV2_*, MPU (pull-up), MPK (Ck charge),
+/// MNRF (refractory leak), MN1 (reset), MN4 (leak), VLK, VRF.
+spice::Netlist build_vamp_if(const VampIfConfig& config);
+
+}  // namespace snnfi::circuits

@@ -1,0 +1,68 @@
+// Experiment registry: one entry per paper figure / reported result.
+//
+// Each experiment regenerates the rows/series of its figure and returns a
+// ResultTable annotated with the paper's reference values. Bench binaries
+// are thin wrappers over this registry; EXPERIMENTS.md is written from its
+// output.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/table.hpp"
+
+namespace snnfi::core {
+
+struct ExperimentOptions {
+    // SNN-side knobs.
+    std::size_t train_samples = 1000;
+    std::size_t n_neurons = 100;
+    std::uint64_t data_seed = 42;
+    std::uint64_t network_seed = 7;
+    std::size_t max_workers = 0;      ///< 0 = hardware concurrency
+    std::string mnist_dir = "data/mnist";
+    /// Quick mode shrinks workloads (fewer samples/neurons, coarser grids)
+    /// so integration tests finish in seconds.
+    bool quick = false;
+
+    std::size_t samples() const { return quick ? 300 : train_samples; }
+    std::size_t neurons() const { return quick ? 50 : n_neurons; }
+};
+
+struct Experiment {
+    std::string id;          ///< e.g. "fig6a"
+    std::string title;
+    std::string description;
+    std::function<util::ResultTable(const ExperimentOptions&)> run;
+};
+
+/// All registered experiments, in paper order.
+const std::vector<Experiment>& experiment_registry();
+
+/// Lookup by id; throws std::invalid_argument for unknown ids.
+const Experiment& find_experiment(const std::string& id);
+
+// --- individual experiments (used directly by the bench binaries) --------
+util::ResultTable run_fig3_axon_waveforms(const ExperimentOptions& options);
+util::ResultTable run_fig4_if_waveforms(const ExperimentOptions& options);
+util::ResultTable run_fig5b_driver_amplitude(const ExperimentOptions& options);
+util::ResultTable run_fig5c_tts_vs_amplitude(const ExperimentOptions& options);
+util::ResultTable run_fig6a_threshold_vs_vdd(const ExperimentOptions& options);
+util::ResultTable run_fig6bc_tts_vs_vdd(const ExperimentOptions& options);
+util::ResultTable run_baseline_accuracy(const ExperimentOptions& options);
+util::ResultTable run_fig7b_attack1(const ExperimentOptions& options);
+util::ResultTable run_fig8a_attack2(const ExperimentOptions& options);
+util::ResultTable run_fig8b_attack3(const ExperimentOptions& options);
+util::ResultTable run_fig8c_attack4(const ExperimentOptions& options);
+util::ResultTable run_fig9a_attack5(const ExperimentOptions& options);
+util::ResultTable run_fig9b_robust_driver(const ExperimentOptions& options);
+util::ResultTable run_fig9c_sizing(const ExperimentOptions& options);
+util::ResultTable run_fig10a_comparator(const ExperimentOptions& options);
+util::ResultTable run_fig10c_dummy_detector(const ExperimentOptions& options);
+util::ResultTable run_defense_accuracy(const ExperimentOptions& options);
+util::ResultTable run_defense_overheads(const ExperimentOptions& options);
+util::ResultTable run_ablation_inference_only(const ExperimentOptions& options);
+util::ResultTable run_ablation_threshold_semantics(const ExperimentOptions& options);
+
+}  // namespace snnfi::core

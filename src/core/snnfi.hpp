@@ -1,0 +1,35 @@
+// snnfi — power-oriented fault injection attacks on spiking neural networks.
+//
+// Umbrella header for the public API. Reproduction of:
+//   "Analysis of Power-Oriented Fault Injection Attacks on Spiking Neural
+//    Networks", DATE 2022 (arXiv:2204.04768).
+//
+// Layering (each usable on its own):
+//   snnfi::util      — PRNG, stats, tables, CLI
+//   snnfi::spice     — analog circuit simulator (MNA + EKV MOSFET)
+//   snnfi::circuits  — neuron/driver netlists + characterisation
+//   snnfi::snn       — Diehl&Cook SNN training framework
+//   snnfi::data      — synthetic digits + MNIST IDX loader
+//   snnfi::attack    — fault models, VDD calibration, Attacks 1-5
+//   snnfi::defense   — hardened circuits evaluation, detector, overheads
+//   snnfi::core      — experiment registry (one entry per paper figure)
+#pragma once
+
+#include "attack/calibration.hpp"    // IWYU pragma: export
+#include "attack/fault_model.hpp"    // IWYU pragma: export
+#include "attack/scenarios.hpp"      // IWYU pragma: export
+#include "circuits/axon_hillock.hpp" // IWYU pragma: export
+#include "circuits/characterization.hpp"  // IWYU pragma: export
+#include "circuits/current_driver.hpp"    // IWYU pragma: export
+#include "circuits/dummy_neuron.hpp" // IWYU pragma: export
+#include "circuits/vamp_if.hpp"      // IWYU pragma: export
+#include "core/experiments.hpp"      // IWYU pragma: export
+#include "data/idx.hpp"              // IWYU pragma: export
+#include "data/synthetic_digits.hpp" // IWYU pragma: export
+#include "defense/defenses.hpp"      // IWYU pragma: export
+#include "defense/detector.hpp"      // IWYU pragma: export
+#include "defense/overhead.hpp"      // IWYU pragma: export
+#include "snn/network.hpp"           // IWYU pragma: export
+#include "snn/trainer.hpp"           // IWYU pragma: export
+#include "spice/engine.hpp"          // IWYU pragma: export
+#include "util/table.hpp"            // IWYU pragma: export

@@ -1,0 +1,150 @@
+#include "defense/overhead.hpp"
+
+#include "circuits/area_power.hpp"
+#include "circuits/comparator_ah.hpp"
+#include "spice/engine.hpp"
+#include "util/stats.hpp"
+
+namespace snnfi::defense {
+
+namespace {
+
+double neuron_power(const circuits::Characterizer& circuits, bool comparator_variant,
+                    double sizing_ratio = 1.0) {
+    using namespace circuits;
+    const auto& base_cfg = circuits.config().axon_hillock;
+    spice::Netlist netlist;
+    if (comparator_variant) {
+        ComparatorAhConfig cfg;
+        cfg.base = base_cfg;
+        netlist = build_comparator_ah(cfg);
+    } else {
+        AxonHillockConfig cfg = base_cfg;
+        if (sizing_ratio != 1.0) {
+            cfg.inv1.pmos_w_over_l /= sizing_ratio;
+            cfg.inv1.pmos_length_multiple = sizing_ratio;
+        }
+        netlist = build_axon_hillock(cfg);
+    }
+    spice::Simulator sim(netlist);
+    const auto result = sim.run_transient(circuits.config().ah_window,
+                                          circuits.config().ah_dt);
+    double power = supply_power(result, "VDD");
+    if (comparator_variant) power += kOpAmpQuiescentPower;  // bandgap bias share
+    return power;
+}
+
+double neuron_area(const circuits::Characterizer& circuits, bool comparator_variant,
+                   double sizing_ratio = 1.0) {
+    using namespace circuits;
+    const auto& base_cfg = circuits.config().axon_hillock;
+    spice::Netlist netlist;
+    if (comparator_variant) {
+        ComparatorAhConfig cfg;
+        cfg.base = base_cfg;
+        netlist = build_comparator_ah(cfg);
+    } else {
+        AxonHillockConfig cfg = base_cfg;
+        if (sizing_ratio != 1.0) {
+            cfg.inv1.pmos_w_over_l /= sizing_ratio;
+            cfg.inv1.pmos_length_multiple = sizing_ratio;
+        }
+        netlist = build_axon_hillock(cfg);
+    }
+    return estimate_area(netlist).total();
+}
+
+OverheadReport fill(std::string name, double p0, double p1, double a0, double a1,
+                    double paper_power, double paper_area) {
+    OverheadReport report;
+    report.defense = std::move(name);
+    report.baseline_power_w = p0;
+    report.secured_power_w = p1;
+    report.power_overhead_pct = p0 > 0.0 ? snnfi::util::percent_change(p1, p0) : 0.0;
+    report.baseline_area_um2 = a0;
+    report.secured_area_um2 = a1;
+    report.area_overhead_pct = a0 > 0.0 ? snnfi::util::percent_change(a1, a0) : 0.0;
+    report.paper_power_overhead_pct = paper_power;
+    report.paper_area_note = paper_area;
+    return report;
+}
+
+}  // namespace
+
+OverheadReport OverheadAnalyzer::robust_driver() const {
+    using namespace circuits;
+    const double p0 = circuits_->measure_driver_power(false, 1.0);
+    const double p1 = circuits_->measure_driver_power(true, 1.0);
+
+    // The paper assesses driver area against the full driver+neuron cell
+    // ("the neuron capacitors occupy the majority of the area", §V-A).
+    CurrentDriverConfig unsecured = circuits_->config().driver;
+    unsecured.switch_enabled = true;
+    spice::Netlist unsecured_netlist = build_current_driver(unsecured);
+    RobustDriverConfig robust = circuits_->config().robust_driver;
+    spice::Netlist robust_netlist = build_robust_driver(robust);
+    spice::Netlist neuron = build_axon_hillock(circuits_->config().axon_hillock);
+    const double neuron_area = estimate_area(neuron).total();
+    const double a0 = estimate_area(unsecured_netlist).total() + neuron_area;
+    const double a1 = estimate_area(robust_netlist).total() + neuron_area;
+    return fill("robust-driver", p0, p1, a0, a1, 3.0, 0.0);
+}
+
+OverheadReport OverheadAnalyzer::transistor_sizing(double sizing_ratio) const {
+    const double p0 = neuron_power(*circuits_, false);
+    const double p1 = neuron_power(*circuits_, false, sizing_ratio);
+    const double a0 = neuron_area(*circuits_, false);
+    const double a1 = neuron_area(*circuits_, false, sizing_ratio);
+    return fill("mp1-sizing", p0, p1, a0, a1, 25.0, 0.0);
+}
+
+OverheadReport OverheadAnalyzer::comparator_ah() const {
+    const double p0 = neuron_power(*circuits_, false);
+    const double p1 = neuron_power(*circuits_, true);
+    const double a0 = neuron_area(*circuits_, false);
+    const double a1 = neuron_area(*circuits_, true);
+    return fill("comparator-ah", p0, p1, a0, a1, 11.0, 0.0);
+}
+
+OverheadReport OverheadAnalyzer::bandgap(std::size_t total_neurons) const {
+    using namespace circuits;
+    // SNN of I&F neurons sharing one bandgap instance.
+    VampIfConfig cfg = circuits_->config().vamp_if;
+    spice::Netlist neuron = build_vamp_if(cfg);
+    const double neuron_area_um2 = estimate_area(neuron).total();
+    const double neuron_power_w =
+        circuits_->measure_neuron_power(NeuronKind::kVampIf, 1.0);
+
+    const BandgapCost cost;
+    const double snn_area = neuron_area_um2 * static_cast<double>(total_neurons);
+    const double snn_power = neuron_power_w * static_cast<double>(total_neurons);
+    return fill("bandgap-vthr", snn_power, snn_power + cost.power_w, snn_area,
+                snn_area + cost.area_um2, 0.0, 65.0);
+}
+
+OverheadReport OverheadAnalyzer::dummy_neuron(std::size_t neurons_per_layer) const {
+    using namespace circuits;
+    spice::Netlist neuron = build_axon_hillock(circuits_->config().axon_hillock);
+    CurrentDriverConfig driver_cfg = circuits_->config().driver;
+    spice::Netlist driver = build_current_driver(driver_cfg);
+    const double cell_area = estimate_area(neuron).total() + estimate_area(driver).total();
+    const double cell_power =
+        circuits_->measure_neuron_power(NeuronKind::kAxonHillock, 1.0) +
+        circuits_->measure_driver_power(false, 1.0);
+
+    const double layer_area = estimate_area(neuron).total() *
+                              static_cast<double>(neurons_per_layer);
+    const double layer_power =
+        circuits_->measure_neuron_power(NeuronKind::kAxonHillock, 1.0) *
+        static_cast<double>(neurons_per_layer);
+    return fill("dummy-detector", layer_power, layer_power + cell_power, layer_area,
+                layer_area + cell_area, 1.0, 1.0);
+}
+
+std::vector<OverheadReport> OverheadAnalyzer::all(std::size_t total_neurons,
+                                                  std::size_t neurons_per_layer) const {
+    return {robust_driver(), transistor_sizing(32.0), comparator_ah(),
+            bandgap(total_neurons), dummy_neuron(neurons_per_layer)};
+}
+
+}  // namespace snnfi::defense

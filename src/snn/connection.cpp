@@ -1,0 +1,99 @@
+#include "snn/connection.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace snnfi::snn {
+
+DenseConnection::DenseConnection(std::size_t n_pre, std::size_t n_post,
+                                 StdpParams params, float norm_total, util::Rng& rng,
+                                 float init_max)
+    : weights_(n_pre, n_post), stdp_(params), norm_total_(norm_total) {
+    if (n_pre == 0 || n_post == 0)
+        throw std::invalid_argument("DenseConnection: empty dimension");
+    trace_decay_ = std::exp(-params.dt_ms / params.trace_tau_ms);
+    for (float& w : weights_.flat())
+        w = static_cast<float>(rng.uniform()) * init_max;
+    trace_pre_.assign(n_pre, 0.0f);
+    trace_post_.assign(n_post, 0.0f);
+    if (norm_total_ > 0.0f) normalize();
+}
+
+void DenseConnection::propagate(std::span<const std::uint32_t> active_pre,
+                                std::span<float> out) const {
+    if (out.size() != n_post())
+        throw std::invalid_argument("DenseConnection::propagate: size mismatch");
+    for (const std::uint32_t pre : active_pre) {
+        const auto row = weights_.row(pre);
+        for (std::size_t j = 0; j < row.size(); ++j) out[j] += row[j];
+    }
+}
+
+void DenseConnection::learn(std::span<const std::uint32_t> active_pre,
+                            std::span<const std::uint8_t> post_spiked) {
+    if (!learning_enabled_) return;
+    // Decay traces first (BindsNET order: decay, then event updates).
+    for (float& t : trace_pre_) t *= trace_decay_;
+    for (float& t : trace_post_) t *= trace_decay_;
+
+    // Pre-synaptic events: depression proportional to the post trace.
+    for (const std::uint32_t pre : active_pre) {
+        auto row = weights_.row(pre);
+        for (std::size_t j = 0; j < row.size(); ++j) {
+            row[j] = std::max(stdp_.wmin, row[j] - stdp_.nu_pre * trace_post_[j]);
+        }
+        trace_pre_[pre] = 1.0f;
+    }
+    // Post-synaptic events: potentiation proportional to the pre trace.
+    for (std::size_t j = 0; j < post_spiked.size(); ++j) {
+        if (!post_spiked[j]) continue;
+        for (std::size_t i = 0; i < n_pre(); ++i) {
+            float& w = weights_(i, j);
+            w = std::min(stdp_.wmax, w + stdp_.nu_post * trace_pre_[i]);
+        }
+        trace_post_[j] = 1.0f;
+    }
+}
+
+void DenseConnection::normalize() {
+    if (norm_total_ <= 0.0f) return;
+    for (std::size_t j = 0; j < n_post(); ++j) {
+        const float total = weights_.column_sum(j);
+        if (total > 0.0f) weights_.scale_column(j, norm_total_ / total);
+    }
+}
+
+void DenseConnection::reset_traces() {
+    trace_pre_.assign(trace_pre_.size(), 0.0f);
+    trace_post_.assign(trace_post_.size(), 0.0f);
+}
+
+void OneToOneConnection::propagate(std::span<const std::uint8_t> pre_spiked,
+                                   std::span<float> out) const {
+    if (pre_spiked.size() != n_ || out.size() != n_)
+        throw std::invalid_argument("OneToOneConnection::propagate: size mismatch");
+    for (std::size_t i = 0; i < n_; ++i) {
+        if (pre_spiked[i]) out[i] += weight_;
+    }
+}
+
+void LateralInhibitionConnection::propagate(std::span<const std::uint8_t> pre_spiked,
+                                            std::span<float> out) const {
+    if (pre_spiked.size() != n_ || out.size() != n_)
+        throw std::invalid_argument(
+            "LateralInhibitionConnection::propagate: size mismatch");
+    std::size_t total_spikes = 0;
+    for (const std::uint8_t s : pre_spiked) total_spikes += s;
+    if (total_spikes == 0) return;
+    // Uniform weights: each post neuron receives w * (total minus its own
+    // pre partner's spike).
+    const float w = weight_;
+    for (std::size_t i = 0; i < n_; ++i) {
+        const float contributions =
+            static_cast<float>(total_spikes) - static_cast<float>(pre_spiked[i]);
+        out[i] += w * contributions;
+    }
+}
+
+}  // namespace snnfi::snn

@@ -1,0 +1,37 @@
+#include "snn/encoding.hpp"
+
+#include <algorithm>
+
+namespace snnfi::snn {
+
+PoissonEncoder::PoissonEncoder(PoissonEncoderConfig config) : config_(config) {}
+
+void PoissonEncoder::set_image(std::span<const float> image) {
+    probabilities_.assign(image.size(), 0.0f);
+    active_pixels_.clear();
+    const double p_full = config_.max_rate_hz * config_.dt_ms * 1e-3;
+    for (std::size_t i = 0; i < image.size(); ++i) {
+        const float intensity = std::clamp(image[i], 0.0f, 1.0f);
+        if (intensity <= 0.0f) continue;
+        probabilities_[i] = static_cast<float>(
+            std::min(1.0, static_cast<double>(intensity) * p_full));
+        active_pixels_.push_back(static_cast<std::uint32_t>(i));
+    }
+}
+
+void PoissonEncoder::step(util::Rng& rng, std::vector<std::uint32_t>& out) const {
+    out.clear();
+    for (const std::uint32_t pixel : active_pixels_) {
+        if (rng.uniform() < probabilities_[pixel]) out.push_back(pixel);
+    }
+}
+
+std::vector<std::vector<std::uint32_t>> encode_raster(const PoissonEncoder& encoder,
+                                                      std::size_t steps,
+                                                      util::Rng& rng) {
+    std::vector<std::vector<std::uint32_t>> raster(steps);
+    for (auto& row : raster) encoder.step(rng, row);
+    return raster;
+}
+
+}  // namespace snnfi::snn

@@ -1,0 +1,49 @@
+// Poisson rate encoding of images into spike trains (BindsNET-style).
+//
+// Pixel intensity in [0,1] maps to a firing rate of intensity*max_rate_hz;
+// each simulation step of dt draws an independent Bernoulli with
+// p = rate*dt. Only pixels with non-zero intensity are visited.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/random.hpp"
+
+namespace snnfi::snn {
+
+struct PoissonEncoderConfig {
+    double max_rate_hz = 128.0;  ///< rate of a full-intensity pixel
+    double dt_ms = 1.0;          ///< simulation step
+};
+
+/// Stateless per-step spike generator over one image.
+class PoissonEncoder {
+public:
+    explicit PoissonEncoder(PoissonEncoderConfig config = {});
+
+    /// Binds the encoder to an image (intensities in [0,1]). Pixels outside
+    /// [0,1] are clamped. Resets internal step bookkeeping.
+    void set_image(std::span<const float> image);
+
+    /// Samples the active input indices for one timestep into `out`
+    /// (cleared first). Deterministic given the Rng stream.
+    void step(util::Rng& rng, std::vector<std::uint32_t>& out) const;
+
+    std::size_t size() const noexcept { return probabilities_.size(); }
+
+private:
+    PoissonEncoderConfig config_;
+    /// Per-pixel Bernoulli probability; parallel array of active indices.
+    std::vector<float> probabilities_;
+    std::vector<std::uint32_t> active_pixels_;  ///< pixels with p > 0
+};
+
+/// Convenience: full raster for `steps` timesteps (used by tests/examples;
+/// the trainer streams steps instead of materialising rasters).
+std::vector<std::vector<std::uint32_t>> encode_raster(const PoissonEncoder& encoder,
+                                                      std::size_t steps,
+                                                      util::Rng& rng);
+
+}  // namespace snnfi::snn

@@ -1,0 +1,72 @@
+#include "snn/network.hpp"
+
+#include <algorithm>
+
+namespace snnfi::snn {
+
+DiehlCookNetwork::DiehlCookNetwork(DiehlCookConfig config, std::uint64_t seed)
+    : config_(config), rng_(seed), encoder_(config.encoder),
+      exc_to_inh_(config.n_neurons, config.exc_weight),
+      inh_to_exc_(config.n_neurons, config.inh_weight) {
+    excitatory_ = std::make_unique<DiehlCookLayer>(config_.n_neurons,
+                                                   config_.excitatory);
+    inhibitory_ = std::make_unique<LifLayer>(config_.n_neurons, config_.inhibitory);
+    input_to_exc_ = std::make_unique<DenseConnection>(
+        config_.n_input, config_.n_neurons, config_.stdp, config_.norm_total, rng_);
+
+    exc_input_.resize(config_.n_neurons);
+    inh_input_.resize(config_.n_neurons);
+}
+
+SampleActivity DiehlCookNetwork::run_sample(std::span<const float> image) {
+    if (image.size() != config_.n_input)
+        throw std::invalid_argument("run_sample: image size mismatch");
+
+    encoder_.set_image(image);
+    excitatory_->reset_state();
+    inhibitory_->reset_state();
+    input_to_exc_->reset_traces();
+
+    SampleActivity activity;
+    activity.exc_counts.assign(config_.n_neurons, 0);
+    exc_spiked_.assign(config_.n_neurons, 0);
+    inh_spiked_.assign(config_.n_neurons, 0);
+
+    for (std::size_t step = 0; step < config_.steps_per_sample; ++step) {
+        encoder_.step(rng_, active_inputs_);
+
+        // Input + lateral inhibition (from the previous step's IL spikes).
+        std::fill(exc_input_.begin(), exc_input_.end(), 0.0f);
+        input_to_exc_->propagate(active_inputs_, exc_input_);
+        if (driver_gain_ != 1.0f) {
+            for (float& x : exc_input_) x *= driver_gain_;
+        }
+        inh_to_exc_.propagate(inh_spiked_, exc_input_);
+
+        const std::size_t exc_spikes = excitatory_->step(exc_input_, exc_spiked_);
+        activity.total_exc_spikes += exc_spikes;
+
+        // STDP on the learned input connection.
+        input_to_exc_->learn(active_inputs_, exc_spiked_);
+
+        // EL -> IL (same-step delivery keeps the inhibition loop tight).
+        std::fill(inh_input_.begin(), inh_input_.end(), 0.0f);
+        exc_to_inh_.propagate(exc_spiked_, inh_input_);
+        activity.total_inh_spikes += inhibitory_->step(inh_input_, inh_spiked_);
+
+        if (exc_spikes > 0) {
+            for (std::size_t i = 0; i < config_.n_neurons; ++i)
+                activity.exc_counts[i] += exc_spiked_[i];
+        }
+    }
+    if (input_to_exc_->learning_enabled()) input_to_exc_->normalize();
+    return activity;
+}
+
+void DiehlCookNetwork::clear_faults() {
+    excitatory_->clear_faults();
+    inhibitory_->clear_faults();
+    driver_gain_ = 1.0f;
+}
+
+}  // namespace snnfi::snn

@@ -1,0 +1,91 @@
+// The Diehl&Cook SNN (paper Fig. 7a): 784 Poisson inputs -> excitatory
+// layer (adaptive LIF, STDP-learned dense input) -> inhibitory layer
+// (one-to-one) -> lateral inhibition back onto the excitatory layer.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "snn/connection.hpp"
+#include "snn/encoding.hpp"
+#include "snn/nodes.hpp"
+
+namespace snnfi::snn {
+
+struct DiehlCookConfig {
+    std::size_t n_input = 784;
+    std::size_t n_neurons = 100;    ///< per layer (EL and IL)
+    float exc_weight = 22.5f;       ///< EL -> IL one-to-one
+    float inh_weight = -17.5f;      ///< IL -> EL lateral inhibition (BindsNET
+                                    ///< DiehlAndCook2015 default; graded)
+    float norm_total = 78.4f;       ///< input->EL per-neuron weight budget
+    StdpParams stdp;
+    DiehlCookParams excitatory;
+    LifParams inhibitory{.v_rest = -60.0f,
+                         .v_reset = -45.0f,
+                         .v_thresh = -40.0f,
+                         .tau_ms = 10.0f,
+                         .refrac_steps = 2,
+                         .dt_ms = 1.0f};
+    PoissonEncoderConfig encoder;
+    std::size_t steps_per_sample = 250;  ///< 250 ms at dt = 1 ms
+};
+
+/// One forward pass result for a sample.
+struct SampleActivity {
+    std::vector<std::uint32_t> exc_counts;  ///< spikes per EL neuron
+    std::size_t total_exc_spikes = 0;
+    std::size_t total_inh_spikes = 0;
+};
+
+class DiehlCookNetwork {
+public:
+    DiehlCookNetwork(DiehlCookConfig config, std::uint64_t seed);
+
+    const DiehlCookConfig& config() const noexcept { return config_; }
+    DiehlCookLayer& excitatory() noexcept { return *excitatory_; }
+    LifLayer& inhibitory() noexcept { return *inhibitory_; }
+    const DiehlCookLayer& excitatory() const noexcept { return *excitatory_; }
+    const LifLayer& inhibitory() const noexcept { return *inhibitory_; }
+    DenseConnection& input_connection() noexcept { return *input_to_exc_; }
+
+    void set_learning(bool enabled) { input_to_exc_->set_learning(enabled); }
+    bool learning_enabled() const { return input_to_exc_->learning_enabled(); }
+
+    /// Runs one sample (image intensities in [0,1]) for steps_per_sample
+    /// steps; returns the excitatory activity. Dynamic state and traces are
+    /// reset at the start; weights are normalised afterwards when learning.
+    SampleActivity run_sample(std::span<const float> image);
+
+    /// Scales the drive of *all* input current drivers (Attack 1 / Attack 5
+    /// theta corruption): multiplies the input->EL synaptic delivery.
+    void set_driver_gain(float gain) noexcept { driver_gain_ = gain; }
+    float driver_gain() const noexcept { return driver_gain_; }
+
+    /// Clears all neuron fault masks and the driver gain.
+    void clear_faults();
+
+    util::Rng& rng() noexcept { return rng_; }
+
+private:
+    DiehlCookConfig config_;
+    util::Rng rng_;
+    PoissonEncoder encoder_;
+    std::unique_ptr<DiehlCookLayer> excitatory_;
+    std::unique_ptr<LifLayer> inhibitory_;
+    std::unique_ptr<DenseConnection> input_to_exc_;
+    OneToOneConnection exc_to_inh_;
+    LateralInhibitionConnection inh_to_exc_;
+    float driver_gain_ = 1.0f;
+
+    // Scratch buffers reused across steps.
+    std::vector<std::uint32_t> active_inputs_;
+    std::vector<float> exc_input_;
+    std::vector<float> inh_input_;
+    std::vector<std::uint8_t> exc_spiked_;
+    std::vector<std::uint8_t> inh_spiked_;
+};
+
+}  // namespace snnfi::snn

@@ -1,0 +1,119 @@
+#include "snn/nodes.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace snnfi::snn {
+
+LifLayer::LifLayer(std::size_t n, LifParams params) : n_(n), params_(params) {
+    if (n == 0) throw std::invalid_argument("LifLayer: zero neurons");
+    if (params.tau_ms <= 0.0f) throw std::invalid_argument("LifLayer: tau <= 0");
+    decay_ = std::exp(-params.dt_ms / params.tau_ms);
+    v_.assign(n_, params_.v_rest);
+    refrac_.assign(n_, 0);
+    thresh_scale_.assign(n_, 1.0f);
+    input_gain_.assign(n_, 1.0f);
+}
+
+float LifLayer::effective_threshold(std::size_t i) const {
+    return params_.v_rest + (params_.v_thresh - params_.v_rest) * thresh_scale_[i];
+}
+
+std::size_t LifLayer::step(std::span<const float> input,
+                           std::vector<std::uint8_t>& spiked) {
+    if (input.size() != n_) throw std::invalid_argument("LifLayer::step: size mismatch");
+    spiked.assign(n_, 0);
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < n_; ++i) {
+        if (refrac_[i] > 0) {
+            --refrac_[i];
+            v_[i] = params_.v_reset;
+            continue;
+        }
+        // Leak towards rest, then integrate the (gain-scaled) input.
+        v_[i] = params_.v_rest + decay_ * (v_[i] - params_.v_rest);
+        v_[i] += input_gain_[i] * input[i];
+        if (v_[i] >= effective_threshold(i)) {
+            spiked[i] = 1;
+            ++count;
+            v_[i] = params_.v_reset;
+            refrac_[i] = params_.refrac_steps;
+        }
+    }
+    return count;
+}
+
+void LifLayer::reset_state() {
+    v_.assign(n_, params_.v_rest);
+    refrac_.assign(n_, 0);
+}
+
+void LifLayer::apply_threshold_scale(std::span<const std::size_t> neurons,
+                                     float scale) {
+    for (const std::size_t i : neurons) thresh_scale_.at(i) = scale;
+}
+
+void LifLayer::apply_threshold_value_delta(std::span<const std::size_t> neurons,
+                                           float delta) {
+    // v_th_new = v_thresh * (1 + delta); expressed as a distance scale so
+    // effective_threshold() stays a single formula:
+    //   dist_new = v_thresh*(1+delta) - v_rest
+    //   scale    = dist_new / (v_thresh - v_rest)
+    const float dist = params_.v_thresh - params_.v_rest;
+    const float dist_new = params_.v_thresh * (1.0f + delta) - params_.v_rest;
+    const float scale = dist_new / dist;
+    for (const std::size_t i : neurons) thresh_scale_.at(i) = scale;
+}
+
+void LifLayer::apply_input_gain(std::span<const std::size_t> neurons, float gain) {
+    for (const std::size_t i : neurons) input_gain_.at(i) = gain;
+}
+
+void LifLayer::clear_faults() {
+    thresh_scale_.assign(n_, 1.0f);
+    input_gain_.assign(n_, 1.0f);
+}
+
+DiehlCookLayer::DiehlCookLayer(std::size_t n, DiehlCookParams params)
+    : LifLayer(n, params.lif), dc_params_(params) {
+    theta_decay_factor_ = std::exp(-params.lif.dt_ms / params.theta_decay_ms);
+    theta_.assign(n_, 0.0f);
+}
+
+float DiehlCookLayer::effective_threshold(std::size_t i) const {
+    // The homeostatic theta is a learned quantity, not a circuit bias, so
+    // the threshold fault scales only the static rest-to-threshold distance
+    // (DESIGN.md §4).
+    return params_.v_rest + (params_.v_thresh - params_.v_rest) * thresh_scale_[i] +
+           theta_[i];
+}
+
+std::size_t DiehlCookLayer::step(std::span<const float> input,
+                                 std::vector<std::uint8_t>& spiked) {
+    if (input.size() != n_)
+        throw std::invalid_argument("DiehlCookLayer::step: size mismatch");
+    spiked.assign(n_, 0);
+    std::size_t count = 0;
+    for (std::size_t i = 0; i < n_; ++i) {
+        theta_[i] *= theta_decay_factor_;
+        if (refrac_[i] > 0) {
+            --refrac_[i];
+            v_[i] = params_.v_reset;
+            continue;
+        }
+        v_[i] = params_.v_rest + decay_ * (v_[i] - params_.v_rest);
+        v_[i] += input_gain_[i] * input[i];
+        if (v_[i] >= effective_threshold(i)) {
+            spiked[i] = 1;
+            ++count;
+            v_[i] = params_.v_reset;
+            refrac_[i] = params_.refrac_steps;
+            theta_[i] += dc_params_.theta_plus;
+        }
+    }
+    return count;
+}
+
+void DiehlCookLayer::reset_adaptation() { theta_.assign(n_, 0.0f); }
+
+}  // namespace snnfi::snn

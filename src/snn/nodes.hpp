@@ -1,0 +1,110 @@
+// Spiking neuron layers: LIF and Diehl&Cook adaptive-threshold LIF.
+//
+// Voltages follow BindsNET's millivolt conventions (rest -65 mV etc.).
+// Fault-injection hooks expose exactly the two circuit parameters the paper
+// attacks:
+//   * per-neuron threshold scaling — applied to the rest-to-threshold
+//     distance, preserving the circuit semantics that a lower VDD lowers
+//     the threshold and makes the neuron fire sooner (DESIGN.md §4);
+//   * per-neuron input gain — the paper's "theta", the membrane voltage
+//     change per input spike, corrupted through the current drivers.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace snnfi::snn {
+
+struct LifParams {
+    float v_rest = -65.0f;
+    float v_reset = -60.0f;
+    float v_thresh = -52.0f;
+    float tau_ms = 100.0f;    ///< membrane time constant
+    int refrac_steps = 5;     ///< refractory period in steps
+    float dt_ms = 1.0f;
+};
+
+/// Leaky integrate-and-fire layer.
+class LifLayer {
+public:
+    LifLayer(std::size_t n, LifParams params);
+    virtual ~LifLayer() = default;
+
+    std::size_t size() const noexcept { return n_; }
+    const LifParams& params() const noexcept { return params_; }
+
+    /// Advances one step given the summed synaptic input per neuron
+    /// (voltage increment, mV). Fills `spiked` (0/1 per neuron) and returns
+    /// the number of spikes.
+    virtual std::size_t step(std::span<const float> input,
+                             std::vector<std::uint8_t>& spiked);
+
+    /// Resets dynamic state (voltage, refractory) between samples. Adaptive
+    /// state (theta) and fault masks persist.
+    virtual void reset_state();
+
+    // --- fault hooks ------------------------------------------------------
+    /// Scales the rest-to-threshold distance of the selected neurons
+    /// (physical circuit semantics: scale < 1 -> threshold closer to rest
+    /// -> earlier firing).
+    void apply_threshold_scale(std::span<const std::size_t> neurons, float scale);
+    /// Paper-faithful variant: scales the raw BindsNET threshold *value*
+    /// (negative mV) by (1 + delta), as the paper's BindsNET experiments
+    /// did. Because v_thresh < v_rest < 0, delta = -0.20 moves the
+    /// threshold *away* from rest (harder firing) — the semantics behind
+    /// Figs. 8a-8c/9a. Internally converted to a distance scale.
+    void apply_threshold_value_delta(std::span<const std::size_t> neurons,
+                                     float delta);
+    /// Scales the synaptic drive seen by the selected neurons (paper's
+    /// theta / membrane-voltage-change-per-spike corruption).
+    void apply_input_gain(std::span<const std::size_t> neurons, float gain);
+    /// Clears all fault masks back to nominal.
+    void clear_faults();
+
+    float threshold_scale(std::size_t i) const { return thresh_scale_[i]; }
+    float input_gain(std::size_t i) const { return input_gain_[i]; }
+
+    std::span<const float> voltages() const noexcept { return v_; }
+    /// Effective firing threshold of neuron i (incl. faults; excl. theta).
+    virtual float effective_threshold(std::size_t i) const;
+
+protected:
+    std::size_t n_;
+    LifParams params_;
+    float decay_;  ///< exp(-dt/tau)
+    std::vector<float> v_;
+    std::vector<std::int32_t> refrac_;
+    std::vector<float> thresh_scale_;
+    std::vector<float> input_gain_;
+};
+
+struct DiehlCookParams {
+    LifParams lif{.v_rest = -65.0f,
+                  .v_reset = -60.0f,
+                  .v_thresh = -52.0f,
+                  .tau_ms = 100.0f,
+                  .refrac_steps = 5,
+                  .dt_ms = 1.0f};
+    float theta_plus = 0.05f;      ///< homeostatic increment per spike [mV]
+    float theta_decay_ms = 1e7f;   ///< adaptive threshold decay constant
+};
+
+/// Excitatory layer with homeostatic adaptive threshold (theta).
+class DiehlCookLayer final : public LifLayer {
+public:
+    DiehlCookLayer(std::size_t n, DiehlCookParams params);
+
+    std::size_t step(std::span<const float> input,
+                     std::vector<std::uint8_t>& spiked) override;
+    float effective_threshold(std::size_t i) const override;
+    std::span<const float> theta() const noexcept { return theta_; }
+    void reset_adaptation();
+
+private:
+    DiehlCookParams dc_params_;
+    float theta_decay_factor_;
+    std::vector<float> theta_;
+};
+
+}  // namespace snnfi::snn

@@ -1,0 +1,71 @@
+// Minimal dense tensor types for the SNN kernels.
+//
+// The network layer works on float precision: the Diehl&Cook dynamics are
+// robust to it and it halves memory traffic in the training inner loop.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace snnfi::snn {
+
+/// Row-major 2-D array (rows = pre-synaptic, cols = post-synaptic for
+/// weight matrices).
+class Matrix {
+public:
+    Matrix() = default;
+    Matrix(std::size_t rows, std::size_t cols, float fill = 0.0f)
+        : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+    std::size_t rows() const noexcept { return rows_; }
+    std::size_t cols() const noexcept { return cols_; }
+    bool empty() const noexcept { return data_.empty(); }
+
+    float& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+    float operator()(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+    float& at(std::size_t r, std::size_t c);
+    float at(std::size_t r, std::size_t c) const;
+
+    std::span<float> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+    std::span<const float> row(std::size_t r) const {
+        return {data_.data() + r * cols_, cols_};
+    }
+    std::span<float> flat() noexcept { return data_; }
+    std::span<const float> flat() const noexcept { return data_; }
+
+    void fill(float value) { data_.assign(data_.size(), value); }
+
+    /// Sum over rows for one column (total input weight of a post neuron).
+    float column_sum(std::size_t c) const;
+    /// Multiplies every entry of column c by factor.
+    void scale_column(std::size_t c, float factor);
+
+private:
+    std::size_t rows_ = 0;
+    std::size_t cols_ = 0;
+    std::vector<float> data_;
+};
+
+inline float& Matrix::at(std::size_t r, std::size_t c) {
+    if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+    return data_[r * cols_ + c];
+}
+
+inline float Matrix::at(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+    return data_[r * cols_ + c];
+}
+
+inline float Matrix::column_sum(std::size_t c) const {
+    float total = 0.0f;
+    for (std::size_t r = 0; r < rows_; ++r) total += data_[r * cols_ + c];
+    return total;
+}
+
+inline void Matrix::scale_column(std::size_t c, float factor) {
+    for (std::size_t r = 0; r < rows_; ++r) data_[r * cols_ + c] *= factor;
+}
+
+}  // namespace snnfi::snn

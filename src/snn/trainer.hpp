@@ -1,0 +1,57 @@
+// Training/evaluation loop reproducing the paper's experimental setup
+// (§IV-A): one pass over 1000 Poisson-encoded digit images, STDP learning,
+// activity-based label assignment, accuracy on the training activity.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "snn/classifier.hpp"
+#include "snn/network.hpp"
+
+namespace snnfi::snn {
+
+/// A labelled digit dataset (images flattened, intensities in [0,1]).
+struct Dataset {
+    std::size_t image_size = 784;
+    std::vector<std::vector<float>> images;
+    std::vector<std::size_t> labels;
+    std::size_t size() const noexcept { return images.size(); }
+};
+
+struct TrainResult {
+    /// Online windowed accuracy (BindsNET eth_mnist metric, the paper's
+    /// §IV-A number): every `eval_window` samples the last window is scored
+    /// with the neuron->label assignments from the activity accumulated
+    /// before it, then assignments are refreshed.
+    double train_accuracy = 0.0;
+    /// Retrospective accuracy: assignments from the full training activity,
+    /// scored on all training samples. Less noisy; reported alongside.
+    double retro_accuracy = 0.0;
+    double test_accuracy = -1.0;   ///< on held-out set, -1 if no test set
+    std::size_t total_exc_spikes = 0;
+    std::size_t total_inh_spikes = 0;
+    double mean_exc_spikes_per_sample = 0.0;
+};
+
+/// Optional per-sample hook (fault scheduling, progress).
+using SampleHook = std::function<void(std::size_t index)>;
+
+class Trainer {
+public:
+    explicit Trainer(DiehlCookNetwork& network, std::size_t eval_window = 250)
+        : network_(&network), eval_window_(eval_window) {}
+
+    /// Trains on `train` (single pass, learning on), computing the online
+    /// windowed accuracy and the retrospective accuracy; when `test` is
+    /// non-null, also evaluates on the held-out set with learning frozen.
+    TrainResult run(const Dataset& train, const Dataset* test = nullptr,
+                    const SampleHook& hook = {});
+
+private:
+    DiehlCookNetwork* network_;
+    std::size_t eval_window_;
+};
+
+}  // namespace snnfi::snn

@@ -1,0 +1,103 @@
+#include "spice/linear.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace snnfi::spice {
+
+Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+double& Matrix::at(std::size_t r, std::size_t c) {
+    if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+    return data_[r * cols_ + c];
+}
+
+double Matrix::at(std::size_t r, std::size_t c) const {
+    if (r >= rows_ || c >= cols_) throw std::out_of_range("Matrix::at");
+    return data_[r * cols_ + c];
+}
+
+void Matrix::fill(double value) { data_.assign(data_.size(), value); }
+
+std::span<double> Matrix::row(std::size_t r) {
+    if (r >= rows_) throw std::out_of_range("Matrix::row");
+    return {data_.data() + r * cols_, cols_};
+}
+
+std::span<const double> Matrix::row(std::size_t r) const {
+    if (r >= rows_) throw std::out_of_range("Matrix::row");
+    return {data_.data() + r * cols_, cols_};
+}
+
+std::vector<double> Matrix::multiply(std::span<const double> x) const {
+    if (x.size() != cols_) throw std::invalid_argument("Matrix::multiply: size mismatch");
+    std::vector<double> y(rows_, 0.0);
+    for (std::size_t r = 0; r < rows_; ++r) {
+        double acc = 0.0;
+        const double* row_ptr = data_.data() + r * cols_;
+        for (std::size_t c = 0; c < cols_; ++c) acc += row_ptr[c] * x[c];
+        y[r] = acc;
+    }
+    return y;
+}
+
+bool LuFactorization::factorize(const Matrix& a) {
+    if (a.rows() != a.cols()) throw std::invalid_argument("LuFactorization: non-square");
+    n_ = a.rows();
+    lu_ = a;
+    pivot_.resize(n_);
+    for (std::size_t i = 0; i < n_; ++i) pivot_[i] = i;
+
+    for (std::size_t k = 0; k < n_; ++k) {
+        // Partial pivot: largest magnitude in column k at/below the diagonal.
+        std::size_t best = k;
+        double best_mag = std::abs(lu_(k, k));
+        for (std::size_t r = k + 1; r < n_; ++r) {
+            const double mag = std::abs(lu_(r, k));
+            if (mag > best_mag) {
+                best_mag = mag;
+                best = r;
+            }
+        }
+        if (best_mag < 1e-300) return false;  // numerically singular
+        if (best != k) {
+            std::swap(pivot_[k], pivot_[best]);
+            for (std::size_t c = 0; c < n_; ++c) std::swap(lu_(k, c), lu_(best, c));
+        }
+        const double diag_inv = 1.0 / lu_(k, k);
+        for (std::size_t r = k + 1; r < n_; ++r) {
+            const double factor = lu_(r, k) * diag_inv;
+            lu_(r, k) = factor;
+            if (factor == 0.0) continue;
+            for (std::size_t c = k + 1; c < n_; ++c) lu_(r, c) -= factor * lu_(k, c);
+        }
+    }
+    return true;
+}
+
+std::vector<double> LuFactorization::solve(std::span<const double> b) const {
+    if (b.size() != n_) throw std::invalid_argument("LuFactorization::solve: size mismatch");
+    std::vector<double> x(n_);
+    // Forward substitution with row permutation.
+    for (std::size_t r = 0; r < n_; ++r) {
+        double acc = b[pivot_[r]];
+        for (std::size_t c = 0; c < r; ++c) acc -= lu_(r, c) * x[c];
+        x[r] = acc;
+    }
+    // Backward substitution.
+    for (std::size_t r = n_; r-- > 0;) {
+        double acc = x[r];
+        for (std::size_t c = r + 1; c < n_; ++c) acc -= lu_(r, c) * x[c];
+        x[r] = acc / lu_(r, r);
+    }
+    return x;
+}
+
+std::vector<double> solve_linear_system(const Matrix& a, std::span<const double> b) {
+    LuFactorization lu;
+    if (!lu.factorize(a)) throw std::runtime_error("solve_linear_system: singular matrix");
+    return lu.solve(b);
+}
+
+}  // namespace snnfi::spice

@@ -1,0 +1,57 @@
+#include "spice/mosfet_model.hpp"
+
+#include <cmath>
+
+namespace snnfi::spice {
+
+double softplus(double x) {
+    if (x > 40.0) return x;          // e^-x underflows; sp(x) ~ x
+    if (x < -40.0) return std::exp(x);  // sp(x) ~ e^x
+    return std::log1p(std::exp(x));
+}
+
+double logistic(double x) {
+    if (x >= 0.0) {
+        const double e = std::exp(-x);
+        return 1.0 / (1.0 + e);
+    }
+    const double e = std::exp(x);
+    return e / (1.0 + e);
+}
+
+MosEval evaluate_nmos(const MosParams& params, double vgs, double vds) {
+    const double ut = kThermalVoltage;
+    const double n = params.n;
+    const double is = 2.0 * n * params.beta() * ut * ut;
+
+    const double vp = (vgs - params.vt0) / n;
+    const double uf = vp / (2.0 * ut);
+    const double ur = (vp - vds) / (2.0 * ut);
+
+    const double spf = softplus(uf);
+    const double spr = softplus(ur);
+    const double sigf = logistic(uf);
+    const double sigr = logistic(ur);
+
+    const double i_fwd = spf * spf;
+    const double i_rev = spr * spr;
+    const double i0 = is * (i_fwd - i_rev);
+
+    // Smooth |Vds| so the channel-length-modulation term stays C^1 at 0.
+    constexpr double kSmooth = 1e-3;  // 1 mV
+    const double vds_abs = std::sqrt(vds * vds + kSmooth * kSmooth);
+    const double clm = 1.0 + params.lambda * vds_abs;
+    const double d_clm_dvds = params.lambda * vds / vds_abs;
+
+    MosEval out;
+    out.id = i0 * clm;
+    // d(if)/dVgs = 2 sp(uf) sig(uf) / (2 n Ut); same shape for ir.
+    const double d_if_dvgs = spf * sigf / (n * ut);
+    const double d_ir_dvgs = spr * sigr / (n * ut);
+    const double d_ir_dvds = -spr * sigr / ut;
+    out.gm = is * (d_if_dvgs - d_ir_dvgs) * clm;
+    out.gds = is * (-d_ir_dvds) * clm + i0 * d_clm_dvds;
+    return out;
+}
+
+}  // namespace snnfi::spice

@@ -1,0 +1,81 @@
+// Netlist: named nodes + owned devices.
+//
+// Circuit builders (src/circuits) construct a Netlist, hand it to a
+// Simulator, and mutate named devices between runs for parameter sweeps
+// (e.g. `netlist.voltage_source("VDD").spec().set_dc(0.9)`).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "spice/devices.hpp"
+
+namespace snnfi::spice {
+
+class Netlist {
+public:
+    Netlist() = default;
+    Netlist(Netlist&&) = default;
+    Netlist& operator=(Netlist&&) = default;
+
+    /// Returns the id for `name`, creating the node on first use.
+    /// The reserved name "0" (and "gnd") maps to ground.
+    NodeId node(const std::string& name);
+    /// Looks up an existing node; throws if absent.
+    NodeId find_node(const std::string& name) const;
+    bool has_node(const std::string& name) const;
+    int num_nodes() const noexcept { return static_cast<int>(node_names_.size()); }
+    const std::string& node_name(NodeId id) const;
+
+    // --- element factories (names must be unique) --------------------------
+    Resistor& add_resistor(const std::string& name, const std::string& a,
+                           const std::string& b, double ohms);
+    Capacitor& add_capacitor(const std::string& name, const std::string& a,
+                             const std::string& b, double farads);
+    VoltageSource& add_voltage_source(const std::string& name, const std::string& a,
+                                      const std::string& b, SourceSpec spec);
+    CurrentSource& add_current_source(const std::string& name, const std::string& a,
+                                      const std::string& b, SourceSpec spec);
+    Mosfet& add_mosfet(const std::string& name, const std::string& drain,
+                       const std::string& gate, const std::string& source,
+                       MosParams params);
+    OpAmp& add_opamp(const std::string& name, const std::string& in_plus,
+                     const std::string& in_minus, const std::string& out, double gain,
+                     double rail_lo, double rail_hi);
+    Vcvs& add_vcvs(const std::string& name, const std::string& out_p,
+                   const std::string& out_m, const std::string& ctrl_p,
+                   const std::string& ctrl_m, double gain);
+
+    // --- typed lookup by name (throws on missing/mistyped) -----------------
+    Resistor& resistor(const std::string& name);
+    Capacitor& capacitor(const std::string& name);
+    VoltageSource& voltage_source(const std::string& name);
+    CurrentSource& current_source(const std::string& name);
+    Mosfet& mosfet(const std::string& name);
+    OpAmp& opamp(const std::string& name);
+
+    const std::vector<std::unique_ptr<Device>>& devices() const noexcept {
+        return devices_;
+    }
+    bool has_device(const std::string& name) const;
+
+    /// Assigns branch rows; returns total unknown count. Called by Simulator.
+    int finalize();
+    int num_unknowns() const noexcept { return num_unknowns_; }
+    bool any_nonlinear() const;
+
+private:
+    template <typename T, typename... Args>
+    T& emplace_device(Args&&... args);
+    Device& device(const std::string& name);
+
+    std::map<std::string, NodeId> node_ids_;
+    std::vector<std::string> node_names_;
+    std::map<std::string, std::size_t> device_index_;
+    std::vector<std::unique_ptr<Device>> devices_;
+    int num_unknowns_ = 0;
+};
+
+}  // namespace snnfi::spice

@@ -1,0 +1,29 @@
+#include "spice/ptm65.hpp"
+
+namespace snnfi::spice::ptm65 {
+
+MosParams nmos(double w_over_l, double length_multiple) {
+    MosParams p;
+    p.type = MosType::kNmos;
+    p.vt0 = kNmosVt0;
+    p.kp = kNmosKp;
+    p.n = kSlopeFactor;
+    p.lambda = kLambda / length_multiple;  // longer channel -> less CLM
+    p.l = kMinLength * length_multiple;
+    p.w = w_over_l * p.l;
+    return p;
+}
+
+MosParams pmos(double w_over_l, double length_multiple) {
+    MosParams p;
+    p.type = MosType::kPmos;
+    p.vt0 = kPmosVt0;
+    p.kp = kPmosKp;
+    p.n = kSlopeFactor;
+    p.lambda = kLambda / length_multiple;
+    p.l = kMinLength * length_multiple;
+    p.w = w_over_l * p.l;
+    return p;
+}
+
+}  // namespace snnfi::spice::ptm65

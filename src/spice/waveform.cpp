@@ -1,0 +1,189 @@
+#include "spice/waveform.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/stats.hpp"
+
+namespace snnfi::spice {
+
+namespace {
+
+double eval_pulse(const PulseSpec& p, double t) {
+    if (t < p.delay) return p.v1;
+    double local = t - p.delay;
+    if (p.period > 0.0) local = std::fmod(local, p.period);
+    if (local < p.rise) {
+        const double frac = p.rise > 0.0 ? local / p.rise : 1.0;
+        return p.v1 + (p.v2 - p.v1) * frac;
+    }
+    local -= p.rise;
+    if (local < p.width) return p.v2;
+    local -= p.width;
+    if (local < p.fall) {
+        const double frac = p.fall > 0.0 ? local / p.fall : 1.0;
+        return p.v2 + (p.v1 - p.v2) * frac;
+    }
+    return p.v1;
+}
+
+double eval_pwl(const PwlSpec& p, double t) {
+    if (p.times.empty()) return 0.0;
+    if (t <= p.times.front()) return p.values.front();
+    if (t >= p.times.back()) return p.values.back();
+    const auto it = std::upper_bound(p.times.begin(), p.times.end(), t);
+    const std::size_t hi = static_cast<std::size_t>(std::distance(p.times.begin(), it));
+    const std::size_t lo = hi - 1;
+    const double frac = (t - p.times[lo]) / (p.times[hi] - p.times[lo]);
+    return p.values[lo] + frac * (p.values[hi] - p.values[lo]);
+}
+
+double eval_sin(const SinSpec& s, double t) {
+    if (t < s.delay) return s.offset;
+    return s.offset +
+           s.amplitude * std::sin(2.0 * std::numbers::pi * s.frequency * (t - s.delay));
+}
+
+}  // namespace
+
+double SourceSpec::eval(double t) const {
+    return std::visit(
+        [t](const auto& spec) -> double {
+            using T = std::decay_t<decltype(spec)>;
+            if constexpr (std::is_same_v<T, DcSpec>) return spec.value;
+            else if constexpr (std::is_same_v<T, PulseSpec>) return eval_pulse(spec, t);
+            else if constexpr (std::is_same_v<T, PwlSpec>) return eval_pwl(spec, t);
+            else return eval_sin(spec, t);
+        },
+        spec_);
+}
+
+double SourceSpec::dc_value() const {
+    return std::visit(
+        [](const auto& spec) -> double {
+            using T = std::decay_t<decltype(spec)>;
+            if constexpr (std::is_same_v<T, DcSpec>) return spec.value;
+            else if constexpr (std::is_same_v<T, PulseSpec>) return spec.v1;
+            else if constexpr (std::is_same_v<T, PwlSpec>)
+                return spec.values.empty() ? 0.0 : spec.values.front();
+            else return spec.offset;
+        },
+        spec_);
+}
+
+TransientResult::TransientResult(std::vector<double> time, std::vector<Trace> traces)
+    : time_(std::move(time)), traces_(std::move(traces)) {
+    for (const auto& trace : traces_)
+        if (trace.values.size() != time_.size())
+            throw std::invalid_argument("TransientResult: trace length mismatch");
+}
+
+bool TransientResult::has(const std::string& name) const {
+    return std::any_of(traces_.begin(), traces_.end(),
+                       [&](const Trace& t) { return t.name == name; });
+}
+
+std::span<const double> TransientResult::signal(const std::string& name) const {
+    for (const auto& trace : traces_)
+        if (trace.name == name) return trace.values;
+    throw std::invalid_argument("TransientResult: unknown signal " + name);
+}
+
+std::size_t TransientResult::start_index(double t_start) const {
+    const auto it = std::lower_bound(time_.begin(), time_.end(), t_start);
+    return static_cast<std::size_t>(std::distance(time_.begin(), it));
+}
+
+double TransientResult::amplitude(const std::string& name, double t_start) const {
+    return max_value(name, t_start) - min_value(name, t_start);
+}
+
+double TransientResult::max_value(const std::string& name, double t_start) const {
+    const auto sig = signal(name);
+    const std::size_t start = start_index(t_start);
+    if (start >= sig.size()) throw std::invalid_argument("max_value: t_start beyond end");
+    return *std::max_element(sig.begin() + static_cast<std::ptrdiff_t>(start), sig.end());
+}
+
+double TransientResult::min_value(const std::string& name, double t_start) const {
+    const auto sig = signal(name);
+    const std::size_t start = start_index(t_start);
+    if (start >= sig.size()) throw std::invalid_argument("min_value: t_start beyond end");
+    return *std::min_element(sig.begin() + static_cast<std::ptrdiff_t>(start), sig.end());
+}
+
+double TransientResult::mean_value(const std::string& name, double t_start) const {
+    const auto sig = signal(name);
+    const std::size_t start = start_index(t_start);
+    if (start + 1 >= sig.size()) throw std::invalid_argument("mean_value: empty window");
+    // Time-weighted (trapezoid) mean handles non-uniform steps.
+    double integral = 0.0;
+    for (std::size_t i = start + 1; i < sig.size(); ++i)
+        integral += 0.5 * (sig[i] + sig[i - 1]) * (time_[i] - time_[i - 1]);
+    const double span = time_.back() - time_[start];
+    return span > 0.0 ? integral / span : sig[start];
+}
+
+std::vector<double> TransientResult::crossings(const std::string& name, double level,
+                                               int direction, double t_start) const {
+    return util::all_crossings(time_, signal(name), level, direction, t_start);
+}
+
+double TransientResult::first_crossing_time(const std::string& name, double level,
+                                            int direction, double t_start) const {
+    return util::first_crossing(time_, signal(name), level, direction, t_start);
+}
+
+std::size_t TransientResult::count_spikes(const std::string& name, double level,
+                                          double t_start) const {
+    return crossings(name, level, +1, t_start).size();
+}
+
+double TransientResult::mean_period(const std::string& name, double level,
+                                    double t_start) const {
+    const auto times = crossings(name, level, +1, t_start);
+    if (times.size() < 2) return -1.0;
+    return (times.back() - times.front()) / static_cast<double>(times.size() - 1);
+}
+
+double TransientResult::average_power(const std::string& v_name,
+                                      const std::string& i_name, double t_start) const {
+    const auto v = signal(v_name);
+    const auto i = signal(i_name);
+    const std::size_t start = start_index(t_start);
+    if (start + 1 >= time_.size())
+        throw std::invalid_argument("average_power: empty window");
+    double integral = 0.0;
+    for (std::size_t k = start + 1; k < time_.size(); ++k) {
+        const double p0 = v[k - 1] * i[k - 1];
+        const double p1 = v[k] * i[k];
+        integral += 0.5 * (p0 + p1) * (time_[k] - time_[k - 1]);
+    }
+    const double span = time_.back() - time_[start];
+    return span > 0.0 ? integral / span : 0.0;
+}
+
+std::string TransientResult::to_csv(const std::vector<std::string>& names,
+                                    std::size_t stride) const {
+    if (stride == 0) stride = 1;
+    std::ostringstream os;
+    os << "time";
+    std::vector<std::span<const double>> signals;
+    signals.reserve(names.size());
+    for (const auto& name : names) {
+        os << "," << name;
+        signals.push_back(signal(name));
+    }
+    os << "\n";
+    for (std::size_t k = 0; k < time_.size(); k += stride) {
+        os << time_[k];
+        for (const auto& sig : signals) os << "," << sig[k];
+        os << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace snnfi::spice

@@ -1,0 +1,117 @@
+// Time-dependent source descriptions (SPICE-style DC / PULSE / PWL / SIN)
+// and recorded simulation traces with measurement helpers.
+#pragma once
+
+#include <span>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace snnfi::spice {
+
+/// Constant value.
+struct DcSpec {
+    double value = 0.0;
+};
+
+/// SPICE PULSE(v1 v2 delay rise fall width period). Repeats forever when
+/// period > 0; a single pulse otherwise.
+struct PulseSpec {
+    double v1 = 0.0;
+    double v2 = 0.0;
+    double delay = 0.0;
+    double rise = 1e-12;
+    double fall = 1e-12;
+    double width = 0.0;
+    double period = 0.0;
+};
+
+/// Piecewise-linear through (t, v) points; holds the last value afterwards.
+struct PwlSpec {
+    std::vector<double> times;
+    std::vector<double> values;
+};
+
+/// offset + amplitude * sin(2*pi*freq*(t - delay)) for t >= delay.
+struct SinSpec {
+    double offset = 0.0;
+    double amplitude = 0.0;
+    double frequency = 0.0;
+    double delay = 0.0;
+};
+
+/// Tagged union of the supported source shapes.
+class SourceSpec {
+public:
+    SourceSpec() : spec_(DcSpec{}) {}
+    SourceSpec(DcSpec s) : spec_(s) {}        // NOLINT(google-explicit-constructor)
+    SourceSpec(PulseSpec s) : spec_(s) {}     // NOLINT(google-explicit-constructor)
+    SourceSpec(PwlSpec s) : spec_(std::move(s)) {}  // NOLINT(google-explicit-constructor)
+    SourceSpec(SinSpec s) : spec_(s) {}       // NOLINT(google-explicit-constructor)
+
+    static SourceSpec dc(double value) { return SourceSpec(DcSpec{value}); }
+
+    double eval(double t) const;
+    /// Value used during DC operating-point analysis (t = 0 conventions:
+    /// PULSE -> v1, SIN -> offset, PWL -> first value).
+    double dc_value() const;
+
+    bool is_dc() const { return std::holds_alternative<DcSpec>(spec_); }
+    /// Replaces the spec with a plain DC value (used by VDD sweeps).
+    void set_dc(double value) { spec_ = DcSpec{value}; }
+
+private:
+    std::variant<DcSpec, PulseSpec, PwlSpec, SinSpec> spec_;
+};
+
+/// One recorded signal: value per accepted timepoint.
+struct Trace {
+    std::string name;
+    std::vector<double> values;
+};
+
+/// Result of a transient run: shared time axis plus named signals
+/// (node voltages "V(node)" and source branch currents "I(name)").
+class TransientResult {
+public:
+    TransientResult() = default;
+    TransientResult(std::vector<double> time, std::vector<Trace> traces);
+
+    std::span<const double> time() const noexcept { return time_; }
+    std::size_t num_points() const noexcept { return time_.size(); }
+    bool has(const std::string& name) const;
+    std::span<const double> signal(const std::string& name) const;
+    const std::vector<Trace>& traces() const noexcept { return traces_; }
+
+    // --- measurements -----------------------------------------------------
+    /// Peak-to-peak amplitude over [t_start, end].
+    double amplitude(const std::string& name, double t_start = 0.0) const;
+    double max_value(const std::string& name, double t_start = 0.0) const;
+    double min_value(const std::string& name, double t_start = 0.0) const;
+    double mean_value(const std::string& name, double t_start = 0.0) const;
+    /// Rising (+1) / falling (-1) crossing times of `level`.
+    std::vector<double> crossings(const std::string& name, double level,
+                                  int direction = +1, double t_start = 0.0) const;
+    double first_crossing_time(const std::string& name, double level,
+                               int direction = +1, double t_start = 0.0) const;
+    /// Number of rising crossings of `level` — spike count for digital-ish
+    /// outputs.
+    std::size_t count_spikes(const std::string& name, double level,
+                             double t_start = 0.0) const;
+    /// Mean spacing between consecutive rising crossings; <0 if fewer than 2.
+    double mean_period(const std::string& name, double level,
+                       double t_start = 0.0) const;
+    /// Time-average of v(t)*i(t) over [t_start, end] via trapezoid rule.
+    double average_power(const std::string& v_name, const std::string& i_name,
+                         double t_start = 0.0) const;
+    /// Writes "time,sig1,sig2,..." CSV rows for the named signals.
+    std::string to_csv(const std::vector<std::string>& names,
+                       std::size_t stride = 1) const;
+
+private:
+    std::size_t start_index(double t_start) const;
+    std::vector<double> time_;
+    std::vector<Trace> traces_;
+};
+
+}  // namespace snnfi::spice

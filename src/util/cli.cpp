@@ -1,0 +1,106 @@
+#include "util/cli.hpp"
+
+#include <iostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace snnfi::util {
+
+ArgParser::ArgParser(std::string program_description)
+    : description_(std::move(program_description)) {
+    add_flag("help", "Show this help message");
+}
+
+void ArgParser::add_option(const std::string& name, const std::string& default_value,
+                           const std::string& help) {
+    options_[name] = Option{default_value, help, false};
+}
+
+void ArgParser::add_flag(const std::string& name, const std::string& help) {
+    options_[name] = Option{"false", help, true};
+}
+
+bool ArgParser::parse(int argc, const char* const* argv) {
+    if (argc > 0) program_name_ = argv[0];
+    for (int i = 1; i < argc; ++i) {
+        std::string token = argv[i];
+        if (token.rfind("--", 0) != 0)
+            throw std::invalid_argument("unexpected positional argument: " + token);
+        token.erase(0, 2);
+        std::string name = token;
+        std::optional<std::string> value;
+        if (const auto eq = token.find('='); eq != std::string::npos) {
+            name = token.substr(0, eq);
+            value = token.substr(eq + 1);
+        }
+        const auto it = options_.find(name);
+        if (it == options_.end()) throw std::invalid_argument("unknown flag: --" + name);
+        if (it->second.is_flag) {
+            values_[name] = value.value_or("true");
+        } else if (value) {
+            values_[name] = *value;
+        } else {
+            if (i + 1 >= argc)
+                throw std::invalid_argument("flag --" + name + " expects a value");
+            values_[name] = argv[++i];
+        }
+    }
+    if (get_bool("help")) {
+        std::cout << usage();
+        return false;
+    }
+    return true;
+}
+
+std::string ArgParser::get(const std::string& name) const {
+    const auto it = options_.find(name);
+    if (it == options_.end()) throw std::invalid_argument("unregistered flag: --" + name);
+    const auto vit = values_.find(name);
+    return vit == values_.end() ? it->second.default_value : vit->second;
+}
+
+double ArgParser::get_double(const std::string& name) const {
+    const std::string text = get(name);
+    try {
+        std::size_t consumed = 0;
+        const double value = std::stod(text, &consumed);
+        if (consumed != text.size()) throw std::invalid_argument("trailing chars");
+        return value;
+    } catch (const std::exception&) {
+        throw std::invalid_argument("flag --" + name + ": not a number: " + text);
+    }
+}
+
+std::int64_t ArgParser::get_int(const std::string& name) const {
+    const std::string text = get(name);
+    try {
+        std::size_t consumed = 0;
+        const std::int64_t value = std::stoll(text, &consumed);
+        if (consumed != text.size()) throw std::invalid_argument("trailing chars");
+        return value;
+    } catch (const std::exception&) {
+        throw std::invalid_argument("flag --" + name + ": not an integer: " + text);
+    }
+}
+
+bool ArgParser::get_bool(const std::string& name) const {
+    const std::string text = get(name);
+    if (text == "true" || text == "1" || text == "yes" || text == "on") return true;
+    if (text == "false" || text == "0" || text == "no" || text == "off") return false;
+    throw std::invalid_argument("flag --" + name + ": not a boolean: " + text);
+}
+
+bool ArgParser::was_set(const std::string& name) const { return values_.count(name) > 0; }
+
+std::string ArgParser::usage() const {
+    std::ostringstream os;
+    os << description_ << "\n\nUsage: " << program_name_ << " [flags]\n\nFlags:\n";
+    for (const auto& [name, opt] : options_) {
+        os << "  --" << name;
+        if (!opt.is_flag) os << "=<value> (default: " << opt.default_value << ")";
+        os << "\n      " << opt.help << "\n";
+    }
+    return os.str();
+}
+
+}  // namespace snnfi::util

@@ -1,0 +1,48 @@
+// Minimal command-line flag parser used by examples and bench binaries.
+//
+// Supports `--name=value`, `--name value`, and boolean `--flag` forms.
+// Unknown flags are an error so typos surface immediately.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace snnfi::util {
+
+class ArgParser {
+public:
+    explicit ArgParser(std::string program_description);
+
+    /// Registers an option with a default value; `help` appears in usage().
+    void add_option(const std::string& name, const std::string& default_value,
+                    const std::string& help);
+    void add_flag(const std::string& name, const std::string& help);
+
+    /// Parses argv. Returns false (after printing usage) when --help is
+    /// requested. Throws std::invalid_argument on unknown/malformed flags.
+    bool parse(int argc, const char* const* argv);
+
+    std::string get(const std::string& name) const;
+    double get_double(const std::string& name) const;
+    std::int64_t get_int(const std::string& name) const;
+    bool get_bool(const std::string& name) const;
+    bool was_set(const std::string& name) const;
+
+    std::string usage() const;
+
+private:
+    struct Option {
+        std::string default_value;
+        std::string help;
+        bool is_flag = false;
+    };
+    std::string description_;
+    std::string program_name_ = "program";
+    std::map<std::string, Option> options_;
+    std::map<std::string, std::string> values_;
+};
+
+}  // namespace snnfi::util

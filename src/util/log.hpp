@@ -1,0 +1,45 @@
+// Leveled logging with a process-global threshold.
+//
+// The library itself logs sparingly (solver fallbacks, calibration notes);
+// benches raise the level to keep figure output clean.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace snnfi::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+LogLevel log_level() noexcept;
+
+/// Emits one line to stderr as "[LEVEL] message" if enabled.
+void log_message(LogLevel level, const std::string& message);
+
+namespace detail {
+class LineLogger {
+public:
+    explicit LineLogger(LogLevel level) : level_(level) {}
+    LineLogger(const LineLogger&) = delete;
+    LineLogger& operator=(const LineLogger&) = delete;
+    ~LineLogger() { log_message(level_, stream_.str()); }
+    template <typename T>
+    LineLogger& operator<<(const T& value) {
+        stream_ << value;
+        return *this;
+    }
+
+private:
+    LogLevel level_;
+    std::ostringstream stream_;
+};
+}  // namespace detail
+
+inline detail::LineLogger log_debug() { return detail::LineLogger(LogLevel::kDebug); }
+inline detail::LineLogger log_info() { return detail::LineLogger(LogLevel::kInfo); }
+inline detail::LineLogger log_warn() { return detail::LineLogger(LogLevel::kWarn); }
+inline detail::LineLogger log_error() { return detail::LineLogger(LogLevel::kError); }
+
+}  // namespace snnfi::util

@@ -1,0 +1,83 @@
+// Deterministic pseudo-random number generation for reproducible experiments.
+//
+// All stochastic components in the library (Poisson encoders, weight
+// initialisation, fault-mask selection, synthetic data) draw from Rng so a
+// single seed reproduces an entire experiment bit-for-bit across runs.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace snnfi::util {
+
+/// xoshiro256++ generator (Blackman & Vigna). Fast, 256-bit state, passes
+/// BigCrush; quality is more than sufficient for simulation workloads.
+class Rng {
+public:
+    using result_type = std::uint64_t;
+
+    /// Seeds the full 256-bit state from one 64-bit seed via SplitMix64.
+    explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) noexcept { reseed(seed); }
+
+    void reseed(std::uint64_t seed) noexcept;
+
+    static constexpr result_type min() noexcept { return 0; }
+    static constexpr result_type max() noexcept {
+        return std::numeric_limits<result_type>::max();
+    }
+
+    result_type operator()() noexcept { return next_u64(); }
+    std::uint64_t next_u64() noexcept;
+
+    /// Uniform double in [0, 1).
+    double uniform() noexcept;
+    /// Uniform double in [lo, hi).
+    double uniform(double lo, double hi) noexcept;
+    /// Uniform integer in [0, n). Requires n > 0.
+    std::uint64_t below(std::uint64_t n);
+    /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+    std::int64_t between(std::int64_t lo, std::int64_t hi);
+
+    /// Bernoulli trial with success probability p (clamped to [0,1]).
+    bool bernoulli(double p) noexcept;
+    /// Standard normal via Box–Muller (cached second deviate).
+    double normal() noexcept;
+    double normal(double mean, double stddev) noexcept;
+    /// Poisson-distributed count; inversion for small lambda, PTRS-style
+    /// normal approximation fallback for large lambda.
+    std::uint64_t poisson(double lambda);
+    /// Geometric: number of failures before first success, p in (0, 1].
+    /// Used for event-driven (skip-ahead) Poisson spike train sampling.
+    std::uint64_t geometric(double p);
+
+    /// Fisher–Yates shuffle.
+    template <typename T>
+    void shuffle(std::span<T> items) {
+        if (items.size() < 2) return;
+        for (std::size_t i = items.size() - 1; i > 0; --i) {
+            const std::size_t j = static_cast<std::size_t>(below(i + 1));
+            std::swap(items[i], items[j]);
+        }
+    }
+
+    /// k distinct indices drawn uniformly from [0, n), in random order.
+    /// Used to pick "x% of the neurons in a layer" for localized faults.
+    std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+private:
+    std::uint64_t state_[4] = {};
+    double cached_normal_ = 0.0;
+    bool has_cached_normal_ = false;
+};
+
+/// SplitMix64 step; also useful for deriving independent stream seeds.
+std::uint64_t splitmix64(std::uint64_t& state) noexcept;
+
+/// Derives a child seed for a named subsystem so parallel components get
+/// decorrelated but reproducible streams.
+std::uint64_t derive_seed(std::uint64_t root, std::uint64_t stream_id) noexcept;
+
+}  // namespace snnfi::util

@@ -1,0 +1,132 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace snnfi::util {
+
+double mean(std::span<const double> xs) {
+    if (xs.empty()) return 0.0;
+    double total = 0.0;
+    for (double x : xs) total += x;
+    return total / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+    if (xs.size() < 2) return 0.0;
+    const double m = mean(xs);
+    double accum = 0.0;
+    for (double x : xs) accum += (x - m) * (x - m);
+    return accum / static_cast<double>(xs.size() - 1);
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double min_of(std::span<const double> xs) {
+    if (xs.empty()) throw std::invalid_argument("min_of: empty span");
+    return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+    if (xs.empty()) throw std::invalid_argument("max_of: empty span");
+    return *std::max_element(xs.begin(), xs.end());
+}
+
+double median(std::vector<double> xs) {
+    if (xs.empty()) throw std::invalid_argument("median: empty input");
+    const std::size_t mid = xs.size() / 2;
+    std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid), xs.end());
+    if (xs.size() % 2 == 1) return xs[mid];
+    const double upper = xs[mid];
+    std::nth_element(xs.begin(), xs.begin() + static_cast<std::ptrdiff_t>(mid) - 1,
+                     xs.begin() + static_cast<std::ptrdiff_t>(mid));
+    return 0.5 * (xs[mid - 1] + upper);
+}
+
+std::size_t argmax(std::span<const double> xs) {
+    if (xs.empty()) throw std::invalid_argument("argmax: empty span");
+    return static_cast<std::size_t>(
+        std::distance(xs.begin(), std::max_element(xs.begin(), xs.end())));
+}
+
+double percent_change(double value, double reference) {
+    if (reference == 0.0) throw std::invalid_argument("percent_change: zero reference");
+    return 100.0 * (value - reference) / std::abs(reference);
+}
+
+std::vector<double> linspace(double lo, double hi, std::size_t n) {
+    if (n == 0) return {};
+    if (n == 1) return {lo};
+    std::vector<double> points(n);
+    const double step = (hi - lo) / static_cast<double>(n - 1);
+    for (std::size_t i = 0; i < n; ++i) points[i] = lo + step * static_cast<double>(i);
+    points.back() = hi;  // avoid accumulated rounding on the endpoint
+    return points;
+}
+
+LinearInterpolator::LinearInterpolator(std::vector<double> xs, std::vector<double> ys)
+    : xs_(std::move(xs)), ys_(std::move(ys)) {
+    if (xs_.size() != ys_.size())
+        throw std::invalid_argument("LinearInterpolator: size mismatch");
+    if (xs_.empty()) throw std::invalid_argument("LinearInterpolator: empty table");
+    for (std::size_t i = 1; i < xs_.size(); ++i)
+        if (xs_[i] <= xs_[i - 1])
+            throw std::invalid_argument("LinearInterpolator: xs not strictly increasing");
+}
+
+double LinearInterpolator::operator()(double x) const {
+    if (xs_.size() == 1) return ys_.front();
+    std::size_t hi = xs_.size() - 1;
+    if (x <= xs_.front()) {
+        hi = 1;
+    } else if (x >= xs_.back()) {
+        hi = xs_.size() - 1;
+    } else {
+        hi = static_cast<std::size_t>(
+            std::distance(xs_.begin(), std::upper_bound(xs_.begin(), xs_.end(), x)));
+    }
+    const std::size_t lo = hi - 1;
+    const double t = (x - xs_[lo]) / (xs_[hi] - xs_[lo]);
+    return ys_[lo] + t * (ys_[hi] - ys_[lo]);
+}
+
+namespace {
+
+double crossing_between(double t0, double y0, double t1, double y1, double level) {
+    const double dy = y1 - y0;
+    if (dy == 0.0) return t0;
+    return t0 + (level - y0) / dy * (t1 - t0);
+}
+
+}  // namespace
+
+double first_crossing(std::span<const double> ts, std::span<const double> ys,
+                      double level, int direction, double t_start) {
+    if (ts.size() != ys.size()) throw std::invalid_argument("first_crossing: size mismatch");
+    for (std::size_t i = 1; i < ts.size(); ++i) {
+        if (ts[i] < t_start) continue;
+        const bool rising = ys[i - 1] < level && ys[i] >= level;
+        const bool falling = ys[i - 1] > level && ys[i] <= level;
+        if ((direction >= 0 && rising) || (direction <= 0 && falling))
+            return crossing_between(ts[i - 1], ys[i - 1], ts[i], ys[i], level);
+    }
+    return -1.0;
+}
+
+std::vector<double> all_crossings(std::span<const double> ts,
+                                  std::span<const double> ys, double level,
+                                  int direction, double t_start) {
+    if (ts.size() != ys.size()) throw std::invalid_argument("all_crossings: size mismatch");
+    std::vector<double> crossings;
+    for (std::size_t i = 1; i < ts.size(); ++i) {
+        if (ts[i] < t_start) continue;
+        const bool rising = ys[i - 1] < level && ys[i] >= level;
+        const bool falling = ys[i - 1] > level && ys[i] <= level;
+        if ((direction >= 0 && rising) || (direction <= 0 && falling))
+            crossings.push_back(crossing_between(ts[i - 1], ys[i - 1], ts[i], ys[i], level));
+    }
+    return crossings;
+}
+
+}  // namespace snnfi::util

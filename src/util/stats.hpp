@@ -1,0 +1,56 @@
+// Small statistics / numeric helpers shared by characterisation and
+// experiment code.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace snnfi::util {
+
+double mean(std::span<const double> xs);
+/// Unbiased sample variance (n-1 denominator); 0 for n < 2.
+double variance(std::span<const double> xs);
+double stddev(std::span<const double> xs);
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+double median(std::vector<double> xs);  // by value: sorts a copy
+std::size_t argmax(std::span<const double> xs);
+
+/// Percent change of `value` relative to `reference` (reference != 0).
+double percent_change(double value, double reference);
+
+/// n evenly spaced points from lo to hi inclusive (n >= 2), or {lo} for n==1.
+std::vector<double> linspace(double lo, double hi, std::size_t n);
+
+/// Piecewise-linear interpolation through (xs, ys); xs must be strictly
+/// increasing. Extrapolates linearly beyond the ends (characterisation
+/// tables cover the full sweep range, so extrapolation is a safety net).
+class LinearInterpolator {
+public:
+    LinearInterpolator() = default;
+    LinearInterpolator(std::vector<double> xs, std::vector<double> ys);
+
+    double operator()(double x) const;
+    bool empty() const noexcept { return xs_.empty(); }
+    std::size_t size() const noexcept { return xs_.size(); }
+    std::span<const double> xs() const noexcept { return xs_; }
+    std::span<const double> ys() const noexcept { return ys_; }
+
+private:
+    std::vector<double> xs_;
+    std::vector<double> ys_;
+};
+
+/// First x where the piecewise-linear signal y(t) crosses `level` with the
+/// requested direction (+1 rising, -1 falling, 0 either), searching from
+/// t >= t_start. Returns a negative value when no crossing exists.
+double first_crossing(std::span<const double> ts, std::span<const double> ys,
+                      double level, int direction = +1, double t_start = 0.0);
+
+/// All crossing times (same conventions as first_crossing).
+std::vector<double> all_crossings(std::span<const double> ts,
+                                  std::span<const double> ys, double level,
+                                  int direction = +1, double t_start = 0.0);
+
+}  // namespace snnfi::util

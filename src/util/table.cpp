@@ -1,0 +1,137 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace snnfi::util {
+
+ResultTable::ResultTable(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+    if (columns_.empty()) throw std::invalid_argument("ResultTable: no columns");
+    precision_.assign(columns_.size(), 4);
+}
+
+void ResultTable::add_row(std::vector<Cell> cells) {
+    if (cells.size() != columns_.size())
+        throw std::invalid_argument("ResultTable::add_row: wrong cell count");
+    rows_.push_back(std::move(cells));
+}
+
+void ResultTable::set_precision(std::size_t column, int digits) {
+    if (column >= columns_.size())
+        throw std::out_of_range("ResultTable::set_precision: bad column");
+    precision_[column] = digits;
+}
+
+const Cell& ResultTable::at(std::size_t row, std::size_t col) const {
+    if (row >= rows_.size() || col >= columns_.size())
+        throw std::out_of_range("ResultTable::at: out of range");
+    return rows_[row][col];
+}
+
+double ResultTable::number_at(std::size_t row, std::size_t col) const {
+    const Cell& cell = at(row, col);
+    if (const double* value = std::get_if<double>(&cell)) return *value;
+    throw std::invalid_argument("ResultTable::number_at: cell holds text");
+}
+
+std::vector<double> ResultTable::numeric_column(std::size_t col) const {
+    std::vector<double> values;
+    values.reserve(rows_.size());
+    for (std::size_t r = 0; r < rows_.size(); ++r) values.push_back(number_at(r, col));
+    return values;
+}
+
+namespace {
+
+std::string format_cell(const Cell& cell, int precision) {
+    if (const std::string* text = std::get_if<std::string>(&cell)) return *text;
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(precision) << std::get<double>(cell);
+    return os.str();
+}
+
+std::string csv_escape(const std::string& field) {
+    if (field.find_first_of(",\"\n") == std::string::npos) return field;
+    std::string escaped = "\"";
+    for (char c : field) {
+        if (c == '"') escaped += '"';
+        escaped += c;
+    }
+    escaped += '"';
+    return escaped;
+}
+
+}  // namespace
+
+void ResultTable::print(std::ostream& os) const {
+    // Pre-render all cells to compute column widths.
+    std::vector<std::vector<std::string>> rendered;
+    rendered.reserve(rows_.size());
+    std::vector<std::size_t> widths(columns_.size());
+    for (std::size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+    for (const auto& row : rows_) {
+        std::vector<std::string> cells;
+        cells.reserve(row.size());
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            cells.push_back(format_cell(row[c], precision_[c]));
+            widths[c] = std::max(widths[c], cells.back().size());
+        }
+        rendered.push_back(std::move(cells));
+    }
+
+    os << "== " << title_ << " ==\n";
+    for (const auto& note : notes_) os << "   " << note << "\n";
+    auto print_rule = [&] {
+        for (std::size_t c = 0; c < columns_.size(); ++c) {
+            os << "+" << std::string(widths[c] + 2, '-');
+        }
+        os << "+\n";
+    };
+    print_rule();
+    os << "|";
+    for (std::size_t c = 0; c < columns_.size(); ++c)
+        os << " " << std::setw(static_cast<int>(widths[c])) << std::left << columns_[c] << " |";
+    os << "\n";
+    print_rule();
+    for (const auto& cells : rendered) {
+        os << "|";
+        for (std::size_t c = 0; c < cells.size(); ++c)
+            os << " " << std::setw(static_cast<int>(widths[c])) << std::right << cells[c] << " |";
+        os << "\n";
+    }
+    print_rule();
+}
+
+std::string ResultTable::to_string() const {
+    std::ostringstream os;
+    print(os);
+    return os.str();
+}
+
+std::string ResultTable::to_csv() const {
+    std::ostringstream os;
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+        if (c) os << ",";
+        os << csv_escape(columns_[c]);
+    }
+    os << "\n";
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c) os << ",";
+            os << csv_escape(format_cell(row[c], precision_[c]));
+        }
+        os << "\n";
+    }
+    return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const ResultTable& table) {
+    table.print(os);
+    return os;
+}
+
+}  // namespace snnfi::util

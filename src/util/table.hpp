@@ -1,0 +1,60 @@
+// ResultTable: the uniform output format of every experiment and bench.
+//
+// Each bench binary regenerates one paper figure/table by printing a
+// ResultTable whose rows mirror the series the paper reports. Tables also
+// serialise to CSV so results can be plotted externally.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace snnfi::util {
+
+/// A cell is either text or a number (printed with per-column precision).
+using Cell = std::variant<std::string, double>;
+
+class ResultTable {
+public:
+    explicit ResultTable(std::string title, std::vector<std::string> columns);
+
+    const std::string& title() const noexcept { return title_; }
+    const std::vector<std::string>& columns() const noexcept { return columns_; }
+    std::size_t num_rows() const noexcept { return rows_.size(); }
+    std::size_t num_columns() const noexcept { return columns_.size(); }
+
+    /// Appends a row; must match the column count.
+    void add_row(std::vector<Cell> cells);
+
+    /// Sets print precision (decimal places) for a numeric column. Default 4.
+    void set_precision(std::size_t column, int digits);
+
+    /// Free-form caption lines printed under the title (workload parameters,
+    /// paper reference values, notes).
+    void add_note(std::string note) { notes_.push_back(std::move(note)); }
+    const std::vector<std::string>& notes() const noexcept { return notes_; }
+
+    const Cell& at(std::size_t row, std::size_t col) const;
+    /// Numeric accessor; throws if the cell holds text.
+    double number_at(std::size_t row, std::size_t col) const;
+    /// Column values as doubles; throws on any text cell.
+    std::vector<double> numeric_column(std::size_t col) const;
+
+    /// Renders an aligned ASCII table.
+    void print(std::ostream& os) const;
+    std::string to_string() const;
+    /// RFC-4180-ish CSV (quotes fields containing commas/quotes/newlines).
+    std::string to_csv() const;
+
+private:
+    std::string title_;
+    std::vector<std::string> columns_;
+    std::vector<int> precision_;
+    std::vector<std::vector<Cell>> rows_;
+    std::vector<std::string> notes_;
+};
+
+std::ostream& operator<<(std::ostream& os, const ResultTable& table);
+
+}  // namespace snnfi::util

@@ -1,0 +1,48 @@
+// SI-prefixed user-defined literals for circuit quantities.
+//
+// All internal computation uses base SI units (volts, amperes, seconds,
+// farads, ohms); the literals exist so netlist construction reads like a
+// datasheet: `1.0_pF`, `200.0_nA`, `25.0_ns`.
+#pragma once
+
+namespace snnfi::util::literals {
+
+// NOLINTBEGIN(google-runtime-int) — UDL signatures require long double.
+constexpr double operator""_V(long double v) { return static_cast<double>(v); }
+constexpr double operator""_mV(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_uV(long double v) { return static_cast<double>(v) * 1e-6; }
+
+constexpr double operator""_A(long double v) { return static_cast<double>(v); }
+constexpr double operator""_mA(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_uA(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nA(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_pA(long double v) { return static_cast<double>(v) * 1e-12; }
+
+constexpr double operator""_s(long double v) { return static_cast<double>(v); }
+constexpr double operator""_ms(long double v) { return static_cast<double>(v) * 1e-3; }
+constexpr double operator""_us(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_ns(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_ps(long double v) { return static_cast<double>(v) * 1e-12; }
+
+constexpr double operator""_F(long double v) { return static_cast<double>(v); }
+constexpr double operator""_uF(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nF(long double v) { return static_cast<double>(v) * 1e-9; }
+constexpr double operator""_pF(long double v) { return static_cast<double>(v) * 1e-12; }
+constexpr double operator""_fF(long double v) { return static_cast<double>(v) * 1e-15; }
+
+constexpr double operator""_Ohm(long double v) { return static_cast<double>(v); }
+constexpr double operator""_kOhm(long double v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_MOhm(long double v) { return static_cast<double>(v) * 1e6; }
+
+constexpr double operator""_Hz(long double v) { return static_cast<double>(v); }
+constexpr double operator""_kHz(long double v) { return static_cast<double>(v) * 1e3; }
+constexpr double operator""_MHz(long double v) { return static_cast<double>(v) * 1e6; }
+constexpr double operator""_GHz(long double v) { return static_cast<double>(v) * 1e9; }
+
+constexpr double operator""_um(long double v) { return static_cast<double>(v) * 1e-6; }
+constexpr double operator""_nm(long double v) { return static_cast<double>(v) * 1e-9; }
+
+constexpr double operator""_pct(long double v) { return static_cast<double>(v) * 1e-2; }
+// NOLINTEND(google-runtime-int)
+
+}  // namespace snnfi::util::literals

@@ -1,0 +1,211 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "attack/calibration.hpp"
+#include "attack/fault_model.hpp"
+#include "attack/scenarios.hpp"
+#include "data/synthetic_digits.hpp"
+
+namespace snnfi::attack {
+namespace {
+
+TEST(FaultMask, CountMatchesFraction) {
+    EXPECT_EQ(fault_mask(100, 0.25, 1, TargetLayer::kExcitatory).size(), 25u);
+    EXPECT_EQ(fault_mask(100, 1.0, 1, TargetLayer::kExcitatory).size(), 100u);
+    EXPECT_EQ(fault_mask(100, 0.0, 1, TargetLayer::kExcitatory).size(), 0u);
+    // Rounds to nearest.
+    EXPECT_EQ(fault_mask(10, 0.33, 1, TargetLayer::kExcitatory).size(), 3u);
+}
+
+TEST(FaultMask, DeterministicAndLayerDecorrelated) {
+    const auto a = fault_mask(50, 0.5, 9, TargetLayer::kExcitatory);
+    const auto b = fault_mask(50, 0.5, 9, TargetLayer::kExcitatory);
+    EXPECT_EQ(a, b);
+    const auto c = fault_mask(50, 0.5, 9, TargetLayer::kInhibitory);
+    EXPECT_NE(a, c);  // different layer stream
+    const auto d = fault_mask(50, 0.5, 10, TargetLayer::kExcitatory);
+    EXPECT_NE(a, d);  // different seed
+}
+
+TEST(FaultMask, IndicesValidAndDistinct) {
+    const auto mask = fault_mask(40, 0.75, 3, TargetLayer::kBoth);
+    std::set<std::size_t> unique(mask.begin(), mask.end());
+    EXPECT_EQ(unique.size(), mask.size());
+    for (const auto idx : mask) EXPECT_LT(idx, 40u);
+    EXPECT_THROW(fault_mask(10, 1.5, 1, TargetLayer::kBoth), std::invalid_argument);
+}
+
+TEST(ApplyFault, ThresholdValueSemantics) {
+    snn::DiehlCookConfig cfg;
+    cfg.n_neurons = 10;
+    snn::DiehlCookNetwork network(cfg, 1);
+    FaultSpec fault;
+    fault.layer = TargetLayer::kInhibitory;
+    fault.fraction = 1.0;
+    fault.threshold_delta = -0.2;
+    apply_fault(network, fault);
+    // IL: rest -60, thresh -40 -> value semantics: -40*0.8 = -32 mV.
+    for (std::size_t i = 0; i < 10; ++i)
+        EXPECT_NEAR(network.inhibitory().effective_threshold(i), -32.0, 1e-3);
+    // EL untouched.
+    for (std::size_t i = 0; i < 10; ++i)
+        EXPECT_NEAR(network.excitatory().effective_threshold(i), -52.0, 1e-3);
+}
+
+TEST(ApplyFault, CircuitSemanticsAndFraction) {
+    snn::DiehlCookConfig cfg;
+    cfg.n_neurons = 10;
+    snn::DiehlCookNetwork network(cfg, 1);
+    FaultSpec fault;
+    fault.layer = TargetLayer::kExcitatory;
+    fault.fraction = 0.5;
+    fault.threshold_delta = -0.2;
+    fault.semantics = ThresholdSemantics::kCircuitDistance;
+    apply_fault(network, fault);
+    int lowered = 0;
+    for (std::size_t i = 0; i < 10; ++i) {
+        const double thr = network.excitatory().effective_threshold(i);
+        if (thr < -52.5) {
+            ++lowered;
+            EXPECT_NEAR(thr, -65.0 + 13.0 * 0.8, 1e-3);
+        }
+    }
+    EXPECT_EQ(lowered, 5);
+}
+
+TEST(ApplyFault, DriverGainAppliedAtNetworkLevel) {
+    snn::DiehlCookConfig cfg;
+    cfg.n_neurons = 8;
+    snn::DiehlCookNetwork network(cfg, 1);
+    FaultSpec fault;
+    fault.layer = TargetLayer::kNone;
+    fault.driver_gain = 0.8;
+    apply_fault(network, fault);
+    EXPECT_FLOAT_EQ(network.driver_gain(), 0.8f);
+    // And cleared by the next fault application.
+    FaultSpec clean;
+    apply_fault(network, clean);
+    EXPECT_FLOAT_EQ(network.driver_gain(), 1.0f);
+}
+
+TEST(Calibration, PaperReferenceEndpoints) {
+    const auto calibration = VddCalibration::paper_reference();
+    EXPECT_NEAR(calibration.threshold_delta(0.8), -0.1791, 1e-4);
+    EXPECT_NEAR(calibration.threshold_delta(1.2), 0.1676, 1e-4);
+    EXPECT_NEAR(calibration.threshold_delta(1.0), 0.0, 1e-9);
+    EXPECT_NEAR(calibration.driver_gain(0.8), 0.68, 1e-6);
+    EXPECT_NEAR(calibration.driver_gain(1.2), 1.32, 1e-6);
+    EXPECT_NEAR(calibration.driver_gain(1.0), 1.0, 1e-9);
+}
+
+TEST(Calibration, InterpolatesBetweenPoints) {
+    const auto calibration = VddCalibration::paper_reference();
+    const double mid = calibration.threshold_delta(0.85);
+    EXPECT_GT(mid, calibration.threshold_delta(0.8));
+    EXPECT_LT(mid, calibration.threshold_delta(0.9));
+}
+
+TEST(Calibration, FromCircuitsMatchesPaperShape) {
+    const circuits::Characterizer characterizer{circuits::CharacterizationConfig{}};
+    const auto calibration = VddCalibration::from_circuits(
+        characterizer, {0.8, 1.0, 1.2}, circuits::NeuronKind::kAxonHillock);
+    EXPECT_NEAR(calibration.threshold_delta(0.8), -0.18, 0.03);
+    EXPECT_NEAR(calibration.threshold_delta(1.2), 0.17, 0.03);
+    EXPECT_NEAR(calibration.driver_gain(0.8), 0.70, 0.05);
+    EXPECT_NEAR(calibration.driver_gain(1.2), 1.30, 0.05);
+}
+
+// --------------------------------------------------------------- scenarios
+attack::AttackSuite tiny_suite() {
+    // Smallest configuration where the paper's attack ranking emerges
+    // (below ~50 neurons / 300 samples the inhibition dynamics are too
+    // sparse to matter).
+    AttackRunConfig config;
+    config.network.n_neurons = 50;
+    config.train_samples = 300;
+    config.eval_window = 100;
+    return AttackSuite(data::make_synthetic_dataset(300, 42), config);
+}
+
+TEST(AttackSuite, BaselineCachedAndAboveChance) {
+    auto suite = tiny_suite();
+    const double first = suite.baseline_accuracy();
+    EXPECT_GT(suite.baseline_retro_accuracy(), 0.2);
+    EXPECT_DOUBLE_EQ(suite.baseline_accuracy(), first);  // cached
+}
+
+TEST(AttackSuite, InhibitoryAttackWorseThanExcitatory) {
+    // The paper's central ranking: Attack 3 devastates, Attack 2 is mild.
+    auto suite = tiny_suite();
+    FaultSpec exc;
+    exc.layer = TargetLayer::kExcitatory;
+    exc.threshold_delta = -0.2;
+    FaultSpec inh = exc;
+    inh.layer = TargetLayer::kInhibitory;
+    const auto results = suite.run_many({exc, inh});
+    EXPECT_GT(results[0].accuracy, results[1].accuracy);
+    EXPECT_LT(results[1].degradation_pct, -40.0);  // IL collapse
+}
+
+TEST(AttackSuite, Attack1ThetaIsMild) {
+    auto suite = tiny_suite();
+    const auto outcomes = suite.attack1_theta({-0.2, 0.2});
+    for (const auto& o : outcomes) {
+        EXPECT_GT(o.accuracy, 0.5 * suite.baseline_accuracy())
+            << "gain=" << o.fault.driver_gain;
+    }
+}
+
+TEST(AttackSuite, GridShapesAndMetadata) {
+    auto suite = tiny_suite();
+    const auto grid = suite.attack_layer_grid(TargetLayer::kExcitatory,
+                                              {-0.2, 0.2}, {0.5, 1.0});
+    ASSERT_EQ(grid.size(), 4u);
+    EXPECT_EQ(grid[0].fault.layer, TargetLayer::kExcitatory);
+    EXPECT_DOUBLE_EQ(grid[0].fault.threshold_delta, -0.2);
+    EXPECT_DOUBLE_EQ(grid[1].fault.fraction, 1.0);
+}
+
+TEST(AttackSuite, Attack5UsesCalibration) {
+    auto suite = tiny_suite();
+    const auto calibration = VddCalibration::paper_reference();
+    const auto outcomes = suite.attack5_vdd(calibration, {0.8, 1.0});
+    ASSERT_EQ(outcomes.size(), 2u);
+    EXPECT_DOUBLE_EQ(outcomes[0].vdd, 0.8);
+    EXPECT_NEAR(outcomes[0].fault.driver_gain, 0.68, 1e-6);
+    // Nominal VDD is a no-op fault: accuracy equals the baseline.
+    EXPECT_NEAR(outcomes[1].accuracy, suite.baseline_accuracy(), 1e-9);
+    // 0.8 V attack collapses relative to nominal.
+    EXPECT_LT(outcomes[0].accuracy, outcomes[1].accuracy);
+}
+
+TEST(AttackSuite, RunManyMatchesRunSingle) {
+    auto suite = tiny_suite();
+    FaultSpec fault;
+    fault.layer = TargetLayer::kInhibitory;
+    fault.threshold_delta = -0.2;
+    const auto single = suite.run(fault);
+    const auto many = suite.run_many({fault});
+    ASSERT_EQ(many.size(), 1u);
+    EXPECT_DOUBLE_EQ(single.accuracy, many[0].accuracy);
+}
+
+TEST(AttackSuite, TruncatesDatasetToTrainSamples) {
+    AttackRunConfig config;
+    config.network.n_neurons = 20;
+    config.network.steps_per_sample = 100;
+    config.train_samples = 50;
+    AttackSuite suite(data::make_synthetic_dataset(200, 1), config);
+    EXPECT_EQ(suite.dataset().size(), 50u);
+}
+
+TEST(ToString, LayerNames) {
+    EXPECT_STREQ(to_string(TargetLayer::kExcitatory), "excitatory");
+    EXPECT_STREQ(to_string(TargetLayer::kInhibitory), "inhibitory");
+    EXPECT_STREQ(to_string(TargetLayer::kBoth), "both");
+    EXPECT_STREQ(to_string(TargetLayer::kNone), "none");
+}
+
+}  // namespace
+}  // namespace snnfi::attack

@@ -1,0 +1,117 @@
+// Characterisation API surface: sweep containers, reference points, and
+// the measurement conventions the attack calibration depends on.
+#include <gtest/gtest.h>
+
+#include "circuits/characterization.hpp"
+
+namespace snnfi::circuits {
+namespace {
+
+const Characterizer& shared_characterizer() {
+    static const Characterizer instance{CharacterizationConfig{}};
+    return instance;
+}
+
+TEST(Sweeps, ThresholdSweepCarriesPercentChange) {
+    const auto points = shared_characterizer().threshold_vs_vdd(
+        NeuronKind::kAxonHillock, {0.9, 1.0, 1.1});
+    ASSERT_EQ(points.size(), 3u);
+    EXPECT_DOUBLE_EQ(points[1].vdd, 1.0);
+    EXPECT_NEAR(points[1].change_pct, 0.0, 1e-9);  // nominal reference
+    EXPECT_LT(points[0].change_pct, 0.0);
+    EXPECT_GT(points[2].change_pct, 0.0);
+}
+
+TEST(Sweeps, DriverSweepReferencesNominal) {
+    const auto points =
+        shared_characterizer().driver_amplitude_vs_vdd({0.9, 1.0, 1.1}, false);
+    ASSERT_EQ(points.size(), 3u);
+    EXPECT_NEAR(points[1].change_pct, 0.0, 1e-9);
+    EXPECT_GT(points[2].value, points[1].value);
+}
+
+TEST(Sweeps, AmplitudeSweepUsesAmpsOnXAxis) {
+    const auto points = shared_characterizer().time_to_spike_vs_amplitude(
+        NeuronKind::kAxonHillock, {150e-9, 200e-9});
+    ASSERT_EQ(points.size(), 2u);
+    EXPECT_DOUBLE_EQ(points[0].vdd, 150e-9);  // amplitude carried in .vdd
+    EXPECT_GT(points[0].value, points[1].value);  // less current -> slower
+    EXPECT_NEAR(points[1].change_pct, 0.0, 1e-9);
+}
+
+TEST(Waveforms, AxonHillockExportsAllNodes) {
+    const auto result = shared_characterizer().axon_hillock_waveforms(1.0, 5e-6);
+    EXPECT_TRUE(result.has("V(vmem)"));
+    EXPECT_TRUE(result.has("V(vout)"));
+    EXPECT_TRUE(result.has("V(x1)"));
+    EXPECT_TRUE(result.has("I(VDD)"));
+    const std::string csv = result.to_csv({"V(vmem)", "V(vout)"}, 16);
+    EXPECT_NE(csv.find("time,V(vmem),V(vout)"), std::string::npos);
+}
+
+TEST(Waveforms, VampIfExposesThresholdNode) {
+    const auto result = shared_characterizer().vamp_if_waveforms(1.0, 10e-6);
+    ASSERT_TRUE(result.has("V(vthr)"));
+    EXPECT_NEAR(result.signal("V(vthr)").back(), 0.5, 0.01);
+}
+
+TEST(Thresholds, ScaleLinearlyAcrossFineGrid) {
+    // Fig. 6a is near-linear in VDD; check intermediate points interpolate.
+    const auto& ch = shared_characterizer();
+    const double t085 = ch.measure_threshold(NeuronKind::kAxonHillock, 0.85);
+    const double t080 = ch.measure_threshold(NeuronKind::kAxonHillock, 0.80);
+    const double t090 = ch.measure_threshold(NeuronKind::kAxonHillock, 0.90);
+    EXPECT_NEAR(t085, 0.5 * (t080 + t090), 0.01);
+}
+
+TEST(Thresholds, SizingRatioOneMatchesBaseline) {
+    const auto& ch = shared_characterizer();
+    EXPECT_NEAR(ch.measure_ah_threshold_with_sizing(1.0, 1.0),
+                ch.measure_threshold(NeuronKind::kAxonHillock, 1.0), 2e-3);
+}
+
+TEST(NeuronKind, Names) {
+    EXPECT_STREQ(to_string(NeuronKind::kAxonHillock), "AxonHillock");
+    EXPECT_STREQ(to_string(NeuronKind::kVampIf), "VampIF");
+}
+
+TEST(Errors, TimeToSpikeThrowsWhenSilent) {
+    CharacterizationConfig cfg;
+    cfg.ah_window = 2e-6;  // too short for any spike at 10 nA
+    const Characterizer quiet(cfg);
+    EXPECT_THROW(quiet.measure_time_to_spike(NeuronKind::kAxonHillock, 1.0, 10e-9),
+                 std::runtime_error);
+}
+
+TEST(DriverCalibration, MonotonicInTarget) {
+    const double r_for_100n = calibrate_driver_r1(100e-9, 1.0);
+    const double r_for_300n = calibrate_driver_r1(300e-9, 1.0);
+    EXPECT_GT(r_for_100n, r_for_300n);  // more resistance, less current
+    EXPECT_THROW(calibrate_driver_r1(0.0, 1.0), std::invalid_argument);
+}
+
+/// Property: robust driver amplitude is flat for any VRef programming.
+class RobustDriverProgramming : public ::testing::TestWithParam<double> {};
+
+TEST_P(RobustDriverProgramming, FlatAtAnySetpoint) {
+    const double vref = GetParam();
+    RobustDriverConfig cfg;
+    cfg.vref = vref;
+    cfg.r1 = vref / 200e-9;  // program 200 nA
+    cfg.switch_enabled = false;
+    double nominal = 0.0;
+    for (const double vdd : {0.9, 1.0, 1.1}) {
+        cfg.vdd = vdd;
+        spice::Netlist nl = build_robust_driver(cfg);
+        const double amp = measure_driver_amplitude_dc(nl);
+        if (vdd == 0.9) nominal = amp;
+        EXPECT_NEAR(amp, nominal, nominal * 0.01) << "vdd=" << vdd;
+    }
+    EXPECT_NEAR(nominal, 200e-9, 20e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Setpoints, RobustDriverProgramming,
+                         ::testing::Values(0.5, 0.65, 0.7));
+
+}  // namespace
+}  // namespace snnfi::circuits

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "circuits/area_power.hpp"
+#include "circuits/characterization.hpp"
+#include "circuits/current_driver.hpp"
+#include "spice/engine.hpp"
+
+namespace snnfi::circuits {
+namespace {
+
+const Characterizer& shared_characterizer() {
+    static const Characterizer instance{CharacterizationConfig{}};
+    return instance;
+}
+
+TEST(UnsecuredDriver, NominalAmplitudeNear200nA) {
+    const double amp = shared_characterizer().measure_driver_amplitude(1.0);
+    EXPECT_NEAR(amp, 200e-9, 20e-9);
+}
+
+TEST(UnsecuredDriver, CalibrationHitsTarget) {
+    const double r1 = calibrate_driver_r1(200e-9, 1.0);
+    CurrentDriverConfig cfg;
+    cfg.r1 = r1;
+    cfg.switch_enabled = false;
+    spice::Netlist netlist = build_current_driver(cfg);
+    EXPECT_NEAR(measure_driver_amplitude_dc(netlist), 200e-9, 2e-9);
+}
+
+TEST(UnsecuredDriver, AmplitudeTracksVdd) {
+    // Fig. 5b: paper reports -32%/+32% at 0.8/1.2 V; the mirror-resistor
+    // model lands near -29%/+29%.
+    const auto points = shared_characterizer().driver_amplitude_vs_vdd(
+        {0.8, 0.9, 1.0, 1.1, 1.2}, false);
+    for (std::size_t i = 1; i < points.size(); ++i)
+        EXPECT_GT(points[i].value, points[i - 1].value);
+    EXPECT_NEAR(points.front().change_pct, -30.0, 5.0);
+    EXPECT_NEAR(points.back().change_pct, +30.0, 5.0);
+}
+
+TEST(UnsecuredDriver, SwitchGatesOutput) {
+    CurrentDriverConfig cfg;
+    cfg.switch_enabled = true;
+    spice::Netlist netlist = build_current_driver(cfg);
+    // Hold the control LOW: no current must flow.
+    netlist.voltage_source("VCTR").spec().set_dc(0.0);
+    spice::Simulator sim(netlist);
+    const auto dc = sim.solve_dc();
+    EXPECT_LT(std::abs(netlist.voltage_source("VOUT").branch_current(dc.unknowns())),
+              5e-9);
+    // Hold it HIGH: nominal amplitude.
+    netlist.voltage_source("VCTR").spec().set_dc(1.0);
+    const auto dc_on = sim.solve_dc();
+    EXPECT_GT(std::abs(netlist.voltage_source("VOUT").branch_current(dc_on.unknowns())),
+              120e-9);
+}
+
+TEST(RobustDriver, FlatAcrossVdd) {
+    // Fig. 9b: constant output under VDD manipulation.
+    const auto points = shared_characterizer().driver_amplitude_vs_vdd(
+        {0.8, 0.9, 1.0, 1.1, 1.2}, true);
+    for (const auto& p : points) EXPECT_LT(std::abs(p.change_pct), 1.0) << p.vdd;
+}
+
+TEST(RobustDriver, RegulatesToVrefOverR) {
+    RobustDriverConfig cfg;
+    cfg.switch_enabled = false;
+    spice::Netlist netlist = build_robust_driver(cfg);
+    spice::Simulator sim(netlist);
+    const auto dc = sim.solve_dc();
+    EXPECT_NEAR(dc.voltage("fb"), cfg.vref, 0.01);  // virtual short
+    const double amp = measure_driver_amplitude_dc(netlist);
+    EXPECT_NEAR(amp, cfg.vref / cfg.r1, cfg.vref / cfg.r1 * 0.05);
+}
+
+TEST(DriverPower, RobustCostsMoreThanUnsecured) {
+    const auto& ch = shared_characterizer();
+    const double unsecured = ch.measure_driver_power(false, 1.0);
+    const double robust = ch.measure_driver_power(true, 1.0);
+    EXPECT_GT(unsecured, 0.0);
+    EXPECT_GT(robust, unsecured);  // regulation costs power (paper: +3%)
+}
+
+TEST(Area, DriverAreaSmallVsNeuron) {
+    // Paper §V-A: robust-driver area is negligible because neuron
+    // capacitors dominate.
+    spice::Netlist driver = build_robust_driver(RobustDriverConfig{});
+    spice::Netlist neuron = build_axon_hillock(AxonHillockConfig{});
+    const double driver_area = estimate_area(driver).total();
+    const double neuron_area = estimate_area(neuron).total();
+    EXPECT_LT(driver_area, neuron_area);
+}
+
+TEST(Area, NeuronAreaIsCapacitorDominated) {
+    spice::Netlist neuron = build_axon_hillock(AxonHillockConfig{});
+    const AreaBreakdown area = estimate_area(neuron);
+    EXPECT_GT(area.capacitor_um2, 0.5 * area.total());
+}
+
+TEST(Area, BreakdownComponentsNonNegative) {
+    spice::Netlist driver = build_robust_driver(RobustDriverConfig{});
+    const AreaBreakdown area = estimate_area(driver);
+    EXPECT_GE(area.transistor_um2, 0.0);
+    EXPECT_GT(area.capacitor_um2, 0.0);   // compensation cap
+    EXPECT_GT(area.resistor_um2, 0.0);    // R1
+    EXPECT_GT(area.behavioral_um2, 0.0);  // op-amp footprint
+    EXPECT_NEAR(area.total(),
+                area.transistor_um2 + area.capacitor_um2 + area.resistor_um2 +
+                    area.behavioral_um2,
+                1e-9);
+}
+
+TEST(SupplyPower, MatchesVtimesI) {
+    // A 1 V source across 1 kOhm dissipates 1 mW.
+    spice::Netlist nl;
+    nl.add_voltage_source("VDD", "vdd", "0", spice::SourceSpec::dc(1.0));
+    nl.add_resistor("R1", "vdd", "0", 1000.0);
+    spice::Simulator sim(nl);
+    const auto result = sim.run_transient(1e-6, 1e-8);
+    EXPECT_NEAR(supply_power(result, "VDD"), 1e-3, 1e-6);
+}
+
+}  // namespace
+}  // namespace snnfi::circuits

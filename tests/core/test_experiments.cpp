@@ -1,0 +1,93 @@
+#include "core/experiments.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace snnfi::core {
+namespace {
+
+ExperimentOptions quick_options() {
+    ExperimentOptions options;
+    options.quick = true;
+    return options;
+}
+
+TEST(Registry, IdsUniqueAndNonEmpty) {
+    const auto& registry = experiment_registry();
+    EXPECT_GE(registry.size(), 18u);
+    std::set<std::string> ids;
+    for (const auto& experiment : registry) {
+        EXPECT_FALSE(experiment.id.empty());
+        EXPECT_FALSE(experiment.title.empty());
+        EXPECT_TRUE(experiment.run != nullptr);
+        EXPECT_TRUE(ids.insert(experiment.id).second) << experiment.id;
+    }
+}
+
+TEST(Registry, FindByIdAndUnknownThrows) {
+    EXPECT_EQ(find_experiment("fig6a").id, "fig6a");
+    EXPECT_THROW(find_experiment("fig99"), std::invalid_argument);
+}
+
+TEST(Registry, QuickOptionsShrinkWorkload) {
+    ExperimentOptions options;
+    options.quick = true;
+    EXPECT_LT(options.samples(), options.train_samples);
+    EXPECT_LT(options.neurons(), options.n_neurons);
+    options.quick = false;
+    EXPECT_EQ(options.samples(), options.train_samples);
+}
+
+TEST(Experiments, Fig5bShapeMatchesPaper) {
+    const auto table = run_fig5b_driver_amplitude(quick_options());
+    ASSERT_EQ(table.num_rows(), 3u);  // quick grid: 0.8, 1.0, 1.2
+    // Amplitude strictly increasing with VDD.
+    const auto amps = table.numeric_column(1);
+    EXPECT_LT(amps[0], amps[1]);
+    EXPECT_LT(amps[1], amps[2]);
+    // Change percentages bracket the paper's -32/+32.
+    EXPECT_NEAR(table.number_at(0, 2), -30.0, 6.0);
+    EXPECT_NEAR(table.number_at(2, 2), +30.0, 6.0);
+}
+
+TEST(Experiments, Fig6aShapeMatchesPaper) {
+    const auto table = run_fig6a_threshold_vs_vdd(quick_options());
+    ASSERT_EQ(table.num_rows(), 6u);  // 2 neurons x 3 VDDs
+    // First row: AH at 0.8 V, about -18%.
+    EXPECT_NEAR(table.number_at(0, 3), -18.0, 4.0);
+    // Last row: I&F at 1.2 V, positive change.
+    EXPECT_GT(table.number_at(5, 3), 10.0);
+}
+
+TEST(Experiments, Fig9bRobustDriverFlat) {
+    const auto table = run_fig9b_robust_driver(quick_options());
+    for (std::size_t r = 0; r < table.num_rows(); ++r)
+        EXPECT_LT(std::abs(table.number_at(r, 2)), 1.0);
+}
+
+TEST(Experiments, Fig9cDroopShrinksWithRatio) {
+    const auto table = run_fig9c_sizing(quick_options());
+    ASSERT_EQ(table.num_rows(), 2u);  // ratios 1 and 32
+    EXPECT_GT(table.number_at(1, 2), table.number_at(0, 2));  // less droop
+}
+
+TEST(Experiments, Fig10aComparatorFlat) {
+    const auto table = run_fig10a_comparator(quick_options());
+    for (std::size_t r = 0; r < table.num_rows(); ++r)
+        EXPECT_LT(std::abs(table.number_at(r, 2)), 1.5);
+}
+
+TEST(Experiments, Fig3WaveformSummaryHasSpikes) {
+    const auto table = run_fig3_axon_waveforms(quick_options());
+    EXPECT_GE(table.number_at(0, 1), 2.0);  // spike count row
+}
+
+TEST(Experiments, OverheadTableCoversAllDefenses) {
+    const auto table = run_defense_overheads(quick_options());
+    EXPECT_EQ(table.num_rows(), 5u);
+    EXPECT_EQ(table.columns().size(), 5u);
+}
+
+}  // namespace
+}  // namespace snnfi::core

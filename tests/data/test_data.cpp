@@ -1,0 +1,158 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "data/idx.hpp"
+#include "data/synthetic_digits.hpp"
+
+namespace snnfi::data {
+namespace {
+
+TEST(SyntheticDigits, ImageShapeAndRange) {
+    util::Rng rng(1);
+    for (std::size_t label = 0; label < 10; ++label) {
+        const auto image = render_digit(label, rng, {});
+        ASSERT_EQ(image.size(), 28u * 28u);
+        for (const float v : image) {
+            ASSERT_GE(v, 0.0f);
+            ASSERT_LE(v, 1.0f);
+        }
+    }
+}
+
+TEST(SyntheticDigits, StrokesPresent) {
+    util::Rng rng(2);
+    for (std::size_t label = 0; label < 10; ++label) {
+        const auto image = render_digit(label, rng, {});
+        double total = 0.0;
+        int bright = 0;
+        for (const float v : image) {
+            total += v;
+            bright += v > 0.5f;
+        }
+        EXPECT_GT(bright, 15) << "label " << label;   // visible strokes
+        EXPECT_LT(total / 784.0, 0.5) << "label " << label;  // sparse
+    }
+}
+
+TEST(SyntheticDigits, DeterministicGivenRngState) {
+    util::Rng a(77), b(77);
+    EXPECT_EQ(render_digit(4, a, {}), render_digit(4, b, {}));
+}
+
+TEST(SyntheticDigits, JitterVariesSamples) {
+    util::Rng rng(77);
+    const auto first = render_digit(4, rng, {});
+    const auto second = render_digit(4, rng, {});
+    EXPECT_NE(first, second);
+}
+
+TEST(SyntheticDigits, RejectsBadLabel) {
+    util::Rng rng(1);
+    EXPECT_THROW(render_digit(10, rng, {}), std::invalid_argument);
+}
+
+TEST(SyntheticDataset, BalancedAndShuffled) {
+    const auto dataset = make_synthetic_dataset(200, 42);
+    ASSERT_EQ(dataset.size(), 200u);
+    EXPECT_EQ(dataset.image_size, 784u);
+    std::vector<int> counts(10, 0);
+    for (const auto label : dataset.labels) ++counts[label];
+    for (const int c : counts) EXPECT_EQ(c, 20);
+    // Shuffled: the first ten labels should not be exactly 0..9.
+    bool ordered = true;
+    for (std::size_t i = 0; i < 10; ++i) ordered &= dataset.labels[i] == i;
+    EXPECT_FALSE(ordered);
+}
+
+TEST(SyntheticDataset, DeterministicGivenSeed) {
+    const auto a = make_synthetic_dataset(50, 7);
+    const auto b = make_synthetic_dataset(50, 7);
+    EXPECT_EQ(a.labels, b.labels);
+    EXPECT_EQ(a.images, b.images);
+    const auto c = make_synthetic_dataset(50, 8);
+    EXPECT_NE(a.labels, c.labels);
+}
+
+TEST(SyntheticDataset, ClassesAreSeparable) {
+    // Nearest-centroid self-classification must be high for STDP clustering
+    // to have any chance; this guards the glyph quality.
+    const auto dataset = make_synthetic_dataset(400, 21);
+    std::vector<std::vector<double>> centroids(10, std::vector<double>(784, 0.0));
+    std::vector<int> counts(10, 0);
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+        const auto label = dataset.labels[i];
+        ++counts[label];
+        for (std::size_t p = 0; p < 784; ++p)
+            centroids[label][p] += dataset.images[i][p];
+    }
+    for (std::size_t c = 0; c < 10; ++c)
+        for (auto& v : centroids[c]) v /= counts[c];
+
+    int correct = 0;
+    for (std::size_t i = 0; i < dataset.size(); ++i) {
+        double best = 1e18;
+        std::size_t best_class = 0;
+        for (std::size_t c = 0; c < 10; ++c) {
+            double dist = 0.0;
+            for (std::size_t p = 0; p < 784; ++p) {
+                const double d = dataset.images[i][p] - centroids[c][p];
+                dist += d * d;
+            }
+            if (dist < best) {
+                best = dist;
+                best_class = c;
+            }
+        }
+        correct += best_class == dataset.labels[i];
+    }
+    EXPECT_GT(static_cast<double>(correct) / dataset.size(), 0.85);
+}
+
+TEST(Idx, RoundTrip) {
+    const auto dataset = make_synthetic_dataset(30, 3);
+    const auto dir = std::filesystem::temp_directory_path();
+    const std::string images = (dir / "snnfi_test_images").string();
+    const std::string labels = (dir / "snnfi_test_labels").string();
+    save_idx_pair(dataset, images, labels);
+    const auto loaded = load_idx_pair(images, labels);
+    ASSERT_EQ(loaded.size(), dataset.size());
+    EXPECT_EQ(loaded.labels, dataset.labels);
+    EXPECT_EQ(loaded.image_size, dataset.image_size);
+    // Quantisation to bytes allows ~1/255 error.
+    for (std::size_t p = 0; p < dataset.image_size; ++p)
+        EXPECT_NEAR(loaded.images[0][p], dataset.images[0][p], 1.0 / 254.0);
+    const auto limited = load_idx_pair(images, labels, 10);
+    EXPECT_EQ(limited.size(), 10u);
+    std::remove(images.c_str());
+    std::remove(labels.c_str());
+}
+
+TEST(Idx, MissingFilesHandled) {
+    EXPECT_THROW(load_idx_pair("/nonexistent/imgs", "/nonexistent/lbls"),
+                 std::runtime_error);
+    EXPECT_FALSE(try_load_mnist("/nonexistent/dir").has_value());
+}
+
+TEST(Idx, BadMagicRejected) {
+    const auto dir = std::filesystem::temp_directory_path();
+    const std::string path = (dir / "snnfi_bad_magic").string();
+    {
+        std::ofstream out(path, std::ios::binary);
+        const char junk[16] = {0};
+        out.write(junk, sizeof junk);
+    }
+    EXPECT_THROW(load_idx_pair(path, path), std::runtime_error);
+    std::remove(path.c_str());
+}
+
+TEST(LoadDigits, FallsBackToSynthetic) {
+    const auto dataset = load_digits(40, 42, "/nonexistent/mnist");
+    EXPECT_EQ(dataset.size(), 40u);
+    EXPECT_EQ(dataset.image_size, 784u);
+}
+
+}  // namespace
+}  // namespace snnfi::data

@@ -1,0 +1,109 @@
+// End-to-end integration: circuit characterisation feeds the calibration,
+// the calibration drives the black-box attack, the attack collapses the
+// classifier, and the defenses recover it — the paper's full story on a
+// scaled-down workload.
+#include <gtest/gtest.h>
+
+#include "attack/calibration.hpp"
+#include "attack/scenarios.hpp"
+#include "core/experiments.hpp"
+#include "data/synthetic_digits.hpp"
+#include "defense/defenses.hpp"
+
+namespace snnfi {
+namespace {
+
+class EndToEnd : public ::testing::Test {
+protected:
+    static attack::AttackSuite make_suite() {
+        attack::AttackRunConfig config;
+        config.network.n_neurons = 50;
+        config.train_samples = 300;
+        config.eval_window = 100;
+        return attack::AttackSuite(data::make_synthetic_dataset(300, 42), config);
+    }
+};
+
+TEST_F(EndToEnd, FullPipelineStoryHolds) {
+    // 1. Circuits -> calibration.
+    const circuits::Characterizer characterizer{circuits::CharacterizationConfig{}};
+    const auto calibration = attack::VddCalibration::from_circuits(
+        characterizer, {0.8, 1.0, 1.2}, circuits::NeuronKind::kAxonHillock);
+    EXPECT_LT(calibration.threshold_delta(0.8), -0.1);
+    EXPECT_LT(calibration.driver_gain(0.8), 0.8);
+
+    // 2. Baseline learns.
+    auto suite = make_suite();
+    const double baseline = suite.baseline_accuracy();
+    EXPECT_GT(suite.baseline_retro_accuracy(), 0.3);
+
+    // 3. Black-box VDD attack collapses accuracy.
+    const auto attacked = suite.attack5_vdd(calibration, {0.8});
+    EXPECT_LT(attacked[0].accuracy, 0.6 * baseline);
+
+    // 4. The bandgap defense recovers it.
+    defense::DefenseSuite defenses(suite, characterizer);
+    const auto defended = defenses.bandgap_vthr(circuits::BandgapModel{}, {0.8});
+    EXPECT_GT(defended[0].accuracy, attacked[0].accuracy);
+    EXPECT_GT(defended[0].accuracy, 0.8 * baseline);
+}
+
+TEST_F(EndToEnd, AttackRankingMatchesPaper) {
+    // Paper ordering at -20%/100%: Attack 4 <= Attack 3 << Attack 2 <= base.
+    auto suite = make_suite();
+    attack::FaultSpec exc;
+    exc.layer = attack::TargetLayer::kExcitatory;
+    exc.threshold_delta = -0.2;
+    attack::FaultSpec inh = exc;
+    inh.layer = attack::TargetLayer::kInhibitory;
+    attack::FaultSpec both = exc;
+    both.layer = attack::TargetLayer::kBoth;
+    const auto results = suite.run_many({exc, inh, both});
+    EXPECT_GT(results[0].accuracy, results[1].accuracy);          // EL > IL
+    EXPECT_LE(results[2].accuracy, results[1].accuracy + 0.05);   // both worst
+}
+
+TEST_F(EndToEnd, ThetaAttackMildAsInFig7b) {
+    auto suite = make_suite();
+    const auto outcomes = suite.attack1_theta({-0.2, 0.2});
+    const double baseline = suite.baseline_accuracy();
+    for (const auto& o : outcomes)
+        EXPECT_GT(o.accuracy, 0.55 * baseline) << "gain " << o.fault.driver_gain;
+}
+
+TEST_F(EndToEnd, QuickExperimentTablesAreWellFormed) {
+    core::ExperimentOptions options;
+    options.quick = true;
+    for (const auto* id : {"baseline", "fig7b", "fig8c"}) {
+        const auto table = core::find_experiment(id).run(options);
+        EXPECT_GT(table.num_rows(), 0u) << id;
+        EXPECT_FALSE(table.to_csv().empty()) << id;
+    }
+}
+
+TEST_F(EndToEnd, InferenceOnlyMilderThanTrainingTime) {
+    // Beyond-paper ablation: the same fault injected only at inference
+    // (clean training) is less damaging than corrupting training itself.
+    attack::FaultSpec fault;
+    fault.layer = attack::TargetLayer::kInhibitory;
+    fault.threshold_delta = -0.2;
+
+    attack::AttackRunConfig config;
+    config.network.n_neurons = 40;
+    config.network.steps_per_sample = 150;
+    config.train_samples = 150;
+    config.eval_window = 50;
+    attack::AttackSuite training_suite(data::make_synthetic_dataset(150, 42), config);
+    const auto training_time = training_suite.run(fault);
+
+    config.phase = attack::AttackPhase::kInferenceOnly;
+    attack::AttackSuite inference_suite(data::make_synthetic_dataset(150, 42), config);
+    const auto inference_only = inference_suite.run(fault);
+
+    EXPECT_GE(inference_only.accuracy, 0.0);
+    EXPECT_LE(inference_only.accuracy, 1.0);
+    EXPECT_GE(inference_only.accuracy, training_time.accuracy - 0.05);
+}
+
+}  // namespace
+}  // namespace snnfi

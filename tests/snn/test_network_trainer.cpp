@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "data/synthetic_digits.hpp"
+#include "snn/classifier.hpp"
+#include "snn/network.hpp"
+#include "snn/trainer.hpp"
+
+namespace snnfi::snn {
+namespace {
+
+DiehlCookConfig tiny_config() {
+    DiehlCookConfig cfg;
+    cfg.n_neurons = 30;
+    cfg.steps_per_sample = 150;
+    return cfg;
+}
+
+TEST(Network, RunSampleProducesActivity) {
+    DiehlCookNetwork network(tiny_config(), 7);
+    util::Rng rng(1);
+    const auto image = data::render_digit(3, rng, {});
+    const SampleActivity activity = network.run_sample(image);
+    EXPECT_EQ(activity.exc_counts.size(), 30u);
+    EXPECT_GT(activity.total_exc_spikes, 0u);
+}
+
+TEST(Network, RejectsWrongImageSize) {
+    DiehlCookNetwork network(tiny_config(), 7);
+    EXPECT_THROW(network.run_sample(std::vector<float>(10, 0.5f)),
+                 std::invalid_argument);
+}
+
+TEST(Network, DeterministicGivenSeed) {
+    util::Rng rng(1);
+    const auto image = data::render_digit(5, rng, {});
+    DiehlCookNetwork a(tiny_config(), 99);
+    DiehlCookNetwork b(tiny_config(), 99);
+    const auto act_a = a.run_sample(image);
+    const auto act_b = b.run_sample(image);
+    EXPECT_EQ(act_a.exc_counts, act_b.exc_counts);
+    EXPECT_EQ(act_a.total_inh_spikes, act_b.total_inh_spikes);
+}
+
+TEST(Network, DifferentSeedsDiffer) {
+    util::Rng rng(1);
+    const auto image = data::render_digit(5, rng, {});
+    DiehlCookNetwork a(tiny_config(), 1);
+    DiehlCookNetwork b(tiny_config(), 2);
+    EXPECT_NE(a.run_sample(image).exc_counts, b.run_sample(image).exc_counts);
+}
+
+TEST(Network, DriverGainScalesActivity) {
+    util::Rng rng(1);
+    const auto image = data::render_digit(8, rng, {});
+    DiehlCookNetwork boosted(tiny_config(), 7);
+    DiehlCookNetwork cut(tiny_config(), 7);
+    boosted.set_driver_gain(1.5f);
+    cut.set_driver_gain(0.4f);
+    EXPECT_GT(boosted.run_sample(image).total_exc_spikes,
+              cut.run_sample(image).total_exc_spikes);
+}
+
+TEST(Network, ClearFaultsRestoresGain) {
+    DiehlCookNetwork network(tiny_config(), 7);
+    network.set_driver_gain(0.5f);
+    network.clear_faults();
+    EXPECT_FLOAT_EQ(network.driver_gain(), 1.0f);
+}
+
+TEST(Network, InhibitionSuppressesActivity) {
+    util::Rng rng(1);
+    const auto image = data::render_digit(0, rng, {});
+    DiehlCookConfig with_inh = tiny_config();
+    DiehlCookConfig no_inh = tiny_config();
+    no_inh.inh_weight = 0.0f;
+    DiehlCookNetwork inhibited(with_inh, 7);
+    DiehlCookNetwork free_running(no_inh, 7);
+    EXPECT_LT(inhibited.run_sample(image).total_exc_spikes,
+              free_running.run_sample(image).total_exc_spikes);
+}
+
+TEST(Classifier, AssignAndPredictOnCraftedActivity) {
+    ActivityClassifier classifier(4, 3);
+    // Neurons 0,1 respond to class 0; neuron 2 to class 1; neuron 3 to 2.
+    classifier.accumulate(std::vector<std::uint32_t>{9, 7, 0, 1}, 0);
+    classifier.accumulate(std::vector<std::uint32_t>{0, 1, 8, 0}, 1);
+    classifier.accumulate(std::vector<std::uint32_t>{1, 0, 0, 6}, 2);
+    classifier.assign_labels();
+    const auto assignments = classifier.assignments();
+    EXPECT_EQ(assignments[0], 0u);
+    EXPECT_EQ(assignments[1], 0u);
+    EXPECT_EQ(assignments[2], 1u);
+    EXPECT_EQ(assignments[3], 2u);
+    EXPECT_EQ(classifier.predict(std::vector<std::uint32_t>{5, 4, 1, 0}), 0u);
+    EXPECT_EQ(classifier.predict(std::vector<std::uint32_t>{0, 1, 9, 1}), 1u);
+    EXPECT_EQ(classifier.predict(std::vector<std::uint32_t>{0, 0, 1, 7}), 2u);
+}
+
+TEST(Classifier, PredictNormalizesByAssignedCount) {
+    ActivityClassifier classifier(3, 2);
+    // Two neurons for class 0, one for class 1.
+    classifier.accumulate(std::vector<std::uint32_t>{5, 5, 0}, 0);
+    classifier.accumulate(std::vector<std::uint32_t>{0, 0, 5}, 1);
+    classifier.assign_labels();
+    // Activity 3+3 on class-0 neurons (mean 3) vs 4 on the class-1 neuron:
+    // class 1 wins despite the lower total.
+    EXPECT_EQ(classifier.predict(std::vector<std::uint32_t>{3, 3, 4}), 1u);
+}
+
+TEST(Classifier, Validation) {
+    EXPECT_THROW(ActivityClassifier(0, 10), std::invalid_argument);
+    ActivityClassifier classifier(2, 2);
+    EXPECT_THROW(classifier.accumulate(std::vector<std::uint32_t>{1}, 0),
+                 std::invalid_argument);
+    EXPECT_THROW(classifier.accumulate(std::vector<std::uint32_t>{1, 2}, 5),
+                 std::out_of_range);
+    EXPECT_THROW(classifier.predict(std::vector<std::uint32_t>{1}),
+                 std::invalid_argument);
+}
+
+TEST(Trainer, LearnsAboveChanceOnTinyProblem) {
+    const auto dataset = data::make_synthetic_dataset(150, 11);
+    DiehlCookNetwork network(tiny_config(), 7);
+    Trainer trainer(network, /*eval_window=*/50);
+    const TrainResult result = trainer.run(dataset);
+    EXPECT_GT(result.retro_accuracy, 0.25);  // well above 10% chance
+    EXPECT_GT(result.train_accuracy, 0.15);
+    EXPECT_GT(result.total_exc_spikes, 0u);
+}
+
+TEST(Trainer, HeldOutEvaluation) {
+    const auto train = data::make_synthetic_dataset(120, 11);
+    const auto test = data::make_synthetic_dataset(40, 999);
+    DiehlCookNetwork network(tiny_config(), 7);
+    Trainer trainer(network, 40);
+    const TrainResult result = trainer.run(train, &test);
+    EXPECT_GE(result.test_accuracy, 0.0);
+    EXPECT_LE(result.test_accuracy, 1.0);
+    EXPECT_TRUE(network.learning_enabled());  // restored after eval
+}
+
+TEST(Trainer, DeterministicAccuracy) {
+    const auto dataset = data::make_synthetic_dataset(80, 5);
+    DiehlCookNetwork a(tiny_config(), 13);
+    DiehlCookNetwork b(tiny_config(), 13);
+    const auto res_a = Trainer(a, 40).run(dataset);
+    const auto res_b = Trainer(b, 40).run(dataset);
+    EXPECT_DOUBLE_EQ(res_a.train_accuracy, res_b.train_accuracy);
+    EXPECT_DOUBLE_EQ(res_a.retro_accuracy, res_b.retro_accuracy);
+    EXPECT_EQ(res_a.total_exc_spikes, res_b.total_exc_spikes);
+}
+
+TEST(Trainer, Validation) {
+    DiehlCookNetwork network(tiny_config(), 7);
+    Trainer trainer(network);
+    Dataset empty;
+    EXPECT_THROW(trainer.run(empty), std::invalid_argument);
+    Dataset mismatched;
+    mismatched.images.push_back(std::vector<float>(784, 0.1f));
+    EXPECT_THROW(trainer.run(mismatched), std::invalid_argument);
+}
+
+TEST(Hook, CalledPerSample) {
+    const auto dataset = data::make_synthetic_dataset(10, 5);
+    DiehlCookNetwork network(tiny_config(), 7);
+    Trainer trainer(network, 5);
+    std::size_t calls = 0;
+    trainer.run(dataset, nullptr, [&](std::size_t) { ++calls; });
+    EXPECT_EQ(calls, 10u);
+}
+
+}  // namespace
+}  // namespace snnfi::snn

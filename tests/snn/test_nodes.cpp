@@ -1,0 +1,198 @@
+#include "snn/nodes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace snnfi::snn {
+namespace {
+
+LifParams fast_params() {
+    LifParams p;
+    p.v_rest = -65.0f;
+    p.v_reset = -60.0f;
+    p.v_thresh = -52.0f;
+    p.tau_ms = 100.0f;
+    p.refrac_steps = 5;
+    return p;
+}
+
+TEST(LifLayer, IntegratesInput) {
+    LifLayer layer(1, fast_params());
+    std::vector<std::uint8_t> spiked;
+    layer.step(std::vector<float>{5.0f}, spiked);
+    EXPECT_EQ(spiked[0], 0);
+    EXPECT_GT(layer.voltages()[0], -65.0f);
+    EXPECT_LT(layer.voltages()[0], -52.0f);
+}
+
+TEST(LifLayer, SpikesAboveThresholdAndResets) {
+    LifLayer layer(1, fast_params());
+    std::vector<std::uint8_t> spiked;
+    const std::size_t count = layer.step(std::vector<float>{20.0f}, spiked);
+    EXPECT_EQ(count, 1u);
+    EXPECT_EQ(spiked[0], 1);
+    EXPECT_FLOAT_EQ(layer.voltages()[0], -60.0f);  // reset value
+}
+
+TEST(LifLayer, RefractoryBlocksIntegration) {
+    LifLayer layer(1, fast_params());
+    std::vector<std::uint8_t> spiked;
+    layer.step(std::vector<float>{20.0f}, spiked);  // spike
+    for (int step = 0; step < 5; ++step) {
+        layer.step(std::vector<float>{20.0f}, spiked);
+        EXPECT_EQ(spiked[0], 0) << "refractory step " << step;
+    }
+    layer.step(std::vector<float>{20.0f}, spiked);  // refractory over
+    EXPECT_EQ(spiked[0], 1);
+}
+
+TEST(LifLayer, LeaksTowardsRest) {
+    LifLayer layer(1, fast_params());
+    std::vector<std::uint8_t> spiked;
+    layer.step(std::vector<float>{10.0f}, spiked);
+    const float v1 = layer.voltages()[0];
+    layer.step(std::vector<float>{0.0f}, spiked);
+    const float v2 = layer.voltages()[0];
+    EXPECT_LT(v2, v1);
+    EXPECT_GT(v2, -65.0f);
+    // One step of decay: v2 - rest = decay * (v1 - rest).
+    const float decay = std::exp(-1.0f / 100.0f);
+    EXPECT_NEAR(v2, -65.0f + decay * (v1 + 65.0f), 1e-4);
+}
+
+TEST(LifLayer, ResetStateClearsDynamics) {
+    LifLayer layer(2, fast_params());
+    std::vector<std::uint8_t> spiked;
+    layer.step(std::vector<float>{20.0f, 5.0f}, spiked);
+    layer.reset_state();
+    EXPECT_FLOAT_EQ(layer.voltages()[0], -65.0f);
+    EXPECT_FLOAT_EQ(layer.voltages()[1], -65.0f);
+}
+
+TEST(LifLayer, ThresholdScaleFaultDistanceSemantics) {
+    LifLayer layer(2, fast_params());
+    const std::vector<std::size_t> target = {0};
+    layer.apply_threshold_scale(target, 0.8f);  // 20% closer to rest
+    // dist = 13 mV -> 10.4 mV -> threshold -54.6 mV.
+    EXPECT_NEAR(layer.effective_threshold(0), -65.0 + 13.0 * 0.8, 1e-4);
+    EXPECT_NEAR(layer.effective_threshold(1), -52.0, 1e-4);
+
+    std::vector<std::uint8_t> spiked;
+    layer.step(std::vector<float>{11.0f, 11.0f}, spiked);
+    EXPECT_EQ(spiked[0], 1);  // lowered threshold fires
+    EXPECT_EQ(spiked[1], 0);  // nominal does not
+}
+
+TEST(LifLayer, ThresholdValueDeltaPaperSemantics) {
+    LifLayer layer(1, fast_params());
+    const std::vector<std::size_t> target = {0};
+    // BindsNET semantics: thresh' = -52 * (1 - 0.2) = -41.6 mV -> dist 23.4.
+    layer.apply_threshold_value_delta(target, -0.2f);
+    EXPECT_NEAR(layer.effective_threshold(0), -41.6, 1e-3);
+    // +20%: thresh' = -62.4 mV -> dist 2.6 (easier firing).
+    layer.apply_threshold_value_delta(target, +0.2f);
+    EXPECT_NEAR(layer.effective_threshold(0), -62.4, 1e-3);
+}
+
+TEST(LifLayer, InputGainFault) {
+    LifLayer layer(2, fast_params());
+    const std::vector<std::size_t> target = {1};
+    layer.apply_input_gain(target, 2.0f);
+    std::vector<std::uint8_t> spiked;
+    layer.step(std::vector<float>{7.0f, 7.0f}, spiked);
+    EXPECT_EQ(spiked[0], 0);  // 7 mV < 13 mV distance
+    EXPECT_EQ(spiked[1], 1);  // 14 mV with gain 2
+}
+
+TEST(LifLayer, ClearFaultsRestoresNominal) {
+    LifLayer layer(1, fast_params());
+    const std::vector<std::size_t> target = {0};
+    layer.apply_threshold_scale(target, 0.5f);
+    layer.apply_input_gain(target, 3.0f);
+    layer.clear_faults();
+    EXPECT_FLOAT_EQ(layer.threshold_scale(0), 1.0f);
+    EXPECT_FLOAT_EQ(layer.input_gain(0), 1.0f);
+}
+
+TEST(LifLayer, Validation) {
+    EXPECT_THROW(LifLayer(0, fast_params()), std::invalid_argument);
+    LifParams bad = fast_params();
+    bad.tau_ms = 0.0f;
+    EXPECT_THROW(LifLayer(1, bad), std::invalid_argument);
+    LifLayer layer(2, fast_params());
+    std::vector<std::uint8_t> spiked;
+    EXPECT_THROW(layer.step(std::vector<float>{1.0f}, spiked), std::invalid_argument);
+    EXPECT_THROW(layer.apply_input_gain(std::vector<std::size_t>{5}, 1.0f),
+                 std::out_of_range);
+}
+
+TEST(DiehlCookLayer, ThetaGrowsPerSpikeAndRaisesThreshold) {
+    DiehlCookParams params;
+    DiehlCookLayer layer(1, params);
+    std::vector<std::uint8_t> spiked;
+    const float thr_before = layer.effective_threshold(0);
+    layer.step(std::vector<float>{20.0f}, spiked);
+    ASSERT_EQ(spiked[0], 1);
+    EXPECT_NEAR(layer.theta()[0], params.theta_plus, 1e-6);
+    EXPECT_GT(layer.effective_threshold(0), thr_before);
+}
+
+TEST(DiehlCookLayer, ThetaDecays) {
+    DiehlCookParams params;
+    params.theta_decay_ms = 10.0f;  // fast decay for the test
+    DiehlCookLayer layer(1, params);
+    std::vector<std::uint8_t> spiked;
+    layer.step(std::vector<float>{20.0f}, spiked);
+    const float theta_after_spike = layer.theta()[0];
+    for (int step = 0; step < 50; ++step) layer.step(std::vector<float>{0.0f}, spiked);
+    EXPECT_LT(layer.theta()[0], 0.05f * theta_after_spike);
+}
+
+TEST(DiehlCookLayer, ThetaSurvivesResetState) {
+    DiehlCookLayer layer(1, DiehlCookParams{});
+    std::vector<std::uint8_t> spiked;
+    layer.step(std::vector<float>{20.0f}, spiked);
+    const float theta = layer.theta()[0];
+    layer.reset_state();
+    EXPECT_FLOAT_EQ(layer.theta()[0], theta);  // adaptation persists
+    layer.reset_adaptation();
+    EXPECT_FLOAT_EQ(layer.theta()[0], 0.0f);
+}
+
+TEST(DiehlCookLayer, ThresholdFaultDoesNotScaleTheta) {
+    DiehlCookLayer layer(1, DiehlCookParams{});
+    std::vector<std::uint8_t> spiked;
+    layer.step(std::vector<float>{20.0f}, spiked);  // theta = theta_plus
+    const std::vector<std::size_t> target = {0};
+    layer.apply_threshold_scale(target, 0.5f);
+    // rest + dist*0.5 + theta
+    EXPECT_NEAR(layer.effective_threshold(0), -65.0 + 13.0 * 0.5 + 0.05, 1e-3);
+}
+
+/// Property: over a grid of deltas the two semantics agree in sign of the
+/// firing-rate change they induce (value semantics inverts the sign).
+class ThresholdSemanticsSweep : public ::testing::TestWithParam<float> {};
+
+TEST_P(ThresholdSemanticsSweep, ValueSemanticsInvertsEffect) {
+    const float delta = GetParam();
+    LifLayer distance(1, fast_params());
+    LifLayer value(1, fast_params());
+    const std::vector<std::size_t> target = {0};
+    distance.apply_threshold_scale(target, 1.0f + delta);
+    value.apply_threshold_value_delta(target, delta);
+    const double nominal = -52.0;
+    if (delta < 0.0f) {
+        EXPECT_LT(distance.effective_threshold(0), nominal);  // easier
+        EXPECT_GT(value.effective_threshold(0), nominal);     // harder
+    } else {
+        EXPECT_GT(distance.effective_threshold(0), nominal);
+        EXPECT_LT(value.effective_threshold(0), nominal);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Deltas, ThresholdSemanticsSweep,
+                         ::testing::Values(-0.2f, -0.1f, 0.1f, 0.2f));
+
+}  // namespace
+}  // namespace snnfi::snn

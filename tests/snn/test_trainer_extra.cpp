@@ -1,0 +1,127 @@
+// Trainer metric semantics and fault-interaction edge cases.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "data/synthetic_digits.hpp"
+#include "snn/trainer.hpp"
+
+namespace snnfi::snn {
+namespace {
+
+DiehlCookConfig tiny_config() {
+    DiehlCookConfig cfg;
+    cfg.n_neurons = 30;
+    cfg.steps_per_sample = 120;
+    return cfg;
+}
+
+TEST(TrainerMetrics, WindowLargerThanDatasetScoresNothingOnline) {
+    const auto dataset = data::make_synthetic_dataset(30, 5);
+    DiehlCookNetwork network(tiny_config(), 7);
+    Trainer trainer(network, /*eval_window=*/100);
+    const auto result = trainer.run(dataset);
+    EXPECT_DOUBLE_EQ(result.train_accuracy, 0.0);  // no window completed
+    EXPECT_GT(result.retro_accuracy, 0.0);         // retro still defined
+}
+
+TEST(TrainerMetrics, OnlineScoresExactlyAfterFirstWindow) {
+    const auto dataset = data::make_synthetic_dataset(60, 5);
+    DiehlCookNetwork network(tiny_config(), 7);
+    Trainer trainer(network, /*eval_window=*/20);
+    // 60 samples, window 20: samples 20..59 are scored (40 predictions).
+    const auto result = trainer.run(dataset);
+    // Accuracy is a multiple of 1/40.
+    const double scaled = result.train_accuracy * 40.0;
+    EXPECT_NEAR(scaled, std::round(scaled), 1e-9);
+}
+
+TEST(TrainerMetrics, ZeroWindowRejected) {
+    const auto dataset = data::make_synthetic_dataset(10, 5);
+    DiehlCookNetwork network(tiny_config(), 7);
+    Trainer trainer(network, 0);
+    EXPECT_THROW(trainer.run(dataset), std::invalid_argument);
+}
+
+TEST(TrainerFaults, ThresholdFaultChangesTrajectory) {
+    const auto dataset = data::make_synthetic_dataset(60, 5);
+    DiehlCookNetwork clean(tiny_config(), 7);
+    DiehlCookNetwork faulted(tiny_config(), 7);
+    std::vector<std::size_t> all(30);
+    std::iota(all.begin(), all.end(), 0u);
+    faulted.inhibitory().apply_threshold_value_delta(all, -0.2f);
+    const auto clean_result = Trainer(clean, 20).run(dataset);
+    const auto fault_result = Trainer(faulted, 20).run(dataset);
+    EXPECT_NE(clean_result.total_exc_spikes, fault_result.total_exc_spikes);
+    // Disabled inhibition (value semantics, -20% on IL) raises activity.
+    EXPECT_GT(fault_result.total_exc_spikes, clean_result.total_exc_spikes);
+}
+
+TEST(TrainerFaults, DriverGainPersistsAcrossSamples) {
+    const auto dataset = data::make_synthetic_dataset(20, 5);
+    DiehlCookNetwork boosted(tiny_config(), 7);
+    DiehlCookNetwork nominal(tiny_config(), 7);
+    boosted.set_driver_gain(1.5f);
+    const auto boosted_result = Trainer(boosted, 10).run(dataset);
+    const auto nominal_result = Trainer(nominal, 10).run(dataset);
+    EXPECT_GT(boosted_result.total_exc_spikes, nominal_result.total_exc_spikes);
+    EXPECT_FLOAT_EQ(boosted.driver_gain(), 1.5f);  // unchanged by training
+}
+
+TEST(TrainerFaults, LearningFrozenNetworkKeepsWeights) {
+    const auto dataset = data::make_synthetic_dataset(20, 5);
+    DiehlCookNetwork network(tiny_config(), 7);
+    network.set_learning(false);
+    const Matrix before = network.input_connection().weights();
+    for (const auto& image : dataset.images) network.run_sample(image);
+    const Matrix& after = network.input_connection().weights();
+    ASSERT_EQ(before.rows(), after.rows());
+    for (std::size_t r = 0; r < before.rows(); ++r)
+        for (std::size_t c = 0; c < before.cols(); ++c)
+            ASSERT_FLOAT_EQ(before(r, c), after(r, c));
+}
+
+TEST(TrainerFaults, TrainingMovesWeights) {
+    const auto dataset = data::make_synthetic_dataset(20, 5);
+    DiehlCookNetwork network(tiny_config(), 7);
+    const Matrix before = network.input_connection().weights();
+    Trainer(network, 10).run(dataset);
+    const Matrix& after = network.input_connection().weights();
+    double total_change = 0.0;
+    for (std::size_t r = 0; r < before.rows(); ++r)
+        for (std::size_t c = 0; c < before.cols(); ++c)
+            total_change += std::abs(after(r, c) - before(r, c));
+    EXPECT_GT(total_change, 0.1);
+}
+
+TEST(TrainerFaults, NormalizationHoldsDuringTraining) {
+    const auto dataset = data::make_synthetic_dataset(15, 5);
+    DiehlCookConfig cfg = tiny_config();
+    DiehlCookNetwork network(cfg, 7);
+    Trainer(network, 5).run(dataset);
+    for (std::size_t j = 0; j < cfg.n_neurons; ++j)
+        EXPECT_NEAR(network.input_connection().weights().column_sum(j),
+                    cfg.norm_total, cfg.norm_total * 0.01)
+            << "column " << j;
+}
+
+/// Property: accuracy is invariant to the data seed only through quality,
+/// not determinism — but for a FIXED seed pair everything reproduces.
+class TrainerDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TrainerDeterminism, ExactReproduction) {
+    const auto dataset = data::make_synthetic_dataset(40, GetParam());
+    DiehlCookNetwork a(tiny_config(), GetParam() + 1);
+    DiehlCookNetwork b(tiny_config(), GetParam() + 1);
+    const auto ra = Trainer(a, 20).run(dataset);
+    const auto rb = Trainer(b, 20).run(dataset);
+    EXPECT_DOUBLE_EQ(ra.train_accuracy, rb.train_accuracy);
+    EXPECT_EQ(ra.total_exc_spikes, rb.total_exc_spikes);
+    EXPECT_EQ(ra.total_inh_spikes, rb.total_inh_spikes);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TrainerDeterminism, ::testing::Values(3u, 9u, 27u));
+
+}  // namespace
+}  // namespace snnfi::snn

@@ -1,0 +1,176 @@
+// Device-level edge cases and solver fallback paths not covered by the
+// basic DC/transient suites.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/current_driver.hpp"
+#include "spice/engine.hpp"
+#include "spice/ptm65.hpp"
+#include "util/stats.hpp"
+#include "util/units.hpp"
+
+namespace snnfi::spice {
+namespace {
+
+using namespace snnfi::util::literals;
+
+TEST(Devices, ResistorAndCapacitorSetters) {
+    Netlist nl;
+    auto& r = nl.add_resistor("R1", "a", "0", 1.0_kOhm);
+    auto& c = nl.add_capacitor("C1", "a", "0", 1.0_pF);
+    r.set_resistance(2.0_kOhm);
+    c.set_capacitance(3.0_pF);
+    EXPECT_DOUBLE_EQ(r.resistance(), 2000.0);
+    EXPECT_DOUBLE_EQ(c.capacitance(), 3e-12);
+    EXPECT_THROW(r.set_resistance(0.0), std::invalid_argument);
+    EXPECT_THROW(c.set_capacitance(-1.0), std::invalid_argument);
+}
+
+TEST(Devices, ParameterMutationBetweenSolves) {
+    // The VDD-sweep idiom: mutate a source, re-solve with the same
+    // Simulator.
+    Netlist nl;
+    nl.add_voltage_source("VDD", "in", "0", SourceSpec::dc(1.0));
+    nl.add_resistor("R1", "in", "mid", 1.0_kOhm);
+    nl.add_resistor("R2", "mid", "0", 1.0_kOhm);
+    Simulator sim(nl);
+    EXPECT_NEAR(sim.solve_dc().voltage("mid"), 0.5, 1e-9);
+    nl.voltage_source("VDD").spec().set_dc(0.8);
+    EXPECT_NEAR(sim.solve_dc().voltage("mid"), 0.4, 1e-9);
+    nl.resistor("R2").set_resistance(3.0_kOhm);
+    EXPECT_NEAR(sim.solve_dc().voltage("mid"), 0.6, 1e-9);
+}
+
+TEST(Devices, PwlSourceDrivesTransient) {
+    Netlist nl;
+    PwlSpec pwl;
+    pwl.times = {0.0, 1e-3, 2e-3};
+    pwl.values = {0.0, 1.0, 0.0};
+    nl.add_voltage_source("V1", "a", "0", SourceSpec(pwl));
+    nl.add_resistor("R1", "a", "0", 1.0_kOhm);
+    Simulator sim(nl);
+    const auto result = sim.run_transient(2e-3, 1e-5);
+    // Triangle peak at 1 ms.
+    const double peak_time =
+        result.time()[static_cast<std::size_t>(util::argmax(result.signal("V(a)")))];
+    EXPECT_NEAR(peak_time, 1e-3, 5e-5);
+    EXPECT_NEAR(result.max_value("V(a)"), 1.0, 0.02);
+}
+
+TEST(Devices, SinSourceDrivesTransient) {
+    Netlist nl;
+    SinSpec sin_spec;
+    sin_spec.amplitude = 0.5;
+    sin_spec.offset = 0.5;
+    sin_spec.frequency = 1e3;
+    nl.add_voltage_source("V1", "a", "0", SourceSpec(sin_spec));
+    nl.add_resistor("R1", "a", "0", 1.0_kOhm);
+    Simulator sim(nl);
+    const auto result = sim.run_transient(2e-3, 2e-6);
+    EXPECT_NEAR(result.max_value("V(a)"), 1.0, 0.01);
+    EXPECT_NEAR(result.min_value("V(a)"), 0.0, 0.01);
+    EXPECT_NEAR(result.mean_value("V(a)"), 0.5, 0.01);
+}
+
+TEST(Devices, VcvsAmplifiesInTransient) {
+    Netlist nl;
+    PulseSpec pulse;
+    pulse.v2 = 0.1;
+    pulse.rise = 1e-12;
+    pulse.width = 1.0;
+    nl.add_voltage_source("VIN", "in", "0", SourceSpec(pulse));
+    nl.add_vcvs("E1", "out", "0", "in", "0", 10.0);
+    nl.add_resistor("RL", "out", "0", 1.0_kOhm);
+    Simulator sim(nl);
+    const auto result = sim.run_transient(1e-6, 1e-8);
+    EXPECT_NEAR(result.signal("V(out)").back(), 1.0, 1e-6);
+}
+
+TEST(Solver, RelaxationSteppingRecoversHighGainLoops) {
+    // The robust driver's op-amp loop defeats plain Newton from a cold
+    // start; strategy-4 (gain relaxation) must still find the operating
+    // point even at very high gain.
+    circuits::RobustDriverConfig cfg;
+    cfg.opamp_gain = 20000.0;
+    cfg.switch_enabled = false;
+    Netlist nl = circuits::build_robust_driver(cfg);
+    Simulator sim(nl);
+    const auto dc = sim.solve_dc();
+    EXPECT_NEAR(dc.voltage("fb"), cfg.vref, 0.005);
+}
+
+TEST(Solver, OpAmpFollowerTracksAcrossInputs) {
+    Netlist nl;
+    nl.add_voltage_source("VIN", "in", "0", SourceSpec::dc(0.1));
+    nl.add_opamp("OP", "in", "out", "out", 2000.0, 0.0, 1.0);
+    nl.add_resistor("RL", "out", "0", 100.0_kOhm);
+    Simulator sim(nl);
+    for (double vin = 0.1; vin <= 0.9; vin += 0.2) {
+        nl.voltage_source("VIN").spec().set_dc(vin);
+        EXPECT_NEAR(sim.solve_dc().voltage("out"), vin, 2e-3) << vin;
+    }
+}
+
+TEST(Solver, StepHalvingSurvivesFastEdges) {
+    // 0.1 ns edges with a 5 ns nominal step force local step halving.
+    Netlist nl;
+    nl.add_voltage_source("VDD", "vdd", "0", SourceSpec::dc(1.0));
+    PulseSpec pulse;
+    pulse.v2 = 1.0;
+    pulse.delay = 20e-9;
+    pulse.rise = 0.1e-9;
+    pulse.fall = 0.1e-9;
+    pulse.width = 20e-9;
+    nl.add_voltage_source("VIN", "in", "0", SourceSpec(pulse));
+    nl.add_mosfet("MP", "out", "in", "vdd", ptm65::pmos(8.0));
+    nl.add_mosfet("MN", "out", "in", "0", ptm65::nmos(4.0));
+    nl.add_capacitor("CL", "out", "0", 5.0_fF);
+    Simulator sim(nl);
+    const auto result = sim.run_transient(60e-9, 5e-9);
+    EXPECT_GT(result.signal("V(out)").front(), 0.99);
+    EXPECT_LT(result.min_value("V(out)"), 0.05);  // switched low mid-pulse
+}
+
+TEST(Solver, SingularCircuitReportsFailure) {
+    // Two ideal voltage sources fighting on one node: no solution.
+    Netlist nl;
+    nl.add_voltage_source("V1", "a", "0", SourceSpec::dc(1.0));
+    nl.add_voltage_source("V2", "a", "0", SourceSpec::dc(2.0));
+    Simulator sim(nl);
+    EXPECT_THROW(sim.solve_dc(), std::runtime_error);
+}
+
+TEST(Solver, ParallelSourcesWithSeriesResistanceShareCurrent) {
+    // (Two *ideal* parallel sources would be singular — the split is
+    // underdetermined.) With series resistors the sharing is well-posed.
+    Netlist nl;
+    nl.add_voltage_source("V1", "s1", "0", SourceSpec::dc(1.0));
+    nl.add_resistor("R1", "s1", "a", 100.0_Ohm);
+    nl.add_voltage_source("V2", "s2", "0", SourceSpec::dc(1.0));
+    nl.add_resistor("R2", "s2", "a", 100.0_Ohm);
+    nl.add_resistor("RL", "a", "0", 1.0_kOhm);
+    Simulator sim(nl);
+    const auto dc = sim.solve_dc();
+    const double i1 = nl.voltage_source("V1").branch_current(dc.unknowns());
+    const double i2 = nl.voltage_source("V2").branch_current(dc.unknowns());
+    EXPECT_NEAR(i1, i2, 1e-9);                            // symmetric split
+    EXPECT_NEAR(i1 + i2, -dc.voltage("a") / 1000.0, 1e-9);  // KCL at the load
+}
+
+TEST(Solver, MosfetDrainCurrentProbe) {
+    Netlist nl;
+    nl.add_voltage_source("VDD", "vdd", "0", SourceSpec::dc(1.0));
+    nl.add_voltage_source("VG", "g", "0", SourceSpec::dc(0.8));
+    auto& fet = nl.add_mosfet("M1", "d", "g", "0", ptm65::nmos(4.0));
+    nl.add_resistor("RD", "vdd", "d", 100.0_kOhm);
+    Simulator sim(nl);
+    const auto dc = sim.solve_dc();
+    const double id = fet.drain_current(dc.unknowns());
+    // Probe must agree with the resistor current.
+    const double ir = (1.0 - dc.voltage("d")) / 1e5;
+    EXPECT_NEAR(id, ir, ir * 0.01 + 1e-9);
+}
+
+}  // namespace
+}  // namespace snnfi::spice

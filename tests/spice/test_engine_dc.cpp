@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include "spice/engine.hpp"
+#include "spice/ptm65.hpp"
+#include "util/units.hpp"
+
+namespace snnfi::spice {
+namespace {
+
+using namespace snnfi::util::literals;
+
+TEST(Dc, VoltageDivider) {
+    Netlist nl;
+    nl.add_voltage_source("V1", "in", "0", SourceSpec::dc(3.0));
+    nl.add_resistor("R1", "in", "mid", 2.0_kOhm);
+    nl.add_resistor("R2", "mid", "0", 1.0_kOhm);
+    Simulator sim(nl);
+    const auto dc = sim.solve_dc();
+    EXPECT_NEAR(dc.voltage("mid"), 1.0, 1e-9);
+    EXPECT_NEAR(dc.voltage("in"), 3.0, 1e-9);
+    EXPECT_NEAR(dc.voltage("0"), 0.0, 1e-12);
+}
+
+TEST(Dc, VoltageSourceBranchCurrent) {
+    Netlist nl;
+    nl.add_voltage_source("V1", "in", "0", SourceSpec::dc(1.0));
+    nl.add_resistor("R1", "in", "0", 1.0_kOhm);
+    Simulator sim(nl);
+    const auto dc = sim.solve_dc();
+    // Source supplies 1 mA: branch current is negative by convention.
+    EXPECT_NEAR(nl.voltage_source("V1").branch_current(dc.unknowns()), -1e-3, 1e-9);
+}
+
+TEST(Dc, CurrentSourceIntoResistor) {
+    Netlist nl;
+    nl.add_current_source("I1", "0", "a", SourceSpec::dc(2e-3));
+    nl.add_resistor("R1", "a", "0", 500.0_Ohm);
+    Simulator sim(nl);
+    const auto dc = sim.solve_dc();
+    EXPECT_NEAR(dc.voltage("a"), 1.0, 1e-9);
+}
+
+TEST(Dc, CapacitorIsOpenAtDc) {
+    Netlist nl;
+    nl.add_voltage_source("V1", "in", "0", SourceSpec::dc(2.0));
+    nl.add_resistor("R1", "in", "out", 1.0_kOhm);
+    nl.add_capacitor("C1", "out", "0", 1.0_uF);
+    nl.add_resistor("R2", "out", "0", 1.0_kOhm);
+    Simulator sim(nl);
+    const auto dc = sim.solve_dc();
+    EXPECT_NEAR(dc.voltage("out"), 1.0, 1e-9);  // divider unaffected by C
+}
+
+TEST(Dc, FloatingNodeHeldByGmin) {
+    Netlist nl;
+    nl.add_voltage_source("V1", "in", "0", SourceSpec::dc(1.0));
+    nl.add_capacitor("C1", "in", "float", 1.0_pF);
+    Simulator sim(nl);
+    const auto dc = sim.solve_dc();
+    EXPECT_NEAR(dc.voltage("float"), 0.0, 1e-6);  // gmin ties it to ground
+}
+
+TEST(Dc, DiodeConnectedNmosSettlesNearVt) {
+    Netlist nl;
+    nl.add_voltage_source("VDD", "vdd", "0", SourceSpec::dc(1.0));
+    nl.add_resistor("R1", "vdd", "g", 3.0_MOhm);
+    nl.add_mosfet("M1", "g", "g", "0", ptm65::nmos(4.0));
+    Simulator sim(nl);
+    const auto dc = sim.solve_dc();
+    // A few-hundred-nA diode-connected device biases in moderate inversion.
+    EXPECT_GT(dc.voltage("g"), 0.25);
+    EXPECT_LT(dc.voltage("g"), 0.5);
+}
+
+TEST(Dc, CurrentMirrorCopiesCurrent) {
+    Netlist nl;
+    nl.add_voltage_source("VDD", "vdd", "0", SourceSpec::dc(1.0));
+    nl.add_resistor("R1", "vdd", "g", 3.0_MOhm);
+    const MosParams nm = ptm65::nmos(4.0);
+    nl.add_mosfet("M1", "g", "g", "0", nm);
+    nl.add_mosfet("M2", "d2", "g", "0", nm);
+    nl.add_voltage_source("VM", "vdd", "d2", SourceSpec::dc(0.0));  // ammeter
+    Simulator sim(nl);
+    const auto dc = sim.solve_dc();
+    const double i_ref = (1.0 - dc.voltage("g")) / 3.0e6;
+    const double i_out = nl.voltage_source("VM").branch_current(dc.unknowns());
+    EXPECT_NEAR(i_out, i_ref, i_ref * 0.15);  // CLM causes small mismatch
+}
+
+TEST(Dc, InverterRailsAndMidpoint) {
+    Netlist nl;
+    nl.add_voltage_source("VDD", "vdd", "0", SourceSpec::dc(1.0));
+    nl.add_voltage_source("VIN", "in", "0", SourceSpec::dc(0.0));
+    nl.add_mosfet("MP", "out", "in", "vdd", ptm65::pmos(8.0));
+    nl.add_mosfet("MN", "out", "in", "0", ptm65::nmos(4.0));
+    Simulator sim(nl);
+
+    auto out_at = [&](double vin) {
+        nl.voltage_source("VIN").spec().set_dc(vin);
+        return sim.solve_dc().voltage("out");
+    };
+    EXPECT_GT(out_at(0.0), 0.99);   // output high
+    EXPECT_LT(out_at(1.0), 0.01);   // output low
+    // Monotonically decreasing transfer curve.
+    double prev = out_at(0.0);
+    for (double vin = 0.05; vin <= 1.0; vin += 0.05) {
+        const double out = out_at(vin);
+        EXPECT_LE(out, prev + 1e-6) << "vin=" << vin;
+        prev = out;
+    }
+}
+
+TEST(Dc, OpAmpUnityFollower) {
+    Netlist nl;
+    nl.add_voltage_source("VIN", "in", "0", SourceSpec::dc(0.4));
+    nl.add_opamp("OP", "in", "out", "out", 1000.0, 0.0, 1.0);
+    nl.add_resistor("RL", "out", "0", 10.0_kOhm);
+    Simulator sim(nl);
+    const auto dc = sim.solve_dc();
+    EXPECT_NEAR(dc.voltage("out"), 0.4, 1e-3);
+}
+
+TEST(Dc, OpAmpSaturatesAtRails) {
+    Netlist nl;
+    nl.add_voltage_source("VP", "p", "0", SourceSpec::dc(0.9));
+    nl.add_voltage_source("VM", "m", "0", SourceSpec::dc(0.1));
+    nl.add_opamp("OP", "p", "m", "out", 10000.0, 0.0, 1.0);
+    nl.add_resistor("RL", "out", "0", 10.0_kOhm);
+    Simulator sim(nl);
+    const auto dc = sim.solve_dc();
+    EXPECT_GT(dc.voltage("out"), 0.98);  // clamped near the positive rail
+}
+
+TEST(Dc, VcvsGain) {
+    Netlist nl;
+    nl.add_voltage_source("VIN", "in", "0", SourceSpec::dc(0.25));
+    nl.add_vcvs("E1", "out", "0", "in", "0", 4.0);
+    nl.add_resistor("RL", "out", "0", 1.0_kOhm);
+    Simulator sim(nl);
+    EXPECT_NEAR(sim.solve_dc().voltage("out"), 1.0, 1e-9);
+}
+
+TEST(Netlist, Validation) {
+    Netlist nl;
+    nl.add_resistor("R1", "a", "b", 100.0);
+    EXPECT_THROW(nl.add_resistor("R1", "a", "b", 100.0), std::invalid_argument);
+    EXPECT_THROW(nl.add_resistor("R2", "a", "b", -5.0), std::invalid_argument);
+    EXPECT_THROW(nl.add_capacitor("C1", "a", "b", 0.0), std::invalid_argument);
+    EXPECT_THROW(nl.resistor("nope"), std::invalid_argument);
+    EXPECT_THROW(nl.voltage_source("R1"), std::invalid_argument);  // wrong type
+    EXPECT_THROW(nl.find_node("ghost"), std::invalid_argument);
+    EXPECT_TRUE(nl.has_node("a"));
+    EXPECT_EQ(nl.find_node("gnd"), kGround);
+}
+
+TEST(Dc, PulseSourceUsesV1AtDc) {
+    Netlist nl;
+    PulseSpec pulse;
+    pulse.v1 = 0.25;
+    pulse.v2 = 1.0;
+    nl.add_voltage_source("V1", "a", "0", SourceSpec(pulse));
+    nl.add_resistor("R1", "a", "0", 1.0_kOhm);
+    Simulator sim(nl);
+    EXPECT_NEAR(sim.solve_dc().voltage("a"), 0.25, 1e-9);
+}
+
+}  // namespace
+}  // namespace snnfi::spice

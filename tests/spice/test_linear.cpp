@@ -1,0 +1,114 @@
+#include "spice/linear.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/random.hpp"
+
+namespace snnfi::spice {
+namespace {
+
+TEST(Matrix, BasicAccess) {
+    Matrix m(2, 3, 1.0);
+    EXPECT_EQ(m.rows(), 2u);
+    EXPECT_EQ(m.cols(), 3u);
+    m(1, 2) = 5.0;
+    EXPECT_DOUBLE_EQ(m.at(1, 2), 5.0);
+    EXPECT_THROW(m.at(2, 0), std::out_of_range);
+    m.fill(0.0);
+    EXPECT_DOUBLE_EQ(m(1, 2), 0.0);
+}
+
+TEST(Matrix, RowSpanAliasesStorage) {
+    Matrix m(2, 2);
+    m.row(0)[1] = 9.0;
+    EXPECT_DOUBLE_EQ(m(0, 1), 9.0);
+    EXPECT_THROW(m.row(5), std::out_of_range);
+}
+
+TEST(Matrix, Multiply) {
+    Matrix m(2, 3);
+    m(0, 0) = 1; m(0, 1) = 2; m(0, 2) = 3;
+    m(1, 0) = 4; m(1, 1) = 5; m(1, 2) = 6;
+    const std::vector<double> x = {1.0, 0.5, -1.0};
+    const auto y = m.multiply(x);
+    ASSERT_EQ(y.size(), 2u);
+    EXPECT_DOUBLE_EQ(y[0], -1.0);
+    EXPECT_DOUBLE_EQ(y[1], 0.5);
+    EXPECT_THROW(m.multiply(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Lu, SolvesKnownSystem) {
+    Matrix a(2, 2);
+    a(0, 0) = 2.0; a(0, 1) = 1.0;
+    a(1, 0) = 1.0; a(1, 1) = 3.0;
+    const auto x = solve_linear_system(a, std::vector<double>{5.0, 10.0});
+    EXPECT_NEAR(x[0], 1.0, 1e-12);
+    EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(Lu, RequiresPivoting) {
+    // Zero diagonal forces a row swap.
+    Matrix a(2, 2);
+    a(0, 0) = 0.0; a(0, 1) = 1.0;
+    a(1, 0) = 1.0; a(1, 1) = 0.0;
+    const auto x = solve_linear_system(a, std::vector<double>{2.0, 3.0});
+    EXPECT_NEAR(x[0], 3.0, 1e-12);
+    EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Lu, DetectsSingular) {
+    Matrix a(2, 2);
+    a(0, 0) = 1.0; a(0, 1) = 2.0;
+    a(1, 0) = 2.0; a(1, 1) = 4.0;
+    LuFactorization lu;
+    EXPECT_FALSE(lu.factorize(a));
+    EXPECT_THROW(solve_linear_system(a, std::vector<double>{1.0, 1.0}),
+                 std::runtime_error);
+}
+
+TEST(Lu, NonSquareThrows) {
+    LuFactorization lu;
+    EXPECT_THROW(lu.factorize(Matrix(2, 3)), std::invalid_argument);
+}
+
+TEST(Lu, SolveSizeMismatchThrows) {
+    Matrix a(2, 2);
+    a(0, 0) = a(1, 1) = 1.0;
+    LuFactorization lu;
+    ASSERT_TRUE(lu.factorize(a));
+    EXPECT_THROW(lu.solve(std::vector<double>{1.0}), std::invalid_argument);
+}
+
+TEST(Lu, ReusableFactorization) {
+    Matrix a(2, 2);
+    a(0, 0) = 3.0; a(1, 1) = 4.0;
+    LuFactorization lu;
+    ASSERT_TRUE(lu.factorize(a));
+    EXPECT_NEAR(lu.solve(std::vector<double>{3.0, 4.0})[0], 1.0, 1e-12);
+    EXPECT_NEAR(lu.solve(std::vector<double>{6.0, 8.0})[1], 2.0, 1e-12);
+}
+
+/// Property: random diagonally-dominant systems solve to small residuals.
+class LuProperty : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LuProperty, RandomSystemResidual) {
+    const std::size_t n = GetParam();
+    util::Rng rng(n * 7919);
+    for (int trial = 0; trial < 5; ++trial) {
+        Matrix a(n, n);
+        std::vector<double> b(n);
+        for (std::size_t r = 0; r < n; ++r) {
+            for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+            a(r, r) += static_cast<double>(n) + 1.0;
+            b[r] = rng.uniform(-10.0, 10.0);
+        }
+        const auto x = solve_linear_system(a, b);
+        const auto ax = a.multiply(x);
+        for (std::size_t r = 0; r < n; ++r) EXPECT_NEAR(ax[r], b[r], 1e-8);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LuProperty, ::testing::Values(1u, 2u, 5u, 13u, 40u));
+
+}  // namespace
+}  // namespace snnfi::spice

@@ -1,0 +1,132 @@
+#include "spice/mosfet_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "spice/ptm65.hpp"
+
+namespace snnfi::spice {
+namespace {
+
+TEST(Softplus, LimitsAndMidpoint) {
+    EXPECT_NEAR(softplus(0.0), std::log(2.0), 1e-12);
+    EXPECT_NEAR(softplus(50.0), 50.0, 1e-9);
+    EXPECT_NEAR(softplus(-50.0), std::exp(-50.0), 1e-30);
+    EXPECT_NEAR(logistic(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(logistic(40.0), 1.0, 1e-12);
+    EXPECT_NEAR(logistic(-40.0), 0.0, 1e-12);
+}
+
+TEST(Mosfet, CutoffCurrentIsTiny) {
+    const MosParams p = ptm65::nmos(4.0);
+    const MosEval e = evaluate_nmos(p, 0.0, 1.0);
+    EXPECT_GT(e.id, 0.0);          // subthreshold conduction, not hard zero
+    EXPECT_LT(e.id, 1e-9);         // but far below on-current
+}
+
+TEST(Mosfet, SubthresholdSlopeIsExponential) {
+    // One decade of current per n*Ut*ln(10) of gate drive in deep
+    // subthreshold (moderate inversion bends the slope near Vt).
+    const MosParams p = ptm65::nmos(4.0);
+    const double id1 = evaluate_nmos(p, 0.12, 0.5).id;
+    const double id2 = evaluate_nmos(p, 0.12 + p.n * kThermalVoltage * std::log(10.0),
+                                     0.5).id;
+    EXPECT_NEAR(id2 / id1, 10.0, 1.0);
+}
+
+TEST(Mosfet, SaturationFollowsSquareLaw) {
+    const MosParams p = ptm65::nmos(4.0);
+    // Strong inversion, saturated: Id ~ (Vgs - Vt)^2.
+    const double i1 = evaluate_nmos(p, p.vt0 + 0.2, 1.0).id;
+    const double i2 = evaluate_nmos(p, p.vt0 + 0.4, 1.0).id;
+    EXPECT_NEAR(i2 / i1, 4.0, 0.8);
+}
+
+TEST(Mosfet, TriodeRegionLinearInVdsNearZero) {
+    const MosParams p = ptm65::nmos(4.0);
+    const double i1 = evaluate_nmos(p, 1.0, 0.01).id;
+    const double i2 = evaluate_nmos(p, 1.0, 0.02).id;
+    EXPECT_NEAR(i2 / i1, 2.0, 0.1);
+}
+
+TEST(Mosfet, SymmetricConductionForNegativeVds) {
+    const MosParams p = ptm65::nmos(4.0);
+    const double fwd = evaluate_nmos(p, 0.8, 0.05).id;
+    // Swapping drain/source with the gate at a fixed potential above both:
+    // vgs' = vgd = 0.8 - 0.05, vds' = -0.05.
+    const double rev = evaluate_nmos(p, 0.75, -0.05).id;
+    EXPECT_NEAR(fwd, -rev, std::abs(fwd) * 0.05);
+}
+
+TEST(Mosfet, ChannelLengthModulationIncreasesWithVds) {
+    const MosParams p = ptm65::nmos(4.0);
+    const double i1 = evaluate_nmos(p, 0.9, 0.6).id;
+    const double i2 = evaluate_nmos(p, 0.9, 1.1).id;
+    EXPECT_GT(i2, i1);
+    EXPECT_LT((i2 - i1) / i1, 0.2);  // small-signal effect
+}
+
+TEST(Mosfet, LongerChannelReducesLambda) {
+    const MosParams p1 = ptm65::nmos(4.0, 1.0);
+    const MosParams p4 = ptm65::nmos(4.0, 4.0);
+    EXPECT_NEAR(p4.lambda, p1.lambda / 4.0, 1e-12);
+    EXPECT_NEAR(p4.beta(), p1.beta(), p1.beta() * 1e-9);  // W/L ratio preserved
+}
+
+TEST(Mosfet, PmosParamsMirrorNmos) {
+    const MosParams p = ptm65::pmos(4.4);
+    EXPECT_EQ(p.type, MosType::kPmos);
+    EXPECT_GT(p.vt0, 0.0);  // stored as magnitude
+    EXPECT_LT(p.kp, ptm65::nmos(4.4).kp);  // hole mobility lower
+}
+
+struct Bias {
+    double vgs, vds;
+};
+
+class MosfetDerivativeProperty : public ::testing::TestWithParam<Bias> {};
+
+TEST_P(MosfetDerivativeProperty, AnalyticMatchesNumeric) {
+    const MosParams p = ptm65::nmos(4.0);
+    const auto [vgs, vds] = GetParam();
+    const MosEval e = evaluate_nmos(p, vgs, vds);
+    const double h = 1e-7;
+    const double gm_num =
+        (evaluate_nmos(p, vgs + h, vds).id - evaluate_nmos(p, vgs - h, vds).id) /
+        (2.0 * h);
+    const double gds_num =
+        (evaluate_nmos(p, vgs, vds + h).id - evaluate_nmos(p, vgs, vds - h).id) /
+        (2.0 * h);
+    const double gm_tol = std::max(std::abs(gm_num) * 1e-4, 1e-15);
+    const double gds_tol = std::max(std::abs(gds_num) * 1e-4, 1e-15);
+    EXPECT_NEAR(e.gm, gm_num, gm_tol) << "vgs=" << vgs << " vds=" << vds;
+    EXPECT_NEAR(e.gds, gds_num, gds_tol) << "vgs=" << vgs << " vds=" << vds;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BiasGrid, MosfetDerivativeProperty,
+    ::testing::Values(Bias{0.0, 0.5}, Bias{0.2, 0.1}, Bias{0.42, 0.42},
+                      Bias{0.6, 0.05}, Bias{0.6, 1.0}, Bias{1.0, 0.02},
+                      Bias{1.0, 1.2}, Bias{0.8, -0.3}, Bias{0.3, -0.05},
+                      Bias{-0.2, 0.5}));
+
+/// Monotonicity property: Id non-decreasing in Vgs at fixed Vds > 0.
+class MosfetMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(MosfetMonotonicity, CurrentMonotonicInGateDrive) {
+    const MosParams p = ptm65::nmos(4.0);
+    const double vds = GetParam();
+    double prev = evaluate_nmos(p, -0.2, vds).id;
+    for (double vgs = -0.15; vgs <= 1.2; vgs += 0.05) {
+        const double id = evaluate_nmos(p, vgs, vds).id;
+        EXPECT_GE(id, prev - 1e-15) << "vgs=" << vgs;
+        prev = id;
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(VdsGrid, MosfetMonotonicity,
+                         ::testing::Values(0.05, 0.2, 0.5, 1.0));
+
+}  // namespace
+}  // namespace snnfi::spice

@@ -1,0 +1,127 @@
+// Cross-cutting physical invariants of the simulation stack, checked as
+// parameterized property sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "circuits/blocks.hpp"
+#include "circuits/area_power.hpp"
+#include "circuits/characterization.hpp"
+#include "spice/engine.hpp"
+#include "spice/mosfet_model.hpp"
+#include "spice/ptm65.hpp"
+
+namespace snnfi::spice {
+namespace {
+
+/// gm/Id efficiency can never exceed the subthreshold limit 1/(n*Ut).
+class TransconductanceEfficiency : public ::testing::TestWithParam<double> {};
+
+TEST_P(TransconductanceEfficiency, BoundedBySubthresholdLimit) {
+    const MosParams p = ptm65::nmos(4.0);
+    const double limit = 1.0 / (p.n * kThermalVoltage);
+    const double vgs = GetParam();
+    const MosEval e = evaluate_nmos(p, vgs, 0.6);
+    ASSERT_GT(e.id, 0.0);
+    EXPECT_LE(e.gm / e.id, limit * 1.001) << "vgs=" << vgs;
+    // And it approaches the limit in deep subthreshold.
+    if (vgs < 0.2) {
+        EXPECT_GT(e.gm / e.id, 0.9 * limit);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(GateSweep, TransconductanceEfficiency,
+                         ::testing::Values(0.1, 0.2, 0.3, 0.45, 0.6, 0.9));
+
+/// Inverter switching point scales (sub-)linearly with VDD: Vm(VDD) is
+/// monotonic and stays strictly inside the rails.
+class InverterSupplySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(InverterSupplySweep, SwitchingPointInsideRails) {
+    const double vdd = GetParam();
+    const double vm = circuits::measure_inverter_threshold(vdd, {});
+    EXPECT_GT(vm, 0.2 * vdd);
+    EXPECT_LT(vm, 0.8 * vdd);
+}
+
+INSTANTIATE_TEST_SUITE_P(VddGrid, InverterSupplySweep,
+                         ::testing::Values(0.8, 0.9, 1.0, 1.1, 1.2));
+
+/// The AH neuron's spike rate rises monotonically with input amplitude
+/// (rate coding precondition for the whole network layer).
+TEST(NeuronProperty, SpikeRateMonotonicInDrive) {
+    std::size_t previous_spikes = 0;
+    for (const double amp : {120e-9, 200e-9, 320e-9}) {
+        circuits::AxonHillockConfig cfg;
+        cfg.iin_amplitude = amp;
+        Netlist nl = circuits::build_axon_hillock(cfg);
+        Simulator sim(nl);
+        const auto result = sim.run_transient(30e-6, 2e-9);
+        const std::size_t spikes = result.count_spikes("V(vout)", 0.5);
+        EXPECT_GE(spikes, previous_spikes) << "amp=" << amp;
+        previous_spikes = spikes;
+    }
+    EXPECT_GE(previous_spikes, 3u);
+}
+
+/// Energy sanity: average supply power of a spiking neuron grows with
+/// spike rate (every spike costs reset + switching energy).
+TEST(NeuronProperty, PowerGrowsWithActivity) {
+    auto power_at = [](double amp) {
+        circuits::AxonHillockConfig cfg;
+        cfg.iin_amplitude = amp;
+        Netlist nl = circuits::build_axon_hillock(cfg);
+        Simulator sim(nl);
+        const auto result = sim.run_transient(30e-6, 2e-9);
+        return circuits::supply_power(result, "VDD");
+    };
+    EXPECT_GT(power_at(320e-9), power_at(120e-9));
+}
+
+/// Transient solution converges as dt shrinks (self-consistency without an
+/// analytic reference): dt and dt/2 agree better than dt and dt*2.
+TEST(ConvergenceProperty, TransientSelfConsistency) {
+    auto final_vmem = [](double dt) {
+        circuits::AxonHillockConfig cfg;
+        Netlist nl = circuits::build_axon_hillock(cfg);
+        Simulator sim(nl);
+        // Short pre-spike window: membrane mid-ramp.
+        const auto result = sim.run_transient(4e-6, dt);
+        return result.signal("V(vmem)").back();
+    };
+    const double coarse = final_vmem(8e-9);
+    const double medium = final_vmem(4e-9);
+    const double fine = final_vmem(2e-9);
+    EXPECT_LT(std::abs(fine - medium), std::abs(medium - coarse) + 1e-6);
+    EXPECT_NEAR(fine, medium, 0.02);
+}
+
+/// The OTA comparator's decision is monotonic in its differential input.
+class OtaMonotonicity : public ::testing::TestWithParam<double> {};
+
+TEST_P(OtaMonotonicity, OutputMonotonicInDifferentialInput) {
+    const double vdd = GetParam();
+    Netlist nl;
+    nl.add_voltage_source("VDD", "vdd", "0", SourceSpec::dc(vdd));
+    nl.add_voltage_source("VP", "p", "0", SourceSpec::dc(0.5));
+    nl.add_voltage_source("VM", "m", "0", SourceSpec::dc(0.5));
+    circuits::add_ota(nl, "OTA", "p", "m", "out", "vdd");
+    Simulator sim(nl);
+    double previous = -1.0;
+    for (double vp = 0.35; vp <= 0.65; vp += 0.05) {
+        nl.voltage_source("VP").spec().set_dc(vp);
+        const double out = sim.solve_dc().voltage("out");
+        EXPECT_GE(out, previous - 1e-6) << "vp=" << vp << " vdd=" << vdd;
+        previous = out;
+    }
+    // Decision levels at the extremes.
+    nl.voltage_source("VP").spec().set_dc(0.3);
+    EXPECT_LT(sim.solve_dc().voltage("out"), 0.45 * vdd);
+    nl.voltage_source("VP").spec().set_dc(0.7);
+    EXPECT_GT(sim.solve_dc().voltage("out"), 0.75 * vdd);
+}
+
+INSTANTIATE_TEST_SUITE_P(Supplies, OtaMonotonicity, ::testing::Values(0.9, 1.0, 1.1));
+
+}  // namespace
+}  // namespace snnfi::spice

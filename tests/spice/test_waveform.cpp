@@ -1,0 +1,141 @@
+#include "spice/waveform.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+namespace snnfi::spice {
+namespace {
+
+TEST(SourceSpec, DcConstant) {
+    const SourceSpec s = SourceSpec::dc(1.2);
+    EXPECT_DOUBLE_EQ(s.eval(0.0), 1.2);
+    EXPECT_DOUBLE_EQ(s.eval(1e9), 1.2);
+    EXPECT_DOUBLE_EQ(s.dc_value(), 1.2);
+    EXPECT_TRUE(s.is_dc());
+}
+
+TEST(SourceSpec, SetDcOverwrites) {
+    SourceSpec s(PulseSpec{});
+    EXPECT_FALSE(s.is_dc());
+    s.set_dc(0.9);
+    EXPECT_TRUE(s.is_dc());
+    EXPECT_DOUBLE_EQ(s.eval(123.0), 0.9);
+}
+
+TEST(SourceSpec, PulseShape) {
+    PulseSpec p;
+    p.v1 = 0.0;
+    p.v2 = 1.0;
+    p.delay = 10.0;
+    p.rise = 2.0;
+    p.fall = 4.0;
+    p.width = 6.0;
+    p.period = 0.0;  // single pulse
+    const SourceSpec s(p);
+    EXPECT_DOUBLE_EQ(s.eval(0.0), 0.0);            // before delay
+    EXPECT_DOUBLE_EQ(s.eval(11.0), 0.5);           // mid-rise
+    EXPECT_DOUBLE_EQ(s.eval(13.0), 1.0);           // plateau
+    EXPECT_DOUBLE_EQ(s.eval(20.0), 0.5);           // mid-fall (12 + 6 = 18, +2)
+    EXPECT_DOUBLE_EQ(s.eval(100.0), 0.0);          // after pulse
+    EXPECT_DOUBLE_EQ(s.dc_value(), 0.0);           // v1 at DC
+}
+
+TEST(SourceSpec, PulseRepeats) {
+    PulseSpec p;
+    p.v2 = 1.0;
+    p.rise = 1e-3;
+    p.fall = 1e-3;
+    p.width = 1.0;
+    p.period = 10.0;
+    const SourceSpec s(p);
+    EXPECT_NEAR(s.eval(0.5), 1.0, 1e-9);
+    EXPECT_NEAR(s.eval(5.0), 0.0, 1e-9);
+    EXPECT_NEAR(s.eval(10.5), 1.0, 1e-9);   // second period
+    EXPECT_NEAR(s.eval(95.0), 0.0, 1e-9);
+}
+
+TEST(SourceSpec, PwlInterpolatesAndHolds) {
+    PwlSpec p;
+    p.times = {0.0, 1.0, 2.0};
+    p.values = {0.0, 2.0, -2.0};
+    const SourceSpec s(p);
+    EXPECT_DOUBLE_EQ(s.eval(-1.0), 0.0);
+    EXPECT_DOUBLE_EQ(s.eval(0.5), 1.0);
+    EXPECT_DOUBLE_EQ(s.eval(1.5), 0.0);
+    EXPECT_DOUBLE_EQ(s.eval(99.0), -2.0);  // holds last value
+    EXPECT_DOUBLE_EQ(s.dc_value(), 0.0);
+}
+
+TEST(SourceSpec, SinShape) {
+    SinSpec spec;
+    spec.offset = 1.0;
+    spec.amplitude = 2.0;
+    spec.frequency = 1.0;
+    spec.delay = 1.0;
+    const SourceSpec s(spec);
+    EXPECT_DOUBLE_EQ(s.eval(0.5), 1.0);                     // before delay
+    EXPECT_NEAR(s.eval(1.25), 3.0, 1e-9);                    // quarter period
+    EXPECT_NEAR(s.eval(1.75), -1.0, 1e-9);
+    EXPECT_DOUBLE_EQ(s.dc_value(), 1.0);
+}
+
+TransientResult ramp_result() {
+    // v(t) = t over [0, 10]; i(t) = 2 constant.
+    std::vector<double> time;
+    Trace v{"V(a)", {}};
+    Trace i{"I(V1)", {}};
+    for (int k = 0; k <= 10; ++k) {
+        time.push_back(k);
+        v.values.push_back(k);
+        i.values.push_back(2.0);
+    }
+    return TransientResult(std::move(time), {v, i});
+}
+
+TEST(TransientResult, SignalLookup) {
+    const auto r = ramp_result();
+    EXPECT_TRUE(r.has("V(a)"));
+    EXPECT_FALSE(r.has("V(b)"));
+    EXPECT_THROW(r.signal("V(b)"), std::invalid_argument);
+    EXPECT_EQ(r.num_points(), 11u);
+}
+
+TEST(TransientResult, LengthMismatchRejected) {
+    EXPECT_THROW(TransientResult({0.0, 1.0}, {Trace{"x", {1.0}}}),
+                 std::invalid_argument);
+}
+
+TEST(TransientResult, MinMaxAmplitudeMean) {
+    const auto r = ramp_result();
+    EXPECT_DOUBLE_EQ(r.max_value("V(a)"), 10.0);
+    EXPECT_DOUBLE_EQ(r.min_value("V(a)"), 0.0);
+    EXPECT_DOUBLE_EQ(r.amplitude("V(a)"), 10.0);
+    EXPECT_NEAR(r.mean_value("V(a)"), 5.0, 1e-12);  // trapezoid mean of ramp
+    EXPECT_DOUBLE_EQ(r.min_value("V(a)", 4.0), 4.0);
+}
+
+TEST(TransientResult, CrossingsAndSpikes) {
+    const auto r = ramp_result();
+    EXPECT_NEAR(r.first_crossing_time("V(a)", 4.5, +1), 4.5, 1e-12);
+    EXPECT_EQ(r.count_spikes("V(a)", 4.5), 1u);
+    EXPECT_LT(r.mean_period("V(a)", 4.5), 0.0);  // single crossing
+}
+
+TEST(TransientResult, AveragePower) {
+    const auto r = ramp_result();
+    // mean(v * i) with v = t, i = 2 over [0,10] -> 2 * 5 = 10.
+    EXPECT_NEAR(r.average_power("V(a)", "I(V1)"), 10.0, 1e-12);
+}
+
+TEST(TransientResult, CsvOutput) {
+    const auto r = ramp_result();
+    const std::string csv = r.to_csv({"V(a)"}, 5);
+    EXPECT_NE(csv.find("time,V(a)"), std::string::npos);
+    EXPECT_NE(csv.find("\n0,0"), std::string::npos);
+    EXPECT_NE(csv.find("\n5,5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace snnfi::spice

@@ -1,0 +1,85 @@
+#include "util/cli.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snnfi::util {
+namespace {
+
+ArgParser make_parser() {
+    ArgParser parser("test program");
+    parser.add_option("samples", "100", "sample count");
+    parser.add_option("rate", "1.5", "a rate");
+    parser.add_flag("verbose", "verbosity");
+    return parser;
+}
+
+int parse(ArgParser& parser, std::vector<const char*> args) {
+    args.insert(args.begin(), "prog");
+    return parser.parse(static_cast<int>(args.size()), args.data()) ? 1 : 0;
+}
+
+TEST(ArgParser, Defaults) {
+    auto parser = make_parser();
+    ASSERT_EQ(parse(parser, {}), 1);
+    EXPECT_EQ(parser.get_int("samples"), 100);
+    EXPECT_DOUBLE_EQ(parser.get_double("rate"), 1.5);
+    EXPECT_FALSE(parser.get_bool("verbose"));
+    EXPECT_FALSE(parser.was_set("samples"));
+}
+
+TEST(ArgParser, EqualsForm) {
+    auto parser = make_parser();
+    ASSERT_EQ(parse(parser, {"--samples=250"}), 1);
+    EXPECT_EQ(parser.get_int("samples"), 250);
+    EXPECT_TRUE(parser.was_set("samples"));
+}
+
+TEST(ArgParser, SpaceForm) {
+    auto parser = make_parser();
+    ASSERT_EQ(parse(parser, {"--rate", "2.75"}), 1);
+    EXPECT_DOUBLE_EQ(parser.get_double("rate"), 2.75);
+}
+
+TEST(ArgParser, BooleanFlag) {
+    auto parser = make_parser();
+    ASSERT_EQ(parse(parser, {"--verbose"}), 1);
+    EXPECT_TRUE(parser.get_bool("verbose"));
+}
+
+TEST(ArgParser, UnknownFlagThrows) {
+    auto parser = make_parser();
+    EXPECT_THROW(parse(parser, {"--bogus"}), std::invalid_argument);
+}
+
+TEST(ArgParser, MissingValueThrows) {
+    auto parser = make_parser();
+    EXPECT_THROW(parse(parser, {"--samples"}), std::invalid_argument);
+}
+
+TEST(ArgParser, PositionalArgumentRejected) {
+    auto parser = make_parser();
+    EXPECT_THROW(parse(parser, {"positional"}), std::invalid_argument);
+}
+
+TEST(ArgParser, BadNumberThrows) {
+    auto parser = make_parser();
+    ASSERT_EQ(parse(parser, {"--samples=12x"}), 1);
+    EXPECT_THROW(parser.get_int("samples"), std::invalid_argument);
+}
+
+TEST(ArgParser, HelpShortCircuits) {
+    auto parser = make_parser();
+    testing::internal::CaptureStdout();
+    EXPECT_EQ(parse(parser, {"--help"}), 0);
+    const std::string out = testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("sample count"), std::string::npos);
+}
+
+TEST(ArgParser, UnregisteredGetThrows) {
+    auto parser = make_parser();
+    ASSERT_EQ(parse(parser, {}), 1);
+    EXPECT_THROW(parser.get("nope"), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace snnfi::util

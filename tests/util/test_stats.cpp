@@ -1,0 +1,131 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.hpp"
+
+namespace snnfi::util {
+namespace {
+
+TEST(Stats, MeanVarianceStddev) {
+    const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+    EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+    EXPECT_NEAR(variance(xs), 32.0 / 7.0, 1e-12);
+    EXPECT_NEAR(stddev(xs), std::sqrt(32.0 / 7.0), 1e-12);
+}
+
+TEST(Stats, EmptyAndSingleton) {
+    EXPECT_DOUBLE_EQ(mean({}), 0.0);
+    EXPECT_DOUBLE_EQ(variance({}), 0.0);
+    const std::vector<double> one = {3.0};
+    EXPECT_DOUBLE_EQ(mean(one), 3.0);
+    EXPECT_DOUBLE_EQ(variance(one), 0.0);
+    EXPECT_THROW(min_of({}), std::invalid_argument);
+    EXPECT_THROW(max_of({}), std::invalid_argument);
+    EXPECT_THROW(median({}), std::invalid_argument);
+    EXPECT_THROW(argmax({}), std::invalid_argument);
+}
+
+TEST(Stats, MinMaxArgmax) {
+    const std::vector<double> xs = {3.0, -1.0, 7.0, 2.0};
+    EXPECT_DOUBLE_EQ(min_of(xs), -1.0);
+    EXPECT_DOUBLE_EQ(max_of(xs), 7.0);
+    EXPECT_EQ(argmax(xs), 2u);
+}
+
+TEST(Stats, MedianOddEven) {
+    EXPECT_DOUBLE_EQ(median({5.0, 1.0, 3.0}), 3.0);
+    EXPECT_DOUBLE_EQ(median({4.0, 1.0, 3.0, 2.0}), 2.5);
+}
+
+TEST(Stats, PercentChange) {
+    EXPECT_DOUBLE_EQ(percent_change(110.0, 100.0), 10.0);
+    EXPECT_DOUBLE_EQ(percent_change(80.0, 100.0), -20.0);
+    EXPECT_DOUBLE_EQ(percent_change(-0.4, -0.5), 20.0);  // |reference| in denominator
+    EXPECT_THROW(percent_change(1.0, 0.0), std::invalid_argument);
+}
+
+TEST(Stats, Linspace) {
+    const auto pts = linspace(0.8, 1.2, 5);
+    ASSERT_EQ(pts.size(), 5u);
+    EXPECT_DOUBLE_EQ(pts.front(), 0.8);
+    EXPECT_DOUBLE_EQ(pts.back(), 1.2);
+    EXPECT_NEAR(pts[2], 1.0, 1e-12);
+    EXPECT_EQ(linspace(0, 1, 0).size(), 0u);
+    EXPECT_EQ(linspace(5, 9, 1), std::vector<double>{5.0});
+}
+
+TEST(Interpolator, ExactAtKnotsLinearBetween) {
+    const LinearInterpolator f({0.0, 1.0, 3.0}, {10.0, 20.0, 0.0});
+    EXPECT_DOUBLE_EQ(f(0.0), 10.0);
+    EXPECT_DOUBLE_EQ(f(1.0), 20.0);
+    EXPECT_DOUBLE_EQ(f(3.0), 0.0);
+    EXPECT_DOUBLE_EQ(f(0.5), 15.0);
+    EXPECT_DOUBLE_EQ(f(2.0), 10.0);
+}
+
+TEST(Interpolator, LinearExtrapolation) {
+    const LinearInterpolator f({0.0, 1.0}, {0.0, 2.0});
+    EXPECT_DOUBLE_EQ(f(2.0), 4.0);
+    EXPECT_DOUBLE_EQ(f(-1.0), -2.0);
+}
+
+TEST(Interpolator, Validation) {
+    EXPECT_THROW(LinearInterpolator({1.0, 1.0}, {0.0, 1.0}), std::invalid_argument);
+    EXPECT_THROW(LinearInterpolator({2.0, 1.0}, {0.0, 1.0}), std::invalid_argument);
+    EXPECT_THROW(LinearInterpolator({1.0}, {0.0, 1.0}), std::invalid_argument);
+    EXPECT_THROW(LinearInterpolator({}, {}), std::invalid_argument);
+    const LinearInterpolator single({1.0}, {5.0});
+    EXPECT_DOUBLE_EQ(single(-10.0), 5.0);
+    EXPECT_DOUBLE_EQ(single(10.0), 5.0);
+}
+
+TEST(Crossings, RisingFallingAndStart) {
+    const std::vector<double> t = {0, 1, 2, 3, 4, 5};
+    const std::vector<double> y = {0, 1, 0, 1, 0, 1};
+    const auto rising = all_crossings(t, y, 0.5, +1);
+    ASSERT_EQ(rising.size(), 3u);
+    EXPECT_DOUBLE_EQ(rising[0], 0.5);
+    const auto falling = all_crossings(t, y, 0.5, -1);
+    ASSERT_EQ(falling.size(), 2u);
+    EXPECT_DOUBLE_EQ(falling[0], 1.5);
+    const auto either = all_crossings(t, y, 0.5, 0);
+    EXPECT_EQ(either.size(), 5u);
+    EXPECT_DOUBLE_EQ(first_crossing(t, y, 0.5, +1, 2.0), 2.5);
+    EXPECT_LT(first_crossing(t, y, 2.0, +1), 0.0);  // never crosses
+}
+
+TEST(Crossings, InterpolatesCrossingTime) {
+    const std::vector<double> t = {0.0, 10.0};
+    const std::vector<double> y = {0.0, 4.0};
+    EXPECT_DOUBLE_EQ(first_crossing(t, y, 1.0, +1), 2.5);
+}
+
+/// Property: the interpolator reproduces any sampled linear function.
+class InterpolatorProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InterpolatorProperty, ReproducesLinearFunctions) {
+    Rng rng(GetParam());
+    const double slope = rng.uniform(-5.0, 5.0);
+    const double offset = rng.uniform(-3.0, 3.0);
+    std::vector<double> xs, ys;
+    double x = rng.uniform(-2.0, 0.0);
+    for (int i = 0; i < 12; ++i) {
+        xs.push_back(x);
+        ys.push_back(slope * x + offset);
+        x += rng.uniform(0.1, 1.0);
+    }
+    const LinearInterpolator f(xs, ys);
+    for (int i = 0; i < 50; ++i) {
+        const double probe = rng.uniform(xs.front() - 1.0, xs.back() + 1.0);
+        EXPECT_NEAR(f(probe), slope * probe + offset, 1e-9);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, InterpolatorProperty,
+                         ::testing::Values(1u, 7u, 99u, 12345u));
+
+}  // namespace
+}  // namespace snnfi::util

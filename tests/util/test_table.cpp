@@ -1,0 +1,80 @@
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace snnfi::util {
+namespace {
+
+ResultTable sample_table() {
+    ResultTable table("Demo", {"name", "value"});
+    table.add_row({std::string("alpha"), 1.5});
+    table.add_row({std::string("beta"), -2.25});
+    return table;
+}
+
+TEST(ResultTable, Dimensions) {
+    const auto table = sample_table();
+    EXPECT_EQ(table.num_rows(), 2u);
+    EXPECT_EQ(table.num_columns(), 2u);
+    EXPECT_EQ(table.title(), "Demo");
+}
+
+TEST(ResultTable, RejectsEmptyColumnsAndBadRows) {
+    EXPECT_THROW(ResultTable("x", {}), std::invalid_argument);
+    auto table = sample_table();
+    EXPECT_THROW(table.add_row({std::string("only-one")}), std::invalid_argument);
+}
+
+TEST(ResultTable, CellAccess) {
+    const auto table = sample_table();
+    EXPECT_EQ(std::get<std::string>(table.at(0, 0)), "alpha");
+    EXPECT_DOUBLE_EQ(table.number_at(1, 1), -2.25);
+    EXPECT_THROW(table.number_at(0, 0), std::invalid_argument);
+    EXPECT_THROW(table.at(5, 0), std::out_of_range);
+}
+
+TEST(ResultTable, NumericColumn) {
+    const auto table = sample_table();
+    const auto values = table.numeric_column(1);
+    ASSERT_EQ(values.size(), 2u);
+    EXPECT_DOUBLE_EQ(values[0], 1.5);
+    EXPECT_THROW(sample_table().numeric_column(0), std::invalid_argument);
+}
+
+TEST(ResultTable, PrintContainsHeaderAndCells) {
+    auto table = sample_table();
+    table.add_note("a caption");
+    const std::string text = table.to_string();
+    EXPECT_NE(text.find("Demo"), std::string::npos);
+    EXPECT_NE(text.find("a caption"), std::string::npos);
+    EXPECT_NE(text.find("alpha"), std::string::npos);
+    EXPECT_NE(text.find("1.5000"), std::string::npos);  // default 4 digits
+}
+
+TEST(ResultTable, PrecisionControl) {
+    auto table = sample_table();
+    table.set_precision(1, 1);
+    EXPECT_NE(table.to_string().find("1.5"), std::string::npos);
+    EXPECT_EQ(table.to_string().find("1.5000"), std::string::npos);
+    EXPECT_THROW(table.set_precision(7, 2), std::out_of_range);
+}
+
+TEST(ResultTable, CsvFormatAndEscaping) {
+    ResultTable table("T", {"a,b", "note"});
+    table.add_row({std::string("va\"l"), std::string("line1\nline2")});
+    const std::string csv = table.to_csv();
+    EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
+    EXPECT_NE(csv.find("\"va\"\"l\""), std::string::npos);
+    EXPECT_NE(csv.find("\"line1\nline2\""), std::string::npos);
+}
+
+TEST(ResultTable, StreamOperator) {
+    std::ostringstream os;
+    os << sample_table();
+    EXPECT_FALSE(os.str().empty());
+}
+
+}  // namespace
+}  // namespace snnfi::util
