@@ -1,7 +1,7 @@
-// Regenerates: ablation_inference (see core/experiments.hpp for the mapping to the
-// paper's figures).
+// Thin client of the Session engine: regenerates the 'ablation_inference' scenarios
+// (run `build/run --list` for the full registry).
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-    return snnfi::bench::run_experiments({"ablation_inference"}, argc, argv);
+    return snnfi::bench::run_scenarios("ablation_inference", argc, argv);
 }

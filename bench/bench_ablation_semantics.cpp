@@ -1,8 +1,9 @@
-// Regenerates: ablation_semantics (threshold-fault semantics comparison,
-// see DESIGN.md §4 for why the paper's BindsNET experiments and the
-// physical circuit disagree about the sign of a "-20% threshold" fault).
+// Thin client of the Session engine: regenerates the 'ablation_semantics'
+// scenario (threshold-fault semantics comparison — see DESIGN.md §4 for
+// why the paper's BindsNET experiments and the physical circuit disagree
+// about the sign of a "-20% threshold" fault).
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-    return snnfi::bench::run_experiments({"ablation_semantics"}, argc, argv);
+    return snnfi::bench::run_scenarios("ablation_semantics", argc, argv);
 }

@@ -1,34 +1,29 @@
-// Shared main() for figure-regeneration bench binaries.
+// Shared main() for figure-regeneration bench binaries — thin clients of
+// the core::Session engine.
 //
-// Each binary runs one (or a few) experiments from the core registry and
-// prints the paper-style table. `--quick` shrinks the workload; `--csv`
-// additionally emits machine-readable output.
+// Each binary names a scenario selector (ids and/or tags); everything it
+// selects runs through ONE Session, so trained baselines, datasets and
+// circuit characterisations are shared across the experiments it prints.
+// `--quick` shrinks the workload; `--csv` and `--json` add machine-readable
+// output.
 #pragma once
 
-#include <chrono>
 #include <iostream>
 #include <string>
-#include <vector>
 
-#include "core/experiments.hpp"
+#include "core/scenario.hpp"
+#include "core/session.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
 
 namespace snnfi::bench {
 
-inline int run_experiments(const std::vector<std::string>& ids, int argc,
-                           const char* const* argv) {
-    util::ArgParser parser("Regenerates paper figures: " +
-                           [&] {
-                               std::string joined;
-                               for (const auto& id : ids) {
-                                   if (!joined.empty()) joined += ", ";
-                                   joined += id;
-                               }
-                               return joined;
-                           }());
+inline int run_scenarios(const std::string& selector, int argc,
+                         const char* const* argv) {
+    util::ArgParser parser("Regenerates paper figures: " + selector);
     parser.add_flag("quick", "Shrink workloads (for smoke runs)");
     parser.add_flag("csv", "Also print CSV rows");
+    parser.add_flag("json", "Emit one JSON document instead of tables");
     parser.add_option("samples", "1000", "Training samples for SNN experiments");
     parser.add_option("neurons", "100", "Neurons per layer for SNN experiments");
     parser.add_option("workers", "0", "Parallel sweep workers (0 = all cores)");
@@ -40,22 +35,25 @@ inline int run_experiments(const std::vector<std::string>& ids, int argc,
     }
 
     util::set_log_level(util::LogLevel::kWarn);
-    core::ExperimentOptions options;
+    core::RunOptions options;
     options.quick = parser.get_bool("quick");
     options.train_samples = static_cast<std::size_t>(parser.get_int("samples"));
     options.n_neurons = static_cast<std::size_t>(parser.get_int("neurons"));
     options.max_workers = static_cast<std::size_t>(parser.get_int("workers"));
 
-    for (const auto& id : ids) {
-        const auto& experiment = core::find_experiment(id);
-        const auto start = std::chrono::steady_clock::now();
-        const util::ResultTable table = experiment.run(options);
-        const double seconds =
-            std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
-                .count();
-        std::cout << table;
-        if (parser.get_bool("csv")) std::cout << table.to_csv();
-        std::cout << "[" << id << " regenerated in " << seconds << " s]\n\n";
+    core::Session session(options);
+    const std::vector<core::RunResult> results = session.run_selector(selector);
+
+    if (parser.get_bool("json")) {
+        std::cout << core::to_json(results, session) << "\n";
+        return 0;
+    }
+
+    for (const auto& result : results) {
+        std::cout << result.table;
+        if (parser.get_bool("csv")) std::cout << result.table.to_csv();
+        std::cout << "[" << result.id << " regenerated in " << result.seconds
+                  << " s]\n\n";
     }
     return 0;
 }

@@ -1,7 +1,7 @@
-// Regenerates: defense_acc (see core/experiments.hpp for the mapping to the
-// paper's figures).
+// Thin client of the Session engine: regenerates the 'defense_acc' scenarios
+// (run `build/run --list` for the full registry).
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-    return snnfi::bench::run_experiments({"defense_acc"}, argc, argv);
+    return snnfi::bench::run_scenarios("defense_acc", argc, argv);
 }

@@ -1,7 +1,7 @@
-// Regenerates: baseline fig7b (see core/experiments.hpp for the mapping to the
-// paper's figures).
+// Thin client of the Session engine: regenerates the 'baseline,fig7b' scenarios
+// (run `build/run --list` for the full registry).
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-    return snnfi::bench::run_experiments({"baseline", "fig7b"}, argc, argv);
+    return snnfi::bench::run_scenarios("baseline,fig7b", argc, argv);
 }

@@ -1,7 +1,7 @@
-// Regenerates: fig9b (see core/experiments.hpp for the mapping to the
-// paper's figures).
+// Thin client of the Session engine: regenerates the 'fig9b' scenarios
+// (run `build/run --list` for the full registry).
 #include "bench_common.hpp"
 
 int main(int argc, char** argv) {
-    return snnfi::bench::run_experiments({"fig9b"}, argc, argv);
+    return snnfi::bench::run_scenarios("fig9b", argc, argv);
 }

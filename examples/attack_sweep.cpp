@@ -1,16 +1,18 @@
 // Attack sweep: run any of the paper's five attacks from the command line.
 //
 //   $ ./attack_sweep --attack=3 --delta=-0.2 --fraction=1.0
+//   $ ./attack_sweep --attack=3 --delta=-0.2,-0.1,0.1,0.2   # sweep a list
 //   $ ./attack_sweep --attack=5 --vdd=0.8
-//   $ ./attack_sweep --attack=1 --delta=0.2
 //
-// Shows the attack layer's public API: FaultSpec construction, the VDD
-// calibration bridge (for Attack 5), and the shared AttackSuite runner.
+// Shows the attack layer's public API as a thin Session client: FaultSpec
+// construction, the VDD calibration bridge (cached by the Session for
+// attack 5), and the shared AttackSuite runner. List-valued --delta sweeps
+// all the deltas in one parallel batch against one trained baseline.
 #include <iostream>
 
 #include "attack/calibration.hpp"
 #include "attack/scenarios.hpp"
-#include "data/idx.hpp"
+#include "core/session.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
@@ -20,9 +22,10 @@ int main(int argc, char** argv) {
     parser.add_option("attack", "3", "Attack number 1-5 (paper §IV)");
     parser.add_option("delta", "-0.2",
                       "Theta change (attack 1) or threshold change (2-4), "
-                      "fractional: -0.2 = -20%");
+                      "fractional: -0.2 = -20%; accepts a comma list");
     parser.add_option("fraction", "1.0", "Fraction of the layer hit (attacks 2-3)");
-    parser.add_option("vdd", "0.8", "Supply voltage for attack 5 [V]");
+    parser.add_option("vdd", "0.8",
+                      "Supply voltage(s) for attack 5 [V]; accepts a comma list");
     parser.add_option("samples", "500", "Training images");
     parser.add_option("neurons", "100", "Neurons per layer");
     parser.add_flag("paper-calibration",
@@ -31,45 +34,57 @@ int main(int argc, char** argv) {
     if (!parser.parse(argc, argv)) return 0;
 
     const int attack_id = static_cast<int>(parser.get_int("attack"));
-    const double delta = parser.get_double("delta");
+    const std::vector<double> deltas = parser.get_doubles("delta");
     const double fraction = parser.get_double("fraction");
-    const double vdd = parser.get_double("vdd");
+    const std::vector<double> vdds = parser.get_doubles("vdd");
 
-    attack::AttackRunConfig config;
-    config.network.n_neurons = static_cast<std::size_t>(parser.get_int("neurons"));
-    config.train_samples = static_cast<std::size_t>(parser.get_int("samples"));
-    attack::AttackSuite suite(
-        data::load_digits(config.train_samples, /*seed=*/42), config);
+    core::RunOptions options;
+    options.train_samples = static_cast<std::size_t>(parser.get_int("samples"));
+    options.n_neurons = static_cast<std::size_t>(parser.get_int("neurons"));
+    core::Session session(options);
+    auto suite = session.attack_suite();
 
-    attack::FaultSpec fault;
-    switch (attack_id) {
-        case 1:
-            fault.layer = attack::TargetLayer::kNone;
-            fault.driver_gain = 1.0 + delta;
-            break;
-        case 2:
-            fault.layer = attack::TargetLayer::kExcitatory;
-            fault.fraction = fraction;
-            fault.threshold_delta = delta;
-            break;
-        case 3:
-            fault.layer = attack::TargetLayer::kInhibitory;
-            fault.fraction = fraction;
-            fault.threshold_delta = delta;
-            break;
-        case 4:
-            fault.layer = attack::TargetLayer::kBoth;
-            fault.fraction = 1.0;
-            fault.threshold_delta = delta;
-            break;
-        case 5: {
-            const auto calibration =
-                parser.get_bool("paper-calibration")
-                    ? attack::VddCalibration::paper_reference()
-                    : attack::VddCalibration::from_circuits(
-                          circuits::Characterizer{circuits::CharacterizationConfig{}},
-                          {0.8, 0.9, 1.0, 1.1, 1.2},
-                          circuits::NeuronKind::kAxonHillock);
+    std::vector<attack::FaultSpec> faults;
+    std::vector<double> fault_vdds;  // attack-5 labelling only
+    for (const double delta : deltas) {
+        attack::FaultSpec fault;
+        switch (attack_id) {
+            case 1:
+                fault.layer = attack::TargetLayer::kNone;
+                fault.driver_gain = 1.0 + delta;
+                break;
+            case 2:
+                fault.layer = attack::TargetLayer::kExcitatory;
+                fault.fraction = fraction;
+                fault.threshold_delta = delta;
+                break;
+            case 3:
+                fault.layer = attack::TargetLayer::kInhibitory;
+                fault.fraction = fraction;
+                fault.threshold_delta = delta;
+                break;
+            case 4:
+                fault.layer = attack::TargetLayer::kBoth;
+                fault.fraction = 1.0;
+                fault.threshold_delta = delta;
+                break;
+            case 5:
+                break;  // driven by --vdd below
+            default:
+                std::cerr << "error: --attack must be 1-5\n";
+                return 2;
+        }
+        faults.push_back(fault);
+        if (attack_id == 5) break;  // deltas are ignored for attack 5
+    }
+    if (attack_id == 5) {
+        faults.clear();
+        const auto calibration =
+            parser.get_bool("paper-calibration")
+                ? attack::VddCalibration::paper_reference()
+                : *session.calibration(circuits::NeuronKind::kAxonHillock);
+        for (const double vdd : vdds) {
+            attack::FaultSpec fault;
             fault.layer = attack::TargetLayer::kBoth;
             fault.fraction = 1.0;
             fault.threshold_delta = calibration.threshold_delta(vdd);
@@ -77,21 +92,26 @@ int main(int argc, char** argv) {
             std::cout << "attack 5 @ VDD=" << vdd << " V -> threshold "
                       << fault.threshold_delta * 100.0 << "%, driver gain "
                       << fault.driver_gain << "\n";
-            break;
+            faults.push_back(fault);
+            fault_vdds.push_back(vdd);
         }
-        default:
-            std::cerr << "error: --attack must be 1-5\n";
-            return 2;
     }
 
     std::cout << "training baseline...\n";
-    const double baseline = suite.baseline_accuracy();
-    std::cout << "baseline accuracy: " << baseline * 100.0 << "%\n"
-              << "training under attack " << attack_id << "...\n";
-    const attack::AttackOutcome outcome = suite.run(fault);
-    std::cout << "attacked accuracy: " << outcome.accuracy * 100.0 << "%  ("
-              << outcome.degradation_pct << "% relative)\n"
-              << "excitatory spikes/sample: " << outcome.exc_spikes_per_sample
-              << "\n";
+    std::cout << "baseline accuracy: " << suite->baseline_accuracy() * 100.0
+              << "%\ntraining " << faults.size() << " fault point(s) for attack "
+              << attack_id << "...\n";
+    const std::vector<attack::AttackOutcome> outcomes = suite->run_many(faults);
+    for (std::size_t i = 0; i < outcomes.size(); ++i) {
+        const auto& outcome = outcomes[i];
+        std::cout << "point " << i;
+        if (attack_id == 5)
+            std::cout << " (VDD=" << fault_vdds[i] << " V)";
+        else
+            std::cout << " (delta=" << deltas[std::min(i, deltas.size() - 1)] << ")";
+        std::cout << ": accuracy " << outcome.accuracy * 100.0 << "%  ("
+                  << outcome.degradation_pct << "% relative), exc spikes/sample "
+                  << outcome.exc_spikes_per_sample << "\n";
+    }
     return 0;
 }

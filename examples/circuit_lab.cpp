@@ -5,11 +5,12 @@
 // Demonstrates the spice/circuits layers directly: builds a neuron
 // netlist, runs a transient, prints spike statistics, and (optionally)
 // writes the waveforms as CSV for plotting — the raw material of the
-// paper's Figs. 3 and 4.
+// paper's Figs. 3 and 4. The characterizer comes from a Session so a
+// script poking at several operating points shares one instance.
 #include <fstream>
 #include <iostream>
 
-#include "circuits/characterization.hpp"
+#include "core/session.hpp"
 #include "spice/engine.hpp"
 #include "util/cli.hpp"
 
@@ -27,7 +28,8 @@ int main(int argc, char** argv) {
     const double window = parser.get_double("window-us") * 1e-6;
     const bool axon = parser.get("neuron") == "ah";
 
-    circuits::Characterizer characterizer{circuits::CharacterizationConfig{}};
+    core::Session session;
+    const auto& characterizer = *session.characterizer();
     const spice::TransientResult result =
         axon ? characterizer.axon_hillock_waveforms(vdd, window)
              : characterizer.vamp_if_waveforms(vdd, window);

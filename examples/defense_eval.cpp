@@ -2,9 +2,12 @@
 //
 //   $ ./defense_eval [--samples=500] [--skip-snn]
 //
-// Exercises the defense layer end-to-end: residual corruption of each
-// hardened circuit, the accuracy it preserves, the §V overhead accounting,
-// and the Fig. 10c detector sweep with its >= 10% decision rule.
+// Exercises the defense layer end-to-end as a thin Session client: the
+// session's cached characterizer feeds the overhead accounting and the
+// defense replays, and the shared attack suite means the baseline is
+// trained once. Covers residual corruption of each hardened circuit, the
+// accuracy it preserves, the §V overhead accounting, and the Fig. 10c
+// detector sweep with its >= 10% decision rule.
 #include <iostream>
 
 #include "core/snnfi.hpp"
@@ -18,7 +21,10 @@ int main(int argc, char** argv) {
     parser.add_flag("skip-snn", "Only run the circuit-level parts");
     if (!parser.parse(argc, argv)) return 0;
 
-    circuits::Characterizer characterizer{circuits::CharacterizationConfig{}};
+    core::RunOptions options;
+    options.train_samples = static_cast<std::size_t>(parser.get_int("samples"));
+    core::Session session(options);
+    const auto characterizer = session.characterizer();
 
     // --- detector sweep (Fig. 10c) -------------------------------------
     defense::DummyNeuronDetector detector;
@@ -31,7 +37,7 @@ int main(int argc, char** argv) {
     }
 
     // --- overhead accounting (§V) ---------------------------------------
-    defense::OverheadAnalyzer analyzer(characterizer);
+    defense::OverheadAnalyzer analyzer(*characterizer);
     std::cout << "\ndefense overheads (measured vs paper):\n";
     for (const auto& report : analyzer.all()) {
         std::cout << "  " << report.defense << ": power "
@@ -44,15 +50,12 @@ int main(int argc, char** argv) {
     if (parser.get_bool("skip-snn")) return 0;
 
     // --- accuracy replay under each defense ------------------------------
-    attack::AttackRunConfig config;
-    config.train_samples = static_cast<std::size_t>(parser.get_int("samples"));
-    attack::AttackSuite suite(
-        data::load_digits(config.train_samples, /*seed=*/42), config);
-    defense::DefenseSuite defenses(suite, characterizer);
+    auto suite = session.attack_suite();
+    defense::DefenseSuite defenses(*suite, *characterizer);
 
-    std::cout << "\ntraining baseline (" << config.train_samples
+    std::cout << "\ntraining baseline (" << options.train_samples
               << " samples)...\n";
-    std::cout << "baseline accuracy: " << suite.baseline_accuracy() * 100.0
+    std::cout << "baseline accuracy: " << suite->baseline_accuracy() * 100.0
               << "%\n\naccuracy with each defense under a VDD=0.8 V attack:\n";
     const std::vector<double> vdds = {0.8};
     for (const auto& outcome : defenses.bandgap_vthr(circuits::BandgapModel{}, vdds))

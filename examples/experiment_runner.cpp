@@ -1,55 +1,79 @@
-// Experiment runner: regenerate any paper figure by id.
+// Experiment runner: regenerate any paper figure by id or tag.
 //
 //   $ ./experiment_runner --list
 //   $ ./experiment_runner --id=fig8b
+//   $ ./experiment_runner --id=attack --quick           # a whole tag
 //   $ ./experiment_runner --id=fig9a --quick --csv=fig9a.csv
 //
-// The same registry backs the bench binaries; this tool is the interactive
-// way to explore single experiments and export their data.
+// Interactive front-end of the same Session/scenario registry that backs
+// the bench binaries and the `run` CLI: everything selected in one
+// invocation shares trained baselines and circuit characterisations.
 #include <fstream>
 #include <iostream>
 
-#include "core/experiments.hpp"
+#include "core/scenario.hpp"
+#include "core/session.hpp"
 #include "util/cli.hpp"
 
 int main(int argc, char** argv) {
     using namespace snnfi;
 
-    util::ArgParser parser("snnfi experiment runner (paper figure registry)");
-    parser.add_flag("list", "List all experiment ids and exit");
-    parser.add_option("id", "baseline", "Experiment id to run (see --list)");
+    util::ArgParser parser("snnfi experiment runner (scenario registry)");
+    parser.add_flag("list", "List all experiment ids/tags and exit");
+    parser.add_option("id", "baseline",
+                      "Experiment id(s) and/or tag(s) to run (see --list)");
     parser.add_flag("quick", "Shrink the workload for a fast look");
+    parser.add_flag("json", "Print each result as JSON instead of a table");
     parser.add_option("samples", "1000", "Training samples (SNN experiments)");
     parser.add_option("neurons", "100", "Neurons per layer (SNN experiments)");
-    parser.add_option("csv", "", "Also write the table to this CSV file");
+    parser.add_option("csv", "", "Also write the table(s) to this CSV file");
     if (!parser.parse(argc, argv)) return 0;
 
+    auto& registry = core::ScenarioRegistry::instance();
     if (parser.get_bool("list")) {
-        for (const auto& experiment : core::experiment_registry()) {
-            std::cout << "  " << experiment.id << "  —  " << experiment.title
-                      << " (" << experiment.description << ")\n";
+        for (const auto& spec : registry.all()) {
+            std::cout << "  " << spec.id << "  —  " << spec.title << " ("
+                      << spec.description << ")  [";
+            for (std::size_t t = 0; t < spec.tags.size(); ++t)
+                std::cout << (t ? "," : "") << spec.tags[t];
+            std::cout << "]\n";
         }
+        std::cout << "tags:";
+        for (const auto& tag : registry.tag_names()) std::cout << " " << tag;
+        std::cout << "\n";
         return 0;
     }
 
-    core::ExperimentOptions options;
+    core::RunOptions options;
     options.quick = parser.get_bool("quick");
     options.train_samples = static_cast<std::size_t>(parser.get_int("samples"));
     options.n_neurons = static_cast<std::size_t>(parser.get_int("neurons"));
 
+    std::string selector;
+    for (const auto& token : parser.get_strings("id")) {
+        if (!selector.empty()) selector += ",";
+        selector += token;
+    }
     try {
-        const auto& experiment = core::find_experiment(parser.get("id"));
-        const util::ResultTable table = experiment.run(options);
-        std::cout << table;
-        if (const std::string path = parser.get("csv"); !path.empty()) {
-            std::ofstream out(path);
-            if (!out) {
+        core::Session session(options);
+        const auto results = session.run_selector(selector);
+        std::ofstream csv_out;
+        const std::string path = parser.get("csv");
+        if (!path.empty()) {
+            csv_out.open(path);
+            if (!csv_out) {
                 std::cerr << "error: cannot write " << path << "\n";
                 return 1;
             }
-            out << table.to_csv();
-            std::cout << "CSV written to " << path << "\n";
         }
+        for (const auto& result : results) {
+            if (parser.get_bool("json"))
+                std::cout << result.to_json() << "\n";
+            else
+                std::cout << result.table;
+            if (csv_out.is_open()) csv_out << result.table.to_csv();
+        }
+        if (csv_out.is_open()) std::cout << "CSV written to " << path << "\n";
     } catch (const std::exception& e) {
         std::cerr << "error: " << e.what() << "\n(use --list for available ids)\n";
         return 1;

@@ -2,7 +2,10 @@
 //
 //   $ ./quickstart [--samples=500] [--neurons=100]
 //
-// Walks through the library's three layers in ~a minute:
+// Walks through the library in ~a minute, driving everything through one
+// core::Session — the shared engine behind the bench binaries and the
+// `run` CLI. The session caches the dataset and the trained baseline, so
+// the three stages below train the attack-free network exactly once:
 //   1. train an attack-free network and report its accuracy;
 //   2. inject the paper's worst-case fault (Attack 4: -20% threshold on
 //      both layers) and watch the accuracy collapse;
@@ -21,20 +24,19 @@ int main(int argc, char** argv) {
     parser.add_option("neurons", "100", "Neurons per layer");
     if (!parser.parse(argc, argv)) return 0;
 
-    // 1. Dataset (real MNIST if present under data/mnist, synthetic glyphs
-    //    otherwise) and an attack suite holding the experimental setup.
-    const auto samples = static_cast<std::size_t>(parser.get_int("samples"));
-    snn::Dataset dataset = data::load_digits(samples, /*seed=*/42);
-    std::cout << "dataset: " << dataset.size() << " images of "
-              << dataset.image_size << " pixels\n";
+    // 1. One Session holds the workload knobs and every shared artifact
+    //    (dataset, trained baseline, circuit characterisations).
+    core::RunOptions options;
+    options.train_samples = static_cast<std::size_t>(parser.get_int("samples"));
+    options.n_neurons = static_cast<std::size_t>(parser.get_int("neurons"));
+    core::Session session(options);
 
-    attack::AttackRunConfig config;
-    config.network.n_neurons = static_cast<std::size_t>(parser.get_int("neurons"));
-    config.train_samples = samples;
-    attack::AttackSuite suite(std::move(dataset), config);
+    auto suite = session.attack_suite();
+    std::cout << "dataset: " << suite->dataset().size() << " images of "
+              << suite->dataset().image_size << " pixels\n";
 
     std::cout << "\n[1/3] training attack-free baseline...\n";
-    const double baseline = suite.baseline_accuracy();
+    const double baseline = suite->baseline_accuracy();
     std::cout << "      baseline accuracy: " << baseline * 100.0 << "%\n";
 
     // 2. Worst-case white-box attack (paper Fig. 8c): -20% threshold fault
@@ -44,7 +46,7 @@ int main(int argc, char** argv) {
     fault.layer = attack::TargetLayer::kBoth;
     fault.fraction = 1.0;
     fault.threshold_delta = -0.20;
-    const attack::AttackOutcome attacked = suite.run(fault);
+    const attack::AttackOutcome attacked = suite->run(fault);
     std::cout << "      attacked accuracy: " << attacked.accuracy * 100.0 << "% ("
               << attacked.degradation_pct << "% vs baseline)\n";
 
@@ -54,12 +56,15 @@ int main(int argc, char** argv) {
     const circuits::BandgapModel bandgap;
     attack::FaultSpec defended = fault;
     defended.threshold_delta = bandgap.deviation_pct(0.8) / 100.0;
-    const attack::AttackOutcome recovered = suite.run(defended);
+    const attack::AttackOutcome recovered = suite->run(defended);
     std::cout << "      defended accuracy: " << recovered.accuracy * 100.0 << "% ("
               << recovered.degradation_pct << "% vs baseline)\n";
 
     std::cout << "\nSummary: " << baseline * 100.0 << "% -> "
               << attacked.accuracy * 100.0 << "% under attack -> "
-              << recovered.accuracy * 100.0 << "% with the defense.\n";
+              << recovered.accuracy * 100.0 << "% with the defense.\n"
+              << "(session cache: " << session.cache_hits() << " hit(s), "
+              << session.cache_misses() << " miss(es) — the baseline was "
+              << "trained once)\n";
     return 0;
 }

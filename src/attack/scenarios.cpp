@@ -1,8 +1,6 @@
 #include "attack/scenarios.hpp"
 
-#include <future>
 #include <stdexcept>
-#include <thread>
 
 #include "snn/classifier.hpp"
 #include "util/stats.hpp"
@@ -97,30 +95,20 @@ AttackOutcome AttackSuite::run(const FaultSpec& fault) {
 std::vector<AttackOutcome> AttackSuite::run_many(const std::vector<FaultSpec>& faults) {
     const double base = baseline_accuracy();  // compute before forking workers
 
-    std::size_t workers = config_.max_workers;
-    if (workers == 0) {
-        workers = std::thread::hardware_concurrency();
-        if (workers == 0) workers = 4;
-    }
-
     std::vector<AttackOutcome> outcomes(faults.size());
-    std::atomic<std::size_t> next{0};
-    auto worker = [&] {
-        for (;;) {
-            const std::size_t index = next.fetch_add(1);
-            if (index >= faults.size()) return;
-            outcomes[index] = config_.phase == AttackPhase::kInferenceOnly
-                                  ? evaluate_inference_only(faults[index])
-                                  : evaluate(faults[index]);
-            outcomes[index].degradation_pct =
-                base > 0.0 ? util::percent_change(outcomes[index].accuracy, base) : 0.0;
-        }
+    const auto evaluate_point = [&](std::size_t index) {
+        outcomes[index] = config_.phase == AttackPhase::kInferenceOnly
+                              ? evaluate_inference_only(faults[index])
+                              : evaluate(faults[index]);
+        outcomes[index].degradation_pct =
+            base > 0.0 ? util::percent_change(outcomes[index].accuracy, base) : 0.0;
     };
-    std::vector<std::thread> pool;
-    const std::size_t n_threads = std::min(workers, faults.size());
-    pool.reserve(n_threads);
-    for (std::size_t t = 0; t < n_threads; ++t) pool.emplace_back(worker);
-    for (auto& thread : pool) thread.join();
+    if (pool_) {
+        pool_->parallel_for(faults.size(), evaluate_point);
+    } else {
+        util::ThreadPool local(config_.max_workers);
+        local.parallel_for(faults.size(), evaluate_point);
+    }
     return outcomes;
 }
 

@@ -20,6 +20,7 @@
 #include "attack/calibration.hpp"
 #include "attack/fault_model.hpp"
 #include "snn/trainer.hpp"
+#include "util/thread_pool.hpp"
 
 namespace snnfi::attack {
 
@@ -58,8 +59,14 @@ public:
 
     /// Runs one fault configuration.
     AttackOutcome run(const FaultSpec& fault);
-    /// Runs many fault configurations in parallel.
+    /// Runs many fault configurations in parallel. Results are
+    /// index-addressed, so the output is identical for any worker count.
     std::vector<AttackOutcome> run_many(const std::vector<FaultSpec>& faults);
+
+    /// Shares an external worker pool (e.g. a core::Session's) instead of
+    /// this suite building its own per run_many call. The pool must outlive
+    /// the suite; pass nullptr to detach.
+    void set_thread_pool(util::ThreadPool* pool) noexcept { pool_ = pool; }
 
     // --- paper sweeps ----------------------------------------------------
     /// Attack 1, Fig. 7b: theta (driver gain) deltas, e.g. {-.2,-.1,.1,.2}.
@@ -81,6 +88,7 @@ private:
     snn::Dataset dataset_;
     AttackRunConfig config_;
     std::optional<snn::TrainResult> baseline_;
+    util::ThreadPool* pool_ = nullptr;  ///< not owned; optional shared pool
 };
 
 }  // namespace snnfi::attack

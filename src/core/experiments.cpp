@@ -1,483 +1,32 @@
 #include "core/experiments.hpp"
 
-#include <stdexcept>
-
-#include "attack/scenarios.hpp"
-#include "circuits/dummy_neuron.hpp"
-#include "data/idx.hpp"
-#include "data/synthetic_digits.hpp"
-#include "defense/defenses.hpp"
-#include "defense/detector.hpp"
-#include "defense/overhead.hpp"
-#include "util/stats.hpp"
+#include "core/session.hpp"
 
 namespace snnfi::core {
 
 namespace {
 
-using util::Cell;
-using util::ResultTable;
-
-std::vector<double> vdd_grid(bool quick) {
-    return quick ? std::vector<double>{0.8, 1.0, 1.2}
-                 : std::vector<double>{0.8, 0.9, 1.0, 1.1, 1.2};
-}
-
-circuits::Characterizer make_characterizer() {
-    return circuits::Characterizer(circuits::CharacterizationConfig{});
-}
-
-attack::AttackSuite make_attack_suite(const ExperimentOptions& options) {
-    snn::Dataset dataset =
-        data::load_digits(options.samples(), options.data_seed, options.mnist_dir);
-    attack::AttackRunConfig cfg;
-    cfg.network.n_neurons = options.neurons();
-    cfg.train_samples = options.samples();
-    cfg.data_seed = options.data_seed;
-    cfg.network_seed = options.network_seed;
-    cfg.max_workers = options.max_workers;
-    return attack::AttackSuite(std::move(dataset), cfg);
+util::ResultTable run_in_fresh_session(const std::string& id,
+                                       const ExperimentOptions& options) {
+    Session session(options);
+    return std::move(session.run(id).table);
 }
 
 }  // namespace
-
-ResultTable run_fig3_axon_waveforms(const ExperimentOptions&) {
-    const auto characterizer = make_characterizer();
-    const auto result = characterizer.axon_hillock_waveforms(1.0, 40e-6);
-    const auto spikes = result.crossings("V(vout)", 0.5, +1);
-
-    ResultTable table("Fig. 3 — Axon Hillock spike generation (VDD = 1 V)",
-                      {"quantity", "measured", "unit"});
-    table.add_note("Paper: sawtooth Vmem between ~0 and the ~0.5 V threshold, "
-                   "rail-to-rail Vout pulses, Iin = 200 nA @ 40 MHz.");
-    table.add_row({std::string("output spikes in 40 us"),
-                   static_cast<double>(spikes.size()), std::string("count")});
-    if (!spikes.empty())
-        table.add_row({std::string("time of first spike"), spikes.front() * 1e6,
-                       std::string("us")});
-    if (spikes.size() >= 2)
-        table.add_row({std::string("mean inter-spike period"),
-                       (spikes.back() - spikes.front()) /
-                           static_cast<double>(spikes.size() - 1) * 1e6,
-                       std::string("us")});
-    table.add_row({std::string("Vmem max (post-startup)"),
-                   result.max_value("V(vmem)", 5e-6), std::string("V")});
-    table.add_row({std::string("Vmem min (post-startup)"),
-                   result.min_value("V(vmem)", 5e-6), std::string("V")});
-    table.add_row({std::string("Vout max"), result.max_value("V(vout)"),
-                   std::string("V")});
-    table.add_row({std::string("Vout min"), result.min_value("V(vout)"),
-                   std::string("V")});
-    return table;
-}
-
-ResultTable run_fig4_if_waveforms(const ExperimentOptions&) {
-    const auto characterizer = make_characterizer();
-    const auto result = characterizer.vamp_if_waveforms(1.0, 400e-6);
-    const auto spikes = result.crossings("V(vout)", 0.5, +1);
-
-    ResultTable table("Fig. 4 — Voltage-amplifier I&F spike generation (VDD = 1 V)",
-                      {"quantity", "measured", "unit"});
-    table.add_note("Paper: Vmem ramps to Vthr = 0.5 V, jumps to VDD (spike), "
-                   "resets to 0 and holds through the refractory period.");
-    table.add_row({std::string("output spikes in 400 us"),
-                   static_cast<double>(spikes.size()), std::string("count")});
-    if (!spikes.empty())
-        table.add_row({std::string("time of first spike"), spikes.front() * 1e6,
-                       std::string("us")});
-    if (spikes.size() >= 3)
-        table.add_row({std::string("steady-state period"),
-                       (spikes.back() - spikes[1]) /
-                           static_cast<double>(spikes.size() - 2) * 1e6,
-                       std::string("us")});
-    table.add_row({std::string("Vthr (divider)"),
-                   result.signal("V(vthr)").back(), std::string("V")});
-    table.add_row({std::string("Vmem max (spike pull-up)"),
-                   result.max_value("V(vmem)"), std::string("V")});
-    table.add_row({std::string("Vmem min"), result.min_value("V(vmem)", 1e-6),
-                   std::string("V")});
-    return table;
-}
-
-ResultTable run_fig5b_driver_amplitude(const ExperimentOptions& options) {
-    const auto characterizer = make_characterizer();
-    const auto points =
-        characterizer.driver_amplitude_vs_vdd(vdd_grid(options.quick), false);
-
-    ResultTable table("Fig. 5b — Driver output amplitude vs VDD",
-                      {"vdd_V", "amplitude_nA", "change_pct", "paper_nA"});
-    table.add_note("Paper: 136 nA @ 0.8 V (-32%), 200 nA @ 1.0 V, 264 nA @ 1.2 V (+32%).");
-    const util::LinearInterpolator paper({0.8, 0.9, 1.0, 1.1, 1.2},
-                                         {136, 168, 200, 232, 264});
-    for (const auto& p : points)
-        table.add_row({p.vdd, p.value * 1e9, p.change_pct, paper(p.vdd)});
-    return table;
-}
-
-ResultTable run_fig5c_tts_vs_amplitude(const ExperimentOptions& options) {
-    const auto characterizer = make_characterizer();
-    const std::vector<double> amplitudes =
-        options.quick ? std::vector<double>{136e-9, 200e-9, 264e-9}
-                      : std::vector<double>{136e-9, 168e-9, 200e-9, 232e-9, 264e-9};
-
-    ResultTable table("Fig. 5c — Time-to-spike vs input spike amplitude (VDD = 1 V)",
-                      {"neuron", "amplitude_nA", "tts_us", "change_pct"});
-    table.add_note("Paper: AH +53.7% @ 136 nA / -24.7% @ 264 nA; "
-                   "I&F +14.5% / -6.7% (refractory-diluted).");
-    for (const auto kind :
-         {circuits::NeuronKind::kAxonHillock, circuits::NeuronKind::kVampIf}) {
-        for (const auto& p : characterizer.time_to_spike_vs_amplitude(kind, amplitudes))
-            table.add_row({std::string(circuits::to_string(kind)), p.vdd * 1e9,
-                           p.value * 1e6, p.change_pct});
-    }
-    return table;
-}
-
-ResultTable run_fig6a_threshold_vs_vdd(const ExperimentOptions& options) {
-    const auto characterizer = make_characterizer();
-    ResultTable table("Fig. 6a — Membrane threshold vs VDD",
-                      {"neuron", "vdd_V", "threshold_V", "change_pct"});
-    table.add_note("Paper: AH -17.91% @ 0.8 V ... +16.76% @ 1.2 V; "
-                   "I&F -18.01% ... +17.14%.");
-    for (const auto kind :
-         {circuits::NeuronKind::kAxonHillock, circuits::NeuronKind::kVampIf}) {
-        for (const auto& p :
-             characterizer.threshold_vs_vdd(kind, vdd_grid(options.quick)))
-            table.add_row({std::string(circuits::to_string(kind)), p.vdd, p.value,
-                           p.change_pct});
-    }
-    return table;
-}
-
-ResultTable run_fig6bc_tts_vs_vdd(const ExperimentOptions& options) {
-    const auto characterizer = make_characterizer();
-    ResultTable table("Fig. 6b/6c — Time-to-spike vs VDD (Iin fixed 200 nA)",
-                      {"neuron", "vdd_V", "tts_us", "change_pct"});
-    table.add_note("Paper: AH 17.91% faster @ 0.8 V ... 16.76% slower @ 1.2 V; "
-                   "I&F 17.05% faster ... 23.53% slower.");
-    for (const auto kind :
-         {circuits::NeuronKind::kAxonHillock, circuits::NeuronKind::kVampIf}) {
-        for (const auto& p :
-             characterizer.time_to_spike_vs_vdd(kind, vdd_grid(options.quick)))
-            table.add_row({std::string(circuits::to_string(kind)), p.vdd,
-                           p.value * 1e6, p.change_pct});
-    }
-    return table;
-}
-
-ResultTable run_baseline_accuracy(const ExperimentOptions& options) {
-    auto suite = make_attack_suite(options);
-    const double online = suite.baseline_accuracy();
-    const double retro = suite.baseline_retro_accuracy();
-    ResultTable table("Baseline — attack-free Diehl&Cook SNN (§IV-A)",
-                      {"metric", "value_pct"});
-    table.add_note("Paper: 75.92% with 1000 training images, 100+100 neurons.");
-    table.add_row({std::string("online windowed accuracy"), online * 100.0});
-    table.add_row({std::string("retrospective accuracy"), retro * 100.0});
-    return table;
-}
-
-ResultTable run_fig7b_attack1(const ExperimentOptions& options) {
-    auto suite = make_attack_suite(options);
-    const std::vector<double> deltas =
-        options.quick ? std::vector<double>{-0.2, 0.2}
-                      : std::vector<double>{-0.2, -0.1, -0.05, 0.05, 0.1, 0.2};
-    const auto outcomes = suite.attack1_theta(deltas);
-    ResultTable table("Fig. 7b — Attack 1: input-driver (theta) corruption",
-                      {"theta_change_pct", "accuracy_pct", "degradation_pct"});
-    table.add_note("Paper: accuracy stays within ~+/-2% of the baseline; worst "
-                   "-1.5% at -20% theta. Baseline accuracy " +
-                   std::to_string(suite.baseline_accuracy() * 100.0) + "%.");
-    for (std::size_t i = 0; i < outcomes.size(); ++i)
-        table.add_row({deltas[i] * 100.0, outcomes[i].accuracy * 100.0,
-                       outcomes[i].degradation_pct});
-    return table;
-}
-
-namespace {
-
-ResultTable layer_grid_table(const std::string& title, const std::string& note,
-                             attack::AttackSuite& suite, attack::TargetLayer layer,
-                             const ExperimentOptions& options) {
-    const std::vector<double> deltas =
-        options.quick ? std::vector<double>{-0.2, 0.2}
-                      : std::vector<double>{-0.2, -0.1, 0.1, 0.2};
-    const std::vector<double> fractions =
-        options.quick ? std::vector<double>{0.5, 1.0}
-                      : std::vector<double>{0.25, 0.5, 0.75, 0.9, 1.0};
-    const auto outcomes = suite.attack_layer_grid(layer, deltas, fractions);
-    ResultTable table(title, {"threshold_change_pct", "fraction_pct", "accuracy_pct",
-                              "degradation_pct"});
-    table.add_note(note);
-    table.add_note("Baseline accuracy " +
-                   std::to_string(suite.baseline_accuracy() * 100.0) + "%.");
-    for (const auto& o : outcomes)
-        table.add_row({o.fault.threshold_delta * 100.0, o.fault.fraction * 100.0,
-                       o.accuracy * 100.0, o.degradation_pct});
-    return table;
-}
-
-}  // namespace
-
-ResultTable run_fig8a_attack2(const ExperimentOptions& options) {
-    auto suite = make_attack_suite(options);
-    return layer_grid_table(
-        "Fig. 8a — Attack 2: threshold fault on the excitatory layer",
-        "Paper: >= baseline while <= 90% affected; worst -7.32% at -20%, 100%.",
-        suite, attack::TargetLayer::kExcitatory, options);
-}
-
-ResultTable run_fig8b_attack3(const ExperimentOptions& options) {
-    auto suite = make_attack_suite(options);
-    return layer_grid_table(
-        "Fig. 8b — Attack 3: threshold fault on the inhibitory layer",
-        "Paper: degrades in 3 of 4 threshold cases; worst -84.52% at -20%, 100%.",
-        suite, attack::TargetLayer::kInhibitory, options);
-}
-
-ResultTable run_fig8c_attack4(const ExperimentOptions& options) {
-    auto suite = make_attack_suite(options);
-    const std::vector<double> deltas =
-        options.quick ? std::vector<double>{-0.2, 0.2}
-                      : std::vector<double>{-0.2, -0.1, -0.05, 0.05, 0.1, 0.2};
-    const auto outcomes = suite.attack4_both(deltas);
-    ResultTable table("Fig. 8c — Attack 4: threshold fault on both layers (100%)",
-                      {"threshold_change_pct", "accuracy_pct", "degradation_pct"});
-    table.add_note("Paper: accuracy falls sharply below baseline thresholds; "
-                   "worst -85.65% at -20%.");
-    table.add_note("Baseline accuracy " +
-                   std::to_string(suite.baseline_accuracy() * 100.0) + "%.");
-    for (std::size_t i = 0; i < outcomes.size(); ++i)
-        table.add_row({deltas[i] * 100.0, outcomes[i].accuracy * 100.0,
-                       outcomes[i].degradation_pct});
-    return table;
-}
-
-ResultTable run_fig9a_attack5(const ExperimentOptions& options) {
-    auto suite = make_attack_suite(options);
-    const auto characterizer = make_characterizer();
-    const auto calibration = attack::VddCalibration::from_circuits(
-        characterizer, vdd_grid(false), circuits::NeuronKind::kAxonHillock);
-    const auto vdds = vdd_grid(options.quick);
-    const auto outcomes = suite.attack5_vdd(calibration, vdds);
-    ResultTable table(
-        "Fig. 9a — Attack 5 (black box): shared-VDD theta + threshold corruption",
-        {"vdd_V", "threshold_change_pct", "driver_gain", "accuracy_pct",
-         "degradation_pct"});
-    table.add_note("Paper: worst-case degradation -84.93% (low VDD).");
-    table.add_note("Baseline accuracy " +
-                   std::to_string(suite.baseline_accuracy() * 100.0) + "%.");
-    for (const auto& o : outcomes)
-        table.add_row({o.vdd, o.fault.threshold_delta * 100.0, o.fault.driver_gain,
-                       o.accuracy * 100.0, o.degradation_pct});
-    return table;
-}
-
-ResultTable run_fig9b_robust_driver(const ExperimentOptions& options) {
-    const auto characterizer = make_characterizer();
-    const auto points =
-        characterizer.driver_amplitude_vs_vdd(vdd_grid(options.quick), true);
-    ResultTable table("Fig. 9b — Robust current driver output vs VDD",
-                      {"vdd_V", "amplitude_nA", "change_pct"});
-    table.add_note("Paper: constant output amplitude under VDD manipulation "
-                   "(op-amp regulated mirror referenced to VRef).");
-    for (const auto& p : points)
-        table.add_row({p.vdd, p.value * 1e9, p.change_pct});
-    return table;
-}
-
-ResultTable run_fig9c_sizing(const ExperimentOptions& options) {
-    const auto characterizer = make_characterizer();
-    const std::vector<double> ratios =
-        options.quick ? std::vector<double>{1.0, 32.0}
-                      : std::vector<double>{1.0, 2.0, 4.0, 8.0, 16.0, 32.0};
-    ResultTable table(
-        "Fig. 9c — AH threshold change vs MP1 sizing ratio under VDD droop",
-        {"sizing_ratio", "thr_nominal_V", "change_at_0.8V_pct", "change_at_1.2V_pct"});
-    table.add_note("Paper: -18.01% droop at baseline sizing -> -5.23% at 32:1 "
-                   "(@0.8 V); +3.2% at 1.2 V.");
-    table.add_note("Our EKV model reproduces the direction (droop shrinks "
-                   "monotonically with the sizing ratio) with a floor set by the "
-                   "NMOS subthreshold slope; see EXPERIMENTS.md.");
-    for (const double ratio : ratios) {
-        const double nominal = characterizer.measure_ah_threshold_with_sizing(1.0, ratio);
-        const double low = characterizer.measure_ah_threshold_with_sizing(0.8, ratio);
-        const double high = characterizer.measure_ah_threshold_with_sizing(1.2, ratio);
-        table.add_row({ratio, nominal, util::percent_change(low, nominal),
-                       util::percent_change(high, nominal)});
-    }
-    return table;
-}
-
-ResultTable run_fig10a_comparator(const ExperimentOptions& options) {
-    const auto characterizer = make_characterizer();
-    const double nominal = characterizer.measure_comparator_ah_threshold(1.0);
-    ResultTable table("Fig. 10a — Comparator-based AH neuron threshold vs VDD",
-                      {"vdd_V", "threshold_V", "change_pct"});
-    table.add_note("Paper: threshold set by the bandgap-referenced comparator "
-                   "bias, independent of VDD.");
-    for (const double vdd : vdd_grid(options.quick)) {
-        const double thr = characterizer.measure_comparator_ah_threshold(vdd);
-        table.add_row({vdd, thr, util::percent_change(thr, nominal)});
-    }
-    return table;
-}
-
-ResultTable run_fig10c_dummy_detector(const ExperimentOptions& options) {
-    defense::DetectorConfig config;
-    defense::DummyNeuronDetector detector(config);
-    const auto readings = detector.sweep(vdd_grid(options.quick));
-    ResultTable table("Fig. 10c — Dummy-neuron output vs VDD (detector)",
-                      {"vdd_V", "spike_count_100ms", "deviation_pct", "flagged"});
-    table.add_note("Paper: >= 10% deviation in dummy output spike count flags a "
-                   "local VDD attack; fixed 200 nA / 100 ns / 200 ns input.");
-    for (const auto& r : readings)
-        table.add_row({r.vdd, r.spike_count, r.deviation_pct,
-                       std::string(r.flagged ? "yes" : "no")});
-    return table;
-}
-
-ResultTable run_defense_accuracy(const ExperimentOptions& options) {
-    auto suite = make_attack_suite(options);
-    const auto characterizer = make_characterizer();
-    defense::DefenseSuite defenses(suite, characterizer);
-    const auto vdds = options.quick ? std::vector<double>{0.8, 1.2}
-                                    : std::vector<double>{0.8, 0.9, 1.1, 1.2};
-
-    const auto calibration = attack::VddCalibration::from_circuits(
-        characterizer, vdd_grid(false), circuits::NeuronKind::kAxonHillock);
-    const auto undefended = defenses.undefended_accuracy(calibration, vdds);
-
-    ResultTable table("Defense accuracy recovery (§V) — Attack-4/5 replay",
-                      {"defense", "vdd_V", "residual_thr_pct", "accuracy_pct",
-                       "degradation_pct", "undefended_pct"});
-    table.add_note("Paper: bandgap ~0% degradation; sizing 3.49% @ 0.8 V; "
-                   "comparator eliminates the VDD effect.");
-    table.add_note("Baseline accuracy " +
-                   std::to_string(suite.baseline_accuracy() * 100.0) + "%.");
-    auto add_rows = [&](const std::vector<defense::DefenseOutcome>& outcomes) {
-        for (std::size_t i = 0; i < outcomes.size(); ++i) {
-            table.add_row({outcomes[i].defense, outcomes[i].vdd,
-                           outcomes[i].residual_threshold_delta_pct,
-                           outcomes[i].accuracy * 100.0, outcomes[i].degradation_pct,
-                           undefended[i] * 100.0});
-        }
-    };
-    add_rows(defenses.bandgap_vthr(circuits::BandgapModel{}, vdds));
-    add_rows(defenses.transistor_sizing(32.0, vdds));
-    add_rows(defenses.comparator_first_stage(vdds));
-    add_rows(defenses.robust_driver(vdds));
-    return table;
-}
-
-ResultTable run_defense_overheads(const ExperimentOptions&) {
-    const auto characterizer = make_characterizer();
-    defense::OverheadAnalyzer analyzer(characterizer);
-    const auto reports = analyzer.all();
-    ResultTable table("Defense overheads (§V summary)",
-                      {"defense", "power_overhead_pct", "area_overhead_pct",
-                       "paper_power_pct", "paper_area_pct"});
-    table.add_note("Power from supply-current integration; area from the "
-                   "first-order layout model (see EXPERIMENTS.md for the "
-                   "model's constants and deviations).");
-    for (const auto& r : reports)
-        table.add_row({r.defense, r.power_overhead_pct, r.area_overhead_pct,
-                       r.paper_power_overhead_pct, r.paper_area_note});
-    return table;
-}
-
-ResultTable run_ablation_inference_only(const ExperimentOptions& options) {
-    snn::Dataset dataset =
-        data::load_digits(options.samples(), options.data_seed, options.mnist_dir);
-    attack::AttackRunConfig cfg;
-    cfg.network.n_neurons = options.neurons();
-    cfg.train_samples = options.samples();
-    cfg.data_seed = options.data_seed;
-    cfg.network_seed = options.network_seed;
-    cfg.max_workers = options.max_workers;
-    cfg.phase = attack::AttackPhase::kInferenceOnly;
-    attack::AttackSuite suite(std::move(dataset), cfg);
-
-    const std::vector<double> deltas = options.quick
-                                           ? std::vector<double>{-0.2}
-                                           : std::vector<double>{-0.2, -0.1, 0.1, 0.2};
-    ResultTable table(
-        "Ablation — faults injected at inference only (clean training)",
-        {"layer", "threshold_change_pct", "accuracy_pct", "degradation_pct"});
-    table.add_note("Beyond-paper ablation: separates training-time damage from "
-                   "inference-time damage for the same faults.");
-    for (const auto layer :
-         {attack::TargetLayer::kExcitatory, attack::TargetLayer::kInhibitory}) {
-        const auto outcomes = suite.attack_layer_grid(layer, deltas, {1.0});
-        for (const auto& o : outcomes)
-            table.add_row({std::string(attack::to_string(layer)),
-                           o.fault.threshold_delta * 100.0, o.accuracy * 100.0,
-                           o.degradation_pct});
-    }
-    return table;
-}
-
-ResultTable run_ablation_threshold_semantics(const ExperimentOptions& options) {
-    auto suite = make_attack_suite(options);
-    const std::vector<double> deltas = options.quick
-                                           ? std::vector<double>{-0.2, 0.2}
-                                           : std::vector<double>{-0.2, -0.1, 0.1, 0.2};
-    ResultTable table(
-        "Ablation — threshold-fault semantics: BindsNET value vs circuit distance",
-        {"layer", "delta_pct", "value_semantics_acc_pct", "distance_semantics_acc_pct"});
-    table.add_note("The paper's BindsNET experiments scale the raw negative-mV "
-                   "threshold (delta<0 = harder firing); the physical circuit "
-                   "lowers the threshold with VDD (delta<0 = earlier firing). "
-                   "This ablation quantifies how much the published figures "
-                   "depend on that modelling choice (DESIGN.md §4).");
-    table.add_note("Baseline accuracy " +
-                   std::to_string(suite.baseline_accuracy() * 100.0) + "%.");
-    for (const auto layer :
-         {attack::TargetLayer::kExcitatory, attack::TargetLayer::kInhibitory}) {
-        std::vector<attack::FaultSpec> faults;
-        for (const double delta : deltas) {
-            attack::FaultSpec value_fault;
-            value_fault.layer = layer;
-            value_fault.threshold_delta = delta;
-            value_fault.semantics = attack::ThresholdSemantics::kBindsNetValue;
-            attack::FaultSpec distance_fault = value_fault;
-            distance_fault.semantics = attack::ThresholdSemantics::kCircuitDistance;
-            faults.push_back(value_fault);
-            faults.push_back(distance_fault);
-        }
-        const auto outcomes = suite.run_many(faults);
-        for (std::size_t i = 0; i < deltas.size(); ++i) {
-            table.add_row({std::string(attack::to_string(layer)), deltas[i] * 100.0,
-                           outcomes[2 * i].accuracy * 100.0,
-                           outcomes[2 * i + 1].accuracy * 100.0});
-        }
-    }
-    return table;
-}
 
 const std::vector<Experiment>& experiment_registry() {
-    static const std::vector<Experiment> registry = {
-        {"fig3", "Axon Hillock waveforms", "Spike generation summary", run_fig3_axon_waveforms},
-        {"fig4", "I&F waveforms", "Spike generation summary", run_fig4_if_waveforms},
-        {"fig5b", "Driver amplitude vs VDD", "Unsecured mirror driver", run_fig5b_driver_amplitude},
-        {"fig5c", "Time-to-spike vs amplitude", "Input corruption effect", run_fig5c_tts_vs_amplitude},
-        {"fig6a", "Threshold vs VDD", "Membrane threshold corruption", run_fig6a_threshold_vs_vdd},
-        {"fig6bc", "Time-to-spike vs VDD", "Threshold corruption effect", run_fig6bc_tts_vs_vdd},
-        {"baseline", "Attack-free accuracy", "Diehl&Cook baseline", run_baseline_accuracy},
-        {"fig7b", "Attack 1 (theta)", "Driver corruption vs accuracy", run_fig7b_attack1},
-        {"fig8a", "Attack 2 (EL)", "Excitatory threshold grid", run_fig8a_attack2},
-        {"fig8b", "Attack 3 (IL)", "Inhibitory threshold grid", run_fig8b_attack3},
-        {"fig8c", "Attack 4 (both)", "Both layers threshold sweep", run_fig8c_attack4},
-        {"fig9a", "Attack 5 (VDD)", "Black-box shared supply", run_fig9a_attack5},
-        {"fig9b", "Robust driver", "Defended amplitude vs VDD", run_fig9b_robust_driver},
-        {"fig9c", "MP1 sizing", "Threshold droop vs sizing", run_fig9c_sizing},
-        {"fig10a", "Comparator AH", "Defended threshold vs VDD", run_fig10a_comparator},
-        {"fig10c", "Dummy detector", "Spike-count deviation vs VDD", run_fig10c_dummy_detector},
-        {"defense_acc", "Defense accuracy", "Recovery under replayed attacks", run_defense_accuracy},
-        {"overheads", "Defense overheads", "Power/area accounting", run_defense_overheads},
-        {"ablation_inference", "Inference-only faults", "Beyond-paper ablation", run_ablation_inference_only},
-        {"ablation_semantics", "Threshold-fault semantics", "Value vs distance scaling", run_ablation_threshold_semantics},
-    };
+    static const std::vector<Experiment> registry = [] {
+        std::vector<Experiment> experiments;
+        for (const auto& spec : ScenarioRegistry::instance().all()) {
+            const std::string id = spec.id;
+            experiments.push_back(Experiment{
+                id, spec.title, spec.description,
+                [id](const ExperimentOptions& options) {
+                    return run_in_fresh_session(id, options);
+                }});
+        }
+        return experiments;
+    }();
     return registry;
 }
 
@@ -486,6 +35,86 @@ const Experiment& find_experiment(const std::string& id) {
         if (experiment.id == id) return experiment;
     }
     throw std::invalid_argument("unknown experiment id: " + id);
+}
+
+util::ResultTable run_fig3_axon_waveforms(const ExperimentOptions& options) {
+    return run_in_fresh_session("fig3", options);
+}
+
+util::ResultTable run_fig4_if_waveforms(const ExperimentOptions& options) {
+    return run_in_fresh_session("fig4", options);
+}
+
+util::ResultTable run_fig5b_driver_amplitude(const ExperimentOptions& options) {
+    return run_in_fresh_session("fig5b", options);
+}
+
+util::ResultTable run_fig5c_tts_vs_amplitude(const ExperimentOptions& options) {
+    return run_in_fresh_session("fig5c", options);
+}
+
+util::ResultTable run_fig6a_threshold_vs_vdd(const ExperimentOptions& options) {
+    return run_in_fresh_session("fig6a", options);
+}
+
+util::ResultTable run_fig6bc_tts_vs_vdd(const ExperimentOptions& options) {
+    return run_in_fresh_session("fig6bc", options);
+}
+
+util::ResultTable run_baseline_accuracy(const ExperimentOptions& options) {
+    return run_in_fresh_session("baseline", options);
+}
+
+util::ResultTable run_fig7b_attack1(const ExperimentOptions& options) {
+    return run_in_fresh_session("fig7b", options);
+}
+
+util::ResultTable run_fig8a_attack2(const ExperimentOptions& options) {
+    return run_in_fresh_session("fig8a", options);
+}
+
+util::ResultTable run_fig8b_attack3(const ExperimentOptions& options) {
+    return run_in_fresh_session("fig8b", options);
+}
+
+util::ResultTable run_fig8c_attack4(const ExperimentOptions& options) {
+    return run_in_fresh_session("fig8c", options);
+}
+
+util::ResultTable run_fig9a_attack5(const ExperimentOptions& options) {
+    return run_in_fresh_session("fig9a", options);
+}
+
+util::ResultTable run_fig9b_robust_driver(const ExperimentOptions& options) {
+    return run_in_fresh_session("fig9b", options);
+}
+
+util::ResultTable run_fig9c_sizing(const ExperimentOptions& options) {
+    return run_in_fresh_session("fig9c", options);
+}
+
+util::ResultTable run_fig10a_comparator(const ExperimentOptions& options) {
+    return run_in_fresh_session("fig10a", options);
+}
+
+util::ResultTable run_fig10c_dummy_detector(const ExperimentOptions& options) {
+    return run_in_fresh_session("fig10c", options);
+}
+
+util::ResultTable run_defense_accuracy(const ExperimentOptions& options) {
+    return run_in_fresh_session("defense_acc", options);
+}
+
+util::ResultTable run_defense_overheads(const ExperimentOptions& options) {
+    return run_in_fresh_session("overheads", options);
+}
+
+util::ResultTable run_ablation_inference_only(const ExperimentOptions& options) {
+    return run_in_fresh_session("ablation_inference", options);
+}
+
+util::ResultTable run_ablation_threshold_semantics(const ExperimentOptions& options) {
+    return run_in_fresh_session("ablation_semantics", options);
 }
 
 }  // namespace snnfi::core

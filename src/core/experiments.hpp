@@ -1,34 +1,27 @@
-// Experiment registry: one entry per paper figure / reported result.
+// Legacy experiment API — thin wrappers over the Session/ScenarioSpec
+// engine (core/scenario.hpp, core/session.hpp).
 //
-// Each experiment regenerates the rows/series of its figure and returns a
-// ResultTable annotated with the paper's reference values. Bench binaries
-// are thin wrappers over this registry; EXPERIMENTS.md is written from its
-// output.
+// The registry of Experiment entries and the free run_figX() functions are
+// DEPRECATED: they are kept so pre-redesign callers keep compiling, but
+// each call spins up a private Session (no artifact sharing). New code
+// should build one Session and run scenarios by id or tag:
+//
+//   core::Session session(options);
+//   auto results = session.run_selector("attack");   // every paper attack,
+//                                                    // one shared baseline
 #pragma once
 
 #include <functional>
 #include <string>
 #include <vector>
 
+#include "core/scenario.hpp"
 #include "util/table.hpp"
 
 namespace snnfi::core {
 
-struct ExperimentOptions {
-    // SNN-side knobs.
-    std::size_t train_samples = 1000;
-    std::size_t n_neurons = 100;
-    std::uint64_t data_seed = 42;
-    std::uint64_t network_seed = 7;
-    std::size_t max_workers = 0;      ///< 0 = hardware concurrency
-    std::string mnist_dir = "data/mnist";
-    /// Quick mode shrinks workloads (fewer samples/neurons, coarser grids)
-    /// so integration tests finish in seconds.
-    bool quick = false;
-
-    std::size_t samples() const { return quick ? 300 : train_samples; }
-    std::size_t neurons() const { return quick ? 50 : n_neurons; }
-};
+/// Deprecated name for RunOptions, kept for compatibility.
+using ExperimentOptions = RunOptions;
 
 struct Experiment {
     std::string id;          ///< e.g. "fig6a"
@@ -37,13 +30,15 @@ struct Experiment {
     std::function<util::ResultTable(const ExperimentOptions&)> run;
 };
 
-/// All registered experiments, in paper order.
+/// All registered experiments, in paper order. Deprecated: enumerate
+/// ScenarioRegistry::instance().all() instead.
 const std::vector<Experiment>& experiment_registry();
 
 /// Lookup by id; throws std::invalid_argument for unknown ids.
 const Experiment& find_experiment(const std::string& id);
 
-// --- individual experiments (used directly by the bench binaries) --------
+// --- deprecated single-figure entry points ------------------------------
+// Each wrapper runs the identically-named scenario in a fresh Session.
 util::ResultTable run_fig3_axon_waveforms(const ExperimentOptions& options);
 util::ResultTable run_fig4_if_waveforms(const ExperimentOptions& options);
 util::ResultTable run_fig5b_driver_amplitude(const ExperimentOptions& options);

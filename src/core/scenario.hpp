@@ -1,0 +1,170 @@
+// Declarative scenario layer: experiments as data, not entry points.
+//
+// A ScenarioSpec names WHAT to sweep — a fault axis (driver gain, threshold
+// delta per layer, VDD through the calibration bridge, fraction of a layer,
+// or any cartesian combination), an attack phase, and workload knobs — and
+// the Session engine (core/session.hpp) decides HOW: shared thread pool,
+// shared trained baselines, shared circuit characterisations. Experiments
+// that don't fit the sweep shape (waveform summaries, overhead accounting)
+// carry a custom body instead and still run through the same Session and
+// artifact cache.
+//
+// Specs self-register into the ScenarioRegistry with tags (figure / attack
+// / defense / ablation / circuit / snn), so clients select work by id or by
+// tag: `Session::run_selector("attack")` replays every attack of the paper
+// off one shared baseline.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "attack/fault_model.hpp"
+#include "circuits/characterization.hpp"
+#include "util/table.hpp"
+
+namespace snnfi::core {
+
+class Session;
+
+/// Workload + execution knobs shared by every experiment. (Formerly
+/// core::ExperimentOptions, which is now an alias kept for compatibility.)
+struct RunOptions {
+    // SNN-side knobs.
+    std::size_t train_samples = 1000;
+    std::size_t n_neurons = 100;
+    std::uint64_t data_seed = 42;
+    std::uint64_t network_seed = 7;
+    std::size_t eval_window = 250;
+    std::size_t max_workers = 0;      ///< 0 = hardware concurrency
+    std::string mnist_dir = "data/mnist";
+    /// Quick mode shrinks workloads (fewer samples/neurons, coarser grids)
+    /// so integration tests finish in seconds.
+    bool quick = false;
+
+    std::size_t samples() const {
+        return quick ? std::min<std::size_t>(300, train_samples) : train_samples;
+    }
+    std::size_t neurons() const {
+        return quick ? std::min<std::size_t>(50, n_neurons) : n_neurons;
+    }
+};
+
+/// The fault dimension a sweep axis varies.
+enum class FaultAxis {
+    kDriverGain,      ///< theta/input-amplitude delta (Attack 1)
+    kThresholdDelta,  ///< membrane threshold delta on `layer` (Attacks 2-4)
+    kVdd,             ///< supply voltage, mapped through the calibration bridge
+    kFraction,        ///< fraction of the targeted layer's neurons
+    kLayer,           ///< which layer is hit (enumerates TargetLayer values)
+};
+
+struct AxisSpec {
+    FaultAxis axis = FaultAxis::kThresholdDelta;
+    /// Target layer for kThresholdDelta axes; kNone defers to a kLayer axis.
+    attack::TargetLayer layer = attack::TargetLayer::kNone;
+    std::vector<double> values;        ///< full sweep grid
+    std::vector<double> quick_values;  ///< quick-mode grid (empty -> values)
+    std::vector<attack::TargetLayer> layers;  ///< grid for kLayer axes
+    std::string column;  ///< table column label override
+
+    std::size_t grid_size(bool quick) const;
+    const std::vector<double>& grid(bool quick) const;
+    std::string column_label() const;
+};
+
+/// Per-spec overrides of the session-level RunOptions workload.
+struct WorkloadOverrides {
+    std::optional<std::size_t> train_samples;
+    std::optional<std::size_t> n_neurons;
+    std::optional<std::size_t> eval_window;
+    std::optional<std::uint64_t> data_seed;
+    std::optional<std::uint64_t> network_seed;
+};
+
+struct ScenarioSpec {
+    std::string id;     ///< stable experiment id, e.g. "fig8b"
+    std::string title;
+    std::string description;
+    std::vector<std::string> tags;  ///< figure / attack / defense / ablation / ...
+    int paper_order = 1000;         ///< registry ordering (paper order)
+    std::vector<std::string> notes; ///< paper reference values etc.
+
+    // --- declarative fault sweep (used when `axes` is non-empty) --------
+    std::vector<AxisSpec> axes;     ///< cartesian product, last axis fastest
+    attack::AttackPhase phase = attack::AttackPhase::kTrainingAndInference;
+    attack::ThresholdSemantics semantics = attack::ThresholdSemantics::kBindsNetValue;
+    /// Circuit whose VDD curves feed kVdd axes.
+    circuits::NeuronKind calibration_neuron = circuits::NeuronKind::kAxonHillock;
+    WorkloadOverrides workload;
+
+    // --- escape hatch for non-sweep experiments -------------------------
+    std::function<util::ResultTable(Session&, const RunOptions&)> custom_run;
+
+    bool declarative() const noexcept { return !axes.empty(); }
+    bool has_tag(const std::string& tag) const;
+};
+
+/// One executed scenario: the paper-style table plus structured metadata.
+struct RunResult {
+    std::string id;
+    std::string title;
+    std::vector<std::string> tags;
+    util::ResultTable table;
+    double seconds = 0.0;
+    /// Session artifact-cache traffic attributable to this run.
+    std::size_t cache_hits = 0;
+    std::size_t cache_misses = 0;
+
+    std::string to_json() const;
+};
+
+/// Process-wide registry of scenario descriptors. Builtin specs (the
+/// paper's figures, attacks, defenses and the ablations) self-register on
+/// first access; clients may add their own at static-init time through
+/// ScenarioRegistrar.
+class ScenarioRegistry {
+public:
+    static ScenarioRegistry& instance();
+
+    /// Registers a spec. Throws std::invalid_argument on an empty or
+    /// duplicate id, or a spec with neither axes nor a custom body.
+    /// References and pointers previously handed out by all()/find()/
+    /// select() stay valid across add() (deque storage).
+    void add(ScenarioSpec spec);
+
+    /// All specs: builtins ordered by (paper_order, id); specs registered
+    /// after the first registry read follow in registration order.
+    const std::deque<ScenarioSpec>& all();
+    const ScenarioSpec& find(const std::string& id);
+    std::vector<const ScenarioSpec*> by_tag(const std::string& tag);
+    /// Resolves a comma-separated list of ids and/or tags ("all" = every
+    /// spec), deduplicated, in registry order. Throws std::invalid_argument
+    /// when a token matches neither an id nor a tag.
+    std::vector<const ScenarioSpec*> select(const std::string& selector);
+    /// Sorted unique tag names.
+    std::vector<std::string> tag_names();
+
+private:
+    ScenarioRegistry() = default;
+    void ensure_builtins();
+    void sort_specs();
+
+    std::deque<ScenarioSpec> specs_;
+    bool builtins_loaded_ = false;
+};
+
+/// Self-registration helper: `static ScenarioRegistrar reg(my_spec());`
+struct ScenarioRegistrar {
+    explicit ScenarioRegistrar(ScenarioSpec spec);
+};
+
+/// The paper's canonical VDD sweep grid — the one source of truth shared
+/// by the circuit figures, the defense figures, and the calibration
+/// bridge. Full: {0.8, 0.9, 1.0, 1.1, 1.2}; quick: {0.8, 1.0, 1.2}.
+const std::vector<double>& paper_vdd_grid(bool quick);
+
+}  // namespace snnfi::core

@@ -1,0 +1,209 @@
+// Builtin scenarios: circuit-level figures (paper Figs. 3-6).
+//
+// These experiments measure the analog layer directly, so they carry
+// custom bodies instead of fault-sweep axes; the shared Session
+// characterizer means a batch run simulates each circuit family once.
+#include "core/scenario.hpp"
+#include "core/session.hpp"
+#include "util/stats.hpp"
+
+namespace snnfi::core {
+
+void link_circuit_scenarios() {}
+
+namespace {
+
+using util::ResultTable;
+
+ScenarioSpec fig3_spec() {
+    ScenarioSpec spec;
+    spec.id = "fig3";
+    spec.title = "Fig. 3 — Axon Hillock spike generation (VDD = 1 V)";
+    spec.description = "Spike generation summary";
+    spec.tags = {"figure", "circuit", "waveform"};
+    spec.paper_order = 10;
+    spec.custom_run = [](Session& session, const RunOptions&) {
+        const auto& characterizer = *session.characterizer();
+        const auto result = characterizer.axon_hillock_waveforms(1.0, 40e-6);
+        const auto spikes = result.crossings("V(vout)", 0.5, +1);
+
+        ResultTable table("Fig. 3 — Axon Hillock spike generation (VDD = 1 V)",
+                          {"quantity", "measured", "unit"});
+        table.add_note("Paper: sawtooth Vmem between ~0 and the ~0.5 V threshold, "
+                       "rail-to-rail Vout pulses, Iin = 200 nA @ 40 MHz.");
+        table.add_row({std::string("output spikes in 40 us"),
+                       static_cast<double>(spikes.size()), std::string("count")});
+        if (!spikes.empty())
+            table.add_row({std::string("time of first spike"), spikes.front() * 1e6,
+                           std::string("us")});
+        if (spikes.size() >= 2)
+            table.add_row({std::string("mean inter-spike period"),
+                           (spikes.back() - spikes.front()) /
+                               static_cast<double>(spikes.size() - 1) * 1e6,
+                           std::string("us")});
+        table.add_row({std::string("Vmem max (post-startup)"),
+                       result.max_value("V(vmem)", 5e-6), std::string("V")});
+        table.add_row({std::string("Vmem min (post-startup)"),
+                       result.min_value("V(vmem)", 5e-6), std::string("V")});
+        table.add_row({std::string("Vout max"), result.max_value("V(vout)"),
+                       std::string("V")});
+        table.add_row({std::string("Vout min"), result.min_value("V(vout)"),
+                       std::string("V")});
+        return table;
+    };
+    return spec;
+}
+
+ScenarioSpec fig4_spec() {
+    ScenarioSpec spec;
+    spec.id = "fig4";
+    spec.title = "Fig. 4 — Voltage-amplifier I&F spike generation (VDD = 1 V)";
+    spec.description = "Spike generation summary";
+    spec.tags = {"figure", "circuit", "waveform"};
+    spec.paper_order = 20;
+    spec.custom_run = [](Session& session, const RunOptions&) {
+        const auto& characterizer = *session.characterizer();
+        const auto result = characterizer.vamp_if_waveforms(1.0, 400e-6);
+        const auto spikes = result.crossings("V(vout)", 0.5, +1);
+
+        ResultTable table(
+            "Fig. 4 — Voltage-amplifier I&F spike generation (VDD = 1 V)",
+            {"quantity", "measured", "unit"});
+        table.add_note("Paper: Vmem ramps to Vthr = 0.5 V, jumps to VDD (spike), "
+                       "resets to 0 and holds through the refractory period.");
+        table.add_row({std::string("output spikes in 400 us"),
+                       static_cast<double>(spikes.size()), std::string("count")});
+        if (!spikes.empty())
+            table.add_row({std::string("time of first spike"), spikes.front() * 1e6,
+                           std::string("us")});
+        if (spikes.size() >= 3)
+            table.add_row({std::string("steady-state period"),
+                           (spikes.back() - spikes[1]) /
+                               static_cast<double>(spikes.size() - 2) * 1e6,
+                           std::string("us")});
+        table.add_row({std::string("Vthr (divider)"),
+                       result.signal("V(vthr)").back(), std::string("V")});
+        table.add_row({std::string("Vmem max (spike pull-up)"),
+                       result.max_value("V(vmem)"), std::string("V")});
+        table.add_row({std::string("Vmem min"), result.min_value("V(vmem)", 1e-6),
+                       std::string("V")});
+        return table;
+    };
+    return spec;
+}
+
+ScenarioSpec fig5b_spec() {
+    ScenarioSpec spec;
+    spec.id = "fig5b";
+    spec.title = "Fig. 5b — Driver output amplitude vs VDD";
+    spec.description = "Unsecured mirror driver";
+    spec.tags = {"figure", "circuit"};
+    spec.paper_order = 30;
+    spec.custom_run = [](Session& session, const RunOptions& options) {
+        const auto& characterizer = *session.characterizer();
+        const auto points =
+            characterizer.driver_amplitude_vs_vdd(paper_vdd_grid(options.quick), false);
+
+        ResultTable table("Fig. 5b — Driver output amplitude vs VDD",
+                          {"vdd_V", "amplitude_nA", "change_pct", "paper_nA"});
+        table.add_note(
+            "Paper: 136 nA @ 0.8 V (-32%), 200 nA @ 1.0 V, 264 nA @ 1.2 V (+32%).");
+        const util::LinearInterpolator paper({0.8, 0.9, 1.0, 1.1, 1.2},
+                                             {136, 168, 200, 232, 264});
+        for (const auto& p : points)
+            table.add_row({p.vdd, p.value * 1e9, p.change_pct, paper(p.vdd)});
+        return table;
+    };
+    return spec;
+}
+
+ScenarioSpec fig5c_spec() {
+    ScenarioSpec spec;
+    spec.id = "fig5c";
+    spec.title = "Fig. 5c — Time-to-spike vs input spike amplitude (VDD = 1 V)";
+    spec.description = "Input corruption effect";
+    spec.tags = {"figure", "circuit"};
+    spec.paper_order = 40;
+    spec.custom_run = [](Session& session, const RunOptions& options) {
+        const auto& characterizer = *session.characterizer();
+        const std::vector<double> amplitudes =
+            options.quick
+                ? std::vector<double>{136e-9, 200e-9, 264e-9}
+                : std::vector<double>{136e-9, 168e-9, 200e-9, 232e-9, 264e-9};
+
+        ResultTable table(
+            "Fig. 5c — Time-to-spike vs input spike amplitude (VDD = 1 V)",
+            {"neuron", "amplitude_nA", "tts_us", "change_pct"});
+        table.add_note("Paper: AH +53.7% @ 136 nA / -24.7% @ 264 nA; "
+                       "I&F +14.5% / -6.7% (refractory-diluted).");
+        for (const auto kind :
+             {circuits::NeuronKind::kAxonHillock, circuits::NeuronKind::kVampIf}) {
+            for (const auto& p :
+                 characterizer.time_to_spike_vs_amplitude(kind, amplitudes))
+                table.add_row({std::string(circuits::to_string(kind)), p.vdd * 1e9,
+                               p.value * 1e6, p.change_pct});
+        }
+        return table;
+    };
+    return spec;
+}
+
+ScenarioSpec fig6a_spec() {
+    ScenarioSpec spec;
+    spec.id = "fig6a";
+    spec.title = "Fig. 6a — Membrane threshold vs VDD";
+    spec.description = "Membrane threshold corruption";
+    spec.tags = {"figure", "circuit"};
+    spec.paper_order = 50;
+    spec.custom_run = [](Session& session, const RunOptions& options) {
+        const auto& characterizer = *session.characterizer();
+        ResultTable table("Fig. 6a — Membrane threshold vs VDD",
+                          {"neuron", "vdd_V", "threshold_V", "change_pct"});
+        table.add_note("Paper: AH -17.91% @ 0.8 V ... +16.76% @ 1.2 V; "
+                       "I&F -18.01% ... +17.14%.");
+        for (const auto kind :
+             {circuits::NeuronKind::kAxonHillock, circuits::NeuronKind::kVampIf}) {
+            for (const auto& p :
+                 characterizer.threshold_vs_vdd(kind, paper_vdd_grid(options.quick)))
+                table.add_row({std::string(circuits::to_string(kind)), p.vdd, p.value,
+                               p.change_pct});
+        }
+        return table;
+    };
+    return spec;
+}
+
+ScenarioSpec fig6bc_spec() {
+    ScenarioSpec spec;
+    spec.id = "fig6bc";
+    spec.title = "Fig. 6b/6c — Time-to-spike vs VDD (Iin fixed 200 nA)";
+    spec.description = "Threshold corruption effect";
+    spec.tags = {"figure", "circuit"};
+    spec.paper_order = 60;
+    spec.custom_run = [](Session& session, const RunOptions& options) {
+        const auto& characterizer = *session.characterizer();
+        ResultTable table("Fig. 6b/6c — Time-to-spike vs VDD (Iin fixed 200 nA)",
+                          {"neuron", "vdd_V", "tts_us", "change_pct"});
+        table.add_note("Paper: AH 17.91% faster @ 0.8 V ... 16.76% slower @ 1.2 V; "
+                       "I&F 17.05% faster ... 23.53% slower.");
+        for (const auto kind :
+             {circuits::NeuronKind::kAxonHillock, circuits::NeuronKind::kVampIf}) {
+            for (const auto& p :
+                 characterizer.time_to_spike_vs_vdd(kind, paper_vdd_grid(options.quick)))
+                table.add_row({std::string(circuits::to_string(kind)), p.vdd,
+                               p.value * 1e6, p.change_pct});
+        }
+        return table;
+    };
+    return spec;
+}
+
+const ScenarioRegistrar registrar_fig3{fig3_spec()};
+const ScenarioRegistrar registrar_fig4{fig4_spec()};
+const ScenarioRegistrar registrar_fig5b{fig5b_spec()};
+const ScenarioRegistrar registrar_fig5c{fig5c_spec()};
+const ScenarioRegistrar registrar_fig6a{fig6a_spec()};
+const ScenarioRegistrar registrar_fig6bc{fig6bc_spec()};
+
+}  // namespace
+}  // namespace snnfi::core

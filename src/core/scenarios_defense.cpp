@@ -1,0 +1,197 @@
+// Builtin scenarios: hardened circuits, the detector, and the §V defense
+// evaluations. The accuracy replay shares the Session's attack suite (and
+// therefore the trained baseline) with the attack scenarios.
+#include "core/scenario.hpp"
+#include "core/session.hpp"
+#include "defense/defenses.hpp"
+#include "defense/detector.hpp"
+#include "defense/overhead.hpp"
+#include "util/stats.hpp"
+
+namespace snnfi::core {
+
+void link_defense_scenarios() {}
+
+namespace {
+
+using util::ResultTable;
+
+ScenarioSpec fig9b_spec() {
+    ScenarioSpec spec;
+    spec.id = "fig9b";
+    spec.title = "Fig. 9b — Robust current driver output vs VDD";
+    spec.description = "Defended amplitude vs VDD";
+    spec.tags = {"figure", "defense"};
+    spec.paper_order = 130;
+    spec.custom_run = [](Session& session, const RunOptions& options) {
+        const auto& characterizer = *session.characterizer();
+        const auto points =
+            characterizer.driver_amplitude_vs_vdd(paper_vdd_grid(options.quick), true);
+        ResultTable table("Fig. 9b — Robust current driver output vs VDD",
+                          {"vdd_V", "amplitude_nA", "change_pct"});
+        table.add_note("Paper: constant output amplitude under VDD manipulation "
+                       "(op-amp regulated mirror referenced to VRef).");
+        for (const auto& p : points)
+            table.add_row({p.vdd, p.value * 1e9, p.change_pct});
+        return table;
+    };
+    return spec;
+}
+
+ScenarioSpec fig9c_spec() {
+    ScenarioSpec spec;
+    spec.id = "fig9c";
+    spec.title = "Fig. 9c — AH threshold change vs MP1 sizing ratio under VDD droop";
+    spec.description = "Threshold droop vs sizing";
+    spec.tags = {"figure", "defense"};
+    spec.paper_order = 140;
+    spec.custom_run = [](Session& session, const RunOptions& options) {
+        const auto& characterizer = *session.characterizer();
+        const std::vector<double> ratios =
+            options.quick ? std::vector<double>{1.0, 32.0}
+                          : std::vector<double>{1.0, 2.0, 4.0, 8.0, 16.0, 32.0};
+        ResultTable table(
+            "Fig. 9c — AH threshold change vs MP1 sizing ratio under VDD droop",
+            {"sizing_ratio", "thr_nominal_V", "change_at_0.8V_pct",
+             "change_at_1.2V_pct"});
+        table.add_note("Paper: -18.01% droop at baseline sizing -> -5.23% at 32:1 "
+                       "(@0.8 V); +3.2% at 1.2 V.");
+        table.add_note("Our EKV model reproduces the direction (droop shrinks "
+                       "monotonically with the sizing ratio) with a floor set by the "
+                       "NMOS subthreshold slope; see EXPERIMENTS.md.");
+        for (const double ratio : ratios) {
+            const double nominal =
+                characterizer.measure_ah_threshold_with_sizing(1.0, ratio);
+            const double low =
+                characterizer.measure_ah_threshold_with_sizing(0.8, ratio);
+            const double high =
+                characterizer.measure_ah_threshold_with_sizing(1.2, ratio);
+            table.add_row({ratio, nominal, util::percent_change(low, nominal),
+                           util::percent_change(high, nominal)});
+        }
+        return table;
+    };
+    return spec;
+}
+
+ScenarioSpec fig10a_spec() {
+    ScenarioSpec spec;
+    spec.id = "fig10a";
+    spec.title = "Fig. 10a — Comparator-based AH neuron threshold vs VDD";
+    spec.description = "Defended threshold vs VDD";
+    spec.tags = {"figure", "defense"};
+    spec.paper_order = 150;
+    spec.custom_run = [](Session& session, const RunOptions& options) {
+        const auto& characterizer = *session.characterizer();
+        const double nominal = characterizer.measure_comparator_ah_threshold(1.0);
+        ResultTable table("Fig. 10a — Comparator-based AH neuron threshold vs VDD",
+                          {"vdd_V", "threshold_V", "change_pct"});
+        table.add_note("Paper: threshold set by the bandgap-referenced comparator "
+                       "bias, independent of VDD.");
+        for (const double vdd : paper_vdd_grid(options.quick)) {
+            const double thr = characterizer.measure_comparator_ah_threshold(vdd);
+            table.add_row({vdd, thr, util::percent_change(thr, nominal)});
+        }
+        return table;
+    };
+    return spec;
+}
+
+ScenarioSpec fig10c_spec() {
+    ScenarioSpec spec;
+    spec.id = "fig10c";
+    spec.title = "Fig. 10c — Dummy-neuron output vs VDD (detector)";
+    spec.description = "Spike-count deviation vs VDD";
+    spec.tags = {"figure", "defense", "detector"};
+    spec.paper_order = 160;
+    spec.custom_run = [](Session&, const RunOptions& options) {
+        defense::DetectorConfig config;
+        defense::DummyNeuronDetector detector(config);
+        const auto readings = detector.sweep(paper_vdd_grid(options.quick));
+        ResultTable table("Fig. 10c — Dummy-neuron output vs VDD (detector)",
+                          {"vdd_V", "spike_count_100ms", "deviation_pct", "flagged"});
+        table.add_note("Paper: >= 10% deviation in dummy output spike count flags a "
+                       "local VDD attack; fixed 200 nA / 100 ns / 200 ns input.");
+        for (const auto& r : readings)
+            table.add_row({r.vdd, r.spike_count, r.deviation_pct,
+                           std::string(r.flagged ? "yes" : "no")});
+        return table;
+    };
+    return spec;
+}
+
+ScenarioSpec defense_accuracy_spec() {
+    ScenarioSpec spec;
+    spec.id = "defense_acc";
+    spec.title = "Defense accuracy recovery (§V) — Attack-4/5 replay";
+    spec.description = "Recovery under replayed attacks";
+    spec.tags = {"defense"};
+    spec.paper_order = 170;
+    spec.custom_run = [](Session& session, const RunOptions& options) {
+        auto suite = session.attack_suite();
+        auto characterizer = session.characterizer();
+        defense::DefenseSuite defenses(*suite, *characterizer);
+        const auto vdds = options.quick ? std::vector<double>{0.8, 1.2}
+                                        : std::vector<double>{0.8, 0.9, 1.1, 1.2};
+
+        const auto calibration =
+            session.calibration(circuits::NeuronKind::kAxonHillock);
+        const auto undefended = defenses.undefended_accuracy(*calibration, vdds);
+
+        ResultTable table("Defense accuracy recovery (§V) — Attack-4/5 replay",
+                          {"defense", "vdd_V", "residual_thr_pct", "accuracy_pct",
+                           "degradation_pct", "undefended_pct"});
+        table.add_note("Paper: bandgap ~0% degradation; sizing 3.49% @ 0.8 V; "
+                       "comparator eliminates the VDD effect.");
+        table.add_note("Baseline accuracy " +
+                       std::to_string(suite->baseline_accuracy() * 100.0) + "%.");
+        auto add_rows = [&](const std::vector<defense::DefenseOutcome>& outcomes) {
+            for (std::size_t i = 0; i < outcomes.size(); ++i) {
+                table.add_row({outcomes[i].defense, outcomes[i].vdd,
+                               outcomes[i].residual_threshold_delta_pct,
+                               outcomes[i].accuracy * 100.0,
+                               outcomes[i].degradation_pct, undefended[i] * 100.0});
+            }
+        };
+        add_rows(defenses.bandgap_vthr(circuits::BandgapModel{}, vdds));
+        add_rows(defenses.transistor_sizing(32.0, vdds));
+        add_rows(defenses.comparator_first_stage(vdds));
+        add_rows(defenses.robust_driver(vdds));
+        return table;
+    };
+    return spec;
+}
+
+ScenarioSpec overheads_spec() {
+    ScenarioSpec spec;
+    spec.id = "overheads";
+    spec.title = "Defense overheads (§V summary)";
+    spec.description = "Power/area accounting";
+    spec.tags = {"defense"};
+    spec.paper_order = 180;
+    spec.custom_run = [](Session& session, const RunOptions&) {
+        defense::OverheadAnalyzer analyzer(*session.characterizer());
+        const auto reports = analyzer.all();
+        ResultTable table("Defense overheads (§V summary)",
+                          {"defense", "power_overhead_pct", "area_overhead_pct",
+                           "paper_power_pct", "paper_area_pct"});
+        table.add_note("Power from supply-current integration; area from the "
+                       "first-order layout model (see EXPERIMENTS.md for the "
+                       "model's constants and deviations).");
+        for (const auto& r : reports)
+            table.add_row({r.defense, r.power_overhead_pct, r.area_overhead_pct,
+                           r.paper_power_overhead_pct, r.paper_area_note});
+        return table;
+    };
+    return spec;
+}
+
+const ScenarioRegistrar registrar_fig9b{fig9b_spec()};
+const ScenarioRegistrar registrar_fig9c{fig9c_spec()};
+const ScenarioRegistrar registrar_fig10a{fig10a_spec()};
+const ScenarioRegistrar registrar_fig10c{fig10c_spec()};
+const ScenarioRegistrar registrar_defense_accuracy{defense_accuracy_spec()};
+const ScenarioRegistrar registrar_overheads{overheads_spec()};
+
+}  // namespace
+}  // namespace snnfi::core

@@ -1,0 +1,265 @@
+#include "core/session.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "data/idx.hpp"
+
+namespace snnfi::core {
+
+Session::Session(RunOptions options)
+    : options_(std::move(options)), pool_(options_.max_workers) {}
+
+std::shared_ptr<void> Session::cached(
+    const std::string& key, const std::function<std::shared_ptr<void>()>& make) {
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        const auto it = artifacts_.find(key);
+        if (it != artifacts_.end()) {
+            ++hits_;
+            return it->second;
+        }
+        ++misses_;
+    }
+    // Built outside the lock so factories may request other artifacts
+    // (e.g. an attack suite pulling its dataset) without deadlocking.
+    std::shared_ptr<void> artifact = make();
+    std::lock_guard<std::mutex> lock(mutex_);
+    return artifacts_.emplace(key, std::move(artifact)).first->second;
+}
+
+std::shared_ptr<const snn::Dataset> Session::dataset(std::size_t samples,
+                                                     std::uint64_t seed) {
+    std::ostringstream key;
+    key << "dataset|n=" << samples << "|seed=" << seed << "|dir=" << options_.mnist_dir;
+    auto artifact = cached(key.str(), [&]() -> std::shared_ptr<void> {
+        return std::make_shared<snn::Dataset>(
+            data::load_digits(samples, seed, options_.mnist_dir));
+    });
+    return std::static_pointer_cast<const snn::Dataset>(artifact);
+}
+
+std::shared_ptr<const circuits::Characterizer> Session::characterizer() {
+    auto artifact = cached("characterizer", [&]() -> std::shared_ptr<void> {
+        return std::make_shared<circuits::Characterizer>(
+            circuits::CharacterizationConfig{});
+    });
+    return std::static_pointer_cast<const circuits::Characterizer>(artifact);
+}
+
+std::shared_ptr<const attack::VddCalibration> Session::calibration(
+    circuits::NeuronKind kind) {
+    std::ostringstream key;
+    key << "calibration|neuron=" << circuits::to_string(kind);
+    auto artifact = cached(key.str(), [&]() -> std::shared_ptr<void> {
+        // The bridge is always built from the full five-point grid so quick
+        // runs interpolate the same curves as full runs.
+        return std::make_shared<attack::VddCalibration>(attack::VddCalibration::from_circuits(
+            *characterizer(), paper_vdd_grid(false), kind));
+    });
+    return std::static_pointer_cast<const attack::VddCalibration>(artifact);
+}
+
+std::shared_ptr<attack::AttackSuite> Session::attack_suite() {
+    return attack_suite_for(WorkloadOverrides{},
+                            attack::AttackPhase::kTrainingAndInference);
+}
+
+std::shared_ptr<attack::AttackSuite> Session::attack_suite(const ScenarioSpec& spec) {
+    return attack_suite_for(spec.workload, spec.phase);
+}
+
+std::shared_ptr<attack::AttackSuite> Session::attack_suite_for(
+    const WorkloadOverrides& overrides, attack::AttackPhase phase) {
+    const std::size_t samples = overrides.train_samples.value_or(options_.samples());
+    const std::size_t neurons = overrides.n_neurons.value_or(options_.neurons());
+    const std::uint64_t data_seed = overrides.data_seed.value_or(options_.data_seed);
+    const std::uint64_t network_seed =
+        overrides.network_seed.value_or(options_.network_seed);
+    const std::size_t eval_window = overrides.eval_window.value_or(options_.eval_window);
+
+    std::ostringstream key;
+    key << "attack_suite|samples=" << samples << "|neurons=" << neurons
+        << "|data_seed=" << data_seed << "|network_seed=" << network_seed
+        << "|eval_window=" << eval_window
+        << "|phase=" << (phase == attack::AttackPhase::kInferenceOnly ? "inference"
+                                                                      : "training");
+    auto artifact = cached(key.str(), [&]() -> std::shared_ptr<void> {
+        auto data = dataset(samples, data_seed);
+        attack::AttackRunConfig config;
+        config.network.n_neurons = neurons;
+        config.train_samples = samples;
+        config.data_seed = data_seed;
+        config.network_seed = network_seed;
+        config.eval_window = eval_window;
+        config.phase = phase;
+        config.max_workers = options_.max_workers;
+        auto suite =
+            std::make_shared<attack::AttackSuite>(snn::Dataset(*data), config);
+        suite->set_thread_pool(&pool_);
+        // Train the shared baseline eagerly: it is part of the artifact, so
+        // every later consumer is a pure cache hit.
+        (void)suite->baseline_accuracy();
+        return suite;
+    });
+    return std::static_pointer_cast<attack::AttackSuite>(artifact);
+}
+
+util::ResultTable Session::run_sweep(const ScenarioSpec& spec) {
+    auto suite = attack_suite(spec);
+    const bool quick = options_.quick;
+
+    std::vector<std::size_t> sizes;
+    sizes.reserve(spec.axes.size());
+    std::size_t total = 1;
+    bool has_vdd_axis = false;
+    for (const auto& axis : spec.axes) {
+        const std::size_t n = axis.grid_size(quick);
+        if (n == 0)
+            throw std::invalid_argument("scenario '" + spec.id + "': empty axis grid");
+        sizes.push_back(n);
+        total *= n;
+        has_vdd_axis = has_vdd_axis || axis.axis == FaultAxis::kVdd;
+    }
+
+    std::shared_ptr<const attack::VddCalibration> bridge;
+    if (has_vdd_axis) bridge = calibration(spec.calibration_neuron);
+
+    // Expand the cartesian product (last axis fastest) into fault specs
+    // plus the sweep-coordinate cells of each table row.
+    std::vector<attack::FaultSpec> faults(total);
+    std::vector<std::vector<util::Cell>> coordinates(total);
+    for (std::size_t index = 0; index < total; ++index) {
+        std::size_t remainder = index;
+        std::vector<std::size_t> coord(spec.axes.size());
+        for (std::size_t a = spec.axes.size(); a-- > 0;) {
+            coord[a] = remainder % sizes[a];
+            remainder /= sizes[a];
+        }
+
+        attack::FaultSpec fault;
+        fault.semantics = spec.semantics;
+        std::vector<util::Cell>& cells = coordinates[index];
+        for (std::size_t a = 0; a < spec.axes.size(); ++a) {
+            const AxisSpec& axis = spec.axes[a];
+            if (axis.axis == FaultAxis::kLayer) {
+                fault.layer = axis.layers[coord[a]];
+                cells.emplace_back(std::string(attack::to_string(fault.layer)));
+                continue;
+            }
+            const double value = axis.grid(quick)[coord[a]];
+            switch (axis.axis) {
+                case FaultAxis::kDriverGain:
+                    fault.driver_gain = 1.0 + value;
+                    cells.emplace_back(value * 100.0);
+                    break;
+                case FaultAxis::kThresholdDelta:
+                    fault.threshold_delta = value;
+                    if (axis.layer != attack::TargetLayer::kNone)
+                        fault.layer = axis.layer;
+                    cells.emplace_back(value * 100.0);
+                    break;
+                case FaultAxis::kVdd:
+                    fault.threshold_delta = bridge->threshold_delta(value);
+                    fault.driver_gain = bridge->driver_gain(value);
+                    if (fault.layer == attack::TargetLayer::kNone)
+                        fault.layer = attack::TargetLayer::kBoth;
+                    fault.fraction = 1.0;
+                    cells.emplace_back(value);
+                    break;
+                case FaultAxis::kFraction:
+                    fault.fraction = value;
+                    cells.emplace_back(value * 100.0);
+                    break;
+                case FaultAxis::kLayer:
+                    break;  // handled above
+            }
+        }
+        if (has_vdd_axis) {
+            cells.emplace_back(fault.threshold_delta * 100.0);
+            cells.emplace_back(fault.driver_gain);
+        }
+        faults[index] = fault;
+    }
+
+    const std::vector<attack::AttackOutcome> outcomes = suite->run_many(faults);
+
+    std::vector<std::string> columns;
+    for (const auto& axis : spec.axes) columns.push_back(axis.column_label());
+    if (has_vdd_axis) {
+        columns.push_back("threshold_change_pct");
+        columns.push_back("driver_gain");
+    }
+    columns.push_back("accuracy_pct");
+    columns.push_back("degradation_pct");
+
+    util::ResultTable table(spec.title, columns);
+    for (const auto& note : spec.notes) table.add_note(note);
+    table.add_note("Baseline accuracy " +
+                   std::to_string(suite->baseline_accuracy() * 100.0) + "%.");
+    for (std::size_t index = 0; index < total; ++index) {
+        std::vector<util::Cell> row = coordinates[index];
+        row.emplace_back(outcomes[index].accuracy * 100.0);
+        row.emplace_back(outcomes[index].degradation_pct);
+        table.add_row(std::move(row));
+    }
+    return table;
+}
+
+RunResult Session::run(const std::string& id) {
+    return run(ScenarioRegistry::instance().find(id));
+}
+
+RunResult Session::run(const ScenarioSpec& spec) {
+    const auto start = std::chrono::steady_clock::now();
+    std::size_t hits_before = 0;
+    std::size_t misses_before = 0;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        hits_before = hits_;
+        misses_before = misses_;
+    }
+
+    util::ResultTable table = [&] {
+        if (spec.declarative()) return run_sweep(spec);
+        if (spec.custom_run) return spec.custom_run(*this, options_);
+        throw std::logic_error("scenario '" + spec.id + "' is not runnable");
+    }();
+
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    std::lock_guard<std::mutex> lock(mutex_);
+    return RunResult{spec.id,  spec.title,          spec.tags,
+                     std::move(table), seconds,
+                     hits_ - hits_before, misses_ - misses_before};
+}
+
+std::vector<RunResult> Session::run_selector(const std::string& selector) {
+    return run_many(ScenarioRegistry::instance().select(selector));
+}
+
+std::string to_json(const std::vector<RunResult>& results, const Session& session) {
+    std::ostringstream os;
+    os << "{\"experiments\":[";
+    for (std::size_t r = 0; r < results.size(); ++r) {
+        if (r) os << ",";
+        os << results[r].to_json();
+    }
+    os << "],\"cache\":{\"hits\":" << session.cache_hits()
+       << ",\"misses\":" << session.cache_misses() << "}}";
+    return os.str();
+}
+
+std::vector<RunResult> Session::run_many(
+    const std::vector<const ScenarioSpec*>& specs) {
+    // Scenarios run sequentially; each one parallelises its own sweep over
+    // the shared pool. Results are therefore deterministic for any worker
+    // count.
+    std::vector<RunResult> results;
+    results.reserve(specs.size());
+    for (const ScenarioSpec* spec : specs) results.push_back(run(*spec));
+    return results;
+}
+
+}  // namespace snnfi::core

@@ -1,0 +1,83 @@
+// Session: the batch execution engine behind every experiment.
+//
+// One Session owns
+//   * a shared worker pool — every scenario sweep runs through it, so a
+//     batch over the whole registry reuses threads instead of each sweep
+//     spawning its own;
+//   * an artifact cache keyed by config hash — trained baselines (inside
+//     their AttackSuite), datasets, circuit characterisations and VDD
+//     calibrations are built once and shared, so replaying all five paper
+//     attacks trains the attack-free baseline exactly once. Cache traffic
+//     is observable through cache_hits()/cache_misses().
+//
+// Declarative ScenarioSpecs (core/scenario.hpp) are expanded here: the
+// cartesian product of their fault axes becomes a FaultSpec batch, executed
+// in parallel with deterministic, index-addressed results (the output is
+// byte-identical for any worker count).
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "attack/calibration.hpp"
+#include "attack/scenarios.hpp"
+#include "circuits/characterization.hpp"
+#include "core/scenario.hpp"
+#include "util/thread_pool.hpp"
+
+namespace snnfi::core {
+
+class Session {
+public:
+    explicit Session(RunOptions options = {});
+
+    const RunOptions& options() const noexcept { return options_; }
+    util::ThreadPool& pool() noexcept { return pool_; }
+
+    /// Runs one scenario (by id or spec) through the shared engine.
+    RunResult run(const std::string& id);
+    RunResult run(const ScenarioSpec& spec);
+    /// Runs every scenario matching a comma-separated id/tag selector
+    /// ("all" = whole registry), in registry order.
+    std::vector<RunResult> run_selector(const std::string& selector);
+    std::vector<RunResult> run_many(const std::vector<const ScenarioSpec*>& specs);
+
+    // --- shared artifacts (each cached on first use) --------------------
+    std::shared_ptr<const snn::Dataset> dataset(std::size_t samples,
+                                                std::uint64_t seed);
+    std::shared_ptr<const circuits::Characterizer> characterizer();
+    std::shared_ptr<const attack::VddCalibration> calibration(
+        circuits::NeuronKind kind);
+    /// Suite over the session workload (spec-less form uses the defaults).
+    /// Suites share the session pool; their trained baseline is part of the
+    /// cached artifact, so it is trained at most once per distinct workload.
+    std::shared_ptr<attack::AttackSuite> attack_suite();
+    std::shared_ptr<attack::AttackSuite> attack_suite(const ScenarioSpec& spec);
+
+    std::size_t cache_hits() const noexcept { return hits_; }
+    std::size_t cache_misses() const noexcept { return misses_; }
+
+private:
+    std::shared_ptr<void> cached(const std::string& key,
+                                 const std::function<std::shared_ptr<void>()>& make);
+    std::shared_ptr<attack::AttackSuite> attack_suite_for(
+        const WorkloadOverrides& overrides, attack::AttackPhase phase);
+    util::ResultTable run_sweep(const ScenarioSpec& spec);
+
+    RunOptions options_;
+    util::ThreadPool pool_;
+    std::mutex mutex_;  ///< guards artifacts_ and the counters
+    std::map<std::string, std::shared_ptr<void>> artifacts_;
+    std::size_t hits_ = 0;
+    std::size_t misses_ = 0;
+};
+
+/// The JSON envelope shared by every CLI front-end (`run`, bench binaries):
+/// {"experiments":[<RunResult>...],"cache":{"hits":..,"misses":..}}.
+std::string to_json(const std::vector<RunResult>& results, const Session& session);
+
+}  // namespace snnfi::core

@@ -12,7 +12,7 @@
 //   snnfi::data      — synthetic digits + MNIST IDX loader
 //   snnfi::attack    — fault models, VDD calibration, Attacks 1-5
 //   snnfi::defense   — hardened circuits evaluation, detector, overheads
-//   snnfi::core      — experiment registry (one entry per paper figure)
+//   snnfi::core      — Session engine + declarative scenario registry
 #pragma once
 
 #include "attack/calibration.hpp"    // IWYU pragma: export
@@ -24,6 +24,8 @@
 #include "circuits/dummy_neuron.hpp" // IWYU pragma: export
 #include "circuits/vamp_if.hpp"      // IWYU pragma: export
 #include "core/experiments.hpp"      // IWYU pragma: export
+#include "core/scenario.hpp"         // IWYU pragma: export
+#include "core/session.hpp"          // IWYU pragma: export
 #include "data/idx.hpp"              // IWYU pragma: export
 #include "data/synthetic_digits.hpp" // IWYU pragma: export
 #include "defense/defenses.hpp"      // IWYU pragma: export

@@ -36,13 +36,13 @@ bool ArgParser::parse(int argc, const char* const* argv) {
         const auto it = options_.find(name);
         if (it == options_.end()) throw std::invalid_argument("unknown flag: --" + name);
         if (it->second.is_flag) {
-            values_[name] = value.value_or("true");
+            values_[name] = {value.value_or("true")};
         } else if (value) {
-            values_[name] = *value;
+            values_[name].push_back(*value);
         } else {
             if (i + 1 >= argc)
                 throw std::invalid_argument("flag --" + name + " expects a value");
-            values_[name] = argv[++i];
+            values_[name].push_back(argv[++i]);
         }
     }
     if (get_bool("help")) {
@@ -56,7 +56,44 @@ std::string ArgParser::get(const std::string& name) const {
     const auto it = options_.find(name);
     if (it == options_.end()) throw std::invalid_argument("unregistered flag: --" + name);
     const auto vit = values_.find(name);
-    return vit == values_.end() ? it->second.default_value : vit->second;
+    return vit == values_.end() ? it->second.default_value : vit->second.back();
+}
+
+std::vector<std::string> ArgParser::get_strings(const std::string& name) const {
+    const auto it = options_.find(name);
+    if (it == options_.end()) throw std::invalid_argument("unregistered flag: --" + name);
+    const auto vit = values_.find(name);
+    const std::vector<std::string> raw = vit == values_.end()
+                                            ? std::vector<std::string>{it->second.default_value}
+                                            : vit->second;
+    std::vector<std::string> items;
+    for (const auto& occurrence : raw) {
+        std::size_t start = 0;
+        while (start <= occurrence.size()) {
+            const std::size_t comma = occurrence.find(',', start);
+            const std::string item =
+                occurrence.substr(start, comma == std::string::npos ? std::string::npos
+                                                                    : comma - start);
+            if (!item.empty()) items.push_back(item);
+            if (comma == std::string::npos) break;
+            start = comma + 1;
+        }
+    }
+    return items;
+}
+
+std::vector<double> ArgParser::get_doubles(const std::string& name) const {
+    std::vector<double> values;
+    for (const auto& item : get_strings(name)) {
+        try {
+            std::size_t consumed = 0;
+            values.push_back(std::stod(item, &consumed));
+            if (consumed != item.size()) throw std::invalid_argument("trailing chars");
+        } catch (const std::exception&) {
+            throw std::invalid_argument("flag --" + name + ": not a number: " + item);
+        }
+    }
+    return values;
 }
 
 double ArgParser::get_double(const std::string& name) const {

@@ -1,7 +1,9 @@
 // Minimal command-line flag parser used by examples and bench binaries.
 //
 // Supports `--name=value`, `--name value`, and boolean `--flag` forms.
-// Unknown flags are an error so typos surface immediately.
+// Unknown flags are an error so typos surface immediately. Options may be
+// list-valued: `--deltas=-0.2,-0.1,0.1,0.2` (or repeated occurrences of the
+// flag, which accumulate) read back via get_doubles()/get_strings().
 #pragma once
 
 #include <cstdint>
@@ -29,6 +31,12 @@ public:
     double get_double(const std::string& name) const;
     std::int64_t get_int(const std::string& name) const;
     bool get_bool(const std::string& name) const;
+    /// Comma-split list value. Repeated occurrences of the flag accumulate:
+    /// `--x=1,2 --x=3` reads back as {"1","2","3"}. Empty value = empty list.
+    std::vector<std::string> get_strings(const std::string& name) const;
+    /// get_strings parsed as doubles; throws std::invalid_argument on any
+    /// non-numeric element.
+    std::vector<double> get_doubles(const std::string& name) const;
     bool was_set(const std::string& name) const;
 
     std::string usage() const;
@@ -42,7 +50,7 @@ private:
     std::string description_;
     std::string program_name_ = "program";
     std::map<std::string, Option> options_;
-    std::map<std::string, std::string> values_;
+    std::map<std::string, std::vector<std::string>> values_;
 };
 
 }  // namespace snnfi::util

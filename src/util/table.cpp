@@ -1,6 +1,8 @@
 #include "util/table.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
 #include <iomanip>
 #include <ostream>
 #include <sstream>
@@ -127,6 +129,110 @@ std::string ResultTable::to_csv() const {
         os << "\n";
     }
     return os.str();
+}
+
+std::string json_escape(const std::string& text) {
+    std::string escaped;
+    escaped.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+            case '"': escaped += "\\\""; break;
+            case '\\': escaped += "\\\\"; break;
+            case '\n': escaped += "\\n"; break;
+            case '\r': escaped += "\\r"; break;
+            case '\t': escaped += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buffer[8];
+                    std::snprintf(buffer, sizeof buffer, "\\u%04x",
+                                  static_cast<unsigned>(static_cast<unsigned char>(c)));
+                    escaped += buffer;
+                } else {
+                    escaped += c;
+                }
+        }
+    }
+    return escaped;
+}
+
+std::string json_number(double value) {
+    if (!std::isfinite(value)) return "null";
+    std::ostringstream os;
+    os << std::setprecision(17) << value;
+    return os.str();
+}
+
+std::string ResultTable::to_json() const {
+    std::ostringstream os;
+    os << "{\"title\":\"" << json_escape(title_) << "\",\"columns\":[";
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+        if (c) os << ",";
+        os << "\"" << json_escape(columns_[c]) << "\"";
+    }
+    os << "],\"notes\":[";
+    for (std::size_t n = 0; n < notes_.size(); ++n) {
+        if (n) os << ",";
+        os << "\"" << json_escape(notes_[n]) << "\"";
+    }
+    os << "],\"rows\":[";
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        if (r) os << ",";
+        os << "[";
+        for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+            if (c) os << ",";
+            if (const std::string* text = std::get_if<std::string>(&rows_[r][c]))
+                os << "\"" << json_escape(*text) << "\"";
+            else
+                os << json_number(std::get<double>(rows_[r][c]));
+        }
+        os << "]";
+    }
+    os << "]}";
+    return os.str();
+}
+
+std::vector<std::vector<std::string>> parse_csv(const std::string& text) {
+    std::vector<std::vector<std::string>> records;
+    std::vector<std::string> record;
+    std::string field;
+    bool quoted = false;
+    bool field_started = false;
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        const char c = text[i];
+        if (quoted) {
+            if (c == '"') {
+                if (i + 1 < text.size() && text[i + 1] == '"') {
+                    field += '"';
+                    ++i;
+                } else {
+                    quoted = false;
+                }
+            } else {
+                field += c;
+            }
+        } else if (c == '"' && field.empty() && !field_started) {
+            quoted = true;
+            field_started = true;
+        } else if (c == ',') {
+            record.push_back(std::move(field));
+            field.clear();
+            field_started = false;
+        } else if (c == '\n') {
+            record.push_back(std::move(field));
+            field.clear();
+            field_started = false;
+            records.push_back(std::move(record));
+            record.clear();
+        } else if (c != '\r') {
+            field += c;
+            field_started = true;
+        }
+    }
+    if (field_started || !field.empty() || !record.empty()) {
+        record.push_back(std::move(field));
+        records.push_back(std::move(record));
+    }
+    return records;
 }
 
 std::ostream& operator<<(std::ostream& os, const ResultTable& table) {

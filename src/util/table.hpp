@@ -46,6 +46,10 @@ public:
     std::string to_string() const;
     /// RFC-4180-ish CSV (quotes fields containing commas/quotes/newlines).
     std::string to_csv() const;
+    /// JSON object: {"title","columns","notes","rows"}. Text cells become
+    /// JSON strings, numeric cells full-precision JSON numbers (non-finite
+    /// values map to null, keeping the document valid).
+    std::string to_json() const;
 
 private:
     std::string title_;
@@ -56,5 +60,15 @@ private:
 };
 
 std::ostream& operator<<(std::ostream& os, const ResultTable& table);
+
+/// Escapes a string for embedding in a JSON document (no surrounding quotes).
+std::string json_escape(const std::string& text);
+
+/// Renders a double as a JSON value token (full precision; nan/inf -> null).
+std::string json_number(double value);
+
+/// Parses RFC-4180-ish CSV (the dialect to_csv emits) back into fields.
+/// Handles quoted fields containing commas, escaped quotes, and newlines.
+std::vector<std::vector<std::string>> parse_csv(const std::string& text);
 
 }  // namespace snnfi::util

@@ -1,0 +1,146 @@
+// Registry invariants and Session engine behavior: declarative sweeps,
+// artifact-cache reuse (one shared baseline), and parallel determinism.
+#include "core/session.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "core/scenario.hpp"
+
+namespace snnfi::core {
+namespace {
+
+// Tiny workload so every-scenario smoke runs stay fast; quick mode also
+// coarsens the sweep grids.
+RunOptions tiny_options(std::size_t workers = 1) {
+    RunOptions options;
+    options.quick = true;
+    options.train_samples = 80;
+    options.n_neurons = 24;
+    options.eval_window = 40;
+    options.max_workers = workers;
+    return options;
+}
+
+TEST(ScenarioRegistry, IdsUniqueAndSpecsWellFormed) {
+    auto& registry = ScenarioRegistry::instance();
+    EXPECT_GE(registry.all().size(), 20u);
+    std::set<std::string> ids;
+    for (const auto& spec : registry.all()) {
+        EXPECT_FALSE(spec.id.empty());
+        EXPECT_FALSE(spec.title.empty());
+        EXPECT_FALSE(spec.tags.empty()) << spec.id;
+        EXPECT_TRUE(spec.declarative() || spec.custom_run != nullptr) << spec.id;
+        EXPECT_TRUE(ids.insert(spec.id).second) << "duplicate id " << spec.id;
+    }
+}
+
+TEST(ScenarioRegistry, FindAndSelect) {
+    auto& registry = ScenarioRegistry::instance();
+    EXPECT_EQ(registry.find("fig9a").id, "fig9a");
+    EXPECT_THROW(registry.find("fig99"), std::invalid_argument);
+    EXPECT_THROW(registry.select("no_such_tag"), std::invalid_argument);
+
+    const auto attacks = registry.by_tag("attack");
+    EXPECT_GE(attacks.size(), 6u);  // baseline + attacks 1-5
+    const auto everything = registry.select("all");
+    EXPECT_EQ(everything.size(), registry.all().size());
+    // Mixed id+tag selector, deduplicated.
+    const auto mixed = registry.select("attack,fig9a,ablation");
+    std::set<const ScenarioSpec*> unique(mixed.begin(), mixed.end());
+    EXPECT_EQ(unique.size(), mixed.size());
+    EXPECT_GT(mixed.size(), attacks.size());
+}
+
+TEST(ScenarioRegistry, RejectsMalformedSpecs) {
+    auto& registry = ScenarioRegistry::instance();
+    ScenarioSpec duplicate;
+    duplicate.id = "fig3";
+    duplicate.custom_run = [](Session&, const RunOptions&) {
+        return util::ResultTable("x", {"c"});
+    };
+    EXPECT_THROW(registry.add(duplicate), std::invalid_argument);
+
+    ScenarioSpec empty_body;
+    empty_body.id = "not_runnable";
+    EXPECT_THROW(registry.add(empty_body), std::invalid_argument);
+}
+
+TEST(Session, EveryRegisteredScenarioRunsQuick) {
+    Session session(tiny_options());
+    for (const auto& spec : ScenarioRegistry::instance().all()) {
+        const RunResult result = session.run(spec);
+        EXPECT_EQ(result.id, spec.id);
+        EXPECT_GT(result.table.num_rows(), 0u) << spec.id;
+        EXPECT_GT(result.table.num_columns(), 0u) << spec.id;
+        EXPECT_FALSE(result.table.to_csv().empty()) << spec.id;
+        const std::string json = result.to_json();
+        EXPECT_EQ(json.front(), '{') << spec.id;
+        EXPECT_NE(json.find("\"table\":{"), std::string::npos) << spec.id;
+    }
+}
+
+TEST(Session, SharedBaselineTrainedExactlyOnceAcrossAttackTag) {
+    Session session(tiny_options());
+    const auto results = session.run_selector("baseline,fig7b,fig8c");
+    ASSERT_EQ(results.size(), 3u);
+    // First scenario misses (builds dataset + suite, trains the baseline);
+    // the others are pure cache hits — nothing is retrained.
+    EXPECT_GE(results[0].cache_misses, 1u);
+    for (std::size_t r = 1; r < results.size(); ++r) {
+        EXPECT_EQ(results[r].cache_misses, 0u) << results[r].id;
+        EXPECT_GE(results[r].cache_hits, 1u) << results[r].id;
+    }
+    EXPECT_GE(session.cache_hits(), 2u);
+}
+
+TEST(Session, RunManyDeterministicAcrossWorkerCounts) {
+    const auto render = [](const std::vector<RunResult>& results) {
+        std::string text;
+        for (const auto& result : results)
+            text += result.table.to_json() + "\n" + result.table.to_csv();
+        return text;
+    };
+    Session serial(tiny_options(1));
+    Session parallel(tiny_options(4));
+    const std::string a = render(serial.run_selector("fig7b,fig8c"));
+    const std::string b = render(parallel.run_selector("fig7b,fig8c"));
+    EXPECT_EQ(a, b);  // byte-identical output, any worker count
+}
+
+TEST(Session, DeclarativeSweepShapesMatchSpec) {
+    Session session(tiny_options());
+    const auto& spec = ScenarioRegistry::instance().find("fig8a");
+    ASSERT_EQ(spec.axes.size(), 2u);
+    const RunResult result = session.run(spec);
+    // quick grids: 2 deltas x 2 fractions.
+    EXPECT_EQ(result.table.num_rows(), 4u);
+    EXPECT_EQ(result.table.columns()[0], "threshold_change_pct");
+    EXPECT_EQ(result.table.columns()[1], "fraction_pct");
+    EXPECT_EQ(result.table.columns().back(), "degradation_pct");
+
+    // VDD sweeps expose the calibration bridge columns.
+    const RunResult vdd = session.run("fig9a");
+    EXPECT_EQ(vdd.table.columns()[0], "vdd_V");
+    EXPECT_EQ(vdd.table.columns()[1], "threshold_change_pct");
+    EXPECT_EQ(vdd.table.columns()[2], "driver_gain");
+}
+
+TEST(Session, ArtifactAccessorsCountHitsAndMisses) {
+    Session session(tiny_options());
+    EXPECT_EQ(session.cache_hits(), 0u);
+    EXPECT_EQ(session.cache_misses(), 0u);
+    const auto first = session.characterizer();
+    EXPECT_EQ(session.cache_misses(), 1u);
+    const auto second = session.characterizer();
+    EXPECT_EQ(session.cache_hits(), 1u);
+    EXPECT_EQ(first.get(), second.get());
+
+    const auto suite_a = session.attack_suite();
+    const auto suite_b = session.attack_suite();
+    EXPECT_EQ(suite_a.get(), suite_b.get());
+}
+
+}  // namespace
+}  // namespace snnfi::core

@@ -75,6 +75,41 @@ TEST(ArgParser, HelpShortCircuits) {
     EXPECT_NE(out.find("sample count"), std::string::npos);
 }
 
+TEST(ArgParser, ListValuedOptionSplitsOnCommas) {
+    ArgParser parser("p");
+    parser.add_option("deltas", "-0.2,-0.1,0.1,0.2", "threshold deltas");
+    ASSERT_EQ(parse(parser, {}), 1);
+    EXPECT_EQ(parser.get_doubles("deltas"),
+              (std::vector<double>{-0.2, -0.1, 0.1, 0.2}));
+
+    ArgParser parser2("p");
+    parser2.add_option("deltas", "", "threshold deltas");
+    ASSERT_EQ(parse(parser2, {"--deltas=0.5,1.5"}), 1);
+    EXPECT_EQ(parser2.get_doubles("deltas"), (std::vector<double>{0.5, 1.5}));
+    EXPECT_EQ(parser2.get_strings("deltas"),
+              (std::vector<std::string>{"0.5", "1.5"}));
+}
+
+TEST(ArgParser, RepeatedOptionAccumulates) {
+    ArgParser parser("p");
+    parser.add_option("tag", "", "tags");
+    ASSERT_EQ(parse(parser, {"--tag=a,b", "--tag", "c"}), 1);
+    EXPECT_EQ(parser.get_strings("tag"), (std::vector<std::string>{"a", "b", "c"}));
+    EXPECT_EQ(parser.get("tag"), "c");  // scalar get: last occurrence wins
+}
+
+TEST(ArgParser, EmptyListAndBadNumbers) {
+    ArgParser parser("p");
+    parser.add_option("xs", "", "numbers");
+    ASSERT_EQ(parse(parser, {}), 1);
+    EXPECT_TRUE(parser.get_doubles("xs").empty());
+
+    ArgParser parser2("p");
+    parser2.add_option("xs", "", "numbers");
+    ASSERT_EQ(parse(parser2, {"--xs=1,zap"}), 1);
+    EXPECT_THROW(parser2.get_doubles("xs"), std::invalid_argument);
+}
+
 TEST(ArgParser, UnregisteredGetThrows) {
     auto parser = make_parser();
     ASSERT_EQ(parse(parser, {}), 1);

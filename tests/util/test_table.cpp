@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <sstream>
 
 namespace snnfi::util {
@@ -68,6 +69,59 @@ TEST(ResultTable, CsvFormatAndEscaping) {
     EXPECT_NE(csv.find("\"a,b\""), std::string::npos);
     EXPECT_NE(csv.find("\"va\"\"l\""), std::string::npos);
     EXPECT_NE(csv.find("\"line1\nline2\""), std::string::npos);
+}
+
+TEST(ResultTable, JsonStructureAndNumbers) {
+    auto table = sample_table();
+    table.add_note("a note");
+    const std::string json = table.to_json();
+    EXPECT_EQ(json,
+              "{\"title\":\"Demo\",\"columns\":[\"name\",\"value\"],"
+              "\"notes\":[\"a note\"],"
+              "\"rows\":[[\"alpha\",1.5],[\"beta\",-2.25]]}");
+}
+
+TEST(ResultTable, JsonEscapesSpecialCharacters) {
+    ResultTable table("Ti\"tle\\", {"col\n1"});
+    table.add_row({std::string("tab\there \"quoted\"")});
+    table.add_note("control:\x01");
+    const std::string json = table.to_json();
+    EXPECT_NE(json.find("\"Ti\\\"tle\\\\\""), std::string::npos);
+    EXPECT_NE(json.find("\"col\\n1\""), std::string::npos);
+    EXPECT_NE(json.find("tab\\there \\\"quoted\\\""), std::string::npos);
+    EXPECT_NE(json.find("control:\\u0001"), std::string::npos);
+}
+
+TEST(ResultTable, JsonNonFiniteBecomesNull) {
+    ResultTable table("T", {"x"});
+    table.add_row({std::numeric_limits<double>::quiet_NaN()});
+    table.add_row({std::numeric_limits<double>::infinity()});
+    const std::string json = table.to_json();
+    EXPECT_NE(json.find("[null],[null]"), std::string::npos);
+    EXPECT_EQ(json.find("nan"), std::string::npos);
+    EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+TEST(ResultTable, CsvRoundTripWithQuotesAndCommas) {
+    ResultTable table("T", {"a,b", "plain", "tricky"});
+    table.add_row({std::string("va\"l"), std::string("x"),
+                   std::string("line1\nline2, with comma")});
+    table.add_row({std::string("\"fully quoted\""), std::string(""),
+                   std::string("commas,,everywhere")});
+    const auto records = parse_csv(table.to_csv());
+    ASSERT_EQ(records.size(), 3u);  // header + 2 rows
+    EXPECT_EQ(records[0], (std::vector<std::string>{"a,b", "plain", "tricky"}));
+    EXPECT_EQ(records[1],
+              (std::vector<std::string>{"va\"l", "x", "line1\nline2, with comma"}));
+    EXPECT_EQ(records[2], (std::vector<std::string>{"\"fully quoted\"", "",
+                                                    "commas,,everywhere"}));
+}
+
+TEST(ParseCsv, HandlesEmptyAndUnquoted) {
+    EXPECT_TRUE(parse_csv("").empty());
+    const auto records = parse_csv("a,b\n1,2\n");
+    ASSERT_EQ(records.size(), 2u);
+    EXPECT_EQ(records[1], (std::vector<std::string>{"1", "2"}));
 }
 
 TEST(ResultTable, StreamOperator) {

@@ -1,0 +1,96 @@
+#include "util/thread_pool.hpp"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <numeric>
+#include <thread>
+#include <vector>
+
+namespace snnfi::util {
+namespace {
+
+TEST(ThreadPool, RunsEveryIndexExactlyOnce) {
+    ThreadPool pool(4);
+    EXPECT_EQ(pool.max_workers(), 4u);
+    std::vector<std::atomic<int>> counts(100);
+    pool.parallel_for(100, [&](std::size_t i) { counts[i].fetch_add(1); });
+    for (const auto& count : counts) EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ThreadPool, SingleWorkerRunsSerially) {
+    ThreadPool pool(1);
+    EXPECT_EQ(pool.max_workers(), 1u);
+    std::vector<int> order;
+    pool.parallel_for(5, [&](std::size_t i) { order.push_back(static_cast<int>(i)); });
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPool, IndexedResultsIdenticalAcrossWorkerCounts) {
+    auto compute = [](std::size_t workers) {
+        ThreadPool pool(workers);
+        std::vector<double> out(64);
+        pool.parallel_for(64, [&](std::size_t i) {
+            out[i] = static_cast<double>(i) * 1.5 - 3.0;
+        });
+        return out;
+    };
+    EXPECT_EQ(compute(1), compute(4));
+}
+
+TEST(ThreadPool, EmptyAndReuse) {
+    ThreadPool pool(3);
+    pool.parallel_for(0, [](std::size_t) { FAIL() << "must not be called"; });
+    std::atomic<int> total{0};
+    for (int round = 0; round < 5; ++round)
+        pool.parallel_for(10, [&](std::size_t) { total.fetch_add(1); });
+    EXPECT_EQ(total.load(), 50);
+}
+
+TEST(ThreadPool, PropagatesException) {
+    ThreadPool pool(2);
+    EXPECT_THROW(pool.parallel_for(8,
+                                   [](std::size_t i) {
+                                       if (i == 3) throw std::runtime_error("boom");
+                                   }),
+                 std::runtime_error);
+    // Pool stays usable after a failed job.
+    std::atomic<int> ran{0};
+    pool.parallel_for(4, [&](std::size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 4);
+}
+
+TEST(ThreadPool, NestedCallFallsBackToSerial) {
+    ThreadPool pool(2);
+    std::atomic<int> inner_total{0};
+    pool.parallel_for(4, [&](std::size_t) {
+        pool.parallel_for(3, [&](std::size_t) { inner_total.fetch_add(1); });
+    });
+    EXPECT_EQ(inner_total.load(), 12);
+}
+
+TEST(ThreadPool, ConcurrentCallFromSecondThreadThrows) {
+    ThreadPool pool(2);
+    std::promise<void> started;
+    std::promise<void> release;
+    std::shared_future<void> release_future = release.get_future().share();
+    std::thread runner([&] {
+        pool.parallel_for(2, [&](std::size_t i) {
+            if (i == 0) started.set_value();
+            release_future.wait();
+        });
+    });
+    started.get_future().wait();  // first job is definitely in flight
+    EXPECT_THROW(pool.parallel_for(2, [](std::size_t) {}), std::logic_error);
+    release.set_value();
+    runner.join();
+}
+
+TEST(ResolveWorkerCount, ZeroMeansHardware) {
+    EXPECT_GE(resolve_worker_count(0), 1u);
+    EXPECT_EQ(resolve_worker_count(7), 7u);
+}
+
+}  // namespace
+}  // namespace snnfi::util

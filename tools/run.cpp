@@ -1,0 +1,100 @@
+// Unified experiment runner — the batch front-end of the Session engine.
+//
+//   $ run --list
+//   $ run --experiment=fig8b                      # one figure
+//   $ run --experiment=attack --quick --json      # every attack, shared
+//                                                 # baseline, JSON output
+//   $ run --experiment=fig5b,defense --workers=4
+//
+// All selected scenarios execute through ONE Session: trained baselines,
+// datasets and circuit characterisations are cached and shared, and the
+// summary line (or the "cache" object in --json mode) shows the reuse.
+#include <iostream>
+
+#include "core/scenario.hpp"
+#include "core/session.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+
+int main(int argc, char** argv) {
+    using namespace snnfi;
+
+    util::ArgParser parser(
+        "snnfi unified experiment runner (Session + scenario registry)");
+    parser.add_option("experiment", "all",
+                      "Comma-separated experiment ids and/or tags "
+                      "(see --list; 'all' runs the whole registry)");
+    parser.add_flag("list", "List experiment ids and tags, then exit");
+    parser.add_flag("quick", "Shrink workloads (smoke runs, CI)");
+    parser.add_flag("json", "Emit one JSON document instead of ASCII tables");
+    parser.add_flag("csv", "Also print CSV rows under each table");
+    parser.add_option("samples", "1000", "Training samples for SNN experiments");
+    parser.add_option("neurons", "100", "Neurons per layer for SNN experiments");
+    parser.add_option("workers", "0", "Parallel sweep workers (0 = all cores)");
+    try {
+        if (!parser.parse(argc, argv)) return 0;
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n" << parser.usage();
+        return 2;
+    }
+
+    auto& registry = core::ScenarioRegistry::instance();
+    if (parser.get_bool("list")) {
+        std::cout << "experiments:\n";
+        for (const auto& spec : registry.all()) {
+            std::cout << "  " << spec.id << "  —  " << spec.title << "  [";
+            for (std::size_t t = 0; t < spec.tags.size(); ++t)
+                std::cout << (t ? "," : "") << spec.tags[t];
+            std::cout << "]\n";
+        }
+        std::cout << "tags:";
+        for (const auto& tag : registry.tag_names()) std::cout << " " << tag;
+        std::cout << "\n";
+        return 0;
+    }
+
+    util::set_log_level(util::LogLevel::kWarn);
+    core::RunOptions options;
+    options.quick = parser.get_bool("quick");
+    options.train_samples = static_cast<std::size_t>(parser.get_int("samples"));
+    options.n_neurons = static_cast<std::size_t>(parser.get_int("neurons"));
+    options.max_workers = static_cast<std::size_t>(parser.get_int("workers"));
+
+    // Repeated --experiment flags accumulate, so join all occurrences.
+    std::string selector;
+    for (const auto& token : parser.get_strings("experiment")) {
+        if (!selector.empty()) selector += ",";
+        selector += token;
+    }
+    std::vector<const core::ScenarioSpec*> selection;
+    try {
+        selection = registry.select(selector);
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n(use --list for ids and tags)\n";
+        return 1;
+    }
+    if (selection.empty()) {
+        std::cerr << "error: selector matched no experiments\n";
+        return 1;
+    }
+
+    core::Session session(options);
+    const std::vector<core::RunResult> results = session.run_many(selection);
+
+    if (parser.get_bool("json")) {
+        std::cout << core::to_json(results, session) << "\n";
+        return 0;
+    }
+
+    for (const auto& result : results) {
+        std::cout << result.table;
+        if (parser.get_bool("csv")) std::cout << result.table.to_csv();
+        std::cout << "[" << result.id << " in " << result.seconds << " s, cache "
+                  << result.cache_hits << " hit(s) / " << result.cache_misses
+                  << " miss(es)]\n\n";
+    }
+    std::cout << "session cache: " << session.cache_hits() << " hit(s), "
+              << session.cache_misses() << " miss(es) across " << results.size()
+              << " experiment(s)\n";
+    return 0;
+}
