@@ -1,0 +1,8 @@
+// Thin client of the Session engine: runs the fault-injection campaign
+// family (fi.smoke, fi.quick-sweep, fi.sensitivity, fi.weights, fi.neurons,
+// fi.drift) off one shared trained baseline.
+#include "bench_common.hpp"
+
+int main(int argc, char** argv) {
+    return snnfi::bench::run_scenarios("fi", argc, argv);
+}

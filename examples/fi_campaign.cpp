@@ -1,0 +1,81 @@
+// Fault-injection campaign walkthrough: drive the src/fi subsystem
+// directly instead of through the scenario registry.
+//
+//   $ ./fi_campaign [--samples=300] [--neurons=50] [--sites=3]
+//
+// Shows the three layers of the subsystem:
+//   1. the fault library — every registered FaultModel with its site kind;
+//   2. the site enumerator — deterministic, seeded sampling of the
+//      (layer x neuron, synapse) address space;
+//   3. the campaign engine — a sampled campaign off one shared trained
+//      baseline (snapshot/restore per injection), with the per-layer
+//      sensitivity map and critical-fault rates it produces.
+#include <algorithm>
+#include <iostream>
+
+#include "core/session.hpp"
+#include "fi/campaign.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+
+int main(int argc, char** argv) {
+    using namespace snnfi;
+
+    util::ArgParser parser("snnfi fault-injection campaign walkthrough");
+    parser.add_option("samples", "300", "Training samples for the baseline");
+    parser.add_option("neurons", "50", "Neurons per layer");
+    parser.add_option("sites", "3", "Sampled fault sites per model (per layer)");
+    if (!parser.parse(argc, argv)) return 0;
+
+    util::set_log_level(util::LogLevel::kWarn);
+
+    // 1. The fault taxonomy.
+    std::cout << "fault library:\n";
+    for (const auto& model : fi::standard_fault_library()) {
+        std::cout << "  " << model->name() << " (" << fi::to_string(model->site_kind())
+                  << (model->trains_under_fault() ? ", trains under fault" : "")
+                  << ") — " << model->description() << "\n";
+    }
+
+    core::RunOptions options;
+    options.quick = true;
+    options.train_samples = static_cast<std::size_t>(parser.get_int("samples"));
+    options.n_neurons = static_cast<std::size_t>(parser.get_int("neurons"));
+    // Keep the online-accuracy window meaningful for small sample counts.
+    options.eval_window = std::min<std::size_t>(options.eval_window,
+                                                options.train_samples / 2);
+    core::Session session(options);
+
+    // 2. A taste of the site space.
+    auto suite = session.attack_suite();
+    snn::DiehlCookNetwork walker(suite->config().network,
+                                 suite->config().network_seed);
+    fi::SitePlan plan;
+    plan.max_sites = static_cast<std::size_t>(parser.get_int("sites"));
+    std::cout << "\nsampled neuron sites:";
+    for (const auto& site : fi::enumerate_sites(walker, fi::SiteKind::kNeuron, plan))
+        std::cout << " " << site.id();
+    std::cout << "\nsampled synapse sites:";
+    for (const auto& site : fi::enumerate_sites(walker, fi::SiteKind::kSynapse, plan))
+        std::cout << " " << site.id();
+    std::cout << "\n";
+
+    // 3. The campaign: one baseline training, then snapshot/restore per
+    //    injection. Drift models retrain like the paper's attacks.
+    fi::CampaignConfig config;
+    config.sites = plan;
+    config.eval_samples = 60;
+    config.early_stop.enabled = false;
+    config.early_stop.min_replicas = 2;
+    fi::CampaignEngine engine(session, config);
+    const auto campaign = engine.run();
+
+    std::cout << "\nbaseline accuracy: " << campaign->baseline_accuracy_pct
+              << "%\ncampaign: " << campaign->cells.size() << " cells, "
+              << campaign->trainings << " train-under-fault runs, "
+              << campaign->evaluations << " inference passes\n\n";
+    std::cout << campaign->sensitivity_map("per-layer sensitivity map");
+    std::cout << "\nsession cache: " << session.cache_hits() << " hit(s), "
+              << session.cache_misses() << " miss(es) — the baseline trained once\n";
+    return 0;
+}

@@ -23,8 +23,14 @@ double AttackSuite::baseline_accuracy() {
         snn::DiehlCookNetwork network(config_.network, config_.network_seed);
         snn::Trainer trainer(network, config_.eval_window);
         baseline_ = trainer.run(dataset_);
+        baseline_state_ = network.capture_state();
     }
     return baseline_->train_accuracy;
+}
+
+const snn::NetworkState& AttackSuite::baseline_state() {
+    (void)baseline_accuracy();
+    return *baseline_state_;
 }
 
 double AttackSuite::baseline_retro_accuracy() {

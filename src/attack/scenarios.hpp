@@ -56,6 +56,11 @@ public:
     /// Fault-free reference accuracy (cached).
     double baseline_accuracy();
     double baseline_retro_accuracy();
+    /// Learned state (weights + theta) of the trained fault-free baseline.
+    /// Trains on first use like baseline_accuracy(); the returned reference
+    /// stays valid for the suite's lifetime. The src/fi campaign engine
+    /// restores this snapshot per injection instead of retraining.
+    const snn::NetworkState& baseline_state();
 
     /// Runs one fault configuration.
     AttackOutcome run(const FaultSpec& fault);
@@ -88,6 +93,7 @@ private:
     snn::Dataset dataset_;
     AttackRunConfig config_;
     std::optional<snn::TrainResult> baseline_;
+    std::optional<snn::NetworkState> baseline_state_;
     util::ThreadPool* pool_ = nullptr;  ///< not owned; optional shared pool
 };
 

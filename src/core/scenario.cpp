@@ -12,6 +12,7 @@ namespace snnfi::core {
 void link_circuit_scenarios();
 void link_attack_scenarios();
 void link_defense_scenarios();
+void link_fi_scenarios();
 
 std::size_t AxisSpec::grid_size(bool quick) const {
     if (axis == FaultAxis::kLayer) return layers.size();
@@ -78,6 +79,7 @@ void ScenarioRegistry::ensure_builtins() {
     link_circuit_scenarios();
     link_attack_scenarios();
     link_defense_scenarios();
+    link_fi_scenarios();
     sort_specs();
 }
 

@@ -1,0 +1,204 @@
+// Builtin `fi` scenario family: sampled fault-injection campaigns over the
+// src/fi fault library, presented through the scenario registry so
+// `build/run --experiment=fi --quick --json` (or any fi.* id) drives them.
+//
+// All campaign scenarios share one Session-cached CampaignResult per
+// distinct campaign config: fi.quick-sweep and fi.sensitivity are two views
+// (detail table / per-layer sensitivity map) of the same execution.
+#include <sstream>
+
+#include "core/scenario.hpp"
+#include "core/session.hpp"
+#include "fi/campaign.hpp"
+
+namespace snnfi::core {
+
+void link_fi_scenarios() {}
+
+namespace {
+
+using attack::TargetLayer;
+using util::ResultTable;
+
+fi::EarlyStopPolicy early_stop_policy(bool quick) {
+    fi::EarlyStopPolicy policy;
+    if (quick) {
+        // Smoke/CI mode: a fixed replica count, early stopping never
+        // activates (campaign tests rely on this).
+        policy.enabled = false;
+        policy.min_replicas = 2;
+    } else {
+        policy.enabled = true;
+        policy.min_replicas = 3;
+        policy.max_replicas = 8;
+        policy.ci_halfwidth_pct = 1.5;
+    }
+    return policy;
+}
+
+fi::CampaignConfig sweep_config(bool quick) {
+    fi::CampaignConfig config;
+    config.models = fi::standard_fault_library();
+    config.sites.max_sites = quick ? 2 : 4;
+    config.eval_samples = quick ? 50 : 150;
+    config.early_stop = early_stop_policy(quick);
+    return config;
+}
+
+/// Notes shared by every campaign table: workload + engine counters.
+void add_campaign_notes(ResultTable& table, const fi::CampaignResult& campaign) {
+    std::ostringstream os;
+    os << "Baseline accuracy " << campaign.baseline_accuracy_pct
+       << "% (trained once, shared through the Session cache).";
+    table.add_note(os.str());
+    os.str("");
+    os << campaign.cells.size() << " grid cell(s): " << campaign.trainings
+       << " train-under-fault run(s), " << campaign.evaluations
+       << " snapshot-restore inference pass(es).";
+    table.add_note(os.str());
+}
+
+ResultTable campaign_detail(Session& session, fi::CampaignConfig config,
+                            const std::string& title) {
+    fi::CampaignEngine engine(session, std::move(config));
+    const auto campaign = engine.run();
+    ResultTable table = campaign->detail_table(title);
+    add_campaign_notes(table, *campaign);
+    return table;
+}
+
+ScenarioSpec smoke_spec() {
+    ScenarioSpec spec;
+    spec.id = "fi.smoke";
+    spec.title = "FI smoke — minimal campaign (dead neuron + stuck-at-0)";
+    spec.description = "Minimal FI campaign for CI";
+    spec.tags = {"fi", "smoke"};
+    spec.paper_order = 300;
+    spec.custom_run = [](Session& session, const RunOptions& options) {
+        fi::CampaignConfig config;
+        config.models = {fi::find_fault_model("dead_neuron"),
+                         fi::find_fault_model("stuck_at_0")};
+        config.sites.layers = {TargetLayer::kExcitatory};
+        config.sites.max_sites = 2;
+        config.eval_samples = options.quick ? 30 : 60;
+        config.early_stop.enabled = false;
+        config.early_stop.min_replicas = 2;
+        return campaign_detail(session, std::move(config),
+                               "FI smoke — minimal campaign");
+    };
+    return spec;
+}
+
+ScenarioSpec quick_sweep_spec() {
+    ScenarioSpec spec;
+    spec.id = "fi.quick-sweep";
+    spec.title = "FI sweep — all fault models x both layers (sampled sites)";
+    spec.description = "Full fault library campaign";
+    spec.tags = {"fi"};
+    spec.paper_order = 310;
+    spec.notes = {
+        "driver_gain_drift severities reproduce the fig7b (attack 1) grid; "
+        "threshold_drift generalises attacks 2-4."};
+    spec.custom_run = [](Session& session, const RunOptions& options) {
+        return campaign_detail(
+            session, sweep_config(options.quick),
+            "FI sweep — all fault models x both layers (sampled sites)");
+    };
+    return spec;
+}
+
+ScenarioSpec sensitivity_spec() {
+    ScenarioSpec spec;
+    spec.id = "fi.sensitivity";
+    spec.title = "FI sensitivity map — per-layer aggregation of the FI sweep";
+    spec.description = "Per-layer sensitivity + critical rates";
+    spec.tags = {"fi"};
+    spec.paper_order = 320;
+    spec.custom_run = [](Session& session, const RunOptions& options) {
+        // Same campaign config as fi.quick-sweep: running both costs one
+        // execution (the Session caches the CampaignResult).
+        fi::CampaignEngine engine(session, sweep_config(options.quick));
+        const auto campaign = engine.run();
+        ResultTable table = campaign->sensitivity_map(
+            "FI sensitivity map — per-layer aggregation of the FI sweep");
+        add_campaign_notes(table, *campaign);
+        return table;
+    };
+    return spec;
+}
+
+ScenarioSpec weights_spec() {
+    ScenarioSpec spec;
+    spec.id = "fi.weights";
+    spec.title = "FI weights — stuck-at and bit-flip faults on input synapses";
+    spec.description = "Synaptic memory fault campaign";
+    spec.tags = {"fi"};
+    spec.paper_order = 330;
+    spec.custom_run = [](Session& session, const RunOptions& options) {
+        fi::CampaignConfig config;
+        config.models = {fi::find_fault_model("stuck_at_0"),
+                         fi::find_fault_model("stuck_at_1"),
+                         fi::find_fault_model("bit_flip")};
+        config.sites.max_sites = options.quick ? 3 : 12;
+        config.eval_samples = options.quick ? 50 : 150;
+        config.early_stop = early_stop_policy(options.quick);
+        return campaign_detail(
+            session, std::move(config),
+            "FI weights — stuck-at and bit-flip faults on input synapses");
+    };
+    return spec;
+}
+
+ScenarioSpec neurons_spec() {
+    ScenarioSpec spec;
+    spec.id = "fi.neurons";
+    spec.title = "FI neurons — dead, saturated and refractory-stretched neurons";
+    spec.description = "Behavioural neuron fault campaign";
+    spec.tags = {"fi"};
+    spec.paper_order = 340;
+    spec.custom_run = [](Session& session, const RunOptions& options) {
+        fi::CampaignConfig config;
+        config.models = {fi::find_fault_model("dead_neuron"),
+                         fi::find_fault_model("saturated_neuron"),
+                         fi::find_fault_model("refractory_stretch")};
+        config.sites.max_sites = options.quick ? 2 : 6;
+        config.eval_samples = options.quick ? 50 : 150;
+        config.early_stop = early_stop_policy(options.quick);
+        return campaign_detail(
+            session, std::move(config),
+            "FI neurons — dead, saturated and refractory-stretched neurons");
+    };
+    return spec;
+}
+
+ScenarioSpec drift_spec() {
+    ScenarioSpec spec;
+    spec.id = "fi.drift";
+    spec.title = "FI drift — parametric threshold/driver drift (paper attacks)";
+    spec.description = "Paper attacks as drift fault models";
+    spec.tags = {"fi", "attack"};
+    spec.paper_order = 350;
+    spec.notes = {"Train-under-fault path: each cell retrains like the paper's "
+                  "scenarios; accuracy matches figs. 7b/8a/8b by construction."};
+    spec.custom_run = [](Session& session, const RunOptions& options) {
+        fi::CampaignConfig config;
+        config.models = {fi::find_fault_model("threshold_drift"),
+                         fi::find_fault_model("driver_gain_drift")};
+        config.eval_samples = options.quick ? 50 : 150;
+        config.early_stop = early_stop_policy(options.quick);
+        return campaign_detail(
+            session, std::move(config),
+            "FI drift — parametric threshold/driver drift (paper attacks)");
+    };
+    return spec;
+}
+
+const ScenarioRegistrar registrar_fi_smoke{smoke_spec()};
+const ScenarioRegistrar registrar_fi_quick_sweep{quick_sweep_spec()};
+const ScenarioRegistrar registrar_fi_sensitivity{sensitivity_spec()};
+const ScenarioRegistrar registrar_fi_weights{weights_spec()};
+const ScenarioRegistrar registrar_fi_neurons{neurons_spec()};
+const ScenarioRegistrar registrar_fi_drift{drift_spec()};
+
+}  // namespace
+}  // namespace snnfi::core

@@ -17,7 +17,8 @@ std::shared_ptr<void> Session::cached(
         const auto it = artifacts_.find(key);
         if (it != artifacts_.end()) {
             ++hits_;
-            return it->second;
+            lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+            return it->second.value;
         }
         ++misses_;
     }
@@ -25,7 +26,27 @@ std::shared_ptr<void> Session::cached(
     // (e.g. an attack suite pulling its dataset) without deadlocking.
     std::shared_ptr<void> artifact = make();
     std::lock_guard<std::mutex> lock(mutex_);
-    return artifacts_.emplace(key, std::move(artifact)).first->second;
+    const auto it = artifacts_.find(key);
+    if (it != artifacts_.end()) {
+        // Another thread built the same artifact first; keep theirs.
+        lru_.splice(lru_.begin(), lru_, it->second.lru_position);
+        return it->second.value;
+    }
+    lru_.push_front(key);
+    artifacts_.emplace(key, CacheEntry{std::move(artifact), lru_.begin()});
+    // Evict beyond the configured cap, least-recently-used first. Holders
+    // of evicted shared_ptrs keep their references; the cache just forgets.
+    while (options_.cache_capacity != 0 && artifacts_.size() > options_.cache_capacity) {
+        artifacts_.erase(lru_.back());
+        lru_.pop_back();
+        ++evictions_;
+    }
+    return artifacts_.find(key)->second.value;
+}
+
+std::size_t Session::cache_entries() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return artifacts_.size();
 }
 
 std::shared_ptr<const snn::Dataset> Session::dataset(std::size_t samples,
@@ -222,7 +243,14 @@ RunResult Session::run(const ScenarioSpec& spec) {
 
     util::ResultTable table = [&] {
         if (spec.declarative()) return run_sweep(spec);
-        if (spec.custom_run) return spec.custom_run(*this, options_);
+        if (spec.custom_run) {
+            util::ResultTable custom = spec.custom_run(*this, options_);
+            // Declarative sweeps attach spec.notes inside run_sweep; give
+            // custom bodies the same treatment so they need no registry
+            // self-lookup.
+            for (const auto& note : spec.notes) custom.add_note(note);
+            return custom;
+        }
         throw std::logic_error("scenario '" + spec.id + "' is not runnable");
     }();
 
@@ -247,7 +275,9 @@ std::string to_json(const std::vector<RunResult>& results, const Session& sessio
         os << results[r].to_json();
     }
     os << "],\"cache\":{\"hits\":" << session.cache_hits()
-       << ",\"misses\":" << session.cache_misses() << "}}";
+       << ",\"misses\":" << session.cache_misses()
+       << ",\"evictions\":" << session.cache_evictions()
+       << ",\"entries\":" << session.cache_entries() << "}}";
     return os.str();
 }
 

@@ -5,10 +5,13 @@
 //     batch over the whole registry reuses threads instead of each sweep
 //     spawning its own;
 //   * an artifact cache keyed by config hash — trained baselines (inside
-//     their AttackSuite), datasets, circuit characterisations and VDD
-//     calibrations are built once and shared, so replaying all five paper
-//     attacks trains the attack-free baseline exactly once. Cache traffic
-//     is observable through cache_hits()/cache_misses().
+//     their AttackSuite), datasets, circuit characterisations, VDD
+//     calibrations and fault-injection campaign results are built once and
+//     shared, so replaying all five paper attacks trains the attack-free
+//     baseline exactly once. The cache is optionally capped
+//     (RunOptions::cache_capacity) with LRU eviction so registry-wide
+//     batches cannot grow memory unboundedly; traffic is observable
+//     through cache_hits()/cache_misses()/cache_evictions().
 //
 // Declarative ScenarioSpecs (core/scenario.hpp) are expanded here: the
 // cartesian product of their fault axes becomes a FaultSpec batch, executed
@@ -16,7 +19,9 @@
 // byte-identical for any worker count).
 #pragma once
 
+#include <atomic>
 #include <chrono>
+#include <list>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -58,8 +63,21 @@ public:
     std::shared_ptr<attack::AttackSuite> attack_suite();
     std::shared_ptr<attack::AttackSuite> attack_suite(const ScenarioSpec& spec);
 
+    /// Generic typed artifact slot: new subsystems (e.g. fi:: campaign
+    /// results) share the session cache without core:: knowing their types.
+    /// `make` runs outside the cache lock, so a factory may itself request
+    /// other session artifacts.
+    template <typename T>
+    std::shared_ptr<T> artifact(const std::string& key,
+                                const std::function<std::shared_ptr<T>()>& make) {
+        auto value = cached(key, [&]() -> std::shared_ptr<void> { return make(); });
+        return std::static_pointer_cast<T>(value);
+    }
+
     std::size_t cache_hits() const noexcept { return hits_; }
     std::size_t cache_misses() const noexcept { return misses_; }
+    std::size_t cache_evictions() const noexcept { return evictions_; }
+    std::size_t cache_entries() const;
 
 private:
     std::shared_ptr<void> cached(const std::string& key,
@@ -68,16 +86,26 @@ private:
         const WorkloadOverrides& overrides, attack::AttackPhase phase);
     util::ResultTable run_sweep(const ScenarioSpec& spec);
 
+    struct CacheEntry {
+        std::shared_ptr<void> value;
+        std::list<std::string>::iterator lru_position;  ///< into lru_
+    };
+
     RunOptions options_;
     util::ThreadPool pool_;
-    std::mutex mutex_;  ///< guards artifacts_ and the counters
-    std::map<std::string, std::shared_ptr<void>> artifacts_;
-    std::size_t hits_ = 0;
-    std::size_t misses_ = 0;
+    mutable std::mutex mutex_;  ///< guards the cache maps and the counters
+    std::map<std::string, CacheEntry> artifacts_;
+    std::list<std::string> lru_;  ///< most-recently-used first
+    // Atomic so the counter accessors stay lock-free while workers are
+    // inside cached(); mutations still happen under mutex_.
+    std::atomic<std::size_t> hits_{0};
+    std::atomic<std::size_t> misses_{0};
+    std::atomic<std::size_t> evictions_{0};
 };
 
 /// The JSON envelope shared by every CLI front-end (`run`, bench binaries):
-/// {"experiments":[<RunResult>...],"cache":{"hits":..,"misses":..}}.
+/// {"experiments":[<RunResult>...],
+///  "cache":{"hits":..,"misses":..,"evictions":..,"entries":..}}.
 std::string to_json(const std::vector<RunResult>& results, const Session& session);
 
 }  // namespace snnfi::core

@@ -11,6 +11,7 @@
 //   snnfi::snn       — Diehl&Cook SNN training framework
 //   snnfi::data      — synthetic digits + MNIST IDX loader
 //   snnfi::attack    — fault models, VDD calibration, Attacks 1-5
+//   snnfi::fi        — generic fault library + sampled campaign engine
 //   snnfi::defense   — hardened circuits evaluation, detector, overheads
 //   snnfi::core      — Session engine + declarative scenario registry
 #pragma once
@@ -31,6 +32,9 @@
 #include "defense/defenses.hpp"      // IWYU pragma: export
 #include "defense/detector.hpp"      // IWYU pragma: export
 #include "defense/overhead.hpp"      // IWYU pragma: export
+#include "fi/campaign.hpp"           // IWYU pragma: export
+#include "fi/fault.hpp"              // IWYU pragma: export
+#include "fi/sites.hpp"              // IWYU pragma: export
 #include "snn/network.hpp"           // IWYU pragma: export
 #include "snn/trainer.hpp"           // IWYU pragma: export
 #include "spice/engine.hpp"          // IWYU pragma: export

@@ -1,0 +1,358 @@
+#include "fi/campaign.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/session.hpp"
+#include "snn/classifier.hpp"
+#include "util/random.hpp"
+#include "util/stats.hpp"
+
+namespace snnfi::fi {
+
+namespace {
+
+constexpr double kZ95 = 1.96;            ///< 95% normal CI quantile
+constexpr std::size_t kNumClasses = 10;  ///< digit workload
+/// Stream id offset separating replica rng seeds from everything else
+/// derived from the campaign seed.
+constexpr std::uint64_t kReplicaStream = 0x5EED0000;
+
+std::string yes_no(bool value) { return value ? "yes" : "no"; }
+
+/// Aggregation bucket label of a cell (sensitivity-map row key).
+std::string layer_label(const FaultSite& site) {
+    switch (site.kind) {
+        case SiteKind::kSynapse: return "input";
+        case SiteKind::kNeuron:
+        case SiteKind::kParameter:
+            switch (site.layer) {
+                case attack::TargetLayer::kExcitatory: return "excitatory";
+                case attack::TargetLayer::kInhibitory: return "inhibitory";
+                default: return "network";
+            }
+    }
+    return "?";
+}
+
+/// A clean (fault-free) inference pass over the eval subset with one
+/// replica's encoding stream: the classifier assignments and the paired
+/// reference accuracy for that stream.
+struct CleanReplica {
+    snn::ActivityClassifier classifier{1, kNumClasses};
+    double accuracy_pct = 0.0;
+    bool built = false;
+};
+
+}  // namespace
+
+std::string CampaignConfig::cache_key() const {
+    std::ostringstream os;
+    os << "models=";
+    for (const auto& model : models) os << model->name() << "+";
+    os << "|layers=";
+    for (const auto layer : sites.layers) os << attack::to_string(layer) << "+";
+    os << "|max_sites=" << sites.max_sites << "|site_seed=" << sites.sample_seed
+       << "|eval=" << eval_samples << "|seed=" << seed
+       << "|crit=" << critical_drop_pct << "|es=" << early_stop.enabled
+       << "," << early_stop.min_replicas << "," << early_stop.max_replicas
+       << "," << early_stop.ci_halfwidth_pct;
+    return os.str();
+}
+
+util::ResultTable CampaignResult::detail_table(const std::string& title) const {
+    util::ResultTable table(title, {"model", "site", "severity", "replicas",
+                                    "accuracy_pct", "drop_pct", "ci_halfwidth_pct",
+                                    "critical", "early_stopped", "mode"});
+    for (const auto& cell : cells) {
+        table.add_row({cell.model, cell.site.id(), cell.severity,
+                       static_cast<double>(cell.replicas), cell.accuracy_pct,
+                       cell.drop_pct, cell.ci_halfwidth_pct, yes_no(cell.critical),
+                       yes_no(cell.early_stopped),
+                       std::string(cell.trained ? "train" : "infer")});
+    }
+    return table;
+}
+
+util::ResultTable CampaignResult::sensitivity_map(const std::string& title) const {
+    struct Bucket {
+        std::string model;
+        std::string layer;
+        std::size_t cells = 0;
+        std::size_t critical = 0;
+        std::size_t replicas = 0;
+        double drop_sum = 0.0;
+        double drop_max = 0.0;
+    };
+    // First-appearance order: cells come out of the engine in fault-library
+    // taxonomy order, and the map rows should match.
+    std::vector<Bucket> buckets;
+    for (const auto& cell : cells) {
+        const std::string layer = layer_label(cell.site);
+        auto it = std::find_if(buckets.begin(), buckets.end(), [&](const Bucket& b) {
+            return b.model == cell.model && b.layer == layer;
+        });
+        if (it == buckets.end()) {
+            buckets.push_back(Bucket{cell.model, layer, 0, 0, 0, 0.0, 0.0});
+            it = std::prev(buckets.end());
+        }
+        ++it->cells;
+        it->critical += cell.critical ? 1 : 0;
+        it->replicas += cell.replicas;
+        it->drop_sum += cell.drop_pct;
+        it->drop_max = std::max(it->drop_max, cell.drop_pct);
+    }
+
+    util::ResultTable table(title, {"model", "layer", "cells", "mean_drop_pct",
+                                    "max_drop_pct", "critical_rate_pct",
+                                    "mean_replicas"});
+    for (const Bucket& bucket : buckets) {
+        const double n = static_cast<double>(bucket.cells);
+        table.add_row({bucket.model, bucket.layer, n, bucket.drop_sum / n,
+                       bucket.drop_max,
+                       100.0 * static_cast<double>(bucket.critical) / n,
+                       static_cast<double>(bucket.replicas) / n});
+    }
+    return table;
+}
+
+std::string CampaignResult::to_json() const {
+    std::ostringstream os;
+    os << "{\"baseline_accuracy_pct\":" << util::json_number(baseline_accuracy_pct)
+       << ",\"evaluations\":" << evaluations << ",\"trainings\":" << trainings
+       << ",\"cells\":[";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+        const CellResult& cell = cells[c];
+        if (c) os << ",";
+        os << "{\"model\":\"" << util::json_escape(cell.model) << "\",\"site\":\""
+           << util::json_escape(cell.site.id())
+           << "\",\"severity\":" << util::json_number(cell.severity)
+           << ",\"replicas\":" << cell.replicas
+           << ",\"accuracy_pct\":" << util::json_number(cell.accuracy_pct)
+           << ",\"drop_pct\":" << util::json_number(cell.drop_pct)
+           << ",\"ci_halfwidth_pct\":" << util::json_number(cell.ci_halfwidth_pct)
+           << ",\"critical\":" << (cell.critical ? "true" : "false")
+           << ",\"early_stopped\":" << (cell.early_stopped ? "true" : "false")
+           << ",\"trained\":" << (cell.trained ? "true" : "false") << "}";
+    }
+    os << "],\"sensitivity_map\":" << sensitivity_map("sensitivity map").to_json()
+       << "}";
+    return os.str();
+}
+
+CampaignEngine::CampaignEngine(core::Session& session, CampaignConfig config)
+    : session_(session), config_(std::move(config)) {
+    if (config_.models.empty()) config_.models = standard_fault_library();
+    if (config_.sites.layers.empty())
+        throw std::invalid_argument("CampaignConfig: no target layers");
+}
+
+std::shared_ptr<const CampaignResult> CampaignEngine::run() {
+    const core::RunOptions& options = session_.options();
+    std::ostringstream key;
+    key << "fi_campaign|" << config_.cache_key() << "|quick=" << options.quick
+        << "|samples=" << options.samples() << "|neurons=" << options.neurons()
+        << "|data_seed=" << options.data_seed
+        << "|network_seed=" << options.network_seed;
+    return session_.artifact<CampaignResult>(key.str(), [&] {
+        return std::make_shared<CampaignResult>(execute());
+    });
+}
+
+CampaignResult CampaignEngine::execute() {
+    auto suite = session_.attack_suite();
+    const bool quick = session_.options().quick;
+    const double baseline_pct = suite->baseline_accuracy() * 100.0;
+    const snn::NetworkState& baseline_state = suite->baseline_state();
+    const snn::Dataset& data = suite->dataset();
+    const snn::DiehlCookConfig network_config = suite->config().network;
+    const std::uint64_t network_seed = suite->config().network_seed;
+    const std::size_t eval_n =
+        std::min(config_.eval_samples == 0 ? data.size() : config_.eval_samples,
+                 data.size());
+    if (eval_n == 0) throw std::logic_error("fi campaign: empty eval set");
+
+    // One reference network for site enumeration (untrained is fine: the
+    // site space depends only on the topology).
+    snn::DiehlCookNetwork site_walker(network_config, network_seed);
+
+    // --- plan the site x model x severity grid --------------------------
+    CampaignResult result;
+    result.baseline_accuracy_pct = baseline_pct;
+    std::vector<std::size_t> training_cells;
+    std::vector<std::size_t> inference_cells;
+    // Model behind each cell (cells themselves only carry the name).
+    std::vector<const FaultModel*> cell_model;
+    for (const auto& model : config_.models) {
+        std::vector<FaultSite> sites;
+        if (model->network_wide()) {
+            FaultSite site;
+            site.kind = SiteKind::kParameter;
+            site.layer = attack::TargetLayer::kNone;
+            sites.push_back(site);
+        } else {
+            sites = enumerate_sites(site_walker, model->site_kind(), config_.sites);
+        }
+        for (const FaultSite& site : sites) {
+            for (const double severity : model->severity_grid(quick)) {
+                CellResult cell;
+                cell.model = model->name();
+                cell.site = site;
+                cell.severity = severity;
+                cell.trained = model->trains_under_fault();
+                (cell.trained ? training_cells : inference_cells)
+                    .push_back(result.cells.size());
+                result.cells.push_back(std::move(cell));
+                cell_model.push_back(model.get());
+            }
+        }
+    }
+
+    // --- drift models: train-under-fault through the AttackSuite --------
+    if (!training_cells.empty()) {
+        std::vector<attack::FaultSpec> faults;
+        faults.reserve(training_cells.size());
+        for (const std::size_t c : training_cells) {
+            faults.push_back(cell_model[c]->to_fault_spec(result.cells[c].site,
+                                                          result.cells[c].severity));
+        }
+        const std::vector<attack::AttackOutcome> outcomes = suite->run_many(faults);
+        for (std::size_t f = 0; f < training_cells.size(); ++f) {
+            CellResult& cell = result.cells[training_cells[f]];
+            cell.replicas = 1;
+            cell.accuracy_pct = outcomes[f].accuracy * 100.0;
+            cell.drop_pct = baseline_pct - cell.accuracy_pct;
+            cell.critical = cell.drop_pct > config_.critical_drop_pct;
+        }
+        result.trainings = training_cells.size();
+    }
+
+    // --- behavioural models: snapshot/restore inference path ------------
+    EarlyStopPolicy es = config_.early_stop;
+    // Quick mode always runs a fixed replica count: smoke runs and CI must
+    // be shape-stable, so early stopping never activates (documented
+    // invariant, enforced here rather than in every scenario config).
+    if (quick) es.enabled = false;
+    const std::size_t min_reps = std::max<std::size_t>(1, es.min_replicas);
+    const std::size_t max_reps =
+        es.enabled ? std::max(min_reps, es.max_replicas) : min_reps;
+
+    std::vector<CleanReplica> clean(max_reps);
+    const auto build_clean = [&](std::size_t replica) {
+        snn::DiehlCookNetwork network(network_config, network_seed);
+        network.restore_state(baseline_state);
+        network.set_learning(false);
+        network.rng().reseed(
+            util::derive_seed(config_.seed, kReplicaStream + replica));
+        snn::ActivityClassifier classifier(network_config.n_neurons, kNumClasses);
+        std::vector<snn::SampleActivity> activity;
+        activity.reserve(eval_n);
+        for (std::size_t i = 0; i < eval_n; ++i) {
+            activity.push_back(network.run_sample(data.images[i]));
+            classifier.accumulate(activity.back().exc_counts, data.labels[i]);
+        }
+        classifier.assign_labels();
+        std::size_t correct = 0;
+        for (std::size_t i = 0; i < eval_n; ++i) {
+            if (classifier.predict(activity[i].exc_counts) == data.labels[i])
+                ++correct;
+        }
+        CleanReplica& slot = clean[replica];
+        slot.classifier = std::move(classifier);
+        slot.accuracy_pct =
+            100.0 * static_cast<double>(correct) / static_cast<double>(eval_n);
+        slot.built = true;
+    };
+    const auto ensure_clean = [&](std::size_t replicas) {
+        std::vector<std::size_t> missing;
+        for (std::size_t r = 0; r < replicas; ++r) {
+            if (!clean[r].built) missing.push_back(r);
+        }
+        session_.pool().parallel_for(missing.size(),
+                                     [&](std::size_t m) { build_clean(missing[m]); });
+        result.evaluations += missing.size();
+    };
+
+    // Faulty evaluation of one cell under one replica's encoding stream;
+    // returns the paired (drop_pct, accuracy_pct).
+    const auto evaluate = [&](std::size_t c, std::size_t replica) {
+        snn::DiehlCookNetwork network(network_config, network_seed);
+        network.restore_state(baseline_state);
+        network.set_learning(false);
+        network.rng().reseed(
+            util::derive_seed(config_.seed, kReplicaStream + replica));
+        const CellResult& cell = result.cells[c];
+        cell_model[c]->inject(network, cell.site, cell.severity);
+        std::size_t correct = 0;
+        for (std::size_t i = 0; i < eval_n; ++i) {
+            const snn::SampleActivity activity = network.run_sample(data.images[i]);
+            if (clean[replica].classifier.predict(activity.exc_counts) ==
+                data.labels[i])
+                ++correct;
+        }
+        const double accuracy_pct =
+            100.0 * static_cast<double>(correct) / static_cast<double>(eval_n);
+        return std::pair<double, double>(clean[replica].accuracy_pct - accuracy_pct,
+                                         accuracy_pct);
+    };
+
+    // Per-cell replica outcomes, grown round by round. Every open cell has
+    // the same replica count each round, so rounds batch cleanly over the
+    // pool and seeds stay index-derived (deterministic for any worker
+    // count).
+    std::vector<std::vector<double>> drops(result.cells.size());
+    std::vector<std::vector<double>> accuracies(result.cells.size());
+    std::vector<std::size_t> open = inference_cells;
+    std::size_t replicas_done = 0;
+    while (!open.empty() && replicas_done < max_reps) {
+        const std::size_t round_replicas =
+            replicas_done == 0 ? min_reps : replicas_done + 1;
+        ensure_clean(round_replicas);
+        struct Task {
+            std::size_t cell;
+            std::size_t replica;
+        };
+        std::vector<Task> tasks;
+        for (const std::size_t c : open) {
+            for (std::size_t r = replicas_done; r < round_replicas; ++r)
+                tasks.push_back({c, r});
+        }
+        std::vector<std::pair<double, double>> outcomes(tasks.size());
+        session_.pool().parallel_for(tasks.size(), [&](std::size_t t) {
+            outcomes[t] = evaluate(tasks[t].cell, tasks[t].replica);
+        });
+        result.evaluations += tasks.size();
+        for (std::size_t t = 0; t < tasks.size(); ++t) {
+            drops[tasks[t].cell].push_back(outcomes[t].first);
+            accuracies[tasks[t].cell].push_back(outcomes[t].second);
+        }
+        replicas_done = round_replicas;
+
+        std::vector<std::size_t> still_open;
+        for (const std::size_t c : open) {
+            CellResult& cell = result.cells[c];
+            const std::size_t n = drops[c].size();
+            cell.replicas = n;
+            cell.drop_pct = util::mean(drops[c]);
+            cell.accuracy_pct = util::mean(accuracies[c]);
+            cell.ci_halfwidth_pct =
+                n > 1 ? kZ95 * util::stddev(drops[c]) / std::sqrt(static_cast<double>(n))
+                      : 0.0;
+            cell.critical = cell.drop_pct > config_.critical_drop_pct;
+            if (!es.enabled) continue;  // fixed replica count: cell is done
+            const bool tight = cell.ci_halfwidth_pct <= es.ci_halfwidth_pct;
+            if (tight && n < max_reps) {
+                cell.early_stopped = true;
+            } else if (!tight && n < max_reps) {
+                still_open.push_back(c);
+            }
+        }
+        open = std::move(still_open);
+    }
+    return result;
+}
+
+}  // namespace snnfi::fi

@@ -1,0 +1,113 @@
+// Campaign engine: plans site x model x severity grids and executes them
+// over the shared core::Session infrastructure.
+//
+// Execution strategy:
+//   * the attack-free baseline is trained once (Session artifact cache —
+//     the cache counters prove it) and its learned state is snapshotted;
+//   * inference-time models (stuck-at, bit-flip, dead/saturated neuron,
+//     refractory stretch) restore the snapshot per injection instead of
+//     retraining — a campaign of hundreds of injections costs one training
+//     run plus cheap forward passes;
+//   * drift models (trains_under_fault()) are routed through the
+//     AttackSuite's train-under-fault pipeline, so the paper's attacks
+//     fall out as special cases with identical numbers;
+//   * every injection is replicated over independent Poisson-encoding
+//     streams, paired with a clean run of the same stream; a cell stops
+//     early once the 95% CI of its accuracy drop is tight (statistical
+//     early stopping), bounded by max_replicas.
+//
+// All replica seeds are index-derived, so campaign output is byte-identical
+// for any worker count. Results cache in the Session keyed by the campaign
+// config, so several scenarios can present one campaign (detail table,
+// sensitivity map) without re-executing it.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "fi/fault.hpp"
+#include "fi/sites.hpp"
+#include "util/table.hpp"
+
+namespace snnfi::core {
+class Session;
+}
+
+namespace snnfi::fi {
+
+/// Statistical early stopping of a cell's replicas.
+struct EarlyStopPolicy {
+    bool enabled = true;
+    std::size_t min_replicas = 3;   ///< always run at least this many
+    std::size_t max_replicas = 10;  ///< hard cap per cell
+    /// Stop once the 95% CI halfwidth of the accuracy drop (percentage
+    /// points) falls below this.
+    double ci_halfwidth_pct = 1.5;
+};
+
+struct CampaignConfig {
+    /// Fault models to sweep; empty = the standard library.
+    std::vector<std::shared_ptr<const FaultModel>> models;
+    SitePlan sites;
+    /// Inference-evaluation subset size (clamped to the session dataset).
+    std::size_t eval_samples = 120;
+    std::uint64_t seed = 0xCA30;  ///< root of the replica seed streams
+    /// Mean drop beyond this many percentage points marks a cell critical.
+    double critical_drop_pct = 5.0;
+    EarlyStopPolicy early_stop;
+
+    /// Stable identity of this campaign for the Session artifact cache.
+    std::string cache_key() const;
+};
+
+/// One executed (model, site, severity) grid cell.
+struct CellResult {
+    std::string model;
+    FaultSite site;
+    double severity = 0.0;
+    std::size_t replicas = 0;
+    double accuracy_pct = 0.0;      ///< mean over replicas
+    double drop_pct = 0.0;          ///< clean-paired accuracy drop, mean
+    double ci_halfwidth_pct = 0.0;  ///< 95% CI halfwidth of the drop
+    bool critical = false;
+    bool early_stopped = false;  ///< CI criterion fired before max_replicas
+    bool trained = false;        ///< train-under-fault path (drift models)
+};
+
+struct CampaignResult {
+    double baseline_accuracy_pct = 0.0;  ///< trained baseline (online metric)
+    std::size_t evaluations = 0;  ///< inference passes (clean + faulty)
+    std::size_t trainings = 0;    ///< train-under-fault runs (excl. baseline)
+    std::vector<CellResult> cells;
+
+    /// Per-cell table: one row per (model, site, severity).
+    util::ResultTable detail_table(const std::string& title) const;
+    /// Per-layer sensitivity map: mean/max drop and critical-fault rate
+    /// aggregated per (model, layer).
+    util::ResultTable sensitivity_map(const std::string& title) const;
+    /// Full structured form: baseline, counters, cells, sensitivity map.
+    std::string to_json() const;
+};
+
+class CampaignEngine {
+public:
+    /// The session provides the thread pool, the cached trained baseline
+    /// and the result cache; it must outlive the engine.
+    CampaignEngine(core::Session& session, CampaignConfig config);
+
+    const CampaignConfig& config() const noexcept { return config_; }
+
+    /// Runs the campaign, or returns the session-cached result of an
+    /// identical earlier run.
+    std::shared_ptr<const CampaignResult> run();
+
+private:
+    CampaignResult execute();
+
+    core::Session& session_;
+    CampaignConfig config_;
+};
+
+}  // namespace snnfi::fi

@@ -1,0 +1,258 @@
+#include "fi/fault.hpp"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+#include <stdexcept>
+
+namespace snnfi::fi {
+
+const char* to_string(SiteKind kind) {
+    switch (kind) {
+        case SiteKind::kNeuron: return "neuron";
+        case SiteKind::kSynapse: return "synapse";
+        case SiteKind::kParameter: return "parameter";
+    }
+    return "?";
+}
+
+namespace {
+
+const char* layer_prefix(attack::TargetLayer layer) {
+    switch (layer) {
+        case attack::TargetLayer::kExcitatory: return "exc";
+        case attack::TargetLayer::kInhibitory: return "inh";
+        case attack::TargetLayer::kBoth: return "both";
+        case attack::TargetLayer::kNone: return "net";
+    }
+    return "?";
+}
+
+}  // namespace
+
+std::string FaultSite::id() const {
+    std::ostringstream os;
+    switch (kind) {
+        case SiteKind::kNeuron:
+            os << layer_prefix(layer) << ".n" << neuron;
+            break;
+        case SiteKind::kSynapse:
+            os << "syn.w" << pre << "." << post;
+            break;
+        case SiteKind::kParameter:
+            os << layer_prefix(layer) << ".param";
+            break;
+    }
+    return os.str();
+}
+
+std::vector<double> FaultModel::severity_grid(bool) const { return {1.0}; }
+
+attack::FaultSpec FaultModel::to_fault_spec(const FaultSite&, double) const {
+    throw std::logic_error(std::string("fault model '") + name() +
+                           "' has no FaultSpec form (not a drift model)");
+}
+
+snn::LifLayer& layer_of(snn::DiehlCookNetwork& network, attack::TargetLayer layer) {
+    switch (layer) {
+        case attack::TargetLayer::kExcitatory: return network.excitatory();
+        case attack::TargetLayer::kInhibitory: return network.inhibitory();
+        default:
+            throw std::invalid_argument(
+                "layer_of: site must address one concrete layer");
+    }
+}
+
+float flip_weight_bit(float value, unsigned bit) {
+    if (bit > 31) throw std::invalid_argument("flip_weight_bit: bit > 31");
+    std::uint32_t word = 0;
+    std::memcpy(&word, &value, sizeof(word));
+    word ^= (std::uint32_t{1} << bit);
+    std::memcpy(&value, &word, sizeof(word));
+    return value;
+}
+
+namespace {
+
+float& weight_at(snn::DiehlCookNetwork& network, const FaultSite& site) {
+    if (site.kind != SiteKind::kSynapse)
+        throw std::invalid_argument("weight fault needs a synapse site");
+    return network.input_connection().weights().at(site.pre, site.post);
+}
+
+std::size_t neuron_at(snn::DiehlCookNetwork& network, const FaultSite& site) {
+    if (site.kind != SiteKind::kNeuron)
+        throw std::invalid_argument("neuron fault needs a neuron site");
+    if (site.neuron >= layer_of(network, site.layer).size())
+        throw std::out_of_range("neuron site index out of range");
+    return site.neuron;
+}
+
+}  // namespace
+
+// --- StuckAtWeightFault --------------------------------------------------
+
+const char* StuckAtWeightFault::description() const {
+    return stuck_high_ ? "synaptic weight cell stuck at wmax"
+                       : "synaptic weight cell stuck at wmin";
+}
+
+void StuckAtWeightFault::inject(snn::DiehlCookNetwork& network,
+                                const FaultSite& site, double) const {
+    const snn::StdpParams& stdp = network.input_connection().params();
+    weight_at(network, site) = stuck_high_ ? stdp.wmax : stdp.wmin;
+}
+
+// --- BitFlipWeightFault --------------------------------------------------
+
+const char* BitFlipWeightFault::description() const {
+    return "one bit of the float32 weight word flipped (severity = bit)";
+}
+
+std::vector<double> BitFlipWeightFault::severity_grid(bool quick) const {
+    // Sign, exponent MSB/LSB, mantissa MSB/mid/LSB — the spread NeuroAttack
+    // style bit-flip studies care about.
+    if (quick) return {30, 22};
+    return {31, 30, 23, 22, 15, 0};
+}
+
+void BitFlipWeightFault::inject(snn::DiehlCookNetwork& network,
+                                const FaultSite& site, double severity) const {
+    const double rounded = std::round(severity);
+    if (rounded < 0.0 || rounded > 31.0)
+        throw std::invalid_argument("bit_flip severity must be a bit index 0..31");
+    float& w = weight_at(network, site);
+    w = flip_weight_bit(w, static_cast<unsigned>(rounded));
+}
+
+// --- DeadNeuronFault -----------------------------------------------------
+
+const char* DeadNeuronFault::description() const {
+    return "neuron output stuck low: never fires";
+}
+
+void DeadNeuronFault::inject(snn::DiehlCookNetwork& network, const FaultSite& site,
+                             double) const {
+    const std::size_t mask[] = {neuron_at(network, site)};
+    layer_of(network, site.layer).apply_forced_state(mask, snn::NeuronFault::kDead);
+}
+
+// --- SaturatedNeuronFault ------------------------------------------------
+
+const char* SaturatedNeuronFault::description() const {
+    return "neuron output stuck oscillating: fires on every step";
+}
+
+void SaturatedNeuronFault::inject(snn::DiehlCookNetwork& network,
+                                  const FaultSite& site, double) const {
+    const std::size_t mask[] = {neuron_at(network, site)};
+    layer_of(network, site.layer)
+        .apply_forced_state(mask, snn::NeuronFault::kSaturated);
+}
+
+// --- RefractoryStretchFault ----------------------------------------------
+
+const char* RefractoryStretchFault::description() const {
+    return "refractory period stretched (severity = multiplier)";
+}
+
+std::vector<double> RefractoryStretchFault::severity_grid(bool quick) const {
+    if (quick) return {8.0};
+    return {2.0, 4.0, 8.0};
+}
+
+void RefractoryStretchFault::inject(snn::DiehlCookNetwork& network,
+                                    const FaultSite& site, double severity) const {
+    if (severity < 0.0)
+        throw std::invalid_argument("refractory_stretch severity must be >= 0");
+    snn::LifLayer& layer = layer_of(network, site.layer);
+    const std::size_t mask[] = {neuron_at(network, site)};
+    const int steps = static_cast<int>(
+        std::lround(severity * static_cast<double>(layer.params().refrac_steps)));
+    layer.apply_refractory_override(mask, steps);
+}
+
+// --- ThresholdDriftFault -------------------------------------------------
+
+const char* ThresholdDriftFault::description() const {
+    return "layer-wide threshold drift (paper attacks 2-4; severity = delta)";
+}
+
+std::vector<double> ThresholdDriftFault::severity_grid(bool quick) const {
+    // The grid of the paper's threshold scenarios (figs. 8a-8c).
+    if (quick) return {-0.2, 0.2};
+    return {-0.2, -0.1, 0.1, 0.2};
+}
+
+attack::FaultSpec ThresholdDriftFault::to_fault_spec(const FaultSite& site,
+                                                     double severity) const {
+    attack::FaultSpec spec;
+    spec.layer = site.layer;
+    spec.fraction = 1.0;
+    spec.threshold_delta = severity;
+    spec.semantics = attack::ThresholdSemantics::kBindsNetValue;
+    return spec;
+}
+
+void ThresholdDriftFault::inject(snn::DiehlCookNetwork& network,
+                                 const FaultSite& site, double severity) const {
+    if (site.kind != SiteKind::kParameter)
+        throw std::invalid_argument("threshold_drift needs a parameter site");
+    snn::LifLayer& layer = layer_of(network, site.layer);
+    std::vector<std::size_t> all(layer.size());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    layer.apply_threshold_value_delta(all, static_cast<float>(severity));
+}
+
+// --- DriverGainDriftFault ------------------------------------------------
+
+const char* DriverGainDriftFault::description() const {
+    return "input-driver theta drift (paper attack 1; severity = delta)";
+}
+
+std::vector<double> DriverGainDriftFault::severity_grid(bool quick) const {
+    // Identical to the fig7b scenario grids so the campaign's drift rows
+    // reproduce the published attack-1 numbers exactly.
+    if (quick) return {-0.2, 0.2};
+    return {-0.2, -0.1, -0.05, 0.05, 0.1, 0.2};
+}
+
+attack::FaultSpec DriverGainDriftFault::to_fault_spec(const FaultSite&,
+                                                      double severity) const {
+    attack::FaultSpec spec;
+    spec.layer = attack::TargetLayer::kNone;
+    spec.driver_gain = 1.0 + severity;
+    return spec;
+}
+
+void DriverGainDriftFault::inject(snn::DiehlCookNetwork& network,
+                                  const FaultSite& site, double severity) const {
+    if (site.kind != SiteKind::kParameter)
+        throw std::invalid_argument("driver_gain_drift needs a parameter site");
+    network.set_driver_gain(static_cast<float>(1.0 + severity));
+}
+
+// --- library -------------------------------------------------------------
+
+const std::vector<std::shared_ptr<const FaultModel>>& standard_fault_library() {
+    static const std::vector<std::shared_ptr<const FaultModel>> library = {
+        std::make_shared<StuckAtWeightFault>(false),
+        std::make_shared<StuckAtWeightFault>(true),
+        std::make_shared<BitFlipWeightFault>(),
+        std::make_shared<DeadNeuronFault>(),
+        std::make_shared<SaturatedNeuronFault>(),
+        std::make_shared<RefractoryStretchFault>(),
+        std::make_shared<ThresholdDriftFault>(),
+        std::make_shared<DriverGainDriftFault>(),
+    };
+    return library;
+}
+
+std::shared_ptr<const FaultModel> find_fault_model(const std::string& name) {
+    for (const auto& model : standard_fault_library()) {
+        if (name == model->name()) return model;
+    }
+    throw std::invalid_argument("unknown fault model: " + name);
+}
+
+}  // namespace snnfi::fi

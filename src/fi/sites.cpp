@@ -1,0 +1,112 @@
+#include "fi/sites.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "util/random.hpp"
+
+namespace snnfi::fi {
+
+namespace {
+
+std::size_t layer_size(const snn::DiehlCookNetwork& network,
+                       attack::TargetLayer layer) {
+    switch (layer) {
+        case attack::TargetLayer::kExcitatory: return network.excitatory().size();
+        case attack::TargetLayer::kInhibitory: return network.inhibitory().size();
+        default:
+            throw std::invalid_argument(
+                "site enumeration: plan layers must be concrete");
+    }
+}
+
+/// Keeps `max` of `sites`, drawn with `seed`, preserving enumeration order.
+std::vector<FaultSite> subsample(std::vector<FaultSite> sites, std::size_t max,
+                                 std::uint64_t seed) {
+    if (max == 0 || sites.size() <= max) return sites;
+    util::Rng rng(util::derive_seed(seed, sites.size()));
+    std::vector<std::size_t> keep = rng.sample_indices(sites.size(), max);
+    std::sort(keep.begin(), keep.end());
+    std::vector<FaultSite> sampled;
+    sampled.reserve(keep.size());
+    for (const std::size_t index : keep) sampled.push_back(sites[index]);
+    return sampled;
+}
+
+std::vector<FaultSite> neuron_sites_of(attack::TargetLayer layer, std::size_t n) {
+    std::vector<FaultSite> sites;
+    sites.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        FaultSite site;
+        site.kind = SiteKind::kNeuron;
+        site.layer = layer;
+        site.neuron = i;
+        sites.push_back(site);
+    }
+    return sites;
+}
+
+}  // namespace
+
+std::size_t site_space_size(const snn::DiehlCookNetwork& network, SiteKind kind,
+                            const SitePlan& plan) {
+    switch (kind) {
+        case SiteKind::kNeuron: {
+            std::size_t total = 0;
+            for (const auto layer : plan.layers) total += layer_size(network, layer);
+            return total;
+        }
+        case SiteKind::kSynapse: {
+            const auto& weights = network.input_connection().weights();
+            return weights.rows() * weights.cols();
+        }
+        case SiteKind::kParameter:
+            return plan.layers.size();
+    }
+    return 0;
+}
+
+std::vector<FaultSite> enumerate_sites(const snn::DiehlCookNetwork& network,
+                                       SiteKind kind, const SitePlan& plan) {
+    std::vector<FaultSite> sites;
+    sites.reserve(std::min<std::size_t>(site_space_size(network, kind, plan), 4096));
+    switch (kind) {
+        case SiteKind::kNeuron: {
+            // Stratified: the cap applies per layer (independent seeded
+            // draw each), so a small campaign still touches every layer.
+            std::uint64_t stream = 0;
+            for (const auto layer : plan.layers) {
+                auto layer_sites = subsample(
+                    neuron_sites_of(layer, layer_size(network, layer)),
+                    plan.max_sites, util::derive_seed(plan.sample_seed, ++stream));
+                sites.insert(sites.end(), layer_sites.begin(), layer_sites.end());
+            }
+            return sites;
+        }
+        case SiteKind::kSynapse: {
+            const auto& weights = network.input_connection().weights();
+            for (std::size_t pre = 0; pre < weights.rows(); ++pre) {
+                for (std::size_t post = 0; post < weights.cols(); ++post) {
+                    FaultSite site;
+                    site.kind = SiteKind::kSynapse;
+                    site.layer = attack::TargetLayer::kNone;
+                    site.pre = pre;
+                    site.post = post;
+                    sites.push_back(site);
+                }
+            }
+            break;
+        }
+        case SiteKind::kParameter:
+            for (const auto layer : plan.layers) {
+                FaultSite site;
+                site.kind = SiteKind::kParameter;
+                site.layer = layer;
+                sites.push_back(site);
+            }
+            break;
+    }
+    return subsample(std::move(sites), plan.max_sites, plan.sample_seed);
+}
+
+}  // namespace snnfi::fi

@@ -1,0 +1,48 @@
+// Fault-site enumeration: walks a DiehlCookNetwork and yields every
+// addressable site of a kind, in a deterministic order, with seeded
+// subsampling when the full space (78 400 synapses for the paper topology)
+// is larger than a campaign wants to visit.
+//
+// Ordering guarantees (the basis of reproducible campaigns):
+//   * neuron sites:   plan.layers order, then neuron index ascending;
+//   * synapse sites:  row-major over the input->EL weight matrix;
+//   * parameter sites: plan.layers order (drift models may override this
+//     with a single network-wide site).
+// Subsampling draws from util::Rng (xoshiro256++) with plan.sample_seed and
+// keeps the enumeration order of the survivors, so the same seed always
+// selects the same sites regardless of worker count or platform.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "fi/fault.hpp"
+
+namespace snnfi::fi {
+
+/// Which slice of the site space a campaign visits.
+struct SitePlan {
+    /// Layers neuron/parameter sites enumerate over, in order.
+    std::vector<attack::TargetLayer> layers = {attack::TargetLayer::kExcitatory,
+                                               attack::TargetLayer::kInhibitory};
+    /// Cap on enumerated sites; 0 = the full space. For neuron sites the
+    /// cap applies *per layer* (stratified, so every planned layer stays
+    /// represented); for synapse sites it caps the whole weight matrix.
+    std::size_t max_sites = 0;
+    /// Seed of the subsampling draw (only used when the space exceeds
+    /// max_sites).
+    std::uint64_t sample_seed = 0xF1;
+};
+
+/// Size of the full (un-subsampled) site space for a kind under a plan.
+std::size_t site_space_size(const snn::DiehlCookNetwork& network, SiteKind kind,
+                            const SitePlan& plan);
+
+/// Enumerates (and, when needed, subsamples) the site space. The result is
+/// deterministic: complete and ordered when the space fits max_sites,
+/// otherwise a seeded sample that preserves enumeration order.
+std::vector<FaultSite> enumerate_sites(const snn::DiehlCookNetwork& network,
+                                       SiteKind kind, const SitePlan& plan);
+
+}  // namespace snnfi::fi

@@ -69,4 +69,24 @@ void DiehlCookNetwork::clear_faults() {
     driver_gain_ = 1.0f;
 }
 
+NetworkState DiehlCookNetwork::capture_state() const {
+    NetworkState state;
+    state.input_weights = input_to_exc_->weights();
+    state.exc_theta.assign(excitatory_->theta().begin(), excitatory_->theta().end());
+    return state;
+}
+
+void DiehlCookNetwork::restore_state(const NetworkState& state) {
+    if (state.input_weights.rows() != config_.n_input ||
+        state.input_weights.cols() != config_.n_neurons ||
+        state.exc_theta.size() != config_.n_neurons)
+        throw std::invalid_argument("restore_state: shape mismatch");
+    input_to_exc_->weights() = state.input_weights;
+    input_to_exc_->reset_traces();
+    excitatory_->set_theta(state.exc_theta);
+    clear_faults();
+    excitatory_->reset_state();
+    inhibitory_->reset_state();
+}
+
 }  // namespace snnfi::snn

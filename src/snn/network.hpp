@@ -40,6 +40,15 @@ struct SampleActivity {
     std::size_t total_inh_spikes = 0;
 };
 
+/// The learned state of a DiehlCookNetwork: everything training produces.
+/// Capturing it after baseline training and restoring it before each fault
+/// injection replaces a full retrain with a memcpy-sized operation — the
+/// fast path of the src/fi campaign engine.
+struct NetworkState {
+    Matrix input_weights;          ///< input->EL STDP-learned weights
+    std::vector<float> exc_theta;  ///< EL homeostatic adaptive thresholds
+};
+
 class DiehlCookNetwork {
 public:
     DiehlCookNetwork(DiehlCookConfig config, std::uint64_t seed);
@@ -50,6 +59,7 @@ public:
     const DiehlCookLayer& excitatory() const noexcept { return *excitatory_; }
     const LifLayer& inhibitory() const noexcept { return *inhibitory_; }
     DenseConnection& input_connection() noexcept { return *input_to_exc_; }
+    const DenseConnection& input_connection() const noexcept { return *input_to_exc_; }
 
     void set_learning(bool enabled) { input_to_exc_->set_learning(enabled); }
     bool learning_enabled() const { return input_to_exc_->learning_enabled(); }
@@ -66,6 +76,13 @@ public:
 
     /// Clears all neuron fault masks and the driver gain.
     void clear_faults();
+
+    /// Captures the learned state (weights + adaptive thresholds).
+    NetworkState capture_state() const;
+    /// Restores a captured state: learned weights and theta come back
+    /// bit-exact; dynamic state, traces and all fault masks are cleared.
+    /// Throws std::invalid_argument on a shape mismatch.
+    void restore_state(const NetworkState& state);
 
     util::Rng& rng() noexcept { return rng_; }
 

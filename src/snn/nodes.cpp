@@ -13,6 +13,8 @@ LifLayer::LifLayer(std::size_t n, LifParams params) : n_(n), params_(params) {
     refrac_.assign(n_, 0);
     thresh_scale_.assign(n_, 1.0f);
     input_gain_.assign(n_, 1.0f);
+    forced_.assign(n_, static_cast<std::uint8_t>(NeuronFault::kNominal));
+    refrac_override_.assign(n_, -1);
 }
 
 float LifLayer::effective_threshold(std::size_t i) const {
@@ -25,6 +27,16 @@ std::size_t LifLayer::step(std::span<const float> input,
     spiked.assign(n_, 0);
     std::size_t count = 0;
     for (std::size_t i = 0; i < n_; ++i) {
+        if (forced_[i] == static_cast<std::uint8_t>(NeuronFault::kDead)) {
+            v_[i] = params_.v_rest;
+            continue;
+        }
+        if (forced_[i] == static_cast<std::uint8_t>(NeuronFault::kSaturated)) {
+            spiked[i] = 1;
+            ++count;
+            v_[i] = params_.v_reset;
+            continue;
+        }
         if (refrac_[i] > 0) {
             --refrac_[i];
             v_[i] = params_.v_reset;
@@ -37,7 +49,7 @@ std::size_t LifLayer::step(std::span<const float> input,
             spiked[i] = 1;
             ++count;
             v_[i] = params_.v_reset;
-            refrac_[i] = params_.refrac_steps;
+            refrac_[i] = refractory_steps(i);
         }
     }
     return count;
@@ -69,9 +81,24 @@ void LifLayer::apply_input_gain(std::span<const std::size_t> neurons, float gain
     for (const std::size_t i : neurons) input_gain_.at(i) = gain;
 }
 
+void LifLayer::apply_forced_state(std::span<const std::size_t> neurons,
+                                  NeuronFault state) {
+    for (const std::size_t i : neurons)
+        forced_.at(i) = static_cast<std::uint8_t>(state);
+}
+
+void LifLayer::apply_refractory_override(std::span<const std::size_t> neurons,
+                                         int steps) {
+    if (steps < 0)
+        throw std::invalid_argument("LifLayer: negative refractory override");
+    for (const std::size_t i : neurons) refrac_override_.at(i) = steps;
+}
+
 void LifLayer::clear_faults() {
     thresh_scale_.assign(n_, 1.0f);
     input_gain_.assign(n_, 1.0f);
+    forced_.assign(n_, static_cast<std::uint8_t>(NeuronFault::kNominal));
+    refrac_override_.assign(n_, -1);
 }
 
 DiehlCookLayer::DiehlCookLayer(std::size_t n, DiehlCookParams params)
@@ -96,6 +123,17 @@ std::size_t DiehlCookLayer::step(std::span<const float> input,
     std::size_t count = 0;
     for (std::size_t i = 0; i < n_; ++i) {
         theta_[i] *= theta_decay_factor_;
+        if (forced_[i] == static_cast<std::uint8_t>(NeuronFault::kDead)) {
+            v_[i] = params_.v_rest;
+            continue;
+        }
+        if (forced_[i] == static_cast<std::uint8_t>(NeuronFault::kSaturated)) {
+            spiked[i] = 1;
+            ++count;
+            v_[i] = params_.v_reset;
+            theta_[i] += dc_params_.theta_plus;
+            continue;
+        }
         if (refrac_[i] > 0) {
             --refrac_[i];
             v_[i] = params_.v_reset;
@@ -107,11 +145,17 @@ std::size_t DiehlCookLayer::step(std::span<const float> input,
             spiked[i] = 1;
             ++count;
             v_[i] = params_.v_reset;
-            refrac_[i] = params_.refrac_steps;
+            refrac_[i] = refractory_steps(i);
             theta_[i] += dc_params_.theta_plus;
         }
     }
     return count;
+}
+
+void DiehlCookLayer::set_theta(std::span<const float> theta) {
+    if (theta.size() != n_)
+        throw std::invalid_argument("DiehlCookLayer::set_theta: size mismatch");
+    theta_.assign(theta.begin(), theta.end());
 }
 
 void DiehlCookLayer::reset_adaptation() { theta_.assign(n_, 0.0f); }

@@ -1,13 +1,16 @@
 // Spiking neuron layers: LIF and Diehl&Cook adaptive-threshold LIF.
 //
 // Voltages follow BindsNET's millivolt conventions (rest -65 mV etc.).
-// Fault-injection hooks expose exactly the two circuit parameters the paper
-// attacks:
+// Fault-injection hooks cover the paper's two attacked circuit parameters
+// plus the behavioural faults of the src/fi campaign library:
 //   * per-neuron threshold scaling — applied to the rest-to-threshold
 //     distance, preserving the circuit semantics that a lower VDD lowers
 //     the threshold and makes the neuron fire sooner (DESIGN.md §4);
 //   * per-neuron input gain — the paper's "theta", the membrane voltage
-//     change per input spike, corrupted through the current drivers.
+//     change per input spike, corrupted through the current drivers;
+//   * per-neuron forced state — dead (output stuck low) or saturated
+//     (output stuck oscillating, i.e. fires every step);
+//   * per-neuron refractory override — a stretched recovery period.
 #pragma once
 
 #include <cstdint>
@@ -15,6 +18,13 @@
 #include <vector>
 
 namespace snnfi::snn {
+
+/// Behavioural per-neuron fault state (src/fi fault library).
+enum class NeuronFault : std::uint8_t {
+    kNominal = 0,
+    kDead = 1,       ///< output stuck low: the neuron never fires
+    kSaturated = 2,  ///< output stuck oscillating: fires on every step
+};
 
 struct LifParams {
     float v_rest = -65.0f;
@@ -59,11 +69,24 @@ public:
     /// Scales the synaptic drive seen by the selected neurons (paper's
     /// theta / membrane-voltage-change-per-spike corruption).
     void apply_input_gain(std::span<const std::size_t> neurons, float gain);
+    /// Forces the selected neurons dead (never fire) or saturated (fire on
+    /// every step, bypassing integration and refractoriness).
+    void apply_forced_state(std::span<const std::size_t> neurons, NeuronFault state);
+    /// Overrides the refractory period of the selected neurons (in steps;
+    /// must be >= 0). Used by the refractory-stretch fault model.
+    void apply_refractory_override(std::span<const std::size_t> neurons, int steps);
     /// Clears all fault masks back to nominal.
     void clear_faults();
 
     float threshold_scale(std::size_t i) const { return thresh_scale_[i]; }
     float input_gain(std::size_t i) const { return input_gain_[i]; }
+    NeuronFault forced_state(std::size_t i) const {
+        return static_cast<NeuronFault>(forced_[i]);
+    }
+    /// Effective refractory period of neuron i (incl. overrides).
+    int refractory_steps(std::size_t i) const {
+        return refrac_override_[i] >= 0 ? refrac_override_[i] : params_.refrac_steps;
+    }
 
     std::span<const float> voltages() const noexcept { return v_; }
     /// Effective firing threshold of neuron i (incl. faults; excl. theta).
@@ -77,6 +100,8 @@ protected:
     std::vector<std::int32_t> refrac_;
     std::vector<float> thresh_scale_;
     std::vector<float> input_gain_;
+    std::vector<std::uint8_t> forced_;          ///< NeuronFault per neuron
+    std::vector<std::int32_t> refrac_override_; ///< -1 = nominal period
 };
 
 struct DiehlCookParams {
@@ -99,6 +124,8 @@ public:
                      std::vector<std::uint8_t>& spiked) override;
     float effective_threshold(std::size_t i) const override;
     std::span<const float> theta() const noexcept { return theta_; }
+    /// Restores a previously captured adaptation state (snapshot/restore).
+    void set_theta(std::span<const float> theta);
     void reset_adaptation();
 
 private:

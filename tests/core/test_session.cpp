@@ -142,5 +142,55 @@ TEST(Session, ArtifactAccessorsCountHitsAndMisses) {
     EXPECT_EQ(suite_a.get(), suite_b.get());
 }
 
+TEST(Session, GenericArtifactSlotSharesTheCache) {
+    Session session(tiny_options());
+    int builds = 0;
+    const auto make = [&]() {
+        ++builds;
+        return std::make_shared<int>(42);
+    };
+    const auto first = session.artifact<int>("answer", make);
+    const auto second = session.artifact<int>("answer", make);
+    EXPECT_EQ(builds, 1);
+    EXPECT_EQ(first.get(), second.get());
+    EXPECT_EQ(*second, 42);
+    EXPECT_EQ(session.cache_hits(), 1u);
+    EXPECT_EQ(session.cache_misses(), 1u);
+}
+
+TEST(Session, CacheCapacityEvictsLeastRecentlyUsed) {
+    RunOptions options = tiny_options();
+    options.cache_capacity = 2;
+    Session session(options);
+    const auto build_tag = [&](const std::string& key) {
+        return session.artifact<std::string>(
+            key, [&] { return std::make_shared<std::string>(key); });
+    };
+    build_tag("a");
+    build_tag("b");
+    EXPECT_EQ(session.cache_entries(), 2u);
+    EXPECT_EQ(session.cache_evictions(), 0u);
+
+    build_tag("a");        // refresh 'a': now 'b' is the LRU entry
+    build_tag("c");        // exceeds the cap -> evicts 'b'
+    EXPECT_EQ(session.cache_entries(), 2u);
+    EXPECT_EQ(session.cache_evictions(), 1u);
+
+    const std::size_t misses_before = session.cache_misses();
+    build_tag("a");  // still cached
+    EXPECT_EQ(session.cache_misses(), misses_before);
+    build_tag("b");  // was evicted -> rebuilt
+    EXPECT_EQ(session.cache_misses(), misses_before + 1);
+    EXPECT_EQ(session.cache_evictions(), 2u);  // rebuilding 'b' evicted 'c'
+}
+
+TEST(Session, JsonEnvelopeCarriesCacheCounters) {
+    Session session(tiny_options());
+    (void)session.characterizer();
+    const std::string json = to_json({}, session);
+    EXPECT_NE(json.find("\"evictions\":0"), std::string::npos);
+    EXPECT_NE(json.find("\"entries\":1"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace snnfi::core

@@ -1,0 +1,105 @@
+// Campaign engine behaviour through a real (tiny) Session: baseline reuse,
+// quick-mode early-stopping guarantees, worker-count determinism, and the
+// paper's attack 1 falling out of the drift model with identical numbers.
+#include "fi/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/session.hpp"
+
+namespace snnfi::fi {
+namespace {
+
+core::RunOptions tiny_options(std::size_t workers = 1) {
+    core::RunOptions options;
+    options.quick = true;
+    options.train_samples = 60;
+    options.n_neurons = 16;
+    options.eval_window = 30;
+    options.max_workers = workers;
+    return options;
+}
+
+CampaignConfig tiny_config() {
+    CampaignConfig config;
+    config.models = {find_fault_model("dead_neuron"), find_fault_model("stuck_at_0")};
+    config.sites.max_sites = 2;
+    config.eval_samples = 20;
+    config.early_stop.enabled = false;
+    config.early_stop.min_replicas = 2;
+    return config;
+}
+
+TEST(Campaign, QuickModeNeverEarlyStopsAndRunsFixedReplicas) {
+    core::Session session(tiny_options());
+    CampaignEngine engine(session, tiny_config());
+    const auto campaign = engine.run();
+    ASSERT_FALSE(campaign->cells.empty());
+    for (const auto& cell : campaign->cells) {
+        EXPECT_FALSE(cell.early_stopped) << cell.site.id();
+        EXPECT_EQ(cell.replicas, 2u) << cell.site.id();
+        EXPECT_FALSE(cell.trained);
+    }
+    EXPECT_EQ(campaign->trainings, 0u);
+    EXPECT_GT(campaign->evaluations, 0u);
+}
+
+TEST(Campaign, ResultIsSessionCachedAndBaselineTrainsOnce) {
+    core::Session session(tiny_options());
+    CampaignEngine first(session, tiny_config());
+    const auto a = first.run();
+    const std::size_t misses_after_first = session.cache_misses();
+
+    CampaignEngine second(session, tiny_config());
+    const auto b = second.run();
+    EXPECT_EQ(a.get(), b.get());  // same artifact, no re-execution
+    EXPECT_EQ(session.cache_misses(), misses_after_first);
+
+    // The smoke scenario rides the same machinery end-to-end.
+    const core::RunResult smoke = session.run("fi.smoke");
+    EXPECT_GT(smoke.table.num_rows(), 0u);
+    const core::RunResult again = session.run("fi.smoke");
+    EXPECT_EQ(again.cache_misses, 0u);  // campaign + baseline fully reused
+    EXPECT_GE(again.cache_hits, 1u);
+}
+
+TEST(Campaign, DeterministicAcrossWorkerCounts) {
+    const auto render = [](std::size_t workers) {
+        core::Session session(tiny_options(workers));
+        CampaignEngine engine(session, tiny_config());
+        return engine.run()->detail_table("campaign").to_csv() +
+               engine.run()->sensitivity_map("map").to_csv();
+    };
+    EXPECT_EQ(render(1), render(4));
+}
+
+TEST(Campaign, DriverGainDriftReproducesAttack1Numbers) {
+    core::Session session(tiny_options());
+
+    // The paper scenario (fig7b, quick grid: theta -20% / +20%)...
+    const core::RunResult fig7b = session.run("fig7b");
+    ASSERT_EQ(fig7b.table.num_rows(), 2u);
+
+    // ...and the same attack expressed as the parametric drift model.
+    CampaignConfig config;
+    config.models = {find_fault_model("driver_gain_drift")};
+    config.eval_samples = 20;
+    config.early_stop.enabled = false;
+    config.early_stop.min_replicas = 1;
+    CampaignEngine engine(session, config);
+    const auto campaign = engine.run();
+    ASSERT_EQ(campaign->cells.size(), 2u);
+
+    for (std::size_t row = 0; row < 2; ++row) {
+        const CellResult& cell = campaign->cells[row];
+        EXPECT_TRUE(cell.trained);
+        EXPECT_DOUBLE_EQ(cell.severity * 100.0, fig7b.table.number_at(row, 0));
+        // Acceptance bound is 1%; sharing the Session's cached suite makes
+        // the numbers identical in practice.
+        EXPECT_NEAR(cell.accuracy_pct, fig7b.table.number_at(row, 1), 1.0);
+        EXPECT_NEAR(cell.accuracy_pct, fig7b.table.number_at(row, 1), 1e-9);
+    }
+}
+
+}  // namespace
+}  // namespace snnfi::fi

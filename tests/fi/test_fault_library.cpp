@@ -1,0 +1,179 @@
+// The fault library: taxonomy integrity, bit-exact injection round trips,
+// behavioural hooks, and the drift models' FaultSpec equivalence.
+#include "fi/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <set>
+
+#include "snn/nodes.hpp"
+
+namespace snnfi::fi {
+namespace {
+
+snn::DiehlCookNetwork small_network() {
+    snn::DiehlCookConfig config;
+    config.n_input = 12;
+    config.n_neurons = 5;
+    return snn::DiehlCookNetwork(config, /*seed=*/3);
+}
+
+TEST(FaultLibrary, CatalogNamesUniqueAndResolvable) {
+    const auto& library = standard_fault_library();
+    EXPECT_GE(library.size(), 7u);  // >= 5 models demanded by the campaign
+    std::set<std::string> names;
+    for (const auto& model : library) {
+        EXPECT_TRUE(names.insert(model->name()).second) << model->name();
+        EXPECT_FALSE(std::string(model->description()).empty());
+        EXPECT_FALSE(model->severity_grid(true).empty());
+        EXPECT_FALSE(model->severity_grid(false).empty());
+        EXPECT_EQ(find_fault_model(model->name()).get(), model.get());
+    }
+    EXPECT_THROW(find_fault_model("gamma_ray"), std::invalid_argument);
+}
+
+TEST(FaultLibrary, BitFlipIsAnInvolution) {
+    for (const float value : {0.0f, 0.125f, -3.5f, 1e-30f}) {
+        for (const unsigned bit : {0u, 7u, 22u, 23u, 30u, 31u}) {
+            const float flipped = flip_weight_bit(value, bit);
+            EXPECT_NE(std::memcmp(&flipped, &value, sizeof(float)), 0);
+            const float restored = flip_weight_bit(flipped, bit);
+            EXPECT_EQ(std::memcmp(&restored, &value, sizeof(float)), 0);
+        }
+    }
+    EXPECT_THROW(flip_weight_bit(1.0f, 32), std::invalid_argument);
+}
+
+TEST(FaultLibrary, BitFlipInjectionRoundTripsBitExact) {
+    auto network = small_network();
+    const snn::Matrix before = network.input_connection().weights();
+
+    FaultSite site;
+    site.kind = SiteKind::kSynapse;
+    site.pre = 7;
+    site.post = 3;
+    const auto model = find_fault_model("bit_flip");
+    model->inject(network, site, /*severity=*/30);
+    EXPECT_NE(network.input_connection().weights().at(7, 3), before.at(7, 3));
+    model->inject(network, site, /*severity=*/30);  // flip back
+
+    const snn::Matrix& after = network.input_connection().weights();
+    ASSERT_EQ(after.flat().size(), before.flat().size());
+    EXPECT_EQ(std::memcmp(after.flat().data(), before.flat().data(),
+                          before.flat().size() * sizeof(float)),
+              0);
+}
+
+TEST(FaultLibrary, StuckAtPinsTheWeightToTheRailValue) {
+    auto network = small_network();
+    FaultSite site;
+    site.kind = SiteKind::kSynapse;
+    site.pre = 2;
+    site.post = 4;
+    find_fault_model("stuck_at_1")->inject(network, site, 1.0);
+    EXPECT_EQ(network.input_connection().weights().at(2, 4),
+              network.input_connection().params().wmax);
+    find_fault_model("stuck_at_0")->inject(network, site, 1.0);
+    EXPECT_EQ(network.input_connection().weights().at(2, 4),
+              network.input_connection().params().wmin);
+}
+
+TEST(FaultLibrary, DeadAndSaturatedNeuronsForceTheLayerOutput) {
+    auto network = small_network();
+    FaultSite dead;
+    dead.kind = SiteKind::kNeuron;
+    dead.layer = attack::TargetLayer::kExcitatory;
+    dead.neuron = 1;
+    find_fault_model("dead_neuron")->inject(network, dead, 1.0);
+    EXPECT_EQ(network.excitatory().forced_state(1), snn::NeuronFault::kDead);
+
+    FaultSite saturated = dead;
+    saturated.layer = attack::TargetLayer::kInhibitory;
+    saturated.neuron = 2;
+    find_fault_model("saturated_neuron")->inject(network, saturated, 1.0);
+    EXPECT_EQ(network.inhibitory().forced_state(2), snn::NeuronFault::kSaturated);
+
+    // Behaviour: saturated fires with zero input, dead never fires even
+    // under massive drive.
+    std::vector<float> quiet(5, 0.0f);
+    std::vector<float> loud(5, 1000.0f);
+    std::vector<std::uint8_t> spiked;
+    network.inhibitory().step(quiet, spiked);
+    EXPECT_EQ(spiked[2], 1);
+    network.excitatory().step(loud, spiked);
+    EXPECT_EQ(spiked[1], 0);
+    EXPECT_EQ(spiked[0], 1);  // healthy neighbours still fire
+
+    network.clear_faults();
+    EXPECT_EQ(network.excitatory().forced_state(1), snn::NeuronFault::kNominal);
+    EXPECT_EQ(network.inhibitory().forced_state(2), snn::NeuronFault::kNominal);
+}
+
+TEST(FaultLibrary, RefractoryStretchMultipliesThePeriod) {
+    auto network = small_network();
+    FaultSite site;
+    site.kind = SiteKind::kNeuron;
+    site.layer = attack::TargetLayer::kExcitatory;
+    site.neuron = 0;
+    const int nominal = network.excitatory().params().refrac_steps;
+    find_fault_model("refractory_stretch")->inject(network, site, 4.0);
+    EXPECT_EQ(network.excitatory().refractory_steps(0), 4 * nominal);
+    EXPECT_EQ(network.excitatory().refractory_steps(1), nominal);
+}
+
+TEST(FaultLibrary, DriftModelsExpressThePaperAttacks) {
+    const auto threshold = find_fault_model("threshold_drift");
+    const auto gain = find_fault_model("driver_gain_drift");
+    EXPECT_TRUE(threshold->trains_under_fault());
+    EXPECT_TRUE(gain->trains_under_fault());
+    EXPECT_TRUE(gain->network_wide());
+
+    FaultSite layer_site;
+    layer_site.kind = SiteKind::kParameter;
+    layer_site.layer = attack::TargetLayer::kInhibitory;
+    const attack::FaultSpec thr = threshold->to_fault_spec(layer_site, -0.2);
+    EXPECT_EQ(thr.layer, attack::TargetLayer::kInhibitory);
+    EXPECT_DOUBLE_EQ(thr.threshold_delta, -0.2);
+    EXPECT_DOUBLE_EQ(thr.fraction, 1.0);
+    EXPECT_EQ(thr.semantics, attack::ThresholdSemantics::kBindsNetValue);
+
+    FaultSite network_site;
+    network_site.kind = SiteKind::kParameter;
+    network_site.layer = attack::TargetLayer::kNone;
+    const attack::FaultSpec theta = gain->to_fault_spec(network_site, -0.2);
+    EXPECT_EQ(theta.layer, attack::TargetLayer::kNone);
+    EXPECT_DOUBLE_EQ(theta.driver_gain, 0.8);  // attack 1's -20% point
+
+    // Non-drift models have no FaultSpec form.
+    EXPECT_THROW(find_fault_model("dead_neuron")->to_fault_spec(layer_site, 1.0),
+                 std::logic_error);
+}
+
+TEST(FaultLibrary, SnapshotRestoreRevertsLearningAndFaults) {
+    auto network = small_network();
+    std::vector<float> image(12, 0.9f);
+    (void)network.run_sample(image);  // STDP moves weights
+    const snn::NetworkState state = network.capture_state();
+
+    (void)network.run_sample(image);  // diverge further
+    FaultSite site;
+    site.kind = SiteKind::kNeuron;
+    site.layer = attack::TargetLayer::kExcitatory;
+    site.neuron = 0;
+    find_fault_model("dead_neuron")->inject(network, site, 1.0);
+
+    network.restore_state(state);
+    const snn::Matrix& weights = network.input_connection().weights();
+    EXPECT_EQ(std::memcmp(weights.flat().data(), state.input_weights.flat().data(),
+                          weights.flat().size() * sizeof(float)),
+              0);
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(network.excitatory().theta()[i], state.exc_theta[i]);
+        EXPECT_EQ(network.excitatory().forced_state(i), snn::NeuronFault::kNominal);
+    }
+    EXPECT_EQ(network.driver_gain(), 1.0f);
+}
+
+}  // namespace
+}  // namespace snnfi::fi

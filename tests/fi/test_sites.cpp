@@ -1,0 +1,102 @@
+// Fault-site enumeration: deterministic ordering, completeness on a small
+// network, stratified seeded subsampling.
+#include "fi/sites.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace snnfi::fi {
+namespace {
+
+snn::DiehlCookNetwork small_network() {
+    snn::DiehlCookConfig config;
+    config.n_input = 12;
+    config.n_neurons = 5;
+    return snn::DiehlCookNetwork(config, /*seed=*/1);
+}
+
+TEST(SiteEnumeration, NeuronSitesCompleteAndOrdered) {
+    auto network = small_network();
+    const SitePlan plan;  // both layers, no cap
+    EXPECT_EQ(site_space_size(network, SiteKind::kNeuron, plan), 10u);
+
+    const auto sites = enumerate_sites(network, SiteKind::kNeuron, plan);
+    ASSERT_EQ(sites.size(), 10u);
+    for (std::size_t i = 0; i < 5; ++i) {
+        EXPECT_EQ(sites[i].layer, attack::TargetLayer::kExcitatory);
+        EXPECT_EQ(sites[i].neuron, i);
+        EXPECT_EQ(sites[5 + i].layer, attack::TargetLayer::kInhibitory);
+        EXPECT_EQ(sites[5 + i].neuron, i);
+    }
+    EXPECT_EQ(sites[0].id(), "exc.n0");
+    EXPECT_EQ(sites[9].id(), "inh.n4");
+}
+
+TEST(SiteEnumeration, SynapseSitesCompleteRowMajor) {
+    auto network = small_network();
+    const SitePlan plan;
+    EXPECT_EQ(site_space_size(network, SiteKind::kSynapse, plan), 60u);
+
+    const auto sites = enumerate_sites(network, SiteKind::kSynapse, plan);
+    ASSERT_EQ(sites.size(), 60u);
+    std::set<std::pair<std::size_t, std::size_t>> seen;
+    for (std::size_t i = 0; i < sites.size(); ++i) {
+        EXPECT_EQ(sites[i].kind, SiteKind::kSynapse);
+        EXPECT_EQ(sites[i].pre, i / 5);
+        EXPECT_EQ(sites[i].post, i % 5);
+        seen.insert({sites[i].pre, sites[i].post});
+    }
+    EXPECT_EQ(seen.size(), 60u);  // every synapse exactly once
+    EXPECT_EQ(sites.front().id(), "syn.w0.0");
+    EXPECT_EQ(sites.back().id(), "syn.w11.4");
+}
+
+TEST(SiteEnumeration, ParameterSitesFollowThePlanLayers) {
+    auto network = small_network();
+    SitePlan plan;
+    plan.layers = {attack::TargetLayer::kInhibitory, attack::TargetLayer::kExcitatory};
+    const auto sites = enumerate_sites(network, SiteKind::kParameter, plan);
+    ASSERT_EQ(sites.size(), 2u);
+    EXPECT_EQ(sites[0].id(), "inh.param");
+    EXPECT_EQ(sites[1].id(), "exc.param");
+}
+
+TEST(SiteEnumeration, SubsamplingIsSeededAndOrderPreserving) {
+    auto network = small_network();
+    SitePlan plan;
+    plan.max_sites = 7;
+    const auto a = enumerate_sites(network, SiteKind::kSynapse, plan);
+    const auto b = enumerate_sites(network, SiteKind::kSynapse, plan);
+    ASSERT_EQ(a.size(), 7u);
+    for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].id(), b[i].id());
+    // Enumeration (row-major) order survives the draw.
+    for (std::size_t i = 1; i < a.size(); ++i) {
+        EXPECT_LT(a[i - 1].pre * 5 + a[i - 1].post, a[i].pre * 5 + a[i].post);
+    }
+
+    SitePlan reseeded = plan;
+    reseeded.sample_seed = plan.sample_seed + 1;
+    const auto c = enumerate_sites(network, SiteKind::kSynapse, reseeded);
+    ASSERT_EQ(c.size(), 7u);
+    bool any_difference = false;
+    for (std::size_t i = 0; i < c.size(); ++i)
+        any_difference = any_difference || c[i].id() != a[i].id();
+    EXPECT_TRUE(any_difference);  // a different seed draws a different sample
+}
+
+TEST(SiteEnumeration, NeuronSubsamplingIsStratifiedPerLayer) {
+    auto network = small_network();
+    SitePlan plan;
+    plan.max_sites = 2;  // per layer for neuron sites
+    const auto sites = enumerate_sites(network, SiteKind::kNeuron, plan);
+    ASSERT_EQ(sites.size(), 4u);
+    std::size_t excitatory = 0;
+    for (const auto& site : sites) {
+        if (site.layer == attack::TargetLayer::kExcitatory) ++excitatory;
+    }
+    EXPECT_EQ(excitatory, 2u);  // both layers stay represented
+}
+
+}  // namespace
+}  // namespace snnfi::fi

@@ -92,5 +92,44 @@ TEST(ResolveWorkerCount, ZeroMeansHardware) {
     EXPECT_EQ(resolve_worker_count(7), 7u);
 }
 
+// Regression: `workers == 0` must clamp to at least one usable worker (the
+// caller) instead of constructing an empty, dead pool.
+TEST(ThreadPool, ZeroWorkersClampsAndRuns) {
+    ThreadPool pool(0);
+    EXPECT_GE(pool.max_workers(), 1u);
+    std::atomic<int> ran{0};
+    pool.parallel_for(16, [&](std::size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 16);
+}
+
+// Regression: an exception thrown on a *pool* thread (not the
+// participating caller) must reach the caller instead of terminating. The
+// caller's indices block until a pool thread has thrown and never throw
+// themselves, so the propagated error is guaranteed to originate off the
+// caller.
+TEST(ThreadPool, WorkerThreadExceptionReachesCaller) {
+    ThreadPool pool(4);
+    const std::thread::id caller = std::this_thread::get_id();
+    std::atomic<bool> worker_threw{false};
+    try {
+        pool.parallel_for(64, [&](std::size_t) {
+            if (std::this_thread::get_id() == caller) {
+                while (!worker_threw.load()) std::this_thread::yield();
+                return;
+            }
+            worker_threw.store(true);
+            throw std::runtime_error("pool-thread failure");
+        });
+        FAIL() << "expected the pool-thread exception to propagate";
+    } catch (const std::runtime_error& e) {
+        EXPECT_STREQ(e.what(), "pool-thread failure");
+    }
+    EXPECT_TRUE(worker_threw.load());
+    // Pool stays usable after the failed job.
+    std::atomic<int> ran{0};
+    pool.parallel_for(8, [&](std::size_t) { ran.fetch_add(1); });
+    EXPECT_EQ(ran.load(), 8);
+}
+
 }  // namespace
 }  // namespace snnfi::util

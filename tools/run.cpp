@@ -10,11 +10,13 @@
 // datasets and circuit characterisations are cached and shared, and the
 // summary line (or the "cache" object in --json mode) shows the reuse.
 #include <iostream>
+#include <string>
 
 #include "core/scenario.hpp"
 #include "core/session.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
+#include "util/table.hpp"
 
 int main(int argc, char** argv) {
     using namespace snnfi;
@@ -31,6 +33,8 @@ int main(int argc, char** argv) {
     parser.add_option("samples", "1000", "Training samples for SNN experiments");
     parser.add_option("neurons", "100", "Neurons per layer for SNN experiments");
     parser.add_option("workers", "0", "Parallel sweep workers (0 = all cores)");
+    parser.add_option("cache-capacity", "0",
+                      "Artifact-cache entry cap with LRU eviction (0 = unbounded)");
     try {
         if (!parser.parse(argc, argv)) return 0;
     } catch (const std::exception& e) {
@@ -40,16 +44,20 @@ int main(int argc, char** argv) {
 
     auto& registry = core::ScenarioRegistry::instance();
     if (parser.get_bool("list")) {
-        std::cout << "experiments:\n";
+        util::ResultTable table("registered experiments",
+                                {"id", "tags", "description"});
         for (const auto& spec : registry.all()) {
-            std::cout << "  " << spec.id << "  —  " << spec.title << "  [";
+            std::string tags;
             for (std::size_t t = 0; t < spec.tags.size(); ++t)
-                std::cout << (t ? "," : "") << spec.tags[t];
-            std::cout << "]\n";
+                tags += (t ? "," : "") + spec.tags[t];
+            table.add_row({spec.id, tags,
+                           spec.description.empty() ? spec.title : spec.description});
         }
+        std::cout << table;
         std::cout << "tags:";
         for (const auto& tag : registry.tag_names()) std::cout << " " << tag;
-        std::cout << "\n";
+        std::cout << "\n(select with --experiment=<id|tag>[,<id|tag>...]; "
+                     "'all' runs everything)\n";
         return 0;
     }
 
@@ -59,6 +67,8 @@ int main(int argc, char** argv) {
     options.train_samples = static_cast<std::size_t>(parser.get_int("samples"));
     options.n_neurons = static_cast<std::size_t>(parser.get_int("neurons"));
     options.max_workers = static_cast<std::size_t>(parser.get_int("workers"));
+    options.cache_capacity =
+        static_cast<std::size_t>(parser.get_int("cache-capacity"));
 
     // Repeated --experiment flags accumulate, so join all occurrences.
     std::string selector;
@@ -94,7 +104,9 @@ int main(int argc, char** argv) {
                   << " miss(es)]\n\n";
     }
     std::cout << "session cache: " << session.cache_hits() << " hit(s), "
-              << session.cache_misses() << " miss(es) across " << results.size()
-              << " experiment(s)\n";
+              << session.cache_misses() << " miss(es), " << session.cache_evictions()
+              << " eviction(s), " << session.cache_entries() << " live entr"
+              << (session.cache_entries() == 1 ? "y" : "ies") << " across "
+              << results.size() << " experiment(s)\n";
     return 0;
 }
