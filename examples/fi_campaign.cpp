@@ -6,10 +6,12 @@
 // Shows the three layers of the subsystem:
 //   1. the fault library — every registered FaultModel with its site kind;
 //   2. the site enumerator — deterministic, seeded sampling of the
-//      (layer x neuron, synapse) address space;
+//      (layer x neuron, synapse) address space, straight off the topology
+//      config (no network object needed);
 //   3. the campaign engine — a sampled campaign off one shared trained
-//      baseline (snapshot/restore per injection), with the per-layer
-//      sensitivity map and critical-fault rates it produces.
+//      baseline, frozen into an immutable NetworkModel and evaluated by
+//      cheap pre-faulted NetworkRuntime replicas in lockstep batches, with
+//      the per-layer sensitivity map and critical-fault rates it produces.
 #include <algorithm>
 #include <iostream>
 
@@ -46,22 +48,22 @@ int main(int argc, char** argv) {
                                                 options.train_samples / 2);
     core::Session session(options);
 
-    // 2. A taste of the site space.
+    // 2. A taste of the site space (topology-driven: only the config).
     auto suite = session.attack_suite();
-    snn::DiehlCookNetwork walker(suite->config().network,
-                                 suite->config().network_seed);
+    const snn::DiehlCookConfig& topology = suite->config().network;
     fi::SitePlan plan;
     plan.max_sites = static_cast<std::size_t>(parser.get_int("sites"));
     std::cout << "\nsampled neuron sites:";
-    for (const auto& site : fi::enumerate_sites(walker, fi::SiteKind::kNeuron, plan))
+    for (const auto& site : fi::enumerate_sites(topology, fi::SiteKind::kNeuron, plan))
         std::cout << " " << site.id();
     std::cout << "\nsampled synapse sites:";
-    for (const auto& site : fi::enumerate_sites(walker, fi::SiteKind::kSynapse, plan))
+    for (const auto& site : fi::enumerate_sites(topology, fi::SiteKind::kSynapse, plan))
         std::cout << " " << site.id();
     std::cout << "\n";
 
-    // 3. The campaign: one baseline training, then snapshot/restore per
-    //    injection. Drift models retrain like the paper's attacks.
+    // 3. The campaign: one baseline training frozen into a shared model,
+    //    then one pre-faulted runtime per (cell, replica), batched in
+    //    lockstep. Drift models retrain like the paper's attacks.
     fi::CampaignConfig config;
     config.sites = plan;
     config.eval_samples = 60;

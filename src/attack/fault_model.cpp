@@ -28,32 +28,43 @@ std::vector<std::size_t> fault_mask(std::size_t layer_size, double fraction,
 
 namespace {
 
-void apply_to_layer(snn::LifLayer& layer_ref, TargetLayer tag, const FaultSpec& fault) {
+void overlay_layer_ops(snn::FaultOverlay& overlay, snn::OverlayLayer target,
+                       TargetLayer tag, std::size_t layer_size,
+                       const FaultSpec& fault) {
     const std::vector<std::size_t> mask =
-        fault_mask(layer_ref.size(), fault.fraction, fault.mask_seed, tag);
+        fault_mask(layer_size, fault.fraction, fault.mask_seed, tag);
     if (fault.threshold_delta != 0.0) {
         const auto delta = static_cast<float>(fault.threshold_delta);
         if (fault.semantics == ThresholdSemantics::kBindsNetValue) {
-            layer_ref.apply_threshold_value_delta(mask, delta);
+            overlay.shift_threshold_value(target, mask, delta);
         } else {
-            layer_ref.apply_threshold_scale(mask, 1.0f + delta);
+            overlay.scale_threshold(target, mask, 1.0f + delta);
         }
     }
 }
 
 }  // namespace
 
-void apply_fault(snn::DiehlCookNetwork& network, const FaultSpec& fault) {
-    network.clear_faults();
-    const bool exc = fault.layer == TargetLayer::kExcitatory ||
-                     fault.layer == TargetLayer::kBoth;
-    const bool inh = fault.layer == TargetLayer::kInhibitory ||
-                     fault.layer == TargetLayer::kBoth;
-    if (exc) apply_to_layer(network.excitatory(), TargetLayer::kExcitatory, fault);
-    if (inh) apply_to_layer(network.inhibitory(), TargetLayer::kInhibitory, fault);
+snn::FaultOverlay overlay_for(const FaultSpec& fault,
+                              const snn::DiehlCookConfig& config) {
+    snn::FaultOverlay overlay;
+    if (fault.layer == TargetLayer::kExcitatory || fault.layer == TargetLayer::kBoth) {
+        overlay_layer_ops(overlay, snn::OverlayLayer::kExcitatory,
+                          TargetLayer::kExcitatory, config.n_neurons, fault);
+    }
+    if (fault.layer == TargetLayer::kInhibitory || fault.layer == TargetLayer::kBoth) {
+        overlay_layer_ops(overlay, snn::OverlayLayer::kInhibitory,
+                          TargetLayer::kInhibitory, config.n_neurons, fault);
+    }
     // Driver corruption affects the input current drivers feeding the
     // excitatory layer; it is a network-level gain on PSP delivery.
-    network.set_driver_gain(static_cast<float>(fault.driver_gain));
+    overlay.set_driver_gain(static_cast<float>(fault.driver_gain));
+    return overlay;
+}
+
+void apply_fault(snn::DiehlCookNetwork& network, const FaultSpec& fault) {
+    network.clear_faults();
+    overlay_for(fault, network.config()).apply_to(network);
 }
 
 }  // namespace snnfi::attack

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "snn/network.hpp"
+#include "snn/overlay.hpp"
 #include "util/random.hpp"
 
 namespace snnfi::attack {
@@ -39,8 +40,15 @@ struct FaultSpec {
     std::uint64_t mask_seed = 1;  ///< selects *which* neurons are hit
 };
 
-/// Applies the fault to a network (clears previous faults first).
-/// The neuron subset is drawn deterministically from mask_seed.
+/// Expresses a FaultSpec as a composable overlay for the Model/Runtime
+/// API: deterministic per-layer neuron masks (mask_seed), threshold ops in
+/// the requested semantics, and the driver gain. A NetworkRuntime built
+/// with this overlay reproduces apply_fault on the facade bit-for-bit.
+snn::FaultOverlay overlay_for(const FaultSpec& fault,
+                              const snn::DiehlCookConfig& config);
+
+/// Deprecated facade path: applies the fault to a live network (clears
+/// previous faults first) by replaying overlay_for through the mutators.
 void apply_fault(snn::DiehlCookNetwork& network, const FaultSpec& fault);
 
 /// Picks the deterministic neuron subset used by apply_fault for a layer.

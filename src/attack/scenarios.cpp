@@ -18,18 +18,30 @@ AttackSuite::AttackSuite(snn::Dataset dataset, AttackRunConfig config)
     }
 }
 
+const std::shared_ptr<const snn::NetworkModel>& AttackSuite::seed_model() {
+    if (!seed_model_)
+        seed_model_ = snn::NetworkModel::random(config_.network, config_.network_seed);
+    return seed_model_;
+}
+
 double AttackSuite::baseline_accuracy() {
     if (!baseline_) {
-        snn::DiehlCookNetwork network(config_.network, config_.network_seed);
-        snn::Trainer trainer(network, config_.eval_window);
+        snn::NetworkRuntime runtime(seed_model());
+        snn::Trainer trainer(runtime, config_.eval_window);
         baseline_ = trainer.run(dataset_);
-        baseline_state_ = network.capture_state();
+        baseline_model_ = runtime.freeze();
     }
     return baseline_->train_accuracy;
 }
 
+std::shared_ptr<const snn::NetworkModel> AttackSuite::baseline_model() {
+    (void)baseline_accuracy();
+    return baseline_model_;
+}
+
 const snn::NetworkState& AttackSuite::baseline_state() {
     (void)baseline_accuracy();
+    if (!baseline_state_) baseline_state_ = baseline_model_->state();
     return *baseline_state_;
 }
 
@@ -39,9 +51,11 @@ double AttackSuite::baseline_retro_accuracy() {
 }
 
 AttackOutcome AttackSuite::evaluate(const FaultSpec& fault) {
-    snn::DiehlCookNetwork network(config_.network, config_.network_seed);
-    apply_fault(network, fault);
-    snn::Trainer trainer(network, config_.eval_window);
+    // One replica over the shared untrained model, trained under the
+    // fault overlay (the paper's setting). run()/run_many() build the seed
+    // model before forking workers, so this lazy access never races.
+    snn::NetworkRuntime runtime(seed_model(), overlay_for(fault, config_.network));
+    snn::Trainer trainer(runtime, config_.eval_window);
     const snn::TrainResult result = trainer.run(dataset_);
 
     AttackOutcome outcome;
@@ -55,27 +69,27 @@ AttackOutcome AttackSuite::evaluate(const FaultSpec& fault) {
 AttackOutcome AttackSuite::evaluate_inference_only(const FaultSpec& fault) {
     // Train clean, then inject the fault and re-evaluate with frozen
     // weights and frozen assignments (ablation mode; see DESIGN.md).
-    snn::DiehlCookNetwork network(config_.network, config_.network_seed);
-    snn::Trainer trainer(network, config_.eval_window);
+    snn::NetworkRuntime runtime(seed_model());
+    snn::Trainer trainer(runtime, config_.eval_window);
     (void)trainer.run(dataset_);  // clean training pass
 
     constexpr std::size_t kNumClasses = 10;
     snn::ActivityClassifier classifier(config_.network.n_neurons, kNumClasses);
-    network.set_learning(false);
+    runtime.set_learning(false);
     // Clean inference pass establishes assignments.
     std::vector<snn::SampleActivity> clean;
     clean.reserve(dataset_.size());
     for (std::size_t i = 0; i < dataset_.size(); ++i) {
-        clean.push_back(network.run_sample(dataset_.images[i]));
+        clean.push_back(runtime.run_sample(dataset_.images[i]));
         classifier.accumulate(clean.back().exc_counts, dataset_.labels[i]);
     }
     classifier.assign_labels();
 
-    apply_fault(network, fault);
+    runtime.set_overlay(overlay_for(fault, config_.network));
     std::size_t correct = 0;
     double exc_spikes = 0.0;
     for (std::size_t i = 0; i < dataset_.size(); ++i) {
-        const snn::SampleActivity activity = network.run_sample(dataset_.images[i]);
+        const snn::SampleActivity activity = runtime.run_sample(dataset_.images[i]);
         exc_spikes += static_cast<double>(activity.total_exc_spikes);
         if (classifier.predict(activity.exc_counts) == dataset_.labels[i]) ++correct;
     }

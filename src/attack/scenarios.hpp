@@ -19,6 +19,7 @@
 
 #include "attack/calibration.hpp"
 #include "attack/fault_model.hpp"
+#include "snn/model.hpp"
 #include "snn/trainer.hpp"
 #include "util/thread_pool.hpp"
 
@@ -56,10 +57,13 @@ public:
     /// Fault-free reference accuracy (cached).
     double baseline_accuracy();
     double baseline_retro_accuracy();
-    /// Learned state (weights + theta) of the trained fault-free baseline.
-    /// Trains on first use like baseline_accuracy(); the returned reference
-    /// stays valid for the suite's lifetime. The src/fi campaign engine
-    /// restores this snapshot per injection instead of retraining.
+    /// The trained fault-free baseline as a frozen, shareable model.
+    /// Trains on first use like baseline_accuracy(). The src/fi campaign
+    /// engine builds one cheap NetworkRuntime per (cell, replica) on top
+    /// of this shared model instead of snapshot/restoring a network.
+    std::shared_ptr<const snn::NetworkModel> baseline_model();
+    /// Deprecated: the baseline as a legacy NetworkState snapshot (facade
+    /// restore path). Prefer baseline_model().
     const snn::NetworkState& baseline_state();
 
     /// Runs one fault configuration.
@@ -89,10 +93,15 @@ public:
 private:
     AttackOutcome evaluate(const FaultSpec& fault);
     AttackOutcome evaluate_inference_only(const FaultSpec& fault);
+    /// The shared untrained model every sweep point trains from (same
+    /// random init + RNG stream as the legacy per-point construction).
+    const std::shared_ptr<const snn::NetworkModel>& seed_model();
 
     snn::Dataset dataset_;
     AttackRunConfig config_;
+    std::shared_ptr<const snn::NetworkModel> seed_model_;
     std::optional<snn::TrainResult> baseline_;
+    std::shared_ptr<const snn::NetworkModel> baseline_model_;
     std::optional<snn::NetworkState> baseline_state_;
     util::ThreadPool* pool_ = nullptr;  ///< not owned; optional shared pool
 };

@@ -54,7 +54,7 @@ void add_campaign_notes(ResultTable& table, const fi::CampaignResult& campaign) 
     os.str("");
     os << campaign.cells.size() << " grid cell(s): " << campaign.trainings
        << " train-under-fault run(s), " << campaign.evaluations
-       << " snapshot-restore inference pass(es).";
+       << " batched runtime-replica inference pass(es).";
     table.add_note(os.str());
 }
 
@@ -193,12 +193,35 @@ ScenarioSpec drift_spec() {
     return spec;
 }
 
+ScenarioSpec drift_driver_gain_spec() {
+    ScenarioSpec spec;
+    spec.id = "fi.drift.driver_gain";
+    spec.title = "FI drift — driver-gain drift only (fig7b through the campaign)";
+    spec.description = "Attack 1 as a campaign drift model";
+    spec.tags = {"fi", "attack"};
+    spec.paper_order = 351;
+    spec.notes = {"Severity grid and train-under-fault path are identical to "
+                  "fig7b, so the accuracy column reproduces attack 1 "
+                  "bit-for-bit (regression-tested)."};
+    spec.custom_run = [](Session& session, const RunOptions& options) {
+        fi::CampaignConfig config;
+        config.models = {fi::find_fault_model("driver_gain_drift")};
+        config.eval_samples = options.quick ? 50 : 150;
+        config.early_stop = early_stop_policy(options.quick);
+        return campaign_detail(
+            session, std::move(config),
+            "FI drift — driver-gain drift only (fig7b through the campaign)");
+    };
+    return spec;
+}
+
 const ScenarioRegistrar registrar_fi_smoke{smoke_spec()};
 const ScenarioRegistrar registrar_fi_quick_sweep{quick_sweep_spec()};
 const ScenarioRegistrar registrar_fi_sensitivity{sensitivity_spec()};
 const ScenarioRegistrar registrar_fi_weights{weights_spec()};
 const ScenarioRegistrar registrar_fi_neurons{neurons_spec()};
 const ScenarioRegistrar registrar_fi_drift{drift_spec()};
+const ScenarioRegistrar registrar_fi_drift_driver_gain{drift_driver_gain_spec()};
 
 }  // namespace
 }  // namespace snnfi::core

@@ -1,14 +1,37 @@
 #include "core/session.hpp"
 
+#include <cstdlib>
 #include <sstream>
 #include <stdexcept>
+#include <string>
 
 #include "data/idx.hpp"
 
 namespace snnfi::core {
 
+namespace {
+
+/// Resolves the session worker count: an explicit RunOptions::max_workers
+/// wins; otherwise the SNNFI_THREADS environment variable (so CI can run
+/// the whole test suite single-threaded to catch determinism regressions);
+/// otherwise 0 = hardware concurrency.
+RunOptions resolve_threads(RunOptions options) {
+    if (options.max_workers != 0) return options;
+    if (const char* env = std::getenv("SNNFI_THREADS")) {
+        try {
+            const long value = std::stol(env);
+            if (value > 0) options.max_workers = static_cast<std::size_t>(value);
+        } catch (const std::exception&) {
+            // Malformed values fall through to hardware concurrency.
+        }
+    }
+    return options;
+}
+
+}  // namespace
+
 Session::Session(RunOptions options)
-    : options_(std::move(options)), pool_(options_.max_workers) {}
+    : options_(resolve_threads(std::move(options))), pool_(options_.max_workers) {}
 
 std::shared_ptr<void> Session::cached(
     const std::string& key, const std::function<std::shared_ptr<void>()>& make) {

@@ -8,6 +8,7 @@
 
 #include "core/session.hpp"
 #include "snn/classifier.hpp"
+#include "snn/runtime.hpp"
 #include "util/random.hpp"
 #include "util/stats.hpp"
 
@@ -17,9 +18,8 @@ namespace {
 
 constexpr double kZ95 = 1.96;            ///< 95% normal CI quantile
 constexpr std::size_t kNumClasses = 10;  ///< digit workload
-/// Stream id offset separating replica rng seeds from everything else
-/// derived from the campaign seed.
-constexpr std::uint64_t kReplicaStream = 0x5EED0000;
+constexpr std::uint64_t kReplicaStream = CampaignEngine::kReplicaStream;
+constexpr std::size_t kBatchCells = CampaignEngine::kBatchCells;
 
 std::string yes_no(bool value) { return value ? "yes" : "no"; }
 
@@ -166,18 +166,14 @@ CampaignResult CampaignEngine::execute() {
     auto suite = session_.attack_suite();
     const bool quick = session_.options().quick;
     const double baseline_pct = suite->baseline_accuracy() * 100.0;
-    const snn::NetworkState& baseline_state = suite->baseline_state();
+    // The trained baseline, frozen once and shared by every replica.
+    const std::shared_ptr<const snn::NetworkModel> baseline = suite->baseline_model();
     const snn::Dataset& data = suite->dataset();
     const snn::DiehlCookConfig network_config = suite->config().network;
-    const std::uint64_t network_seed = suite->config().network_seed;
     const std::size_t eval_n =
         std::min(config_.eval_samples == 0 ? data.size() : config_.eval_samples,
                  data.size());
     if (eval_n == 0) throw std::logic_error("fi campaign: empty eval set");
-
-    // One reference network for site enumeration (untrained is fine: the
-    // site space depends only on the topology).
-    snn::DiehlCookNetwork site_walker(network_config, network_seed);
 
     // --- plan the site x model x severity grid --------------------------
     CampaignResult result;
@@ -194,7 +190,7 @@ CampaignResult CampaignEngine::execute() {
             site.layer = attack::TargetLayer::kNone;
             sites.push_back(site);
         } else {
-            sites = enumerate_sites(site_walker, model->site_kind(), config_.sites);
+            sites = enumerate_sites(network_config, model->site_kind(), config_.sites);
         }
         for (const FaultSite& site : sites) {
             for (const double severity : model->severity_grid(quick)) {
@@ -230,7 +226,7 @@ CampaignResult CampaignEngine::execute() {
         result.trainings = training_cells.size();
     }
 
-    // --- behavioural models: snapshot/restore inference path ------------
+    // --- behavioural models: batched Model/Runtime inference path -------
     EarlyStopPolicy es = config_.early_stop;
     // Quick mode always runs a fixed replica count: smoke runs and CI must
     // be shape-stable, so early stopping never activates (documented
@@ -240,18 +236,24 @@ CampaignResult CampaignEngine::execute() {
     const std::size_t max_reps =
         es.enabled ? std::max(min_reps, es.max_replicas) : min_reps;
 
+    // One overlay per inference cell, built up front from the topology.
+    std::vector<snn::FaultOverlay> overlays(result.cells.size());
+    for (const std::size_t c : inference_cells) {
+        cell_model[c]->build_overlay(overlays[c], network_config,
+                                     result.cells[c].site,
+                                     result.cells[c].severity);
+    }
+
     std::vector<CleanReplica> clean(max_reps);
     const auto build_clean = [&](std::size_t replica) {
-        snn::DiehlCookNetwork network(network_config, network_seed);
-        network.restore_state(baseline_state);
-        network.set_learning(false);
-        network.rng().reseed(
+        snn::NetworkRuntime runtime(baseline);
+        runtime.rng().reseed(
             util::derive_seed(config_.seed, kReplicaStream + replica));
         snn::ActivityClassifier classifier(network_config.n_neurons, kNumClasses);
         std::vector<snn::SampleActivity> activity;
         activity.reserve(eval_n);
         for (std::size_t i = 0; i < eval_n; ++i) {
-            activity.push_back(network.run_sample(data.images[i]));
+            activity.push_back(runtime.run_sample(data.images[i]));
             classifier.accumulate(activity.back().exc_counts, data.labels[i]);
         }
         classifier.assign_labels();
@@ -276,33 +278,11 @@ CampaignResult CampaignEngine::execute() {
         result.evaluations += missing.size();
     };
 
-    // Faulty evaluation of one cell under one replica's encoding stream;
-    // returns the paired (drop_pct, accuracy_pct).
-    const auto evaluate = [&](std::size_t c, std::size_t replica) {
-        snn::DiehlCookNetwork network(network_config, network_seed);
-        network.restore_state(baseline_state);
-        network.set_learning(false);
-        network.rng().reseed(
-            util::derive_seed(config_.seed, kReplicaStream + replica));
-        const CellResult& cell = result.cells[c];
-        cell_model[c]->inject(network, cell.site, cell.severity);
-        std::size_t correct = 0;
-        for (std::size_t i = 0; i < eval_n; ++i) {
-            const snn::SampleActivity activity = network.run_sample(data.images[i]);
-            if (clean[replica].classifier.predict(activity.exc_counts) ==
-                data.labels[i])
-                ++correct;
-        }
-        const double accuracy_pct =
-            100.0 * static_cast<double>(correct) / static_cast<double>(eval_n);
-        return std::pair<double, double>(clean[replica].accuracy_pct - accuracy_pct,
-                                         accuracy_pct);
-    };
-
     // Per-cell replica outcomes, grown round by round. Every open cell has
-    // the same replica count each round, so rounds batch cleanly over the
-    // pool and seeds stay index-derived (deterministic for any worker
-    // count).
+    // the same replica count each round; a round is cut into fixed-size
+    // lockstep batches (one pre-faulted runtime per cell, shared encoder
+    // and propagation per batch), so results stay byte-identical for any
+    // worker count.
     std::vector<std::vector<double>> drops(result.cells.size());
     std::vector<std::vector<double>> accuracies(result.cells.size());
     std::vector<std::size_t> open = inference_cells;
@@ -312,22 +292,60 @@ CampaignResult CampaignEngine::execute() {
             replicas_done == 0 ? min_reps : replicas_done + 1;
         ensure_clean(round_replicas);
         struct Task {
-            std::size_t cell;
             std::size_t replica;
+            std::size_t begin;  ///< chunk bounds into `open`
+            std::size_t end;
         };
         std::vector<Task> tasks;
-        for (const std::size_t c : open) {
-            for (std::size_t r = replicas_done; r < round_replicas; ++r)
-                tasks.push_back({c, r});
+        for (std::size_t r = replicas_done; r < round_replicas; ++r) {
+            for (std::size_t b = 0; b < open.size(); b += kBatchCells)
+                tasks.push_back({r, b, std::min(b + kBatchCells, open.size())});
         }
-        std::vector<std::pair<double, double>> outcomes(tasks.size());
+        // Paired (drop_pct, accuracy_pct) per cell of each task's chunk.
+        std::vector<std::vector<std::pair<double, double>>> outcomes(tasks.size());
         session_.pool().parallel_for(tasks.size(), [&](std::size_t t) {
-            outcomes[t] = evaluate(tasks[t].cell, tasks[t].replica);
+            const Task& task = tasks[t];
+            const std::size_t count = task.end - task.begin;
+            std::vector<snn::NetworkRuntime> runtimes;
+            runtimes.reserve(count);
+            std::vector<snn::NetworkRuntime*> members;
+            members.reserve(count);
+            for (std::size_t k = 0; k < count; ++k)
+                runtimes.emplace_back(baseline, overlays[open[task.begin + k]]);
+            for (snn::NetworkRuntime& runtime : runtimes)
+                members.push_back(&runtime);
+            snn::BatchRunner batch(*baseline, std::move(members));
+            util::Rng rng(
+                util::derive_seed(config_.seed, kReplicaStream + task.replica));
+            const snn::ActivityClassifier& reference =
+                clean[task.replica].classifier;
+            std::vector<std::size_t> correct(count, 0);
+            for (std::size_t i = 0; i < eval_n; ++i) {
+                const auto activities = batch.run_sample(data.images[i], rng);
+                for (std::size_t k = 0; k < count; ++k) {
+                    if (reference.predict(activities[k].exc_counts) ==
+                        data.labels[i])
+                        ++correct[k];
+                }
+            }
+            outcomes[t].reserve(count);
+            for (std::size_t k = 0; k < count; ++k) {
+                const double accuracy_pct = 100.0 *
+                                            static_cast<double>(correct[k]) /
+                                            static_cast<double>(eval_n);
+                outcomes[t].emplace_back(
+                    clean[task.replica].accuracy_pct - accuracy_pct, accuracy_pct);
+            }
         });
-        result.evaluations += tasks.size();
+        // Merge in task order (replica-major, then chunk, then cell): the
+        // per-cell replica sequence is identical for any worker count.
         for (std::size_t t = 0; t < tasks.size(); ++t) {
-            drops[tasks[t].cell].push_back(outcomes[t].first);
-            accuracies[tasks[t].cell].push_back(outcomes[t].second);
+            for (std::size_t k = 0; k < outcomes[t].size(); ++k) {
+                const std::size_t c = open[tasks[t].begin + k];
+                drops[c].push_back(outcomes[t][k].first);
+                accuracies[c].push_back(outcomes[t][k].second);
+                ++result.evaluations;
+            }
         }
         replicas_done = round_replicas;
 

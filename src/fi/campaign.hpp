@@ -1,13 +1,16 @@
 // Campaign engine: plans site x model x severity grids and executes them
 // over the shared core::Session infrastructure.
 //
-// Execution strategy:
+// Execution strategy (Model/Runtime split, see snn/model.hpp):
 //   * the attack-free baseline is trained once (Session artifact cache —
-//     the cache counters prove it) and its learned state is snapshotted;
+//     the cache counters prove it) and frozen into an immutable
+//     snn::NetworkModel shared by every injection;
 //   * inference-time models (stuck-at, bit-flip, dead/saturated neuron,
-//     refractory stretch) restore the snapshot per injection instead of
-//     retraining — a campaign of hundreds of injections costs one training
-//     run plus cheap forward passes;
+//     refractory stretch) each get ONE pre-faulted snn::NetworkRuntime per
+//     (cell, replica) — a FaultOverlay over the shared model, no baseline
+//     snapshot/restore, no weight copy — and runtimes are advanced in
+//     lockstep batches (snn::BatchRunner) so the Poisson encoding and the
+//     dense input propagation are computed once per batch, not per cell;
 //   * drift models (trains_under_fault()) are routed through the
 //     AttackSuite's train-under-fault pipeline, so the paper's attacks
 //     fall out as special cases with identical numbers;
@@ -16,10 +19,11 @@
 //     early once the 95% CI of its accuracy drop is tight (statistical
 //     early stopping), bounded by max_replicas.
 //
-// All replica seeds are index-derived, so campaign output is byte-identical
-// for any worker count. Results cache in the Session keyed by the campaign
-// config, so several scenarios can present one campaign (detail table,
-// sensitivity map) without re-executing it.
+// All replica seeds are index-derived and batch composition is fixed, so
+// campaign output is byte-identical for any worker count. Results cache in
+// the Session keyed by the campaign config, so several scenarios can
+// present one campaign (detail table, sensitivity map) without
+// re-executing it.
 #pragma once
 
 #include <cstdint>
@@ -93,6 +97,16 @@ struct CampaignResult {
 
 class CampaignEngine {
 public:
+    /// Replicas advanced in one lockstep batch (shared encoder + dense
+    /// propagation). Fixed — batch composition must not depend on the
+    /// worker count, or campaign output would stop being byte-identical
+    /// across machines. Shared with bench_runtime_replicas so the
+    /// benchmark measures the engine that actually ships.
+    static constexpr std::size_t kBatchCells = 8;
+    /// Stream id offset separating replica rng seeds from everything else
+    /// derived from the campaign seed.
+    static constexpr std::uint64_t kReplicaStream = 0x5EED0000;
+
     /// The session provides the thread pool, the cached trained baseline
     /// and the result cache; it must outlive the engine.
     CampaignEngine(core::Session& session, CampaignConfig config);

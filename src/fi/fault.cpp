@@ -1,7 +1,6 @@
 #include "fi/fault.hpp"
 
 #include <cmath>
-#include <cstring>
 #include <sstream>
 #include <stdexcept>
 
@@ -26,6 +25,25 @@ const char* layer_prefix(attack::TargetLayer layer) {
         case attack::TargetLayer::kNone: return "net";
     }
     return "?";
+}
+
+/// Bounds-checked synapse address of a site (legacy Matrix::at parity).
+void check_synapse_site(const snn::DiehlCookConfig& config, const FaultSite& site) {
+    if (site.kind != SiteKind::kSynapse)
+        throw std::invalid_argument("weight fault needs a synapse site");
+    if (site.pre >= config.n_input || site.post >= config.n_neurons)
+        throw std::out_of_range("synapse site index out of range");
+}
+
+/// Bounds-checked neuron index of a site (legacy parity).
+std::size_t check_neuron_site(const snn::DiehlCookConfig& config,
+                              const FaultSite& site) {
+    if (site.kind != SiteKind::kNeuron)
+        throw std::invalid_argument("neuron fault needs a neuron site");
+    (void)overlay_layer_of(site.layer);  // must address one concrete layer
+    if (site.neuron >= config.n_neurons)
+        throw std::out_of_range("neuron site index out of range");
+    return site.neuron;
 }
 
 }  // namespace
@@ -53,6 +71,28 @@ attack::FaultSpec FaultModel::to_fault_spec(const FaultSite&, double) const {
                            "' has no FaultSpec form (not a drift model)");
 }
 
+snn::FaultOverlay FaultModel::overlay(const snn::DiehlCookConfig& config,
+                                      const FaultSite& site, double severity) const {
+    snn::FaultOverlay result;
+    build_overlay(result, config, site, severity);
+    return result;
+}
+
+void FaultModel::inject(snn::DiehlCookNetwork& network, const FaultSite& site,
+                        double severity) const {
+    overlay(network.config(), site, severity).apply_to(network);
+}
+
+snn::OverlayLayer overlay_layer_of(attack::TargetLayer layer) {
+    switch (layer) {
+        case attack::TargetLayer::kExcitatory: return snn::OverlayLayer::kExcitatory;
+        case attack::TargetLayer::kInhibitory: return snn::OverlayLayer::kInhibitory;
+        default:
+            throw std::invalid_argument(
+                "layer_of: site must address one concrete layer");
+    }
+}
+
 snn::LifLayer& layer_of(snn::DiehlCookNetwork& network, attack::TargetLayer layer) {
     switch (layer) {
         case attack::TargetLayer::kExcitatory: return network.excitatory();
@@ -65,30 +105,8 @@ snn::LifLayer& layer_of(snn::DiehlCookNetwork& network, attack::TargetLayer laye
 
 float flip_weight_bit(float value, unsigned bit) {
     if (bit > 31) throw std::invalid_argument("flip_weight_bit: bit > 31");
-    std::uint32_t word = 0;
-    std::memcpy(&word, &value, sizeof(word));
-    word ^= (std::uint32_t{1} << bit);
-    std::memcpy(&value, &word, sizeof(word));
-    return value;
+    return snn::xor_weight_bits(value, std::uint32_t{1} << bit);
 }
-
-namespace {
-
-float& weight_at(snn::DiehlCookNetwork& network, const FaultSite& site) {
-    if (site.kind != SiteKind::kSynapse)
-        throw std::invalid_argument("weight fault needs a synapse site");
-    return network.input_connection().weights().at(site.pre, site.post);
-}
-
-std::size_t neuron_at(snn::DiehlCookNetwork& network, const FaultSite& site) {
-    if (site.kind != SiteKind::kNeuron)
-        throw std::invalid_argument("neuron fault needs a neuron site");
-    if (site.neuron >= layer_of(network, site.layer).size())
-        throw std::out_of_range("neuron site index out of range");
-    return site.neuron;
-}
-
-}  // namespace
 
 // --- StuckAtWeightFault --------------------------------------------------
 
@@ -97,10 +115,12 @@ const char* StuckAtWeightFault::description() const {
                        : "synaptic weight cell stuck at wmin";
 }
 
-void StuckAtWeightFault::inject(snn::DiehlCookNetwork& network,
-                                const FaultSite& site, double) const {
-    const snn::StdpParams& stdp = network.input_connection().params();
-    weight_at(network, site) = stuck_high_ ? stdp.wmax : stdp.wmin;
+void StuckAtWeightFault::build_overlay(snn::FaultOverlay& overlay,
+                                       const snn::DiehlCookConfig& config,
+                                       const FaultSite& site, double) const {
+    check_synapse_site(config, site);
+    overlay.set_weight(site.pre, site.post,
+                       stuck_high_ ? config.stdp.wmax : config.stdp.wmin);
 }
 
 // --- BitFlipWeightFault --------------------------------------------------
@@ -116,13 +136,14 @@ std::vector<double> BitFlipWeightFault::severity_grid(bool quick) const {
     return {31, 30, 23, 22, 15, 0};
 }
 
-void BitFlipWeightFault::inject(snn::DiehlCookNetwork& network,
-                                const FaultSite& site, double severity) const {
+void BitFlipWeightFault::build_overlay(snn::FaultOverlay& overlay,
+                                       const snn::DiehlCookConfig& config,
+                                       const FaultSite& site, double severity) const {
+    check_synapse_site(config, site);
     const double rounded = std::round(severity);
     if (rounded < 0.0 || rounded > 31.0)
         throw std::invalid_argument("bit_flip severity must be a bit index 0..31");
-    float& w = weight_at(network, site);
-    w = flip_weight_bit(w, static_cast<unsigned>(rounded));
+    overlay.flip_weight_bit(site.pre, site.post, static_cast<unsigned>(rounded));
 }
 
 // --- DeadNeuronFault -----------------------------------------------------
@@ -131,10 +152,11 @@ const char* DeadNeuronFault::description() const {
     return "neuron output stuck low: never fires";
 }
 
-void DeadNeuronFault::inject(snn::DiehlCookNetwork& network, const FaultSite& site,
-                             double) const {
-    const std::size_t mask[] = {neuron_at(network, site)};
-    layer_of(network, site.layer).apply_forced_state(mask, snn::NeuronFault::kDead);
+void DeadNeuronFault::build_overlay(snn::FaultOverlay& overlay,
+                                    const snn::DiehlCookConfig& config,
+                                    const FaultSite& site, double) const {
+    const std::size_t mask[] = {check_neuron_site(config, site)};
+    overlay.force_state(overlay_layer_of(site.layer), mask, snn::NeuronFault::kDead);
 }
 
 // --- SaturatedNeuronFault ------------------------------------------------
@@ -143,11 +165,12 @@ const char* SaturatedNeuronFault::description() const {
     return "neuron output stuck oscillating: fires on every step";
 }
 
-void SaturatedNeuronFault::inject(snn::DiehlCookNetwork& network,
-                                  const FaultSite& site, double) const {
-    const std::size_t mask[] = {neuron_at(network, site)};
-    layer_of(network, site.layer)
-        .apply_forced_state(mask, snn::NeuronFault::kSaturated);
+void SaturatedNeuronFault::build_overlay(snn::FaultOverlay& overlay,
+                                         const snn::DiehlCookConfig& config,
+                                         const FaultSite& site, double) const {
+    const std::size_t mask[] = {check_neuron_site(config, site)};
+    overlay.force_state(overlay_layer_of(site.layer), mask,
+                        snn::NeuronFault::kSaturated);
 }
 
 // --- RefractoryStretchFault ----------------------------------------------
@@ -161,15 +184,20 @@ std::vector<double> RefractoryStretchFault::severity_grid(bool quick) const {
     return {2.0, 4.0, 8.0};
 }
 
-void RefractoryStretchFault::inject(snn::DiehlCookNetwork& network,
-                                    const FaultSite& site, double severity) const {
+void RefractoryStretchFault::build_overlay(snn::FaultOverlay& overlay,
+                                           const snn::DiehlCookConfig& config,
+                                           const FaultSite& site,
+                                           double severity) const {
     if (severity < 0.0)
         throw std::invalid_argument("refractory_stretch severity must be >= 0");
-    snn::LifLayer& layer = layer_of(network, site.layer);
-    const std::size_t mask[] = {neuron_at(network, site)};
-    const int steps = static_cast<int>(
-        std::lround(severity * static_cast<double>(layer.params().refrac_steps)));
-    layer.apply_refractory_override(mask, steps);
+    const std::size_t mask[] = {check_neuron_site(config, site)};
+    const snn::OverlayLayer layer = overlay_layer_of(site.layer);
+    const int nominal = layer == snn::OverlayLayer::kExcitatory
+                            ? config.excitatory.lif.refrac_steps
+                            : config.inhibitory.refrac_steps;
+    const int steps =
+        static_cast<int>(std::lround(severity * static_cast<double>(nominal)));
+    overlay.override_refractory(layer, mask, steps);
 }
 
 // --- ThresholdDriftFault -------------------------------------------------
@@ -194,14 +222,15 @@ attack::FaultSpec ThresholdDriftFault::to_fault_spec(const FaultSite& site,
     return spec;
 }
 
-void ThresholdDriftFault::inject(snn::DiehlCookNetwork& network,
-                                 const FaultSite& site, double severity) const {
+void ThresholdDriftFault::build_overlay(snn::FaultOverlay& overlay,
+                                        const snn::DiehlCookConfig& config,
+                                        const FaultSite& site, double severity) const {
     if (site.kind != SiteKind::kParameter)
         throw std::invalid_argument("threshold_drift needs a parameter site");
-    snn::LifLayer& layer = layer_of(network, site.layer);
-    std::vector<std::size_t> all(layer.size());
+    std::vector<std::size_t> all(config.n_neurons);
     for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
-    layer.apply_threshold_value_delta(all, static_cast<float>(severity));
+    overlay.shift_threshold_value(overlay_layer_of(site.layer), all,
+                                  static_cast<float>(severity));
 }
 
 // --- DriverGainDriftFault ------------------------------------------------
@@ -225,11 +254,13 @@ attack::FaultSpec DriverGainDriftFault::to_fault_spec(const FaultSite&,
     return spec;
 }
 
-void DriverGainDriftFault::inject(snn::DiehlCookNetwork& network,
-                                  const FaultSite& site, double severity) const {
+void DriverGainDriftFault::build_overlay(snn::FaultOverlay& overlay,
+                                         const snn::DiehlCookConfig&,
+                                         const FaultSite& site,
+                                         double severity) const {
     if (site.kind != SiteKind::kParameter)
         throw std::invalid_argument("driver_gain_drift needs a parameter site");
-    network.set_driver_gain(static_cast<float>(1.0 + severity));
+    overlay.set_driver_gain(static_cast<float>(1.0 + severity));
 }
 
 // --- library -------------------------------------------------------------

@@ -16,11 +16,15 @@
 //   threshold_drift    parameter   threshold delta (paper attacks 2-4)
 //   driver_gain_drift  parameter   theta/drive delta (paper attack 1)
 //
-// The two *_drift models are the paper's attacks re-expressed: they carry
-// trains_under_fault() == true and convert to an attack::FaultSpec, so the
-// campaign engine routes them through the AttackSuite's train-under-fault
-// pipeline and reproduces the published scenarios exactly. All other
-// models inject into a restored baseline snapshot at inference time.
+// Every model expresses (site, severity) as a snn::FaultOverlay
+// (build_overlay), which the campaign engine hands to one NetworkRuntime
+// per (cell, replica) over the shared trained NetworkModel — no baseline
+// snapshot/restore. The two *_drift models are the paper's attacks
+// re-expressed: they carry trains_under_fault() == true and convert to an
+// attack::FaultSpec, so the campaign engine routes them through the
+// AttackSuite's train-under-fault pipeline and reproduces the published
+// scenarios exactly. The legacy inject() entry point replays the overlay
+// through the deprecated DiehlCookNetwork facade.
 #pragma once
 
 #include <cstdint>
@@ -30,6 +34,7 @@
 
 #include "attack/fault_model.hpp"
 #include "snn/network.hpp"
+#include "snn/overlay.hpp"
 
 namespace snnfi::fi {
 
@@ -59,7 +64,7 @@ struct FaultSite {
 
 /// One fault mechanism, applicable to any matching site at a severity
 /// drawn from the model's grid. Implementations are stateless and
-/// thread-safe: inject() only mutates the network it is handed.
+/// thread-safe: build_overlay() only appends to the overlay it is handed.
 class FaultModel {
 public:
     virtual ~FaultModel() = default;
@@ -74,7 +79,7 @@ public:
 
     /// True for analog drift models that must corrupt *training* (the
     /// paper's setting); the campaign engine routes these through the
-    /// AttackSuite instead of the inference-time snapshot path.
+    /// AttackSuite instead of the inference-time overlay path.
     virtual bool trains_under_fault() const { return false; }
 
     /// True when the fault hits the whole network at once (one site)
@@ -88,9 +93,22 @@ public:
     virtual attack::FaultSpec to_fault_spec(const FaultSite& site,
                                             double severity) const;
 
-    /// Applies the fault to a live network (inference-time injection).
-    virtual void inject(snn::DiehlCookNetwork& network, const FaultSite& site,
-                        double severity) const = 0;
+    /// Appends the overlay operations expressing (site, severity) for a
+    /// network of this topology. Validates the site against `config` with
+    /// the same exceptions the legacy inject path threw.
+    virtual void build_overlay(snn::FaultOverlay& overlay,
+                               const snn::DiehlCookConfig& config,
+                               const FaultSite& site, double severity) const = 0;
+
+    /// Convenience: a fresh overlay holding just this fault.
+    snn::FaultOverlay overlay(const snn::DiehlCookConfig& config,
+                              const FaultSite& site, double severity) const;
+
+    /// Deprecated facade path: applies the fault to a live network by
+    /// replaying build_overlay through the mutators (additive, like the
+    /// historic inject semantics).
+    void inject(snn::DiehlCookNetwork& network, const FaultSite& site,
+                double severity) const;
 };
 
 class StuckAtWeightFault final : public FaultModel {
@@ -99,8 +117,8 @@ public:
     const char* name() const override { return stuck_high_ ? "stuck_at_1" : "stuck_at_0"; }
     const char* description() const override;
     SiteKind site_kind() const override { return SiteKind::kSynapse; }
-    void inject(snn::DiehlCookNetwork& network, const FaultSite& site,
-                double severity) const override;
+    void build_overlay(snn::FaultOverlay& overlay, const snn::DiehlCookConfig& config,
+                       const FaultSite& site, double severity) const override;
 
 private:
     bool stuck_high_;
@@ -115,8 +133,8 @@ public:
     const char* description() const override;
     SiteKind site_kind() const override { return SiteKind::kSynapse; }
     std::vector<double> severity_grid(bool quick) const override;
-    void inject(snn::DiehlCookNetwork& network, const FaultSite& site,
-                double severity) const override;
+    void build_overlay(snn::FaultOverlay& overlay, const snn::DiehlCookConfig& config,
+                       const FaultSite& site, double severity) const override;
 };
 
 class DeadNeuronFault final : public FaultModel {
@@ -124,8 +142,8 @@ public:
     const char* name() const override { return "dead_neuron"; }
     const char* description() const override;
     SiteKind site_kind() const override { return SiteKind::kNeuron; }
-    void inject(snn::DiehlCookNetwork& network, const FaultSite& site,
-                double severity) const override;
+    void build_overlay(snn::FaultOverlay& overlay, const snn::DiehlCookConfig& config,
+                       const FaultSite& site, double severity) const override;
 };
 
 class SaturatedNeuronFault final : public FaultModel {
@@ -133,8 +151,8 @@ public:
     const char* name() const override { return "saturated_neuron"; }
     const char* description() const override;
     SiteKind site_kind() const override { return SiteKind::kNeuron; }
-    void inject(snn::DiehlCookNetwork& network, const FaultSite& site,
-                double severity) const override;
+    void build_overlay(snn::FaultOverlay& overlay, const snn::DiehlCookConfig& config,
+                       const FaultSite& site, double severity) const override;
 };
 
 /// Multiplies a neuron's refractory period (severity = multiplier).
@@ -144,8 +162,8 @@ public:
     const char* description() const override;
     SiteKind site_kind() const override { return SiteKind::kNeuron; }
     std::vector<double> severity_grid(bool quick) const override;
-    void inject(snn::DiehlCookNetwork& network, const FaultSite& site,
-                double severity) const override;
+    void build_overlay(snn::FaultOverlay& overlay, const snn::DiehlCookConfig& config,
+                       const FaultSite& site, double severity) const override;
 };
 
 /// Parametric threshold drift on a whole layer — the general form of the
@@ -159,8 +177,8 @@ public:
     bool trains_under_fault() const override { return true; }
     attack::FaultSpec to_fault_spec(const FaultSite& site,
                                     double severity) const override;
-    void inject(snn::DiehlCookNetwork& network, const FaultSite& site,
-                double severity) const override;
+    void build_overlay(snn::FaultOverlay& overlay, const snn::DiehlCookConfig& config,
+                       const FaultSite& site, double severity) const override;
 };
 
 /// Parametric drift of the input current drivers — the general form of the
@@ -176,8 +194,8 @@ public:
     bool network_wide() const override { return true; }
     attack::FaultSpec to_fault_spec(const FaultSite& site,
                                     double severity) const override;
-    void inject(snn::DiehlCookNetwork& network, const FaultSite& site,
-                double severity) const override;
+    void build_overlay(snn::FaultOverlay& overlay, const snn::DiehlCookConfig& config,
+                       const FaultSite& site, double severity) const override;
 };
 
 /// The standard catalog: all eight models above, in taxonomy order.
@@ -190,7 +208,11 @@ std::shared_ptr<const FaultModel> find_fault_model(const std::string& name);
 /// Flips one bit of a float's IEEE-754 representation (bit 0 = LSB).
 float flip_weight_bit(float value, unsigned bit);
 
-/// The layer object a neuron/parameter site addresses.
+/// The overlay-layer handle a neuron/parameter site addresses. Throws
+/// std::invalid_argument unless the site names one concrete layer.
+snn::OverlayLayer overlay_layer_of(attack::TargetLayer layer);
+
+/// Deprecated facade helper: the live layer object a site addresses.
 snn::LifLayer& layer_of(snn::DiehlCookNetwork& network, attack::TargetLayer layer);
 
 }  // namespace snnfi::fi

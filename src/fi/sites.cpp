@@ -9,11 +9,12 @@ namespace snnfi::fi {
 
 namespace {
 
-std::size_t layer_size(const snn::DiehlCookNetwork& network,
+std::size_t layer_size(const snn::DiehlCookConfig& config,
                        attack::TargetLayer layer) {
     switch (layer) {
-        case attack::TargetLayer::kExcitatory: return network.excitatory().size();
-        case attack::TargetLayer::kInhibitory: return network.inhibitory().size();
+        case attack::TargetLayer::kExcitatory:
+        case attack::TargetLayer::kInhibitory:
+            return config.n_neurons;
         default:
             throw std::invalid_argument(
                 "site enumeration: plan layers must be concrete");
@@ -48,28 +49,26 @@ std::vector<FaultSite> neuron_sites_of(attack::TargetLayer layer, std::size_t n)
 
 }  // namespace
 
-std::size_t site_space_size(const snn::DiehlCookNetwork& network, SiteKind kind,
+std::size_t site_space_size(const snn::DiehlCookConfig& config, SiteKind kind,
                             const SitePlan& plan) {
     switch (kind) {
         case SiteKind::kNeuron: {
             std::size_t total = 0;
-            for (const auto layer : plan.layers) total += layer_size(network, layer);
+            for (const auto layer : plan.layers) total += layer_size(config, layer);
             return total;
         }
-        case SiteKind::kSynapse: {
-            const auto& weights = network.input_connection().weights();
-            return weights.rows() * weights.cols();
-        }
+        case SiteKind::kSynapse:
+            return config.n_input * config.n_neurons;
         case SiteKind::kParameter:
             return plan.layers.size();
     }
     return 0;
 }
 
-std::vector<FaultSite> enumerate_sites(const snn::DiehlCookNetwork& network,
+std::vector<FaultSite> enumerate_sites(const snn::DiehlCookConfig& config,
                                        SiteKind kind, const SitePlan& plan) {
     std::vector<FaultSite> sites;
-    sites.reserve(std::min<std::size_t>(site_space_size(network, kind, plan), 4096));
+    sites.reserve(std::min<std::size_t>(site_space_size(config, kind, plan), 4096));
     switch (kind) {
         case SiteKind::kNeuron: {
             // Stratified: the cap applies per layer (independent seeded
@@ -77,16 +76,15 @@ std::vector<FaultSite> enumerate_sites(const snn::DiehlCookNetwork& network,
             std::uint64_t stream = 0;
             for (const auto layer : plan.layers) {
                 auto layer_sites = subsample(
-                    neuron_sites_of(layer, layer_size(network, layer)),
+                    neuron_sites_of(layer, layer_size(config, layer)),
                     plan.max_sites, util::derive_seed(plan.sample_seed, ++stream));
                 sites.insert(sites.end(), layer_sites.begin(), layer_sites.end());
             }
             return sites;
         }
         case SiteKind::kSynapse: {
-            const auto& weights = network.input_connection().weights();
-            for (std::size_t pre = 0; pre < weights.rows(); ++pre) {
-                for (std::size_t post = 0; post < weights.cols(); ++post) {
+            for (std::size_t pre = 0; pre < config.n_input; ++pre) {
+                for (std::size_t post = 0; post < config.n_neurons; ++post) {
                     FaultSite site;
                     site.kind = SiteKind::kSynapse;
                     site.layer = attack::TargetLayer::kNone;
@@ -107,6 +105,16 @@ std::vector<FaultSite> enumerate_sites(const snn::DiehlCookNetwork& network,
             break;
     }
     return subsample(std::move(sites), plan.max_sites, plan.sample_seed);
+}
+
+std::size_t site_space_size(const snn::DiehlCookNetwork& network, SiteKind kind,
+                            const SitePlan& plan) {
+    return site_space_size(network.config(), kind, plan);
+}
+
+std::vector<FaultSite> enumerate_sites(const snn::DiehlCookNetwork& network,
+                                       SiteKind kind, const SitePlan& plan) {
+    return enumerate_sites(network.config(), kind, plan);
 }
 
 }  // namespace snnfi::fi

@@ -1,7 +1,10 @@
-// Fault-site enumeration: walks a DiehlCookNetwork and yields every
+// Fault-site enumeration: walks the Diehl&Cook topology and yields every
 // addressable site of a kind, in a deterministic order, with seeded
 // subsampling when the full space (78 400 synapses for the paper topology)
 // is larger than a campaign wants to visit.
+//
+// Sites depend only on the topology, so enumeration takes the
+// DiehlCookConfig directly — no network (or model) needs to exist.
 //
 // Ordering guarantees (the basis of reproducible campaigns):
 //   * neuron sites:   plan.layers order, then neuron index ascending;
@@ -36,12 +39,18 @@ struct SitePlan {
 };
 
 /// Size of the full (un-subsampled) site space for a kind under a plan.
-std::size_t site_space_size(const snn::DiehlCookNetwork& network, SiteKind kind,
+std::size_t site_space_size(const snn::DiehlCookConfig& config, SiteKind kind,
                             const SitePlan& plan);
 
 /// Enumerates (and, when needed, subsamples) the site space. The result is
 /// deterministic: complete and ordered when the space fits max_sites,
 /// otherwise a seeded sample that preserves enumeration order.
+std::vector<FaultSite> enumerate_sites(const snn::DiehlCookConfig& config,
+                                       SiteKind kind, const SitePlan& plan);
+
+/// Deprecated facade overloads: forward to the config-based API.
+std::size_t site_space_size(const snn::DiehlCookNetwork& network, SiteKind kind,
+                            const SitePlan& plan);
 std::vector<FaultSite> enumerate_sites(const snn::DiehlCookNetwork& network,
                                        SiteKind kind, const SitePlan& plan);
 

@@ -20,6 +20,15 @@ DenseConnection::DenseConnection(std::size_t n_pre, std::size_t n_post,
     if (norm_total_ > 0.0f) normalize();
 }
 
+DenseConnection::DenseConnection(Matrix initial, StdpParams params, float norm_total)
+    : weights_(std::move(initial)), stdp_(params), norm_total_(norm_total) {
+    if (weights_.rows() == 0 || weights_.cols() == 0)
+        throw std::invalid_argument("DenseConnection: empty dimension");
+    trace_decay_ = std::exp(-params.dt_ms / params.trace_tau_ms);
+    trace_pre_.assign(weights_.rows(), 0.0f);
+    trace_post_.assign(weights_.cols(), 0.0f);
+}
+
 void DenseConnection::propagate(std::span<const std::uint32_t> active_pre,
                                 std::span<float> out) const {
     if (out.size() != n_post())

@@ -38,6 +38,11 @@ public:
     DenseConnection(std::size_t n_pre, std::size_t n_post, StdpParams params,
                     float norm_total, util::Rng& rng, float init_max = 0.3f);
 
+    /// Adopts an existing weight matrix verbatim (no random init, no
+    /// normalisation): the NetworkRuntime's learning path starts from a
+    /// NetworkModel's frozen weights.
+    DenseConnection(Matrix initial, StdpParams params, float norm_total);
+
     std::size_t n_pre() const noexcept { return weights_.rows(); }
     std::size_t n_post() const noexcept { return weights_.cols(); }
     const Matrix& weights() const noexcept { return weights_; }

@@ -1,0 +1,49 @@
+#include "snn/model.hpp"
+
+#include <stdexcept>
+
+#include "snn/connection.hpp"
+
+namespace snnfi::snn {
+
+NetworkModel::NetworkModel(DiehlCookConfig config, Matrix input_weights,
+                           std::vector<float> exc_theta, util::Rng init_rng)
+    : config_(config), input_weights_(std::move(input_weights)),
+      exc_theta_(std::move(exc_theta)), init_rng_(init_rng) {
+    if (input_weights_.rows() != config_.n_input ||
+        input_weights_.cols() != config_.n_neurons ||
+        exc_theta_.size() != config_.n_neurons)
+        throw std::invalid_argument("NetworkModel: shape mismatch");
+}
+
+std::shared_ptr<const NetworkModel> NetworkModel::random(
+    const DiehlCookConfig& config, std::uint64_t seed) {
+    // Mirror DiehlCookNetwork's construction order: the seeded Rng feeds
+    // the dense-connection init (uniform draws, then normalisation) and
+    // nothing else, so the post-init state matches the facade's rng().
+    util::Rng rng(seed);
+    DenseConnection init(config.n_input, config.n_neurons, config.stdp,
+                         config.norm_total, rng);
+    auto model = std::make_shared<NetworkModel>(
+        config, init.weights(), std::vector<float>(config.n_neurons, 0.0f));
+    model->init_rng_ = rng;
+    return model;
+}
+
+std::shared_ptr<const NetworkModel> NetworkModel::freeze(
+    const DiehlCookNetwork& network) {
+    return std::make_shared<NetworkModel>(
+        network.config(), network.input_connection().weights(),
+        std::vector<float>(network.excitatory().theta().begin(),
+                           network.excitatory().theta().end()),
+        network.rng());
+}
+
+NetworkState NetworkModel::state() const {
+    NetworkState state;
+    state.input_weights = input_weights_;
+    state.exc_theta = exc_theta_;
+    return state;
+}
+
+}  // namespace snnfi::snn

@@ -1,0 +1,72 @@
+// NetworkModel: the frozen, shareable half of the Model/Runtime split.
+//
+// A model carries everything training produces — topology config, learned
+// input->EL weights, excitatory adaptive thresholds (theta) — plus the RNG
+// state left behind by weight initialisation, so a NetworkRuntime built on
+// top reproduces the legacy DiehlCookNetwork bit-for-bit. Models are
+// immutable after construction and shared across replicas by shared_ptr:
+// a fault-injection campaign holds ONE trained model and spins up one
+// cheap NetworkRuntime per (cell, replica) instead of snapshot/restoring
+// a mutable network.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "snn/network.hpp"
+#include "snn/tensor.hpp"
+#include "util/random.hpp"
+
+namespace snnfi::snn {
+
+class NetworkModel {
+public:
+    /// Randomly initialised (untrained) model. Weights are drawn exactly
+    /// like DiehlCookNetwork's constructor (same Rng stream), and the
+    /// post-initialisation RNG state is captured so training a runtime on
+    /// this model consumes the identical encoder stream as the facade.
+    static std::shared_ptr<const NetworkModel> random(const DiehlCookConfig& config,
+                                                      std::uint64_t seed);
+
+    /// Freezes a live facade network: its current weights and theta become
+    /// the model's learned parameters (the facade keeps its own copies).
+    static std::shared_ptr<const NetworkModel> freeze(const DiehlCookNetwork& network);
+
+    /// Assembles a model from already-captured learned state (e.g. a
+    /// legacy NetworkState snapshot). Throws std::invalid_argument on a
+    /// shape mismatch. `init_rng` seeds runtimes built on this model;
+    /// without one the model carries a fixed default stream (seed 0) —
+    /// campaigns reseed per replica regardless.
+    NetworkModel(DiehlCookConfig config, Matrix input_weights,
+                 std::vector<float> exc_theta, util::Rng init_rng = util::Rng{0});
+
+    const DiehlCookConfig& config() const noexcept { return config_; }
+    std::size_t n_input() const noexcept { return config_.n_input; }
+    std::size_t n_neurons() const noexcept { return config_.n_neurons; }
+
+    const Matrix& input_weights() const noexcept { return input_weights_; }
+    std::span<const float> weight_row(std::size_t pre) const {
+        return input_weights_.row(pre);
+    }
+    std::span<const float> exc_theta() const noexcept { return exc_theta_; }
+
+    /// RNG state to seed a runtime's encoder stream with: post weight
+    /// init for random models, the source's post-training stream for
+    /// frozen models, and a fixed default (seed 0) for hand-assembled
+    /// models. Runtimes copy it; campaigns reseed per replica anyway.
+    const util::Rng& init_rng() const noexcept { return init_rng_; }
+
+    /// Legacy view: the model's learned parameters as a NetworkState
+    /// snapshot (deprecated consumers restore it into a facade network).
+    NetworkState state() const;
+
+private:
+    DiehlCookConfig config_;
+    Matrix input_weights_;
+    std::vector<float> exc_theta_;
+    util::Rng init_rng_{0};
+};
+
+}  // namespace snnfi::snn

@@ -1,6 +1,12 @@
 // The Diehl&Cook SNN (paper Fig. 7a): 784 Poisson inputs -> excitatory
 // layer (adaptive LIF, STDP-learned dense input) -> inhibitory layer
 // (one-to-one) -> lateral inhibition back onto the excitatory layer.
+//
+// DEPRECATED FACADE: DiehlCookNetwork is the legacy mutable-network API,
+// kept for one release. New code should use the immutable snn::NetworkModel
+// plus per-replica snn::NetworkRuntime with snn::FaultOverlay
+// (snn/model.hpp, snn/runtime.hpp, snn/overlay.hpp) — see the migration
+// table in README.md. The runtime reproduces this facade bit-for-bit.
 #pragma once
 
 #include <cstdint>
@@ -41,9 +47,9 @@ struct SampleActivity {
 };
 
 /// The learned state of a DiehlCookNetwork: everything training produces.
-/// Capturing it after baseline training and restoring it before each fault
-/// injection replaces a full retrain with a memcpy-sized operation — the
-/// fast path of the src/fi campaign engine.
+/// Deprecated alongside the facade — the src/fi campaign engine now shares
+/// an immutable NetworkModel across replicas instead of snapshot/restoring
+/// this struct; it remains for facade clients and legacy tests.
 struct NetworkState {
     Matrix input_weights;          ///< input->EL STDP-learned weights
     std::vector<float> exc_theta;  ///< EL homeostatic adaptive thresholds
@@ -85,6 +91,7 @@ public:
     void restore_state(const NetworkState& state);
 
     util::Rng& rng() noexcept { return rng_; }
+    const util::Rng& rng() const noexcept { return rng_; }
 
 private:
     DiehlCookConfig config_;

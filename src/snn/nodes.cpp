@@ -68,12 +68,8 @@ void LifLayer::apply_threshold_scale(std::span<const std::size_t> neurons,
 void LifLayer::apply_threshold_value_delta(std::span<const std::size_t> neurons,
                                            float delta) {
     // v_th_new = v_thresh * (1 + delta); expressed as a distance scale so
-    // effective_threshold() stays a single formula:
-    //   dist_new = v_thresh*(1+delta) - v_rest
-    //   scale    = dist_new / (v_thresh - v_rest)
-    const float dist = params_.v_thresh - params_.v_rest;
-    const float dist_new = params_.v_thresh * (1.0f + delta) - params_.v_rest;
-    const float scale = dist_new / dist;
+    // effective_threshold() stays a single formula.
+    const float scale = threshold_value_delta_scale(params_, delta);
     for (const std::size_t i : neurons) thresh_scale_.at(i) = scale;
 }
 

@@ -35,6 +35,16 @@ struct LifParams {
     float dt_ms = 1.0f;
 };
 
+/// Converts a BindsNET-style threshold *value* delta (v_th_new =
+/// v_thresh * (1 + delta)) into the rest-to-threshold distance scale the
+/// layers and runtimes store internally. One shared formula keeps the
+/// legacy facade and the NetworkRuntime overlay path bit-identical.
+inline float threshold_value_delta_scale(const LifParams& params, float delta) {
+    const float dist = params.v_thresh - params.v_rest;
+    const float dist_new = params.v_thresh * (1.0f + delta) - params.v_rest;
+    return dist_new / dist;
+}
+
 /// Leaky integrate-and-fire layer.
 class LifLayer {
 public:

@@ -1,0 +1,124 @@
+// FaultOverlay: a composable, data-only description of the faults one
+// replica carries on top of a frozen NetworkModel.
+//
+// An overlay is a recorded sequence of operations — driver gain, per-neuron
+// threshold/gain scaling, forced state, refractory overrides, and weight
+// patches (absolute sets and IEEE-754 bit flips) — that a NetworkRuntime
+// expands into its struct-of-arrays fault state at construction, and that
+// the deprecated DiehlCookNetwork facade can replay through its mutators.
+// Because an overlay only *describes* faults, a campaign builds thousands
+// of them up front for pennies; the weight matrix stays shared and only
+// patched cells are materialised per replica (copy-on-write).
+//
+// Composition: apply order is last-writer-wins per (field, neuron) and
+// per weight cell, XOR patches commute, and operations on distinct targets
+// are order-independent — the property the paper's combined attacks
+// (threshold + driver gain, attack 5) rely on.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "snn/nodes.hpp"
+
+namespace snnfi::snn {
+
+class DiehlCookNetwork;
+
+/// XORs a float32 weight word with a bit mask (the overlay's bit-flip
+/// primitive; applying the same mask twice restores the value bit-exactly).
+inline float xor_weight_bits(float value, std::uint32_t bits) {
+    std::uint32_t word = 0;
+    std::memcpy(&word, &value, sizeof(word));
+    word ^= bits;
+    std::memcpy(&value, &word, sizeof(word));
+    return value;
+}
+
+/// The two layers of the Diehl&Cook topology an overlay can address.
+enum class OverlayLayer : std::uint8_t { kExcitatory = 0, kInhibitory = 1 };
+
+const char* to_string(OverlayLayer layer);
+
+/// One per-neuron fault operation.
+struct NeuronOp {
+    enum class Field : std::uint8_t {
+        kThresholdScale,       ///< value = rest-to-threshold distance scale
+        kThresholdValueDelta,  ///< value = BindsNET raw-threshold delta
+        kInputGain,            ///< value = synaptic drive gain
+        kForcedState,          ///< value = NeuronFault enum (as float)
+        kRefractoryOverride,   ///< value = refractory steps (>= 0)
+    };
+    OverlayLayer layer = OverlayLayer::kExcitatory;
+    std::uint32_t neuron = 0;
+    Field field = Field::kThresholdScale;
+    float value = 1.0f;
+};
+
+/// One input->EL weight-cell patch.
+struct WeightOp {
+    enum class Kind : std::uint8_t {
+        kSet,      ///< pin the cell to `value` (stuck-at)
+        kXorBits,  ///< XOR the float32 word with `bits` (bit flips)
+    };
+    std::uint32_t pre = 0;
+    std::uint32_t post = 0;
+    Kind kind = Kind::kSet;
+    float value = 0.0f;
+    std::uint32_t bits = 0;
+};
+
+class FaultOverlay {
+public:
+    // --- builders (chainable) -------------------------------------------
+    FaultOverlay& set_driver_gain(float gain);
+    FaultOverlay& scale_threshold(OverlayLayer layer,
+                                  std::span<const std::size_t> neurons, float scale);
+    /// BindsNET semantics: scales the raw negative-mV threshold value by
+    /// (1 + delta); converted to a distance scale against the target
+    /// layer's params at apply time (shared formula with LifLayer).
+    FaultOverlay& shift_threshold_value(OverlayLayer layer,
+                                        std::span<const std::size_t> neurons,
+                                        float delta);
+    FaultOverlay& scale_input_gain(OverlayLayer layer,
+                                   std::span<const std::size_t> neurons, float gain);
+    FaultOverlay& force_state(OverlayLayer layer,
+                              std::span<const std::size_t> neurons, NeuronFault state);
+    FaultOverlay& override_refractory(OverlayLayer layer,
+                                      std::span<const std::size_t> neurons, int steps);
+    FaultOverlay& set_weight(std::size_t pre, std::size_t post, float value);
+    FaultOverlay& flip_weight_bit(std::size_t pre, std::size_t post, unsigned bit);
+
+    /// Appends every operation of `other` after this overlay's own
+    /// (composition: `other` wins on conflicting targets).
+    FaultOverlay& merge(const FaultOverlay& other);
+    static FaultOverlay compose(const FaultOverlay& first, const FaultOverlay& second);
+
+    // --- inspection ------------------------------------------------------
+    bool empty() const noexcept {
+        return !has_driver_gain_ && neuron_ops_.empty() && weight_ops_.empty();
+    }
+    bool has_driver_gain() const noexcept { return has_driver_gain_; }
+    float driver_gain() const noexcept { return driver_gain_; }
+    std::span<const NeuronOp> neuron_ops() const noexcept { return neuron_ops_; }
+    std::span<const WeightOp> weight_ops() const noexcept { return weight_ops_; }
+
+    /// Legacy bridge: replays the overlay through the deprecated facade's
+    /// mutators (additive — call network.clear_faults() first for
+    /// replace semantics). Weight patches mutate the facade's matrix.
+    void apply_to(DiehlCookNetwork& network) const;
+
+private:
+    FaultOverlay& add_neuron_ops(OverlayLayer layer,
+                                 std::span<const std::size_t> neurons,
+                                 NeuronOp::Field field, float value);
+
+    bool has_driver_gain_ = false;
+    float driver_gain_ = 1.0f;
+    std::vector<NeuronOp> neuron_ops_;
+    std::vector<WeightOp> weight_ops_;
+};
+
+}  // namespace snnfi::snn

@@ -1,0 +1,382 @@
+#include "snn/runtime.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace snnfi::snn {
+
+namespace {
+
+constexpr std::uint8_t kDead = static_cast<std::uint8_t>(NeuronFault::kDead);
+constexpr std::uint8_t kSaturated = static_cast<std::uint8_t>(NeuronFault::kSaturated);
+constexpr std::uint8_t kNominal = static_cast<std::uint8_t>(NeuronFault::kNominal);
+
+}  // namespace
+
+void NetworkRuntime::LayerState::init(std::size_t n, const LifParams& params) {
+    v.assign(n, params.v_rest);
+    refrac.assign(n, 0);
+    thresh_scale.assign(n, 1.0f);
+    input_gain.assign(n, 1.0f);
+    forced.assign(n, kNominal);
+    refrac_override.assign(n, -1);
+}
+
+void NetworkRuntime::LayerState::reset_dynamic(const LifParams& params) {
+    std::fill(v.begin(), v.end(), params.v_rest);
+    std::fill(refrac.begin(), refrac.end(), 0);
+}
+
+void NetworkRuntime::LayerState::reset_faults() {
+    std::fill(thresh_scale.begin(), thresh_scale.end(), 1.0f);
+    std::fill(input_gain.begin(), input_gain.end(), 1.0f);
+    std::fill(forced.begin(), forced.end(), kNominal);
+    std::fill(refrac_override.begin(), refrac_override.end(), -1);
+}
+
+NetworkRuntime::NetworkRuntime(std::shared_ptr<const NetworkModel> model,
+                               FaultOverlay overlay)
+    : model_(std::move(model)), encoder_(model_->config().encoder),
+      rng_(model_->init_rng()) {
+    const DiehlCookConfig& config = model_->config();
+    const LifParams& exc_params = config.excitatory.lif;
+    if (exc_params.tau_ms <= 0.0f || config.inhibitory.tau_ms <= 0.0f)
+        throw std::invalid_argument("NetworkRuntime: tau <= 0");
+    exc_.init(config.n_neurons, exc_params);
+    inh_.init(config.n_neurons, config.inhibitory);
+    exc_theta_.assign(model_->exc_theta().begin(), model_->exc_theta().end());
+    exc_decay_ = std::exp(-exc_params.dt_ms / exc_params.tau_ms);
+    inh_decay_ = std::exp(-config.inhibitory.dt_ms / config.inhibitory.tau_ms);
+    theta_decay_factor_ =
+        std::exp(-exc_params.dt_ms / config.excitatory.theta_decay_ms);
+    exc_input_.resize(config.n_neurons);
+    exc_spiked_.assign(config.n_neurons, 0);
+    inh_spiked_.assign(config.n_neurons, 0);
+    set_overlay(overlay);
+}
+
+void NetworkRuntime::set_overlay(const FaultOverlay& overlay) {
+    overlay_ = overlay;
+    driver_gain_ = overlay_.has_driver_gain() ? overlay_.driver_gain() : 1.0f;
+    exc_.reset_faults();
+    inh_.reset_faults();
+    apply_overlay_ops();
+    if (learned_) {
+        // Learning mode owns the matrix: patches land in place (and are
+        // not reverted by a later set_overlay — documented).
+        for (const WeightOp& op : overlay_.weight_ops()) {
+            float& w = learned_->weights().at(op.pre, op.post);
+            if (op.kind == WeightOp::Kind::kSet) {
+                w = op.value;
+            } else {
+                w = xor_weight_bits(w, op.bits);
+            }
+        }
+    } else {
+        rebuild_weight_patches();
+    }
+}
+
+void NetworkRuntime::apply_overlay_ops() {
+    const DiehlCookConfig& config = model_->config();
+    for (const NeuronOp& op : overlay_.neuron_ops()) {
+        const bool exc = op.layer == OverlayLayer::kExcitatory;
+        LayerState& layer = exc ? exc_ : inh_;
+        const LifParams& params = exc ? config.excitatory.lif : config.inhibitory;
+        if (op.neuron >= config.n_neurons)
+            throw std::out_of_range("NetworkRuntime: overlay neuron out of range");
+        switch (op.field) {
+            case NeuronOp::Field::kThresholdScale:
+                layer.thresh_scale[op.neuron] = op.value;
+                break;
+            case NeuronOp::Field::kThresholdValueDelta:
+                layer.thresh_scale[op.neuron] =
+                    threshold_value_delta_scale(params, op.value);
+                break;
+            case NeuronOp::Field::kInputGain:
+                layer.input_gain[op.neuron] = op.value;
+                break;
+            case NeuronOp::Field::kForcedState:
+                layer.forced[op.neuron] =
+                    static_cast<std::uint8_t>(static_cast<int>(op.value));
+                break;
+            case NeuronOp::Field::kRefractoryOverride:
+                layer.refrac_override[op.neuron] = static_cast<std::int32_t>(op.value);
+                break;
+        }
+    }
+}
+
+void NetworkRuntime::rebuild_weight_patches() {
+    const DiehlCookConfig& config = model_->config();
+    cow_rows_.clear();
+    cell_deltas_.clear();
+    row_ptr_.resize(config.n_input);
+    for (std::size_t pre = 0; pre < config.n_input; ++pre)
+        row_ptr_[pre] = model_->weight_row(pre).data();
+    if (overlay_.weight_ops().empty()) return;
+
+    // Materialise only the touched rows (copy-on-write), then apply the
+    // patch operations in order.
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> touched;
+    for (const WeightOp& op : overlay_.weight_ops()) {
+        if (op.pre >= config.n_input || op.post >= config.n_neurons)
+            throw std::out_of_range("NetworkRuntime: weight patch out of range");
+        auto it = std::find_if(cow_rows_.begin(), cow_rows_.end(),
+                               [&](const auto& row) { return row.first == op.pre; });
+        if (it == cow_rows_.end()) {
+            const auto row = model_->weight_row(op.pre);
+            cow_rows_.emplace_back(op.pre,
+                                   std::vector<float>(row.begin(), row.end()));
+            it = std::prev(cow_rows_.end());
+        }
+        float& w = it->second[op.post];
+        if (op.kind == WeightOp::Kind::kSet) {
+            w = op.value;
+        } else {
+            w = xor_weight_bits(w, op.bits);
+        }
+        const auto cell = std::make_pair(op.pre, op.post);
+        if (std::find(touched.begin(), touched.end(), cell) == touched.end())
+            touched.push_back(cell);
+    }
+    for (auto& [pre, row] : cow_rows_) row_ptr_[pre] = row.data();
+    // Batch-path deltas of every touched cell versus the shared matrix.
+    cell_deltas_.reserve(touched.size());
+    for (const auto& [pre, post] : touched) {
+        CellDelta delta;
+        delta.pre = pre;
+        delta.post = post;
+        delta.delta = row_ptr_[pre][post] - model_->input_weights()(pre, post);
+        cell_deltas_.push_back(delta);
+    }
+}
+
+void NetworkRuntime::set_learning(bool enabled) {
+    const DiehlCookConfig& config = model_->config();
+    if (enabled && !learned_) {
+        Matrix effective = model_->input_weights();
+        for (const auto& [pre, row] : cow_rows_) {
+            for (std::size_t j = 0; j < row.size(); ++j) effective(pre, j) = row[j];
+        }
+        learned_.emplace(std::move(effective), config.stdp, config.norm_total);
+        row_ptr_.clear();
+        cow_rows_.clear();
+        cell_deltas_.clear();
+    }
+    learning_ = enabled;
+    if (learned_) learned_->set_learning(enabled);
+}
+
+std::span<const float> NetworkRuntime::weight_row(std::size_t pre) const {
+    if (learned_) return learned_->weights().row(pre);
+    if (pre >= row_ptr_.size())
+        throw std::out_of_range("NetworkRuntime: weight row out of range");
+    return {row_ptr_[pre], model_->n_neurons()};
+}
+
+std::shared_ptr<const NetworkModel> NetworkRuntime::freeze() const {
+    if (learned_) {
+        return std::make_shared<const NetworkModel>(
+            model_->config(), learned_->weights(), exc_theta_, rng_);
+    }
+    Matrix weights = model_->input_weights();
+    for (const auto& [pre, row] : cow_rows_) {
+        for (std::size_t j = 0; j < row.size(); ++j) weights(pre, j) = row[j];
+    }
+    return std::make_shared<const NetworkModel>(model_->config(), std::move(weights),
+                                                exc_theta_, rng_);
+}
+
+void NetworkRuntime::begin_sample() {
+    const DiehlCookConfig& config = model_->config();
+    exc_.reset_dynamic(config.excitatory.lif);
+    inh_.reset_dynamic(config.inhibitory);
+    std::fill(exc_spiked_.begin(), exc_spiked_.end(), 0);
+    std::fill(inh_spiked_.begin(), inh_spiked_.end(), 0);
+    if (learned_) learned_->reset_traces();
+}
+
+void NetworkRuntime::end_sample() {
+    if (learned_ && learning_) learned_->normalize();
+}
+
+void NetworkRuntime::accumulate_drive(std::span<const std::uint32_t> active) {
+    std::fill(exc_input_.begin(), exc_input_.end(), 0.0f);
+    if (learned_) {
+        learned_->propagate(active, exc_input_);
+        return;
+    }
+    const std::size_t n = exc_input_.size();
+    for (const std::uint32_t pre : active) {
+        const float* row = row_ptr_[pre];
+        for (std::size_t j = 0; j < n; ++j) exc_input_[j] += row[j];
+    }
+}
+
+void NetworkRuntime::adopt_drive(std::span<const float> base,
+                                 std::span<const std::uint32_t> active) {
+    exc_input_.assign(base.begin(), base.end());
+    for (const CellDelta& cell : cell_deltas_) {
+        if (std::binary_search(active.begin(), active.end(), cell.pre))
+            exc_input_[cell.post] += cell.delta;
+    }
+}
+
+void NetworkRuntime::advance_step(std::span<const std::uint32_t> active,
+                                  SampleActivity& activity) {
+    const DiehlCookConfig& config = model_->config();
+    const std::size_t n = config.n_neurons;
+    const LifParams& ep = config.excitatory.lif;
+    const float theta_plus = config.excitatory.theta_plus;
+
+    // Lateral inhibition context from the previous step's IL spikes.
+    std::size_t inh_total = 0;
+    for (const std::uint8_t s : inh_spiked_) inh_total += s;
+    const float w_inh = config.inh_weight;
+    const bool gain_active = driver_gain_ != 1.0f;
+
+    // Excitatory pass: drive assembly fused with the DiehlCook update.
+    std::size_t exc_count = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        float x = exc_input_[i];
+        if (gain_active) x *= driver_gain_;
+        if (inh_total > 0) {
+            x += w_inh * (static_cast<float>(inh_total) -
+                          static_cast<float>(inh_spiked_[i]));
+        }
+        exc_theta_[i] *= theta_decay_factor_;
+        std::uint8_t spike = 0;
+        if (exc_.forced[i] == kDead) {
+            exc_.v[i] = ep.v_rest;
+        } else if (exc_.forced[i] == kSaturated) {
+            spike = 1;
+            exc_.v[i] = ep.v_reset;
+            exc_theta_[i] += theta_plus;
+        } else if (exc_.refrac[i] > 0) {
+            --exc_.refrac[i];
+            exc_.v[i] = ep.v_reset;
+        } else {
+            float v = ep.v_rest + exc_decay_ * (exc_.v[i] - ep.v_rest);
+            v += exc_.input_gain[i] * x;
+            const float threshold = ep.v_rest +
+                                    (ep.v_thresh - ep.v_rest) * exc_.thresh_scale[i] +
+                                    exc_theta_[i];
+            if (v >= threshold) {
+                spike = 1;
+                v = ep.v_reset;
+                exc_.refrac[i] = exc_.refrac_override[i] >= 0 ? exc_.refrac_override[i]
+                                                              : ep.refrac_steps;
+                exc_theta_[i] += theta_plus;
+            }
+            exc_.v[i] = v;
+        }
+        exc_spiked_[i] = spike;
+        exc_count += spike;
+    }
+    activity.total_exc_spikes += exc_count;
+
+    if (learned_) learned_->learn(active, exc_spiked_);
+
+    // Inhibitory pass: one-to-one EL drive fused with the LIF update.
+    const LifParams& ip = config.inhibitory;
+    const float w_exc = config.exc_weight;
+    std::size_t inh_count = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+        const float x = exc_spiked_[i] ? w_exc : 0.0f;
+        std::uint8_t spike = 0;
+        if (inh_.forced[i] == kDead) {
+            inh_.v[i] = ip.v_rest;
+        } else if (inh_.forced[i] == kSaturated) {
+            spike = 1;
+            inh_.v[i] = ip.v_reset;
+        } else if (inh_.refrac[i] > 0) {
+            --inh_.refrac[i];
+            inh_.v[i] = ip.v_reset;
+        } else {
+            float v = ip.v_rest + inh_decay_ * (inh_.v[i] - ip.v_rest);
+            v += inh_.input_gain[i] * x;
+            const float threshold =
+                ip.v_rest + (ip.v_thresh - ip.v_rest) * inh_.thresh_scale[i];
+            if (v >= threshold) {
+                spike = 1;
+                v = ip.v_reset;
+                inh_.refrac[i] = inh_.refrac_override[i] >= 0 ? inh_.refrac_override[i]
+                                                              : ip.refrac_steps;
+            }
+            inh_.v[i] = v;
+        }
+        inh_spiked_[i] = spike;
+        inh_count += spike;
+    }
+    activity.total_inh_spikes += inh_count;
+
+    if (exc_count > 0) {
+        for (std::size_t i = 0; i < n; ++i) activity.exc_counts[i] += exc_spiked_[i];
+    }
+}
+
+SampleActivity NetworkRuntime::run_sample(std::span<const float> image) {
+    const DiehlCookConfig& config = model_->config();
+    if (image.size() != config.n_input)
+        throw std::invalid_argument("run_sample: image size mismatch");
+    encoder_.set_image(image);
+    begin_sample();
+    SampleActivity activity;
+    activity.exc_counts.assign(config.n_neurons, 0);
+    for (std::size_t step = 0; step < config.steps_per_sample; ++step) {
+        encoder_.step(rng_, active_inputs_);
+        accumulate_drive(active_inputs_);
+        advance_step(active_inputs_, activity);
+    }
+    end_sample();
+    return activity;
+}
+
+BatchRunner::BatchRunner(const NetworkModel& model,
+                         std::vector<NetworkRuntime*> runtimes)
+    : model_(model), runtimes_(std::move(runtimes)),
+      encoder_(model.config().encoder) {
+    if (runtimes_.empty())
+        throw std::invalid_argument("BatchRunner: empty runtime batch");
+    for (const NetworkRuntime* runtime : runtimes_) {
+        if (runtime == nullptr)
+            throw std::invalid_argument("BatchRunner: null runtime");
+        if (runtime->model_ptr().get() != &model_)
+            throw std::invalid_argument("BatchRunner: runtimes must share the model");
+        if (runtime->learned_.has_value())
+            throw std::invalid_argument(
+                "BatchRunner: learning runtimes cannot join a batch");
+    }
+    base_drive_.resize(model_.n_neurons());
+}
+
+std::vector<SampleActivity> BatchRunner::run_sample(std::span<const float> image,
+                                                    util::Rng& rng) {
+    if (image.size() != model_.n_input())
+        throw std::invalid_argument("BatchRunner: image size mismatch");
+    encoder_.set_image(image);
+    std::vector<SampleActivity> activities(runtimes_.size());
+    for (std::size_t k = 0; k < runtimes_.size(); ++k) {
+        runtimes_[k]->begin_sample();
+        activities[k].exc_counts.assign(model_.n_neurons(), 0);
+    }
+    const std::size_t n = model_.n_neurons();
+    for (std::size_t step = 0; step < model_.config().steps_per_sample; ++step) {
+        encoder_.step(rng, active_);
+        // Shared dense propagation over the frozen weights, once per step.
+        std::fill(base_drive_.begin(), base_drive_.end(), 0.0f);
+        for (const std::uint32_t pre : active_) {
+            const auto row = model_.weight_row(pre);
+            for (std::size_t j = 0; j < n; ++j) base_drive_[j] += row[j];
+        }
+        for (std::size_t k = 0; k < runtimes_.size(); ++k) {
+            runtimes_[k]->adopt_drive(base_drive_, active_);
+            runtimes_[k]->advance_step(active_, activities[k]);
+        }
+    }
+    return activities;
+}
+
+}  // namespace snnfi::snn

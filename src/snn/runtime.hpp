@@ -1,0 +1,181 @@
+// NetworkRuntime: the lightweight, per-replica half of the Model/Runtime
+// split (see snn/model.hpp).
+//
+// A runtime borrows a frozen NetworkModel by shared_ptr and owns only the
+// dynamic state of one replica — voltages, refractory counters, adaptive
+// thresholds, spike buffers — laid out as struct-of-arrays so the fused
+// LIF/DiehlCook step is a single pass over contiguous spans. Faults come
+// in through a FaultOverlay: parametric faults expand into the SoA arrays,
+// and weight patches are copy-on-write — the replica shares the model's
+// weight matrix and materialises only the touched rows. Construction is
+// therefore cheap (no weight copy, no RNG re-init), which is what lets a
+// fault-injection campaign run one runtime per (cell, replica) with no
+// snapshot/restore and no locking.
+//
+// With learning enabled the runtime materialises the full weight matrix
+// into a DenseConnection (STDP + normalisation reuse the exact legacy
+// kernels) and freeze() packages the learned parameters into a new
+// immutable NetworkModel. Training a runtime over NetworkModel::random()
+// reproduces the deprecated DiehlCookNetwork facade bit-for-bit.
+//
+// BatchRunner advances several inference runtimes in lockstep over ONE
+// shared Poisson stream: the dense input propagation over the shared
+// weights is computed once per timestep and reused by every replica in
+// the batch — the campaign engine's batched-inference fast path.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "snn/connection.hpp"
+#include "snn/encoding.hpp"
+#include "snn/model.hpp"
+#include "snn/overlay.hpp"
+
+namespace snnfi::snn {
+
+class NetworkRuntime {
+public:
+    /// Builds a replica over `model` with `overlay` applied. The encoder
+    /// RNG starts from the model's init_rng() stream (bit-compatible with
+    /// the facade); reseed via rng() for independent replica streams.
+    explicit NetworkRuntime(std::shared_ptr<const NetworkModel> model,
+                            FaultOverlay overlay = {});
+
+    const DiehlCookConfig& config() const noexcept { return model_->config(); }
+    const NetworkModel& model() const noexcept { return *model_; }
+    std::shared_ptr<const NetworkModel> model_ptr() const noexcept { return model_; }
+
+    /// Replaces the replica's fault state with `overlay` (previous
+    /// parametric faults and copy-on-write weight patches are cleared).
+    /// With learning enabled, weight patches mutate the materialised
+    /// matrix in place and are NOT undone by a later set_overlay.
+    void set_overlay(const FaultOverlay& overlay);
+    const FaultOverlay& overlay() const noexcept { return overlay_; }
+
+    /// Learning materialises the weight matrix (model + patches) into an
+    /// STDP connection on first enable; disabling freezes further updates
+    /// but keeps the materialised weights.
+    void set_learning(bool enabled);
+    bool learning_enabled() const noexcept { return learning_; }
+
+    /// Runs one sample exactly like DiehlCookNetwork::run_sample: dynamic
+    /// state and traces reset first, weights normalised afterwards when
+    /// learning.
+    SampleActivity run_sample(std::span<const float> image);
+
+    /// Freezes the replica's current learned parameters (weights incl.
+    /// patches, theta) into a new immutable model.
+    std::shared_ptr<const NetworkModel> freeze() const;
+
+    util::Rng& rng() noexcept { return rng_; }
+    float driver_gain() const noexcept { return driver_gain_; }
+    std::span<const float> exc_theta() const noexcept { return exc_theta_; }
+    /// Effective weight row (materialised patches included).
+    std::span<const float> weight_row(std::size_t pre) const;
+
+private:
+    friend class BatchRunner;
+
+    /// Per-layer dynamic + fault state, struct-of-arrays.
+    struct LayerState {
+        std::vector<float> v;
+        std::vector<std::int32_t> refrac;
+        std::vector<float> thresh_scale;
+        std::vector<float> input_gain;
+        std::vector<std::uint8_t> forced;
+        std::vector<std::int32_t> refrac_override;
+
+        void init(std::size_t n, const LifParams& params);
+        void reset_dynamic(const LifParams& params);
+        void reset_faults();
+    };
+
+    /// One materialised copy-on-write weight cell: effective minus model.
+    struct CellDelta {
+        std::uint32_t pre = 0;
+        std::uint32_t post = 0;
+        float delta = 0.0f;
+    };
+
+    void apply_overlay_ops();
+    void rebuild_weight_patches();
+    void begin_sample();
+    void end_sample();
+    /// Dense input drive of one step into exc_input_ (standalone path:
+    /// patched rows included via row_ptr_, or the STDP matrix when
+    /// learning).
+    void accumulate_drive(std::span<const std::uint32_t> active);
+    /// Batch path: adopts a shared base drive (computed over the *model*
+    /// weights) and adds this replica's weight-patch deltas for rows
+    /// active this step.
+    void adopt_drive(std::span<const float> base,
+                     std::span<const std::uint32_t> active);
+    /// The fused step: driver gain + lateral inhibition + excitatory
+    /// DiehlCook update + STDP + one-to-one + inhibitory LIF update, one
+    /// pass per layer over contiguous spans. Reads exc_input_.
+    void advance_step(std::span<const std::uint32_t> active, SampleActivity& activity);
+
+    std::shared_ptr<const NetworkModel> model_;
+    FaultOverlay overlay_;
+    PoissonEncoder encoder_;
+    util::Rng rng_;
+
+    LayerState exc_;
+    LayerState inh_;
+    std::vector<float> exc_theta_;
+    float exc_decay_ = 0.0f;
+    float inh_decay_ = 0.0f;
+    float theta_decay_factor_ = 1.0f;
+    float driver_gain_ = 1.0f;
+    bool learning_ = false;
+
+    /// Learning path: materialised weights + STDP state.
+    std::optional<DenseConnection> learned_;
+    /// Inference path: per-row pointers into the model matrix, redirected
+    /// to materialised copies for patched rows only.
+    std::vector<const float*> row_ptr_;
+    std::vector<std::pair<std::uint32_t, std::vector<float>>> cow_rows_;
+    std::vector<CellDelta> cell_deltas_;
+
+    // Scratch reused across steps.
+    std::vector<std::uint32_t> active_inputs_;
+    std::vector<float> exc_input_;
+    std::vector<std::uint8_t> exc_spiked_;
+    std::vector<std::uint8_t> inh_spiked_;
+};
+
+/// Lockstep batch evaluation of several inference replicas of ONE model
+/// over one shared Poisson stream. Per timestep the dense propagation over
+/// the shared weight matrix is computed once and broadcast; each replica
+/// then applies its own overlay state. Amortising the encoder and the
+/// propagation across the batch is the fi campaign's >= 2x speedup over
+/// the legacy snapshot/restore engine.
+class BatchRunner {
+public:
+    /// All runtimes must share `model`, be inference-mode (learning never
+    /// enabled), and stay alive for the runner's lifetime.
+    BatchRunner(const NetworkModel& model, std::vector<NetworkRuntime*> runtimes);
+
+    std::size_t size() const noexcept { return runtimes_.size(); }
+
+    /// Runs one sample on every replica using `rng` as the shared encoder
+    /// stream; returns one activity per replica, in runtime order.
+    /// Replicas without weight patches match NetworkRuntime::run_sample
+    /// bit-for-bit; patched replicas apply their patch as a drive delta
+    /// (deterministic, last-ulp differences from the standalone path).
+    std::vector<SampleActivity> run_sample(std::span<const float> image,
+                                           util::Rng& rng);
+
+private:
+    const NetworkModel& model_;
+    std::vector<NetworkRuntime*> runtimes_;
+    PoissonEncoder encoder_;
+    std::vector<std::uint32_t> active_;
+    std::vector<float> base_drive_;
+};
+
+}  // namespace snnfi::snn

@@ -101,5 +101,35 @@ TEST(Campaign, DriverGainDriftReproducesAttack1Numbers) {
     }
 }
 
+TEST(Campaign, DriftDriverGainScenarioReproducesFig7bBitForBit) {
+    core::Session session(tiny_options());
+    const core::RunResult fig7b = session.run("fig7b");
+    ASSERT_EQ(fig7b.table.num_rows(), 2u);
+    const std::size_t misses_after_fig7b = session.cache_misses();
+
+    const core::RunResult drift = session.run("fi.drift.driver_gain");
+    ASSERT_EQ(drift.table.num_rows(), 2u);
+    for (std::size_t row = 0; row < 2; ++row) {
+        // severity and accuracy_pct columns must match attack 1 exactly
+        // (same train-under-fault path off the same cached suite).
+        EXPECT_DOUBLE_EQ(drift.table.number_at(row, 2) * 100.0,
+                         fig7b.table.number_at(row, 0));
+        EXPECT_DOUBLE_EQ(drift.table.number_at(row, 4), fig7b.table.number_at(row, 1));
+    }
+    // The scenario only missed its own campaign artifact: the baseline
+    // (inside the suite) was trained exactly once, for fig7b.
+    EXPECT_EQ(session.cache_misses(), misses_after_fig7b + 1);
+}
+
+TEST(Campaign, EvaluationsCountCleanAndFaultyRuntimePasses) {
+    core::Session session(tiny_options());
+    CampaignEngine engine(session, tiny_config());
+    const auto campaign = engine.run();
+    // 2 replicas: per replica one clean pass, plus one faulty pass per
+    // (cell, replica) — the batched engine must count them all.
+    std::size_t cells = campaign->cells.size();
+    EXPECT_EQ(campaign->evaluations, 2u + 2u * cells);
+}
+
 }  // namespace
 }  // namespace snnfi::fi

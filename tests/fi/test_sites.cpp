@@ -1,5 +1,6 @@
 // Fault-site enumeration: deterministic ordering, completeness on a small
-// network, stratified seeded subsampling.
+// topology (config-driven — no network needs to exist), stratified seeded
+// subsampling, and the deprecated facade overload.
 #include "fi/sites.hpp"
 
 #include <gtest/gtest.h>
@@ -9,19 +10,19 @@
 namespace snnfi::fi {
 namespace {
 
-snn::DiehlCookNetwork small_network() {
+snn::DiehlCookConfig small_config() {
     snn::DiehlCookConfig config;
     config.n_input = 12;
     config.n_neurons = 5;
-    return snn::DiehlCookNetwork(config, /*seed=*/1);
+    return config;
 }
 
 TEST(SiteEnumeration, NeuronSitesCompleteAndOrdered) {
-    auto network = small_network();
+    const auto config = small_config();
     const SitePlan plan;  // both layers, no cap
-    EXPECT_EQ(site_space_size(network, SiteKind::kNeuron, plan), 10u);
+    EXPECT_EQ(site_space_size(config, SiteKind::kNeuron, plan), 10u);
 
-    const auto sites = enumerate_sites(network, SiteKind::kNeuron, plan);
+    const auto sites = enumerate_sites(config, SiteKind::kNeuron, plan);
     ASSERT_EQ(sites.size(), 10u);
     for (std::size_t i = 0; i < 5; ++i) {
         EXPECT_EQ(sites[i].layer, attack::TargetLayer::kExcitatory);
@@ -34,11 +35,11 @@ TEST(SiteEnumeration, NeuronSitesCompleteAndOrdered) {
 }
 
 TEST(SiteEnumeration, SynapseSitesCompleteRowMajor) {
-    auto network = small_network();
+    const auto config = small_config();
     const SitePlan plan;
-    EXPECT_EQ(site_space_size(network, SiteKind::kSynapse, plan), 60u);
+    EXPECT_EQ(site_space_size(config, SiteKind::kSynapse, plan), 60u);
 
-    const auto sites = enumerate_sites(network, SiteKind::kSynapse, plan);
+    const auto sites = enumerate_sites(config, SiteKind::kSynapse, plan);
     ASSERT_EQ(sites.size(), 60u);
     std::set<std::pair<std::size_t, std::size_t>> seen;
     for (std::size_t i = 0; i < sites.size(); ++i) {
@@ -53,21 +54,21 @@ TEST(SiteEnumeration, SynapseSitesCompleteRowMajor) {
 }
 
 TEST(SiteEnumeration, ParameterSitesFollowThePlanLayers) {
-    auto network = small_network();
+    const auto config = small_config();
     SitePlan plan;
     plan.layers = {attack::TargetLayer::kInhibitory, attack::TargetLayer::kExcitatory};
-    const auto sites = enumerate_sites(network, SiteKind::kParameter, plan);
+    const auto sites = enumerate_sites(config, SiteKind::kParameter, plan);
     ASSERT_EQ(sites.size(), 2u);
     EXPECT_EQ(sites[0].id(), "inh.param");
     EXPECT_EQ(sites[1].id(), "exc.param");
 }
 
 TEST(SiteEnumeration, SubsamplingIsSeededAndOrderPreserving) {
-    auto network = small_network();
+    const auto config = small_config();
     SitePlan plan;
     plan.max_sites = 7;
-    const auto a = enumerate_sites(network, SiteKind::kSynapse, plan);
-    const auto b = enumerate_sites(network, SiteKind::kSynapse, plan);
+    const auto a = enumerate_sites(config, SiteKind::kSynapse, plan);
+    const auto b = enumerate_sites(config, SiteKind::kSynapse, plan);
     ASSERT_EQ(a.size(), 7u);
     for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i].id(), b[i].id());
     // Enumeration (row-major) order survives the draw.
@@ -77,7 +78,7 @@ TEST(SiteEnumeration, SubsamplingIsSeededAndOrderPreserving) {
 
     SitePlan reseeded = plan;
     reseeded.sample_seed = plan.sample_seed + 1;
-    const auto c = enumerate_sites(network, SiteKind::kSynapse, reseeded);
+    const auto c = enumerate_sites(config, SiteKind::kSynapse, reseeded);
     ASSERT_EQ(c.size(), 7u);
     bool any_difference = false;
     for (std::size_t i = 0; i < c.size(); ++i)
@@ -86,16 +87,29 @@ TEST(SiteEnumeration, SubsamplingIsSeededAndOrderPreserving) {
 }
 
 TEST(SiteEnumeration, NeuronSubsamplingIsStratifiedPerLayer) {
-    auto network = small_network();
+    const auto config = small_config();
     SitePlan plan;
     plan.max_sites = 2;  // per layer for neuron sites
-    const auto sites = enumerate_sites(network, SiteKind::kNeuron, plan);
+    const auto sites = enumerate_sites(config, SiteKind::kNeuron, plan);
     ASSERT_EQ(sites.size(), 4u);
     std::size_t excitatory = 0;
     for (const auto& site : sites) {
         if (site.layer == attack::TargetLayer::kExcitatory) ++excitatory;
     }
     EXPECT_EQ(excitatory, 2u);  // both layers stay represented
+}
+
+TEST(SiteEnumeration, DeprecatedFacadeOverloadDelegates) {
+    const auto config = small_config();
+    snn::DiehlCookNetwork network(config, /*seed=*/1);
+    const SitePlan plan;
+    EXPECT_EQ(site_space_size(network, SiteKind::kSynapse, plan),
+              site_space_size(config, SiteKind::kSynapse, plan));
+    const auto via_network = enumerate_sites(network, SiteKind::kNeuron, plan);
+    const auto via_config = enumerate_sites(config, SiteKind::kNeuron, plan);
+    ASSERT_EQ(via_network.size(), via_config.size());
+    for (std::size_t i = 0; i < via_network.size(); ++i)
+        EXPECT_EQ(via_network[i].id(), via_config[i].id());
 }
 
 }  // namespace

@@ -1,0 +1,192 @@
+// Model/Runtime split: bit-for-bit equivalence with the deprecated
+// DiehlCookNetwork facade (init, training, inference, faults), freeze
+// round trips, copy-on-write weight patches, and lockstep batch runs.
+#include "snn/runtime.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "attack/fault_model.hpp"
+#include "data/synthetic_digits.hpp"
+#include "snn/trainer.hpp"
+
+namespace snnfi::snn {
+namespace {
+
+DiehlCookConfig tiny_config() {
+    DiehlCookConfig cfg;
+    cfg.n_neurons = 24;
+    cfg.steps_per_sample = 120;
+    return cfg;
+}
+
+bool same_bits(std::span<const float> a, std::span<const float> b) {
+    return a.size() == b.size() &&
+           std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
+}
+
+TEST(NetworkModel, RandomInitMatchesFacadeBitExact) {
+    const auto model = NetworkModel::random(tiny_config(), 7);
+    DiehlCookNetwork facade(tiny_config(), 7);
+    EXPECT_TRUE(same_bits(model->input_weights().flat(),
+                          facade.input_connection().weights().flat()));
+    for (const float theta : model->exc_theta()) EXPECT_EQ(theta, 0.0f);
+}
+
+TEST(NetworkRuntime, TrainingMatchesFacadeBitExact) {
+    const auto dataset = data::make_synthetic_dataset(60, 11);
+
+    DiehlCookNetwork facade(tiny_config(), 13);
+    const TrainResult facade_result = Trainer(facade, 30).run(dataset);
+
+    NetworkRuntime runtime(NetworkModel::random(tiny_config(), 13));
+    const TrainResult runtime_result = Trainer(runtime, 30).run(dataset);
+
+    EXPECT_DOUBLE_EQ(runtime_result.train_accuracy, facade_result.train_accuracy);
+    EXPECT_DOUBLE_EQ(runtime_result.retro_accuracy, facade_result.retro_accuracy);
+    EXPECT_EQ(runtime_result.total_exc_spikes, facade_result.total_exc_spikes);
+    EXPECT_EQ(runtime_result.total_inh_spikes, facade_result.total_inh_spikes);
+
+    const auto frozen = runtime.freeze();
+    EXPECT_TRUE(same_bits(frozen->input_weights().flat(),
+                          facade.input_connection().weights().flat()));
+    EXPECT_TRUE(same_bits(frozen->exc_theta(), facade.excitatory().theta()));
+}
+
+TEST(NetworkRuntime, InferenceMatchesFacadeBitExact) {
+    const auto dataset = data::make_synthetic_dataset(30, 5);
+    DiehlCookNetwork facade(tiny_config(), 9);
+    (void)Trainer(facade, 15).run(dataset);
+
+    NetworkRuntime runtime(NetworkModel::freeze(facade));
+    facade.set_learning(false);
+    facade.rng().reseed(0xBEEF);
+    runtime.rng().reseed(0xBEEF);
+    for (std::size_t i = 0; i < 5; ++i) {
+        const SampleActivity a = facade.run_sample(dataset.images[i]);
+        const SampleActivity b = runtime.run_sample(dataset.images[i]);
+        EXPECT_EQ(a.exc_counts, b.exc_counts) << "sample " << i;
+        EXPECT_EQ(a.total_inh_spikes, b.total_inh_spikes) << "sample " << i;
+    }
+}
+
+TEST(NetworkRuntime, OverlayFaultsMatchFacadeMutators) {
+    util::Rng rng(1);
+    const auto image = data::render_digit(4, rng, {});
+
+    attack::FaultSpec fault;
+    fault.layer = attack::TargetLayer::kBoth;
+    fault.fraction = 0.5;
+    fault.threshold_delta = -0.2;
+    fault.driver_gain = 1.1;
+
+    DiehlCookNetwork facade(tiny_config(), 21);
+    attack::apply_fault(facade, fault);
+    facade.rng().reseed(0xF00D);
+
+    NetworkRuntime runtime(NetworkModel::random(tiny_config(), 21),
+                           attack::overlay_for(fault, tiny_config()));
+    runtime.rng().reseed(0xF00D);
+
+    // Both run with learning OFF on the facade side for parity.
+    facade.set_learning(false);
+    const SampleActivity a = facade.run_sample(image);
+    const SampleActivity b = runtime.run_sample(image);
+    EXPECT_EQ(a.exc_counts, b.exc_counts);
+    EXPECT_EQ(a.total_inh_spikes, b.total_inh_spikes);
+}
+
+TEST(NetworkRuntime, WeightPatchesAreCopyOnWrite) {
+    const auto model = NetworkModel::random(tiny_config(), 3);
+    FaultOverlay overlay;
+    overlay.set_weight(5, 2, 0.75f);
+    NetworkRuntime runtime(model, overlay);
+
+    // Only the patched row is materialised; all others alias the model.
+    EXPECT_EQ(runtime.weight_row(0).data(), model->weight_row(0).data());
+    EXPECT_NE(runtime.weight_row(5).data(), model->weight_row(5).data());
+    EXPECT_EQ(runtime.weight_row(5)[2], 0.75f);
+    // The shared model itself is untouched.
+    EXPECT_NE(model->input_weights()(5, 2), 0.75f);
+
+    // Clearing the overlay drops the materialised row.
+    runtime.set_overlay(FaultOverlay{});
+    EXPECT_EQ(runtime.weight_row(5).data(), model->weight_row(5).data());
+}
+
+TEST(NetworkRuntime, FreezeAfterPatchMaterialisesThePatch) {
+    const auto model = NetworkModel::random(tiny_config(), 3);
+    FaultOverlay overlay;
+    overlay.set_weight(7, 1, 0.5f);
+    NetworkRuntime runtime(model, overlay);
+    const auto frozen = runtime.freeze();
+    EXPECT_EQ(frozen->input_weights()(7, 1), 0.5f);
+    // Everything else is the model's values, bit-exact.
+    EXPECT_EQ(frozen->input_weights()(7, 0), model->input_weights()(7, 0));
+    EXPECT_TRUE(same_bits(frozen->weight_row(0), model->weight_row(0)));
+}
+
+TEST(BatchRunner, LockstepMatchesStandaloneRuns) {
+    const auto dataset = data::make_synthetic_dataset(20, 5);
+    DiehlCookNetwork facade(tiny_config(), 9);
+    (void)Trainer(facade, 10).run(dataset);
+    const auto model = NetworkModel::freeze(facade);
+
+    FaultOverlay dead;
+    const std::size_t mask[] = {3};
+    dead.force_state(OverlayLayer::kExcitatory, mask, NeuronFault::kDead);
+    FaultOverlay gain;
+    gain.set_driver_gain(1.2f);
+
+    const std::vector<FaultOverlay> overlays = {FaultOverlay{}, dead, gain};
+    // Standalone reference runs, one shared stream per replica.
+    std::vector<std::vector<std::uint32_t>> reference;
+    for (const FaultOverlay& overlay : overlays) {
+        NetworkRuntime runtime(model, overlay);
+        runtime.rng().reseed(0xABCD);
+        std::vector<std::uint32_t> counts;
+        for (std::size_t i = 0; i < 4; ++i) {
+            const auto activity = runtime.run_sample(dataset.images[i]);
+            counts.insert(counts.end(), activity.exc_counts.begin(),
+                          activity.exc_counts.end());
+        }
+        reference.push_back(std::move(counts));
+    }
+
+    // The same three replicas advanced in lockstep.
+    std::vector<NetworkRuntime> runtimes;
+    runtimes.reserve(overlays.size());
+    std::vector<NetworkRuntime*> members;
+    for (const FaultOverlay& overlay : overlays) runtimes.emplace_back(model, overlay);
+    for (NetworkRuntime& runtime : runtimes) members.push_back(&runtime);
+    BatchRunner batch(*model, members);
+    util::Rng rng(0);
+    rng.reseed(0xABCD);
+    std::vector<std::vector<std::uint32_t>> batched(overlays.size());
+    for (std::size_t i = 0; i < 4; ++i) {
+        const auto activities = batch.run_sample(dataset.images[i], rng);
+        for (std::size_t k = 0; k < activities.size(); ++k) {
+            batched[k].insert(batched[k].end(), activities[k].exc_counts.begin(),
+                              activities[k].exc_counts.end());
+        }
+    }
+    for (std::size_t k = 0; k < overlays.size(); ++k)
+        EXPECT_EQ(batched[k], reference[k]) << "replica " << k;
+}
+
+TEST(BatchRunner, RejectsForeignModelsAndLearningRuntimes) {
+    const auto model = NetworkModel::random(tiny_config(), 1);
+    const auto other = NetworkModel::random(tiny_config(), 2);
+    NetworkRuntime mine(model);
+    NetworkRuntime foreign(other);
+    EXPECT_THROW(BatchRunner(*model, {&mine, &foreign}), std::invalid_argument);
+
+    NetworkRuntime learner(model);
+    learner.set_learning(true);
+    EXPECT_THROW(BatchRunner(*model, {&learner}), std::invalid_argument);
+    EXPECT_THROW(BatchRunner(*model, {}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace snnfi::snn

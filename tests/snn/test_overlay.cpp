@@ -1,0 +1,138 @@
+// FaultOverlay semantics: bit-flip weight patches round-trip bit-exactly,
+// composition is order-independent on distinct targets (the paper's
+// combined attacks), last-writer-wins on conflicting targets, and the
+// legacy facade bridge replays overlays through the mutators.
+#include "snn/overlay.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "data/synthetic_digits.hpp"
+#include "snn/model.hpp"
+#include "snn/network.hpp"
+#include "snn/runtime.hpp"
+
+namespace snnfi::snn {
+namespace {
+
+DiehlCookConfig tiny_config() {
+    DiehlCookConfig cfg;
+    cfg.n_neurons = 16;
+    cfg.steps_per_sample = 100;
+    return cfg;
+}
+
+TEST(FaultOverlay, BitFlipPatchRoundTripsBitExact) {
+    const auto model = NetworkModel::random(tiny_config(), 5);
+
+    FaultOverlay once;
+    once.flip_weight_bit(9, 4, 30);
+    NetworkRuntime flipped(model, once);
+    EXPECT_NE(std::memcmp(&flipped.weight_row(9)[4], &model->weight_row(9)[4],
+                          sizeof(float)),
+              0);
+
+    // Flipping the same bit twice restores the weight — and because the
+    // restored row is bit-identical, the whole effective matrix matches
+    // the model bit-for-bit.
+    FaultOverlay twice = once;
+    twice.flip_weight_bit(9, 4, 30);
+    NetworkRuntime restored(model, twice);
+    for (std::size_t pre = 0; pre < model->n_input(); ++pre) {
+        const auto row = restored.weight_row(pre);
+        EXPECT_EQ(std::memcmp(row.data(), model->weight_row(pre).data(),
+                              row.size() * sizeof(float)),
+                  0)
+            << "row " << pre;
+    }
+}
+
+TEST(FaultOverlay, CompositionOrderIndependentOnDistinctTargets) {
+    // The paper's attack 5 combines a threshold shift with a driver-gain
+    // change; the overlay composition must not care which lands first.
+    std::vector<std::size_t> all(tiny_config().n_neurons);
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+
+    FaultOverlay threshold;
+    threshold.shift_threshold_value(OverlayLayer::kExcitatory, all, -0.2f);
+    threshold.shift_threshold_value(OverlayLayer::kInhibitory, all, -0.2f);
+    FaultOverlay gain;
+    gain.set_driver_gain(0.9f);
+
+    const auto model = NetworkModel::random(tiny_config(), 17);
+    util::Rng rng(1);
+    const auto image = data::render_digit(2, rng, {});
+
+    const auto run = [&](const FaultOverlay& overlay) {
+        NetworkRuntime runtime(model, overlay);
+        runtime.rng().reseed(0x5EED);
+        return runtime.run_sample(image).exc_counts;
+    };
+    EXPECT_EQ(run(FaultOverlay::compose(threshold, gain)),
+              run(FaultOverlay::compose(gain, threshold)));
+}
+
+TEST(FaultOverlay, LastWriterWinsOnConflictingTargets) {
+    DiehlCookNetwork network(tiny_config(), 3);
+    const std::size_t mask[] = {2};
+    FaultOverlay first;
+    first.scale_threshold(OverlayLayer::kExcitatory, mask, 0.5f);
+    FaultOverlay second;
+    second.scale_threshold(OverlayLayer::kExcitatory, mask, 2.0f);
+
+    FaultOverlay::compose(first, second).apply_to(network);
+    EXPECT_FLOAT_EQ(network.excitatory().threshold_scale(2), 2.0f);
+    network.clear_faults();
+    FaultOverlay::compose(second, first).apply_to(network);
+    EXPECT_FLOAT_EQ(network.excitatory().threshold_scale(2), 0.5f);
+}
+
+TEST(FaultOverlay, FacadeBridgeReplaysEveryFieldKind) {
+    DiehlCookNetwork network(tiny_config(), 3);
+    const std::size_t n2[] = {2};
+    const std::size_t n3[] = {3};
+    const std::size_t n4[] = {4};
+    FaultOverlay overlay;
+    overlay.set_driver_gain(1.25f)
+        .scale_input_gain(OverlayLayer::kExcitatory, n2, 0.7f)
+        .force_state(OverlayLayer::kInhibitory, n3, NeuronFault::kSaturated)
+        .override_refractory(OverlayLayer::kExcitatory, n4, 9)
+        .set_weight(1, 1, 0.33f);
+    overlay.apply_to(network);
+
+    EXPECT_FLOAT_EQ(network.driver_gain(), 1.25f);
+    EXPECT_FLOAT_EQ(network.excitatory().input_gain(2), 0.7f);
+    EXPECT_EQ(network.inhibitory().forced_state(3), NeuronFault::kSaturated);
+    EXPECT_EQ(network.excitatory().refractory_steps(4), 9);
+    EXPECT_FLOAT_EQ(network.input_connection().weights().at(1, 1), 0.33f);
+}
+
+TEST(FaultOverlay, Validation) {
+    FaultOverlay overlay;
+    const std::size_t mask[] = {1};
+    EXPECT_THROW(overlay.override_refractory(OverlayLayer::kExcitatory, mask, -1),
+                 std::invalid_argument);
+    EXPECT_THROW(overlay.flip_weight_bit(0, 0, 32), std::invalid_argument);
+
+    FaultOverlay out_of_range;
+    const std::size_t bad[] = {999};
+    out_of_range.force_state(OverlayLayer::kExcitatory, bad, NeuronFault::kDead);
+    DiehlCookNetwork network(tiny_config(), 1);
+    EXPECT_THROW(out_of_range.apply_to(network), std::out_of_range);
+    EXPECT_THROW(NetworkRuntime(NetworkModel::random(tiny_config(), 1),
+                                out_of_range),
+                 std::out_of_range);
+}
+
+TEST(FaultOverlay, EmptyAndDriverGainInspection) {
+    FaultOverlay overlay;
+    EXPECT_TRUE(overlay.empty());
+    EXPECT_FALSE(overlay.has_driver_gain());
+    overlay.set_driver_gain(0.8f);
+    EXPECT_FALSE(overlay.empty());
+    EXPECT_FLOAT_EQ(overlay.driver_gain(), 0.8f);
+}
+
+}  // namespace
+}  // namespace snnfi::snn

@@ -32,7 +32,10 @@ int main(int argc, char** argv) {
     parser.add_flag("csv", "Also print CSV rows under each table");
     parser.add_option("samples", "1000", "Training samples for SNN experiments");
     parser.add_option("neurons", "100", "Neurons per layer for SNN experiments");
-    parser.add_option("workers", "0", "Parallel sweep workers (0 = all cores)");
+    parser.add_option("threads", "0",
+                      "Session thread-pool size (0 = SNNFI_THREADS env or all "
+                      "cores)");
+    parser.add_option("workers", "0", "Deprecated alias for --threads");
     parser.add_option("cache-capacity", "0",
                       "Artifact-cache entry cap with LRU eviction (0 = unbounded)");
     try {
@@ -66,7 +69,9 @@ int main(int argc, char** argv) {
     options.quick = parser.get_bool("quick");
     options.train_samples = static_cast<std::size_t>(parser.get_int("samples"));
     options.n_neurons = static_cast<std::size_t>(parser.get_int("neurons"));
-    options.max_workers = static_cast<std::size_t>(parser.get_int("workers"));
+    const auto threads = static_cast<std::size_t>(parser.get_int("threads"));
+    options.max_workers =
+        threads != 0 ? threads : static_cast<std::size_t>(parser.get_int("workers"));
     options.cache_capacity =
         static_cast<std::size_t>(parser.get_int("cache-capacity"));
 
