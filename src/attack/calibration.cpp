@@ -1,12 +1,27 @@
 #include "attack/calibration.hpp"
 
+#include <stdexcept>
+
 namespace snnfi::attack {
 
 VddCalibration VddCalibration::from_circuits(
     const circuits::Characterizer& characterizer, const std::vector<double>& vdds,
     circuits::NeuronKind neuron_kind) {
-    const auto thresholds = characterizer.threshold_vs_vdd(neuron_kind, vdds);
-    const auto amplitudes = characterizer.driver_amplitude_vs_vdd(vdds, false);
+    return from_points(characterizer.threshold_vs_vdd(neuron_kind, vdds),
+                       characterizer.driver_amplitude_vs_vdd(vdds, false));
+}
+
+VddCalibration VddCalibration::from_points(
+    const std::vector<circuits::VddPoint>& thresholds,
+    const std::vector<circuits::VddPoint>& amplitudes) {
+    if (thresholds.size() != amplitudes.size())
+        throw std::invalid_argument("VddCalibration: sweep size mismatch");
+    for (std::size_t i = 0; i < thresholds.size(); ++i) {
+        if (thresholds[i].vdd != amplitudes[i].vdd)
+            throw std::invalid_argument(
+                "VddCalibration: sweeps measured on different VDD grids");
+    }
+    const std::vector<circuits::VddPoint>& vdds = thresholds;
 
     std::vector<double> xs, thr_pct, gain;
     xs.reserve(vdds.size());

@@ -23,6 +23,12 @@ public:
                                         const std::vector<double>& vdds,
                                         circuits::NeuronKind neuron_kind);
 
+    /// Builds the mapping from already-measured sweep points (e.g. the
+    /// Session's cached characterisation sweeps). Threshold points carry
+    /// percent change; driver points carry percent amplitude change.
+    static VddCalibration from_points(const std::vector<circuits::VddPoint>& thresholds,
+                                      const std::vector<circuits::VddPoint>& amplitudes);
+
     /// The paper's published curves (Figs. 5b and 6a), linearly interpolated.
     static VddCalibration paper_reference();
 

@@ -62,9 +62,4 @@ snn::FaultOverlay overlay_for(const FaultSpec& fault,
     return overlay;
 }
 
-void apply_fault(snn::DiehlCookNetwork& network, const FaultSpec& fault) {
-    network.clear_faults();
-    overlay_for(fault, network.config()).apply_to(network);
-}
-
 }  // namespace snnfi::attack

@@ -42,16 +42,11 @@ struct FaultSpec {
 
 /// Expresses a FaultSpec as a composable overlay for the Model/Runtime
 /// API: deterministic per-layer neuron masks (mask_seed), threshold ops in
-/// the requested semantics, and the driver gain. A NetworkRuntime built
-/// with this overlay reproduces apply_fault on the facade bit-for-bit.
+/// the requested semantics, and the driver gain.
 snn::FaultOverlay overlay_for(const FaultSpec& fault,
                               const snn::DiehlCookConfig& config);
 
-/// Deprecated facade path: applies the fault to a live network (clears
-/// previous faults first) by replaying overlay_for through the mutators.
-void apply_fault(snn::DiehlCookNetwork& network, const FaultSpec& fault);
-
-/// Picks the deterministic neuron subset used by apply_fault for a layer.
+/// Picks the deterministic neuron subset used by overlay_for per layer.
 std::vector<std::size_t> fault_mask(std::size_t layer_size, double fraction,
                                     std::uint64_t mask_seed, TargetLayer layer);
 

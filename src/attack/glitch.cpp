@@ -1,0 +1,179 @@
+#include "attack/glitch.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace snnfi::attack {
+
+namespace {
+
+/// The one static-fault shape of a glitch operating point, shared by the
+/// constant-profile FaultSpec form and the compiler's per-segment
+/// overlays — so the scheduled path can never diverge from the static
+/// train-under-fault path.
+FaultSpec fault_spec_for(double threshold_delta, double driver_gain,
+                         ThresholdSemantics semantics) {
+    FaultSpec spec;
+    spec.layer =
+        threshold_delta != 0.0 ? TargetLayer::kBoth : TargetLayer::kNone;
+    spec.fraction = 1.0;
+    spec.threshold_delta = threshold_delta;
+    spec.semantics = semantics;
+    spec.driver_gain = driver_gain;
+    return spec;
+}
+
+}  // namespace
+
+GlitchProfile::GlitchProfile(std::vector<GlitchWindow> windows)
+    : windows_(std::move(windows)) {
+    for (std::size_t w = 0; w < windows_.size(); ++w) {
+        const GlitchWindow& window = windows_[w];
+        if (!(window.begin >= 0.0) || !(window.end <= 1.0 + 1e-12) ||
+            window.begin >= window.end)
+            throw std::invalid_argument("GlitchProfile: window outside [0, 1]");
+        if (w > 0 && window.begin < windows_[w - 1].end - 1e-12)
+            throw std::invalid_argument(
+                "GlitchProfile: windows overlap or are unsorted");
+    }
+}
+
+GlitchProfile GlitchProfile::constant(double threshold_delta, double driver_gain) {
+    GlitchWindow window;
+    window.begin = 0.0;
+    window.end = 1.0;
+    window.threshold_delta = threshold_delta;
+    window.driver_gain = driver_gain;
+    return GlitchProfile({window});
+}
+
+GlitchProfile GlitchProfile::constant_from(const VddCalibration& calibration,
+                                           double vdd) {
+    return constant(calibration.threshold_delta(vdd), calibration.driver_gain(vdd));
+}
+
+GlitchProfile GlitchProfile::from_characterization(
+    const circuits::GlitchCharacterization& characterization) {
+    std::vector<GlitchWindow> windows;
+    windows.reserve(characterization.windows.size());
+    for (const circuits::GlitchWindowMeasurement& measured :
+         characterization.windows) {
+        GlitchWindow window;
+        window.begin = measured.begin;
+        window.end = measured.end;
+        window.threshold_delta = measured.threshold_change_pct / 100.0;
+        window.driver_gain = measured.driver_gain;
+        windows.push_back(window);
+    }
+    return GlitchProfile(std::move(windows));
+}
+
+GlitchProfile GlitchProfile::from_calibration(const VddCalibration& calibration,
+                                              const circuits::GlitchSpec& spec,
+                                              std::size_t n_windows,
+                                              double nominal_vdd) {
+    spec.validate();
+    if (n_windows == 0)
+        throw std::invalid_argument("GlitchProfile: n_windows == 0");
+    std::vector<GlitchWindow> windows(n_windows);
+    const double inv_n = 1.0 / static_cast<double>(n_windows);
+    for (std::size_t w = 0; w < n_windows; ++w) {
+        GlitchWindow& window = windows[w];
+        window.begin = static_cast<double>(w) * inv_n;
+        window.end = static_cast<double>(w + 1) * inv_n;
+        const double vdd =
+            spec.vdd_at(0.5 * (window.begin + window.end), nominal_vdd);
+        window.threshold_delta = calibration.threshold_delta(vdd);
+        window.driver_gain = calibration.driver_gain(vdd);
+    }
+    return GlitchProfile(std::move(windows));
+}
+
+bool GlitchProfile::is_constant(double tolerance) const {
+    if (windows_.empty()) return false;
+    if (windows_.front().begin > tolerance ||
+        windows_.back().end < 1.0 - tolerance)
+        return false;
+    const GlitchWindow& first = windows_.front();
+    for (std::size_t w = 1; w < windows_.size(); ++w) {
+        if (windows_[w].begin > windows_[w - 1].end + tolerance) return false;
+        if (std::abs(windows_[w].threshold_delta - first.threshold_delta) >
+                tolerance ||
+            std::abs(windows_[w].driver_gain - first.driver_gain) > tolerance)
+            return false;
+    }
+    return true;
+}
+
+FaultSpec GlitchProfile::to_fault_spec(ThresholdSemantics semantics) const {
+    if (!is_constant())
+        throw std::logic_error(
+            "GlitchProfile: only constant profiles have a static FaultSpec form");
+    const GlitchWindow& window = windows_.front();
+    return fault_spec_for(window.threshold_delta, window.driver_gain, semantics);
+}
+
+std::string GlitchProfile::fingerprint() const {
+    std::ostringstream os;
+    os.precision(17);
+    for (const GlitchWindow& window : windows_) {
+        os << window.begin << "," << window.end << "," << window.threshold_delta
+           << "," << window.driver_gain << ";";
+    }
+    return os.str();
+}
+
+GlitchCompiler::GlitchCompiler(snn::DiehlCookConfig config, double tolerance)
+    : config_(config), tolerance_(tolerance) {
+    if (config_.steps_per_sample == 0)
+        throw std::invalid_argument("GlitchCompiler: steps_per_sample == 0");
+}
+
+std::vector<GlitchSegment> GlitchCompiler::segments(
+    const GlitchProfile& profile) const {
+    const auto steps = static_cast<double>(config_.steps_per_sample);
+    std::vector<GlitchSegment> merged;
+    for (const GlitchWindow& window : profile.windows()) {
+        const auto begin_step =
+            static_cast<std::size_t>(std::lround(window.begin * steps));
+        const auto end_step =
+            static_cast<std::size_t>(std::lround(window.end * steps));
+        if (begin_step >= end_step) continue;  // thinner than one step
+        const bool identity = std::abs(window.threshold_delta) <= tolerance_ &&
+                              std::abs(window.driver_gain - 1.0) <= tolerance_;
+        if (identity) continue;
+        if (!merged.empty() && merged.back().end_step == begin_step &&
+            std::abs(merged.back().threshold_delta - window.threshold_delta) <=
+                tolerance_ &&
+            std::abs(merged.back().driver_gain - window.driver_gain) <=
+                tolerance_) {
+            merged.back().end_step = end_step;
+            continue;
+        }
+        GlitchSegment segment;
+        segment.begin_step = begin_step;
+        segment.end_step = end_step;
+        segment.threshold_delta = window.threshold_delta;
+        segment.driver_gain = window.driver_gain;
+        merged.push_back(segment);
+    }
+    return merged;
+}
+
+snn::OverlaySchedule GlitchCompiler::compile(const GlitchProfile& profile,
+                                             ThresholdSemantics semantics) const {
+    snn::OverlaySchedule schedule;
+    for (const GlitchSegment& segment : segments(profile)) {
+        const FaultSpec spec = fault_spec_for(segment.threshold_delta,
+                                              segment.driver_gain, semantics);
+        snn::ScheduledOverlay scheduled;
+        scheduled.begin_step = segment.begin_step;
+        scheduled.end_step = segment.end_step;
+        scheduled.overlay = overlay_for(spec, config_);
+        schedule.push_back(std::move(scheduled));
+    }
+    return schedule;
+}
+
+}  // namespace snnfi::attack

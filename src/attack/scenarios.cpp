@@ -39,12 +39,6 @@ std::shared_ptr<const snn::NetworkModel> AttackSuite::baseline_model() {
     return baseline_model_;
 }
 
-const snn::NetworkState& AttackSuite::baseline_state() {
-    (void)baseline_accuracy();
-    if (!baseline_state_) baseline_state_ = baseline_model_->state();
-    return *baseline_state_;
-}
-
 double AttackSuite::baseline_retro_accuracy() {
     (void)baseline_accuracy();
     return baseline_->retro_accuracy;

@@ -62,9 +62,6 @@ public:
     /// engine builds one cheap NetworkRuntime per (cell, replica) on top
     /// of this shared model instead of snapshot/restoring a network.
     std::shared_ptr<const snn::NetworkModel> baseline_model();
-    /// Deprecated: the baseline as a legacy NetworkState snapshot (facade
-    /// restore path). Prefer baseline_model().
-    const snn::NetworkState& baseline_state();
 
     /// Runs one fault configuration.
     AttackOutcome run(const FaultSpec& fault);
@@ -102,7 +99,6 @@ private:
     std::shared_ptr<const snn::NetworkModel> seed_model_;
     std::optional<snn::TrainResult> baseline_;
     std::shared_ptr<const snn::NetworkModel> baseline_model_;
-    std::optional<snn::NetworkState> baseline_state_;
     util::ThreadPool* pool_ = nullptr;  ///< not owned; optional shared pool
 };
 

@@ -1,13 +1,53 @@
 #include "circuits/characterization.hpp"
 
+#include <algorithm>
 #include <cmath>
+#include <functional>
+#include <map>
+#include <sstream>
 #include <stdexcept>
 
 #include "circuits/area_power.hpp"
 #include "spice/engine.hpp"
 #include "util/stats.hpp"
+#include "util/thread_pool.hpp"
 
 namespace snnfi::circuits {
+
+namespace {
+
+/// Runs `body(i)` for every index, through the pool when one is given.
+void for_each_index(util::ThreadPool* pool, std::size_t count,
+                    const std::function<void(std::size_t)>& body) {
+    if (pool != nullptr && count > 1) {
+        pool->parallel_for(count, body);
+    } else {
+        for (std::size_t i = 0; i < count; ++i) body(i);
+    }
+}
+
+}  // namespace
+
+std::string CharacterizationConfig::cache_key() const {
+    std::ostringstream os;
+    os.precision(17);
+    os << "vdd=" << nominal_vdd << "|ah=" << axon_hillock.cmem << ","
+       << axon_hillock.cfb << "," << axon_hillock.iin_amplitude << ","
+       << axon_hillock.iin_width << "," << axon_hillock.iin_period << ","
+       << axon_hillock.vpw << "," << axon_hillock.reset_w_over_l << ","
+       << axon_hillock.inv1.pmos_w_over_l << "," << axon_hillock.inv1.nmos_w_over_l
+       << "," << axon_hillock.inv2.pmos_w_over_l << ","
+       << axon_hillock.inv2.nmos_w_over_l << "|if=" << vamp_if.cmem << ","
+       << vamp_if.ck << "," << vamp_if.iin_amplitude << "," << vamp_if.iin_width
+       << "," << vamp_if.iin_period << "," << vamp_if.vlk << "," << vamp_if.vrf
+       << "," << vamp_if.divider_ratio << "," << vamp_if.use_external_vthr << ","
+       << vamp_if.external_vthr << "|drv=" << driver.r1 << ","
+       << driver.mirror_w_over_l << "," << driver.load_voltage
+       << "|rdrv=" << robust_driver.r1 << "," << robust_driver.vref << ","
+       << robust_driver.opamp_gain << "|dt=" << ah_dt << "," << ah_window << ","
+       << if_dt << "," << if_window << "," << glitch_window << "," << glitch_dt;
+    return os.str();
+}
 
 const char* to_string(NeuronKind kind) {
     return kind == NeuronKind::kAxonHillock ? "AxonHillock" : "VampIF";
@@ -118,14 +158,14 @@ double Characterizer::measure_ah_threshold_with_sizing(double vdd,
 }
 
 std::vector<VddPoint> Characterizer::threshold_vs_vdd(NeuronKind kind,
-                                                      std::vector<double> vdds) const {
+                                                      std::vector<double> vdds,
+                                                      util::ThreadPool* pool) const {
     const double nominal = measure_threshold(kind, config_.nominal_vdd);
-    std::vector<VddPoint> points;
-    points.reserve(vdds.size());
-    for (double vdd : vdds) {
-        const double value = measure_threshold(kind, vdd);
-        points.push_back({vdd, value, util::percent_change(value, nominal)});
-    }
+    std::vector<VddPoint> points(vdds.size());
+    for_each_index(pool, vdds.size(), [&](std::size_t i) {
+        const double value = measure_threshold(kind, vdds[i]);
+        points[i] = {vdds[i], value, util::percent_change(value, nominal)};
+    });
     return points;
 }
 
@@ -158,35 +198,34 @@ double Characterizer::measure_time_to_spike(NeuronKind kind, double vdd,
 }
 
 std::vector<VddPoint> Characterizer::time_to_spike_vs_vdd(
-    NeuronKind kind, std::vector<double> vdds) const {
+    NeuronKind kind, std::vector<double> vdds, util::ThreadPool* pool) const {
     const double nominal_amp = kind == NeuronKind::kAxonHillock
                                    ? config_.axon_hillock.iin_amplitude
                                    : config_.vamp_if.iin_amplitude;
     const double nominal =
         measure_time_to_spike(kind, config_.nominal_vdd, nominal_amp);
-    std::vector<VddPoint> points;
-    points.reserve(vdds.size());
-    for (double vdd : vdds) {
-        const double value = measure_time_to_spike(kind, vdd, nominal_amp);
-        points.push_back({vdd, value, util::percent_change(value, nominal)});
-    }
+    std::vector<VddPoint> points(vdds.size());
+    for_each_index(pool, vdds.size(), [&](std::size_t i) {
+        const double value = measure_time_to_spike(kind, vdds[i], nominal_amp);
+        points[i] = {vdds[i], value, util::percent_change(value, nominal)};
+    });
     return points;
 }
 
 std::vector<VddPoint> Characterizer::time_to_spike_vs_amplitude(
-    NeuronKind kind, std::vector<double> amplitudes) const {
+    NeuronKind kind, std::vector<double> amplitudes, util::ThreadPool* pool) const {
     const double nominal_amp = kind == NeuronKind::kAxonHillock
                                    ? config_.axon_hillock.iin_amplitude
                                    : config_.vamp_if.iin_amplitude;
     const double nominal =
         measure_time_to_spike(kind, config_.nominal_vdd, nominal_amp);
-    std::vector<VddPoint> points;
-    points.reserve(amplitudes.size());
-    for (double amp : amplitudes) {
-        const double value = measure_time_to_spike(kind, config_.nominal_vdd, amp);
+    std::vector<VddPoint> points(amplitudes.size());
+    for_each_index(pool, amplitudes.size(), [&](std::size_t i) {
+        const double value =
+            measure_time_to_spike(kind, config_.nominal_vdd, amplitudes[i]);
         // For this sweep, `vdd` carries the amplitude [A] on the x-axis.
-        points.push_back({amp, value, util::percent_change(value, nominal)});
-    }
+        points[i] = {amplitudes[i], value, util::percent_change(value, nominal)};
+    });
     return points;
 }
 
@@ -206,19 +245,97 @@ double Characterizer::measure_robust_driver_amplitude(double vdd) const {
     return measure_driver_amplitude_dc(netlist);
 }
 
-std::vector<VddPoint> Characterizer::driver_amplitude_vs_vdd(std::vector<double> vdds,
-                                                             bool robust) const {
+std::vector<VddPoint> Characterizer::driver_amplitude_vs_vdd(
+    std::vector<double> vdds, bool robust, util::ThreadPool* pool) const {
     const double nominal = robust
                                ? measure_robust_driver_amplitude(config_.nominal_vdd)
                                : measure_driver_amplitude(config_.nominal_vdd);
-    std::vector<VddPoint> points;
-    points.reserve(vdds.size());
-    for (double vdd : vdds) {
-        const double value =
-            robust ? measure_robust_driver_amplitude(vdd) : measure_driver_amplitude(vdd);
-        points.push_back({vdd, value, util::percent_change(value, nominal)});
-    }
+    std::vector<VddPoint> points(vdds.size());
+    for_each_index(pool, vdds.size(), [&](std::size_t i) {
+        const double value = robust ? measure_robust_driver_amplitude(vdds[i])
+                                    : measure_driver_amplitude(vdds[i]);
+        points[i] = {vdds[i], value, util::percent_change(value, nominal)};
+    });
     return points;
+}
+
+GlitchCharacterization Characterizer::characterize_glitch(
+    NeuronKind kind, const GlitchSpec& spec, std::size_t n_windows,
+    util::ThreadPool* pool) const {
+    spec.validate();
+    if (n_windows == 0)
+        throw std::invalid_argument("characterize_glitch: n_windows == 0");
+    // Every window must contain at least one transient sample, or its
+    // driver measurement would silently fall back to nominal gain.
+    const auto max_windows = static_cast<std::size_t>(
+        config_.glitch_window / config_.glitch_dt);
+    if (n_windows > max_windows)
+        throw std::invalid_argument(
+            "characterize_glitch: n_windows exceeds the transient resolution "
+            "(glitch_window / glitch_dt)");
+
+    GlitchCharacterization result;
+    result.spec = spec;
+    result.nominal_vdd = config_.nominal_vdd;
+    result.nominal_threshold = measure_threshold(kind, config_.nominal_vdd);
+    result.nominal_driver_amplitude = measure_driver_amplitude(config_.nominal_vdd);
+
+    // One transient simulation of the driver under the glitching rail: the
+    // per-window amplitude is the mean output current inside each window.
+    CurrentDriverConfig driver_cfg = config_.driver;
+    driver_cfg.vdd = config_.nominal_vdd;
+    driver_cfg.switch_enabled = false;
+    spice::Netlist netlist = build_current_driver(driver_cfg);
+    netlist.voltage_source("VDD").spec() =
+        spice::SourceSpec(spec.to_pwl(config_.nominal_vdd, config_.glitch_window));
+    spice::Simulator sim(netlist);
+    const spice::TransientResult transient =
+        sim.run_transient(config_.glitch_window, config_.glitch_dt);
+    const auto time = transient.time();
+    const auto current = transient.signal("I(VOUT)");
+
+    result.windows.resize(n_windows);
+    const double inv_n = 1.0 / static_cast<double>(n_windows);
+    for (std::size_t w = 0; w < n_windows; ++w) {
+        GlitchWindowMeasurement& window = result.windows[w];
+        window.begin = static_cast<double>(w) * inv_n;
+        window.end = static_cast<double>(w + 1) * inv_n;
+        window.vdd = spec.vdd_at(0.5 * (window.begin + window.end),
+                                 config_.nominal_vdd);
+        const double t_begin = window.begin * config_.glitch_window;
+        const double t_end = window.end * config_.glitch_window;
+        double sum = 0.0;
+        std::size_t count = 0;
+        for (std::size_t i = 0; i < time.size(); ++i) {
+            if (time[i] < t_begin || time[i] >= t_end) continue;
+            sum += std::abs(current[i]);
+            ++count;
+        }
+        window.driver_gain =
+            count > 0 && result.nominal_driver_amplitude > 0.0
+                ? (sum / static_cast<double>(count)) / result.nominal_driver_amplitude
+                : 1.0;
+    }
+
+    // Thresholds are operating-point properties: bisect once per distinct
+    // supply value (a rect glitch costs two bisections, not n_windows).
+    std::map<double, double> threshold_at;
+    for (const GlitchWindowMeasurement& window : result.windows)
+        threshold_at.emplace(window.vdd, 0.0);
+    std::vector<double> unique_vdds;
+    unique_vdds.reserve(threshold_at.size());
+    for (const auto& entry : threshold_at) unique_vdds.push_back(entry.first);
+    std::vector<double> thresholds(unique_vdds.size());
+    for_each_index(pool, unique_vdds.size(), [&](std::size_t i) {
+        thresholds[i] = measure_threshold(kind, unique_vdds[i]);
+    });
+    for (std::size_t i = 0; i < unique_vdds.size(); ++i)
+        threshold_at[unique_vdds[i]] = thresholds[i];
+    for (GlitchWindowMeasurement& window : result.windows) {
+        window.threshold_change_pct = util::percent_change(
+            threshold_at[window.vdd], result.nominal_threshold);
+    }
+    return result;
 }
 
 spice::TransientResult Characterizer::axon_hillock_waveforms(double vdd,

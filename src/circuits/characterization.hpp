@@ -6,13 +6,19 @@
 // solves of the (switch-held-on) driver.
 #pragma once
 
+#include <string>
 #include <vector>
 
 #include "circuits/axon_hillock.hpp"
 #include "circuits/comparator_ah.hpp"
 #include "circuits/current_driver.hpp"
+#include "circuits/glitch.hpp"
 #include "circuits/vamp_if.hpp"
 #include "spice/waveform.hpp"
+
+namespace snnfi::util {
+class ThreadPool;
+}
 
 namespace snnfi::circuits {
 
@@ -37,6 +43,15 @@ struct CharacterizationConfig {
     double ah_window = 40e-6;
     double if_dt = 10e-9;
     double if_window = 800e-6;  ///< several spike periods incl. refractory
+    /// Circuit-time realisation of a fractional GlitchSpec: the whole
+    /// attacked window maps onto glitch_window seconds of supply waveform.
+    double glitch_window = 40e-6;
+    double glitch_dt = 40e-9;
+
+    /// Stable identity of every field above — the Session artifact cache
+    /// keys characterisation results on it, so a changed config can never
+    /// alias a cached result.
+    std::string cache_key() const;
 };
 
 class Characterizer {
@@ -58,8 +73,11 @@ public:
     /// into the VDD-independent NMOS-dominated regime.
     double measure_ah_threshold_with_sizing(double vdd, double sizing_ratio) const;
 
+    /// Sweeps fan out over `pool` when one is supplied (each grid point is
+    /// an independent simulation); nullptr keeps the legacy serial path.
     std::vector<VddPoint> threshold_vs_vdd(NeuronKind kind,
-                                           std::vector<double> vdds) const;
+                                           std::vector<double> vdds,
+                                           util::ThreadPool* pool = nullptr) const;
 
     // --- time-to-spike (Figs. 5c, 6b, 6c) ------------------------------
     /// Axon Hillock: latency of the first output spike from a quiescent
@@ -69,17 +87,34 @@ public:
     double measure_time_to_spike(NeuronKind kind, double vdd,
                                  double iin_amplitude) const;
     std::vector<VddPoint> time_to_spike_vs_vdd(NeuronKind kind,
-                                               std::vector<double> vdds) const;
+                                               std::vector<double> vdds,
+                                               util::ThreadPool* pool = nullptr) const;
     /// Sweep over input amplitude at nominal VDD (Fig. 5c; amplitudes from
     /// the driver corruption of Fig. 5b).
     std::vector<VddPoint> time_to_spike_vs_amplitude(
-        NeuronKind kind, std::vector<double> amplitudes) const;
+        NeuronKind kind, std::vector<double> amplitudes,
+        util::ThreadPool* pool = nullptr) const;
 
     // --- drivers (Figs. 5b, 9b) ----------------------------------------
     double measure_driver_amplitude(double vdd) const;
     double measure_robust_driver_amplitude(double vdd) const;
     std::vector<VddPoint> driver_amplitude_vs_vdd(std::vector<double> vdds,
-                                                  bool robust) const;
+                                                  bool robust,
+                                                  util::ThreadPool* pool = nullptr) const;
+
+    // --- transient VDD glitches (glitch pipeline stage 1) ---------------
+    /// Characterises a parameterised supply glitch: the spec is realised
+    /// over config().glitch_window seconds, the driver is measured
+    /// *transiently* under the glitching rail (per-window mean output
+    /// amplitude of one simulation), and the neuron threshold is measured
+    /// quasi-statically at each window's supply (DC bisection — thresholds
+    /// are operating-point properties). Windows are `n_windows` uniform
+    /// slices of the glitch window; duplicate supply values share one
+    /// bisection. Independent measurements fan out over `pool` when given.
+    GlitchCharacterization characterize_glitch(NeuronKind kind,
+                                               const GlitchSpec& spec,
+                                               std::size_t n_windows,
+                                               util::ThreadPool* pool = nullptr) const;
 
     // --- waveforms (Figs. 3, 4) ----------------------------------------
     spice::TransientResult axon_hillock_waveforms(double vdd, double window) const;

@@ -1,0 +1,97 @@
+#include "circuits/glitch.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace snnfi::circuits {
+
+const char* to_string(GlitchShape shape) {
+    switch (shape) {
+        case GlitchShape::kRect: return "rect";
+        case GlitchShape::kTriangle: return "triangle";
+        case GlitchShape::kExpRecovery: return "exp_recovery";
+    }
+    return "?";
+}
+
+GlitchSpec GlitchSpec::constant(double depth_vdd) {
+    GlitchSpec spec;
+    spec.shape = GlitchShape::kRect;
+    spec.depth_vdd = depth_vdd;
+    spec.onset = 0.0;
+    spec.width = 1.0;
+    spec.edge = 0.0;
+    return spec;
+}
+
+void GlitchSpec::validate() const {
+    if (depth_vdd <= 0.0)
+        throw std::invalid_argument("GlitchSpec: depth_vdd must be > 0");
+    if (onset < 0.0 || onset >= 1.0)
+        throw std::invalid_argument("GlitchSpec: onset outside [0, 1)");
+    if (width <= 0.0 || onset + width > 1.0 + 1e-12)
+        throw std::invalid_argument("GlitchSpec: width must fit inside the window");
+    if (edge < 0.0 || 2.0 * edge > width)
+        throw std::invalid_argument("GlitchSpec: edges exceed the glitch width");
+}
+
+bool GlitchSpec::is_constant() const {
+    return shape == GlitchShape::kRect && onset == 0.0 && width == 1.0 &&
+           edge == 0.0;
+}
+
+double GlitchSpec::dip(double frac) const {
+    const double t = frac - onset;
+    switch (shape) {
+        case GlitchShape::kRect: {
+            if (t < 0.0 || t > width) return 0.0;
+            if (edge <= 0.0) return 1.0;
+            if (t < edge) return t / edge;
+            if (t > width - edge) return (width - t) / edge;
+            return 1.0;
+        }
+        case GlitchShape::kTriangle: {
+            if (t < 0.0 || t > width) return 0.0;
+            const double half = 0.5 * width;
+            return t <= half ? t / half : (width - t) / half;
+        }
+        case GlitchShape::kExpRecovery: {
+            if (t < 0.0) return 0.0;
+            const double tau = width / 3.0;
+            return std::exp(-t / tau);
+        }
+    }
+    return 0.0;
+}
+
+double GlitchSpec::vdd_at(double frac, double nominal) const {
+    return nominal + (depth_vdd - nominal) * dip(frac);
+}
+
+spice::PwlSpec GlitchSpec::to_pwl(double nominal, double window,
+                                  std::size_t samples) const {
+    validate();
+    if (window <= 0.0) throw std::invalid_argument("GlitchSpec: window <= 0");
+    samples = std::max<std::size_t>(samples, 8);
+    spice::PwlSpec pwl;
+    pwl.times.reserve(samples + 1);
+    pwl.values.reserve(samples + 1);
+    for (std::size_t i = 0; i <= samples; ++i) {
+        const double frac =
+            static_cast<double>(i) / static_cast<double>(samples);
+        pwl.times.push_back(frac * window);
+        pwl.values.push_back(vdd_at(frac, nominal));
+    }
+    return pwl;
+}
+
+std::string GlitchSpec::id() const {
+    std::ostringstream os;
+    os << to_string(shape) << ":d" << depth_vdd << ":o" << onset << ":w" << width;
+    if (shape == GlitchShape::kRect && edge > 0.0) os << ":e" << edge;
+    return os.str();
+}
+
+}  // namespace snnfi::circuits

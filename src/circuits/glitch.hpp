@@ -1,0 +1,85 @@
+// Parameterised transient VDD glitch waveforms (power-oriented attack
+// stimuli) and the per-window measurements the Characterizer extracts from
+// them.
+//
+// A GlitchSpec lives on a *fractional* time axis [0, 1): 0 is the start of
+// the attacked inference window and 1 its end. The characterizer realises
+// the waveform over its circuit-time glitch window (CharacterizationConfig
+// glitch_window) and the attack::GlitchCompiler maps the same fractions
+// onto SNN steps — the one shared time axis of the glitch pipeline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "spice/waveform.hpp"
+
+namespace snnfi::circuits {
+
+/// Shape of the supply dip.
+enum class GlitchShape : std::uint8_t {
+    kRect,         ///< trapezoid: ramp down, hold depth_vdd, ramp back
+    kTriangle,     ///< linear dip peaking at onset + width/2
+    kExpRecovery,  ///< instant drop at onset, exponential recovery (tau = width/3)
+};
+
+const char* to_string(GlitchShape shape);
+
+/// One parameterised VDD glitch. All times are fractions of the attacked
+/// window; depth_vdd is the supply voltage at the bottom of the dip.
+struct GlitchSpec {
+    GlitchShape shape = GlitchShape::kRect;
+    double depth_vdd = 0.8;  ///< supply at full dip [V]
+    double onset = 0.25;     ///< fraction where the dip starts
+    double width = 0.25;     ///< fraction the dip spans
+    double edge = 0.02;      ///< rise/fall fraction of kRect ramps
+
+    /// A whole-window flat glitch (the degenerate case equivalent to a DC
+    /// supply fault at depth_vdd).
+    static GlitchSpec constant(double depth_vdd);
+
+    /// Throws std::invalid_argument on nonsensical parameters.
+    void validate() const;
+
+    /// True when the waveform sits flat at depth_vdd over the entire
+    /// window — the degenerate profile the static attack path handles.
+    bool is_constant() const;
+
+    /// Dip strength in [0, 1] at fractional time `frac` (0 = nominal
+    /// supply, 1 = depth_vdd).
+    double dip(double frac) const;
+    /// Supply voltage at fractional time `frac` given the nominal rail.
+    double vdd_at(double frac, double nominal) const;
+
+    /// Realises the waveform as a PWL source over `window` seconds,
+    /// sampled densely enough for the transient solver.
+    spice::PwlSpec to_pwl(double nominal, double window,
+                          std::size_t samples = 512) const;
+
+    /// Stable identity for cache keys and result tables, e.g.
+    /// "rect:d0.8:o0.25:w0.25".
+    std::string id() const;
+};
+
+/// One time window of a glitch characterisation: the supply the circuit
+/// saw and the two attacked parameters measured under it.
+struct GlitchWindowMeasurement {
+    double begin = 0.0;  ///< window bounds, fractions of the glitch window
+    double end = 1.0;
+    double vdd = 1.0;                  ///< supply sampled at the window midpoint
+    double threshold_change_pct = 0.0; ///< neuron threshold vs nominal [%]
+    double driver_gain = 1.0;          ///< driver amplitude / nominal amplitude
+};
+
+/// A characterised glitch: the spec, the nominal operating point, and the
+/// per-window transient measurements. attack::GlitchProfile consumes this.
+struct GlitchCharacterization {
+    GlitchSpec spec;
+    double nominal_vdd = 1.0;
+    double nominal_threshold = 0.0;         ///< [V]
+    double nominal_driver_amplitude = 0.0;  ///< [A]
+    std::vector<GlitchWindowMeasurement> windows;
+};
+
+}  // namespace snnfi::circuits

@@ -100,9 +100,8 @@ ScenarioSpec fig5b_spec() {
     spec.tags = {"figure", "circuit"};
     spec.paper_order = 30;
     spec.custom_run = [](Session& session, const RunOptions& options) {
-        const auto& characterizer = *session.characterizer();
         const auto points =
-            characterizer.driver_amplitude_vs_vdd(paper_vdd_grid(options.quick), false);
+            *session.driver_sweep(paper_vdd_grid(options.quick), false);
 
         ResultTable table("Fig. 5b — Driver output amplitude vs VDD",
                           {"vdd_V", "amplitude_nA", "change_pct", "paper_nA"});
@@ -126,6 +125,7 @@ ScenarioSpec fig5c_spec() {
     spec.paper_order = 40;
     spec.custom_run = [](Session& session, const RunOptions& options) {
         const auto& characterizer = *session.characterizer();
+        util::ThreadPool& pool = session.pool();
         const std::vector<double> amplitudes =
             options.quick
                 ? std::vector<double>{136e-9, 200e-9, 264e-9}
@@ -139,7 +139,7 @@ ScenarioSpec fig5c_spec() {
         for (const auto kind :
              {circuits::NeuronKind::kAxonHillock, circuits::NeuronKind::kVampIf}) {
             for (const auto& p :
-                 characterizer.time_to_spike_vs_amplitude(kind, amplitudes))
+                 characterizer.time_to_spike_vs_amplitude(kind, amplitudes, &pool))
                 table.add_row({std::string(circuits::to_string(kind)), p.vdd * 1e9,
                                p.value * 1e6, p.change_pct});
         }
@@ -156,7 +156,6 @@ ScenarioSpec fig6a_spec() {
     spec.tags = {"figure", "circuit"};
     spec.paper_order = 50;
     spec.custom_run = [](Session& session, const RunOptions& options) {
-        const auto& characterizer = *session.characterizer();
         ResultTable table("Fig. 6a — Membrane threshold vs VDD",
                           {"neuron", "vdd_V", "threshold_V", "change_pct"});
         table.add_note("Paper: AH -17.91% @ 0.8 V ... +16.76% @ 1.2 V; "
@@ -164,7 +163,7 @@ ScenarioSpec fig6a_spec() {
         for (const auto kind :
              {circuits::NeuronKind::kAxonHillock, circuits::NeuronKind::kVampIf}) {
             for (const auto& p :
-                 characterizer.threshold_vs_vdd(kind, paper_vdd_grid(options.quick)))
+                 *session.threshold_sweep(kind, paper_vdd_grid(options.quick)))
                 table.add_row({std::string(circuits::to_string(kind)), p.vdd, p.value,
                                p.change_pct});
         }
@@ -181,7 +180,6 @@ ScenarioSpec fig6bc_spec() {
     spec.tags = {"figure", "circuit"};
     spec.paper_order = 60;
     spec.custom_run = [](Session& session, const RunOptions& options) {
-        const auto& characterizer = *session.characterizer();
         ResultTable table("Fig. 6b/6c — Time-to-spike vs VDD (Iin fixed 200 nA)",
                           {"neuron", "vdd_V", "tts_us", "change_pct"});
         table.add_note("Paper: AH 17.91% faster @ 0.8 V ... 16.76% slower @ 1.2 V; "
@@ -189,7 +187,7 @@ ScenarioSpec fig6bc_spec() {
         for (const auto kind :
              {circuits::NeuronKind::kAxonHillock, circuits::NeuronKind::kVampIf}) {
             for (const auto& p :
-                 characterizer.time_to_spike_vs_vdd(kind, paper_vdd_grid(options.quick)))
+                 *session.time_to_spike_sweep(kind, paper_vdd_grid(options.quick)))
                 table.add_row({std::string(circuits::to_string(kind)), p.vdd,
                                p.value * 1e6, p.change_pct});
         }

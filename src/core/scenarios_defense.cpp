@@ -24,9 +24,8 @@ ScenarioSpec fig9b_spec() {
     spec.tags = {"figure", "defense"};
     spec.paper_order = 130;
     spec.custom_run = [](Session& session, const RunOptions& options) {
-        const auto& characterizer = *session.characterizer();
         const auto points =
-            characterizer.driver_amplitude_vs_vdd(paper_vdd_grid(options.quick), true);
+            *session.driver_sweep(paper_vdd_grid(options.quick), true);
         ResultTable table("Fig. 9b — Robust current driver output vs VDD",
                           {"vdd_V", "amplitude_nA", "change_pct"});
         table.add_note("Paper: constant output amplitude under VDD manipulation "

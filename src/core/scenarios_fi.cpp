@@ -5,6 +5,7 @@
 // All campaign scenarios share one Session-cached CampaignResult per
 // distinct campaign config: fi.quick-sweep and fi.sensitivity are two views
 // (detail table / per-layer sensitivity map) of the same execution.
+#include <algorithm>
 #include <sstream>
 
 #include "core/scenario.hpp"
@@ -215,6 +216,169 @@ ScenarioSpec drift_driver_gain_spec() {
     return spec;
 }
 
+// ----------------------------------------------------------------- glitch
+// Transient VDD glitch campaigns (shape x depth x width x onset axes).
+// Severity grids come from circuit characterisation through the Session
+// cache — the per-window threshold/driver values are measured, never
+// hand-coded; depth/width/onset only parameterise the waveform.
+
+/// Resolves one waveform spec into a campaign glitch cell through the
+/// Session's cached transient characterisation.
+fi::GlitchCellSpec glitch_cell(Session& session, const circuits::GlitchSpec& spec,
+                               bool quick) {
+    const std::size_t windows = quick ? 8 : 16;
+    fi::GlitchCellSpec cell;
+    cell.id = spec.id();
+    cell.severity = spec.depth_vdd;
+    cell.profile = *session.glitch_profile(
+        spec, circuits::NeuronKind::kAxonHillock, windows);
+    return cell;
+}
+
+fi::CampaignConfig glitch_campaign(std::vector<fi::GlitchCellSpec> cells,
+                                   bool quick) {
+    fi::CampaignConfig config;
+    config.glitches = std::move(cells);
+    config.eval_samples = quick ? 40 : 120;
+    config.early_stop = early_stop_policy(quick);
+    return config;
+}
+
+ScenarioSpec glitch_smoke_spec() {
+    ScenarioSpec spec;
+    spec.id = "fi.glitch.smoke";
+    spec.title = "FI glitch smoke — one rect VDD glitch (depth 0.8 V, width 25%)";
+    spec.description = "Minimal scheduled-glitch campaign for CI";
+    spec.tags = {"fi", "glitch", "smoke"};
+    spec.paper_order = 360;
+    spec.notes = {"Time-localised supply dip applied at inference through a "
+                  "scheduled overlay; severities are circuit-characterized."};
+    spec.custom_run = [](Session& session, const RunOptions& options) {
+        circuits::GlitchSpec glitch;
+        glitch.depth_vdd = 0.8;
+        glitch.onset = 0.25;
+        glitch.width = 0.25;
+        return campaign_detail(
+            session,
+            glitch_campaign({glitch_cell(session, glitch, options.quick)},
+                            options.quick),
+            "FI glitch smoke — one rect VDD glitch (depth 0.8 V, width 25%)");
+    };
+    return spec;
+}
+
+ScenarioSpec glitch_depth_spec() {
+    ScenarioSpec spec;
+    spec.id = "fi.glitch.depth";
+    spec.title = "FI glitch depth — rect glitch severity swept over the VDD grid";
+    spec.description = "Glitch depth (VDD) axis";
+    spec.tags = {"fi", "glitch"};
+    spec.paper_order = 361;
+    spec.notes = {"Depth axis reuses the paper's VDD grid; the per-depth "
+                  "threshold/driver severities come from the characterizer."};
+    spec.custom_run = [](Session& session, const RunOptions& options) {
+        std::vector<fi::GlitchCellSpec> cells;
+        for (const double vdd : paper_vdd_grid(options.quick)) {
+            if (vdd == 1.0) continue;  // nominal rail: no glitch
+            circuits::GlitchSpec glitch;
+            glitch.depth_vdd = vdd;
+            glitch.onset = 0.25;
+            glitch.width = 0.25;
+            cells.push_back(glitch_cell(session, glitch, options.quick));
+        }
+        return campaign_detail(
+            session, glitch_campaign(std::move(cells), options.quick),
+            "FI glitch depth — rect glitch severity swept over the VDD grid");
+    };
+    return spec;
+}
+
+ScenarioSpec glitch_width_spec() {
+    ScenarioSpec spec;
+    spec.id = "fi.glitch.width";
+    spec.title = "FI glitch width — dip duration axis (incl. the constant limit)";
+    spec.description = "Glitch width axis";
+    spec.tags = {"fi", "glitch"};
+    spec.paper_order = 362;
+    spec.notes = {"The width-1 cell is the degenerate constant glitch: it "
+                  "routes through the static train-under-fault path (mode "
+                  "'train'), shorter widths are scheduled at inference."};
+    spec.custom_run = [](Session& session, const RunOptions& options) {
+        const std::vector<double> widths =
+            options.quick ? std::vector<double>{0.25}
+                          : std::vector<double>{0.125, 0.25, 0.5};
+        std::vector<fi::GlitchCellSpec> cells;
+        for (const double width : widths) {
+            circuits::GlitchSpec glitch;
+            glitch.depth_vdd = 0.8;
+            glitch.onset = 0.0;
+            glitch.width = width;
+            glitch.edge = std::min(0.02, width / 4.0);
+            cells.push_back(glitch_cell(session, glitch, options.quick));
+        }
+        // The constant limit: the whole sample at 0.8 V (paper attack 5's
+        // operating point, train-under-fault).
+        cells.push_back(glitch_cell(session, circuits::GlitchSpec::constant(0.8),
+                                    options.quick));
+        return campaign_detail(
+            session, glitch_campaign(std::move(cells), options.quick),
+            "FI glitch width — dip duration axis (incl. the constant limit)");
+    };
+    return spec;
+}
+
+ScenarioSpec glitch_onset_spec() {
+    ScenarioSpec spec;
+    spec.id = "fi.glitch.onset";
+    spec.title = "FI glitch onset — when in the sample the dip lands";
+    spec.description = "Glitch onset axis";
+    spec.tags = {"fi", "glitch"};
+    spec.paper_order = 363;
+    spec.custom_run = [](Session& session, const RunOptions& options) {
+        const std::vector<double> onsets =
+            options.quick ? std::vector<double>{0.0, 0.5}
+                          : std::vector<double>{0.0, 0.25, 0.5, 0.75};
+        std::vector<fi::GlitchCellSpec> cells;
+        for (const double onset : onsets) {
+            circuits::GlitchSpec glitch;
+            glitch.depth_vdd = 0.8;
+            glitch.onset = onset;
+            glitch.width = 0.25;
+            cells.push_back(glitch_cell(session, glitch, options.quick));
+        }
+        return campaign_detail(
+            session, glitch_campaign(std::move(cells), options.quick),
+            "FI glitch onset — when in the sample the dip lands");
+    };
+    return spec;
+}
+
+ScenarioSpec glitch_shape_spec() {
+    ScenarioSpec spec;
+    spec.id = "fi.glitch.shape";
+    spec.title = "FI glitch shape — rect vs triangle vs exponential recovery";
+    spec.description = "Glitch waveform shape axis";
+    spec.tags = {"fi", "glitch"};
+    spec.paper_order = 364;
+    spec.custom_run = [](Session& session, const RunOptions& options) {
+        std::vector<fi::GlitchCellSpec> cells;
+        for (const auto shape :
+             {circuits::GlitchShape::kRect, circuits::GlitchShape::kTriangle,
+              circuits::GlitchShape::kExpRecovery}) {
+            circuits::GlitchSpec glitch;
+            glitch.shape = shape;
+            glitch.depth_vdd = 0.8;
+            glitch.onset = 0.25;
+            glitch.width = 0.5;
+            cells.push_back(glitch_cell(session, glitch, options.quick));
+        }
+        return campaign_detail(
+            session, glitch_campaign(std::move(cells), options.quick),
+            "FI glitch shape — rect vs triangle vs exponential recovery");
+    };
+    return spec;
+}
+
 const ScenarioRegistrar registrar_fi_smoke{smoke_spec()};
 const ScenarioRegistrar registrar_fi_quick_sweep{quick_sweep_spec()};
 const ScenarioRegistrar registrar_fi_sensitivity{sensitivity_spec()};
@@ -222,6 +386,11 @@ const ScenarioRegistrar registrar_fi_weights{weights_spec()};
 const ScenarioRegistrar registrar_fi_neurons{neurons_spec()};
 const ScenarioRegistrar registrar_fi_drift{drift_spec()};
 const ScenarioRegistrar registrar_fi_drift_driver_gain{drift_driver_gain_spec()};
+const ScenarioRegistrar registrar_fi_glitch_smoke{glitch_smoke_spec()};
+const ScenarioRegistrar registrar_fi_glitch_depth{glitch_depth_spec()};
+const ScenarioRegistrar registrar_fi_glitch_width{glitch_width_spec()};
+const ScenarioRegistrar registrar_fi_glitch_onset{glitch_onset_spec()};
+const ScenarioRegistrar registrar_fi_glitch_shape{glitch_shape_spec()};
 
 }  // namespace
 }  // namespace snnfi::core

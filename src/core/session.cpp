@@ -83,11 +83,23 @@ std::shared_ptr<const snn::Dataset> Session::dataset(std::size_t samples,
     return std::static_pointer_cast<const snn::Dataset>(artifact);
 }
 
+namespace {
+
+std::string grid_key(const std::vector<double>& values) {
+    std::ostringstream os;
+    os.precision(17);
+    for (const double value : values) os << value << ",";
+    return os.str();
+}
+
+}  // namespace
+
 std::shared_ptr<const circuits::Characterizer> Session::characterizer() {
-    auto artifact = cached("characterizer", [&]() -> std::shared_ptr<void> {
-        return std::make_shared<circuits::Characterizer>(
-            circuits::CharacterizationConfig{});
-    });
+    const circuits::CharacterizationConfig config{};
+    auto artifact = cached("characterizer|" + config.cache_key(),
+                           [&]() -> std::shared_ptr<void> {
+                               return std::make_shared<circuits::Characterizer>(config);
+                           });
     return std::static_pointer_cast<const circuits::Characterizer>(artifact);
 }
 
@@ -97,11 +109,65 @@ std::shared_ptr<const attack::VddCalibration> Session::calibration(
     key << "calibration|neuron=" << circuits::to_string(kind);
     auto artifact = cached(key.str(), [&]() -> std::shared_ptr<void> {
         // The bridge is always built from the full five-point grid so quick
-        // runs interpolate the same curves as full runs.
-        return std::make_shared<attack::VddCalibration>(attack::VddCalibration::from_circuits(
-            *characterizer(), paper_vdd_grid(false), kind));
+        // runs interpolate the same curves as full runs. The sweeps behind
+        // it are themselves cached (and pool-parallel), so a calibration
+        // after a fig5b/fig6a scenario costs nothing extra.
+        const auto thresholds = threshold_sweep(kind, paper_vdd_grid(false));
+        const auto amplitudes = driver_sweep(paper_vdd_grid(false), false);
+        return std::make_shared<attack::VddCalibration>(
+            attack::VddCalibration::from_points(*thresholds, *amplitudes));
     });
     return std::static_pointer_cast<const attack::VddCalibration>(artifact);
+}
+
+std::shared_ptr<const std::vector<circuits::VddPoint>> Session::threshold_sweep(
+    circuits::NeuronKind kind, const std::vector<double>& vdds) {
+    auto characterizer = this->characterizer();
+    std::ostringstream key;
+    key << "char_sweep|" << characterizer->config().cache_key()
+        << "|thr|" << circuits::to_string(kind) << "|" << grid_key(vdds);
+    return artifact<std::vector<circuits::VddPoint>>(key.str(), [&] {
+        return std::make_shared<std::vector<circuits::VddPoint>>(
+            characterizer->threshold_vs_vdd(kind, vdds, &pool_));
+    });
+}
+
+std::shared_ptr<const std::vector<circuits::VddPoint>> Session::driver_sweep(
+    const std::vector<double>& vdds, bool robust) {
+    auto characterizer = this->characterizer();
+    std::ostringstream key;
+    key << "char_sweep|" << characterizer->config().cache_key()
+        << "|drv|robust=" << robust << "|" << grid_key(vdds);
+    return artifact<std::vector<circuits::VddPoint>>(key.str(), [&] {
+        return std::make_shared<std::vector<circuits::VddPoint>>(
+            characterizer->driver_amplitude_vs_vdd(vdds, robust, &pool_));
+    });
+}
+
+std::shared_ptr<const std::vector<circuits::VddPoint>> Session::time_to_spike_sweep(
+    circuits::NeuronKind kind, const std::vector<double>& vdds) {
+    auto characterizer = this->characterizer();
+    std::ostringstream key;
+    key << "char_sweep|" << characterizer->config().cache_key()
+        << "|tts|" << circuits::to_string(kind) << "|" << grid_key(vdds);
+    return artifact<std::vector<circuits::VddPoint>>(key.str(), [&] {
+        return std::make_shared<std::vector<circuits::VddPoint>>(
+            characterizer->time_to_spike_vs_vdd(kind, vdds, &pool_));
+    });
+}
+
+std::shared_ptr<const attack::GlitchProfile> Session::glitch_profile(
+    const circuits::GlitchSpec& spec, circuits::NeuronKind kind,
+    std::size_t n_windows) {
+    auto characterizer = this->characterizer();
+    std::ostringstream key;
+    key << "glitch_profile|" << characterizer->config().cache_key() << "|"
+        << spec.id() << "|" << circuits::to_string(kind) << "|w=" << n_windows;
+    return artifact<attack::GlitchProfile>(key.str(), [&] {
+        return std::make_shared<attack::GlitchProfile>(
+            attack::GlitchProfile::from_characterization(
+                characterizer->characterize_glitch(kind, spec, n_windows, &pool_)));
+    });
 }
 
 std::shared_ptr<attack::AttackSuite> Session::attack_suite() {

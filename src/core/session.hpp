@@ -29,6 +29,7 @@
 #include <vector>
 
 #include "attack/calibration.hpp"
+#include "attack/glitch.hpp"
 #include "attack/scenarios.hpp"
 #include "circuits/characterization.hpp"
 #include "core/scenario.hpp"
@@ -57,6 +58,26 @@ public:
     std::shared_ptr<const circuits::Characterizer> characterizer();
     std::shared_ptr<const attack::VddCalibration> calibration(
         circuits::NeuronKind kind);
+
+    // --- cached characterisation sweeps ---------------------------------
+    // Keyed by the characterizer config hash + grid and computed in
+    // parallel over the session pool, so scenario batches simulate each
+    // sweep once instead of serially re-measuring per run.
+    std::shared_ptr<const std::vector<circuits::VddPoint>> threshold_sweep(
+        circuits::NeuronKind kind, const std::vector<double>& vdds);
+    std::shared_ptr<const std::vector<circuits::VddPoint>> driver_sweep(
+        const std::vector<double>& vdds, bool robust);
+    std::shared_ptr<const std::vector<circuits::VddPoint>> time_to_spike_sweep(
+        circuits::NeuronKind kind, const std::vector<double>& vdds);
+
+    /// Cached time-resolved glitch calibration: characterises `spec`
+    /// transiently (per-window driver + threshold measurements over the
+    /// session pool) and expresses it as an attack::GlitchProfile — the
+    /// severity source of the fi.glitch.* scenarios (no hand-coded
+    /// tables).
+    std::shared_ptr<const attack::GlitchProfile> glitch_profile(
+        const circuits::GlitchSpec& spec, circuits::NeuronKind kind,
+        std::size_t n_windows);
     /// Suite over the session workload (spec-less form uses the defaults).
     /// Suites share the session pool; their trained baseline is part of the
     /// cached artifact, so it is trained at most once per distinct workload.

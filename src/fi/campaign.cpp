@@ -53,6 +53,11 @@ std::string CampaignConfig::cache_key() const {
     std::ostringstream os;
     os << "models=";
     for (const auto& model : models) os << model->name() << "+";
+    os << "|glitches=";
+    for (const auto& glitch : glitches) {
+        os << glitch.id << "@" << glitch.severity << "{"
+           << glitch.profile.fingerprint() << "}+";
+    }
     os << "|layers=";
     for (const auto layer : sites.layers) os << attack::to_string(layer) << "+";
     os << "|max_sites=" << sites.max_sites << "|site_seed=" << sites.sample_seed
@@ -68,11 +73,12 @@ util::ResultTable CampaignResult::detail_table(const std::string& title) const {
                                     "accuracy_pct", "drop_pct", "ci_halfwidth_pct",
                                     "critical", "early_stopped", "mode"});
     for (const auto& cell : cells) {
-        table.add_row({cell.model, cell.site.id(), cell.severity,
+        table.add_row({cell.model, cell.site_id(), cell.severity,
                        static_cast<double>(cell.replicas), cell.accuracy_pct,
                        cell.drop_pct, cell.ci_halfwidth_pct, yes_no(cell.critical),
                        yes_no(cell.early_stopped),
-                       std::string(cell.trained ? "train" : "infer")});
+                       std::string(cell.trained ? "train"
+                                                : (cell.scheduled ? "sched" : "infer"))});
     }
     return table;
 }
@@ -128,7 +134,7 @@ std::string CampaignResult::to_json() const {
         const CellResult& cell = cells[c];
         if (c) os << ",";
         os << "{\"model\":\"" << util::json_escape(cell.model) << "\",\"site\":\""
-           << util::json_escape(cell.site.id())
+           << util::json_escape(cell.site_id())
            << "\",\"severity\":" << util::json_number(cell.severity)
            << ",\"replicas\":" << cell.replicas
            << ",\"accuracy_pct\":" << util::json_number(cell.accuracy_pct)
@@ -136,7 +142,8 @@ std::string CampaignResult::to_json() const {
            << ",\"ci_halfwidth_pct\":" << util::json_number(cell.ci_halfwidth_pct)
            << ",\"critical\":" << (cell.critical ? "true" : "false")
            << ",\"early_stopped\":" << (cell.early_stopped ? "true" : "false")
-           << ",\"trained\":" << (cell.trained ? "true" : "false") << "}";
+           << ",\"trained\":" << (cell.trained ? "true" : "false")
+           << ",\"scheduled\":" << (cell.scheduled ? "true" : "false") << "}";
     }
     os << "],\"sensitivity_map\":" << sensitivity_map("sensitivity map").to_json()
        << "}";
@@ -145,8 +152,9 @@ std::string CampaignResult::to_json() const {
 
 CampaignEngine::CampaignEngine(core::Session& session, CampaignConfig config)
     : session_(session), config_(std::move(config)) {
-    if (config_.models.empty()) config_.models = standard_fault_library();
-    if (config_.sites.layers.empty())
+    if (config_.models.empty() && config_.glitches.empty())
+        config_.models = standard_fault_library();
+    if (!config_.models.empty() && config_.sites.layers.empty())
         throw std::invalid_argument("CampaignConfig: no target layers");
 }
 
@@ -180,8 +188,12 @@ CampaignResult CampaignEngine::execute() {
     result.baseline_accuracy_pct = baseline_pct;
     std::vector<std::size_t> training_cells;
     std::vector<std::size_t> inference_cells;
-    // Model behind each cell (cells themselves only carry the name).
+    // Model behind each cell (cells themselves only carry the name);
+    // nullptr for glitch cells, whose overlays/schedules come from the
+    // compiled profile instead.
     std::vector<const FaultModel*> cell_model;
+    // The static FaultSpec behind each training cell, planning order.
+    std::vector<attack::FaultSpec> training_specs;
     for (const auto& model : config_.models) {
         std::vector<FaultSite> sites;
         if (model->network_wide()) {
@@ -199,23 +211,52 @@ CampaignResult CampaignEngine::execute() {
                 cell.site = site;
                 cell.severity = severity;
                 cell.trained = model->trains_under_fault();
-                (cell.trained ? training_cells : inference_cells)
-                    .push_back(result.cells.size());
+                if (cell.trained) {
+                    training_cells.push_back(result.cells.size());
+                    training_specs.push_back(model->to_fault_spec(site, severity));
+                } else {
+                    inference_cells.push_back(result.cells.size());
+                }
                 result.cells.push_back(std::move(cell));
                 cell_model.push_back(model.get());
             }
         }
     }
 
+    // --- glitch cells: compiled time-resolved profiles ------------------
+    // Constant profiles collapse onto the exact static train-under-fault
+    // path (they ARE the paper's attacks); time-localised profiles become
+    // scheduled overlays evaluated at inference on the trained baseline.
+    const attack::GlitchCompiler compiler(network_config);
+    std::vector<snn::OverlaySchedule> schedules;
+    std::vector<std::size_t> scheduled_cells;
+    for (const GlitchCellSpec& glitch : config_.glitches) {
+        CellResult cell;
+        cell.model = "vdd_glitch";
+        cell.site.kind = SiteKind::kParameter;
+        cell.site.layer = attack::TargetLayer::kBoth;
+        cell.label = glitch.id;
+        cell.severity = glitch.severity;
+        if (glitch.profile.is_constant()) {
+            cell.trained = true;
+            training_cells.push_back(result.cells.size());
+            training_specs.push_back(glitch.profile.to_fault_spec());
+        } else {
+            cell.scheduled = true;
+            scheduled_cells.push_back(result.cells.size());
+            inference_cells.push_back(result.cells.size());
+            schedules.resize(result.cells.size() + 1);
+            schedules[result.cells.size()] = compiler.compile(glitch.profile);
+        }
+        result.cells.push_back(std::move(cell));
+        cell_model.push_back(nullptr);
+    }
+    schedules.resize(result.cells.size());
+
     // --- drift models: train-under-fault through the AttackSuite --------
     if (!training_cells.empty()) {
-        std::vector<attack::FaultSpec> faults;
-        faults.reserve(training_cells.size());
-        for (const std::size_t c : training_cells) {
-            faults.push_back(cell_model[c]->to_fault_spec(result.cells[c].site,
-                                                          result.cells[c].severity));
-        }
-        const std::vector<attack::AttackOutcome> outcomes = suite->run_many(faults);
+        const std::vector<attack::AttackOutcome> outcomes =
+            suite->run_many(training_specs);
         for (std::size_t f = 0; f < training_cells.size(); ++f) {
             CellResult& cell = result.cells[training_cells[f]];
             cell.replicas = 1;
@@ -237,8 +278,11 @@ CampaignResult CampaignEngine::execute() {
         es.enabled ? std::max(min_reps, es.max_replicas) : min_reps;
 
     // One overlay per inference cell, built up front from the topology.
+    // Scheduled glitch cells have an empty base overlay: their faults
+    // arrive through the compiled schedule instead.
     std::vector<snn::FaultOverlay> overlays(result.cells.size());
     for (const std::size_t c : inference_cells) {
+        if (cell_model[c] == nullptr) continue;
         cell_model[c]->build_overlay(overlays[c], network_config,
                                      result.cells[c].site,
                                      result.cells[c].severity);
@@ -310,8 +354,12 @@ CampaignResult CampaignEngine::execute() {
             runtimes.reserve(count);
             std::vector<snn::NetworkRuntime*> members;
             members.reserve(count);
-            for (std::size_t k = 0; k < count; ++k)
-                runtimes.emplace_back(baseline, overlays[open[task.begin + k]]);
+            for (std::size_t k = 0; k < count; ++k) {
+                const std::size_t cell = open[task.begin + k];
+                runtimes.emplace_back(baseline, overlays[cell]);
+                if (!schedules[cell].empty())
+                    runtimes.back().set_schedule(schedules[cell]);
+            }
             for (snn::NetworkRuntime& runtime : runtimes)
                 members.push_back(&runtime);
             snn::BatchRunner batch(*baseline, std::move(members));

@@ -14,6 +14,11 @@
 //   * drift models (trains_under_fault()) are routed through the
 //     AttackSuite's train-under-fault pipeline, so the paper's attacks
 //     fall out as special cases with identical numbers;
+//   * glitch cells (GlitchCellSpec) carry a time-resolved GlitchProfile:
+//     constant profiles collapse onto the train-under-fault path (bit-for-
+//     bit the static attacks), time-localised profiles compile into
+//     snn::OverlaySchedules and ride the same lockstep inference batches
+//     with per-segment overlay swaps;
 //   * every injection is replicated over independent Poisson-encoding
 //     streams, paired with a clean run of the same stream; a cell stops
 //     early once the 95% CI of its accuracy drop is tight (statistical
@@ -31,6 +36,7 @@
 #include <string>
 #include <vector>
 
+#include "attack/glitch.hpp"
 #include "fi/fault.hpp"
 #include "fi/sites.hpp"
 #include "util/table.hpp"
@@ -51,10 +57,27 @@ struct EarlyStopPolicy {
     double ci_halfwidth_pct = 1.5;
 };
 
+/// One planned transient-glitch cell: a resolved time-resolved profile
+/// (typically from circuit characterisation through the Session cache)
+/// plus its stable display/cache id. Constant profiles route through the
+/// static train-under-fault path — the degenerate case that reproduces the
+/// paper's attacks bit-for-bit; time-localised profiles compile into
+/// scheduled overlays applied at inference over the trained baseline (the
+/// externally-triggered threat model).
+struct GlitchCellSpec {
+    std::string id;                 ///< e.g. "rect:d0.8:o0.25:w0.25"
+    attack::GlitchProfile profile;
+    double severity = 0.0;          ///< depth VDD (or 0 for custom profiles)
+};
+
 struct CampaignConfig {
-    /// Fault models to sweep; empty = the standard library.
+    /// Fault models to sweep; empty = the standard library. Cleared (set
+    /// to {}) when only glitch cells should run — see glitches.
     std::vector<std::shared_ptr<const FaultModel>> models;
     SitePlan sites;
+    /// Transient VDD glitch cells (shape x depth x width x onset axes,
+    /// resolved to profiles by the caller).
+    std::vector<GlitchCellSpec> glitches;
     /// Inference-evaluation subset size (clamped to the session dataset).
     std::size_t eval_samples = 120;
     std::uint64_t seed = 0xCA30;  ///< root of the replica seed streams
@@ -70,6 +93,7 @@ struct CampaignConfig {
 struct CellResult {
     std::string model;
     FaultSite site;
+    std::string label;     ///< display id override (glitch cells); else site.id()
     double severity = 0.0;
     std::size_t replicas = 0;
     double accuracy_pct = 0.0;      ///< mean over replicas
@@ -78,6 +102,9 @@ struct CellResult {
     bool critical = false;
     bool early_stopped = false;  ///< CI criterion fired before max_replicas
     bool trained = false;        ///< train-under-fault path (drift models)
+    bool scheduled = false;      ///< time-localised scheduled-overlay path
+
+    std::string site_id() const { return label.empty() ? site.id() : label; }
 };
 
 struct CampaignResult {

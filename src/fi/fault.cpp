@@ -78,25 +78,10 @@ snn::FaultOverlay FaultModel::overlay(const snn::DiehlCookConfig& config,
     return result;
 }
 
-void FaultModel::inject(snn::DiehlCookNetwork& network, const FaultSite& site,
-                        double severity) const {
-    overlay(network.config(), site, severity).apply_to(network);
-}
-
 snn::OverlayLayer overlay_layer_of(attack::TargetLayer layer) {
     switch (layer) {
         case attack::TargetLayer::kExcitatory: return snn::OverlayLayer::kExcitatory;
         case attack::TargetLayer::kInhibitory: return snn::OverlayLayer::kInhibitory;
-        default:
-            throw std::invalid_argument(
-                "layer_of: site must address one concrete layer");
-    }
-}
-
-snn::LifLayer& layer_of(snn::DiehlCookNetwork& network, attack::TargetLayer layer) {
-    switch (layer) {
-        case attack::TargetLayer::kExcitatory: return network.excitatory();
-        case attack::TargetLayer::kInhibitory: return network.inhibitory();
         default:
             throw std::invalid_argument(
                 "layer_of: site must address one concrete layer");

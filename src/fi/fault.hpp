@@ -23,8 +23,7 @@
 // re-expressed: they carry trains_under_fault() == true and convert to an
 // attack::FaultSpec, so the campaign engine routes them through the
 // AttackSuite's train-under-fault pipeline and reproduces the published
-// scenarios exactly. The legacy inject() entry point replays the overlay
-// through the deprecated DiehlCookNetwork facade.
+// scenarios exactly.
 #pragma once
 
 #include <cstdint>
@@ -103,12 +102,6 @@ public:
     /// Convenience: a fresh overlay holding just this fault.
     snn::FaultOverlay overlay(const snn::DiehlCookConfig& config,
                               const FaultSite& site, double severity) const;
-
-    /// Deprecated facade path: applies the fault to a live network by
-    /// replaying build_overlay through the mutators (additive, like the
-    /// historic inject semantics).
-    void inject(snn::DiehlCookNetwork& network, const FaultSite& site,
-                double severity) const;
 };
 
 class StuckAtWeightFault final : public FaultModel {
@@ -211,8 +204,5 @@ float flip_weight_bit(float value, unsigned bit);
 /// The overlay-layer handle a neuron/parameter site addresses. Throws
 /// std::invalid_argument unless the site names one concrete layer.
 snn::OverlayLayer overlay_layer_of(attack::TargetLayer layer);
-
-/// Deprecated facade helper: the live layer object a site addresses.
-snn::LifLayer& layer_of(snn::DiehlCookNetwork& network, attack::TargetLayer layer);
 
 }  // namespace snnfi::fi

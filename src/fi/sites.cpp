@@ -107,14 +107,4 @@ std::vector<FaultSite> enumerate_sites(const snn::DiehlCookConfig& config,
     return subsample(std::move(sites), plan.max_sites, plan.sample_seed);
 }
 
-std::size_t site_space_size(const snn::DiehlCookNetwork& network, SiteKind kind,
-                            const SitePlan& plan) {
-    return site_space_size(network.config(), kind, plan);
-}
-
-std::vector<FaultSite> enumerate_sites(const snn::DiehlCookNetwork& network,
-                                       SiteKind kind, const SitePlan& plan) {
-    return enumerate_sites(network.config(), kind, plan);
-}
-
 }  // namespace snnfi::fi

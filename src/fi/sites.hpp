@@ -48,10 +48,4 @@ std::size_t site_space_size(const snn::DiehlCookConfig& config, SiteKind kind,
 std::vector<FaultSite> enumerate_sites(const snn::DiehlCookConfig& config,
                                        SiteKind kind, const SitePlan& plan);
 
-/// Deprecated facade overloads: forward to the config-based API.
-std::size_t site_space_size(const snn::DiehlCookNetwork& network, SiteKind kind,
-                            const SitePlan& plan);
-std::vector<FaultSite> enumerate_sites(const snn::DiehlCookNetwork& network,
-                                       SiteKind kind, const SitePlan& plan);
-
 }  // namespace snnfi::fi

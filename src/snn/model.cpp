@@ -18,9 +18,10 @@ NetworkModel::NetworkModel(DiehlCookConfig config, Matrix input_weights,
 
 std::shared_ptr<const NetworkModel> NetworkModel::random(
     const DiehlCookConfig& config, std::uint64_t seed) {
-    // Mirror DiehlCookNetwork's construction order: the seeded Rng feeds
-    // the dense-connection init (uniform draws, then normalisation) and
-    // nothing else, so the post-init state matches the facade's rng().
+    // The seeded Rng feeds the dense-connection init (uniform draws, then
+    // normalisation) and nothing else; the post-init state is the stream
+    // runtimes inherit. This construction order is regression-pinned: it
+    // reproduces the historical mutable-network initialisation bit-for-bit.
     util::Rng rng(seed);
     DenseConnection init(config.n_input, config.n_neurons, config.stdp,
                          config.norm_total, rng);
@@ -28,22 +29,6 @@ std::shared_ptr<const NetworkModel> NetworkModel::random(
         config, init.weights(), std::vector<float>(config.n_neurons, 0.0f));
     model->init_rng_ = rng;
     return model;
-}
-
-std::shared_ptr<const NetworkModel> NetworkModel::freeze(
-    const DiehlCookNetwork& network) {
-    return std::make_shared<NetworkModel>(
-        network.config(), network.input_connection().weights(),
-        std::vector<float>(network.excitatory().theta().begin(),
-                           network.excitatory().theta().end()),
-        network.rng());
-}
-
-NetworkState NetworkModel::state() const {
-    NetworkState state;
-    state.input_weights = input_weights_;
-    state.exc_theta = exc_theta_;
-    return state;
 }
 
 }  // namespace snnfi::snn

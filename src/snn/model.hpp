@@ -2,8 +2,8 @@
 //
 // A model carries everything training produces — topology config, learned
 // input->EL weights, excitatory adaptive thresholds (theta) — plus the RNG
-// state left behind by weight initialisation, so a NetworkRuntime built on
-// top reproduces the legacy DiehlCookNetwork bit-for-bit. Models are
+// state left behind by weight initialisation, so runtimes built on top
+// consume reproducible encoder streams. Models are
 // immutable after construction and shared across replicas by shared_ptr:
 // a fault-injection campaign holds ONE trained model and spins up one
 // cheap NetworkRuntime per (cell, replica) instead of snapshot/restoring
@@ -23,22 +23,18 @@ namespace snnfi::snn {
 
 class NetworkModel {
 public:
-    /// Randomly initialised (untrained) model. Weights are drawn exactly
-    /// like DiehlCookNetwork's constructor (same Rng stream), and the
-    /// post-initialisation RNG state is captured so training a runtime on
-    /// this model consumes the identical encoder stream as the facade.
+    /// Randomly initialised (untrained) model: the seeded Rng feeds the
+    /// dense-connection weight init and nothing else, and the post-init
+    /// RNG state is captured so runtimes trained on this model consume a
+    /// reproducible encoder stream.
     static std::shared_ptr<const NetworkModel> random(const DiehlCookConfig& config,
                                                       std::uint64_t seed);
 
-    /// Freezes a live facade network: its current weights and theta become
-    /// the model's learned parameters (the facade keeps its own copies).
-    static std::shared_ptr<const NetworkModel> freeze(const DiehlCookNetwork& network);
-
-    /// Assembles a model from already-captured learned state (e.g. a
-    /// legacy NetworkState snapshot). Throws std::invalid_argument on a
-    /// shape mismatch. `init_rng` seeds runtimes built on this model;
-    /// without one the model carries a fixed default stream (seed 0) —
-    /// campaigns reseed per replica regardless.
+    /// Assembles a model from already-captured learned state. Throws
+    /// std::invalid_argument on a shape mismatch. `init_rng` seeds
+    /// runtimes built on this model; without one the model carries a
+    /// fixed default stream (seed 0) — campaigns reseed per replica
+    /// regardless.
     NetworkModel(DiehlCookConfig config, Matrix input_weights,
                  std::vector<float> exc_theta, util::Rng init_rng = util::Rng{0});
 
@@ -57,10 +53,6 @@ public:
     /// frozen models, and a fixed default (seed 0) for hand-assembled
     /// models. Runtimes copy it; campaigns reseed per replica anyway.
     const util::Rng& init_rng() const noexcept { return init_rng_; }
-
-    /// Legacy view: the model's learned parameters as a NetworkState
-    /// snapshot (deprecated consumers restore it into a facade network).
-    NetworkState state() const;
 
 private:
     DiehlCookConfig config_;

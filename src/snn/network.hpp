@@ -1,17 +1,18 @@
-// The Diehl&Cook SNN (paper Fig. 7a): 784 Poisson inputs -> excitatory
-// layer (adaptive LIF, STDP-learned dense input) -> inhibitory layer
-// (one-to-one) -> lateral inhibition back onto the excitatory layer.
+// The Diehl&Cook SNN topology (paper Fig. 7a): 784 Poisson inputs ->
+// excitatory layer (adaptive LIF, STDP-learned dense input) -> inhibitory
+// layer (one-to-one) -> lateral inhibition back onto the excitatory layer.
 //
-// DEPRECATED FACADE: DiehlCookNetwork is the legacy mutable-network API,
-// kept for one release. New code should use the immutable snn::NetworkModel
-// plus per-replica snn::NetworkRuntime with snn::FaultOverlay
-// (snn/model.hpp, snn/runtime.hpp, snn/overlay.hpp) — see the migration
-// table in README.md. The runtime reproduces this facade bit-for-bit.
+// This header holds the topology *description* shared by the whole stack:
+// DiehlCookConfig (what the network is) and SampleActivity (what one
+// forward pass produces). The live execution types are the immutable
+// snn::NetworkModel plus per-replica snn::NetworkRuntime with composable
+// snn::FaultOverlay (snn/model.hpp, snn/runtime.hpp, snn/overlay.hpp).
+// The legacy mutable DiehlCookNetwork facade and its NetworkState snapshot
+// were removed after one deprecation release — see the migration table in
+// README.md.
 #pragma once
 
 #include <cstdint>
-#include <memory>
-#include <span>
 #include <vector>
 
 #include "snn/connection.hpp"
@@ -44,72 +45,6 @@ struct SampleActivity {
     std::vector<std::uint32_t> exc_counts;  ///< spikes per EL neuron
     std::size_t total_exc_spikes = 0;
     std::size_t total_inh_spikes = 0;
-};
-
-/// The learned state of a DiehlCookNetwork: everything training produces.
-/// Deprecated alongside the facade — the src/fi campaign engine now shares
-/// an immutable NetworkModel across replicas instead of snapshot/restoring
-/// this struct; it remains for facade clients and legacy tests.
-struct NetworkState {
-    Matrix input_weights;          ///< input->EL STDP-learned weights
-    std::vector<float> exc_theta;  ///< EL homeostatic adaptive thresholds
-};
-
-class DiehlCookNetwork {
-public:
-    DiehlCookNetwork(DiehlCookConfig config, std::uint64_t seed);
-
-    const DiehlCookConfig& config() const noexcept { return config_; }
-    DiehlCookLayer& excitatory() noexcept { return *excitatory_; }
-    LifLayer& inhibitory() noexcept { return *inhibitory_; }
-    const DiehlCookLayer& excitatory() const noexcept { return *excitatory_; }
-    const LifLayer& inhibitory() const noexcept { return *inhibitory_; }
-    DenseConnection& input_connection() noexcept { return *input_to_exc_; }
-    const DenseConnection& input_connection() const noexcept { return *input_to_exc_; }
-
-    void set_learning(bool enabled) { input_to_exc_->set_learning(enabled); }
-    bool learning_enabled() const { return input_to_exc_->learning_enabled(); }
-
-    /// Runs one sample (image intensities in [0,1]) for steps_per_sample
-    /// steps; returns the excitatory activity. Dynamic state and traces are
-    /// reset at the start; weights are normalised afterwards when learning.
-    SampleActivity run_sample(std::span<const float> image);
-
-    /// Scales the drive of *all* input current drivers (Attack 1 / Attack 5
-    /// theta corruption): multiplies the input->EL synaptic delivery.
-    void set_driver_gain(float gain) noexcept { driver_gain_ = gain; }
-    float driver_gain() const noexcept { return driver_gain_; }
-
-    /// Clears all neuron fault masks and the driver gain.
-    void clear_faults();
-
-    /// Captures the learned state (weights + adaptive thresholds).
-    NetworkState capture_state() const;
-    /// Restores a captured state: learned weights and theta come back
-    /// bit-exact; dynamic state, traces and all fault masks are cleared.
-    /// Throws std::invalid_argument on a shape mismatch.
-    void restore_state(const NetworkState& state);
-
-    util::Rng& rng() noexcept { return rng_; }
-    const util::Rng& rng() const noexcept { return rng_; }
-
-private:
-    DiehlCookConfig config_;
-    util::Rng rng_;
-    PoissonEncoder encoder_;
-    std::unique_ptr<DiehlCookLayer> excitatory_;
-    std::unique_ptr<LifLayer> inhibitory_;
-    std::unique_ptr<DenseConnection> input_to_exc_;
-    OneToOneConnection exc_to_inh_;
-    LateralInhibitionConnection inh_to_exc_;
-    float driver_gain_ = 1.0f;
-
-    // Scratch buffers reused across steps.
-    std::vector<std::uint32_t> active_inputs_;
-    std::vector<float> exc_input_;
-    std::vector<float> inh_input_;
-    std::vector<std::uint8_t> exc_spiked_;
-    std::vector<std::uint8_t> inh_spiked_;
 };
 
 }  // namespace snnfi::snn

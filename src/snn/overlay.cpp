@@ -3,8 +3,6 @@
 #include <cstring>
 #include <stdexcept>
 
-#include "snn/network.hpp"
-
 namespace snnfi::snn {
 
 const char* to_string(OverlayLayer layer) {
@@ -108,44 +106,6 @@ FaultOverlay FaultOverlay::compose(const FaultOverlay& first,
     FaultOverlay combined = first;
     combined.merge(second);
     return combined;
-}
-
-void FaultOverlay::apply_to(DiehlCookNetwork& network) const {
-    if (has_driver_gain_) network.set_driver_gain(driver_gain_);
-    for (const NeuronOp& op : neuron_ops_) {
-        LifLayer& layer = op.layer == OverlayLayer::kExcitatory
-                              ? static_cast<LifLayer&>(network.excitatory())
-                              : network.inhibitory();
-        if (op.neuron >= layer.size())
-            throw std::out_of_range("FaultOverlay: neuron index out of range");
-        const std::size_t mask[] = {op.neuron};
-        switch (op.field) {
-            case NeuronOp::Field::kThresholdScale:
-                layer.apply_threshold_scale(mask, op.value);
-                break;
-            case NeuronOp::Field::kThresholdValueDelta:
-                layer.apply_threshold_value_delta(mask, op.value);
-                break;
-            case NeuronOp::Field::kInputGain:
-                layer.apply_input_gain(mask, op.value);
-                break;
-            case NeuronOp::Field::kForcedState:
-                layer.apply_forced_state(
-                    mask, static_cast<NeuronFault>(static_cast<std::uint8_t>(op.value)));
-                break;
-            case NeuronOp::Field::kRefractoryOverride:
-                layer.apply_refractory_override(mask, static_cast<int>(op.value));
-                break;
-        }
-    }
-    for (const WeightOp& op : weight_ops_) {
-        float& w = network.input_connection().weights().at(op.pre, op.post);
-        if (op.kind == WeightOp::Kind::kSet) {
-            w = op.value;
-        } else {
-            w = xor_weight_bits(w, op.bits);
-        }
-    }
 }
 
 }  // namespace snnfi::snn

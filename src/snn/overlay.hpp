@@ -4,11 +4,11 @@
 // An overlay is a recorded sequence of operations — driver gain, per-neuron
 // threshold/gain scaling, forced state, refractory overrides, and weight
 // patches (absolute sets and IEEE-754 bit flips) — that a NetworkRuntime
-// expands into its struct-of-arrays fault state at construction, and that
-// the deprecated DiehlCookNetwork facade can replay through its mutators.
-// Because an overlay only *describes* faults, a campaign builds thousands
-// of them up front for pennies; the weight matrix stays shared and only
-// patched cells are materialised per replica (copy-on-write).
+// expands into its struct-of-arrays fault state at construction (or at a
+// schedule-segment boundary, see ScheduledOverlay below). Because an
+// overlay only *describes* faults, a campaign builds thousands of them up
+// front for pennies; the weight matrix stays shared and only patched
+// cells are materialised per replica (copy-on-write).
 //
 // Composition: apply order is last-writer-wins per (field, neuron) and
 // per weight cell, XOR patches commute, and operations on distinct targets
@@ -24,8 +24,6 @@
 #include "snn/nodes.hpp"
 
 namespace snnfi::snn {
-
-class DiehlCookNetwork;
 
 /// XORs a float32 weight word with a bit mask (the overlay's bit-flip
 /// primitive; applying the same mask twice restores the value bit-exactly).
@@ -105,11 +103,6 @@ public:
     std::span<const NeuronOp> neuron_ops() const noexcept { return neuron_ops_; }
     std::span<const WeightOp> weight_ops() const noexcept { return weight_ops_; }
 
-    /// Legacy bridge: replays the overlay through the deprecated facade's
-    /// mutators (additive — call network.clear_faults() first for
-    /// replace semantics). Weight patches mutate the facade's matrix.
-    void apply_to(DiehlCookNetwork& network) const;
-
 private:
     FaultOverlay& add_neuron_ops(OverlayLayer layer,
                                  std::span<const std::size_t> neurons,
@@ -120,5 +113,19 @@ private:
     std::vector<NeuronOp> neuron_ops_;
     std::vector<WeightOp> weight_ops_;
 };
+
+/// One activation window of a scheduled overlay: the overlay is merged on
+/// top of a runtime's base overlay at `begin_step` and retracted at
+/// `end_step` (exclusive), both sample-step boundaries.
+struct ScheduledOverlay {
+    std::size_t begin_step = 0;
+    std::size_t end_step = 0;
+    FaultOverlay overlay;
+};
+
+/// A piecewise fault schedule over one inference sample — the time axis of
+/// transient (glitch) attacks. NetworkRuntime::set_schedule validates it:
+/// segments sorted by begin_step, non-overlapping, begin < end.
+using OverlaySchedule = std::vector<ScheduledOverlay>;
 
 }  // namespace snnfi::snn

@@ -58,11 +58,11 @@ NetworkRuntime::NetworkRuntime(std::shared_ptr<const NetworkModel> model,
 
 void NetworkRuntime::set_overlay(const FaultOverlay& overlay) {
     overlay_ = overlay;
-    driver_gain_ = overlay_.has_driver_gain() ? overlay_.driver_gain() : 1.0f;
-    exc_.reset_faults();
-    inh_.reset_faults();
-    apply_overlay_ops();
     if (learned_) {
+        driver_gain_ = overlay_.has_driver_gain() ? overlay_.driver_gain() : 1.0f;
+        exc_.reset_faults();
+        inh_.reset_faults();
+        apply_overlay_ops(overlay_);
         // Learning mode owns the matrix: patches land in place (and are
         // not reverted by a later set_overlay — documented).
         for (const WeightOp& op : overlay_.weight_ops()) {
@@ -74,13 +74,66 @@ void NetworkRuntime::set_overlay(const FaultOverlay& overlay) {
             }
         }
     } else {
-        rebuild_weight_patches();
+        apply_effective_overlay(overlay_);
     }
 }
 
-void NetworkRuntime::apply_overlay_ops() {
+void NetworkRuntime::set_schedule(OverlaySchedule schedule) {
+    if (learned_)
+        throw std::logic_error(
+            "NetworkRuntime: schedules are inference-only (learning runtime)");
+    for (std::size_t s = 0; s < schedule.size(); ++s) {
+        if (schedule[s].begin_step >= schedule[s].end_step)
+            throw std::invalid_argument("NetworkRuntime: empty schedule segment");
+        if (s > 0 && schedule[s].begin_step < schedule[s - 1].end_step)
+            throw std::invalid_argument(
+                "NetworkRuntime: schedule segments overlap or are unsorted");
+    }
+    schedule_ = std::move(schedule);
+    schedule_pos_ = 0;
+    segment_active_ = false;
+    apply_effective_overlay(overlay_);
+}
+
+void NetworkRuntime::apply_effective_overlay(const FaultOverlay& effective) {
+    driver_gain_ = effective.has_driver_gain() ? effective.driver_gain() : 1.0f;
+    exc_.reset_faults();
+    inh_.reset_faults();
+    apply_overlay_ops(effective);
+    rebuild_weight_patches(effective);
+}
+
+void NetworkRuntime::advance_schedule(std::size_t step) {
+    bool retracted = false;
+    if (segment_active_ && step >= schedule_[schedule_pos_].end_step) {
+        ++schedule_pos_;
+        segment_active_ = false;
+        retracted = true;
+    }
+    if (!segment_active_ && schedule_pos_ < schedule_.size() &&
+        step >= schedule_[schedule_pos_].begin_step) {
+        // Back-to-back segments re-expand once, straight into the next
+        // segment's composed state.
+        segment_active_ = true;
+        apply_effective_overlay(
+            FaultOverlay::compose(overlay_, schedule_[schedule_pos_].overlay));
+    } else if (retracted) {
+        apply_effective_overlay(overlay_);
+    }
+}
+
+void NetworkRuntime::reset_schedule() {
+    if (schedule_.empty()) return;
+    if (segment_active_) {
+        segment_active_ = false;
+        apply_effective_overlay(overlay_);
+    }
+    schedule_pos_ = 0;
+}
+
+void NetworkRuntime::apply_overlay_ops(const FaultOverlay& effective) {
     const DiehlCookConfig& config = model_->config();
-    for (const NeuronOp& op : overlay_.neuron_ops()) {
+    for (const NeuronOp& op : effective.neuron_ops()) {
         const bool exc = op.layer == OverlayLayer::kExcitatory;
         LayerState& layer = exc ? exc_ : inh_;
         const LifParams& params = exc ? config.excitatory.lif : config.inhibitory;
@@ -108,19 +161,19 @@ void NetworkRuntime::apply_overlay_ops() {
     }
 }
 
-void NetworkRuntime::rebuild_weight_patches() {
+void NetworkRuntime::rebuild_weight_patches(const FaultOverlay& effective) {
     const DiehlCookConfig& config = model_->config();
     cow_rows_.clear();
     cell_deltas_.clear();
     row_ptr_.resize(config.n_input);
     for (std::size_t pre = 0; pre < config.n_input; ++pre)
         row_ptr_[pre] = model_->weight_row(pre).data();
-    if (overlay_.weight_ops().empty()) return;
+    if (effective.weight_ops().empty()) return;
 
     // Materialise only the touched rows (copy-on-write), then apply the
     // patch operations in order.
     std::vector<std::pair<std::uint32_t, std::uint32_t>> touched;
-    for (const WeightOp& op : overlay_.weight_ops()) {
+    for (const WeightOp& op : effective.weight_ops()) {
         if (op.pre >= config.n_input || op.post >= config.n_neurons)
             throw std::out_of_range("NetworkRuntime: weight patch out of range");
         auto it = std::find_if(cow_rows_.begin(), cow_rows_.end(),
@@ -155,6 +208,9 @@ void NetworkRuntime::rebuild_weight_patches() {
 
 void NetworkRuntime::set_learning(bool enabled) {
     const DiehlCookConfig& config = model_->config();
+    if (enabled && !schedule_.empty())
+        throw std::logic_error(
+            "NetworkRuntime: cannot enable learning on a scheduled replica");
     if (enabled && !learned_) {
         Matrix effective = model_->input_weights();
         for (const auto& [pre, row] : cow_rows_) {
@@ -167,6 +223,56 @@ void NetworkRuntime::set_learning(bool enabled) {
     }
     learning_ = enabled;
     if (learned_) learned_->set_learning(enabled);
+}
+
+namespace {
+
+void check_neuron_index(std::size_t neuron, std::size_t n) {
+    if (neuron >= n)
+        throw std::out_of_range("NetworkRuntime: neuron index out of range");
+}
+
+}  // namespace
+
+float NetworkRuntime::threshold_scale(OverlayLayer layer, std::size_t neuron) const {
+    const LayerState& state = layer_state(layer);
+    check_neuron_index(neuron, state.thresh_scale.size());
+    return state.thresh_scale[neuron];
+}
+
+float NetworkRuntime::input_gain(OverlayLayer layer, std::size_t neuron) const {
+    const LayerState& state = layer_state(layer);
+    check_neuron_index(neuron, state.input_gain.size());
+    return state.input_gain[neuron];
+}
+
+NeuronFault NetworkRuntime::forced_state(OverlayLayer layer,
+                                         std::size_t neuron) const {
+    const LayerState& state = layer_state(layer);
+    check_neuron_index(neuron, state.forced.size());
+    return static_cast<NeuronFault>(state.forced[neuron]);
+}
+
+int NetworkRuntime::refractory_steps(OverlayLayer layer, std::size_t neuron) const {
+    const LayerState& state = layer_state(layer);
+    check_neuron_index(neuron, state.refrac_override.size());
+    if (state.refrac_override[neuron] >= 0) return state.refrac_override[neuron];
+    return layer == OverlayLayer::kExcitatory
+               ? model_->config().excitatory.lif.refrac_steps
+               : model_->config().inhibitory.refrac_steps;
+}
+
+float NetworkRuntime::effective_threshold(OverlayLayer layer,
+                                          std::size_t neuron) const {
+    const LayerState& state = layer_state(layer);
+    check_neuron_index(neuron, state.thresh_scale.size());
+    const LifParams& params = layer == OverlayLayer::kExcitatory
+                                  ? model_->config().excitatory.lif
+                                  : model_->config().inhibitory;
+    float threshold = params.v_rest +
+                      (params.v_thresh - params.v_rest) * state.thresh_scale[neuron];
+    if (layer == OverlayLayer::kExcitatory) threshold += exc_theta_[neuron];
+    return threshold;
 }
 
 std::span<const float> NetworkRuntime::weight_row(std::size_t pre) const {
@@ -191,6 +297,7 @@ std::shared_ptr<const NetworkModel> NetworkRuntime::freeze() const {
 
 void NetworkRuntime::begin_sample() {
     const DiehlCookConfig& config = model_->config();
+    reset_schedule();
     exc_.reset_dynamic(config.excitatory.lif);
     inh_.reset_dynamic(config.inhibitory);
     std::fill(exc_spiked_.begin(), exc_spiked_.end(), 0);
@@ -326,6 +433,7 @@ SampleActivity NetworkRuntime::run_sample(std::span<const float> image) {
     SampleActivity activity;
     activity.exc_counts.assign(config.n_neurons, 0);
     for (std::size_t step = 0; step < config.steps_per_sample; ++step) {
+        if (!schedule_.empty()) advance_schedule(step);
         encoder_.step(rng_, active_inputs_);
         accumulate_drive(active_inputs_);
         advance_step(active_inputs_, activity);
@@ -372,6 +480,7 @@ std::vector<SampleActivity> BatchRunner::run_sample(std::span<const float> image
             for (std::size_t j = 0; j < n; ++j) base_drive_[j] += row[j];
         }
         for (std::size_t k = 0; k < runtimes_.size(); ++k) {
+            if (!runtimes_[k]->schedule_.empty()) runtimes_[k]->advance_schedule(step);
             runtimes_[k]->adopt_drive(base_drive_, active_);
             runtimes_[k]->advance_step(active_, activities[k]);
         }

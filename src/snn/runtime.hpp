@@ -15,8 +15,12 @@
 // With learning enabled the runtime materialises the full weight matrix
 // into a DenseConnection (STDP + normalisation reuse the exact legacy
 // kernels) and freeze() packages the learned parameters into a new
-// immutable NetworkModel. Training a runtime over NetworkModel::random()
-// reproduces the deprecated DiehlCookNetwork facade bit-for-bit.
+// immutable NetworkModel. Training over NetworkModel::random() is
+// regression-pinned to the historical mutable-network numbers.
+//
+// A FaultOverlay describes faults that hold for a whole run; an
+// OverlaySchedule adds the time axis: segments merged onto the base
+// overlay at step boundaries (the glitch pipeline's execution layer).
 //
 // BatchRunner advances several inference runtimes in lockstep over ONE
 // shared Poisson stream: the dense input propagation over the shared
@@ -56,15 +60,37 @@ public:
     void set_overlay(const FaultOverlay& overlay);
     const FaultOverlay& overlay() const noexcept { return overlay_; }
 
+    /// Installs a piecewise fault schedule (the time axis of transient
+    /// glitch attacks). While a segment is active the replica's fault
+    /// state is the base overlay with the segment's overlay merged on
+    /// top; outside every segment it is the base overlay alone. Swaps
+    /// happen at step boundaries: fault state is re-expanded and weight
+    /// patches rebuilt, dynamic state (voltages, refractory counters,
+    /// theta) is untouched. A schedule spanning [0, steps_per_sample)
+    /// with one segment is bit-identical to a static overlay.
+    /// Validates ordering/overlap; throws std::logic_error with learning
+    /// enabled (schedules are an inference-path feature).
+    void set_schedule(OverlaySchedule schedule);
+    const OverlaySchedule& schedule() const noexcept { return schedule_; }
+
+    // --- fault-state inspection (current step's effective values) -------
+    float threshold_scale(OverlayLayer layer, std::size_t neuron) const;
+    float input_gain(OverlayLayer layer, std::size_t neuron) const;
+    NeuronFault forced_state(OverlayLayer layer, std::size_t neuron) const;
+    /// Refractory steps a spike would incur now (override or config).
+    int refractory_steps(OverlayLayer layer, std::size_t neuron) const;
+    /// Spike threshold in BindsNET millivolts, faults and (for the
+    /// excitatory layer) the adaptive theta included.
+    float effective_threshold(OverlayLayer layer, std::size_t neuron) const;
+
     /// Learning materialises the weight matrix (model + patches) into an
     /// STDP connection on first enable; disabling freezes further updates
     /// but keeps the materialised weights.
     void set_learning(bool enabled);
     bool learning_enabled() const noexcept { return learning_; }
 
-    /// Runs one sample exactly like DiehlCookNetwork::run_sample: dynamic
-    /// state and traces reset first, weights normalised afterwards when
-    /// learning.
+    /// Runs one sample: dynamic state and traces reset first, schedule
+    /// cursor rewound, weights normalised afterwards when learning.
     SampleActivity run_sample(std::span<const float> image);
 
     /// Freezes the replica's current learned parameters (weights incl.
@@ -101,8 +127,21 @@ private:
         float delta = 0.0f;
     };
 
-    void apply_overlay_ops();
-    void rebuild_weight_patches();
+    /// Re-expands the given overlay into the SoA fault state + weight
+    /// patches (dynamic state untouched). set_overlay and the schedule
+    /// swaps share this path, so a one-segment full-range schedule is
+    /// bit-identical to the static overlay it wraps.
+    void apply_effective_overlay(const FaultOverlay& effective);
+    void apply_overlay_ops(const FaultOverlay& effective);
+    void rebuild_weight_patches(const FaultOverlay& effective);
+    /// Activates/retracts schedule segments whose boundary is `step`.
+    void advance_schedule(std::size_t step);
+    /// Rewinds the schedule cursor (and restores the base overlay if the
+    /// previous sample ended inside a segment).
+    void reset_schedule();
+    const LayerState& layer_state(OverlayLayer layer) const {
+        return layer == OverlayLayer::kExcitatory ? exc_ : inh_;
+    }
     void begin_sample();
     void end_sample();
     /// Dense input drive of one step into exc_input_ (standalone path:
@@ -121,6 +160,9 @@ private:
 
     std::shared_ptr<const NetworkModel> model_;
     FaultOverlay overlay_;
+    OverlaySchedule schedule_;
+    std::size_t schedule_pos_ = 0;    ///< next/active segment index
+    bool segment_active_ = false;     ///< schedule_[schedule_pos_] applied
     PoissonEncoder encoder_;
     util::Rng rng_;
 

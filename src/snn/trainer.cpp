@@ -4,22 +4,6 @@
 
 namespace snnfi::snn {
 
-SampleActivity Trainer::run_sample(std::span<const float> image) {
-    return runtime_ ? runtime_->run_sample(image) : network_->run_sample(image);
-}
-
-void Trainer::set_learning(bool enabled) {
-    if (runtime_) {
-        runtime_->set_learning(enabled);
-    } else {
-        network_->set_learning(enabled);
-    }
-}
-
-std::size_t Trainer::n_neurons() const {
-    return runtime_ ? runtime_->config().n_neurons : network_->config().n_neurons;
-}
-
 TrainResult Trainer::run(const Dataset& train, const Dataset* test,
                          const SampleHook& hook) {
     if (train.images.size() != train.labels.size())
@@ -27,12 +11,12 @@ TrainResult Trainer::run(const Dataset& train, const Dataset* test,
     if (train.size() == 0) throw std::invalid_argument("Trainer::run: empty dataset");
     if (eval_window_ == 0) throw std::invalid_argument("Trainer::run: zero window");
 
-    const std::size_t n_neurons = this->n_neurons();
+    const std::size_t n_neurons = runtime_->config().n_neurons;
     constexpr std::size_t kNumClasses = 10;
     ActivityClassifier online(n_neurons, kNumClasses);  // cumulative activity
     ActivityClassifier retro(n_neurons, kNumClasses);
 
-    set_learning(true);
+    runtime_->set_learning(true);
     std::vector<SampleActivity> records;
     records.reserve(train.size());
     TrainResult result;
@@ -43,7 +27,7 @@ TrainResult Trainer::run(const Dataset& train, const Dataset* test,
 
     for (std::size_t i = 0; i < train.size(); ++i) {
         if (hook) hook(i);
-        SampleActivity activity = run_sample(train.images[i]);
+        SampleActivity activity = runtime_->run_sample(train.images[i]);
         result.total_exc_spikes += activity.total_exc_spikes;
         result.total_inh_spikes += activity.total_inh_spikes;
 
@@ -82,15 +66,15 @@ TrainResult Trainer::run(const Dataset& train, const Dataset* test,
         static_cast<double>(train.size());
 
     if (test != nullptr && test->size() > 0) {
-        set_learning(false);
+        runtime_->set_learning(false);
         std::size_t test_correct = 0;
         for (std::size_t i = 0; i < test->size(); ++i) {
-            const SampleActivity activity = run_sample(test->images[i]);
+            const SampleActivity activity = runtime_->run_sample(test->images[i]);
             if (retro.predict(activity.exc_counts) == test->labels[i]) ++test_correct;
         }
         result.test_accuracy =
             static_cast<double>(test_correct) / static_cast<double>(test->size());
-        set_learning(true);
+        runtime_->set_learning(true);
     }
     return result;
 }

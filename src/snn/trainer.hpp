@@ -41,16 +41,11 @@ using SampleHook = std::function<void(std::size_t index)>;
 
 class Trainer {
 public:
-    /// Trains a Model/Runtime replica (the primary API): the runtime's
-    /// learning mode is enabled for the pass, and runtime.freeze() after
-    /// run() yields the trained immutable NetworkModel.
+    /// Trains a Model/Runtime replica: the runtime's learning mode is
+    /// enabled for the pass, and runtime.freeze() after run() yields the
+    /// trained immutable NetworkModel.
     explicit Trainer(NetworkRuntime& runtime, std::size_t eval_window = 250)
         : runtime_(&runtime), eval_window_(eval_window) {}
-
-    /// Deprecated: facade path, kept one release for DiehlCookNetwork
-    /// clients. Prefer the NetworkRuntime constructor.
-    explicit Trainer(DiehlCookNetwork& network, std::size_t eval_window = 250)
-        : network_(&network), eval_window_(eval_window) {}
 
     /// Trains on `train` (single pass, learning on), computing the online
     /// windowed accuracy and the retrospective accuracy; when `test` is
@@ -59,12 +54,7 @@ public:
                     const SampleHook& hook = {});
 
 private:
-    SampleActivity run_sample(std::span<const float> image);
-    void set_learning(bool enabled);
-    std::size_t n_neurons() const;
-
     NetworkRuntime* runtime_ = nullptr;
-    DiehlCookNetwork* network_ = nullptr;
     std::size_t eval_window_;
 };
 

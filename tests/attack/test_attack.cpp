@@ -6,6 +6,7 @@
 #include "attack/fault_model.hpp"
 #include "attack/scenarios.hpp"
 #include "data/synthetic_digits.hpp"
+#include "snn/runtime.hpp"
 
 namespace snnfi::attack {
 namespace {
@@ -36,36 +37,39 @@ TEST(FaultMask, IndicesValidAndDistinct) {
     EXPECT_THROW(fault_mask(10, 1.5, 1, TargetLayer::kBoth), std::invalid_argument);
 }
 
-TEST(ApplyFault, ThresholdValueSemantics) {
+TEST(OverlayFor, ThresholdValueSemantics) {
     snn::DiehlCookConfig cfg;
     cfg.n_neurons = 10;
-    snn::DiehlCookNetwork network(cfg, 1);
     FaultSpec fault;
     fault.layer = TargetLayer::kInhibitory;
     fault.fraction = 1.0;
     fault.threshold_delta = -0.2;
-    apply_fault(network, fault);
+    snn::NetworkRuntime runtime(snn::NetworkModel::random(cfg, 1),
+                                overlay_for(fault, cfg));
     // IL: rest -60, thresh -40 -> value semantics: -40*0.8 = -32 mV.
     for (std::size_t i = 0; i < 10; ++i)
-        EXPECT_NEAR(network.inhibitory().effective_threshold(i), -32.0, 1e-3);
+        EXPECT_NEAR(runtime.effective_threshold(snn::OverlayLayer::kInhibitory, i),
+                    -32.0, 1e-3);
     // EL untouched.
     for (std::size_t i = 0; i < 10; ++i)
-        EXPECT_NEAR(network.excitatory().effective_threshold(i), -52.0, 1e-3);
+        EXPECT_NEAR(runtime.effective_threshold(snn::OverlayLayer::kExcitatory, i),
+                    -52.0, 1e-3);
 }
 
-TEST(ApplyFault, CircuitSemanticsAndFraction) {
+TEST(OverlayFor, CircuitSemanticsAndFraction) {
     snn::DiehlCookConfig cfg;
     cfg.n_neurons = 10;
-    snn::DiehlCookNetwork network(cfg, 1);
     FaultSpec fault;
     fault.layer = TargetLayer::kExcitatory;
     fault.fraction = 0.5;
     fault.threshold_delta = -0.2;
     fault.semantics = ThresholdSemantics::kCircuitDistance;
-    apply_fault(network, fault);
+    snn::NetworkRuntime runtime(snn::NetworkModel::random(cfg, 1),
+                                overlay_for(fault, cfg));
     int lowered = 0;
     for (std::size_t i = 0; i < 10; ++i) {
-        const double thr = network.excitatory().effective_threshold(i);
+        const double thr =
+            runtime.effective_threshold(snn::OverlayLayer::kExcitatory, i);
         if (thr < -52.5) {
             ++lowered;
             EXPECT_NEAR(thr, -65.0 + 13.0 * 0.8, 1e-3);
@@ -74,19 +78,18 @@ TEST(ApplyFault, CircuitSemanticsAndFraction) {
     EXPECT_EQ(lowered, 5);
 }
 
-TEST(ApplyFault, DriverGainAppliedAtNetworkLevel) {
+TEST(OverlayFor, DriverGainAppliedAtNetworkLevel) {
     snn::DiehlCookConfig cfg;
     cfg.n_neurons = 8;
-    snn::DiehlCookNetwork network(cfg, 1);
     FaultSpec fault;
     fault.layer = TargetLayer::kNone;
     fault.driver_gain = 0.8;
-    apply_fault(network, fault);
-    EXPECT_FLOAT_EQ(network.driver_gain(), 0.8f);
-    // And cleared by the next fault application.
-    FaultSpec clean;
-    apply_fault(network, clean);
-    EXPECT_FLOAT_EQ(network.driver_gain(), 1.0f);
+    snn::NetworkRuntime runtime(snn::NetworkModel::random(cfg, 1),
+                                overlay_for(fault, cfg));
+    EXPECT_FLOAT_EQ(runtime.driver_gain(), 0.8f);
+    // And cleared by the next overlay application.
+    runtime.set_overlay(overlay_for(FaultSpec{}, cfg));
+    EXPECT_FLOAT_EQ(runtime.driver_gain(), 1.0f);
 }
 
 TEST(Calibration, PaperReferenceEndpoints) {

@@ -1,0 +1,142 @@
+// GlitchProfile/GlitchCompiler: constant detection and the static
+// FaultSpec form, calibration-sourced profiles, window->step mapping,
+// segment merging, and identity elision.
+#include "attack/glitch.hpp"
+
+#include <gtest/gtest.h>
+
+namespace snnfi::attack {
+namespace {
+
+snn::DiehlCookConfig tiny_config() {
+    snn::DiehlCookConfig cfg;
+    cfg.n_neurons = 8;
+    cfg.steps_per_sample = 200;
+    return cfg;
+}
+
+TEST(GlitchProfile, ConstantProfileHasStaticFaultSpecForm) {
+    const GlitchProfile profile = GlitchProfile::constant(-0.18, 0.68);
+    EXPECT_TRUE(profile.is_constant());
+    const FaultSpec spec = profile.to_fault_spec();
+    EXPECT_EQ(spec.layer, TargetLayer::kBoth);
+    EXPECT_DOUBLE_EQ(spec.fraction, 1.0);
+    EXPECT_DOUBLE_EQ(spec.threshold_delta, -0.18);
+    EXPECT_DOUBLE_EQ(spec.driver_gain, 0.68);
+
+    // Pure driver corruption maps to the attack-1 shape (no threshold
+    // target layer).
+    const FaultSpec gain_only = GlitchProfile::constant(0.0, 0.8).to_fault_spec();
+    EXPECT_EQ(gain_only.layer, TargetLayer::kNone);
+    EXPECT_DOUBLE_EQ(gain_only.driver_gain, 0.8);
+}
+
+TEST(GlitchProfile, NonConstantProfilesRejectFaultSpecForm) {
+    const GlitchProfile profile({{0.0, 0.5, -0.1, 0.9}, {0.5, 1.0, 0.0, 1.0}});
+    EXPECT_FALSE(profile.is_constant());
+    EXPECT_THROW(profile.to_fault_spec(), std::logic_error);
+    // A gap also breaks constancy even with equal values.
+    const GlitchProfile gappy({{0.0, 0.4, -0.1, 0.9}, {0.6, 1.0, -0.1, 0.9}});
+    EXPECT_FALSE(gappy.is_constant());
+}
+
+TEST(GlitchProfile, ValidatesWindows) {
+    EXPECT_THROW(GlitchProfile({{0.5, 0.4, 0.0, 1.0}}), std::invalid_argument);
+    EXPECT_THROW(GlitchProfile({{0.0, 0.6, 0.0, 1.0}, {0.5, 1.0, 0.0, 1.0}}),
+                 std::invalid_argument);
+    EXPECT_THROW(GlitchProfile({{-0.1, 0.5, 0.0, 1.0}}), std::invalid_argument);
+}
+
+TEST(GlitchProfile, FromCalibrationSamplesTheCurves) {
+    const VddCalibration calibration = VddCalibration::paper_reference();
+    circuits::GlitchSpec spec;
+    spec.depth_vdd = 0.8;
+    spec.onset = 0.25;
+    spec.width = 0.25;
+    spec.edge = 0.0;
+    const GlitchProfile profile =
+        GlitchProfile::from_calibration(calibration, spec, 8);
+    ASSERT_EQ(profile.windows().size(), 8u);
+    // Dip windows carry the paper's 0.8 V operating point...
+    EXPECT_NEAR(profile.windows()[2].threshold_delta, -0.1791, 1e-4);
+    EXPECT_NEAR(profile.windows()[2].driver_gain, 0.68, 1e-6);
+    // ...and nominal windows are identity.
+    EXPECT_NEAR(profile.windows()[0].threshold_delta, 0.0, 1e-12);
+    EXPECT_NEAR(profile.windows()[6].driver_gain, 1.0, 1e-12);
+}
+
+TEST(GlitchCompiler, MapsWindowsToStepsAndMergesEqualNeighbours) {
+    const VddCalibration calibration = VddCalibration::paper_reference();
+    circuits::GlitchSpec spec;
+    spec.depth_vdd = 0.8;
+    spec.onset = 0.25;
+    spec.width = 0.25;
+    spec.edge = 0.0;
+    const GlitchProfile profile =
+        GlitchProfile::from_calibration(calibration, spec, 16);
+
+    const GlitchCompiler compiler(tiny_config());
+    const auto segments = compiler.segments(profile);
+    // Four dip windows merge into ONE segment; identity windows vanish.
+    ASSERT_EQ(segments.size(), 1u);
+    EXPECT_EQ(segments[0].begin_step, 50u);   // 0.25 * 200
+    EXPECT_EQ(segments[0].end_step, 100u);    // 0.50 * 200
+    EXPECT_NEAR(segments[0].threshold_delta, -0.1791, 1e-4);
+    EXPECT_NEAR(segments[0].driver_gain, 0.68, 1e-6);
+
+    const snn::OverlaySchedule schedule = compiler.compile(profile);
+    ASSERT_EQ(schedule.size(), 1u);
+    EXPECT_EQ(schedule[0].begin_step, 50u);
+    EXPECT_EQ(schedule[0].end_step, 100u);
+    EXPECT_TRUE(schedule[0].overlay.has_driver_gain());
+    // Threshold ops on both layers, every neuron (fraction 1).
+    EXPECT_EQ(schedule[0].overlay.neuron_ops().size(),
+              2 * tiny_config().n_neurons);
+}
+
+TEST(GlitchCompiler, ConstantProfileCompilesToOneFullRangeSegment) {
+    const GlitchProfile profile = GlitchProfile::constant(-0.1, 0.9);
+    const GlitchCompiler compiler(tiny_config());
+    const auto schedule = compiler.compile(profile);
+    ASSERT_EQ(schedule.size(), 1u);
+    EXPECT_EQ(schedule[0].begin_step, 0u);
+    EXPECT_EQ(schedule[0].end_step, tiny_config().steps_per_sample);
+}
+
+TEST(GlitchCompiler, IdentityProfileCompilesToNothing) {
+    const GlitchProfile identity = GlitchProfile::constant(0.0, 1.0);
+    const GlitchCompiler compiler(tiny_config());
+    EXPECT_TRUE(compiler.compile(identity).empty());
+    // Sub-step windows are dropped rather than rounded up.
+    const GlitchProfile thin({{0.5, 0.501, -0.2, 0.7}});
+    EXPECT_TRUE(compiler.compile(thin).empty());
+}
+
+TEST(GlitchCompiler, DistinctValuesStayDistinctSegments) {
+    const GlitchProfile profile(
+        {{0.0, 0.25, -0.1, 0.9}, {0.25, 0.5, -0.2, 0.8}, {0.5, 1.0, 0.0, 1.0}});
+    const GlitchCompiler compiler(tiny_config());
+    const auto segments = compiler.segments(profile);
+    ASSERT_EQ(segments.size(), 2u);
+    EXPECT_EQ(segments[0].end_step, segments[1].begin_step);
+    EXPECT_DOUBLE_EQ(segments[0].driver_gain, 0.9);
+    EXPECT_DOUBLE_EQ(segments[1].driver_gain, 0.8);
+}
+
+TEST(GlitchProfile, FingerprintDistinguishesProfiles) {
+    EXPECT_NE(GlitchProfile::constant(-0.1, 0.9).fingerprint(),
+              GlitchProfile::constant(-0.1, 0.8).fingerprint());
+    EXPECT_EQ(GlitchProfile::constant(-0.1, 0.9).fingerprint(),
+              GlitchProfile::constant(-0.1, 0.9).fingerprint());
+}
+
+TEST(GlitchProfile, ConstantFromCalibrationUsesTheCurves) {
+    const VddCalibration calibration = VddCalibration::paper_reference();
+    const GlitchProfile profile = GlitchProfile::constant_from(calibration, 0.8);
+    ASSERT_TRUE(profile.is_constant());
+    EXPECT_NEAR(profile.windows()[0].threshold_delta, -0.1791, 1e-4);
+    EXPECT_NEAR(profile.windows()[0].driver_gain, 0.68, 1e-6);
+}
+
+}  // namespace
+}  // namespace snnfi::attack

@@ -1,0 +1,174 @@
+// GlitchSpec waveforms and the transient glitch characterisation: the
+// per-window measurements must agree with the DC operating points at the
+// dip bottom, and the pool-parallel path must be byte-identical to serial.
+#include "circuits/glitch.hpp"
+
+#include <gtest/gtest.h>
+
+#include "circuits/characterization.hpp"
+#include "util/thread_pool.hpp"
+
+namespace snnfi::circuits {
+namespace {
+
+TEST(GlitchSpec, RectDipShape) {
+    GlitchSpec spec;
+    spec.depth_vdd = 0.8;
+    spec.onset = 0.25;
+    spec.width = 0.5;
+    spec.edge = 0.05;
+    EXPECT_DOUBLE_EQ(spec.dip(0.0), 0.0);
+    EXPECT_DOUBLE_EQ(spec.dip(0.24), 0.0);
+    EXPECT_DOUBLE_EQ(spec.dip(0.5), 1.0);       // plateau
+    EXPECT_NEAR(spec.dip(0.275), 0.5, 1e-12);   // mid rise edge
+    EXPECT_DOUBLE_EQ(spec.dip(0.9), 0.0);
+    EXPECT_DOUBLE_EQ(spec.vdd_at(0.5, 1.0), 0.8);
+    EXPECT_DOUBLE_EQ(spec.vdd_at(0.0, 1.0), 1.0);
+}
+
+TEST(GlitchSpec, TriangleAndExpRecoveryShapes) {
+    GlitchSpec triangle;
+    triangle.shape = GlitchShape::kTriangle;
+    triangle.onset = 0.2;
+    triangle.width = 0.4;
+    EXPECT_DOUBLE_EQ(triangle.dip(0.4), 1.0);  // peak at onset + width/2
+    EXPECT_NEAR(triangle.dip(0.3), 0.5, 1e-12);
+    EXPECT_DOUBLE_EQ(triangle.dip(0.7), 0.0);
+
+    GlitchSpec exp_rec;
+    exp_rec.shape = GlitchShape::kExpRecovery;
+    exp_rec.onset = 0.25;
+    exp_rec.width = 0.3;
+    EXPECT_DOUBLE_EQ(exp_rec.dip(0.2), 0.0);
+    EXPECT_NEAR(exp_rec.dip(0.25), 1.0, 1e-12);  // instant drop
+    EXPECT_GT(exp_rec.dip(0.3), exp_rec.dip(0.4));  // monotone recovery
+    EXPECT_LT(exp_rec.dip(0.55), 0.06);             // ~3 tau out
+}
+
+TEST(GlitchSpec, ConstantAndValidation) {
+    const GlitchSpec flat = GlitchSpec::constant(0.85);
+    EXPECT_TRUE(flat.is_constant());
+    EXPECT_DOUBLE_EQ(flat.vdd_at(0.0, 1.0), 0.85);
+    EXPECT_DOUBLE_EQ(flat.vdd_at(0.999, 1.0), 0.85);
+
+    GlitchSpec bad;
+    bad.onset = 0.9;
+    bad.width = 0.5;  // overruns the window
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+    bad = GlitchSpec{};
+    bad.depth_vdd = 0.0;
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+    bad = GlitchSpec{};
+    bad.edge = 0.2;
+    bad.width = 0.25;  // edges exceed the width
+    EXPECT_THROW(bad.validate(), std::invalid_argument);
+
+    GlitchSpec ok;
+    EXPECT_FALSE(ok.is_constant());
+    EXPECT_EQ(GlitchSpec::constant(0.8).id(), "rect:d0.8:o0:w1");
+}
+
+TEST(GlitchSpec, PwlRealisation) {
+    GlitchSpec spec;
+    spec.depth_vdd = 0.8;
+    spec.onset = 0.5;
+    spec.width = 0.25;
+    const spice::PwlSpec pwl = spec.to_pwl(1.0, 40e-6, 64);
+    ASSERT_EQ(pwl.times.size(), 65u);
+    EXPECT_DOUBLE_EQ(pwl.times.front(), 0.0);
+    EXPECT_DOUBLE_EQ(pwl.times.back(), 40e-6);
+    for (const double value : pwl.values) {
+        EXPECT_GE(value, 0.8 - 1e-12);
+        EXPECT_LE(value, 1.0 + 1e-12);
+    }
+    // Mid-dip sample sits at the depth.
+    EXPECT_NEAR(pwl.values[40], 0.8, 1e-9);  // frac 0.625
+}
+
+TEST(GlitchCharacterization, RectGlitchMeasuresDipAndNominalWindows) {
+    const Characterizer characterizer{CharacterizationConfig{}};
+    GlitchSpec spec;
+    spec.depth_vdd = 0.8;
+    spec.onset = 0.25;
+    spec.width = 0.25;
+    spec.edge = 0.0;  // clean windows on the 8-window grid
+    const GlitchCharacterization result =
+        characterizer.characterize_glitch(NeuronKind::kAxonHillock, spec, 8);
+    ASSERT_EQ(result.windows.size(), 8u);
+    EXPECT_GT(result.nominal_driver_amplitude, 0.0);
+
+    // Windows 2..3 sit inside the dip (fractions 0.25..0.5): paper-shaped
+    // corruption (threshold approx -18%, driver approx -30%).
+    for (const std::size_t w : {2u, 3u}) {
+        EXPECT_NEAR(result.windows[w].vdd, 0.8, 1e-9);
+        EXPECT_NEAR(result.windows[w].threshold_change_pct, -18.0, 4.0);
+        EXPECT_NEAR(result.windows[w].driver_gain, 0.70, 0.06);
+    }
+    // Outside the dip the supply is nominal: no corruption.
+    for (const std::size_t w : {0u, 1u, 5u, 7u}) {
+        EXPECT_NEAR(result.windows[w].vdd, 1.0, 1e-9);
+        EXPECT_NEAR(result.windows[w].threshold_change_pct, 0.0, 0.6);
+        EXPECT_NEAR(result.windows[w].driver_gain, 1.0, 0.03);
+    }
+}
+
+TEST(GlitchCharacterization, ConstantGlitchMatchesDcOperatingPoint) {
+    const Characterizer characterizer{CharacterizationConfig{}};
+    const GlitchCharacterization result = characterizer.characterize_glitch(
+        NeuronKind::kAxonHillock, GlitchSpec::constant(0.8), 4);
+    const double dc_amplitude = characterizer.measure_driver_amplitude(0.8);
+    const double dc_gain = dc_amplitude / result.nominal_driver_amplitude;
+    for (const GlitchWindowMeasurement& window : result.windows) {
+        EXPECT_NEAR(window.driver_gain, dc_gain, 0.02);
+        EXPECT_NEAR(window.vdd, 0.8, 1e-12);
+    }
+}
+
+TEST(GlitchCharacterization, PoolParallelMatchesSerial) {
+    const Characterizer characterizer{CharacterizationConfig{}};
+    GlitchSpec spec;
+    spec.shape = GlitchShape::kTriangle;  // many distinct per-window supplies
+    spec.depth_vdd = 0.8;
+    spec.onset = 0.125;
+    spec.width = 0.75;
+    util::ThreadPool pool(3);
+    const auto serial =
+        characterizer.characterize_glitch(NeuronKind::kAxonHillock, spec, 8);
+    const auto parallel =
+        characterizer.characterize_glitch(NeuronKind::kAxonHillock, spec, 8, &pool);
+    ASSERT_EQ(serial.windows.size(), parallel.windows.size());
+    for (std::size_t w = 0; w < serial.windows.size(); ++w) {
+        EXPECT_EQ(serial.windows[w].threshold_change_pct,
+                  parallel.windows[w].threshold_change_pct);
+        EXPECT_EQ(serial.windows[w].driver_gain, parallel.windows[w].driver_gain);
+    }
+}
+
+TEST(CharacterizationConfig, CacheKeyTracksFieldChanges) {
+    CharacterizationConfig a;
+    CharacterizationConfig b;
+    EXPECT_EQ(a.cache_key(), b.cache_key());
+    b.glitch_window = 80e-6;
+    EXPECT_NE(a.cache_key(), b.cache_key());
+    CharacterizationConfig c;
+    c.driver.r1 *= 2.0;
+    EXPECT_NE(a.cache_key(), c.cache_key());
+}
+
+TEST(CharacterizerSweeps, PoolParallelSweepMatchesSerial) {
+    const Characterizer characterizer{CharacterizationConfig{}};
+    util::ThreadPool pool(2);
+    const std::vector<double> vdds = {0.9, 1.0, 1.1};
+    const auto serial =
+        characterizer.driver_amplitude_vs_vdd(vdds, false);
+    const auto parallel =
+        characterizer.driver_amplitude_vs_vdd(vdds, false, &pool);
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (std::size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].value, parallel[i].value);
+        EXPECT_EQ(serial[i].change_pct, parallel[i].change_pct);
+    }
+}
+
+}  // namespace
+}  // namespace snnfi::circuits

@@ -1,5 +1,6 @@
-// The fault library: taxonomy integrity, bit-exact injection round trips,
-// behavioural hooks, and the drift models' FaultSpec equivalence.
+// The fault library: taxonomy integrity, bit-exact overlay round trips,
+// behavioural fault expression through the runtime, and the drift models'
+// FaultSpec equivalence.
 #include "fi/fault.hpp"
 
 #include <gtest/gtest.h>
@@ -7,16 +8,22 @@
 #include <cstring>
 #include <set>
 
-#include "snn/nodes.hpp"
+#include "snn/model.hpp"
+#include "snn/runtime.hpp"
 
 namespace snnfi::fi {
 namespace {
 
-snn::DiehlCookNetwork small_network() {
+snn::DiehlCookConfig small_config() {
     snn::DiehlCookConfig config;
     config.n_input = 12;
     config.n_neurons = 5;
-    return snn::DiehlCookNetwork(config, /*seed=*/3);
+    config.steps_per_sample = 50;
+    return config;
+}
+
+std::shared_ptr<const snn::NetworkModel> small_model() {
+    return snn::NetworkModel::random(small_config(), /*seed=*/3);
 }
 
 TEST(FaultLibrary, CatalogNamesUniqueAndResolvable) {
@@ -45,81 +52,100 @@ TEST(FaultLibrary, BitFlipIsAnInvolution) {
     EXPECT_THROW(flip_weight_bit(1.0f, 32), std::invalid_argument);
 }
 
-TEST(FaultLibrary, BitFlipInjectionRoundTripsBitExact) {
-    auto network = small_network();
-    const snn::Matrix before = network.input_connection().weights();
+TEST(FaultLibrary, BitFlipOverlayRoundTripsBitExact) {
+    const auto model = small_model();
+    const auto config = small_config();
 
     FaultSite site;
     site.kind = SiteKind::kSynapse;
     site.pre = 7;
     site.post = 3;
-    const auto model = find_fault_model("bit_flip");
-    model->inject(network, site, /*severity=*/30);
-    EXPECT_NE(network.input_connection().weights().at(7, 3), before.at(7, 3));
-    model->inject(network, site, /*severity=*/30);  // flip back
+    const auto bit_flip = find_fault_model("bit_flip");
 
-    const snn::Matrix& after = network.input_connection().weights();
-    ASSERT_EQ(after.flat().size(), before.flat().size());
-    EXPECT_EQ(std::memcmp(after.flat().data(), before.flat().data(),
-                          before.flat().size() * sizeof(float)),
-              0);
+    snn::NetworkRuntime flipped(model, bit_flip->overlay(config, site, 30));
+    EXPECT_NE(flipped.weight_row(7)[3], model->input_weights()(7, 3));
+
+    // Injecting the same fault twice restores the weight bit-exactly.
+    snn::FaultOverlay twice;
+    bit_flip->build_overlay(twice, config, site, 30);
+    bit_flip->build_overlay(twice, config, site, 30);
+    snn::NetworkRuntime restored(model, twice);
+    for (std::size_t pre = 0; pre < config.n_input; ++pre) {
+        const auto row = restored.weight_row(pre);
+        ASSERT_EQ(std::memcmp(row.data(), model->weight_row(pre).data(),
+                              row.size() * sizeof(float)),
+                  0)
+            << "row " << pre;
+    }
 }
 
 TEST(FaultLibrary, StuckAtPinsTheWeightToTheRailValue) {
-    auto network = small_network();
+    const auto model = small_model();
+    const auto config = small_config();
     FaultSite site;
     site.kind = SiteKind::kSynapse;
     site.pre = 2;
     site.post = 4;
-    find_fault_model("stuck_at_1")->inject(network, site, 1.0);
-    EXPECT_EQ(network.input_connection().weights().at(2, 4),
-              network.input_connection().params().wmax);
-    find_fault_model("stuck_at_0")->inject(network, site, 1.0);
-    EXPECT_EQ(network.input_connection().weights().at(2, 4),
-              network.input_connection().params().wmin);
+    snn::NetworkRuntime high(model,
+                             find_fault_model("stuck_at_1")->overlay(config, site, 1.0));
+    EXPECT_EQ(high.weight_row(2)[4], config.stdp.wmax);
+    snn::NetworkRuntime low(model,
+                            find_fault_model("stuck_at_0")->overlay(config, site, 1.0));
+    EXPECT_EQ(low.weight_row(2)[4], config.stdp.wmin);
 }
 
 TEST(FaultLibrary, DeadAndSaturatedNeuronsForceTheLayerOutput) {
-    auto network = small_network();
+    const auto model = small_model();
+    const auto config = small_config();
+
     FaultSite dead;
     dead.kind = SiteKind::kNeuron;
     dead.layer = attack::TargetLayer::kExcitatory;
     dead.neuron = 1;
-    find_fault_model("dead_neuron")->inject(network, dead, 1.0);
-    EXPECT_EQ(network.excitatory().forced_state(1), snn::NeuronFault::kDead);
-
-    FaultSite saturated = dead;
-    saturated.layer = attack::TargetLayer::kInhibitory;
+    FaultSite saturated;
+    saturated.kind = SiteKind::kNeuron;
+    saturated.layer = attack::TargetLayer::kExcitatory;
     saturated.neuron = 2;
-    find_fault_model("saturated_neuron")->inject(network, saturated, 1.0);
-    EXPECT_EQ(network.inhibitory().forced_state(2), snn::NeuronFault::kSaturated);
 
-    // Behaviour: saturated fires with zero input, dead never fires even
-    // under massive drive.
-    std::vector<float> quiet(5, 0.0f);
-    std::vector<float> loud(5, 1000.0f);
-    std::vector<std::uint8_t> spiked;
-    network.inhibitory().step(quiet, spiked);
-    EXPECT_EQ(spiked[2], 1);
-    network.excitatory().step(loud, spiked);
-    EXPECT_EQ(spiked[1], 0);
-    EXPECT_EQ(spiked[0], 1);  // healthy neighbours still fire
+    snn::FaultOverlay overlay;
+    find_fault_model("dead_neuron")->build_overlay(overlay, config, dead, 1.0);
+    find_fault_model("saturated_neuron")
+        ->build_overlay(overlay, config, saturated, 1.0);
+    snn::NetworkRuntime runtime(model, overlay);
+    EXPECT_EQ(runtime.forced_state(snn::OverlayLayer::kExcitatory, 1),
+              snn::NeuronFault::kDead);
+    EXPECT_EQ(runtime.forced_state(snn::OverlayLayer::kExcitatory, 2),
+              snn::NeuronFault::kSaturated);
 
-    network.clear_faults();
-    EXPECT_EQ(network.excitatory().forced_state(1), snn::NeuronFault::kNominal);
-    EXPECT_EQ(network.inhibitory().forced_state(2), snn::NeuronFault::kNominal);
+    // Behaviour: the saturated neuron fires on every step, the dead one
+    // never — even under a bright input.
+    const std::vector<float> image(config.n_input, 1.0f);
+    const auto activity = runtime.run_sample(image);
+    EXPECT_EQ(activity.exc_counts[1], 0u);
+    EXPECT_EQ(activity.exc_counts[2],
+              static_cast<std::uint32_t>(config.steps_per_sample));
+
+    // Clearing the overlay restores nominal behaviour.
+    runtime.set_overlay(snn::FaultOverlay{});
+    EXPECT_EQ(runtime.forced_state(snn::OverlayLayer::kExcitatory, 1),
+              snn::NeuronFault::kNominal);
+    EXPECT_EQ(runtime.forced_state(snn::OverlayLayer::kExcitatory, 2),
+              snn::NeuronFault::kNominal);
 }
 
 TEST(FaultLibrary, RefractoryStretchMultipliesThePeriod) {
-    auto network = small_network();
+    const auto model = small_model();
+    const auto config = small_config();
     FaultSite site;
     site.kind = SiteKind::kNeuron;
     site.layer = attack::TargetLayer::kExcitatory;
     site.neuron = 0;
-    const int nominal = network.excitatory().params().refrac_steps;
-    find_fault_model("refractory_stretch")->inject(network, site, 4.0);
-    EXPECT_EQ(network.excitatory().refractory_steps(0), 4 * nominal);
-    EXPECT_EQ(network.excitatory().refractory_steps(1), nominal);
+    const int nominal = config.excitatory.lif.refrac_steps;
+    snn::NetworkRuntime runtime(
+        model, find_fault_model("refractory_stretch")->overlay(config, site, 4.0));
+    EXPECT_EQ(runtime.refractory_steps(snn::OverlayLayer::kExcitatory, 0),
+              4 * nominal);
+    EXPECT_EQ(runtime.refractory_steps(snn::OverlayLayer::kExcitatory, 1), nominal);
 }
 
 TEST(FaultLibrary, DriftModelsExpressThePaperAttacks) {
@@ -150,29 +176,33 @@ TEST(FaultLibrary, DriftModelsExpressThePaperAttacks) {
                  std::logic_error);
 }
 
-TEST(FaultLibrary, SnapshotRestoreRevertsLearningAndFaults) {
-    auto network = small_network();
-    std::vector<float> image(12, 0.9f);
-    (void)network.run_sample(image);  // STDP moves weights
-    const snn::NetworkState state = network.capture_state();
+TEST(FaultLibrary, FaultedReplicasNeverTouchTheSharedModel) {
+    const auto model = small_model();
+    const auto config = small_config();
+    const snn::Matrix before = model->input_weights();
 
-    (void)network.run_sample(image);  // diverge further
-    FaultSite site;
-    site.kind = SiteKind::kNeuron;
-    site.layer = attack::TargetLayer::kExcitatory;
-    site.neuron = 0;
-    find_fault_model("dead_neuron")->inject(network, site, 1.0);
+    FaultSite synapse;
+    synapse.kind = SiteKind::kSynapse;
+    synapse.pre = 2;
+    synapse.post = 4;
+    FaultSite neuron;
+    neuron.kind = SiteKind::kNeuron;
+    neuron.layer = attack::TargetLayer::kExcitatory;
+    neuron.neuron = 0;
 
-    network.restore_state(state);
-    const snn::Matrix& weights = network.input_connection().weights();
-    EXPECT_EQ(std::memcmp(weights.flat().data(), state.input_weights.flat().data(),
-                          weights.flat().size() * sizeof(float)),
+    snn::NetworkRuntime stuck(model,
+                              find_fault_model("stuck_at_1")->overlay(config, synapse, 1.0));
+    snn::NetworkRuntime dead(model,
+                             find_fault_model("dead_neuron")->overlay(config, neuron, 1.0));
+    const std::vector<float> image(config.n_input, 0.9f);
+    (void)stuck.run_sample(image);
+    (void)dead.run_sample(image);
+
+    // The shared frozen model is bit-identical after both faulted runs.
+    EXPECT_EQ(std::memcmp(model->input_weights().flat().data(),
+                          before.flat().data(),
+                          before.flat().size() * sizeof(float)),
               0);
-    for (std::size_t i = 0; i < 5; ++i) {
-        EXPECT_EQ(network.excitatory().theta()[i], state.exc_theta[i]);
-        EXPECT_EQ(network.excitatory().forced_state(i), snn::NeuronFault::kNominal);
-    }
-    EXPECT_EQ(network.driver_gain(), 1.0f);
 }
 
 }  // namespace

@@ -1,0 +1,173 @@
+// Glitch campaign cells: the degenerate constant profile must reproduce
+// the static VddCalibration-driven campaign bit-for-bit (fig7b / attack 5
+// equivalence), and time-localised profiles must run end-to-end through
+// the scheduled-overlay inference path, deterministically for any worker
+// count.
+#include "fi/campaign.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/session.hpp"
+
+namespace snnfi::fi {
+namespace {
+
+core::RunOptions tiny_options(std::size_t workers = 1) {
+    core::RunOptions options;
+    options.quick = true;
+    options.train_samples = 60;
+    options.n_neurons = 16;
+    options.eval_window = 30;
+    options.max_workers = workers;
+    return options;
+}
+
+/// A hand-built time-localised profile (mid-sample dip at the paper's
+/// 0.8 V operating point) — no circuit simulation needed.
+attack::GlitchProfile mid_sample_dip() {
+    return attack::GlitchProfile({{0.25, 0.5, -0.1791, 0.68}});
+}
+
+CampaignConfig glitch_config(std::vector<GlitchCellSpec> cells) {
+    CampaignConfig config;
+    config.glitches = std::move(cells);
+    config.eval_samples = 20;
+    config.early_stop.enabled = false;
+    config.early_stop.min_replicas = 2;
+    return config;
+}
+
+TEST(GlitchCampaign, ConstantProfileReproducesFig7bBitForBit) {
+    core::Session session(tiny_options());
+
+    // The paper scenario (fig7b, quick grid: theta -20% / +20%)...
+    const core::RunResult fig7b = session.run("fig7b");
+    ASSERT_EQ(fig7b.table.num_rows(), 2u);
+
+    // ...and the same two operating points as degenerate constant glitch
+    // profiles (threshold untouched, driver gain 1 + delta).
+    std::vector<GlitchCellSpec> cells;
+    for (const double delta : {-0.2, 0.2}) {
+        GlitchCellSpec cell;
+        cell.id = "const_theta" + std::to_string(delta);
+        cell.profile = attack::GlitchProfile::constant(0.0, 1.0 + delta);
+        cell.severity = delta;
+        cells.push_back(cell);
+    }
+    CampaignEngine engine(session, glitch_config(std::move(cells)));
+    const auto campaign = engine.run();
+    ASSERT_EQ(campaign->cells.size(), 2u);
+
+    for (std::size_t row = 0; row < 2; ++row) {
+        const CellResult& cell = campaign->cells[row];
+        // Constant profiles collapse onto the train-under-fault path...
+        EXPECT_TRUE(cell.trained);
+        EXPECT_FALSE(cell.scheduled);
+        // ...and the accuracy is attack 1's, bit for bit (same cached
+        // suite, same FaultSpec).
+        EXPECT_DOUBLE_EQ(cell.accuracy_pct, fig7b.table.number_at(row, 1));
+    }
+    EXPECT_EQ(campaign->trainings, 2u);
+}
+
+TEST(GlitchCampaign, ConstantProfileFromCalibrationMatchesAttack5Point) {
+    core::Session session(tiny_options());
+    const attack::VddCalibration calibration =
+        attack::VddCalibration::paper_reference();
+
+    GlitchCellSpec cell;
+    cell.id = "const_vdd0.8";
+    cell.profile = attack::GlitchProfile::constant_from(calibration, 0.8);
+    cell.severity = 0.8;
+    CampaignEngine engine(session, glitch_config({cell}));
+    const auto campaign = engine.run();
+    ASSERT_EQ(campaign->cells.size(), 1u);
+    EXPECT_TRUE(campaign->cells[0].trained);
+
+    // The equivalent static attack-5 fault through the same cached suite.
+    const attack::FaultSpec spec = cell.profile.to_fault_spec();
+    EXPECT_EQ(spec.layer, attack::TargetLayer::kBoth);
+    const attack::AttackOutcome outcome = session.attack_suite()->run(spec);
+    EXPECT_DOUBLE_EQ(campaign->cells[0].accuracy_pct, outcome.accuracy * 100.0);
+}
+
+TEST(GlitchCampaign, ScheduledCellsRunThroughTheBatchedInferencePath) {
+    core::Session session(tiny_options());
+    GlitchCellSpec cell;
+    cell.id = "rect_mid_dip";
+    cell.profile = mid_sample_dip();
+    cell.severity = 0.8;
+    CampaignEngine engine(session, glitch_config({cell}));
+    const auto campaign = engine.run();
+
+    ASSERT_EQ(campaign->cells.size(), 1u);
+    const CellResult& result = campaign->cells[0];
+    EXPECT_FALSE(result.trained);
+    EXPECT_TRUE(result.scheduled);
+    EXPECT_EQ(result.site_id(), "rect_mid_dip");
+    EXPECT_EQ(result.replicas, 2u);
+    EXPECT_GE(result.accuracy_pct, 0.0);
+    EXPECT_LE(result.accuracy_pct, 100.0);
+    // 2 clean replica passes + 2 faulty (cell x replica) passes.
+    EXPECT_EQ(campaign->evaluations, 4u);
+    EXPECT_EQ(campaign->trainings, 0u);
+    // Rendered mode marks the scheduled path.
+    const std::string csv = campaign->detail_table("glitch").to_csv();
+    EXPECT_NE(csv.find("sched"), std::string::npos);
+}
+
+TEST(GlitchCampaign, MixedConstantAndScheduledCellsCoexist) {
+    core::Session session(tiny_options());
+    GlitchCellSpec constant;
+    constant.id = "const";
+    constant.profile = attack::GlitchProfile::constant(0.0, 0.8);
+    GlitchCellSpec scheduled;
+    scheduled.id = "dip";
+    scheduled.profile = mid_sample_dip();
+    CampaignEngine engine(session, glitch_config({constant, scheduled}));
+    const auto campaign = engine.run();
+    ASSERT_EQ(campaign->cells.size(), 2u);
+    EXPECT_TRUE(campaign->cells[0].trained);
+    EXPECT_TRUE(campaign->cells[1].scheduled);
+    // A milder mid-sample dip should never be (meaningfully) worse than
+    // the full-run corruption of the same operating point; both report
+    // sane percentages.
+    for (const CellResult& cell : campaign->cells) {
+        EXPECT_GE(cell.accuracy_pct, 0.0);
+        EXPECT_LE(cell.accuracy_pct, 100.0);
+    }
+}
+
+TEST(GlitchCampaign, DeterministicAcrossWorkerCounts) {
+    const auto render = [&](std::size_t workers) {
+        core::Session session(tiny_options(workers));
+        GlitchCellSpec cell;
+        cell.id = "dip";
+        cell.profile = mid_sample_dip();
+        CampaignEngine engine(session, glitch_config({cell}));
+        return engine.run()->detail_table("glitch").to_csv();
+    };
+    EXPECT_EQ(render(1), render(4));
+}
+
+TEST(GlitchCampaign, CacheKeyDistinguishesProfiles) {
+    core::Session session(tiny_options());
+    GlitchCellSpec a;
+    a.id = "dip";
+    a.profile = mid_sample_dip();
+    CampaignEngine first(session, glitch_config({a}));
+    const auto result_a = first.run();
+
+    GlitchCellSpec b = a;  // same id, different waveform
+    b.profile = attack::GlitchProfile({{0.5, 0.75, -0.1791, 0.68}});
+    CampaignEngine second(session, glitch_config({b}));
+    const auto result_b = second.run();
+    EXPECT_NE(result_a.get(), result_b.get());
+
+    // Identical config is a pure cache hit.
+    CampaignEngine third(session, glitch_config({a}));
+    EXPECT_EQ(third.run().get(), result_a.get());
+}
+
+}  // namespace
+}  // namespace snnfi::fi

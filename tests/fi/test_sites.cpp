@@ -99,18 +99,5 @@ TEST(SiteEnumeration, NeuronSubsamplingIsStratifiedPerLayer) {
     EXPECT_EQ(excitatory, 2u);  // both layers stay represented
 }
 
-TEST(SiteEnumeration, DeprecatedFacadeOverloadDelegates) {
-    const auto config = small_config();
-    snn::DiehlCookNetwork network(config, /*seed=*/1);
-    const SitePlan plan;
-    EXPECT_EQ(site_space_size(network, SiteKind::kSynapse, plan),
-              site_space_size(config, SiteKind::kSynapse, plan));
-    const auto via_network = enumerate_sites(network, SiteKind::kNeuron, plan);
-    const auto via_config = enumerate_sites(config, SiteKind::kNeuron, plan);
-    ASSERT_EQ(via_network.size(), via_config.size());
-    for (std::size_t i = 0; i < via_network.size(); ++i)
-        EXPECT_EQ(via_network[i].id(), via_config[i].id());
-}
-
 }  // namespace
 }  // namespace snnfi::fi

@@ -1,6 +1,6 @@
-// Model/Runtime split: bit-for-bit equivalence with the deprecated
-// DiehlCookNetwork facade (init, training, inference, faults), freeze
-// round trips, copy-on-write weight patches, and lockstep batch runs.
+// Model/Runtime split: deterministic init/training/inference, freeze round
+// trips, fault-spec overlay expansion, copy-on-write weight patches, and
+// lockstep batch runs.
 #include "snn/runtime.hpp"
 
 #include <gtest/gtest.h>
@@ -26,75 +26,92 @@ bool same_bits(std::span<const float> a, std::span<const float> b) {
            std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0;
 }
 
-TEST(NetworkModel, RandomInitMatchesFacadeBitExact) {
-    const auto model = NetworkModel::random(tiny_config(), 7);
-    DiehlCookNetwork facade(tiny_config(), 7);
-    EXPECT_TRUE(same_bits(model->input_weights().flat(),
-                          facade.input_connection().weights().flat()));
-    for (const float theta : model->exc_theta()) EXPECT_EQ(theta, 0.0f);
+/// Trains a fresh runtime and freezes the learned parameters.
+std::shared_ptr<const NetworkModel> trained_model(const Dataset& dataset,
+                                                  std::uint64_t seed,
+                                                  std::size_t window) {
+    NetworkRuntime runtime(NetworkModel::random(tiny_config(), seed));
+    (void)Trainer(runtime, window).run(dataset);
+    return runtime.freeze();
 }
 
-TEST(NetworkRuntime, TrainingMatchesFacadeBitExact) {
+TEST(NetworkModel, RandomInitDeterministicBitExact) {
+    const auto a = NetworkModel::random(tiny_config(), 7);
+    const auto b = NetworkModel::random(tiny_config(), 7);
+    EXPECT_TRUE(same_bits(a->input_weights().flat(), b->input_weights().flat()));
+    const auto c = NetworkModel::random(tiny_config(), 8);
+    EXPECT_FALSE(same_bits(a->input_weights().flat(), c->input_weights().flat()));
+    for (const float theta : a->exc_theta()) EXPECT_EQ(theta, 0.0f);
+}
+
+TEST(NetworkRuntime, TrainingDeterministicAndFreezeRoundTrips) {
     const auto dataset = data::make_synthetic_dataset(60, 11);
 
-    DiehlCookNetwork facade(tiny_config(), 13);
-    const TrainResult facade_result = Trainer(facade, 30).run(dataset);
+    NetworkRuntime first(NetworkModel::random(tiny_config(), 13));
+    const TrainResult result_a = Trainer(first, 30).run(dataset);
+    NetworkRuntime second(NetworkModel::random(tiny_config(), 13));
+    const TrainResult result_b = Trainer(second, 30).run(dataset);
 
-    NetworkRuntime runtime(NetworkModel::random(tiny_config(), 13));
-    const TrainResult runtime_result = Trainer(runtime, 30).run(dataset);
+    EXPECT_DOUBLE_EQ(result_a.train_accuracy, result_b.train_accuracy);
+    EXPECT_DOUBLE_EQ(result_a.retro_accuracy, result_b.retro_accuracy);
+    EXPECT_EQ(result_a.total_exc_spikes, result_b.total_exc_spikes);
+    EXPECT_EQ(result_a.total_inh_spikes, result_b.total_inh_spikes);
 
-    EXPECT_DOUBLE_EQ(runtime_result.train_accuracy, facade_result.train_accuracy);
-    EXPECT_DOUBLE_EQ(runtime_result.retro_accuracy, facade_result.retro_accuracy);
-    EXPECT_EQ(runtime_result.total_exc_spikes, facade_result.total_exc_spikes);
-    EXPECT_EQ(runtime_result.total_inh_spikes, facade_result.total_inh_spikes);
-
-    const auto frozen = runtime.freeze();
-    EXPECT_TRUE(same_bits(frozen->input_weights().flat(),
-                          facade.input_connection().weights().flat()));
-    EXPECT_TRUE(same_bits(frozen->exc_theta(), facade.excitatory().theta()));
+    const auto frozen_a = first.freeze();
+    const auto frozen_b = second.freeze();
+    EXPECT_TRUE(same_bits(frozen_a->input_weights().flat(),
+                          frozen_b->input_weights().flat()));
+    EXPECT_TRUE(same_bits(frozen_a->exc_theta(), frozen_b->exc_theta()));
+    // Training actually moved the adaptive thresholds.
+    float theta_total = 0.0f;
+    for (const float theta : frozen_a->exc_theta()) theta_total += theta;
+    EXPECT_GT(theta_total, 0.0f);
 }
 
-TEST(NetworkRuntime, InferenceMatchesFacadeBitExact) {
+TEST(NetworkRuntime, InferenceOnFrozenModelIsDeterministic) {
     const auto dataset = data::make_synthetic_dataset(30, 5);
-    DiehlCookNetwork facade(tiny_config(), 9);
-    (void)Trainer(facade, 15).run(dataset);
+    const auto model = trained_model(dataset, 9, 15);
 
-    NetworkRuntime runtime(NetworkModel::freeze(facade));
-    facade.set_learning(false);
-    facade.rng().reseed(0xBEEF);
-    runtime.rng().reseed(0xBEEF);
+    NetworkRuntime a(model);
+    NetworkRuntime b(model);
+    a.rng().reseed(0xBEEF);
+    b.rng().reseed(0xBEEF);
     for (std::size_t i = 0; i < 5; ++i) {
-        const SampleActivity a = facade.run_sample(dataset.images[i]);
-        const SampleActivity b = runtime.run_sample(dataset.images[i]);
-        EXPECT_EQ(a.exc_counts, b.exc_counts) << "sample " << i;
-        EXPECT_EQ(a.total_inh_spikes, b.total_inh_spikes) << "sample " << i;
+        const SampleActivity act_a = a.run_sample(dataset.images[i]);
+        const SampleActivity act_b = b.run_sample(dataset.images[i]);
+        EXPECT_EQ(act_a.exc_counts, act_b.exc_counts) << "sample " << i;
+        EXPECT_EQ(act_a.total_inh_spikes, act_b.total_inh_spikes) << "sample " << i;
     }
 }
 
-TEST(NetworkRuntime, OverlayFaultsMatchFacadeMutators) {
-    util::Rng rng(1);
-    const auto image = data::render_digit(4, rng, {});
-
+TEST(NetworkRuntime, OverlayForExpandsFaultSpec) {
     attack::FaultSpec fault;
     fault.layer = attack::TargetLayer::kBoth;
     fault.fraction = 0.5;
     fault.threshold_delta = -0.2;
     fault.driver_gain = 1.1;
 
-    DiehlCookNetwork facade(tiny_config(), 21);
-    attack::apply_fault(facade, fault);
-    facade.rng().reseed(0xF00D);
-
     NetworkRuntime runtime(NetworkModel::random(tiny_config(), 21),
                            attack::overlay_for(fault, tiny_config()));
-    runtime.rng().reseed(0xF00D);
-
-    // Both run with learning OFF on the facade side for parity.
-    facade.set_learning(false);
-    const SampleActivity a = facade.run_sample(image);
-    const SampleActivity b = runtime.run_sample(image);
-    EXPECT_EQ(a.exc_counts, b.exc_counts);
-    EXPECT_EQ(a.total_inh_spikes, b.total_inh_spikes);
+    EXPECT_FLOAT_EQ(runtime.driver_gain(), 1.1f);
+    // Exactly half of each layer carries a shifted threshold.
+    for (const OverlayLayer layer :
+         {OverlayLayer::kExcitatory, OverlayLayer::kInhibitory}) {
+        std::size_t shifted = 0;
+        for (std::size_t i = 0; i < tiny_config().n_neurons; ++i) {
+            if (runtime.threshold_scale(layer, i) != 1.0f) ++shifted;
+        }
+        EXPECT_EQ(shifted, tiny_config().n_neurons / 2) << to_string(layer);
+    }
+    // The two layers draw independent masks from the same seed.
+    std::vector<bool> exc_mask, inh_mask;
+    for (std::size_t i = 0; i < tiny_config().n_neurons; ++i) {
+        exc_mask.push_back(runtime.threshold_scale(OverlayLayer::kExcitatory, i) !=
+                           1.0f);
+        inh_mask.push_back(runtime.threshold_scale(OverlayLayer::kInhibitory, i) !=
+                           1.0f);
+    }
+    EXPECT_NE(exc_mask, inh_mask);
 }
 
 TEST(NetworkRuntime, WeightPatchesAreCopyOnWrite) {
@@ -129,9 +146,7 @@ TEST(NetworkRuntime, FreezeAfterPatchMaterialisesThePatch) {
 
 TEST(BatchRunner, LockstepMatchesStandaloneRuns) {
     const auto dataset = data::make_synthetic_dataset(20, 5);
-    DiehlCookNetwork facade(tiny_config(), 9);
-    (void)Trainer(facade, 10).run(dataset);
-    const auto model = NetworkModel::freeze(facade);
+    const auto model = trained_model(dataset, 9, 10);
 
     FaultOverlay dead;
     const std::size_t mask[] = {3};

@@ -1,8 +1,11 @@
+// Network-level behaviour through the Model/Runtime API: activity,
+// determinism, fault overlays, classifier semantics and the Trainer loop.
 #include <gtest/gtest.h>
 
 #include "data/synthetic_digits.hpp"
 #include "snn/classifier.hpp"
-#include "snn/network.hpp"
+#include "snn/model.hpp"
+#include "snn/runtime.hpp"
 #include "snn/trainer.hpp"
 
 namespace snnfi::snn {
@@ -15,26 +18,35 @@ DiehlCookConfig tiny_config() {
     return cfg;
 }
 
+/// A learning replica over a fresh random model — the equivalent of the
+/// historical mutable network's default state (STDP active).
+NetworkRuntime learning_runtime(std::uint64_t seed, FaultOverlay overlay = {}) {
+    NetworkRuntime runtime(NetworkModel::random(tiny_config(), seed),
+                           std::move(overlay));
+    runtime.set_learning(true);
+    return runtime;
+}
+
 TEST(Network, RunSampleProducesActivity) {
-    DiehlCookNetwork network(tiny_config(), 7);
+    auto runtime = learning_runtime(7);
     util::Rng rng(1);
     const auto image = data::render_digit(3, rng, {});
-    const SampleActivity activity = network.run_sample(image);
+    const SampleActivity activity = runtime.run_sample(image);
     EXPECT_EQ(activity.exc_counts.size(), 30u);
     EXPECT_GT(activity.total_exc_spikes, 0u);
 }
 
 TEST(Network, RejectsWrongImageSize) {
-    DiehlCookNetwork network(tiny_config(), 7);
-    EXPECT_THROW(network.run_sample(std::vector<float>(10, 0.5f)),
+    auto runtime = learning_runtime(7);
+    EXPECT_THROW(runtime.run_sample(std::vector<float>(10, 0.5f)),
                  std::invalid_argument);
 }
 
 TEST(Network, DeterministicGivenSeed) {
     util::Rng rng(1);
     const auto image = data::render_digit(5, rng, {});
-    DiehlCookNetwork a(tiny_config(), 99);
-    DiehlCookNetwork b(tiny_config(), 99);
+    auto a = learning_runtime(99);
+    auto b = learning_runtime(99);
     const auto act_a = a.run_sample(image);
     const auto act_b = b.run_sample(image);
     EXPECT_EQ(act_a.exc_counts, act_b.exc_counts);
@@ -44,37 +56,37 @@ TEST(Network, DeterministicGivenSeed) {
 TEST(Network, DifferentSeedsDiffer) {
     util::Rng rng(1);
     const auto image = data::render_digit(5, rng, {});
-    DiehlCookNetwork a(tiny_config(), 1);
-    DiehlCookNetwork b(tiny_config(), 2);
+    auto a = learning_runtime(1);
+    auto b = learning_runtime(2);
     EXPECT_NE(a.run_sample(image).exc_counts, b.run_sample(image).exc_counts);
 }
 
 TEST(Network, DriverGainScalesActivity) {
     util::Rng rng(1);
     const auto image = data::render_digit(8, rng, {});
-    DiehlCookNetwork boosted(tiny_config(), 7);
-    DiehlCookNetwork cut(tiny_config(), 7);
-    boosted.set_driver_gain(1.5f);
-    cut.set_driver_gain(0.4f);
+    auto boosted = learning_runtime(7, FaultOverlay{}.set_driver_gain(1.5f));
+    auto cut = learning_runtime(7, FaultOverlay{}.set_driver_gain(0.4f));
     EXPECT_GT(boosted.run_sample(image).total_exc_spikes,
               cut.run_sample(image).total_exc_spikes);
 }
 
-TEST(Network, ClearFaultsRestoresGain) {
-    DiehlCookNetwork network(tiny_config(), 7);
-    network.set_driver_gain(0.5f);
-    network.clear_faults();
-    EXPECT_FLOAT_EQ(network.driver_gain(), 1.0f);
+TEST(Network, EmptyOverlayRestoresGain) {
+    NetworkRuntime runtime(NetworkModel::random(tiny_config(), 7),
+                           FaultOverlay{}.set_driver_gain(0.5f));
+    EXPECT_FLOAT_EQ(runtime.driver_gain(), 0.5f);
+    runtime.set_overlay(FaultOverlay{});
+    EXPECT_FLOAT_EQ(runtime.driver_gain(), 1.0f);
 }
 
 TEST(Network, InhibitionSuppressesActivity) {
     util::Rng rng(1);
     const auto image = data::render_digit(0, rng, {});
-    DiehlCookConfig with_inh = tiny_config();
     DiehlCookConfig no_inh = tiny_config();
     no_inh.inh_weight = 0.0f;
-    DiehlCookNetwork inhibited(with_inh, 7);
-    DiehlCookNetwork free_running(no_inh, 7);
+    NetworkRuntime inhibited(NetworkModel::random(tiny_config(), 7));
+    NetworkRuntime free_running(NetworkModel::random(no_inh, 7));
+    inhibited.set_learning(true);
+    free_running.set_learning(true);
     EXPECT_LT(inhibited.run_sample(image).total_exc_spikes,
               free_running.run_sample(image).total_exc_spikes);
 }
@@ -120,8 +132,8 @@ TEST(Classifier, Validation) {
 
 TEST(Trainer, LearnsAboveChanceOnTinyProblem) {
     const auto dataset = data::make_synthetic_dataset(150, 11);
-    DiehlCookNetwork network(tiny_config(), 7);
-    Trainer trainer(network, /*eval_window=*/50);
+    NetworkRuntime runtime(NetworkModel::random(tiny_config(), 7));
+    Trainer trainer(runtime, /*eval_window=*/50);
     const TrainResult result = trainer.run(dataset);
     EXPECT_GT(result.retro_accuracy, 0.25);  // well above 10% chance
     EXPECT_GT(result.train_accuracy, 0.15);
@@ -131,18 +143,18 @@ TEST(Trainer, LearnsAboveChanceOnTinyProblem) {
 TEST(Trainer, HeldOutEvaluation) {
     const auto train = data::make_synthetic_dataset(120, 11);
     const auto test = data::make_synthetic_dataset(40, 999);
-    DiehlCookNetwork network(tiny_config(), 7);
-    Trainer trainer(network, 40);
+    NetworkRuntime runtime(NetworkModel::random(tiny_config(), 7));
+    Trainer trainer(runtime, 40);
     const TrainResult result = trainer.run(train, &test);
     EXPECT_GE(result.test_accuracy, 0.0);
     EXPECT_LE(result.test_accuracy, 1.0);
-    EXPECT_TRUE(network.learning_enabled());  // restored after eval
+    EXPECT_TRUE(runtime.learning_enabled());  // restored after eval
 }
 
 TEST(Trainer, DeterministicAccuracy) {
     const auto dataset = data::make_synthetic_dataset(80, 5);
-    DiehlCookNetwork a(tiny_config(), 13);
-    DiehlCookNetwork b(tiny_config(), 13);
+    NetworkRuntime a(NetworkModel::random(tiny_config(), 13));
+    NetworkRuntime b(NetworkModel::random(tiny_config(), 13));
     const auto res_a = Trainer(a, 40).run(dataset);
     const auto res_b = Trainer(b, 40).run(dataset);
     EXPECT_DOUBLE_EQ(res_a.train_accuracy, res_b.train_accuracy);
@@ -151,8 +163,8 @@ TEST(Trainer, DeterministicAccuracy) {
 }
 
 TEST(Trainer, Validation) {
-    DiehlCookNetwork network(tiny_config(), 7);
-    Trainer trainer(network);
+    NetworkRuntime runtime(NetworkModel::random(tiny_config(), 7));
+    Trainer trainer(runtime);
     Dataset empty;
     EXPECT_THROW(trainer.run(empty), std::invalid_argument);
     Dataset mismatched;
@@ -162,8 +174,8 @@ TEST(Trainer, Validation) {
 
 TEST(Hook, CalledPerSample) {
     const auto dataset = data::make_synthetic_dataset(10, 5);
-    DiehlCookNetwork network(tiny_config(), 7);
-    Trainer trainer(network, 5);
+    NetworkRuntime runtime(NetworkModel::random(tiny_config(), 7));
+    Trainer trainer(runtime, 5);
     std::size_t calls = 0;
     trainer.run(dataset, nullptr, [&](std::size_t) { ++calls; });
     EXPECT_EQ(calls, 10u);

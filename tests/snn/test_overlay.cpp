@@ -1,7 +1,7 @@
 // FaultOverlay semantics: bit-flip weight patches round-trip bit-exactly,
 // composition is order-independent on distinct targets (the paper's
-// combined attacks), last-writer-wins on conflicting targets, and the
-// legacy facade bridge replays overlays through the mutators.
+// combined attacks), last-writer-wins on conflicting targets, and every
+// field kind expands into the runtime's fault state.
 #include "snn/overlay.hpp"
 
 #include <gtest/gtest.h>
@@ -10,7 +10,6 @@
 
 #include "data/synthetic_digits.hpp"
 #include "snn/model.hpp"
-#include "snn/network.hpp"
 #include "snn/runtime.hpp"
 
 namespace snnfi::snn {
@@ -74,22 +73,21 @@ TEST(FaultOverlay, CompositionOrderIndependentOnDistinctTargets) {
 }
 
 TEST(FaultOverlay, LastWriterWinsOnConflictingTargets) {
-    DiehlCookNetwork network(tiny_config(), 3);
+    const auto model = NetworkModel::random(tiny_config(), 3);
     const std::size_t mask[] = {2};
     FaultOverlay first;
     first.scale_threshold(OverlayLayer::kExcitatory, mask, 0.5f);
     FaultOverlay second;
     second.scale_threshold(OverlayLayer::kExcitatory, mask, 2.0f);
 
-    FaultOverlay::compose(first, second).apply_to(network);
-    EXPECT_FLOAT_EQ(network.excitatory().threshold_scale(2), 2.0f);
-    network.clear_faults();
-    FaultOverlay::compose(second, first).apply_to(network);
-    EXPECT_FLOAT_EQ(network.excitatory().threshold_scale(2), 0.5f);
+    NetworkRuntime forward(model, FaultOverlay::compose(first, second));
+    EXPECT_FLOAT_EQ(forward.threshold_scale(OverlayLayer::kExcitatory, 2), 2.0f);
+    NetworkRuntime reverse(model, FaultOverlay::compose(second, first));
+    EXPECT_FLOAT_EQ(reverse.threshold_scale(OverlayLayer::kExcitatory, 2), 0.5f);
 }
 
-TEST(FaultOverlay, FacadeBridgeReplaysEveryFieldKind) {
-    DiehlCookNetwork network(tiny_config(), 3);
+TEST(FaultOverlay, EveryFieldKindExpandsIntoRuntimeState) {
+    const auto model = NetworkModel::random(tiny_config(), 3);
     const std::size_t n2[] = {2};
     const std::size_t n3[] = {3};
     const std::size_t n4[] = {4};
@@ -99,13 +97,19 @@ TEST(FaultOverlay, FacadeBridgeReplaysEveryFieldKind) {
         .force_state(OverlayLayer::kInhibitory, n3, NeuronFault::kSaturated)
         .override_refractory(OverlayLayer::kExcitatory, n4, 9)
         .set_weight(1, 1, 0.33f);
-    overlay.apply_to(network);
+    NetworkRuntime runtime(model, overlay);
 
-    EXPECT_FLOAT_EQ(network.driver_gain(), 1.25f);
-    EXPECT_FLOAT_EQ(network.excitatory().input_gain(2), 0.7f);
-    EXPECT_EQ(network.inhibitory().forced_state(3), NeuronFault::kSaturated);
-    EXPECT_EQ(network.excitatory().refractory_steps(4), 9);
-    EXPECT_FLOAT_EQ(network.input_connection().weights().at(1, 1), 0.33f);
+    EXPECT_FLOAT_EQ(runtime.driver_gain(), 1.25f);
+    EXPECT_FLOAT_EQ(runtime.input_gain(OverlayLayer::kExcitatory, 2), 0.7f);
+    EXPECT_EQ(runtime.forced_state(OverlayLayer::kInhibitory, 3),
+              NeuronFault::kSaturated);
+    EXPECT_EQ(runtime.refractory_steps(OverlayLayer::kExcitatory, 4), 9);
+    EXPECT_FLOAT_EQ(runtime.weight_row(1)[1], 0.33f);
+    // Untouched neurons keep nominal state.
+    EXPECT_EQ(runtime.forced_state(OverlayLayer::kInhibitory, 4),
+              NeuronFault::kNominal);
+    EXPECT_EQ(runtime.refractory_steps(OverlayLayer::kExcitatory, 3),
+              tiny_config().excitatory.lif.refrac_steps);
 }
 
 TEST(FaultOverlay, Validation) {
@@ -118,8 +122,6 @@ TEST(FaultOverlay, Validation) {
     FaultOverlay out_of_range;
     const std::size_t bad[] = {999};
     out_of_range.force_state(OverlayLayer::kExcitatory, bad, NeuronFault::kDead);
-    DiehlCookNetwork network(tiny_config(), 1);
-    EXPECT_THROW(out_of_range.apply_to(network), std::out_of_range);
     EXPECT_THROW(NetworkRuntime(NetworkModel::random(tiny_config(), 1),
                                 out_of_range),
                  std::out_of_range);

@@ -1,0 +1,209 @@
+// Scheduled overlays: piecewise fault activation at step boundaries.
+// The invariants the glitch pipeline rests on: a one-segment full-range
+// schedule is bit-identical to the static overlay, schedules reset between
+// samples, swaps preserve dynamic state, and the lockstep batch path
+// agrees with standalone scheduled runs.
+#include <gtest/gtest.h>
+
+#include "data/synthetic_digits.hpp"
+#include "snn/model.hpp"
+#include "snn/runtime.hpp"
+#include "snn/trainer.hpp"
+
+namespace snnfi::snn {
+namespace {
+
+DiehlCookConfig tiny_config() {
+    DiehlCookConfig cfg;
+    cfg.n_neurons = 20;
+    cfg.steps_per_sample = 120;
+    return cfg;
+}
+
+std::shared_ptr<const NetworkModel> trained_model() {
+    static const std::shared_ptr<const NetworkModel> model = [] {
+        const auto dataset = data::make_synthetic_dataset(30, 5);
+        NetworkRuntime runtime(NetworkModel::random(tiny_config(), 9));
+        (void)Trainer(runtime, 15).run(dataset);
+        return runtime.freeze();
+    }();
+    return model;
+}
+
+FaultOverlay glitch_overlay() {
+    std::vector<std::size_t> all(tiny_config().n_neurons);
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    FaultOverlay overlay;
+    overlay.shift_threshold_value(OverlayLayer::kExcitatory, all, -0.18f);
+    overlay.shift_threshold_value(OverlayLayer::kInhibitory, all, -0.18f);
+    overlay.set_driver_gain(0.68f);
+    return overlay;
+}
+
+std::vector<std::uint32_t> run_counts(NetworkRuntime& runtime,
+                                      const Dataset& dataset, std::size_t samples,
+                                      std::uint64_t seed) {
+    runtime.rng().reseed(seed);
+    std::vector<std::uint32_t> counts;
+    for (std::size_t i = 0; i < samples; ++i) {
+        const auto activity = runtime.run_sample(dataset.images[i]);
+        counts.insert(counts.end(), activity.exc_counts.begin(),
+                      activity.exc_counts.end());
+    }
+    return counts;
+}
+
+TEST(OverlaySchedule, FullRangeSegmentMatchesStaticOverlayBitExact) {
+    const auto dataset = data::make_synthetic_dataset(10, 7);
+    const auto model = trained_model();
+
+    NetworkRuntime static_runtime(model, glitch_overlay());
+    NetworkRuntime scheduled_runtime(model);
+    scheduled_runtime.set_schedule(
+        {{0, tiny_config().steps_per_sample, glitch_overlay()}});
+
+    EXPECT_EQ(run_counts(static_runtime, dataset, 4, 0xAB),
+              run_counts(scheduled_runtime, dataset, 4, 0xAB));
+}
+
+TEST(OverlaySchedule, SegmentBeyondSampleNeverActivates) {
+    const auto dataset = data::make_synthetic_dataset(10, 7);
+    const auto model = trained_model();
+
+    NetworkRuntime clean(model);
+    NetworkRuntime scheduled(model);
+    scheduled.set_schedule({{tiny_config().steps_per_sample,
+                             tiny_config().steps_per_sample + 10,
+                             glitch_overlay()}});
+    EXPECT_EQ(run_counts(clean, dataset, 3, 0xCD),
+              run_counts(scheduled, dataset, 3, 0xCD));
+}
+
+TEST(OverlaySchedule, MidSampleGlitchDiffersFromCleanAndStatic) {
+    const auto dataset = data::make_synthetic_dataset(10, 7);
+    const auto model = trained_model();
+
+    NetworkRuntime clean(model);
+    NetworkRuntime static_runtime(model, glitch_overlay());
+    NetworkRuntime scheduled(model);
+    scheduled.set_schedule({{40, 80, glitch_overlay()}});
+
+    const auto clean_counts = run_counts(clean, dataset, 4, 0xEF);
+    const auto static_counts = run_counts(static_runtime, dataset, 4, 0xEF);
+    const auto glitch_counts = run_counts(scheduled, dataset, 4, 0xEF);
+    EXPECT_NE(glitch_counts, clean_counts);
+    EXPECT_NE(glitch_counts, static_counts);
+}
+
+TEST(OverlaySchedule, ResetsBetweenSamples) {
+    const auto dataset = data::make_synthetic_dataset(10, 7);
+    const auto model = trained_model();
+    const OverlaySchedule schedule = {
+        {100, tiny_config().steps_per_sample, glitch_overlay()}};
+
+    // The segment runs to the end of sample 1: runtime X relies on the
+    // automatic between-samples reset, runtime Y re-installs the schedule
+    // (a guaranteed-fresh cursor and base fault state) before sample 2.
+    // Both see identical encoder streams and theta trajectories, so equal
+    // sample-2 activity proves the automatic reset is complete.
+    NetworkRuntime x(model);
+    x.set_schedule(schedule);
+    (void)run_counts(x, dataset, 1, 0x11);
+    // Mid-segment at sample end: the segment's fault state is still
+    // applied until the next sample begins.
+    EXPECT_FLOAT_EQ(x.driver_gain(), 0.68f);
+    x.rng().reseed(0x12);
+    const auto second_auto = x.run_sample(dataset.images[1]).exc_counts;
+
+    NetworkRuntime y(model);
+    y.set_schedule(schedule);
+    (void)run_counts(y, dataset, 1, 0x11);
+    y.set_schedule(schedule);  // explicit fresh re-install
+    EXPECT_FLOAT_EQ(y.driver_gain(), 1.0f);  // base state outside segments
+    y.rng().reseed(0x12);
+    const auto second_fresh = y.run_sample(dataset.images[1]).exc_counts;
+
+    EXPECT_EQ(second_auto, second_fresh);
+}
+
+TEST(OverlaySchedule, MultiSegmentDeadWindowSuppressesSpikes) {
+    const auto dataset = data::make_synthetic_dataset(10, 7);
+    const auto model = trained_model();
+    std::vector<std::size_t> all(tiny_config().n_neurons);
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    FaultOverlay dead;
+    dead.force_state(OverlayLayer::kExcitatory, all, NeuronFault::kDead);
+
+    NetworkRuntime whole(model);
+    whole.set_schedule({{0, tiny_config().steps_per_sample, dead}});
+    NetworkRuntime brief(model);
+    brief.set_schedule({{0, 10, dead}, {50, 60, dead}});
+
+    EXPECT_EQ(run_counts(whole, dataset, 2, 0x22),
+              std::vector<std::uint32_t>(2 * tiny_config().n_neurons, 0));
+    std::size_t brief_total = 0;
+    for (const std::uint32_t count : run_counts(brief, dataset, 2, 0x22))
+        brief_total += count;
+    EXPECT_GT(brief_total, 0u);
+}
+
+TEST(OverlaySchedule, BatchMatchesStandaloneScheduledRuns) {
+    const auto dataset = data::make_synthetic_dataset(10, 7);
+    const auto model = trained_model();
+    const OverlaySchedule schedule = {{30, 90, glitch_overlay()}};
+
+    // Standalone references: clean, scheduled, static.
+    std::vector<std::vector<std::uint32_t>> reference;
+    {
+        NetworkRuntime clean(model);
+        reference.push_back(run_counts(clean, dataset, 3, 0x33));
+        NetworkRuntime scheduled(model);
+        scheduled.set_schedule(schedule);
+        reference.push_back(run_counts(scheduled, dataset, 3, 0x33));
+        NetworkRuntime static_runtime(model, glitch_overlay());
+        reference.push_back(run_counts(static_runtime, dataset, 3, 0x33));
+    }
+
+    NetworkRuntime clean(model);
+    NetworkRuntime scheduled(model);
+    scheduled.set_schedule(schedule);
+    NetworkRuntime static_runtime(model, glitch_overlay());
+    BatchRunner batch(*model, {&clean, &scheduled, &static_runtime});
+    util::Rng rng(0);
+    rng.reseed(0x33);
+    std::vector<std::vector<std::uint32_t>> batched(3);
+    for (std::size_t i = 0; i < 3; ++i) {
+        const auto activities = batch.run_sample(dataset.images[i], rng);
+        for (std::size_t k = 0; k < 3; ++k) {
+            batched[k].insert(batched[k].end(), activities[k].exc_counts.begin(),
+                              activities[k].exc_counts.end());
+        }
+    }
+    for (std::size_t k = 0; k < 3; ++k)
+        EXPECT_EQ(batched[k], reference[k]) << "replica " << k;
+}
+
+TEST(OverlaySchedule, Validation) {
+    const auto model = NetworkModel::random(tiny_config(), 1);
+    NetworkRuntime runtime(model);
+    // Empty segment.
+    EXPECT_THROW(runtime.set_schedule({{10, 10, FaultOverlay{}}}),
+                 std::invalid_argument);
+    // Overlap / unsorted.
+    EXPECT_THROW(runtime.set_schedule(
+                     {{0, 50, FaultOverlay{}}, {40, 60, FaultOverlay{}}}),
+                 std::invalid_argument);
+    EXPECT_THROW(runtime.set_schedule(
+                     {{50, 60, FaultOverlay{}}, {0, 10, FaultOverlay{}}}),
+                 std::invalid_argument);
+
+    // Schedules are inference-only.
+    runtime.set_schedule({{0, 10, FaultOverlay{}}});
+    EXPECT_THROW(runtime.set_learning(true), std::logic_error);
+    NetworkRuntime learner(model);
+    learner.set_learning(true);
+    EXPECT_THROW(learner.set_schedule({{0, 10, FaultOverlay{}}}), std::logic_error);
+}
+
+}  // namespace
+}  // namespace snnfi::snn

@@ -1,10 +1,11 @@
-// Trainer metric semantics and fault-interaction edge cases.
+// Trainer metric semantics and fault-interaction edge cases (Model/Runtime).
 #include <gtest/gtest.h>
 
 #include <cmath>
 #include <numeric>
 
 #include "data/synthetic_digits.hpp"
+#include "snn/runtime.hpp"
 #include "snn/trainer.hpp"
 
 namespace snnfi::snn {
@@ -17,10 +18,15 @@ DiehlCookConfig tiny_config() {
     return cfg;
 }
 
+NetworkRuntime fresh_runtime(std::uint64_t seed, FaultOverlay overlay = {}) {
+    return NetworkRuntime(NetworkModel::random(tiny_config(), seed),
+                          std::move(overlay));
+}
+
 TEST(TrainerMetrics, WindowLargerThanDatasetScoresNothingOnline) {
     const auto dataset = data::make_synthetic_dataset(30, 5);
-    DiehlCookNetwork network(tiny_config(), 7);
-    Trainer trainer(network, /*eval_window=*/100);
+    auto runtime = fresh_runtime(7);
+    Trainer trainer(runtime, /*eval_window=*/100);
     const auto result = trainer.run(dataset);
     EXPECT_DOUBLE_EQ(result.train_accuracy, 0.0);  // no window completed
     EXPECT_GT(result.retro_accuracy, 0.0);         // retro still defined
@@ -28,8 +34,8 @@ TEST(TrainerMetrics, WindowLargerThanDatasetScoresNothingOnline) {
 
 TEST(TrainerMetrics, OnlineScoresExactlyAfterFirstWindow) {
     const auto dataset = data::make_synthetic_dataset(60, 5);
-    DiehlCookNetwork network(tiny_config(), 7);
-    Trainer trainer(network, /*eval_window=*/20);
+    auto runtime = fresh_runtime(7);
+    Trainer trainer(runtime, /*eval_window=*/20);
     // 60 samples, window 20: samples 20..59 are scored (40 predictions).
     const auto result = trainer.run(dataset);
     // Accuracy is a multiple of 1/40.
@@ -39,18 +45,19 @@ TEST(TrainerMetrics, OnlineScoresExactlyAfterFirstWindow) {
 
 TEST(TrainerMetrics, ZeroWindowRejected) {
     const auto dataset = data::make_synthetic_dataset(10, 5);
-    DiehlCookNetwork network(tiny_config(), 7);
-    Trainer trainer(network, 0);
+    auto runtime = fresh_runtime(7);
+    Trainer trainer(runtime, 0);
     EXPECT_THROW(trainer.run(dataset), std::invalid_argument);
 }
 
 TEST(TrainerFaults, ThresholdFaultChangesTrajectory) {
     const auto dataset = data::make_synthetic_dataset(60, 5);
-    DiehlCookNetwork clean(tiny_config(), 7);
-    DiehlCookNetwork faulted(tiny_config(), 7);
     std::vector<std::size_t> all(30);
     std::iota(all.begin(), all.end(), 0u);
-    faulted.inhibitory().apply_threshold_value_delta(all, -0.2f);
+    FaultOverlay fault;
+    fault.shift_threshold_value(OverlayLayer::kInhibitory, all, -0.2f);
+    auto clean = fresh_runtime(7);
+    auto faulted = fresh_runtime(7, fault);
     const auto clean_result = Trainer(clean, 20).run(dataset);
     const auto fault_result = Trainer(faulted, 20).run(dataset);
     EXPECT_NE(clean_result.total_exc_spikes, fault_result.total_exc_spikes);
@@ -60,49 +67,50 @@ TEST(TrainerFaults, ThresholdFaultChangesTrajectory) {
 
 TEST(TrainerFaults, DriverGainPersistsAcrossSamples) {
     const auto dataset = data::make_synthetic_dataset(20, 5);
-    DiehlCookNetwork boosted(tiny_config(), 7);
-    DiehlCookNetwork nominal(tiny_config(), 7);
-    boosted.set_driver_gain(1.5f);
+    auto boosted = fresh_runtime(7, FaultOverlay{}.set_driver_gain(1.5f));
+    auto nominal = fresh_runtime(7);
     const auto boosted_result = Trainer(boosted, 10).run(dataset);
     const auto nominal_result = Trainer(nominal, 10).run(dataset);
     EXPECT_GT(boosted_result.total_exc_spikes, nominal_result.total_exc_spikes);
     EXPECT_FLOAT_EQ(boosted.driver_gain(), 1.5f);  // unchanged by training
 }
 
-TEST(TrainerFaults, LearningFrozenNetworkKeepsWeights) {
+TEST(TrainerFaults, LearningFrozenRuntimeKeepsWeights) {
     const auto dataset = data::make_synthetic_dataset(20, 5);
-    DiehlCookNetwork network(tiny_config(), 7);
-    network.set_learning(false);
-    const Matrix before = network.input_connection().weights();
-    for (const auto& image : dataset.images) network.run_sample(image);
-    const Matrix& after = network.input_connection().weights();
-    ASSERT_EQ(before.rows(), after.rows());
-    for (std::size_t r = 0; r < before.rows(); ++r)
-        for (std::size_t c = 0; c < before.cols(); ++c)
-            ASSERT_FLOAT_EQ(before(r, c), after(r, c));
+    auto runtime = fresh_runtime(7);
+    // Learning never enabled: inference path over the shared model rows.
+    const auto model = runtime.model_ptr();
+    for (const auto& image : dataset.images) (void)runtime.run_sample(image);
+    for (std::size_t pre = 0; pre < model->n_input(); ++pre) {
+        // No copy-on-write rows were materialised: every row still aliases
+        // the immutable model.
+        ASSERT_EQ(runtime.weight_row(pre).data(), model->weight_row(pre).data());
+    }
 }
 
 TEST(TrainerFaults, TrainingMovesWeights) {
     const auto dataset = data::make_synthetic_dataset(20, 5);
-    DiehlCookNetwork network(tiny_config(), 7);
-    const Matrix before = network.input_connection().weights();
-    Trainer(network, 10).run(dataset);
-    const Matrix& after = network.input_connection().weights();
+    const auto model = NetworkModel::random(tiny_config(), 7);
+    NetworkRuntime runtime(model);
+    Trainer(runtime, 10).run(dataset);
+    const auto trained = runtime.freeze();
     double total_change = 0.0;
-    for (std::size_t r = 0; r < before.rows(); ++r)
-        for (std::size_t c = 0; c < before.cols(); ++c)
-            total_change += std::abs(after(r, c) - before(r, c));
+    for (std::size_t r = 0; r < model->input_weights().rows(); ++r)
+        for (std::size_t c = 0; c < model->input_weights().cols(); ++c)
+            total_change += std::abs(trained->input_weights()(r, c) -
+                                     model->input_weights()(r, c));
     EXPECT_GT(total_change, 0.1);
 }
 
 TEST(TrainerFaults, NormalizationHoldsDuringTraining) {
     const auto dataset = data::make_synthetic_dataset(15, 5);
-    DiehlCookConfig cfg = tiny_config();
-    DiehlCookNetwork network(cfg, 7);
-    Trainer(network, 5).run(dataset);
+    const DiehlCookConfig cfg = tiny_config();
+    NetworkRuntime runtime(NetworkModel::random(cfg, 7));
+    Trainer(runtime, 5).run(dataset);
+    const auto trained = runtime.freeze();
     for (std::size_t j = 0; j < cfg.n_neurons; ++j)
-        EXPECT_NEAR(network.input_connection().weights().column_sum(j),
-                    cfg.norm_total, cfg.norm_total * 0.01)
+        EXPECT_NEAR(trained->input_weights().column_sum(j), cfg.norm_total,
+                    cfg.norm_total * 0.01)
             << "column " << j;
 }
 
@@ -112,8 +120,8 @@ class TrainerDeterminism : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(TrainerDeterminism, ExactReproduction) {
     const auto dataset = data::make_synthetic_dataset(40, GetParam());
-    DiehlCookNetwork a(tiny_config(), GetParam() + 1);
-    DiehlCookNetwork b(tiny_config(), GetParam() + 1);
+    auto a = fresh_runtime(GetParam() + 1);
+    auto b = fresh_runtime(GetParam() + 1);
     const auto ra = Trainer(a, 20).run(dataset);
     const auto rb = Trainer(b, 20).run(dataset);
     EXPECT_DOUBLE_EQ(ra.train_accuracy, rb.train_accuracy);
