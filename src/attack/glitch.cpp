@@ -1,8 +1,11 @@
 #include "attack/glitch.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <sstream>
 #include <stdexcept>
+
+#include "util/random.hpp"
 
 namespace snnfi::attack {
 
@@ -124,6 +127,108 @@ std::string GlitchProfile::fingerprint() const {
     return os.str();
 }
 
+namespace {
+
+/// Sorted, deduplicated copy of a neuron list — the canonical form both
+/// resolve() and fingerprint() work on.
+std::vector<std::size_t> canonical_neurons(std::vector<std::size_t> neurons) {
+    std::sort(neurons.begin(), neurons.end());
+    neurons.erase(std::unique(neurons.begin(), neurons.end()), neurons.end());
+    return neurons;
+}
+
+}  // namespace
+
+GlitchFootprint GlitchFootprint::whole_layer(TargetLayer layer) {
+    GlitchFootprint footprint;
+    footprint.kind = Kind::kWholeLayer;
+    footprint.layer = layer;
+    return footprint;
+}
+
+GlitchFootprint GlitchFootprint::subset(std::vector<std::size_t> neurons,
+                                        TargetLayer layer) {
+    GlitchFootprint footprint;
+    footprint.kind = Kind::kNeurons;
+    footprint.layer = layer;
+    footprint.neurons = canonical_neurons(std::move(neurons));
+    return footprint;
+}
+
+GlitchFootprint GlitchFootprint::stratified(double fraction, std::uint64_t seed,
+                                            TargetLayer layer) {
+    GlitchFootprint footprint;
+    footprint.kind = Kind::kStratified;
+    footprint.layer = layer;
+    footprint.fraction = fraction;
+    footprint.seed = seed;
+    return footprint;
+}
+
+std::vector<std::size_t> GlitchFootprint::resolve(std::size_t layer_size) const {
+    switch (kind) {
+        case Kind::kWholeLayer: {
+            std::vector<std::size_t> all(layer_size);
+            for (std::size_t i = 0; i < layer_size; ++i) all[i] = i;
+            return all;
+        }
+        case Kind::kNeurons: {
+            if (neurons.empty())
+                throw std::invalid_argument("GlitchFootprint: empty neuron subset");
+            // Canonicalise here, not just in the subset() factory: the
+            // public field may be populated directly, and both the
+            // resolved subset and the fingerprint must be order- and
+            // duplicate-insensitive.
+            std::vector<std::size_t> sorted = canonical_neurons(neurons);
+            if (sorted.back() >= layer_size)
+                throw std::invalid_argument(
+                    "GlitchFootprint: neuron index outside the layer");
+            return sorted;
+        }
+        case Kind::kStratified: {
+            if (!(fraction > 0.0) || fraction > 1.0)
+                throw std::invalid_argument(
+                    "GlitchFootprint: fraction outside (0, 1]");
+            const auto count = std::max<std::size_t>(
+                1, static_cast<std::size_t>(
+                       fraction * static_cast<double>(layer_size) + 0.5));
+            // One draw per contiguous stratum [s*n/count, (s+1)*n/count):
+            // the sample covers the layer evenly instead of clustering.
+            util::Rng rng(util::derive_seed(seed, 0x9F00));
+            std::vector<std::size_t> picked;
+            picked.reserve(count);
+            for (std::size_t s = 0; s < count; ++s) {
+                const std::size_t lo = s * layer_size / count;
+                const std::size_t hi = (s + 1) * layer_size / count;
+                picked.push_back(lo + static_cast<std::size_t>(
+                                          rng.below(std::max<std::size_t>(1, hi - lo))));
+            }
+            return picked;
+        }
+    }
+    throw std::logic_error("GlitchFootprint: unknown kind");
+}
+
+std::string GlitchFootprint::fingerprint() const {
+    std::ostringstream os;
+    switch (kind) {
+        case Kind::kWholeLayer:
+            os << "whole";
+            break;
+        case Kind::kNeurons:
+            os << "sub:";
+            for (const std::size_t neuron : canonical_neurons(neurons))
+                os << neuron << "+";
+            break;
+        case Kind::kStratified:
+            os.precision(17);
+            os << "strat:" << fraction << "@" << seed;
+            break;
+    }
+    os << ":" << to_string(layer);
+    return os.str();
+}
+
 GlitchCompiler::GlitchCompiler(snn::DiehlCookConfig config, double tolerance)
     : config_(config), tolerance_(tolerance) {
     if (config_.steps_per_sample == 0)
@@ -132,17 +237,32 @@ GlitchCompiler::GlitchCompiler(snn::DiehlCookConfig config, double tolerance)
 
 std::vector<GlitchSegment> GlitchCompiler::segments(
     const GlitchProfile& profile) const {
-    const auto steps = static_cast<double>(config_.steps_per_sample);
+    const std::size_t n_steps = config_.steps_per_sample;
+    const auto steps = static_cast<double>(n_steps);
     std::vector<GlitchSegment> merged;
     for (const GlitchWindow& window : profile.windows()) {
-        const auto begin_step =
-            static_cast<std::size_t>(std::lround(window.begin * steps));
-        const auto end_step =
-            static_cast<std::size_t>(std::lround(window.end * steps));
-        if (begin_step >= end_step) continue;  // thinner than one step
         const bool identity = std::abs(window.threshold_delta) <= tolerance_ &&
                               std::abs(window.driver_gain - 1.0) <= tolerance_;
         if (identity) continue;
+        auto begin_step =
+            static_cast<std::size_t>(std::lround(window.begin * steps));
+        // Characterizer float error can land window.end marginally above
+        // 1.0; clamp so no segment outlives the sample (it would never
+        // retract).
+        auto end_step = std::min(
+            static_cast<std::size_t>(std::lround(window.end * steps)), n_steps);
+        if (begin_step >= end_step) {
+            // Thinner than one step after rounding, but carrying a real
+            // fault: clamp to a one-step segment instead of silently
+            // compiling a narrow-but-deep glitch to no fault at all.
+            begin_step = std::min(begin_step, n_steps - 1);
+            end_step = begin_step + 1;
+        }
+        // A one-step clamp may collide with the previous segment; yield
+        // to it (the step is already faulted) rather than overlap.
+        if (!merged.empty())
+            begin_step = std::max(begin_step, merged.back().end_step);
+        if (begin_step >= end_step) continue;
         if (!merged.empty() && merged.back().end_step == begin_step &&
             std::abs(merged.back().threshold_delta - window.threshold_delta) <=
                 tolerance_ &&
@@ -171,6 +291,48 @@ snn::OverlaySchedule GlitchCompiler::compile(const GlitchProfile& profile,
         scheduled.begin_step = segment.begin_step;
         scheduled.end_step = segment.end_step;
         scheduled.overlay = overlay_for(spec, config_);
+        schedule.push_back(std::move(scheduled));
+    }
+    return schedule;
+}
+
+snn::OverlaySchedule GlitchCompiler::compile(const GlitchProfile& profile,
+                                             const GlitchFootprint& footprint,
+                                             ThresholdSemantics semantics) const {
+    // The uniform footprint IS the legacy path — route through it so the
+    // whole-layer compilation stays bit-identical to the static attacks.
+    if (footprint.is_uniform()) return compile(profile, semantics);
+
+    const std::vector<std::size_t> neurons = footprint.resolve(config_.n_neurons);
+    const bool exc = footprint.layer == TargetLayer::kExcitatory ||
+                     footprint.layer == TargetLayer::kBoth;
+    const bool inh = footprint.layer == TargetLayer::kInhibitory ||
+                     footprint.layer == TargetLayer::kBoth;
+    snn::OverlaySchedule schedule;
+    for (const GlitchSegment& segment : segments(profile)) {
+        snn::FaultOverlay overlay;
+        if (segment.threshold_delta != 0.0) {
+            const auto delta = static_cast<float>(segment.threshold_delta);
+            const auto shift = [&](snn::OverlayLayer target) {
+                if (semantics == ThresholdSemantics::kBindsNetValue) {
+                    overlay.shift_threshold_value(target, neurons, delta);
+                } else {
+                    overlay.scale_threshold(target, neurons, 1.0f + delta);
+                }
+            };
+            if (exc) shift(snn::OverlayLayer::kExcitatory);
+            if (inh) shift(snn::OverlayLayer::kInhibitory);
+        }
+        // Localised driver corruption: per-neuron feedforward gains on the
+        // footprint instead of the network-wide driver gain.
+        if (segment.driver_gain != 1.0) {
+            overlay.scale_driver_gain(neurons,
+                                      static_cast<float>(segment.driver_gain));
+        }
+        snn::ScheduledOverlay scheduled;
+        scheduled.begin_step = segment.begin_step;
+        scheduled.end_step = segment.end_step;
+        scheduled.overlay = std::move(overlay);
         schedule.push_back(std::move(scheduled));
     }
     return schedule;

@@ -21,6 +21,7 @@
 // out bit-for-bit when the time axis is collapsed.
 #pragma once
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -88,6 +89,53 @@ private:
     std::vector<GlitchWindow> windows_;
 };
 
+/// Spatial coupling of a compiled glitch: which neurons the supply dip
+/// actually reaches. The paper's attacks hit whole layers uniformly (one
+/// shared rail); SpikeFI-style footprints localise the fault to a neuron
+/// subset — a separately-glitched power domain, or a stratified sample
+/// standing in for layout-dependent IR drop. A footprint compiles into
+/// per-neuron overlay ops (threshold shifts + per-neuron driver gains)
+/// instead of the uniform layer fault + network-wide gain.
+struct GlitchFootprint {
+    enum class Kind : std::uint8_t {
+        kWholeLayer,  ///< uniform: the paper's setting (and the default)
+        kNeurons,     ///< explicit neuron subset (same indices per layer)
+        kStratified,  ///< seeded stratified sample of a fraction
+    };
+
+    Kind kind = Kind::kWholeLayer;
+    /// Which layers' thresholds the dip reaches (driver ops always target
+    /// the excitatory layer — that is where the input drivers land).
+    TargetLayer layer = TargetLayer::kBoth;
+    std::vector<std::size_t> neurons;  ///< kNeurons subset (sorted, unique)
+    double fraction = 1.0;             ///< kStratified sampled fraction
+    std::uint64_t seed = 1;            ///< kStratified sampling stream
+
+    static GlitchFootprint whole_layer(TargetLayer layer = TargetLayer::kBoth);
+    static GlitchFootprint subset(std::vector<std::size_t> neurons,
+                                  TargetLayer layer = TargetLayer::kBoth);
+    /// One neuron drawn per contiguous stratum of the layer, so the
+    /// footprint spreads over the die instead of clustering (seeded,
+    /// deterministic).
+    static GlitchFootprint stratified(double fraction, std::uint64_t seed,
+                                      TargetLayer layer = TargetLayer::kBoth);
+
+    bool is_whole_layer() const noexcept { return kind == Kind::kWholeLayer; }
+    /// The uniform paper setting: whole layers, both of them — the only
+    /// footprint with a static whole-network FaultSpec form.
+    bool is_uniform() const noexcept {
+        return kind == Kind::kWholeLayer && layer == TargetLayer::kBoth;
+    }
+
+    /// The faulted neuron indices for a layer of `layer_size` neurons
+    /// (sorted; whole-layer resolves to every index). Throws
+    /// std::invalid_argument on out-of-range subsets or fractions.
+    std::vector<std::size_t> resolve(std::size_t layer_size) const;
+
+    /// Stable identity for cache keys ("whole", "sub:1+5+9", "strat:0.25@7").
+    std::string fingerprint() const;
+};
+
 /// One compiled schedule segment on the step axis.
 struct GlitchSegment {
     std::size_t begin_step = 0;
@@ -107,7 +155,12 @@ public:
 
     const snn::DiehlCookConfig& config() const noexcept { return config_; }
 
-    /// The merged step-axis segments (identity segments dropped).
+    /// The merged step-axis segments (identity segments dropped). Windows
+    /// that round to less than one step but carry a real fault clamp to a
+    /// one-step segment (a narrow-but-deep paper glitch must not compile
+    /// to nothing), and end steps clamp to steps_per_sample so float
+    /// error in a characterised window can never produce a segment past
+    /// the sample.
     std::vector<GlitchSegment> segments(const GlitchProfile& profile) const;
 
     /// The full compilation: each segment's overlay is built through the
@@ -116,6 +169,14 @@ public:
     /// overlay of the equivalent FaultSpec.
     snn::OverlaySchedule compile(
         const GlitchProfile& profile,
+        ThresholdSemantics semantics = ThresholdSemantics::kBindsNetValue) const;
+
+    /// Spatially-coupled compilation: a whole-layer footprint routes
+    /// through the uniform path above (bit-identical), any other
+    /// footprint emits per-neuron threshold ops on the footprint subset
+    /// and per-neuron driver gains instead of the network-wide gain.
+    snn::OverlaySchedule compile(
+        const GlitchProfile& profile, const GlitchFootprint& footprint,
         ThresholdSemantics semantics = ThresholdSemantics::kBindsNetValue) const;
 
 private:

@@ -1,5 +1,6 @@
 #include "attack/scenarios.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 #include "snn/classifier.hpp"
@@ -94,6 +95,73 @@ AttackOutcome AttackSuite::evaluate_inference_only(const FaultSpec& fault) {
     outcome.retro_accuracy = outcome.accuracy;
     outcome.exc_spikes_per_sample = exc_spikes / static_cast<double>(dataset_.size());
     return outcome;
+}
+
+AttackOutcome AttackSuite::evaluate_scheduled(const ScheduledTrainingSpec& spec) {
+    if (spec.sample_begin < 0.0 || spec.sample_end > 1.0 ||
+        spec.sample_begin >= spec.sample_end)
+        throw std::invalid_argument(
+            "AttackSuite: scheduled training window outside [0, 1]");
+    const auto n = static_cast<double>(dataset_.size());
+    auto begin = static_cast<std::size_t>(spec.sample_begin * n + 0.5);
+    auto end = static_cast<std::size_t>(spec.sample_end * n + 0.5);
+    if (begin >= end) {
+        // A non-empty fractional window must glitch at least one sample —
+        // the sample-axis twin of the compiler's one-step clamp (a narrow
+        // window must not silently train glitch-free).
+        begin = std::min(begin, dataset_.size() - 1);
+        end = begin + 1;
+    }
+
+    snn::NetworkRuntime runtime(seed_model());
+    snn::Trainer trainer(runtime, config_.eval_window);
+    // The hook installs/retracts the schedule at the window's sample
+    // boundaries; inside the window every sample runs STDP under the
+    // glitch's step-axis segments.
+    bool installed = false;
+    const snn::TrainResult result = trainer.run(
+        dataset_, nullptr, [&](std::size_t index) {
+            const bool inside = index >= begin && index < end;
+            if (inside && !installed) {
+                runtime.set_schedule(spec.schedule);
+                installed = true;
+            } else if (!inside && installed) {
+                runtime.set_schedule({});
+                installed = false;
+            }
+        });
+
+    AttackOutcome outcome;
+    outcome.accuracy = result.train_accuracy;
+    outcome.retro_accuracy = result.retro_accuracy;
+    outcome.exc_spikes_per_sample = result.mean_exc_spikes_per_sample;
+    return outcome;
+}
+
+AttackOutcome AttackSuite::run_scheduled(const ScheduledTrainingSpec& spec) {
+    const double base = baseline_accuracy();
+    AttackOutcome outcome = evaluate_scheduled(spec);
+    outcome.degradation_pct =
+        base > 0.0 ? util::percent_change(outcome.accuracy, base) : 0.0;
+    return outcome;
+}
+
+std::vector<AttackOutcome> AttackSuite::run_scheduled_many(
+    const std::vector<ScheduledTrainingSpec>& specs) {
+    const double base = baseline_accuracy();  // compute before forking workers
+    std::vector<AttackOutcome> outcomes(specs.size());
+    const auto evaluate_point = [&](std::size_t index) {
+        outcomes[index] = evaluate_scheduled(specs[index]);
+        outcomes[index].degradation_pct =
+            base > 0.0 ? util::percent_change(outcomes[index].accuracy, base) : 0.0;
+    };
+    if (pool_) {
+        pool_->parallel_for(specs.size(), evaluate_point);
+    } else {
+        util::ThreadPool local(config_.max_workers);
+        local.parallel_for(specs.size(), evaluate_point);
+    }
+    return outcomes;
 }
 
 AttackOutcome AttackSuite::run(const FaultSpec& fault) {

@@ -20,6 +20,7 @@
 #include "attack/calibration.hpp"
 #include "attack/fault_model.hpp"
 #include "snn/model.hpp"
+#include "snn/overlay.hpp"
 #include "snn/trainer.hpp"
 #include "util/thread_pool.hpp"
 
@@ -43,6 +44,21 @@ struct AttackOutcome {
     double retro_accuracy = 0.0;
     double degradation_pct = 0.0;  ///< relative to baseline (paper convention)
     double exc_spikes_per_sample = 0.0;
+};
+
+/// A training-time glitch: a per-sample step-axis fault schedule applied
+/// while STDP is learning, over a window of the training pass. The paper's
+/// high-leverage threat model — a transient supply dip that corrupts
+/// crucial training parameters and persists after the rail recovers.
+struct ScheduledTrainingSpec {
+    snn::OverlaySchedule schedule;
+    /// The glitched slice of the training pass, as fractions of the
+    /// sample stream: the schedule is installed for samples in
+    /// [sample_begin, sample_end) and retracted outside. [0, 1) hits the
+    /// whole pass — with a full-range constant schedule that is exactly
+    /// the static train-under-fault path, bit for bit.
+    double sample_begin = 0.0;
+    double sample_end = 1.0;
 };
 
 class AttackSuite {
@@ -69,6 +85,15 @@ public:
     /// index-addressed, so the output is identical for any worker count.
     std::vector<AttackOutcome> run_many(const std::vector<FaultSpec>& faults);
 
+    /// Trains one replica from the shared seed model with `spec.schedule`
+    /// installed for the glitched sample window — STDP runs under the
+    /// mid-epoch glitch, inference outside the window is clean.
+    AttackOutcome run_scheduled(const ScheduledTrainingSpec& spec);
+    /// Parallel form of run_scheduled (index-addressed, worker-count
+    /// independent, like run_many).
+    std::vector<AttackOutcome> run_scheduled_many(
+        const std::vector<ScheduledTrainingSpec>& specs);
+
     /// Shares an external worker pool (e.g. a core::Session's) instead of
     /// this suite building its own per run_many call. The pool must outlive
     /// the suite; pass nullptr to detach.
@@ -90,6 +115,7 @@ public:
 private:
     AttackOutcome evaluate(const FaultSpec& fault);
     AttackOutcome evaluate_inference_only(const FaultSpec& fault);
+    AttackOutcome evaluate_scheduled(const ScheduledTrainingSpec& spec);
     /// The shared untrained model every sweep point trains from (same
     /// random init + RNG stream as the legacy per-point construction).
     const std::shared_ptr<const snn::NetworkModel>& seed_model();

@@ -53,6 +53,33 @@ const char* to_string(NeuronKind kind) {
     return kind == NeuronKind::kAxonHillock ? "AxonHillock" : "VampIF";
 }
 
+GlitchPreset GlitchPreset::axon_hillock() {
+    GlitchPreset preset;
+    preset.name = "axon_hillock";
+    preset.kind = NeuronKind::kAxonHillock;
+    return preset;  // the CharacterizationConfig defaults ARE the AH preset
+}
+
+GlitchPreset GlitchPreset::vamp_if() {
+    GlitchPreset preset;
+    preset.name = "vamp_if";
+    preset.kind = NeuronKind::kVampIf;
+    // The IF neuron's effective time-to-spike (refractory included) runs
+    // hundreds of microseconds; realise the attacked window over 200 us so
+    // a fractional glitch spans several spike periods, at the same
+    // 1000-sample transient resolution as the AH preset.
+    preset.config.glitch_window = 200e-6;
+    preset.config.glitch_dt = 200e-9;
+    return preset;
+}
+
+std::string GlitchPreset::cache_key() const {
+    std::ostringstream os;
+    os << "preset=" << name << "|neuron=" << to_string(kind) << "|"
+       << config.cache_key();
+    return os.str();
+}
+
 Characterizer::Characterizer(CharacterizationConfig config)
     : config_(std::move(config)) {}
 

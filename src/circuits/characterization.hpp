@@ -54,6 +54,31 @@ struct CharacterizationConfig {
     std::string cache_key() const;
 };
 
+/// A named glitch-characterisation preset: the neuron kind whose driver
+/// and threshold the glitch is measured against, plus the transient
+/// realisation parameters tuned to that neuron's timescale. The Session
+/// caches each preset's sweeps and profiles under the preset's own config
+/// hash, so AxonHillock and VampIF characterisations never alias.
+struct GlitchPreset {
+    std::string name;  ///< stable display/cache id, e.g. "vamp_if"
+    NeuronKind kind = NeuronKind::kAxonHillock;
+    CharacterizationConfig config;
+
+    /// The default preset: the paper's Axon Hillock neuron on the 40 us
+    /// glitch window the CharacterizationConfig defaults describe.
+    static GlitchPreset axon_hillock();
+    /// The van Schaik voltage-amplifier I&F neuron: its VDD-divided
+    /// explicit threshold is the attack surface the paper studies, and
+    /// its spike period (refractory included) is ~200x slower than the
+    /// AH, so the glitch window is realised over 200 us at a matching
+    /// transient step (same 1000-sample resolution).
+    static GlitchPreset vamp_if();
+
+    /// Preset identity for the Session artifact cache: name + neuron kind
+    /// + the full characterisation config hash.
+    std::string cache_key() const;
+};
+
 class Characterizer {
 public:
     explicit Characterizer(CharacterizationConfig config = {});

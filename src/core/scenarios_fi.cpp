@@ -223,16 +223,48 @@ ScenarioSpec drift_driver_gain_spec() {
 // hand-coded; depth/width/onset only parameterise the waveform.
 
 /// Resolves one waveform spec into a campaign glitch cell through the
-/// Session's cached transient characterisation.
-fi::GlitchCellSpec glitch_cell(Session& session, const circuits::GlitchSpec& spec,
-                               bool quick) {
+/// Session's cached transient characterisation of the given preset
+/// (AxonHillock by default; the VampIF preset measures the same waveform
+/// against the van Schaik neuron on its own transient window).
+fi::GlitchCellSpec glitch_cell(
+    Session& session, const circuits::GlitchSpec& spec, bool quick,
+    const circuits::GlitchPreset& preset = circuits::GlitchPreset::axon_hillock()) {
     const std::size_t windows = quick ? 8 : 16;
     fi::GlitchCellSpec cell;
-    cell.id = spec.id();
+    cell.id = preset.name == "axon_hillock" ? spec.id()
+                                            : preset.name + ":" + spec.id();
     cell.severity = spec.depth_vdd;
-    cell.profile = *session.glitch_profile(
-        spec, circuits::NeuronKind::kAxonHillock, windows);
+    cell.profile = *session.glitch_profile(spec, preset, windows);
     return cell;
+}
+
+/// Train-mode variant: the same characterised cell, applied while STDP is
+/// learning over [begin, end) of the training pass.
+fi::GlitchCellSpec train_glitch_cell(Session& session,
+                                     const circuits::GlitchSpec& spec, bool quick,
+                                     double begin, double end) {
+    fi::GlitchCellSpec cell = glitch_cell(session, spec, quick);
+    cell.train = true;
+    cell.train_begin = begin;
+    cell.train_end = end;
+    return cell;
+}
+
+/// The paper-depth-axis waveforms: one mid-sample rect dip per non-nominal
+/// point of the paper's VDD grid. Shared by the inference (fi.glitch.depth)
+/// and training-time (fi.glitch.train.depth) depth sweeps so the two
+/// scenarios can never drift onto different operating points.
+std::vector<circuits::GlitchSpec> depth_axis_specs(bool quick) {
+    std::vector<circuits::GlitchSpec> specs;
+    for (const double vdd : paper_vdd_grid(quick)) {
+        if (vdd == 1.0) continue;  // nominal rail: no glitch
+        circuits::GlitchSpec glitch;
+        glitch.depth_vdd = vdd;
+        glitch.onset = 0.25;
+        glitch.width = 0.25;
+        specs.push_back(glitch);
+    }
+    return specs;
 }
 
 fi::CampaignConfig glitch_campaign(std::vector<fi::GlitchCellSpec> cells,
@@ -278,14 +310,8 @@ ScenarioSpec glitch_depth_spec() {
                   "threshold/driver severities come from the characterizer."};
     spec.custom_run = [](Session& session, const RunOptions& options) {
         std::vector<fi::GlitchCellSpec> cells;
-        for (const double vdd : paper_vdd_grid(options.quick)) {
-            if (vdd == 1.0) continue;  // nominal rail: no glitch
-            circuits::GlitchSpec glitch;
-            glitch.depth_vdd = vdd;
-            glitch.onset = 0.25;
-            glitch.width = 0.25;
+        for (const circuits::GlitchSpec& glitch : depth_axis_specs(options.quick))
             cells.push_back(glitch_cell(session, glitch, options.quick));
-        }
         return campaign_detail(
             session, glitch_campaign(std::move(cells), options.quick),
             "FI glitch depth — rect glitch severity swept over the VDD grid");
@@ -379,6 +405,170 @@ ScenarioSpec glitch_shape_spec() {
     return spec;
 }
 
+// ----------------------------------------------------------- glitch.train
+// Training-time glitches: the compiled schedule runs while STDP is
+// learning (the paper's training-corruption threat model), so the damage
+// persists after the supply recovers. Constant profiles over the full
+// pass reproduce the static train-under-fault path bit-for-bit
+// (regression-pinned against fig7b in tests/fi).
+
+ScenarioSpec glitch_train_smoke_spec() {
+    ScenarioSpec spec;
+    spec.id = "fi.glitch.train.smoke";
+    spec.title = "FI glitch train smoke — mid-epoch rect glitch under STDP";
+    spec.description = "Minimal training-time glitch campaign for CI";
+    spec.tags = {"fi", "glitch", "train", "smoke"};
+    spec.paper_order = 365;
+    spec.notes = {"The dip lands on the middle half of the training pass; "
+                  "STDP runs under the scheduled fault, so the accuracy "
+                  "damage persists after the rail recovers."};
+    spec.custom_run = [](Session& session, const RunOptions& options) {
+        circuits::GlitchSpec glitch;
+        glitch.depth_vdd = 0.8;
+        glitch.onset = 0.25;
+        glitch.width = 0.25;
+        return campaign_detail(
+            session,
+            glitch_campaign({train_glitch_cell(session, glitch, options.quick,
+                                               0.25, 0.75)},
+                            options.quick),
+            "FI glitch train smoke — mid-epoch rect glitch under STDP");
+    };
+    return spec;
+}
+
+ScenarioSpec glitch_train_depth_spec() {
+    ScenarioSpec spec;
+    spec.id = "fi.glitch.train.depth";
+    spec.title = "FI glitch train depth — mid-epoch dip severity over the VDD grid";
+    spec.description = "Training-time glitch depth axis";
+    spec.tags = {"fi", "glitch", "train"};
+    spec.paper_order = 366;
+    spec.notes = {"Deeper dips corrupt the STDP updates harder: the "
+                  "accuracy drop is monotone in glitch depth (tested)."};
+    spec.custom_run = [](Session& session, const RunOptions& options) {
+        std::vector<fi::GlitchCellSpec> cells;
+        for (const circuits::GlitchSpec& glitch : depth_axis_specs(options.quick))
+            cells.push_back(
+                train_glitch_cell(session, glitch, options.quick, 0.25, 0.75));
+        return campaign_detail(
+            session, glitch_campaign(std::move(cells), options.quick),
+            "FI glitch train depth — mid-epoch dip severity over the VDD grid");
+    };
+    return spec;
+}
+
+ScenarioSpec glitch_train_window_spec() {
+    ScenarioSpec spec;
+    spec.id = "fi.glitch.train.window";
+    spec.title = "FI glitch train window — when in the pass the glitch lands";
+    spec.description = "Training-time glitch sample-window axis";
+    spec.tags = {"fi", "glitch", "train"};
+    spec.paper_order = 367;
+    spec.notes = {"The full-pass window is the persistent-supply-fault "
+                  "limit; partial windows measure how much of the damage "
+                  "STDP repairs once the rail recovers."};
+    spec.custom_run = [](Session& session, const RunOptions& options) {
+        const std::vector<std::pair<double, double>> windows =
+            options.quick
+                ? std::vector<std::pair<double, double>>{{0.25, 0.75}, {0.0, 1.0}}
+                : std::vector<std::pair<double, double>>{
+                      {0.0, 0.5}, {0.25, 0.75}, {0.5, 1.0}, {0.0, 1.0}};
+        circuits::GlitchSpec glitch;
+        glitch.depth_vdd = 0.8;
+        glitch.onset = 0.25;
+        glitch.width = 0.25;
+        std::vector<fi::GlitchCellSpec> cells;
+        for (const auto& [begin, end] : windows) {
+            fi::GlitchCellSpec cell =
+                train_glitch_cell(session, glitch, options.quick, begin, end);
+            std::ostringstream id;
+            id << cell.id << ":t" << begin << "-" << end;
+            cell.id = id.str();
+            cells.push_back(std::move(cell));
+        }
+        return campaign_detail(
+            session, glitch_campaign(std::move(cells), options.quick),
+            "FI glitch train window — when in the pass the glitch lands");
+    };
+    return spec;
+}
+
+// ------------------------------------------------------ glitch.footprint
+// Spatial coupling: the same supply dip reaching the whole layer, a
+// stratified half, or a stratified quarter of the neurons (separately
+// glitched power domains / layout-dependent IR drop).
+
+ScenarioSpec glitch_footprint_spec() {
+    ScenarioSpec spec;
+    spec.id = "fi.glitch.footprint";
+    spec.title = "FI glitch footprint — whole-layer vs per-neuron coupling";
+    spec.description = "Glitch spatial-coupling axis";
+    spec.tags = {"fi", "glitch"};
+    spec.paper_order = 368;
+    spec.notes = {"Whole-layer is the paper's uniform setting; fractional "
+                  "footprints compile to per-neuron threshold and driver "
+                  "ops on a seeded stratified neuron sample."};
+    spec.custom_run = [](Session& session, const RunOptions& options) {
+        circuits::GlitchSpec glitch;
+        glitch.depth_vdd = 0.8;
+        glitch.onset = 0.25;
+        glitch.width = 0.25;
+        const fi::GlitchCellSpec base = glitch_cell(session, glitch, options.quick);
+        const std::vector<double> fractions =
+            options.quick ? std::vector<double>{1.0, 0.5}
+                          : std::vector<double>{1.0, 0.5, 0.25};
+        std::vector<fi::GlitchCellSpec> cells;
+        for (const double fraction : fractions) {
+            fi::GlitchCellSpec cell = base;
+            std::ostringstream id;
+            if (fraction >= 1.0) {
+                id << cell.id << ":fp_whole";
+            } else {
+                cell.footprint = attack::GlitchFootprint::stratified(fraction, 17);
+                id << cell.id << ":fp" << fraction;
+            }
+            cell.id = id.str();
+            cells.push_back(std::move(cell));
+        }
+        return campaign_detail(
+            session, glitch_campaign(std::move(cells), options.quick),
+            "FI glitch footprint — whole-layer vs per-neuron coupling");
+    };
+    return spec;
+}
+
+// ----------------------------------------------------------- glitch.vamp
+// The VampIF characterisation preset: the same waveform measured against
+// the van Schaik I&F neuron (VDD-divided threshold — the attack surface
+// the paper studies) on its own transient window, cached in the Session
+// under the preset's config hash.
+
+ScenarioSpec glitch_vamp_spec() {
+    ScenarioSpec spec;
+    spec.id = "fi.glitch.vamp";
+    spec.title = "FI glitch VampIF — rect glitch through the VampIF preset";
+    spec.description = "VampIF glitch characterisation preset";
+    spec.tags = {"fi", "glitch"};
+    spec.paper_order = 369;
+    spec.notes = {"Severities come from the VampIF preset: threshold dips "
+                  "track the VDD divider directly, unlike the AH inverter "
+                  "switching point."};
+    spec.custom_run = [](Session& session, const RunOptions& options) {
+        circuits::GlitchSpec glitch;
+        glitch.depth_vdd = 0.8;
+        glitch.onset = 0.25;
+        glitch.width = 0.25;
+        return campaign_detail(
+            session,
+            glitch_campaign({glitch_cell(session, glitch, options.quick,
+                                         circuits::GlitchPreset::vamp_if())},
+                            options.quick),
+            "FI glitch VampIF — rect glitch through the VampIF preset");
+    };
+    return spec;
+}
+
 const ScenarioRegistrar registrar_fi_smoke{smoke_spec()};
 const ScenarioRegistrar registrar_fi_quick_sweep{quick_sweep_spec()};
 const ScenarioRegistrar registrar_fi_sensitivity{sensitivity_spec()};
@@ -391,6 +581,11 @@ const ScenarioRegistrar registrar_fi_glitch_depth{glitch_depth_spec()};
 const ScenarioRegistrar registrar_fi_glitch_width{glitch_width_spec()};
 const ScenarioRegistrar registrar_fi_glitch_onset{glitch_onset_spec()};
 const ScenarioRegistrar registrar_fi_glitch_shape{glitch_shape_spec()};
+const ScenarioRegistrar registrar_fi_glitch_train_smoke{glitch_train_smoke_spec()};
+const ScenarioRegistrar registrar_fi_glitch_train_depth{glitch_train_depth_spec()};
+const ScenarioRegistrar registrar_fi_glitch_train_window{glitch_train_window_spec()};
+const ScenarioRegistrar registrar_fi_glitch_footprint{glitch_footprint_spec()};
+const ScenarioRegistrar registrar_fi_glitch_vamp{glitch_vamp_spec()};
 
 }  // namespace
 }  // namespace snnfi::core

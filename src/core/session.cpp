@@ -95,7 +95,11 @@ std::string grid_key(const std::vector<double>& values) {
 }  // namespace
 
 std::shared_ptr<const circuits::Characterizer> Session::characterizer() {
-    const circuits::CharacterizationConfig config{};
+    return characterizer(circuits::CharacterizationConfig{});
+}
+
+std::shared_ptr<const circuits::Characterizer> Session::characterizer(
+    const circuits::CharacterizationConfig& config) {
     auto artifact = cached("characterizer|" + config.cache_key(),
                            [&]() -> std::shared_ptr<void> {
                                return std::make_shared<circuits::Characterizer>(config);
@@ -159,14 +163,27 @@ std::shared_ptr<const std::vector<circuits::VddPoint>> Session::time_to_spike_sw
 std::shared_ptr<const attack::GlitchProfile> Session::glitch_profile(
     const circuits::GlitchSpec& spec, circuits::NeuronKind kind,
     std::size_t n_windows) {
-    auto characterizer = this->characterizer();
+    // Forward to the preset form so both overloads share one cache entry
+    // per (preset, spec, windows).
+    return glitch_profile(spec,
+                          kind == circuits::NeuronKind::kVampIf
+                              ? circuits::GlitchPreset::vamp_if()
+                              : circuits::GlitchPreset::axon_hillock(),
+                          n_windows);
+}
+
+std::shared_ptr<const attack::GlitchProfile> Session::glitch_profile(
+    const circuits::GlitchSpec& spec, const circuits::GlitchPreset& preset,
+    std::size_t n_windows) {
+    auto characterizer = this->characterizer(preset.config);
     std::ostringstream key;
-    key << "glitch_profile|" << characterizer->config().cache_key() << "|"
-        << spec.id() << "|" << circuits::to_string(kind) << "|w=" << n_windows;
+    key << "glitch_profile|" << preset.cache_key() << "|" << spec.id()
+        << "|w=" << n_windows;
     return artifact<attack::GlitchProfile>(key.str(), [&] {
         return std::make_shared<attack::GlitchProfile>(
             attack::GlitchProfile::from_characterization(
-                characterizer->characterize_glitch(kind, spec, n_windows, &pool_)));
+                characterizer->characterize_glitch(preset.kind, spec, n_windows,
+                                                   &pool_)));
     });
 }
 

@@ -56,6 +56,10 @@ public:
     std::shared_ptr<const snn::Dataset> dataset(std::size_t samples,
                                                 std::uint64_t seed);
     std::shared_ptr<const circuits::Characterizer> characterizer();
+    /// Characterizer over an explicit config (cached under its hash) —
+    /// glitch presets (e.g. the VampIF transient window) resolve here.
+    std::shared_ptr<const circuits::Characterizer> characterizer(
+        const circuits::CharacterizationConfig& config);
     std::shared_ptr<const attack::VddCalibration> calibration(
         circuits::NeuronKind kind);
 
@@ -74,9 +78,17 @@ public:
     /// transiently (per-window driver + threshold measurements over the
     /// session pool) and expresses it as an attack::GlitchProfile — the
     /// severity source of the fi.glitch.* scenarios (no hand-coded
-    /// tables).
+    /// tables). The NeuronKind form forwards to the kind's default
+    /// GlitchPreset, so both overloads share one cache entry.
     std::shared_ptr<const attack::GlitchProfile> glitch_profile(
         const circuits::GlitchSpec& spec, circuits::NeuronKind kind,
+        std::size_t n_windows);
+    /// Preset form: characterises through the preset's own Characterizer
+    /// config (e.g. the VampIF transient window) and caches under the
+    /// preset's config hash, so AxonHillock and VampIF profiles of the
+    /// same waveform never alias.
+    std::shared_ptr<const attack::GlitchProfile> glitch_profile(
+        const circuits::GlitchSpec& spec, const circuits::GlitchPreset& preset,
         std::size_t n_windows);
     /// Suite over the session workload (spec-less form uses the defaults).
     /// Suites share the session pool; their trained baseline is part of the

@@ -56,7 +56,11 @@ std::string CampaignConfig::cache_key() const {
     os << "|glitches=";
     for (const auto& glitch : glitches) {
         os << glitch.id << "@" << glitch.severity << "{"
-           << glitch.profile.fingerprint() << "}+";
+           << glitch.profile.fingerprint() << "}["
+           << glitch.footprint.fingerprint() << "]";
+        if (glitch.train)
+            os << "!train:" << glitch.train_begin << "-" << glitch.train_end;
+        os << "+";
     }
     os << "|layers=";
     for (const auto layer : sites.layers) os << attack::to_string(layer) << "+";
@@ -77,8 +81,9 @@ util::ResultTable CampaignResult::detail_table(const std::string& title) const {
                        static_cast<double>(cell.replicas), cell.accuracy_pct,
                        cell.drop_pct, cell.ci_halfwidth_pct, yes_no(cell.critical),
                        yes_no(cell.early_stopped),
-                       std::string(cell.trained ? "train"
-                                                : (cell.scheduled ? "sched" : "infer"))});
+                       std::string(cell.trained
+                                       ? (cell.scheduled ? "train+sched" : "train")
+                                       : (cell.scheduled ? "sched" : "infer"))});
     }
     return table;
 }
@@ -224,20 +229,33 @@ CampaignResult CampaignEngine::execute() {
     }
 
     // --- glitch cells: compiled time-resolved profiles ------------------
-    // Constant profiles collapse onto the exact static train-under-fault
-    // path (they ARE the paper's attacks); time-localised profiles become
-    // scheduled overlays evaluated at inference on the trained baseline.
+    // Uniform constant profiles collapse onto the exact static
+    // train-under-fault path (they ARE the paper's attacks); time-localised
+    // profiles become scheduled overlays evaluated at inference on the
+    // trained baseline; train-mode cells run STDP under the compiled
+    // schedule for their window of the training pass.
     const attack::GlitchCompiler compiler(network_config);
     std::vector<snn::OverlaySchedule> schedules;
     std::vector<std::size_t> scheduled_cells;
+    std::vector<std::size_t> train_sched_cells;
+    std::vector<attack::ScheduledTrainingSpec> train_sched_specs;
     for (const GlitchCellSpec& glitch : config_.glitches) {
         CellResult cell;
         cell.model = "vdd_glitch";
         cell.site.kind = SiteKind::kParameter;
-        cell.site.layer = attack::TargetLayer::kBoth;
+        cell.site.layer = glitch.footprint.layer;
         cell.label = glitch.id;
         cell.severity = glitch.severity;
-        if (glitch.profile.is_constant()) {
+        if (glitch.train) {
+            cell.trained = true;
+            cell.scheduled = true;
+            train_sched_cells.push_back(result.cells.size());
+            attack::ScheduledTrainingSpec spec;
+            spec.schedule = compiler.compile(glitch.profile, glitch.footprint);
+            spec.sample_begin = glitch.train_begin;
+            spec.sample_end = glitch.train_end;
+            train_sched_specs.push_back(std::move(spec));
+        } else if (glitch.profile.is_constant() && glitch.footprint.is_uniform()) {
             cell.trained = true;
             training_cells.push_back(result.cells.size());
             training_specs.push_back(glitch.profile.to_fault_spec());
@@ -246,7 +264,8 @@ CampaignResult CampaignEngine::execute() {
             scheduled_cells.push_back(result.cells.size());
             inference_cells.push_back(result.cells.size());
             schedules.resize(result.cells.size() + 1);
-            schedules[result.cells.size()] = compiler.compile(glitch.profile);
+            schedules[result.cells.size()] =
+                compiler.compile(glitch.profile, glitch.footprint);
         }
         result.cells.push_back(std::move(cell));
         cell_model.push_back(nullptr);
@@ -265,6 +284,20 @@ CampaignResult CampaignEngine::execute() {
             cell.critical = cell.drop_pct > config_.critical_drop_pct;
         }
         result.trainings = training_cells.size();
+    }
+
+    // --- train-mode glitch cells: STDP under the mid-epoch schedule -----
+    if (!train_sched_cells.empty()) {
+        const std::vector<attack::AttackOutcome> outcomes =
+            suite->run_scheduled_many(train_sched_specs);
+        for (std::size_t f = 0; f < train_sched_cells.size(); ++f) {
+            CellResult& cell = result.cells[train_sched_cells[f]];
+            cell.replicas = 1;
+            cell.accuracy_pct = outcomes[f].accuracy * 100.0;
+            cell.drop_pct = baseline_pct - cell.accuracy_pct;
+            cell.critical = cell.drop_pct > config_.critical_drop_pct;
+        }
+        result.trainings += train_sched_cells.size();
     }
 
     // --- behavioural models: batched Model/Runtime inference path -------

@@ -59,15 +59,28 @@ struct EarlyStopPolicy {
 
 /// One planned transient-glitch cell: a resolved time-resolved profile
 /// (typically from circuit characterisation through the Session cache)
-/// plus its stable display/cache id. Constant profiles route through the
-/// static train-under-fault path — the degenerate case that reproduces the
-/// paper's attacks bit-for-bit; time-localised profiles compile into
-/// scheduled overlays applied at inference over the trained baseline (the
-/// externally-triggered threat model).
+/// plus its stable display/cache id. Uniform constant profiles route
+/// through the static train-under-fault path — the degenerate case that
+/// reproduces the paper's attacks bit-for-bit; time-localised profiles
+/// compile into scheduled overlays applied at inference over the trained
+/// baseline (the externally-triggered threat model); train-mode cells run
+/// STDP under the compiled schedule for a window of the training pass
+/// (the paper's training-corruption threat model — the damage persists
+/// after the rail recovers).
 struct GlitchCellSpec {
     std::string id;                 ///< e.g. "rect:d0.8:o0.25:w0.25"
     attack::GlitchProfile profile;
     double severity = 0.0;          ///< depth VDD (or 0 for custom profiles)
+    /// Spatial coupling: which neurons the dip reaches. The uniform
+    /// default reproduces the paper's whole-layer attacks.
+    attack::GlitchFootprint footprint;
+    /// Train-mode: apply the compiled schedule while STDP is learning.
+    bool train = false;
+    /// The glitched slice of the training pass (fractions of the sample
+    /// stream). [0, 1) with a constant profile is bit-for-bit the static
+    /// train-under-fault path (fig7b-pinned).
+    double train_begin = 0.0;
+    double train_end = 1.0;
 };
 
 struct CampaignConfig {

@@ -53,6 +53,13 @@ FaultOverlay& FaultOverlay::scale_input_gain(OverlayLayer layer,
     return add_neuron_ops(layer, neurons, NeuronOp::Field::kInputGain, gain);
 }
 
+FaultOverlay& FaultOverlay::scale_driver_gain(std::span<const std::size_t> neurons,
+                                              float gain) {
+    // Input current drivers feed the excitatory layer only.
+    return add_neuron_ops(OverlayLayer::kExcitatory, neurons,
+                          NeuronOp::Field::kDriverGain, gain);
+}
+
 FaultOverlay& FaultOverlay::force_state(OverlayLayer layer,
                                         std::span<const std::size_t> neurons,
                                         NeuronFault state) {

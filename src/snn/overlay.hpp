@@ -48,6 +48,7 @@ struct NeuronOp {
         kInputGain,            ///< value = synaptic drive gain
         kForcedState,          ///< value = NeuronFault enum (as float)
         kRefractoryOverride,   ///< value = refractory steps (>= 0)
+        kDriverGain,           ///< value = per-neuron feedforward drive gain
     };
     OverlayLayer layer = OverlayLayer::kExcitatory;
     std::uint32_t neuron = 0;
@@ -66,6 +67,8 @@ struct WeightOp {
     Kind kind = Kind::kSet;
     float value = 0.0f;
     std::uint32_t bits = 0;
+
+    friend bool operator==(const WeightOp&, const WeightOp&) = default;
 };
 
 class FaultOverlay {
@@ -82,6 +85,13 @@ public:
                                         float delta);
     FaultOverlay& scale_input_gain(OverlayLayer layer,
                                    std::span<const std::size_t> neurons, float gain);
+    /// Per-neuron corruption of the input current drivers: scales only the
+    /// feedforward drive of the selected excitatory neurons (lateral
+    /// inhibition is untouched), exactly like the network-wide
+    /// set_driver_gain but spatially localised. The glitch-footprint
+    /// compiler emits these when a supply dip reaches a neuron subset
+    /// instead of the whole layer.
+    FaultOverlay& scale_driver_gain(std::span<const std::size_t> neurons, float gain);
     FaultOverlay& force_state(OverlayLayer layer,
                               std::span<const std::size_t> neurons, NeuronFault state);
     FaultOverlay& override_refractory(OverlayLayer layer,

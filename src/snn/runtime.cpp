@@ -19,6 +19,7 @@ void NetworkRuntime::LayerState::init(std::size_t n, const LifParams& params) {
     refrac.assign(n, 0);
     thresh_scale.assign(n, 1.0f);
     input_gain.assign(n, 1.0f);
+    drive_gain.assign(n, 1.0f);
     forced.assign(n, kNominal);
     refrac_override.assign(n, -1);
 }
@@ -31,6 +32,7 @@ void NetworkRuntime::LayerState::reset_dynamic(const LifParams& params) {
 void NetworkRuntime::LayerState::reset_faults() {
     std::fill(thresh_scale.begin(), thresh_scale.end(), 1.0f);
     std::fill(input_gain.begin(), input_gain.end(), 1.0f);
+    std::fill(drive_gain.begin(), drive_gain.end(), 1.0f);
     std::fill(forced.begin(), forced.end(), kNominal);
     std::fill(refrac_override.begin(), refrac_override.end(), -1);
 }
@@ -58,30 +60,10 @@ NetworkRuntime::NetworkRuntime(std::shared_ptr<const NetworkModel> model,
 
 void NetworkRuntime::set_overlay(const FaultOverlay& overlay) {
     overlay_ = overlay;
-    if (learned_) {
-        driver_gain_ = overlay_.has_driver_gain() ? overlay_.driver_gain() : 1.0f;
-        exc_.reset_faults();
-        inh_.reset_faults();
-        apply_overlay_ops(overlay_);
-        // Learning mode owns the matrix: patches land in place (and are
-        // not reverted by a later set_overlay — documented).
-        for (const WeightOp& op : overlay_.weight_ops()) {
-            float& w = learned_->weights().at(op.pre, op.post);
-            if (op.kind == WeightOp::Kind::kSet) {
-                w = op.value;
-            } else {
-                w = xor_weight_bits(w, op.bits);
-            }
-        }
-    } else {
-        apply_effective_overlay(overlay_);
-    }
+    apply_effective_overlay(overlay_);
 }
 
 void NetworkRuntime::set_schedule(OverlaySchedule schedule) {
-    if (learned_)
-        throw std::logic_error(
-            "NetworkRuntime: schedules are inference-only (learning runtime)");
     for (std::size_t s = 0; s < schedule.size(); ++s) {
         if (schedule[s].begin_step >= schedule[s].end_step)
             throw std::invalid_argument("NetworkRuntime: empty schedule segment");
@@ -95,12 +77,23 @@ void NetworkRuntime::set_schedule(OverlaySchedule schedule) {
     apply_effective_overlay(overlay_);
 }
 
+FaultOverlay NetworkRuntime::current_effective_overlay() const {
+    if (segment_active_)
+        return FaultOverlay::compose(overlay_, schedule_[schedule_pos_].overlay);
+    return overlay_;
+}
+
 void NetworkRuntime::apply_effective_overlay(const FaultOverlay& effective) {
     driver_gain_ = effective.has_driver_gain() ? effective.driver_gain() : 1.0f;
     exc_.reset_faults();
     inh_.reset_faults();
+    drive_gain_active_ = false;
     apply_overlay_ops(effective);
-    rebuild_weight_patches(effective);
+    if (learned_) {
+        apply_weight_ops_learning(effective);
+    } else {
+        rebuild_weight_patches(effective);
+    }
 }
 
 void NetworkRuntime::advance_schedule(std::size_t step) {
@@ -157,8 +150,89 @@ void NetworkRuntime::apply_overlay_ops(const FaultOverlay& effective) {
             case NeuronOp::Field::kRefractoryOverride:
                 layer.refrac_override[op.neuron] = static_cast<std::int32_t>(op.value);
                 break;
+            case NeuronOp::Field::kDriverGain:
+                layer.drive_gain[op.neuron] = op.value;
+                drive_gain_active_ = true;
+                break;
         }
     }
+}
+
+void NetworkRuntime::apply_weight_ops_learning(const FaultOverlay& effective) {
+    Matrix& weights = learned_->weights();
+    const auto ops = effective.weight_ops();
+    if (std::equal(ops.begin(), ops.end(), applied_weight_ops_.begin(),
+                   applied_weight_ops_.end()))
+        return;  // unchanged patch set: pure-parametric swap, matrix untouched
+
+    const DiehlCookConfig& config = model_->config();
+    for (const WeightOp& op : ops) {
+        if (op.pre >= config.n_input || op.post >= config.n_neurons)
+            throw std::out_of_range("NetworkRuntime: weight patch out of range");
+    }
+
+    // Per-row diff of the outgoing vs incoming op sets. Each row keeps a
+    // snapshot stack (one per applied op): on a swap the row rolls back
+    // only to the point where its op sequence diverges, so a schedule
+    // segment stacking an op onto a persistently patched row undoes just
+    // its own window at retraction — pre-glitch STDP learning and the
+    // base patch stay in place. Rows whose ops are unchanged are never
+    // touched.
+    const auto row_ops = [](std::span<const WeightOp> set, std::uint32_t pre) {
+        std::vector<WeightOp> subsequence;
+        for (const WeightOp& op : set) {
+            if (op.pre == pre) subsequence.push_back(op);
+        }
+        return subsequence;
+    };
+    std::vector<std::uint32_t> rows;
+    const auto note_row = [&](std::uint32_t pre) {
+        if (std::find(rows.begin(), rows.end(), pre) == rows.end())
+            rows.push_back(pre);
+    };
+    for (const WeightOp& op : applied_weight_ops_) note_row(op.pre);
+    for (const WeightOp& op : ops) note_row(op.pre);
+
+    for (const std::uint32_t pre : rows) {
+        const std::vector<WeightOp> after = row_ops(ops, pre);
+        auto entry = std::find_if(patched_rows_.begin(), patched_rows_.end(),
+                                  [&](const PatchedRow& row) { return row.pre == pre; });
+        const bool recorded = entry != patched_rows_.end();
+        const std::size_t n_before = recorded ? entry->ops.size() : 0;
+        // Longest prefix of the row's op sequence that stays in force.
+        std::size_t keep = 0;
+        while (keep < n_before && keep < after.size() &&
+               entry->ops[keep] == after[keep])
+            ++keep;
+        if (recorded && keep == n_before && n_before == after.size()) continue;
+        if (recorded && keep < n_before) {
+            // Roll back to the state just before the first diverging op.
+            std::copy(entry->snapshots[keep].begin(), entry->snapshots[keep].end(),
+                      weights.row(pre).begin());
+            entry->ops.resize(keep);
+            entry->snapshots.resize(keep);
+        }
+        if (after.size() > keep) {
+            if (!recorded) {
+                patched_rows_.push_back(PatchedRow{pre, {}, {}});
+                entry = std::prev(patched_rows_.end());
+            }
+            for (std::size_t i = keep; i < after.size(); ++i) {
+                const auto row = weights.row(pre);
+                entry->snapshots.emplace_back(row.begin(), row.end());
+                float& w = weights(after[i].pre, after[i].post);
+                if (after[i].kind == WeightOp::Kind::kSet) {
+                    w = after[i].value;
+                } else {
+                    w = xor_weight_bits(w, after[i].bits);
+                }
+                entry->ops.push_back(after[i]);
+            }
+        } else if (recorded && entry->ops.empty()) {
+            patched_rows_.erase(entry);
+        }
+    }
+    applied_weight_ops_.assign(ops.begin(), ops.end());
 }
 
 void NetworkRuntime::rebuild_weight_patches(const FaultOverlay& effective) {
@@ -208,18 +282,18 @@ void NetworkRuntime::rebuild_weight_patches(const FaultOverlay& effective) {
 
 void NetworkRuntime::set_learning(bool enabled) {
     const DiehlCookConfig& config = model_->config();
-    if (enabled && !schedule_.empty())
-        throw std::logic_error(
-            "NetworkRuntime: cannot enable learning on a scheduled replica");
     if (enabled && !learned_) {
-        Matrix effective = model_->input_weights();
-        for (const auto& [pre, row] : cow_rows_) {
-            for (std::size_t j = 0; j < row.size(); ++j) effective(pre, j) = row[j];
-        }
-        learned_.emplace(std::move(effective), config.stdp, config.norm_total);
+        // Materialise the *model* matrix, then re-apply the replica's
+        // current fault state (base overlay, or active schedule segment)
+        // through the reversible learning-mode patch path — the resulting
+        // weights equal the inference-mode copy-on-write state, but later
+        // overlay swaps and schedule boundaries can retract the patches.
+        learned_.emplace(Matrix(model_->input_weights()), config.stdp,
+                         config.norm_total);
         row_ptr_.clear();
         cow_rows_.clear();
         cell_deltas_.clear();
+        apply_effective_overlay(current_effective_overlay());
     }
     learning_ = enabled;
     if (learned_) learned_->set_learning(enabled);
@@ -244,6 +318,13 @@ float NetworkRuntime::input_gain(OverlayLayer layer, std::size_t neuron) const {
     const LayerState& state = layer_state(layer);
     check_neuron_index(neuron, state.input_gain.size());
     return state.input_gain[neuron];
+}
+
+float NetworkRuntime::neuron_driver_gain(OverlayLayer layer,
+                                         std::size_t neuron) const {
+    const LayerState& state = layer_state(layer);
+    check_neuron_index(neuron, state.drive_gain.size());
+    return state.drive_gain[neuron];
 }
 
 NeuronFault NetworkRuntime::forced_state(OverlayLayer layer,
@@ -349,6 +430,7 @@ void NetworkRuntime::advance_step(std::span<const std::uint32_t> active,
     for (std::size_t i = 0; i < n; ++i) {
         float x = exc_input_[i];
         if (gain_active) x *= driver_gain_;
+        if (drive_gain_active_) x *= exc_.drive_gain[i];
         if (inh_total > 0) {
             x += w_inh * (static_cast<float>(inh_total) -
                           static_cast<float>(inh_spiked_[i]));

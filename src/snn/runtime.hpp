@@ -55,8 +55,12 @@ public:
 
     /// Replaces the replica's fault state with `overlay` (previous
     /// parametric faults and copy-on-write weight patches are cleared).
-    /// With learning enabled, weight patches mutate the materialised
-    /// matrix in place and are NOT undone by a later set_overlay.
+    /// With learning enabled, weight patches land on the materialised
+    /// matrix through a record-and-undo of the touched rows, so a later
+    /// set_overlay (or a schedule-segment retraction) restores them —
+    /// STDP updates a patch masked during its window are rolled back with
+    /// it, which is the transient-fault semantic the glitch pipeline
+    /// wants.
     void set_overlay(const FaultOverlay& overlay);
     const FaultOverlay& overlay() const noexcept { return overlay_; }
 
@@ -65,17 +69,27 @@ public:
     /// state is the base overlay with the segment's overlay merged on
     /// top; outside every segment it is the base overlay alone. Swaps
     /// happen at step boundaries: fault state is re-expanded and weight
-    /// patches rebuilt, dynamic state (voltages, refractory counters,
-    /// theta) is untouched. A schedule spanning [0, steps_per_sample)
-    /// with one segment is bit-identical to a static overlay.
-    /// Validates ordering/overlap; throws std::logic_error with learning
-    /// enabled (schedules are an inference-path feature).
+    /// patches rebuilt (inference) or applied/retracted reversibly on the
+    /// materialised matrix (learning), dynamic state (voltages,
+    /// refractory counters, theta) is untouched. A schedule spanning
+    /// [0, steps_per_sample) with one segment is bit-identical to a
+    /// static overlay — under learning too for parametric faults
+    /// (threshold, gains, forced state, refractory), which is what lets
+    /// Trainer run STDP under a mid-epoch glitch. Scheduled *weight
+    /// patches* under learning deliberately differ from a static
+    /// overlay: each segment activation records-and-undoes the touched
+    /// rows, so a full-range scheduled patch rolls its rows back at
+    /// every sample boundary while a static set_overlay patch is applied
+    /// once and lets STDP accumulate on top. Validates ordering/overlap.
     void set_schedule(OverlaySchedule schedule);
     const OverlaySchedule& schedule() const noexcept { return schedule_; }
 
     // --- fault-state inspection (current step's effective values) -------
     float threshold_scale(OverlayLayer layer, std::size_t neuron) const;
     float input_gain(OverlayLayer layer, std::size_t neuron) const;
+    /// Per-neuron feedforward drive gain (glitch-footprint driver ops);
+    /// multiplies with the network-wide driver_gain().
+    float neuron_driver_gain(OverlayLayer layer, std::size_t neuron) const;
     NeuronFault forced_state(OverlayLayer layer, std::size_t neuron) const;
     /// Refractory steps a spike would incur now (override or config).
     int refractory_steps(OverlayLayer layer, std::size_t neuron) const;
@@ -83,9 +97,11 @@ public:
     /// excitatory layer) the adaptive theta included.
     float effective_threshold(OverlayLayer layer, std::size_t neuron) const;
 
-    /// Learning materialises the weight matrix (model + patches) into an
-    /// STDP connection on first enable; disabling freezes further updates
-    /// but keeps the materialised weights.
+    /// Learning materialises the model's weight matrix into an STDP
+    /// connection on first enable and re-applies the current fault state
+    /// (overlay, or active schedule segment) through the reversible
+    /// record-and-undo patch path; disabling freezes further updates but
+    /// keeps the materialised weights.
     void set_learning(bool enabled);
     bool learning_enabled() const noexcept { return learning_; }
 
@@ -112,6 +128,7 @@ private:
         std::vector<std::int32_t> refrac;
         std::vector<float> thresh_scale;
         std::vector<float> input_gain;
+        std::vector<float> drive_gain;  ///< per-neuron feedforward drive gain
         std::vector<std::uint8_t> forced;
         std::vector<std::int32_t> refrac_override;
 
@@ -134,6 +151,15 @@ private:
     void apply_effective_overlay(const FaultOverlay& effective);
     void apply_overlay_ops(const FaultOverlay& effective);
     void rebuild_weight_patches(const FaultOverlay& effective);
+    /// Learning-mode weight patches: per-row diff of the previous vs new
+    /// op set — rows whose own ops changed restore their recorded
+    /// pre-patch snapshot and re-patch; rows whose patch stays in force
+    /// keep their learned values. The reversible path behind overlay
+    /// swaps and schedule segments under STDP.
+    void apply_weight_ops_learning(const FaultOverlay& effective);
+    /// The overlay currently in force: the base overlay, with the active
+    /// schedule segment (if any) merged on top.
+    FaultOverlay current_effective_overlay() const;
     /// Activates/retracts schedule segments whose boundary is `step`.
     void advance_schedule(std::size_t step);
     /// Rewinds the schedule cursor (and restores the base overlay if the
@@ -173,10 +199,26 @@ private:
     float inh_decay_ = 0.0f;
     float theta_decay_factor_ = 1.0f;
     float driver_gain_ = 1.0f;
+    bool drive_gain_active_ = false;  ///< any per-neuron kDriverGain op applied
     bool learning_ = false;
 
     /// Learning path: materialised weights + STDP state.
     std::optional<DenseConnection> learned_;
+    /// Learning path: one entry per materialised row currently carrying
+    /// weight patches. snapshots[i] is the row as it stood just before
+    /// ops[i] was applied, so an overlay swap rolls the row back exactly
+    /// to the point where its op sequence diverges — a schedule segment
+    /// stacking an op onto a persistently patched row undoes only its own
+    /// window, never pre-glitch STDP learning. applied_weight_ops_ is the
+    /// full op set in force (fast path: parametric-only swaps are no-ops
+    /// for the matrix).
+    struct PatchedRow {
+        std::uint32_t pre = 0;
+        std::vector<WeightOp> ops;
+        std::vector<std::vector<float>> snapshots;
+    };
+    std::vector<PatchedRow> patched_rows_;
+    std::vector<WeightOp> applied_weight_ops_;
     /// Inference path: per-row pointers into the model matrix, redirected
     /// to materialised copies for patched rows only.
     std::vector<const float*> row_ptr_;

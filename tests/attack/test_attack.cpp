@@ -203,6 +203,40 @@ TEST(AttackSuite, TruncatesDatasetToTrainSamples) {
     EXPECT_EQ(suite.dataset().size(), 50u);
 }
 
+TEST(AttackSuite, ScheduledTrainingNarrowWindowStillGlitchesOneSample) {
+    // Regression: a non-empty fractional window that rounds to zero
+    // samples must clamp to one glitched sample, not silently train
+    // glitch-free (the sample-axis twin of the compiler's one-step clamp).
+    AttackRunConfig config;
+    config.network.n_neurons = 20;
+    config.network.steps_per_sample = 100;
+    config.train_samples = 60;
+    config.eval_window = 30;
+    AttackSuite suite(data::make_synthetic_dataset(60, 42), config);
+
+    std::vector<std::size_t> all(config.network.n_neurons);
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    snn::FaultOverlay saturate;
+    saturate.force_state(snn::OverlayLayer::kExcitatory, all,
+                         snn::NeuronFault::kSaturated);
+
+    ScheduledTrainingSpec narrow;
+    narrow.schedule = {{0, config.network.steps_per_sample, saturate}};
+    narrow.sample_begin = 0.5;
+    narrow.sample_end = 0.5001;  // rounds to [30, 30) without the clamp
+    const AttackOutcome glitched = suite.run_scheduled(narrow);
+
+    ScheduledTrainingSpec clean = narrow;
+    clean.schedule = {};  // same window, no fault
+    const AttackOutcome reference = suite.run_scheduled(clean);
+
+    // The one saturated sample fires every EL neuron every step — an
+    // unmistakable spike-count signature.
+    EXPECT_GT(glitched.exc_spikes_per_sample, reference.exc_spikes_per_sample);
+
+    EXPECT_THROW(suite.run_scheduled({{}, 0.5, 0.4}), std::invalid_argument);
+}
+
 TEST(ToString, LayerNames) {
     EXPECT_STREQ(to_string(TargetLayer::kExcitatory), "excitatory");
     EXPECT_STREQ(to_string(TargetLayer::kInhibitory), "inhibitory");

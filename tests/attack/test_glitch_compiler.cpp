@@ -5,6 +5,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+
+#include "snn/model.hpp"
+#include "snn/runtime.hpp"
+
 namespace snnfi::attack {
 namespace {
 
@@ -107,9 +112,177 @@ TEST(GlitchCompiler, IdentityProfileCompilesToNothing) {
     const GlitchProfile identity = GlitchProfile::constant(0.0, 1.0);
     const GlitchCompiler compiler(tiny_config());
     EXPECT_TRUE(compiler.compile(identity).empty());
-    // Sub-step windows are dropped rather than rounded up.
+    // Sub-step *identity* windows still vanish.
+    const GlitchProfile thin_identity({{0.5, 0.501, 0.0, 1.0}});
+    EXPECT_TRUE(compiler.compile(thin_identity).empty());
+}
+
+TEST(GlitchCompiler, SubStepFaultWindowClampsToOneStepSegment) {
+    // Regression: a narrow-but-deep glitch used to round to begin == end
+    // and silently compile to NO fault at all. It must land as a one-step
+    // segment instead.
+    const GlitchCompiler compiler(tiny_config());
     const GlitchProfile thin({{0.5, 0.501, -0.2, 0.7}});
-    EXPECT_TRUE(compiler.compile(thin).empty());
+    const auto segments = compiler.segments(thin);
+    ASSERT_EQ(segments.size(), 1u);
+    EXPECT_EQ(segments[0].begin_step, 100u);
+    EXPECT_EQ(segments[0].end_step, 101u);
+    EXPECT_DOUBLE_EQ(segments[0].threshold_delta, -0.2);
+
+    // Even at the very end of the sample the clamp stays inside it.
+    const GlitchProfile tail({{0.9999, 1.0, -0.2, 0.7}});
+    const auto tail_segments = compiler.segments(tail);
+    ASSERT_EQ(tail_segments.size(), 1u);
+    EXPECT_EQ(tail_segments[0].begin_step, tiny_config().steps_per_sample - 1);
+    EXPECT_EQ(tail_segments[0].end_step, tiny_config().steps_per_sample);
+}
+
+TEST(GlitchCompiler, ThinWindowAfterSegmentYieldsInsteadOfOverlapping) {
+    const GlitchCompiler compiler(tiny_config());
+    // A thin window right after a normal one: the clamp must not create
+    // an overlapping segment, and the next normal window must still start
+    // past the clamped step.
+    const GlitchProfile profile({{0.25, 0.5, -0.1, 0.9},
+                                 {0.5, 0.5005, -0.2, 0.7},
+                                 {0.5005, 0.75, -0.1, 0.9}});
+    const auto segments = compiler.segments(profile);
+    ASSERT_EQ(segments.size(), 3u);
+    for (std::size_t s = 1; s < segments.size(); ++s)
+        EXPECT_GE(segments[s].begin_step, segments[s - 1].end_step);
+    EXPECT_EQ(segments[1].begin_step, 100u);
+    EXPECT_EQ(segments[1].end_step, 101u);
+    EXPECT_EQ(segments[2].begin_step, 101u);
+}
+
+TEST(GlitchCompiler, EndStepNeverExceedsStepsPerSample) {
+    // Characterizer float error can put the last window's end marginally
+    // above 1.0; the compiled segment must still retract inside the
+    // sample.
+    const GlitchCompiler compiler(tiny_config());
+    const GlitchProfile profile({{0.75, 1.0 + 9e-13, -0.2, 0.7}});
+    const auto segments = compiler.segments(profile);
+    ASSERT_EQ(segments.size(), 1u);
+    EXPECT_LE(segments[0].end_step, tiny_config().steps_per_sample);
+}
+
+TEST(GlitchCompiler, CompiledSchedulesAlwaysSatisfySetScheduleInvariants) {
+    // Property test: any valid GlitchSpec grid, realised through the
+    // calibration curves at several window resolutions, compiles to a
+    // schedule set_schedule accepts — sorted, non-overlapping, non-empty
+    // segments inside the sample.
+    const VddCalibration calibration = VddCalibration::paper_reference();
+    const auto model = snn::NetworkModel::random(tiny_config(), 1);
+    snn::NetworkRuntime runtime(model);
+    const GlitchCompiler compiler(tiny_config());
+    std::size_t compiled = 0;
+    for (const auto shape : {circuits::GlitchShape::kRect,
+                             circuits::GlitchShape::kTriangle,
+                             circuits::GlitchShape::kExpRecovery}) {
+        for (const double depth : {0.7, 0.8, 0.95}) {
+            for (const double onset : {0.0, 0.37, 0.75, 0.999}) {
+                for (const double width : {0.0005, 0.01, 0.2, 1.0}) {
+                    if (onset + width > 1.0) continue;
+                    circuits::GlitchSpec spec;
+                    spec.shape = shape;
+                    spec.depth_vdd = depth;
+                    spec.onset = onset;
+                    spec.width = width;
+                    spec.edge = std::min(0.02, width / 4.0);
+                    for (const std::size_t windows : {1u, 7u, 16u, 301u}) {
+                        const GlitchProfile profile = GlitchProfile::from_calibration(
+                            calibration, spec, windows);
+                        const auto schedule = compiler.compile(profile);
+                        for (std::size_t s = 0; s < schedule.size(); ++s) {
+                            EXPECT_LT(schedule[s].begin_step, schedule[s].end_step);
+                            EXPECT_LE(schedule[s].end_step,
+                                      tiny_config().steps_per_sample);
+                            if (s > 0)
+                                EXPECT_GE(schedule[s].begin_step,
+                                          schedule[s - 1].end_step);
+                        }
+                        EXPECT_NO_THROW(runtime.set_schedule(schedule));
+                        ++compiled;
+                    }
+                }
+            }
+        }
+    }
+    EXPECT_GT(compiled, 100u);  // the grid really swept
+}
+
+TEST(GlitchFootprint, StratifiedResolveIsSeededAndSpread) {
+    const auto footprint = GlitchFootprint::stratified(0.25, 7);
+    const auto a = footprint.resolve(32);
+    const auto b = footprint.resolve(32);
+    EXPECT_EQ(a, b);  // deterministic
+    ASSERT_EQ(a.size(), 8u);
+    // One pick per contiguous stratum of 4.
+    for (std::size_t s = 0; s < a.size(); ++s) {
+        EXPECT_GE(a[s], 4 * s);
+        EXPECT_LT(a[s], 4 * (s + 1));
+    }
+    // A different seed picks a different sample (with overwhelming odds).
+    EXPECT_NE(GlitchFootprint::stratified(0.25, 8).resolve(32), a);
+
+    EXPECT_THROW(GlitchFootprint::stratified(0.0, 1).resolve(32),
+                 std::invalid_argument);
+    EXPECT_THROW(GlitchFootprint::subset({40}).resolve(32), std::invalid_argument);
+}
+
+TEST(GlitchFootprint, DirectlyPopulatedSubsetsAreCanonicalised) {
+    // The public field may be filled without the subset() factory; both
+    // resolve() and fingerprint() must be order- and duplicate-insensitive
+    // (the campaign cache key rides on the fingerprint).
+    GlitchFootprint scrambled;
+    scrambled.kind = GlitchFootprint::Kind::kNeurons;
+    scrambled.neurons = {9, 5, 1, 5};
+    EXPECT_EQ(scrambled.resolve(32), (std::vector<std::size_t>{1, 5, 9}));
+    EXPECT_EQ(scrambled.fingerprint(),
+              GlitchFootprint::subset({1, 5, 9}).fingerprint());
+    // Out-of-range indices are caught even when unsorted.
+    GlitchFootprint bad = scrambled;
+    bad.neurons = {40, 3};
+    EXPECT_THROW(bad.resolve(32), std::invalid_argument);
+}
+
+TEST(GlitchFootprint, CompilesToPerNeuronOpsOnTheSubset) {
+    const GlitchCompiler compiler(tiny_config());
+    const GlitchProfile profile({{0.25, 0.5, -0.18, 0.68}});
+    const auto footprint = GlitchFootprint::subset({1, 4, 6});
+    const auto schedule = compiler.compile(profile, footprint);
+    ASSERT_EQ(schedule.size(), 1u);
+    const snn::FaultOverlay& overlay = schedule[0].overlay;
+    // No network-wide gain: the driver corruption is per-neuron.
+    EXPECT_FALSE(overlay.has_driver_gain());
+    // 3 neurons x (2 threshold layers + 1 driver op).
+    EXPECT_EQ(overlay.neuron_ops().size(), 9u);
+    std::size_t driver_ops = 0;
+    for (const snn::NeuronOp& op : overlay.neuron_ops()) {
+        EXPECT_TRUE(op.neuron == 1 || op.neuron == 4 || op.neuron == 6);
+        if (op.field == snn::NeuronOp::Field::kDriverGain) {
+            ++driver_ops;
+            EXPECT_EQ(op.layer, snn::OverlayLayer::kExcitatory);
+            EXPECT_FLOAT_EQ(op.value, 0.68f);
+        }
+    }
+    EXPECT_EQ(driver_ops, 3u);
+}
+
+TEST(GlitchFootprint, WholeLayerFootprintIsBitIdenticalToUniformCompile) {
+    const GlitchCompiler compiler(tiny_config());
+    const GlitchProfile profile({{0.25, 0.5, -0.18, 0.68}});
+    const auto uniform = compiler.compile(profile);
+    const auto footprinted =
+        compiler.compile(profile, GlitchFootprint::whole_layer());
+    ASSERT_EQ(uniform.size(), footprinted.size());
+    for (std::size_t s = 0; s < uniform.size(); ++s) {
+        EXPECT_EQ(uniform[s].begin_step, footprinted[s].begin_step);
+        EXPECT_EQ(uniform[s].end_step, footprinted[s].end_step);
+        EXPECT_EQ(uniform[s].overlay.neuron_ops().size(),
+                  footprinted[s].overlay.neuron_ops().size());
+        EXPECT_EQ(uniform[s].overlay.has_driver_gain(),
+                  footprinted[s].overlay.has_driver_gain());
+    }
 }
 
 TEST(GlitchCompiler, DistinctValuesStayDistinctSegments) {

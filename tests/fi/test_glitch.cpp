@@ -169,5 +169,172 @@ TEST(GlitchCampaign, CacheKeyDistinguishesProfiles) {
     EXPECT_EQ(third.run().get(), result_a.get());
 }
 
+// --- training-time glitch cells ------------------------------------------
+
+TEST(GlitchCampaign, TrainModeConstantProfileReproducesFig7bBitForBit) {
+    core::Session session(tiny_options());
+
+    // The paper scenario (fig7b, quick grid: theta -20% / +20%)...
+    const core::RunResult fig7b = session.run("fig7b");
+    ASSERT_EQ(fig7b.table.num_rows(), 2u);
+
+    // ...and the same operating points as TRAIN-MODE glitch cells over the
+    // full pass: the compiled full-range constant schedule must run the
+    // exact static train-under-fault training, bit for bit (the fig7b pin
+    // of the scheduled training path).
+    std::vector<GlitchCellSpec> cells;
+    for (const double delta : {-0.2, 0.2}) {
+        GlitchCellSpec cell;
+        cell.id = "train_theta" + std::to_string(delta);
+        cell.profile = attack::GlitchProfile::constant(0.0, 1.0 + delta);
+        cell.severity = delta;
+        cell.train = true;
+        cells.push_back(cell);
+    }
+    CampaignEngine engine(session, glitch_config(std::move(cells)));
+    const auto campaign = engine.run();
+    ASSERT_EQ(campaign->cells.size(), 2u);
+
+    for (std::size_t row = 0; row < 2; ++row) {
+        const CellResult& cell = campaign->cells[row];
+        EXPECT_TRUE(cell.trained);
+        EXPECT_TRUE(cell.scheduled);
+        EXPECT_EQ(cell.replicas, 1u);
+        EXPECT_DOUBLE_EQ(cell.accuracy_pct, fig7b.table.number_at(row, 1));
+    }
+    EXPECT_EQ(campaign->trainings, 2u);
+    // Rendered mode marks the scheduled-training path.
+    const std::string csv = campaign->detail_table("glitch").to_csv();
+    EXPECT_NE(csv.find("train+sched"), std::string::npos);
+}
+
+TEST(GlitchCampaign, TrainModeMidEpochDropMonotoneInGlitchDepth) {
+    core::Session session(tiny_options());
+    // A mild and a deep dip over the same mid-epoch window: the deeper
+    // glitch corrupts the STDP updates harder, so its accuracy drop
+    // dominates (the acceptance property of the train-time pipeline).
+    const auto cell_for = [](double threshold_delta, double gain,
+                             const std::string& id) {
+        GlitchCellSpec cell;
+        cell.id = id;
+        cell.profile = attack::GlitchProfile({{0.25, 0.75, threshold_delta, gain}});
+        cell.train = true;
+        cell.train_begin = 0.25;
+        cell.train_end = 0.75;
+        return cell;
+    };
+    CampaignEngine engine(
+        session, glitch_config({cell_for(-0.02, 0.95, "mild"),
+                                cell_for(-0.35, 0.40, "deep")}));
+    const auto campaign = engine.run();
+    ASSERT_EQ(campaign->cells.size(), 2u);
+    const CellResult& mild = campaign->cells[0];
+    const CellResult& deep = campaign->cells[1];
+    EXPECT_TRUE(mild.trained && mild.scheduled);
+    EXPECT_TRUE(deep.trained && deep.scheduled);
+    EXPECT_GE(deep.drop_pct, mild.drop_pct);
+}
+
+TEST(GlitchCampaign, TrainWindowChangesTheOutcome) {
+    core::Session session(tiny_options());
+    const auto windowed = [](double begin, double end, const std::string& id) {
+        GlitchCellSpec cell;
+        cell.id = id;
+        cell.profile = mid_sample_dip();
+        cell.train = true;
+        cell.train_begin = begin;
+        cell.train_end = end;
+        return cell;
+    };
+    CampaignEngine engine(session,
+                          glitch_config({windowed(0.0, 0.5, "early"),
+                                         windowed(0.5, 1.0, "late")}));
+    const auto campaign = engine.run();
+    ASSERT_EQ(campaign->cells.size(), 2u);
+    // Different training windows are different experiments: the campaign
+    // cache key must keep them apart (both ran, with their own numbers).
+    EXPECT_EQ(campaign->trainings, 2u);
+    for (const CellResult& cell : campaign->cells) {
+        EXPECT_GE(cell.accuracy_pct, 0.0);
+        EXPECT_LE(cell.accuracy_pct, 100.0);
+    }
+}
+
+// --- per-neuron footprints ------------------------------------------------
+
+TEST(GlitchCampaign, FootprintCellsRunScheduledAndDifferFromWholeLayer) {
+    core::Session session(tiny_options());
+    GlitchCellSpec whole;
+    whole.id = "dip_whole";
+    whole.profile = mid_sample_dip();
+    GlitchCellSpec half = whole;
+    half.id = "dip_half";
+    half.footprint = attack::GlitchFootprint::stratified(0.5, 17);
+
+    // The two cells really compile to different fault programs: the
+    // whole-layer cell keeps the uniform network-wide gain, the
+    // half-footprint cell carries per-neuron ops on half the neurons.
+    snn::DiehlCookConfig config;
+    config.n_neurons = 16;
+    const attack::GlitchCompiler compiler(config);
+    const auto uniform = compiler.compile(whole.profile, whole.footprint);
+    const auto fractional = compiler.compile(half.profile, half.footprint);
+    ASSERT_EQ(uniform.size(), 1u);
+    ASSERT_EQ(fractional.size(), 1u);
+    EXPECT_TRUE(uniform[0].overlay.has_driver_gain());
+    EXPECT_FALSE(fractional[0].overlay.has_driver_gain());
+    EXPECT_NE(uniform[0].overlay.neuron_ops().size(),
+              fractional[0].overlay.neuron_ops().size());
+
+    CampaignEngine engine(session, glitch_config({whole, half}));
+    const auto campaign = engine.run();
+    ASSERT_EQ(campaign->cells.size(), 2u);
+    EXPECT_TRUE(campaign->cells[0].scheduled);
+    EXPECT_TRUE(campaign->cells[1].scheduled);
+    EXPECT_EQ(campaign->cells[0].site_id(), "dip_whole");
+    EXPECT_EQ(campaign->cells[1].site_id(), "dip_half");
+    for (const CellResult& cell : campaign->cells) {
+        EXPECT_GE(cell.accuracy_pct, 0.0);
+        EXPECT_LE(cell.accuracy_pct, 100.0);
+    }
+}
+
+TEST(GlitchCampaign, ConstantProfileWithFootprintStaysScheduled) {
+    core::Session session(tiny_options());
+    // A constant profile normally collapses onto the static
+    // train-under-fault path — but a fractional footprint has no static
+    // FaultSpec form, so it must stay on the scheduled path.
+    GlitchCellSpec cell;
+    cell.id = "const_frac";
+    cell.profile = attack::GlitchProfile::constant(0.0, 0.8);
+    cell.footprint = attack::GlitchFootprint::stratified(0.5, 3);
+    CampaignEngine engine(session, glitch_config({cell}));
+    const auto campaign = engine.run();
+    ASSERT_EQ(campaign->cells.size(), 1u);
+    EXPECT_FALSE(campaign->cells[0].trained);
+    EXPECT_TRUE(campaign->cells[0].scheduled);
+}
+
+TEST(GlitchCampaign, CacheKeyDistinguishesFootprintsAndTrainWindows) {
+    core::Session session(tiny_options());
+    GlitchCellSpec cell;
+    cell.id = "dip";
+    cell.profile = mid_sample_dip();
+    CampaignEngine first(session, glitch_config({cell}));
+    const auto base = first.run();
+
+    GlitchCellSpec footprinted = cell;
+    footprinted.footprint = attack::GlitchFootprint::stratified(0.25, 11);
+    CampaignEngine second(session, glitch_config({footprinted}));
+    EXPECT_NE(second.run().get(), base.get());
+
+    GlitchCellSpec trained = cell;
+    trained.train = true;
+    trained.train_begin = 0.25;
+    trained.train_end = 0.75;
+    CampaignEngine third(session, glitch_config({trained}));
+    EXPECT_NE(third.run().get(), base.get());
+}
+
 }  // namespace
 }  // namespace snnfi::fi

@@ -197,12 +197,178 @@ TEST(OverlaySchedule, Validation) {
                      {{50, 60, FaultOverlay{}}, {0, 10, FaultOverlay{}}}),
                  std::invalid_argument);
 
-    // Schedules are inference-only.
+    // Schedules and learning now cooperate (the train-time glitch path):
+    // enabling either order works.
     runtime.set_schedule({{0, 10, FaultOverlay{}}});
-    EXPECT_THROW(runtime.set_learning(true), std::logic_error);
+    runtime.set_learning(true);
     NetworkRuntime learner(model);
     learner.set_learning(true);
-    EXPECT_THROW(learner.set_schedule({{0, 10, FaultOverlay{}}}), std::logic_error);
+    learner.set_schedule({{0, 10, FaultOverlay{}}});
+}
+
+// --- training-time schedules (STDP under a mid-epoch glitch) -------------
+
+/// Trains `samples` images and returns the final weights + theta so runs
+/// can be compared bit-for-bit.
+std::pair<std::vector<float>, std::vector<float>> train_and_freeze(
+    NetworkRuntime& runtime, const Dataset& dataset, std::size_t samples) {
+    Trainer trainer(runtime, 5);
+    Dataset slice = dataset;
+    slice.images.resize(samples);
+    slice.labels.resize(samples);
+    (void)trainer.run(slice);
+    const auto frozen = runtime.freeze();
+    const auto flat = frozen->input_weights().flat();
+    return {{flat.begin(), flat.end()},
+            {frozen->exc_theta().begin(), frozen->exc_theta().end()}};
+}
+
+TEST(OverlaySchedule, FullRangeScheduleUnderLearningMatchesStaticBitExact) {
+    const auto dataset = data::make_synthetic_dataset(20, 5);
+    const auto model = NetworkModel::random(tiny_config(), 9);
+
+    NetworkRuntime static_runtime(model, glitch_overlay());
+    NetworkRuntime scheduled_runtime(model);
+    scheduled_runtime.set_schedule(
+        {{0, tiny_config().steps_per_sample, glitch_overlay()}});
+
+    const auto static_state = train_and_freeze(static_runtime, dataset, 20);
+    const auto scheduled_state = train_and_freeze(scheduled_runtime, dataset, 20);
+    // The static train-under-fault path and the one-segment full-range
+    // schedule are THE SAME training, bit for bit — the invariant the
+    // fi.glitch.train fig7b regression rests on.
+    EXPECT_EQ(static_state.first, scheduled_state.first);
+    EXPECT_EQ(static_state.second, scheduled_state.second);
+}
+
+TEST(OverlaySchedule, MidSampleGlitchUnderLearningDiffersFromClean) {
+    const auto dataset = data::make_synthetic_dataset(20, 5);
+    const auto model = NetworkModel::random(tiny_config(), 9);
+
+    NetworkRuntime clean(model);
+    NetworkRuntime glitched(model);
+    glitched.set_schedule({{40, 80, glitch_overlay()}});
+
+    const auto clean_state = train_and_freeze(clean, dataset, 20);
+    const auto glitched_state = train_and_freeze(glitched, dataset, 20);
+    EXPECT_NE(clean_state.first, glitched_state.first);
+}
+
+TEST(OverlaySchedule, LearningWeightPatchesRetractAtSegmentBoundaries) {
+    const auto model = NetworkModel::random(tiny_config(), 3);
+    FaultOverlay patch;
+    patch.set_weight(5, 2, 0.75f);
+
+    NetworkRuntime runtime(model);
+    runtime.set_learning(true);
+    runtime.set_learning(false);  // materialised matrix, STDP frozen
+    const float original = runtime.weight_row(5)[2];
+    ASSERT_NE(original, 0.75f);
+
+    // One glitched sample: the patch applies inside [40, 80) and must be
+    // retracted on the materialised matrix when the segment ends.
+    runtime.set_schedule({{40, 80, patch}});
+    const std::vector<float> image(tiny_config().n_input, 0.5f);
+    (void)runtime.run_sample(image);
+    EXPECT_EQ(runtime.weight_row(5)[2], original);
+}
+
+TEST(OverlaySchedule, BaseWeightPatchSurvivesParametricScheduleBoundaries) {
+    // A persistent base-overlay weight patch crossed with a schedule that
+    // carries NO weight ops: the segment boundaries must not roll the
+    // patched row back (STDP keeps accumulating on it) — training with
+    // the pure-boundary schedule is bit-identical to training without it.
+    const auto dataset = data::make_synthetic_dataset(10, 7);
+    const auto model = NetworkModel::random(tiny_config(), 9);
+    FaultOverlay patch;
+    patch.set_weight(5, 2, 0.9f);
+
+    NetworkRuntime plain(model, patch);
+    NetworkRuntime crossed(model, patch);
+    crossed.set_schedule({{40, 80, FaultOverlay{}}});  // boundary crossings only
+
+    const auto plain_state = train_and_freeze(plain, dataset, 10);
+    const auto crossed_state = train_and_freeze(crossed, dataset, 10);
+    EXPECT_EQ(plain_state.first, crossed_state.first);
+    EXPECT_EQ(plain_state.second, crossed_state.second);
+}
+
+TEST(OverlaySchedule, ScheduledOpOnPatchedRowRollsBackOnlyItsOwnWindow) {
+    // A schedule segment stacking a weight op onto a row that already
+    // carries a persistent base-overlay patch: retraction must undo only
+    // the segment's window, not the pre-glitch STDP learning on the row.
+    const auto dataset = data::make_synthetic_dataset(10, 7);
+    const auto model = NetworkModel::random(tiny_config(), 9);
+    FaultOverlay base;
+    base.set_weight(5, 2, 0.9f);
+    NetworkRuntime runtime(model, base);
+    Trainer trainer(runtime, 5);
+    (void)trainer.run(dataset);  // STDP drifts row 5 under the base patch
+    runtime.set_learning(false);
+    const std::vector<float> learned_row(runtime.weight_row(5).begin(),
+                                         runtime.weight_row(5).end());
+    ASSERT_NE(learned_row,
+              std::vector<float>(model->weight_row(5).begin(),
+                                 model->weight_row(5).end()));
+
+    FaultOverlay segment;
+    segment.set_weight(5, 7, 0.1f);
+    runtime.set_schedule({{40, 80, segment}});
+    (void)runtime.run_sample(dataset.images[0]);
+    // The segment has retracted: row 5 is back to its learned state (base
+    // patch still in force), NOT the untrained model row.
+    EXPECT_EQ(std::vector<float>(runtime.weight_row(5).begin(),
+                                 runtime.weight_row(5).end()),
+              learned_row);
+}
+
+TEST(NetworkRuntime, UnchangedRowPatchKeepsLearnedValuesWhenOpSetChanges) {
+    // Adding an unrelated patch must not roll back STDP learning on a row
+    // whose own patch stays in force; retracting that patch later rolls
+    // its row back to the pre-patch snapshot (the transient semantic).
+    const auto dataset = data::make_synthetic_dataset(10, 7);
+    const auto model = NetworkModel::random(tiny_config(), 9);
+    FaultOverlay base;
+    base.set_weight(5, 2, 0.9f);
+    NetworkRuntime runtime(model, base);
+    Trainer trainer(runtime, 5);
+    (void)trainer.run(dataset);
+    const std::vector<float> learned_row(runtime.weight_row(5).begin(),
+                                         runtime.weight_row(5).end());
+
+    FaultOverlay more = base;       // row-5 op unchanged...
+    more.set_weight(9, 1, 0.5f);    // ...plus an unrelated row-9 patch
+    runtime.set_overlay(more);
+    EXPECT_EQ(std::vector<float>(runtime.weight_row(5).begin(),
+                                 runtime.weight_row(5).end()),
+              learned_row);
+    EXPECT_EQ(runtime.weight_row(9)[1], 0.5f);
+
+    // Dropping the row-5 patch restores its pre-patch snapshot.
+    FaultOverlay only_nine;
+    only_nine.set_weight(9, 1, 0.5f);
+    runtime.set_overlay(only_nine);
+    const auto model_row = model->weight_row(5);
+    EXPECT_EQ(std::vector<float>(runtime.weight_row(5).begin(),
+                                 runtime.weight_row(5).end()),
+              std::vector<float>(model_row.begin(), model_row.end()));
+}
+
+TEST(NetworkRuntime, LearningSetOverlayRestoresPatchedRows) {
+    const auto model = NetworkModel::random(tiny_config(), 3);
+    NetworkRuntime runtime(model);
+    runtime.set_learning(true);
+    const float original = runtime.weight_row(7)[1];
+
+    FaultOverlay patch;
+    patch.set_weight(7, 1, 0.5f);
+    runtime.set_overlay(patch);
+    EXPECT_EQ(runtime.weight_row(7)[1], 0.5f);
+
+    // The documented footgun is gone: swapping the overlay restores the
+    // patched row on the materialised matrix.
+    runtime.set_overlay(FaultOverlay{});
+    EXPECT_EQ(runtime.weight_row(7)[1], original);
 }
 
 }  // namespace

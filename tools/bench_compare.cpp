@@ -1,0 +1,122 @@
+// bench_compare: gates a benchmark JSON against a checked-in baseline
+// trajectory instead of a hardcoded magic ratio.
+//
+//   $ ./bench_compare --bench=BENCH_glitch.json \
+//                     --baseline=../bench/baselines/BENCH_glitch.json \
+//                     --metric=throughput_ratio --tolerance=0.25
+//
+// Every occurrence of each --metric in both files is collected (nested
+// values included, e.g. the per-grid-point "speedup" entries of
+// BENCH_runtime.json) and reduced with min — the worst point of the run.
+// Higher is better; the gate is
+//
+//   min(current) >= min(baseline) * (1 - tolerance)
+//
+// so the bar moves with the committed trajectory: improving a benchmark
+// and refreshing its baseline tightens the gate, nobody has to retune a
+// hardcoded constant. Gate dimensionless ratios (speedup ratios), not
+// absolute wall-clock numbers — those do not transfer across runners.
+//
+// Exit codes: 0 pass, 1 regression, 2 usage/IO error.
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "util/cli.hpp"
+
+namespace {
+
+std::string read_file(const std::string& path) {
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot read " + path);
+    std::ostringstream os;
+    os << in.rdbuf();
+    return os.str();
+}
+
+/// Every number appearing as `"name": <number>` anywhere in the JSON text
+/// (a targeted scan — the bench envelopes are flat enough that a full
+/// parser would be overkill).
+std::vector<double> extract(const std::string& json, const std::string& name) {
+    std::vector<double> values;
+    const std::string needle = "\"" + name + "\":";
+    std::size_t pos = 0;
+    while ((pos = json.find(needle, pos)) != std::string::npos) {
+        pos += needle.size();
+        while (pos < json.size() && std::isspace(static_cast<unsigned char>(json[pos])))
+            ++pos;
+        std::size_t end = pos;
+        const auto numeric = [&](char c) {
+            return std::isdigit(static_cast<unsigned char>(c)) || c == '-' ||
+                   c == '+' || c == '.' || c == 'e' || c == 'E';
+        };
+        while (end < json.size() && numeric(json[end])) ++end;
+        if (end > pos) values.push_back(std::stod(json.substr(pos, end - pos)));
+        pos = end;
+    }
+    return values;
+}
+
+double worst(const std::vector<double>& values) {
+    return *std::min_element(values.begin(), values.end());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    snnfi::util::ArgParser parser(
+        "Gate a benchmark JSON against a checked-in baseline trajectory");
+    parser.add_option("bench", "", "Current benchmark JSON path");
+    parser.add_option("baseline", "", "Checked-in baseline JSON path");
+    parser.add_option("metric", "",
+                      "Metric name(s), repeatable/comma-separated; every JSON "
+                      "occurrence is collected, min-reduced, higher is better");
+    parser.add_option("tolerance", "0.25",
+                      "Allowed fractional regression vs the baseline");
+    try {
+        if (!parser.parse(argc, argv)) return 0;
+        const std::string bench_path = parser.get("bench");
+        const std::string baseline_path = parser.get("baseline");
+        const std::vector<std::string> metrics = parser.get_strings("metric");
+        const double tolerance = parser.get_double("tolerance");
+        if (bench_path.empty() || baseline_path.empty() || metrics.empty())
+            throw std::invalid_argument("--bench, --baseline and --metric are required");
+        if (tolerance < 0.0 || tolerance >= 1.0)
+            throw std::invalid_argument("--tolerance must be in [0, 1)");
+
+        const std::string bench = read_file(bench_path);
+        const std::string baseline = read_file(baseline_path);
+
+        bool ok = true;
+        for (const std::string& metric : metrics) {
+            const std::vector<double> current = extract(bench, metric);
+            const std::vector<double> reference = extract(baseline, metric);
+            if (current.empty() || reference.empty()) {
+                std::cerr << "error: metric '" << metric << "' missing from "
+                          << (current.empty() ? bench_path : baseline_path) << "\n";
+                return 2;
+            }
+            const double have = worst(current);
+            const double want = worst(reference) * (1.0 - tolerance);
+            const bool pass = have >= want;
+            ok = ok && pass;
+            std::cout << (pass ? "ok  " : "FAIL") << "  " << metric << ": " << have
+                      << " (baseline " << worst(reference) << ", gate >= " << want
+                      << ", " << current.size() << " point(s))\n";
+        }
+        if (!ok) {
+            std::cerr << "bench_compare: regression against " << baseline_path
+                      << " — investigate, or refresh the baseline if the "
+                         "change is intentional\n";
+            return 1;
+        }
+        return 0;
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n" << parser.usage();
+        return 2;
+    }
+}
