@@ -45,6 +45,20 @@ double AttackSuite::baseline_retro_accuracy() {
     return baseline_->retro_accuracy;
 }
 
+const snn::TrainResult& AttackSuite::baseline_result() {
+    (void)baseline_accuracy();
+    return *baseline_;
+}
+
+void AttackSuite::adopt_baseline(std::shared_ptr<const snn::NetworkModel> model,
+                                 snn::TrainResult result) {
+    if (!model) throw std::invalid_argument("adopt_baseline: null model");
+    if (baseline_)
+        throw std::logic_error("adopt_baseline: baseline already trained");
+    baseline_ = result;
+    baseline_model_ = std::move(model);
+}
+
 AttackOutcome AttackSuite::evaluate(const FaultSpec& fault) {
     // One replica over the shared untrained model, trained under the
     // fault overlay (the paper's setting). run()/run_many() build the seed

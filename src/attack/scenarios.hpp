@@ -73,6 +73,15 @@ public:
     /// Fault-free reference accuracy (cached).
     double baseline_accuracy();
     double baseline_retro_accuracy();
+    /// Full training metrics of the fault-free baseline (trains on first
+    /// use like baseline_accuracy()) — what the artifact store persists.
+    const snn::TrainResult& baseline_result();
+    /// Installs an externally trained baseline (e.g. a store::ArtifactStore
+    /// hit) so baseline_accuracy()/baseline_model() never train. Throws
+    /// std::invalid_argument on a null model; must be called before the
+    /// lazy baseline training has happened.
+    void adopt_baseline(std::shared_ptr<const snn::NetworkModel> model,
+                        snn::TrainResult result);
     /// The trained fault-free baseline as a frozen, shareable model.
     /// Trains on first use like baseline_accuracy(). The src/fi campaign
     /// engine builds one cheap NetworkRuntime per (cell, replica) on top

@@ -44,6 +44,14 @@ struct RunOptions {
     /// beyond it. 0 = unbounded (the default: registry-sized batches fit).
     std::size_t cache_capacity = 0;
     std::string mnist_dir = "data/mnist";
+    /// Persistent artifact store directory (second cache tier below the
+    /// in-memory one): trained baselines, characterisation sweeps and
+    /// glitch profiles are written here once per distinct config and
+    /// shared across processes. Empty = the SNNFI_STORE_DIR environment
+    /// variable; empty too = no store.
+    std::string store_dir;
+    /// On-disk byte cap of the store (LRU-evicted beyond it); 0 = unbounded.
+    std::uint64_t store_max_bytes = 0;
     /// Quick mode shrinks workloads (fewer samples/neurons, coarser grids)
     /// so integration tests finish in seconds.
     bool quick = false;

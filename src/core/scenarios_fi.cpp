@@ -2,15 +2,21 @@
 // src/fi fault library, presented through the scenario registry so
 // `build/run --experiment=fi --quick --json` (or any fi.* id) drives them.
 //
+// The campaign configurations themselves live in fi/catalog.hpp — shared
+// with the shard worker (tools/worker.cpp) so a sharded campaign plans
+// bit-for-bit the same grid as the in-process scenario. This file only
+// contributes the registry metadata (tags, notes, paper order) and the
+// table presentation.
+//
 // All campaign scenarios share one Session-cached CampaignResult per
 // distinct campaign config: fi.quick-sweep and fi.sensitivity are two views
 // (detail table / per-layer sensitivity map) of the same execution.
-#include <algorithm>
 #include <sstream>
 
 #include "core/scenario.hpp"
 #include "core/session.hpp"
 #include "fi/campaign.hpp"
+#include "fi/catalog.hpp"
 
 namespace snnfi::core {
 
@@ -18,33 +24,7 @@ void link_fi_scenarios() {}
 
 namespace {
 
-using attack::TargetLayer;
 using util::ResultTable;
-
-fi::EarlyStopPolicy early_stop_policy(bool quick) {
-    fi::EarlyStopPolicy policy;
-    if (quick) {
-        // Smoke/CI mode: a fixed replica count, early stopping never
-        // activates (campaign tests rely on this).
-        policy.enabled = false;
-        policy.min_replicas = 2;
-    } else {
-        policy.enabled = true;
-        policy.min_replicas = 3;
-        policy.max_replicas = 8;
-        policy.ci_halfwidth_pct = 1.5;
-    }
-    return policy;
-}
-
-fi::CampaignConfig sweep_config(bool quick) {
-    fi::CampaignConfig config;
-    config.models = fi::standard_fault_library();
-    config.sites.max_sites = quick ? 2 : 4;
-    config.eval_samples = quick ? 50 : 150;
-    config.early_stop = early_stop_policy(quick);
-    return config;
-}
 
 /// Notes shared by every campaign table: workload + engine counters.
 void add_campaign_notes(ResultTable& table, const fi::CampaignResult& campaign) {
@@ -59,51 +39,31 @@ void add_campaign_notes(ResultTable& table, const fi::CampaignResult& campaign) 
     table.add_note(os.str());
 }
 
-ResultTable campaign_detail(Session& session, fi::CampaignConfig config,
-                            const std::string& title) {
-    fi::CampaignEngine engine(session, std::move(config));
+/// Runs the catalog campaign behind `id` (or returns the Session-cached
+/// result) and presents its detail table.
+ResultTable catalog_detail(Session& session, const std::string& id) {
+    const fi::CampaignCatalogEntry& entry = fi::find_campaign_entry(id);
+    fi::CampaignEngine engine(session, entry.build(session));
     const auto campaign = engine.run();
-    ResultTable table = campaign->detail_table(title);
+    ResultTable table = campaign->detail_table(entry.title);
     add_campaign_notes(table, *campaign);
     return table;
 }
 
-ScenarioSpec smoke_spec() {
+/// Registers one campaign-backed scenario whose table is the catalog
+/// campaign's detail view.
+ScenarioSpec campaign_spec(std::string id, std::string description,
+                           std::vector<std::string> tags, int paper_order,
+                           std::vector<std::string> notes = {}) {
     ScenarioSpec spec;
-    spec.id = "fi.smoke";
-    spec.title = "FI smoke — minimal campaign (dead neuron + stuck-at-0)";
-    spec.description = "Minimal FI campaign for CI";
-    spec.tags = {"fi", "smoke"};
-    spec.paper_order = 300;
-    spec.custom_run = [](Session& session, const RunOptions& options) {
-        fi::CampaignConfig config;
-        config.models = {fi::find_fault_model("dead_neuron"),
-                         fi::find_fault_model("stuck_at_0")};
-        config.sites.layers = {TargetLayer::kExcitatory};
-        config.sites.max_sites = 2;
-        config.eval_samples = options.quick ? 30 : 60;
-        config.early_stop.enabled = false;
-        config.early_stop.min_replicas = 2;
-        return campaign_detail(session, std::move(config),
-                               "FI smoke — minimal campaign");
-    };
-    return spec;
-}
-
-ScenarioSpec quick_sweep_spec() {
-    ScenarioSpec spec;
-    spec.id = "fi.quick-sweep";
-    spec.title = "FI sweep — all fault models x both layers (sampled sites)";
-    spec.description = "Full fault library campaign";
-    spec.tags = {"fi"};
-    spec.paper_order = 310;
-    spec.notes = {
-        "driver_gain_drift severities reproduce the fig7b (attack 1) grid; "
-        "threshold_drift generalises attacks 2-4."};
-    spec.custom_run = [](Session& session, const RunOptions& options) {
-        return campaign_detail(
-            session, sweep_config(options.quick),
-            "FI sweep — all fault models x both layers (sampled sites)");
+    spec.id = id;
+    spec.title = fi::find_campaign_entry(id).title;
+    spec.description = std::move(description);
+    spec.tags = std::move(tags);
+    spec.paper_order = paper_order;
+    spec.notes = std::move(notes);
+    spec.custom_run = [id = std::move(id)](Session& session, const RunOptions&) {
+        return catalog_detail(session, id);
     };
     return spec;
 }
@@ -111,481 +71,95 @@ ScenarioSpec quick_sweep_spec() {
 ScenarioSpec sensitivity_spec() {
     ScenarioSpec spec;
     spec.id = "fi.sensitivity";
-    spec.title = "FI sensitivity map — per-layer aggregation of the FI sweep";
-    spec.description = "Per-layer sensitivity + critical rates";
+    spec.title = fi::find_campaign_entry("fi.sensitivity").title;
+    spec.description = "Per-layer/per-footprint sensitivity + critical rates";
     spec.tags = {"fi"};
     spec.paper_order = 320;
-    spec.custom_run = [](Session& session, const RunOptions& options) {
+    spec.custom_run = [](Session& session, const RunOptions&) {
         // Same campaign config as fi.quick-sweep: running both costs one
         // execution (the Session caches the CampaignResult).
-        fi::CampaignEngine engine(session, sweep_config(options.quick));
+        const fi::CampaignCatalogEntry& entry =
+            fi::find_campaign_entry("fi.sensitivity");
+        fi::CampaignEngine engine(session, entry.build(session));
         const auto campaign = engine.run();
-        ResultTable table = campaign->sensitivity_map(
-            "FI sensitivity map — per-layer aggregation of the FI sweep");
+        ResultTable table = campaign->sensitivity_map(entry.title);
         add_campaign_notes(table, *campaign);
         return table;
     };
     return spec;
 }
 
-ScenarioSpec weights_spec() {
-    ScenarioSpec spec;
-    spec.id = "fi.weights";
-    spec.title = "FI weights — stuck-at and bit-flip faults on input synapses";
-    spec.description = "Synaptic memory fault campaign";
-    spec.tags = {"fi"};
-    spec.paper_order = 330;
-    spec.custom_run = [](Session& session, const RunOptions& options) {
-        fi::CampaignConfig config;
-        config.models = {fi::find_fault_model("stuck_at_0"),
-                         fi::find_fault_model("stuck_at_1"),
-                         fi::find_fault_model("bit_flip")};
-        config.sites.max_sites = options.quick ? 3 : 12;
-        config.eval_samples = options.quick ? 50 : 150;
-        config.early_stop = early_stop_policy(options.quick);
-        return campaign_detail(
-            session, std::move(config),
-            "FI weights — stuck-at and bit-flip faults on input synapses");
-    };
-    return spec;
-}
-
-ScenarioSpec neurons_spec() {
-    ScenarioSpec spec;
-    spec.id = "fi.neurons";
-    spec.title = "FI neurons — dead, saturated and refractory-stretched neurons";
-    spec.description = "Behavioural neuron fault campaign";
-    spec.tags = {"fi"};
-    spec.paper_order = 340;
-    spec.custom_run = [](Session& session, const RunOptions& options) {
-        fi::CampaignConfig config;
-        config.models = {fi::find_fault_model("dead_neuron"),
-                         fi::find_fault_model("saturated_neuron"),
-                         fi::find_fault_model("refractory_stretch")};
-        config.sites.max_sites = options.quick ? 2 : 6;
-        config.eval_samples = options.quick ? 50 : 150;
-        config.early_stop = early_stop_policy(options.quick);
-        return campaign_detail(
-            session, std::move(config),
-            "FI neurons — dead, saturated and refractory-stretched neurons");
-    };
-    return spec;
-}
-
-ScenarioSpec drift_spec() {
-    ScenarioSpec spec;
-    spec.id = "fi.drift";
-    spec.title = "FI drift — parametric threshold/driver drift (paper attacks)";
-    spec.description = "Paper attacks as drift fault models";
-    spec.tags = {"fi", "attack"};
-    spec.paper_order = 350;
-    spec.notes = {"Train-under-fault path: each cell retrains like the paper's "
-                  "scenarios; accuracy matches figs. 7b/8a/8b by construction."};
-    spec.custom_run = [](Session& session, const RunOptions& options) {
-        fi::CampaignConfig config;
-        config.models = {fi::find_fault_model("threshold_drift"),
-                         fi::find_fault_model("driver_gain_drift")};
-        config.eval_samples = options.quick ? 50 : 150;
-        config.early_stop = early_stop_policy(options.quick);
-        return campaign_detail(
-            session, std::move(config),
-            "FI drift — parametric threshold/driver drift (paper attacks)");
-    };
-    return spec;
-}
-
-ScenarioSpec drift_driver_gain_spec() {
-    ScenarioSpec spec;
-    spec.id = "fi.drift.driver_gain";
-    spec.title = "FI drift — driver-gain drift only (fig7b through the campaign)";
-    spec.description = "Attack 1 as a campaign drift model";
-    spec.tags = {"fi", "attack"};
-    spec.paper_order = 351;
-    spec.notes = {"Severity grid and train-under-fault path are identical to "
-                  "fig7b, so the accuracy column reproduces attack 1 "
-                  "bit-for-bit (regression-tested)."};
-    spec.custom_run = [](Session& session, const RunOptions& options) {
-        fi::CampaignConfig config;
-        config.models = {fi::find_fault_model("driver_gain_drift")};
-        config.eval_samples = options.quick ? 50 : 150;
-        config.early_stop = early_stop_policy(options.quick);
-        return campaign_detail(
-            session, std::move(config),
-            "FI drift — driver-gain drift only (fig7b through the campaign)");
-    };
-    return spec;
-}
-
-// ----------------------------------------------------------------- glitch
-// Transient VDD glitch campaigns (shape x depth x width x onset axes).
-// Severity grids come from circuit characterisation through the Session
-// cache — the per-window threshold/driver values are measured, never
-// hand-coded; depth/width/onset only parameterise the waveform.
-
-/// Resolves one waveform spec into a campaign glitch cell through the
-/// Session's cached transient characterisation of the given preset
-/// (AxonHillock by default; the VampIF preset measures the same waveform
-/// against the van Schaik neuron on its own transient window).
-fi::GlitchCellSpec glitch_cell(
-    Session& session, const circuits::GlitchSpec& spec, bool quick,
-    const circuits::GlitchPreset& preset = circuits::GlitchPreset::axon_hillock()) {
-    const std::size_t windows = quick ? 8 : 16;
-    fi::GlitchCellSpec cell;
-    cell.id = preset.name == "axon_hillock" ? spec.id()
-                                            : preset.name + ":" + spec.id();
-    cell.severity = spec.depth_vdd;
-    cell.profile = *session.glitch_profile(spec, preset, windows);
-    return cell;
-}
-
-/// Train-mode variant: the same characterised cell, applied while STDP is
-/// learning over [begin, end) of the training pass.
-fi::GlitchCellSpec train_glitch_cell(Session& session,
-                                     const circuits::GlitchSpec& spec, bool quick,
-                                     double begin, double end) {
-    fi::GlitchCellSpec cell = glitch_cell(session, spec, quick);
-    cell.train = true;
-    cell.train_begin = begin;
-    cell.train_end = end;
-    return cell;
-}
-
-/// The paper-depth-axis waveforms: one mid-sample rect dip per non-nominal
-/// point of the paper's VDD grid. Shared by the inference (fi.glitch.depth)
-/// and training-time (fi.glitch.train.depth) depth sweeps so the two
-/// scenarios can never drift onto different operating points.
-std::vector<circuits::GlitchSpec> depth_axis_specs(bool quick) {
-    std::vector<circuits::GlitchSpec> specs;
-    for (const double vdd : paper_vdd_grid(quick)) {
-        if (vdd == 1.0) continue;  // nominal rail: no glitch
-        circuits::GlitchSpec glitch;
-        glitch.depth_vdd = vdd;
-        glitch.onset = 0.25;
-        glitch.width = 0.25;
-        specs.push_back(glitch);
-    }
-    return specs;
-}
-
-fi::CampaignConfig glitch_campaign(std::vector<fi::GlitchCellSpec> cells,
-                                   bool quick) {
-    fi::CampaignConfig config;
-    config.glitches = std::move(cells);
-    config.eval_samples = quick ? 40 : 120;
-    config.early_stop = early_stop_policy(quick);
-    return config;
-}
-
-ScenarioSpec glitch_smoke_spec() {
-    ScenarioSpec spec;
-    spec.id = "fi.glitch.smoke";
-    spec.title = "FI glitch smoke — one rect VDD glitch (depth 0.8 V, width 25%)";
-    spec.description = "Minimal scheduled-glitch campaign for CI";
-    spec.tags = {"fi", "glitch", "smoke"};
-    spec.paper_order = 360;
-    spec.notes = {"Time-localised supply dip applied at inference through a "
-                  "scheduled overlay; severities are circuit-characterized."};
-    spec.custom_run = [](Session& session, const RunOptions& options) {
-        circuits::GlitchSpec glitch;
-        glitch.depth_vdd = 0.8;
-        glitch.onset = 0.25;
-        glitch.width = 0.25;
-        return campaign_detail(
-            session,
-            glitch_campaign({glitch_cell(session, glitch, options.quick)},
-                            options.quick),
-            "FI glitch smoke — one rect VDD glitch (depth 0.8 V, width 25%)");
-    };
-    return spec;
-}
-
-ScenarioSpec glitch_depth_spec() {
-    ScenarioSpec spec;
-    spec.id = "fi.glitch.depth";
-    spec.title = "FI glitch depth — rect glitch severity swept over the VDD grid";
-    spec.description = "Glitch depth (VDD) axis";
-    spec.tags = {"fi", "glitch"};
-    spec.paper_order = 361;
-    spec.notes = {"Depth axis reuses the paper's VDD grid; the per-depth "
-                  "threshold/driver severities come from the characterizer."};
-    spec.custom_run = [](Session& session, const RunOptions& options) {
-        std::vector<fi::GlitchCellSpec> cells;
-        for (const circuits::GlitchSpec& glitch : depth_axis_specs(options.quick))
-            cells.push_back(glitch_cell(session, glitch, options.quick));
-        return campaign_detail(
-            session, glitch_campaign(std::move(cells), options.quick),
-            "FI glitch depth — rect glitch severity swept over the VDD grid");
-    };
-    return spec;
-}
-
-ScenarioSpec glitch_width_spec() {
-    ScenarioSpec spec;
-    spec.id = "fi.glitch.width";
-    spec.title = "FI glitch width — dip duration axis (incl. the constant limit)";
-    spec.description = "Glitch width axis";
-    spec.tags = {"fi", "glitch"};
-    spec.paper_order = 362;
-    spec.notes = {"The width-1 cell is the degenerate constant glitch: it "
-                  "routes through the static train-under-fault path (mode "
-                  "'train'), shorter widths are scheduled at inference."};
-    spec.custom_run = [](Session& session, const RunOptions& options) {
-        const std::vector<double> widths =
-            options.quick ? std::vector<double>{0.25}
-                          : std::vector<double>{0.125, 0.25, 0.5};
-        std::vector<fi::GlitchCellSpec> cells;
-        for (const double width : widths) {
-            circuits::GlitchSpec glitch;
-            glitch.depth_vdd = 0.8;
-            glitch.onset = 0.0;
-            glitch.width = width;
-            glitch.edge = std::min(0.02, width / 4.0);
-            cells.push_back(glitch_cell(session, glitch, options.quick));
-        }
-        // The constant limit: the whole sample at 0.8 V (paper attack 5's
-        // operating point, train-under-fault).
-        cells.push_back(glitch_cell(session, circuits::GlitchSpec::constant(0.8),
-                                    options.quick));
-        return campaign_detail(
-            session, glitch_campaign(std::move(cells), options.quick),
-            "FI glitch width — dip duration axis (incl. the constant limit)");
-    };
-    return spec;
-}
-
-ScenarioSpec glitch_onset_spec() {
-    ScenarioSpec spec;
-    spec.id = "fi.glitch.onset";
-    spec.title = "FI glitch onset — when in the sample the dip lands";
-    spec.description = "Glitch onset axis";
-    spec.tags = {"fi", "glitch"};
-    spec.paper_order = 363;
-    spec.custom_run = [](Session& session, const RunOptions& options) {
-        const std::vector<double> onsets =
-            options.quick ? std::vector<double>{0.0, 0.5}
-                          : std::vector<double>{0.0, 0.25, 0.5, 0.75};
-        std::vector<fi::GlitchCellSpec> cells;
-        for (const double onset : onsets) {
-            circuits::GlitchSpec glitch;
-            glitch.depth_vdd = 0.8;
-            glitch.onset = onset;
-            glitch.width = 0.25;
-            cells.push_back(glitch_cell(session, glitch, options.quick));
-        }
-        return campaign_detail(
-            session, glitch_campaign(std::move(cells), options.quick),
-            "FI glitch onset — when in the sample the dip lands");
-    };
-    return spec;
-}
-
-ScenarioSpec glitch_shape_spec() {
-    ScenarioSpec spec;
-    spec.id = "fi.glitch.shape";
-    spec.title = "FI glitch shape — rect vs triangle vs exponential recovery";
-    spec.description = "Glitch waveform shape axis";
-    spec.tags = {"fi", "glitch"};
-    spec.paper_order = 364;
-    spec.custom_run = [](Session& session, const RunOptions& options) {
-        std::vector<fi::GlitchCellSpec> cells;
-        for (const auto shape :
-             {circuits::GlitchShape::kRect, circuits::GlitchShape::kTriangle,
-              circuits::GlitchShape::kExpRecovery}) {
-            circuits::GlitchSpec glitch;
-            glitch.shape = shape;
-            glitch.depth_vdd = 0.8;
-            glitch.onset = 0.25;
-            glitch.width = 0.5;
-            cells.push_back(glitch_cell(session, glitch, options.quick));
-        }
-        return campaign_detail(
-            session, glitch_campaign(std::move(cells), options.quick),
-            "FI glitch shape — rect vs triangle vs exponential recovery");
-    };
-    return spec;
-}
-
-// ----------------------------------------------------------- glitch.train
-// Training-time glitches: the compiled schedule runs while STDP is
-// learning (the paper's training-corruption threat model), so the damage
-// persists after the supply recovers. Constant profiles over the full
-// pass reproduce the static train-under-fault path bit-for-bit
-// (regression-pinned against fig7b in tests/fi).
-
-ScenarioSpec glitch_train_smoke_spec() {
-    ScenarioSpec spec;
-    spec.id = "fi.glitch.train.smoke";
-    spec.title = "FI glitch train smoke — mid-epoch rect glitch under STDP";
-    spec.description = "Minimal training-time glitch campaign for CI";
-    spec.tags = {"fi", "glitch", "train", "smoke"};
-    spec.paper_order = 365;
-    spec.notes = {"The dip lands on the middle half of the training pass; "
-                  "STDP runs under the scheduled fault, so the accuracy "
-                  "damage persists after the rail recovers."};
-    spec.custom_run = [](Session& session, const RunOptions& options) {
-        circuits::GlitchSpec glitch;
-        glitch.depth_vdd = 0.8;
-        glitch.onset = 0.25;
-        glitch.width = 0.25;
-        return campaign_detail(
-            session,
-            glitch_campaign({train_glitch_cell(session, glitch, options.quick,
-                                               0.25, 0.75)},
-                            options.quick),
-            "FI glitch train smoke — mid-epoch rect glitch under STDP");
-    };
-    return spec;
-}
-
-ScenarioSpec glitch_train_depth_spec() {
-    ScenarioSpec spec;
-    spec.id = "fi.glitch.train.depth";
-    spec.title = "FI glitch train depth — mid-epoch dip severity over the VDD grid";
-    spec.description = "Training-time glitch depth axis";
-    spec.tags = {"fi", "glitch", "train"};
-    spec.paper_order = 366;
-    spec.notes = {"Deeper dips corrupt the STDP updates harder: the "
-                  "accuracy drop is monotone in glitch depth (tested)."};
-    spec.custom_run = [](Session& session, const RunOptions& options) {
-        std::vector<fi::GlitchCellSpec> cells;
-        for (const circuits::GlitchSpec& glitch : depth_axis_specs(options.quick))
-            cells.push_back(
-                train_glitch_cell(session, glitch, options.quick, 0.25, 0.75));
-        return campaign_detail(
-            session, glitch_campaign(std::move(cells), options.quick),
-            "FI glitch train depth — mid-epoch dip severity over the VDD grid");
-    };
-    return spec;
-}
-
-ScenarioSpec glitch_train_window_spec() {
-    ScenarioSpec spec;
-    spec.id = "fi.glitch.train.window";
-    spec.title = "FI glitch train window — when in the pass the glitch lands";
-    spec.description = "Training-time glitch sample-window axis";
-    spec.tags = {"fi", "glitch", "train"};
-    spec.paper_order = 367;
-    spec.notes = {"The full-pass window is the persistent-supply-fault "
-                  "limit; partial windows measure how much of the damage "
-                  "STDP repairs once the rail recovers."};
-    spec.custom_run = [](Session& session, const RunOptions& options) {
-        const std::vector<std::pair<double, double>> windows =
-            options.quick
-                ? std::vector<std::pair<double, double>>{{0.25, 0.75}, {0.0, 1.0}}
-                : std::vector<std::pair<double, double>>{
-                      {0.0, 0.5}, {0.25, 0.75}, {0.5, 1.0}, {0.0, 1.0}};
-        circuits::GlitchSpec glitch;
-        glitch.depth_vdd = 0.8;
-        glitch.onset = 0.25;
-        glitch.width = 0.25;
-        std::vector<fi::GlitchCellSpec> cells;
-        for (const auto& [begin, end] : windows) {
-            fi::GlitchCellSpec cell =
-                train_glitch_cell(session, glitch, options.quick, begin, end);
-            std::ostringstream id;
-            id << cell.id << ":t" << begin << "-" << end;
-            cell.id = id.str();
-            cells.push_back(std::move(cell));
-        }
-        return campaign_detail(
-            session, glitch_campaign(std::move(cells), options.quick),
-            "FI glitch train window — when in the pass the glitch lands");
-    };
-    return spec;
-}
-
-// ------------------------------------------------------ glitch.footprint
-// Spatial coupling: the same supply dip reaching the whole layer, a
-// stratified half, or a stratified quarter of the neurons (separately
-// glitched power domains / layout-dependent IR drop).
-
-ScenarioSpec glitch_footprint_spec() {
-    ScenarioSpec spec;
-    spec.id = "fi.glitch.footprint";
-    spec.title = "FI glitch footprint — whole-layer vs per-neuron coupling";
-    spec.description = "Glitch spatial-coupling axis";
-    spec.tags = {"fi", "glitch"};
-    spec.paper_order = 368;
-    spec.notes = {"Whole-layer is the paper's uniform setting; fractional "
-                  "footprints compile to per-neuron threshold and driver "
-                  "ops on a seeded stratified neuron sample."};
-    spec.custom_run = [](Session& session, const RunOptions& options) {
-        circuits::GlitchSpec glitch;
-        glitch.depth_vdd = 0.8;
-        glitch.onset = 0.25;
-        glitch.width = 0.25;
-        const fi::GlitchCellSpec base = glitch_cell(session, glitch, options.quick);
-        const std::vector<double> fractions =
-            options.quick ? std::vector<double>{1.0, 0.5}
-                          : std::vector<double>{1.0, 0.5, 0.25};
-        std::vector<fi::GlitchCellSpec> cells;
-        for (const double fraction : fractions) {
-            fi::GlitchCellSpec cell = base;
-            std::ostringstream id;
-            if (fraction >= 1.0) {
-                id << cell.id << ":fp_whole";
-            } else {
-                cell.footprint = attack::GlitchFootprint::stratified(fraction, 17);
-                id << cell.id << ":fp" << fraction;
-            }
-            cell.id = id.str();
-            cells.push_back(std::move(cell));
-        }
-        return campaign_detail(
-            session, glitch_campaign(std::move(cells), options.quick),
-            "FI glitch footprint — whole-layer vs per-neuron coupling");
-    };
-    return spec;
-}
-
-// ----------------------------------------------------------- glitch.vamp
-// The VampIF characterisation preset: the same waveform measured against
-// the van Schaik I&F neuron (VDD-divided threshold — the attack surface
-// the paper studies) on its own transient window, cached in the Session
-// under the preset's config hash.
-
-ScenarioSpec glitch_vamp_spec() {
-    ScenarioSpec spec;
-    spec.id = "fi.glitch.vamp";
-    spec.title = "FI glitch VampIF — rect glitch through the VampIF preset";
-    spec.description = "VampIF glitch characterisation preset";
-    spec.tags = {"fi", "glitch"};
-    spec.paper_order = 369;
-    spec.notes = {"Severities come from the VampIF preset: threshold dips "
-                  "track the VDD divider directly, unlike the AH inverter "
-                  "switching point."};
-    spec.custom_run = [](Session& session, const RunOptions& options) {
-        circuits::GlitchSpec glitch;
-        glitch.depth_vdd = 0.8;
-        glitch.onset = 0.25;
-        glitch.width = 0.25;
-        return campaign_detail(
-            session,
-            glitch_campaign({glitch_cell(session, glitch, options.quick,
-                                         circuits::GlitchPreset::vamp_if())},
-                            options.quick),
-            "FI glitch VampIF — rect glitch through the VampIF preset");
-    };
-    return spec;
-}
-
-const ScenarioRegistrar registrar_fi_smoke{smoke_spec()};
-const ScenarioRegistrar registrar_fi_quick_sweep{quick_sweep_spec()};
+const ScenarioRegistrar registrar_fi_smoke{campaign_spec(
+    "fi.smoke", "Minimal FI campaign for CI", {"fi", "smoke"}, 300)};
+const ScenarioRegistrar registrar_fi_quick_sweep{campaign_spec(
+    "fi.quick-sweep", "Full fault library campaign", {"fi"}, 310,
+    {"driver_gain_drift severities reproduce the fig7b (attack 1) grid; "
+     "threshold_drift generalises attacks 2-4."})};
 const ScenarioRegistrar registrar_fi_sensitivity{sensitivity_spec()};
-const ScenarioRegistrar registrar_fi_weights{weights_spec()};
-const ScenarioRegistrar registrar_fi_neurons{neurons_spec()};
-const ScenarioRegistrar registrar_fi_drift{drift_spec()};
-const ScenarioRegistrar registrar_fi_drift_driver_gain{drift_driver_gain_spec()};
-const ScenarioRegistrar registrar_fi_glitch_smoke{glitch_smoke_spec()};
-const ScenarioRegistrar registrar_fi_glitch_depth{glitch_depth_spec()};
-const ScenarioRegistrar registrar_fi_glitch_width{glitch_width_spec()};
-const ScenarioRegistrar registrar_fi_glitch_onset{glitch_onset_spec()};
-const ScenarioRegistrar registrar_fi_glitch_shape{glitch_shape_spec()};
-const ScenarioRegistrar registrar_fi_glitch_train_smoke{glitch_train_smoke_spec()};
-const ScenarioRegistrar registrar_fi_glitch_train_depth{glitch_train_depth_spec()};
-const ScenarioRegistrar registrar_fi_glitch_train_window{glitch_train_window_spec()};
-const ScenarioRegistrar registrar_fi_glitch_footprint{glitch_footprint_spec()};
-const ScenarioRegistrar registrar_fi_glitch_vamp{glitch_vamp_spec()};
+const ScenarioRegistrar registrar_fi_weights{campaign_spec(
+    "fi.weights", "Synaptic memory fault campaign", {"fi"}, 330)};
+const ScenarioRegistrar registrar_fi_neurons{campaign_spec(
+    "fi.neurons", "Behavioural neuron fault campaign", {"fi"}, 340)};
+const ScenarioRegistrar registrar_fi_drift{campaign_spec(
+    "fi.drift", "Paper attacks as drift fault models", {"fi", "attack"}, 350,
+    {"Train-under-fault path: each cell retrains like the paper's "
+     "scenarios; accuracy matches figs. 7b/8a/8b by construction."})};
+const ScenarioRegistrar registrar_fi_drift_driver_gain{campaign_spec(
+    "fi.drift.driver_gain", "Attack 1 as a campaign drift model",
+    {"fi", "attack"}, 351,
+    {"Severity grid and train-under-fault path are identical to "
+     "fig7b, so the accuracy column reproduces attack 1 "
+     "bit-for-bit (regression-tested)."})};
+const ScenarioRegistrar registrar_fi_glitch_smoke{campaign_spec(
+    "fi.glitch.smoke", "Minimal scheduled-glitch campaign for CI",
+    {"fi", "glitch", "smoke"}, 360,
+    {"Time-localised supply dip applied at inference through a "
+     "scheduled overlay; severities are circuit-characterized."})};
+const ScenarioRegistrar registrar_fi_glitch_depth{campaign_spec(
+    "fi.glitch.depth", "Glitch depth (VDD) axis", {"fi", "glitch"}, 361,
+    {"Depth axis reuses the paper's VDD grid; the per-depth "
+     "threshold/driver severities come from the characterizer."})};
+const ScenarioRegistrar registrar_fi_glitch_width{campaign_spec(
+    "fi.glitch.width", "Glitch width axis", {"fi", "glitch"}, 362,
+    {"The width-1 cell is the degenerate constant glitch: it "
+     "routes through the static train-under-fault path (mode "
+     "'train'), shorter widths are scheduled at inference."})};
+const ScenarioRegistrar registrar_fi_glitch_onset{campaign_spec(
+    "fi.glitch.onset", "Glitch onset axis", {"fi", "glitch"}, 363)};
+const ScenarioRegistrar registrar_fi_glitch_shape{campaign_spec(
+    "fi.glitch.shape", "Glitch waveform shape axis", {"fi", "glitch"}, 364)};
+const ScenarioRegistrar registrar_fi_glitch_train_smoke{campaign_spec(
+    "fi.glitch.train.smoke", "Minimal training-time glitch campaign for CI",
+    {"fi", "glitch", "train", "smoke"}, 365,
+    {"The dip lands on the middle half of the training pass; "
+     "STDP runs under the scheduled fault, so the accuracy "
+     "damage persists after the rail recovers."})};
+const ScenarioRegistrar registrar_fi_glitch_train_depth{campaign_spec(
+    "fi.glitch.train.depth", "Training-time glitch depth axis",
+    {"fi", "glitch", "train"}, 366,
+    {"Deeper dips corrupt the STDP updates harder: the "
+     "accuracy drop is monotone in glitch depth (tested).",
+     "Full runs replicate each training over independent data/init "
+     "seed streams (train_replicas), so the drop column carries a "
+     "95% CI; quick mode keeps the single fig7b-pinned training."})};
+const ScenarioRegistrar registrar_fi_glitch_train_window{campaign_spec(
+    "fi.glitch.train.window", "Training-time glitch sample-window axis",
+    {"fi", "glitch", "train"}, 367,
+    {"The full-pass window is the persistent-supply-fault "
+     "limit; partial windows measure how much of the damage "
+     "STDP repairs once the rail recovers."})};
+const ScenarioRegistrar registrar_fi_glitch_footprint{campaign_spec(
+    "fi.glitch.footprint", "Glitch spatial-coupling axis", {"fi", "glitch"}, 368,
+    {"Whole-layer is the paper's uniform setting; fractional "
+     "footprints compile to per-neuron threshold and driver "
+     "ops on a seeded stratified neuron sample — and get their own "
+     "strata in the sensitivity map's footprint column."})};
+const ScenarioRegistrar registrar_fi_glitch_vamp{campaign_spec(
+    "fi.glitch.vamp", "VampIF glitch characterisation preset",
+    {"fi", "glitch"}, 369,
+    {"Severities come from the VampIF preset: threshold dips "
+     "track the VDD divider directly, unlike the AH inverter "
+     "switching point."})};
 
 }  // namespace
 }  // namespace snnfi::core

@@ -6,6 +6,8 @@
 #include <string>
 
 #include "data/idx.hpp"
+#include "store/artifacts.hpp"
+#include "store/blob.hpp"
 
 namespace snnfi::core {
 
@@ -28,10 +30,26 @@ RunOptions resolve_threads(RunOptions options) {
     return options;
 }
 
+/// Resolves the persistent store directory: an explicit
+/// RunOptions::store_dir wins; otherwise the SNNFI_STORE_DIR environment
+/// variable; otherwise no store.
+RunOptions resolve_store(RunOptions options) {
+    if (options.store_dir.empty()) {
+        if (const char* env = std::getenv("SNNFI_STORE_DIR")) options.store_dir = env;
+    }
+    return options;
+}
+
 }  // namespace
 
 Session::Session(RunOptions options)
-    : options_(resolve_threads(std::move(options))), pool_(options_.max_workers) {}
+    : options_(resolve_store(resolve_threads(std::move(options)))),
+      pool_(options_.max_workers) {
+    if (!options_.store_dir.empty()) {
+        store_ = std::make_unique<store::ArtifactStore>(
+            store::StoreConfig{options_.store_dir, options_.store_max_bytes});
+    }
+}
 
 std::shared_ptr<void> Session::cached(
     const std::string& key, const std::function<std::shared_ptr<void>()>& make) {
@@ -124,15 +142,35 @@ std::shared_ptr<const attack::VddCalibration> Session::calibration(
     return std::static_pointer_cast<const attack::VddCalibration>(artifact);
 }
 
+std::shared_ptr<const std::vector<circuits::VddPoint>> Session::stored_sweep(
+    const std::string& key,
+    const std::function<std::vector<circuits::VddPoint>()>& measure) {
+    return artifact<std::vector<circuits::VddPoint>>(key, [&] {
+        if (store_) {
+            if (const auto payload = store_->load(store::kSweepKind, key)) {
+                try {
+                    return std::make_shared<std::vector<circuits::VddPoint>>(
+                        store::decode_vdd_points(*payload));
+                } catch (const store::BlobError&) {
+                    // Undecodable content re-measures below (and the fresh
+                    // save overwrites the bad blob).
+                }
+            }
+        }
+        auto points = std::make_shared<std::vector<circuits::VddPoint>>(measure());
+        if (store_) store_->save(store::kSweepKind, key, store::encode_vdd_points(*points));
+        return points;
+    });
+}
+
 std::shared_ptr<const std::vector<circuits::VddPoint>> Session::threshold_sweep(
     circuits::NeuronKind kind, const std::vector<double>& vdds) {
     auto characterizer = this->characterizer();
     std::ostringstream key;
     key << "char_sweep|" << characterizer->config().cache_key()
         << "|thr|" << circuits::to_string(kind) << "|" << grid_key(vdds);
-    return artifact<std::vector<circuits::VddPoint>>(key.str(), [&] {
-        return std::make_shared<std::vector<circuits::VddPoint>>(
-            characterizer->threshold_vs_vdd(kind, vdds, &pool_));
+    return stored_sweep(key.str(), [&] {
+        return characterizer->threshold_vs_vdd(kind, vdds, &pool_);
     });
 }
 
@@ -142,9 +180,8 @@ std::shared_ptr<const std::vector<circuits::VddPoint>> Session::driver_sweep(
     std::ostringstream key;
     key << "char_sweep|" << characterizer->config().cache_key()
         << "|drv|robust=" << robust << "|" << grid_key(vdds);
-    return artifact<std::vector<circuits::VddPoint>>(key.str(), [&] {
-        return std::make_shared<std::vector<circuits::VddPoint>>(
-            characterizer->driver_amplitude_vs_vdd(vdds, robust, &pool_));
+    return stored_sweep(key.str(), [&] {
+        return characterizer->driver_amplitude_vs_vdd(vdds, robust, &pool_);
     });
 }
 
@@ -154,9 +191,8 @@ std::shared_ptr<const std::vector<circuits::VddPoint>> Session::time_to_spike_sw
     std::ostringstream key;
     key << "char_sweep|" << characterizer->config().cache_key()
         << "|tts|" << circuits::to_string(kind) << "|" << grid_key(vdds);
-    return artifact<std::vector<circuits::VddPoint>>(key.str(), [&] {
-        return std::make_shared<std::vector<circuits::VddPoint>>(
-            characterizer->time_to_spike_vs_vdd(kind, vdds, &pool_));
+    return stored_sweep(key.str(), [&] {
+        return characterizer->time_to_spike_vs_vdd(kind, vdds, &pool_);
     });
 }
 
@@ -176,27 +212,42 @@ std::shared_ptr<const attack::GlitchProfile> Session::glitch_profile(
     const circuits::GlitchSpec& spec, const circuits::GlitchPreset& preset,
     std::size_t n_windows) {
     auto characterizer = this->characterizer(preset.config);
-    std::ostringstream key;
-    key << "glitch_profile|" << preset.cache_key() << "|" << spec.id()
-        << "|w=" << n_windows;
-    return artifact<attack::GlitchProfile>(key.str(), [&] {
-        return std::make_shared<attack::GlitchProfile>(
+    std::ostringstream os;
+    os << "glitch_profile|" << preset.cache_key() << "|" << spec.id()
+       << "|w=" << n_windows;
+    const std::string key = os.str();
+    return artifact<attack::GlitchProfile>(key, [&] {
+        if (store_) {
+            if (const auto payload = store_->load(store::kGlitchProfileKind, key)) {
+                try {
+                    return std::make_shared<attack::GlitchProfile>(
+                        store::decode_glitch_profile(*payload));
+                } catch (const store::BlobError&) {
+                    // Re-characterise below.
+                }
+            }
+        }
+        auto profile = std::make_shared<attack::GlitchProfile>(
             attack::GlitchProfile::from_characterization(
                 characterizer->characterize_glitch(preset.kind, spec, n_windows,
                                                    &pool_)));
+        if (store_)
+            store_->save(store::kGlitchProfileKind, key,
+                         store::encode_glitch_profile(*profile));
+        return profile;
     });
 }
 
 std::shared_ptr<attack::AttackSuite> Session::attack_suite() {
-    return attack_suite_for(WorkloadOverrides{},
-                            attack::AttackPhase::kTrainingAndInference);
+    return attack_suite(WorkloadOverrides{},
+                        attack::AttackPhase::kTrainingAndInference);
 }
 
 std::shared_ptr<attack::AttackSuite> Session::attack_suite(const ScenarioSpec& spec) {
-    return attack_suite_for(spec.workload, spec.phase);
+    return attack_suite(spec.workload, spec.phase);
 }
 
-std::shared_ptr<attack::AttackSuite> Session::attack_suite_for(
+std::shared_ptr<attack::AttackSuite> Session::attack_suite(
     const WorkloadOverrides& overrides, attack::AttackPhase phase) {
     const std::size_t samples = overrides.train_samples.value_or(options_.samples());
     const std::size_t neurons = overrides.n_neurons.value_or(options_.neurons());
@@ -224,6 +275,36 @@ std::shared_ptr<attack::AttackSuite> Session::attack_suite_for(
         auto suite =
             std::make_shared<attack::AttackSuite>(snn::Dataset(*data), config);
         suite->set_thread_pool(&pool_);
+        if (store_) {
+            // The baseline training is phase-independent, so the store key
+            // deliberately drops `phase` (both phases share one blob) and
+            // instead pins everything the trained model depends on: the
+            // full topology config, the dataset identity, and the training
+            // knobs.
+            std::ostringstream bk;
+            bk << store::network_config_key(config.network)
+               << "|samples=" << samples << "|data_seed=" << data_seed
+               << "|dir=" << options_.mnist_dir
+               << "|network_seed=" << network_seed
+               << "|eval_window=" << eval_window;
+            const std::string baseline_key = bk.str();
+            if (const auto payload = store_->load(store::kBaselineKind, baseline_key)) {
+                try {
+                    store::TrainedBaseline baseline =
+                        store::decode_trained_baseline(*payload);
+                    suite->adopt_baseline(std::move(baseline.model),
+                                          baseline.result);
+                    return suite;
+                } catch (const store::BlobError&) {
+                    // Retrain below; the save overwrites the bad blob.
+                }
+            }
+            (void)suite->baseline_accuracy();
+            store_->save(store::kBaselineKind, baseline_key,
+                         store::encode_trained_baseline(store::TrainedBaseline{
+                             suite->baseline_model(), suite->baseline_result()}));
+            return suite;
+        }
         // Train the shared baseline eagerly: it is part of the artifact, so
         // every later consumer is a pure cache hit.
         (void)suite->baseline_accuracy();
@@ -380,10 +461,21 @@ std::string to_json(const std::vector<RunResult>& results, const Session& sessio
         if (r) os << ",";
         os << results[r].to_json();
     }
-    os << "],\"cache\":{\"hits\":" << session.cache_hits()
+    os << "],\"cache\":{\"memory\":{\"hits\":" << session.cache_hits()
        << ",\"misses\":" << session.cache_misses()
        << ",\"evictions\":" << session.cache_evictions()
-       << ",\"entries\":" << session.cache_entries() << "}}";
+       << ",\"entries\":" << session.cache_entries() << "},\"store\":{";
+    if (const store::ArtifactStore* artifact_store = session.store()) {
+        os << "\"enabled\":true,\"hits\":" << artifact_store->hits()
+           << ",\"misses\":" << artifact_store->misses()
+           << ",\"evictions\":" << artifact_store->evictions()
+           << ",\"entries\":" << artifact_store->entries()
+           << ",\"bytes\":" << artifact_store->bytes();
+    } else {
+        os << "\"enabled\":false,\"hits\":0,\"misses\":0,\"evictions\":0,"
+              "\"entries\":0,\"bytes\":0";
+    }
+    os << "}}}";
     return os.str();
 }
 

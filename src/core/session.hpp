@@ -33,6 +33,7 @@
 #include "attack/scenarios.hpp"
 #include "circuits/characterization.hpp"
 #include "core/scenario.hpp"
+#include "store/store.hpp"
 #include "util/thread_pool.hpp"
 
 namespace snnfi::core {
@@ -92,9 +93,15 @@ public:
         std::size_t n_windows);
     /// Suite over the session workload (spec-less form uses the defaults).
     /// Suites share the session pool; their trained baseline is part of the
-    /// cached artifact, so it is trained at most once per distinct workload.
+    /// cached artifact, so it is trained at most once per distinct workload
+    /// — and, with a store attached, at most once per distinct workload
+    /// *ever*: a store hit adopts the persisted baseline without training.
     std::shared_ptr<attack::AttackSuite> attack_suite();
     std::shared_ptr<attack::AttackSuite> attack_suite(const ScenarioSpec& spec);
+    /// Explicit-override form (campaign replica training etc.): same cache
+    /// and store behaviour as the spec form.
+    std::shared_ptr<attack::AttackSuite> attack_suite(
+        const WorkloadOverrides& overrides, attack::AttackPhase phase);
 
     /// Generic typed artifact slot: new subsystems (e.g. fi:: campaign
     /// results) share the session cache without core:: knowing their types.
@@ -112,12 +119,20 @@ public:
     std::size_t cache_evictions() const noexcept { return evictions_; }
     std::size_t cache_entries() const;
 
+    /// The persistent artifact store, or nullptr when the session runs
+    /// without one (no RunOptions::store_dir and no SNNFI_STORE_DIR).
+    store::ArtifactStore* store() noexcept { return store_.get(); }
+    const store::ArtifactStore* store() const noexcept { return store_.get(); }
+
 private:
     std::shared_ptr<void> cached(const std::string& key,
                                  const std::function<std::shared_ptr<void>()>& make);
-    std::shared_ptr<attack::AttackSuite> attack_suite_for(
-        const WorkloadOverrides& overrides, attack::AttackPhase phase);
     util::ResultTable run_sweep(const ScenarioSpec& spec);
+    /// Store-backed sweep artifact: consult the store before running
+    /// `measure`, persist on a miss. Used by every characterisation sweep.
+    std::shared_ptr<const std::vector<circuits::VddPoint>> stored_sweep(
+        const std::string& key,
+        const std::function<std::vector<circuits::VddPoint>()>& measure);
 
     struct CacheEntry {
         std::shared_ptr<void> value;
@@ -126,6 +141,7 @@ private:
 
     RunOptions options_;
     util::ThreadPool pool_;
+    std::unique_ptr<store::ArtifactStore> store_;  ///< nullptr = no store
     mutable std::mutex mutex_;  ///< guards the cache maps and the counters
     std::map<std::string, CacheEntry> artifacts_;
     std::list<std::string> lru_;  ///< most-recently-used first
@@ -136,9 +152,12 @@ private:
     std::atomic<std::size_t> evictions_{0};
 };
 
-/// The JSON envelope shared by every CLI front-end (`run`, bench binaries):
+/// The JSON envelope shared by every CLI front-end (`run`, bench binaries).
+/// The cache object distinguishes the two tiers:
 /// {"experiments":[<RunResult>...],
-///  "cache":{"hits":..,"misses":..,"evictions":..,"entries":..}}.
+///  "cache":{"memory":{"hits":..,"misses":..,"evictions":..,"entries":..},
+///           "store":{"enabled":..,"hits":..,"misses":..,"evictions":..,
+///                    "entries":..,"bytes":..}}}.
 std::string to_json(const std::vector<RunResult>& results, const Session& session);
 
 }  // namespace snnfi::core

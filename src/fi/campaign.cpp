@@ -68,7 +68,7 @@ std::string CampaignConfig::cache_key() const {
        << "|eval=" << eval_samples << "|seed=" << seed
        << "|crit=" << critical_drop_pct << "|es=" << early_stop.enabled
        << "," << early_stop.min_replicas << "," << early_stop.max_replicas
-       << "," << early_stop.ci_halfwidth_pct;
+       << "," << early_stop.ci_halfwidth_pct << "|treps=" << train_replicas;
     return os.str();
 }
 
@@ -92,6 +92,7 @@ util::ResultTable CampaignResult::sensitivity_map(const std::string& title) cons
     struct Bucket {
         std::string model;
         std::string layer;
+        std::string footprint;
         std::size_t cells = 0;
         std::size_t critical = 0;
         std::size_t replicas = 0;
@@ -104,10 +105,12 @@ util::ResultTable CampaignResult::sensitivity_map(const std::string& title) cons
     for (const auto& cell : cells) {
         const std::string layer = layer_label(cell.site);
         auto it = std::find_if(buckets.begin(), buckets.end(), [&](const Bucket& b) {
-            return b.model == cell.model && b.layer == layer;
+            return b.model == cell.model && b.layer == layer &&
+                   b.footprint == cell.footprint;
         });
         if (it == buckets.end()) {
-            buckets.push_back(Bucket{cell.model, layer, 0, 0, 0, 0.0, 0.0});
+            buckets.push_back(
+                Bucket{cell.model, layer, cell.footprint, 0, 0, 0, 0.0, 0.0});
             it = std::prev(buckets.end());
         }
         ++it->cells;
@@ -117,13 +120,13 @@ util::ResultTable CampaignResult::sensitivity_map(const std::string& title) cons
         it->drop_max = std::max(it->drop_max, cell.drop_pct);
     }
 
-    util::ResultTable table(title, {"model", "layer", "cells", "mean_drop_pct",
-                                    "max_drop_pct", "critical_rate_pct",
-                                    "mean_replicas"});
+    util::ResultTable table(title, {"model", "layer", "footprint", "cells",
+                                    "mean_drop_pct", "max_drop_pct",
+                                    "critical_rate_pct", "mean_replicas"});
     for (const Bucket& bucket : buckets) {
         const double n = static_cast<double>(bucket.cells);
-        table.add_row({bucket.model, bucket.layer, n, bucket.drop_sum / n,
-                       bucket.drop_max,
+        table.add_row({bucket.model, bucket.layer, bucket.footprint, n,
+                       bucket.drop_sum / n, bucket.drop_max,
                        100.0 * static_cast<double>(bucket.critical) / n,
                        static_cast<double>(bucket.replicas) / n});
     }
@@ -139,7 +142,8 @@ std::string CampaignResult::to_json() const {
         const CellResult& cell = cells[c];
         if (c) os << ",";
         os << "{\"model\":\"" << util::json_escape(cell.model) << "\",\"site\":\""
-           << util::json_escape(cell.site_id())
+           << util::json_escape(cell.site_id()) << "\",\"footprint\":\""
+           << util::json_escape(cell.footprint)
            << "\",\"severity\":" << util::json_number(cell.severity)
            << ",\"replicas\":" << cell.replicas
            << ",\"accuracy_pct\":" << util::json_number(cell.accuracy_pct)
@@ -154,6 +158,44 @@ std::string CampaignResult::to_json() const {
        << "}";
     return os.str();
 }
+
+void CampaignResult::recount() {
+    evaluations = 0;
+    trainings = 0;
+    std::size_t max_inference_replicas = 0;
+    for (const CellResult& cell : cells) {
+        if (cell.trained) {
+            trainings += cell.replicas;
+        } else {
+            evaluations += cell.replicas;
+            max_inference_replicas = std::max(max_inference_replicas, cell.replicas);
+        }
+    }
+    // The clean reference passes are shared across cells: one per replica
+    // stream, up to the deepest replica count any inference cell reached.
+    evaluations += max_inference_replicas;
+}
+
+// ---------------------------------------------------------------- planning
+
+/// Everything execute() needs, planned up front: the cell skeletons in
+/// their stable planning order plus the per-cell execution payloads.
+struct CampaignEngine::Plan {
+    std::shared_ptr<attack::AttackSuite> suite;
+    std::shared_ptr<const snn::NetworkModel> baseline;
+    double baseline_pct = 0.0;
+    std::size_t eval_n = 0;
+    snn::DiehlCookConfig network_config;
+
+    std::vector<CellResult> cells;             ///< skeletons, plan_index set
+    std::vector<const FaultModel*> cell_model; ///< nullptr for glitch cells
+    std::vector<std::size_t> training_cells;
+    std::vector<attack::FaultSpec> training_specs;  ///< parallel to training_cells
+    std::vector<std::size_t> train_sched_cells;
+    std::vector<attack::ScheduledTrainingSpec> train_sched_specs;
+    std::vector<std::size_t> inference_cells;
+    std::vector<snn::OverlaySchedule> schedules;    ///< per cell
+};
 
 CampaignEngine::CampaignEngine(core::Session& session, CampaignConfig config)
     : session_(session), config_(std::move(config)) {
@@ -171,34 +213,40 @@ std::shared_ptr<const CampaignResult> CampaignEngine::run() {
         << "|data_seed=" << options.data_seed
         << "|network_seed=" << options.network_seed;
     return session_.artifact<CampaignResult>(key.str(), [&] {
-        return std::make_shared<CampaignResult>(execute());
+        Plan plan = make_plan();
+        const std::vector<char> all(plan.cells.size(), 1);
+        return std::make_shared<CampaignResult>(execute(plan, all));
     });
 }
 
-CampaignResult CampaignEngine::execute() {
-    auto suite = session_.attack_suite();
+std::size_t CampaignEngine::plan_cells() { return make_plan().cells.size(); }
+
+CampaignResult CampaignEngine::run_cells(const std::vector<std::size_t>& selected) {
+    Plan plan = make_plan();
+    std::vector<char> include(plan.cells.size(), 0);
+    for (const std::size_t index : selected) {
+        if (index >= plan.cells.size())
+            throw std::out_of_range("run_cells: cell index out of range");
+        include[index] = 1;
+    }
+    return execute(plan, include);
+}
+
+CampaignEngine::Plan CampaignEngine::make_plan() {
+    Plan plan;
+    plan.suite = session_.attack_suite();
     const bool quick = session_.options().quick;
-    const double baseline_pct = suite->baseline_accuracy() * 100.0;
+    plan.baseline_pct = plan.suite->baseline_accuracy() * 100.0;
     // The trained baseline, frozen once and shared by every replica.
-    const std::shared_ptr<const snn::NetworkModel> baseline = suite->baseline_model();
-    const snn::Dataset& data = suite->dataset();
-    const snn::DiehlCookConfig network_config = suite->config().network;
-    const std::size_t eval_n =
+    plan.baseline = plan.suite->baseline_model();
+    const snn::Dataset& data = plan.suite->dataset();
+    plan.network_config = plan.suite->config().network;
+    plan.eval_n =
         std::min(config_.eval_samples == 0 ? data.size() : config_.eval_samples,
                  data.size());
-    if (eval_n == 0) throw std::logic_error("fi campaign: empty eval set");
+    if (plan.eval_n == 0) throw std::logic_error("fi campaign: empty eval set");
 
-    // --- plan the site x model x severity grid --------------------------
-    CampaignResult result;
-    result.baseline_accuracy_pct = baseline_pct;
-    std::vector<std::size_t> training_cells;
-    std::vector<std::size_t> inference_cells;
-    // Model behind each cell (cells themselves only carry the name);
-    // nullptr for glitch cells, whose overlays/schedules come from the
-    // compiled profile instead.
-    std::vector<const FaultModel*> cell_model;
-    // The static FaultSpec behind each training cell, planning order.
-    std::vector<attack::FaultSpec> training_specs;
+    // --- the site x model x severity grid -------------------------------
     for (const auto& model : config_.models) {
         std::vector<FaultSite> sites;
         if (model->network_wide()) {
@@ -207,23 +255,25 @@ CampaignResult CampaignEngine::execute() {
             site.layer = attack::TargetLayer::kNone;
             sites.push_back(site);
         } else {
-            sites = enumerate_sites(network_config, model->site_kind(), config_.sites);
+            sites = enumerate_sites(plan.network_config, model->site_kind(),
+                                    config_.sites);
         }
         for (const FaultSite& site : sites) {
             for (const double severity : model->severity_grid(quick)) {
                 CellResult cell;
+                cell.plan_index = plan.cells.size();
                 cell.model = model->name();
                 cell.site = site;
                 cell.severity = severity;
                 cell.trained = model->trains_under_fault();
                 if (cell.trained) {
-                    training_cells.push_back(result.cells.size());
-                    training_specs.push_back(model->to_fault_spec(site, severity));
+                    plan.training_cells.push_back(plan.cells.size());
+                    plan.training_specs.push_back(model->to_fault_spec(site, severity));
                 } else {
-                    inference_cells.push_back(result.cells.size());
+                    plan.inference_cells.push_back(plan.cells.size());
                 }
-                result.cells.push_back(std::move(cell));
-                cell_model.push_back(model.get());
+                plan.cells.push_back(std::move(cell));
+                plan.cell_model.push_back(model.get());
             }
         }
     }
@@ -234,73 +284,146 @@ CampaignResult CampaignEngine::execute() {
     // profiles become scheduled overlays evaluated at inference on the
     // trained baseline; train-mode cells run STDP under the compiled
     // schedule for their window of the training pass.
-    const attack::GlitchCompiler compiler(network_config);
-    std::vector<snn::OverlaySchedule> schedules;
-    std::vector<std::size_t> scheduled_cells;
-    std::vector<std::size_t> train_sched_cells;
-    std::vector<attack::ScheduledTrainingSpec> train_sched_specs;
+    const attack::GlitchCompiler compiler(plan.network_config);
     for (const GlitchCellSpec& glitch : config_.glitches) {
         CellResult cell;
+        cell.plan_index = plan.cells.size();
         cell.model = "vdd_glitch";
         cell.site.kind = SiteKind::kParameter;
         cell.site.layer = glitch.footprint.layer;
         cell.label = glitch.id;
+        cell.footprint = glitch.footprint.fingerprint();
         cell.severity = glitch.severity;
         if (glitch.train) {
             cell.trained = true;
             cell.scheduled = true;
-            train_sched_cells.push_back(result.cells.size());
+            plan.train_sched_cells.push_back(plan.cells.size());
             attack::ScheduledTrainingSpec spec;
             spec.schedule = compiler.compile(glitch.profile, glitch.footprint);
             spec.sample_begin = glitch.train_begin;
             spec.sample_end = glitch.train_end;
-            train_sched_specs.push_back(std::move(spec));
+            plan.train_sched_specs.push_back(std::move(spec));
         } else if (glitch.profile.is_constant() && glitch.footprint.is_uniform()) {
             cell.trained = true;
-            training_cells.push_back(result.cells.size());
-            training_specs.push_back(glitch.profile.to_fault_spec());
+            plan.training_cells.push_back(plan.cells.size());
+            plan.training_specs.push_back(glitch.profile.to_fault_spec());
         } else {
             cell.scheduled = true;
-            scheduled_cells.push_back(result.cells.size());
-            inference_cells.push_back(result.cells.size());
-            schedules.resize(result.cells.size() + 1);
-            schedules[result.cells.size()] =
+            plan.inference_cells.push_back(plan.cells.size());
+            plan.schedules.resize(plan.cells.size() + 1);
+            plan.schedules[plan.cells.size()] =
                 compiler.compile(glitch.profile, glitch.footprint);
         }
-        result.cells.push_back(std::move(cell));
-        cell_model.push_back(nullptr);
+        plan.cells.push_back(std::move(cell));
+        plan.cell_model.push_back(nullptr);
     }
-    schedules.resize(result.cells.size());
+    plan.schedules.resize(plan.cells.size());
+    return plan;
+}
 
-    // --- drift models: train-under-fault through the AttackSuite --------
-    if (!training_cells.empty()) {
-        const std::vector<attack::AttackOutcome> outcomes =
-            suite->run_many(training_specs);
-        for (std::size_t f = 0; f < training_cells.size(); ++f) {
-            CellResult& cell = result.cells[training_cells[f]];
-            cell.replicas = 1;
-            cell.accuracy_pct = outcomes[f].accuracy * 100.0;
-            cell.drop_pct = baseline_pct - cell.accuracy_pct;
-            cell.critical = cell.drop_pct > config_.critical_drop_pct;
-        }
-        result.trainings = training_cells.size();
+// --------------------------------------------------------------- execution
+
+CampaignResult CampaignEngine::execute(Plan& plan, const std::vector<char>& include) {
+    const bool quick = session_.options().quick;
+    const snn::Dataset& data = plan.suite->dataset();
+    const std::size_t eval_n = plan.eval_n;
+    const double baseline_pct = plan.baseline_pct;
+
+    CampaignResult result;
+    result.baseline_accuracy_pct = baseline_pct;
+    constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+    std::vector<std::size_t> slot(plan.cells.size(), kNone);
+    for (std::size_t c = 0; c < plan.cells.size(); ++c) {
+        if (!include[c]) continue;
+        slot[c] = result.cells.size();
+        result.cells.push_back(plan.cells[c]);
     }
 
-    // --- train-mode glitch cells: STDP under the mid-epoch schedule -----
-    if (!train_sched_cells.empty()) {
-        const std::vector<attack::AttackOutcome> outcomes =
-            suite->run_scheduled_many(train_sched_specs);
-        for (std::size_t f = 0; f < train_sched_cells.size(); ++f) {
-            CellResult& cell = result.cells[train_sched_cells[f]];
-            cell.replicas = 1;
-            cell.accuracy_pct = outcomes[f].accuracy * 100.0;
-            cell.drop_pct = baseline_pct - cell.accuracy_pct;
-            cell.critical = cell.drop_pct > config_.critical_drop_pct;
+    // --- train-under-fault cells (drift models + glitch cells) ----------
+    // Replica 0 always runs the session-default suite, so a
+    // train_replicas == 1 campaign is bit-identical to the classic
+    // engine; replicas >= 1 retrain under derived data/network seed
+    // streams and are paired against *their own* suite's baseline.
+    std::vector<std::size_t> tr_cells;          // plan indices, selected
+    std::vector<attack::FaultSpec> tr_specs;
+    for (std::size_t f = 0; f < plan.training_cells.size(); ++f) {
+        if (!include[plan.training_cells[f]]) continue;
+        tr_cells.push_back(plan.training_cells[f]);
+        tr_specs.push_back(plan.training_specs[f]);
+    }
+    std::vector<std::size_t> ts_cells;
+    std::vector<attack::ScheduledTrainingSpec> ts_specs;
+    for (std::size_t f = 0; f < plan.train_sched_cells.size(); ++f) {
+        if (!include[plan.train_sched_cells[f]]) continue;
+        ts_cells.push_back(plan.train_sched_cells[f]);
+        ts_specs.push_back(plan.train_sched_specs[f]);
+    }
+
+    if (!tr_cells.empty() || !ts_cells.empty()) {
+        const std::size_t train_reps =
+            std::max<std::size_t>(1, config_.train_replicas);
+        std::vector<std::vector<double>> tr_drops(tr_cells.size());
+        std::vector<std::vector<double>> tr_accs(tr_cells.size());
+        std::vector<std::vector<double>> ts_drops(ts_cells.size());
+        std::vector<std::vector<double>> ts_accs(ts_cells.size());
+        for (std::size_t r = 0; r < train_reps; ++r) {
+            std::shared_ptr<attack::AttackSuite> suite = plan.suite;
+            if (r > 0) {
+                // Independent data + weight-init streams per replica; the
+                // replica suite's baseline (and its Session/store caching)
+                // is shared by every train cell of the campaign.
+                const core::RunOptions& options = session_.options();
+                core::WorkloadOverrides overrides;
+                overrides.data_seed =
+                    util::derive_seed(options.data_seed, kTrainReplicaStream + r);
+                overrides.network_seed = util::derive_seed(
+                    options.network_seed, kTrainReplicaStream + r);
+                suite = session_.attack_suite(
+                    overrides, attack::AttackPhase::kTrainingAndInference);
+            }
+            const double replica_baseline_pct = suite->baseline_accuracy() * 100.0;
+            if (!tr_specs.empty()) {
+                const std::vector<attack::AttackOutcome> outcomes =
+                    suite->run_many(tr_specs);
+                for (std::size_t f = 0; f < tr_cells.size(); ++f) {
+                    const double accuracy_pct = outcomes[f].accuracy * 100.0;
+                    tr_accs[f].push_back(accuracy_pct);
+                    tr_drops[f].push_back(replica_baseline_pct - accuracy_pct);
+                }
+            }
+            if (!ts_specs.empty()) {
+                const std::vector<attack::AttackOutcome> outcomes =
+                    suite->run_scheduled_many(ts_specs);
+                for (std::size_t f = 0; f < ts_cells.size(); ++f) {
+                    const double accuracy_pct = outcomes[f].accuracy * 100.0;
+                    ts_accs[f].push_back(accuracy_pct);
+                    ts_drops[f].push_back(replica_baseline_pct - accuracy_pct);
+                }
+            }
         }
-        result.trainings += train_sched_cells.size();
+        const auto finalize = [&](CellResult& cell, const std::vector<double>& drops,
+                                  const std::vector<double>& accs) {
+            const std::size_t n = drops.size();
+            cell.replicas = n;
+            cell.accuracy_pct = util::mean(accs);
+            cell.drop_pct = util::mean(drops);
+            cell.ci_halfwidth_pct =
+                n > 1 ? kZ95 * util::stddev(drops) / std::sqrt(static_cast<double>(n))
+                      : 0.0;
+            cell.critical = cell.drop_pct > config_.critical_drop_pct;
+        };
+        for (std::size_t f = 0; f < tr_cells.size(); ++f)
+            finalize(result.cells[slot[tr_cells[f]]], tr_drops[f], tr_accs[f]);
+        for (std::size_t f = 0; f < ts_cells.size(); ++f)
+            finalize(result.cells[slot[ts_cells[f]]], ts_drops[f], ts_accs[f]);
     }
 
     // --- behavioural models: batched Model/Runtime inference path -------
+    std::vector<std::size_t> selected_inference;
+    for (const std::size_t c : plan.inference_cells) {
+        if (include[c]) selected_inference.push_back(c);
+    }
+
     EarlyStopPolicy es = config_.early_stop;
     // Quick mode always runs a fixed replica count: smoke runs and CI must
     // be shape-stable, so early stopping never activates (documented
@@ -310,23 +433,24 @@ CampaignResult CampaignEngine::execute() {
     const std::size_t max_reps =
         es.enabled ? std::max(min_reps, es.max_replicas) : min_reps;
 
-    // One overlay per inference cell, built up front from the topology.
-    // Scheduled glitch cells have an empty base overlay: their faults
-    // arrive through the compiled schedule instead.
-    std::vector<snn::FaultOverlay> overlays(result.cells.size());
-    for (const std::size_t c : inference_cells) {
-        if (cell_model[c] == nullptr) continue;
-        cell_model[c]->build_overlay(overlays[c], network_config,
-                                     result.cells[c].site,
-                                     result.cells[c].severity);
+    // One overlay per selected inference cell, built up front from the
+    // topology. Scheduled glitch cells have an empty base overlay: their
+    // faults arrive through the compiled schedule instead.
+    std::vector<snn::FaultOverlay> overlays(plan.cells.size());
+    for (const std::size_t c : selected_inference) {
+        if (plan.cell_model[c] == nullptr) continue;
+        plan.cell_model[c]->build_overlay(overlays[c], plan.network_config,
+                                          plan.cells[c].site,
+                                          plan.cells[c].severity);
     }
 
     std::vector<CleanReplica> clean(max_reps);
     const auto build_clean = [&](std::size_t replica) {
-        snn::NetworkRuntime runtime(baseline);
+        snn::NetworkRuntime runtime(plan.baseline);
         runtime.rng().reseed(
             util::derive_seed(config_.seed, kReplicaStream + replica));
-        snn::ActivityClassifier classifier(network_config.n_neurons, kNumClasses);
+        snn::ActivityClassifier classifier(plan.network_config.n_neurons,
+                                           kNumClasses);
         std::vector<snn::SampleActivity> activity;
         activity.reserve(eval_n);
         for (std::size_t i = 0; i < eval_n; ++i) {
@@ -339,11 +463,11 @@ CampaignResult CampaignEngine::execute() {
             if (classifier.predict(activity[i].exc_counts) == data.labels[i])
                 ++correct;
         }
-        CleanReplica& slot = clean[replica];
-        slot.classifier = std::move(classifier);
-        slot.accuracy_pct =
+        CleanReplica& slot_ref = clean[replica];
+        slot_ref.classifier = std::move(classifier);
+        slot_ref.accuracy_pct =
             100.0 * static_cast<double>(correct) / static_cast<double>(eval_n);
-        slot.built = true;
+        slot_ref.built = true;
     };
     const auto ensure_clean = [&](std::size_t replicas) {
         std::vector<std::size_t> missing;
@@ -352,17 +476,18 @@ CampaignResult CampaignEngine::execute() {
         }
         session_.pool().parallel_for(missing.size(),
                                      [&](std::size_t m) { build_clean(missing[m]); });
-        result.evaluations += missing.size();
     };
 
     // Per-cell replica outcomes, grown round by round. Every open cell has
     // the same replica count each round; a round is cut into fixed-size
     // lockstep batches (one pre-faulted runtime per cell, shared encoder
     // and propagation per batch), so results stay byte-identical for any
-    // worker count.
-    std::vector<std::vector<double>> drops(result.cells.size());
-    std::vector<std::vector<double>> accuracies(result.cells.size());
-    std::vector<std::size_t> open = inference_cells;
+    // worker count — and a cell's replica sequence never depends on which
+    // other cells are included, which is what makes shard outputs
+    // bit-identical to single-process runs.
+    std::vector<std::vector<double>> drops(plan.cells.size());
+    std::vector<std::vector<double>> accuracies(plan.cells.size());
+    std::vector<std::size_t> open = selected_inference;
     std::size_t replicas_done = 0;
     while (!open.empty() && replicas_done < max_reps) {
         const std::size_t round_replicas =
@@ -389,13 +514,13 @@ CampaignResult CampaignEngine::execute() {
             members.reserve(count);
             for (std::size_t k = 0; k < count; ++k) {
                 const std::size_t cell = open[task.begin + k];
-                runtimes.emplace_back(baseline, overlays[cell]);
-                if (!schedules[cell].empty())
-                    runtimes.back().set_schedule(schedules[cell]);
+                runtimes.emplace_back(plan.baseline, overlays[cell]);
+                if (!plan.schedules[cell].empty())
+                    runtimes.back().set_schedule(plan.schedules[cell]);
             }
             for (snn::NetworkRuntime& runtime : runtimes)
                 members.push_back(&runtime);
-            snn::BatchRunner batch(*baseline, std::move(members));
+            snn::BatchRunner batch(*plan.baseline, std::move(members));
             util::Rng rng(
                 util::derive_seed(config_.seed, kReplicaStream + task.replica));
             const snn::ActivityClassifier& reference =
@@ -425,14 +550,13 @@ CampaignResult CampaignEngine::execute() {
                 const std::size_t c = open[tasks[t].begin + k];
                 drops[c].push_back(outcomes[t][k].first);
                 accuracies[c].push_back(outcomes[t][k].second);
-                ++result.evaluations;
             }
         }
         replicas_done = round_replicas;
 
         std::vector<std::size_t> still_open;
         for (const std::size_t c : open) {
-            CellResult& cell = result.cells[c];
+            CellResult& cell = result.cells[slot[c]];
             const std::size_t n = drops[c].size();
             cell.replicas = n;
             cell.drop_pct = util::mean(drops[c]);
@@ -451,6 +575,8 @@ CampaignResult CampaignEngine::execute() {
         }
         open = std::move(still_open);
     }
+
+    result.recount();
     return result;
 }
 

@@ -97,6 +97,13 @@ struct CampaignConfig {
     /// Mean drop beyond this many percentage points marks a cell critical.
     double critical_drop_pct = 5.0;
     EarlyStopPolicy early_stop;
+    /// Independent training replicas per train-under-fault cell (drift
+    /// models and train-mode glitch cells). Replica 0 trains under the
+    /// session's default data/network seeds — bit-identical to the classic
+    /// single-training campaign — and replicas >= 1 retrain under derived
+    /// seed streams, so train-mode drops carry a 95% CI like the
+    /// inference-path cells. 1 = single training (the default).
+    std::size_t train_replicas = 1;
 
     /// Stable identity of this campaign for the Session artifact cache.
     std::string cache_key() const;
@@ -104,9 +111,14 @@ struct CampaignConfig {
 
 /// One executed (model, site, severity) grid cell.
 struct CellResult {
+    std::size_t plan_index = 0;  ///< position in the campaign's planning order
     std::string model;
     FaultSite site;
     std::string label;     ///< display id override (glitch cells); else site.id()
+    /// Spatial-coupling bucket: the GlitchFootprint fingerprint for glitch
+    /// cells ("whole", "sub:...", "strat:0.25@7"); fault-library cells are
+    /// always whole-site.
+    std::string footprint = "whole";
     double severity = 0.0;
     std::size_t replicas = 0;
     double accuracy_pct = 0.0;      ///< mean over replicas
@@ -128,11 +140,19 @@ struct CampaignResult {
 
     /// Per-cell table: one row per (model, site, severity).
     util::ResultTable detail_table(const std::string& title) const;
-    /// Per-layer sensitivity map: mean/max drop and critical-fault rate
-    /// aggregated per (model, layer).
+    /// Sensitivity map: mean/max drop and critical-fault rate aggregated
+    /// per (model, layer, footprint) — fractional glitch footprints get
+    /// their own strata instead of disappearing into the layer average.
     util::ResultTable sensitivity_map(const std::string& title) const;
     /// Full structured form: baseline, counters, cells, sensitivity map.
     std::string to_json() const;
+
+    /// Recomputes evaluations/trainings from the per-cell replica counts
+    /// (trainings = training replicas of trained cells; evaluations =
+    /// faulty passes + the shared clean passes). Equals the counters a
+    /// full single-process run accumulates, so shard merges reconstruct
+    /// them exactly.
+    void recount();
 };
 
 class CampaignEngine {
@@ -153,12 +173,31 @@ public:
 
     const CampaignConfig& config() const noexcept { return config_; }
 
+    /// Stream id offset separating train-replica seed derivations
+    /// (CampaignConfig::train_replicas) from the inference replica streams.
+    static constexpr std::uint64_t kTrainReplicaStream = 0x7EA10000;
+
     /// Runs the campaign, or returns the session-cached result of an
     /// identical earlier run.
     std::shared_ptr<const CampaignResult> run();
 
+    /// Number of planned grid cells. The planning order is a pure function
+    /// of (config, session workload), so every process planning the same
+    /// campaign sees the same cell indices — the contract sharded
+    /// campaigns (fi/shard.hpp) are built on.
+    std::size_t plan_cells();
+
+    /// Executes only the selected planned-cell indices (deduplicated;
+    /// throws std::out_of_range on an invalid index). Per-cell numbers are
+    /// bit-identical to the same cells of a full run(): cell outcomes
+    /// never depend on which other cells share the batch. Counters are
+    /// recounted over the included cells only. Not session-cached.
+    CampaignResult run_cells(const std::vector<std::size_t>& selected);
+
 private:
-    CampaignResult execute();
+    struct Plan;
+    Plan make_plan();
+    CampaignResult execute(Plan& plan, const std::vector<char>& include);
 
     core::Session& session_;
     CampaignConfig config_;

@@ -1,0 +1,392 @@
+#include "fi/catalog.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/scenario.hpp"
+#include "core/session.hpp"
+
+namespace snnfi::fi {
+
+namespace {
+
+using attack::TargetLayer;
+
+EarlyStopPolicy early_stop_policy(bool quick) {
+    EarlyStopPolicy policy;
+    if (quick) {
+        // Smoke/CI mode: a fixed replica count, early stopping never
+        // activates (campaign tests rely on this).
+        policy.enabled = false;
+        policy.min_replicas = 2;
+    } else {
+        policy.enabled = true;
+        policy.min_replicas = 3;
+        policy.max_replicas = 8;
+        policy.ci_halfwidth_pct = 1.5;
+    }
+    return policy;
+}
+
+CampaignConfig sweep_config(bool quick) {
+    CampaignConfig config;
+    config.models = standard_fault_library();
+    config.sites.max_sites = quick ? 2 : 4;
+    config.eval_samples = quick ? 50 : 150;
+    config.early_stop = early_stop_policy(quick);
+    return config;
+}
+
+/// Independent training replicas of the fi.glitch.train.* cells. Quick
+/// mode keeps the single fig7b-pinned training (the regression tests
+/// EXPECT_DOUBLE_EQ against it); full runs replicate over derived
+/// data/init seed streams so the train-mode drops carry a 95% CI.
+std::size_t train_replicas(bool quick) { return quick ? 1 : 3; }
+
+/// Resolves one waveform spec into a campaign glitch cell through the
+/// Session's cached transient characterisation of the given preset
+/// (AxonHillock by default; the VampIF preset measures the same waveform
+/// against the van Schaik neuron on its own transient window).
+GlitchCellSpec glitch_cell(
+    core::Session& session, const circuits::GlitchSpec& spec, bool quick,
+    const circuits::GlitchPreset& preset = circuits::GlitchPreset::axon_hillock()) {
+    const std::size_t windows = quick ? 8 : 16;
+    GlitchCellSpec cell;
+    cell.id = preset.name == "axon_hillock" ? spec.id()
+                                            : preset.name + ":" + spec.id();
+    cell.severity = spec.depth_vdd;
+    cell.profile = *session.glitch_profile(spec, preset, windows);
+    return cell;
+}
+
+/// Train-mode variant: the same characterised cell, applied while STDP is
+/// learning over [begin, end) of the training pass.
+GlitchCellSpec train_glitch_cell(core::Session& session,
+                                 const circuits::GlitchSpec& spec, bool quick,
+                                 double begin, double end) {
+    GlitchCellSpec cell = glitch_cell(session, spec, quick);
+    cell.train = true;
+    cell.train_begin = begin;
+    cell.train_end = end;
+    return cell;
+}
+
+/// The paper-depth-axis waveforms: one mid-sample rect dip per non-nominal
+/// point of the paper's VDD grid. Shared by the inference (fi.glitch.depth)
+/// and training-time (fi.glitch.train.depth) depth sweeps so the two
+/// scenarios can never drift onto different operating points.
+std::vector<circuits::GlitchSpec> depth_axis_specs(bool quick) {
+    std::vector<circuits::GlitchSpec> specs;
+    for (const double vdd : core::paper_vdd_grid(quick)) {
+        if (vdd == 1.0) continue;  // nominal rail: no glitch
+        circuits::GlitchSpec glitch;
+        glitch.depth_vdd = vdd;
+        glitch.onset = 0.25;
+        glitch.width = 0.25;
+        specs.push_back(glitch);
+    }
+    return specs;
+}
+
+CampaignConfig glitch_campaign(std::vector<GlitchCellSpec> cells, bool quick) {
+    CampaignConfig config;
+    config.glitches = std::move(cells);
+    config.eval_samples = quick ? 40 : 120;
+    config.early_stop = early_stop_policy(quick);
+    return config;
+}
+
+std::vector<CampaignCatalogEntry> build_catalog() {
+    std::vector<CampaignCatalogEntry> catalog;
+
+    catalog.push_back(
+        {"fi.smoke", "FI smoke — minimal campaign", [](core::Session& session) {
+             CampaignConfig config;
+             config.models = {find_fault_model("dead_neuron"),
+                              find_fault_model("stuck_at_0")};
+             config.sites.layers = {TargetLayer::kExcitatory};
+             config.sites.max_sites = 2;
+             config.eval_samples = session.options().quick ? 30 : 60;
+             config.early_stop.enabled = false;
+             config.early_stop.min_replicas = 2;
+             return config;
+         }});
+
+    catalog.push_back(
+        {"fi.quick-sweep",
+         "FI sweep — all fault models x both layers (sampled sites)",
+         [](core::Session& session) {
+             return sweep_config(session.options().quick);
+         }});
+
+    // Same configuration as fi.quick-sweep on purpose: the sensitivity map
+    // is the second view of that cached execution.
+    catalog.push_back(
+        {"fi.sensitivity",
+         "FI sensitivity map — per-layer aggregation of the FI sweep",
+         [](core::Session& session) {
+             return sweep_config(session.options().quick);
+         }});
+
+    catalog.push_back(
+        {"fi.weights",
+         "FI weights — stuck-at and bit-flip faults on input synapses",
+         [](core::Session& session) {
+             const bool quick = session.options().quick;
+             CampaignConfig config;
+             config.models = {find_fault_model("stuck_at_0"),
+                              find_fault_model("stuck_at_1"),
+                              find_fault_model("bit_flip")};
+             config.sites.max_sites = quick ? 3 : 12;
+             config.eval_samples = quick ? 50 : 150;
+             config.early_stop = early_stop_policy(quick);
+             return config;
+         }});
+
+    catalog.push_back(
+        {"fi.neurons",
+         "FI neurons — dead, saturated and refractory-stretched neurons",
+         [](core::Session& session) {
+             const bool quick = session.options().quick;
+             CampaignConfig config;
+             config.models = {find_fault_model("dead_neuron"),
+                              find_fault_model("saturated_neuron"),
+                              find_fault_model("refractory_stretch")};
+             config.sites.max_sites = quick ? 2 : 6;
+             config.eval_samples = quick ? 50 : 150;
+             config.early_stop = early_stop_policy(quick);
+             return config;
+         }});
+
+    catalog.push_back(
+        {"fi.drift",
+         "FI drift — parametric threshold/driver drift (paper attacks)",
+         [](core::Session& session) {
+             const bool quick = session.options().quick;
+             CampaignConfig config;
+             config.models = {find_fault_model("threshold_drift"),
+                              find_fault_model("driver_gain_drift")};
+             config.eval_samples = quick ? 50 : 150;
+             config.early_stop = early_stop_policy(quick);
+             return config;
+         }});
+
+    catalog.push_back(
+        {"fi.drift.driver_gain",
+         "FI drift — driver-gain drift only (fig7b through the campaign)",
+         [](core::Session& session) {
+             const bool quick = session.options().quick;
+             CampaignConfig config;
+             config.models = {find_fault_model("driver_gain_drift")};
+             config.eval_samples = quick ? 50 : 150;
+             config.early_stop = early_stop_policy(quick);
+             return config;
+         }});
+
+    catalog.push_back(
+        {"fi.glitch.smoke",
+         "FI glitch smoke — one rect VDD glitch (depth 0.8 V, width 25%)",
+         [](core::Session& session) {
+             const bool quick = session.options().quick;
+             circuits::GlitchSpec glitch;
+             glitch.depth_vdd = 0.8;
+             glitch.onset = 0.25;
+             glitch.width = 0.25;
+             return glitch_campaign({glitch_cell(session, glitch, quick)}, quick);
+         }});
+
+    catalog.push_back(
+        {"fi.glitch.depth",
+         "FI glitch depth — rect glitch severity swept over the VDD grid",
+         [](core::Session& session) {
+             const bool quick = session.options().quick;
+             std::vector<GlitchCellSpec> cells;
+             for (const circuits::GlitchSpec& glitch : depth_axis_specs(quick))
+                 cells.push_back(glitch_cell(session, glitch, quick));
+             return glitch_campaign(std::move(cells), quick);
+         }});
+
+    catalog.push_back(
+        {"fi.glitch.width",
+         "FI glitch width — dip duration axis (incl. the constant limit)",
+         [](core::Session& session) {
+             const bool quick = session.options().quick;
+             const std::vector<double> widths =
+                 quick ? std::vector<double>{0.25}
+                       : std::vector<double>{0.125, 0.25, 0.5};
+             std::vector<GlitchCellSpec> cells;
+             for (const double width : widths) {
+                 circuits::GlitchSpec glitch;
+                 glitch.depth_vdd = 0.8;
+                 glitch.onset = 0.0;
+                 glitch.width = width;
+                 glitch.edge = std::min(0.02, width / 4.0);
+                 cells.push_back(glitch_cell(session, glitch, quick));
+             }
+             // The constant limit: the whole sample at 0.8 V (paper attack
+             // 5's operating point, train-under-fault).
+             cells.push_back(
+                 glitch_cell(session, circuits::GlitchSpec::constant(0.8), quick));
+             return glitch_campaign(std::move(cells), quick);
+         }});
+
+    catalog.push_back(
+        {"fi.glitch.onset", "FI glitch onset — when in the sample the dip lands",
+         [](core::Session& session) {
+             const bool quick = session.options().quick;
+             const std::vector<double> onsets =
+                 quick ? std::vector<double>{0.0, 0.5}
+                       : std::vector<double>{0.0, 0.25, 0.5, 0.75};
+             std::vector<GlitchCellSpec> cells;
+             for (const double onset : onsets) {
+                 circuits::GlitchSpec glitch;
+                 glitch.depth_vdd = 0.8;
+                 glitch.onset = onset;
+                 glitch.width = 0.25;
+                 cells.push_back(glitch_cell(session, glitch, quick));
+             }
+             return glitch_campaign(std::move(cells), quick);
+         }});
+
+    catalog.push_back(
+        {"fi.glitch.shape",
+         "FI glitch shape — rect vs triangle vs exponential recovery",
+         [](core::Session& session) {
+             const bool quick = session.options().quick;
+             std::vector<GlitchCellSpec> cells;
+             for (const auto shape :
+                  {circuits::GlitchShape::kRect, circuits::GlitchShape::kTriangle,
+                   circuits::GlitchShape::kExpRecovery}) {
+                 circuits::GlitchSpec glitch;
+                 glitch.shape = shape;
+                 glitch.depth_vdd = 0.8;
+                 glitch.onset = 0.25;
+                 glitch.width = 0.5;
+                 cells.push_back(glitch_cell(session, glitch, quick));
+             }
+             return glitch_campaign(std::move(cells), quick);
+         }});
+
+    catalog.push_back(
+        {"fi.glitch.train.smoke",
+         "FI glitch train smoke — mid-epoch rect glitch under STDP",
+         [](core::Session& session) {
+             const bool quick = session.options().quick;
+             circuits::GlitchSpec glitch;
+             glitch.depth_vdd = 0.8;
+             glitch.onset = 0.25;
+             glitch.width = 0.25;
+             CampaignConfig config = glitch_campaign(
+                 {train_glitch_cell(session, glitch, quick, 0.25, 0.75)}, quick);
+             config.train_replicas = train_replicas(quick);
+             return config;
+         }});
+
+    catalog.push_back(
+        {"fi.glitch.train.depth",
+         "FI glitch train depth — mid-epoch dip severity over the VDD grid",
+         [](core::Session& session) {
+             const bool quick = session.options().quick;
+             std::vector<GlitchCellSpec> cells;
+             for (const circuits::GlitchSpec& glitch : depth_axis_specs(quick))
+                 cells.push_back(
+                     train_glitch_cell(session, glitch, quick, 0.25, 0.75));
+             CampaignConfig config = glitch_campaign(std::move(cells), quick);
+             config.train_replicas = train_replicas(quick);
+             return config;
+         }});
+
+    catalog.push_back(
+        {"fi.glitch.train.window",
+         "FI glitch train window — when in the pass the glitch lands",
+         [](core::Session& session) {
+             const bool quick = session.options().quick;
+             const std::vector<std::pair<double, double>> windows =
+                 quick ? std::vector<std::pair<double, double>>{{0.25, 0.75},
+                                                                {0.0, 1.0}}
+                       : std::vector<std::pair<double, double>>{{0.0, 0.5},
+                                                                {0.25, 0.75},
+                                                                {0.5, 1.0},
+                                                                {0.0, 1.0}};
+             circuits::GlitchSpec glitch;
+             glitch.depth_vdd = 0.8;
+             glitch.onset = 0.25;
+             glitch.width = 0.25;
+             std::vector<GlitchCellSpec> cells;
+             for (const auto& [begin, end] : windows) {
+                 GlitchCellSpec cell =
+                     train_glitch_cell(session, glitch, quick, begin, end);
+                 std::ostringstream id;
+                 id << cell.id << ":t" << begin << "-" << end;
+                 cell.id = id.str();
+                 cells.push_back(std::move(cell));
+             }
+             CampaignConfig config = glitch_campaign(std::move(cells), quick);
+             config.train_replicas = train_replicas(quick);
+             return config;
+         }});
+
+    catalog.push_back(
+        {"fi.glitch.footprint",
+         "FI glitch footprint — whole-layer vs per-neuron coupling",
+         [](core::Session& session) {
+             const bool quick = session.options().quick;
+             circuits::GlitchSpec glitch;
+             glitch.depth_vdd = 0.8;
+             glitch.onset = 0.25;
+             glitch.width = 0.25;
+             const GlitchCellSpec base = glitch_cell(session, glitch, quick);
+             const std::vector<double> fractions =
+                 quick ? std::vector<double>{1.0, 0.5}
+                       : std::vector<double>{1.0, 0.5, 0.25};
+             std::vector<GlitchCellSpec> cells;
+             for (const double fraction : fractions) {
+                 GlitchCellSpec cell = base;
+                 std::ostringstream id;
+                 if (fraction >= 1.0) {
+                     id << cell.id << ":fp_whole";
+                 } else {
+                     cell.footprint =
+                         attack::GlitchFootprint::stratified(fraction, 17);
+                     id << cell.id << ":fp" << fraction;
+                 }
+                 cell.id = id.str();
+                 cells.push_back(std::move(cell));
+             }
+             return glitch_campaign(std::move(cells), quick);
+         }});
+
+    catalog.push_back(
+        {"fi.glitch.vamp", "FI glitch VampIF — rect glitch through the VampIF preset",
+         [](core::Session& session) {
+             const bool quick = session.options().quick;
+             circuits::GlitchSpec glitch;
+             glitch.depth_vdd = 0.8;
+             glitch.onset = 0.25;
+             glitch.width = 0.25;
+             return glitch_campaign(
+                 {glitch_cell(session, glitch, quick,
+                              circuits::GlitchPreset::vamp_if())},
+                 quick);
+         }});
+
+    return catalog;
+}
+
+}  // namespace
+
+const std::vector<CampaignCatalogEntry>& campaign_catalog() {
+    static const std::vector<CampaignCatalogEntry> catalog = build_catalog();
+    return catalog;
+}
+
+const CampaignCatalogEntry& find_campaign_entry(const std::string& id) {
+    for (const CampaignCatalogEntry& entry : campaign_catalog()) {
+        if (entry.id == id) return entry;
+    }
+    throw std::invalid_argument("unknown campaign scenario id: " + id);
+}
+
+}  // namespace snnfi::fi

@@ -1,0 +1,409 @@
+#include "fi/shard.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "core/session.hpp"
+#include "fi/catalog.hpp"
+#include "util/table.hpp"
+
+namespace snnfi::fi {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// ------------------------------------------------------- flat-JSON reading
+// Shard lines and the manifest are flat JSON objects written by this file,
+// so a targeted field scanner is enough — no general JSON parser needed.
+// Every helper returns nullopt on a missing or malformed field, which the
+// callers treat as "truncated/corrupt line".
+
+std::optional<std::size_t> find_key(const std::string& text,
+                                    const std::string& key) {
+    const std::string needle = "\"" + key + "\":";
+    const std::size_t at = text.find(needle);
+    if (at == std::string::npos) return std::nullopt;
+    return at + needle.size();
+}
+
+std::optional<std::string> get_string(const std::string& text,
+                                      const std::string& key) {
+    const auto start = find_key(text, key);
+    if (!start || *start >= text.size() || text[*start] != '"')
+        return std::nullopt;
+    std::string value;
+    for (std::size_t i = *start + 1; i < text.size(); ++i) {
+        const char c = text[i];
+        if (c == '"') return value;
+        if (c != '\\') {
+            value += c;
+            continue;
+        }
+        if (++i >= text.size()) return std::nullopt;
+        switch (text[i]) {
+            case '"': value += '"'; break;
+            case '\\': value += '\\'; break;
+            case '/': value += '/'; break;
+            case 'n': value += '\n'; break;
+            case 'r': value += '\r'; break;
+            case 't': value += '\t'; break;
+            case 'u': {
+                if (i + 4 >= text.size()) return std::nullopt;
+                const unsigned long code =
+                    std::strtoul(text.substr(i + 1, 4).c_str(), nullptr, 16);
+                value += static_cast<char>(code);  // ASCII control range only
+                i += 4;
+                break;
+            }
+            default: return std::nullopt;
+        }
+    }
+    return std::nullopt;  // unterminated string
+}
+
+std::optional<std::string> get_token(const std::string& text,
+                                     const std::string& key) {
+    const auto start = find_key(text, key);
+    if (!start) return std::nullopt;
+    std::size_t end = *start;
+    while (end < text.size() && text[end] != ',' && text[end] != '}') ++end;
+    if (end == *start || end == text.size()) return std::nullopt;
+    return text.substr(*start, end - *start);
+}
+
+std::optional<double> get_double(const std::string& text,
+                                 const std::string& key) {
+    const auto token = get_token(text, key);
+    if (!token) return std::nullopt;
+    char* end = nullptr;
+    const double value = std::strtod(token->c_str(), &end);
+    if (end != token->c_str() + token->size()) return std::nullopt;
+    return value;
+}
+
+std::optional<std::size_t> get_size(const std::string& text,
+                                    const std::string& key) {
+    const auto token = get_token(text, key);
+    if (!token) return std::nullopt;
+    char* end = nullptr;
+    const unsigned long long value = std::strtoull(token->c_str(), &end, 10);
+    if (end != token->c_str() + token->size()) return std::nullopt;
+    return static_cast<std::size_t>(value);
+}
+
+std::optional<bool> get_bool(const std::string& text, const std::string& key) {
+    const auto token = get_token(text, key);
+    if (!token) return std::nullopt;
+    if (*token == "true") return true;
+    if (*token == "false") return false;
+    return std::nullopt;
+}
+
+std::string bool_json(bool value) { return value ? "true" : "false"; }
+
+/// Atomic publish: write to a sibling temp file, then rename over the
+/// destination (same pattern as the artifact store).
+void atomic_write(const fs::path& path, const std::string& content) {
+    const fs::path temp = path.string() + ".tmp";
+    {
+        std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+        if (!out) throw std::runtime_error("cannot write " + temp.string());
+        out << content;
+        out.flush();
+        if (!out) throw std::runtime_error("short write to " + temp.string());
+    }
+    fs::rename(temp, path);
+}
+
+}  // namespace
+
+// ----------------------------------------------------------------- manifest
+
+std::string CampaignManifest::to_json() const {
+    std::ostringstream os;
+    os << "{\"scenario\":\"" << util::json_escape(scenario)
+       << "\",\"shards\":" << shards << ",\"cells\":" << cells
+       << ",\"quick\":" << bool_json(quick) << ",\"campaign_key\":\""
+       << util::json_escape(campaign_key) << "\"}";
+    return os.str();
+}
+
+CampaignManifest CampaignManifest::from_json(const std::string& text) {
+    CampaignManifest manifest;
+    const auto scenario = get_string(text, "scenario");
+    const auto shards = get_size(text, "shards");
+    const auto cells = get_size(text, "cells");
+    const auto quick = get_bool(text, "quick");
+    const auto key = get_string(text, "campaign_key");
+    if (!scenario || !shards || !cells || !quick || !key)
+        throw std::runtime_error("malformed campaign manifest");
+    manifest.scenario = *scenario;
+    manifest.shards = *shards;
+    manifest.cells = *cells;
+    manifest.quick = *quick;
+    manifest.campaign_key = *key;
+    return manifest;
+}
+
+void write_manifest(const fs::path& dir, const CampaignManifest& manifest) {
+    fs::create_directories(dir);
+    const fs::path path = dir / "manifest.json";
+    if (fs::exists(path)) {
+        const CampaignManifest existing = read_manifest(dir);
+        if (existing.to_json() != manifest.to_json())
+            throw std::runtime_error(
+                "campaign dir " + dir.string() +
+                " already holds a different campaign: " + existing.to_json());
+        return;
+    }
+    atomic_write(path, manifest.to_json());
+}
+
+CampaignManifest read_manifest(const fs::path& dir) {
+    std::ifstream in(dir / "manifest.json", std::ios::binary);
+    if (!in)
+        throw std::runtime_error("no manifest.json in " + dir.string());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return CampaignManifest::from_json(buffer.str());
+}
+
+// ------------------------------------------------------------- partitioning
+
+std::vector<std::size_t> shard_cells(std::size_t total_cells,
+                                     std::size_t shard_count,
+                                     std::size_t shard_index) {
+    if (shard_count == 0)
+        throw std::invalid_argument("shard_cells: zero shard count");
+    if (shard_index >= shard_count)
+        throw std::invalid_argument("shard_cells: shard index out of range");
+    std::vector<std::size_t> cells;
+    for (std::size_t c = shard_index; c < total_cells; c += shard_count)
+        cells.push_back(c);
+    return cells;
+}
+
+// --------------------------------------------------------------- JSONL I/O
+
+std::string cell_to_jsonl(const CellResult& cell, double baseline_pct) {
+    std::ostringstream os;
+    os << "{\"plan_index\":" << cell.plan_index << ",\"model\":\""
+       << util::json_escape(cell.model) << "\",\"site_kind\":"
+       << static_cast<int>(cell.site.kind)
+       << ",\"site_layer\":" << static_cast<int>(cell.site.layer)
+       << ",\"site_neuron\":" << cell.site.neuron
+       << ",\"site_pre\":" << cell.site.pre << ",\"site_post\":" << cell.site.post
+       << ",\"label\":\"" << util::json_escape(cell.label) << "\",\"footprint\":\""
+       << util::json_escape(cell.footprint)
+       << "\",\"severity\":" << util::json_number(cell.severity)
+       << ",\"replicas\":" << cell.replicas
+       << ",\"accuracy_pct\":" << util::json_number(cell.accuracy_pct)
+       << ",\"drop_pct\":" << util::json_number(cell.drop_pct)
+       << ",\"ci_halfwidth_pct\":" << util::json_number(cell.ci_halfwidth_pct)
+       << ",\"critical\":" << bool_json(cell.critical)
+       << ",\"early_stopped\":" << bool_json(cell.early_stopped)
+       << ",\"trained\":" << bool_json(cell.trained)
+       << ",\"scheduled\":" << bool_json(cell.scheduled)
+       << ",\"baseline_accuracy_pct\":" << util::json_number(baseline_pct) << "}";
+    return os.str();
+}
+
+std::optional<ShardCellRecord> cell_from_jsonl(const std::string& line) {
+    if (line.empty() || line.front() != '{' || line.back() != '}')
+        return std::nullopt;
+    const auto plan_index = get_size(line, "plan_index");
+    const auto model = get_string(line, "model");
+    const auto site_kind = get_size(line, "site_kind");
+    const auto site_layer = get_size(line, "site_layer");
+    const auto site_neuron = get_size(line, "site_neuron");
+    const auto site_pre = get_size(line, "site_pre");
+    const auto site_post = get_size(line, "site_post");
+    const auto label = get_string(line, "label");
+    const auto footprint = get_string(line, "footprint");
+    const auto severity = get_double(line, "severity");
+    const auto replicas = get_size(line, "replicas");
+    const auto accuracy = get_double(line, "accuracy_pct");
+    const auto drop = get_double(line, "drop_pct");
+    const auto ci = get_double(line, "ci_halfwidth_pct");
+    const auto critical = get_bool(line, "critical");
+    const auto early_stopped = get_bool(line, "early_stopped");
+    const auto trained = get_bool(line, "trained");
+    const auto scheduled = get_bool(line, "scheduled");
+    const auto baseline = get_double(line, "baseline_accuracy_pct");
+    if (!plan_index || !model || !site_kind || !site_layer || !site_neuron ||
+        !site_pre || !site_post || !label || !footprint || !severity ||
+        !replicas || !accuracy || !drop || !ci || !critical || !early_stopped ||
+        !trained || !scheduled || !baseline)
+        return std::nullopt;
+    if (*site_kind > static_cast<std::size_t>(SiteKind::kParameter) ||
+        *site_layer > static_cast<std::size_t>(attack::TargetLayer::kBoth))
+        return std::nullopt;
+
+    ShardCellRecord record;
+    CellResult& cell = record.cell;
+    cell.plan_index = *plan_index;
+    cell.model = *model;
+    cell.site.kind = static_cast<SiteKind>(*site_kind);
+    cell.site.layer = static_cast<attack::TargetLayer>(*site_layer);
+    cell.site.neuron = *site_neuron;
+    cell.site.pre = *site_pre;
+    cell.site.post = *site_post;
+    cell.label = *label;
+    cell.footprint = *footprint;
+    cell.severity = *severity;
+    cell.replicas = *replicas;
+    cell.accuracy_pct = *accuracy;
+    cell.drop_pct = *drop;
+    cell.ci_halfwidth_pct = *ci;
+    cell.critical = *critical;
+    cell.early_stopped = *early_stopped;
+    cell.trained = *trained;
+    cell.scheduled = *scheduled;
+    record.baseline_pct = *baseline;
+    return record;
+}
+
+fs::path shard_file(const fs::path& dir, std::size_t index) {
+    std::ostringstream name;
+    name << "shard-" << index << ".jsonl";
+    return dir / name.str();
+}
+
+namespace {
+
+/// Reads a shard file back: every parseable line in order. A malformed
+/// line (the one a killed worker left half-written) and anything after it
+/// are dropped; when that happens the file is rewritten to the valid
+/// prefix so subsequent appends produce a clean file again.
+std::vector<ShardCellRecord> read_shard_file(const fs::path& path) {
+    std::vector<ShardCellRecord> records;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return records;
+    std::string line;
+    std::string valid_prefix;
+    bool truncated = false;
+    while (std::getline(in, line)) {
+        if (line.empty()) continue;
+        const auto record = cell_from_jsonl(line);
+        if (!record) {
+            truncated = true;
+            break;
+        }
+        records.push_back(*record);
+        valid_prefix += line;
+        valid_prefix += '\n';
+    }
+    in.close();
+    if (truncated) atomic_write(path, valid_prefix);
+    return records;
+}
+
+}  // namespace
+
+// ------------------------------------------------------------ shard worker
+
+std::size_t run_shard(core::Session& session, const std::string& scenario,
+                      const fs::path& dir, std::size_t shard_index,
+                      std::size_t shard_count) {
+    const CampaignCatalogEntry& entry = find_campaign_entry(scenario);
+    CampaignEngine engine(session, entry.build(session));
+
+    CampaignManifest manifest;
+    manifest.scenario = scenario;
+    manifest.shards = shard_count;
+    manifest.cells = engine.plan_cells();
+    manifest.quick = session.options().quick;
+    manifest.campaign_key = engine.config().cache_key();
+    write_manifest(dir, manifest);  // validates any existing manifest
+
+    const std::vector<std::size_t> mine =
+        shard_cells(manifest.cells, shard_count, shard_index);
+
+    const fs::path path = shard_file(dir, shard_index);
+    std::vector<char> done(manifest.cells, 0);
+    for (const ShardCellRecord& record : read_shard_file(path)) {
+        if (record.cell.plan_index < manifest.cells)
+            done[record.cell.plan_index] = 1;
+    }
+    std::vector<std::size_t> todo;
+    for (const std::size_t c : mine) {
+        if (!done[c]) todo.push_back(c);
+    }
+    if (todo.empty()) return 0;
+
+    std::ofstream out(path, std::ios::binary | std::ios::app);
+    if (!out) throw std::runtime_error("cannot append to " + path.string());
+
+    // Checkpoint granularity: one lockstep batch of cells per run_cells
+    // call. Each chunk is appended and flushed before the next starts, so
+    // a kill loses at most one chunk of work — and per-cell results are
+    // chunk-independent, so the re-run after resume is bit-identical.
+    std::size_t executed = 0;
+    for (std::size_t b = 0; b < todo.size(); b += CampaignEngine::kBatchCells) {
+        const std::vector<std::size_t> chunk(
+            todo.begin() + static_cast<std::ptrdiff_t>(b),
+            todo.begin() + static_cast<std::ptrdiff_t>(
+                               std::min(b + CampaignEngine::kBatchCells,
+                                        todo.size())));
+        const CampaignResult part = engine.run_cells(chunk);
+        for (const CellResult& cell : part.cells) {
+            out << cell_to_jsonl(cell, part.baseline_accuracy_pct) << '\n';
+            ++executed;
+        }
+        out.flush();
+        if (!out)
+            throw std::runtime_error("short write to " + path.string());
+    }
+    return executed;
+}
+
+// ------------------------------------------------------------------- merge
+
+CampaignResult merge_campaign_dir(const fs::path& dir) {
+    const CampaignManifest manifest = read_manifest(dir);
+    std::vector<std::optional<ShardCellRecord>> by_index(manifest.cells);
+    for (std::size_t shard = 0; shard < manifest.shards; ++shard) {
+        for (ShardCellRecord& record : read_shard_file(shard_file(dir, shard))) {
+            const std::size_t index = record.cell.plan_index;
+            if (index >= manifest.cells)
+                throw std::runtime_error("campaign dir " + dir.string() +
+                                         ": cell index beyond the manifest");
+            if (by_index[index])
+                throw std::runtime_error("campaign dir " + dir.string() +
+                                         ": duplicate cell " +
+                                         std::to_string(index));
+            by_index[index] = std::move(record);
+        }
+    }
+
+    CampaignResult result;
+    std::size_t missing = 0;
+    for (std::size_t c = 0; c < manifest.cells; ++c) {
+        if (!by_index[c]) {
+            ++missing;
+            continue;
+        }
+        if (result.cells.empty()) {
+            result.baseline_accuracy_pct = by_index[c]->baseline_pct;
+        } else if (result.baseline_accuracy_pct != by_index[c]->baseline_pct) {
+            throw std::runtime_error(
+                "campaign dir " + dir.string() +
+                ": shards disagree about the baseline accuracy — were they "
+                "run against different workloads?");
+        }
+        result.cells.push_back(std::move(by_index[c]->cell));
+    }
+    if (missing)
+        throw std::runtime_error(
+            "campaign dir " + dir.string() + ": " + std::to_string(missing) +
+            " of " + std::to_string(manifest.cells) +
+            " cell(s) missing — are all shards finished?");
+    result.recount();
+    return result;
+}
+
+}  // namespace snnfi::fi

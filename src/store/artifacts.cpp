@@ -1,0 +1,222 @@
+#include "store/artifacts.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "store/blob.hpp"
+#include "util/table.hpp"
+
+namespace snnfi::store {
+
+namespace {
+
+void put_lif(BlobWriter& writer, const snn::LifParams& params) {
+    writer.f32(params.v_rest);
+    writer.f32(params.v_reset);
+    writer.f32(params.v_thresh);
+    writer.f32(params.tau_ms);
+    writer.i32(params.refrac_steps);
+    writer.f32(params.dt_ms);
+}
+
+snn::LifParams get_lif(BlobReader& reader) {
+    snn::LifParams params;
+    params.v_rest = reader.f32();
+    params.v_reset = reader.f32();
+    params.v_thresh = reader.f32();
+    params.tau_ms = reader.f32();
+    params.refrac_steps = reader.i32();
+    params.dt_ms = reader.f32();
+    return params;
+}
+
+void put_config(BlobWriter& writer, const snn::DiehlCookConfig& config) {
+    writer.u64(config.n_input);
+    writer.u64(config.n_neurons);
+    writer.f32(config.exc_weight);
+    writer.f32(config.inh_weight);
+    writer.f32(config.norm_total);
+    writer.f32(config.stdp.nu_pre);
+    writer.f32(config.stdp.nu_post);
+    writer.f32(config.stdp.trace_tau_ms);
+    writer.f32(config.stdp.dt_ms);
+    writer.f32(config.stdp.wmin);
+    writer.f32(config.stdp.wmax);
+    put_lif(writer, config.excitatory.lif);
+    writer.f32(config.excitatory.theta_plus);
+    writer.f32(config.excitatory.theta_decay_ms);
+    put_lif(writer, config.inhibitory);
+    writer.f64(config.encoder.max_rate_hz);
+    writer.f64(config.encoder.dt_ms);
+    writer.u64(config.steps_per_sample);
+}
+
+snn::DiehlCookConfig get_config(BlobReader& reader) {
+    snn::DiehlCookConfig config;
+    config.n_input = reader.u64();
+    config.n_neurons = reader.u64();
+    config.exc_weight = reader.f32();
+    config.inh_weight = reader.f32();
+    config.norm_total = reader.f32();
+    config.stdp.nu_pre = reader.f32();
+    config.stdp.nu_post = reader.f32();
+    config.stdp.trace_tau_ms = reader.f32();
+    config.stdp.dt_ms = reader.f32();
+    config.stdp.wmin = reader.f32();
+    config.stdp.wmax = reader.f32();
+    config.excitatory.lif = get_lif(reader);
+    config.excitatory.theta_plus = reader.f32();
+    config.excitatory.theta_decay_ms = reader.f32();
+    config.inhibitory = get_lif(reader);
+    config.encoder.max_rate_hz = reader.f64();
+    config.encoder.dt_ms = reader.f64();
+    config.steps_per_sample = reader.u64();
+    return config;
+}
+
+}  // namespace
+
+std::vector<std::byte> encode_trained_baseline(const TrainedBaseline& baseline) {
+    if (!baseline.model)
+        throw std::invalid_argument("encode_trained_baseline: null model");
+    const snn::NetworkModel& model = *baseline.model;
+    BlobWriter writer;
+    put_config(writer, model.config());
+    writer.u64(model.input_weights().rows());
+    writer.u64(model.input_weights().cols());
+    writer.floats(model.input_weights().flat());
+    writer.floats(model.exc_theta());
+    const util::Rng::Snapshot rng = model.init_rng().snapshot();
+    for (const std::uint64_t word : rng.words) writer.u64(word);
+    writer.f64(rng.cached_normal);
+    writer.u8(rng.has_cached_normal ? 1 : 0);
+    writer.f64(baseline.result.train_accuracy);
+    writer.f64(baseline.result.retro_accuracy);
+    writer.f64(baseline.result.test_accuracy);
+    writer.u64(baseline.result.total_exc_spikes);
+    writer.u64(baseline.result.total_inh_spikes);
+    writer.f64(baseline.result.mean_exc_spikes_per_sample);
+    return writer.take();
+}
+
+TrainedBaseline decode_trained_baseline(std::span<const std::byte> bytes) {
+    BlobReader reader(bytes);
+    const snn::DiehlCookConfig config = get_config(reader);
+    const std::uint64_t rows = reader.u64();
+    const std::uint64_t cols = reader.u64();
+    const std::vector<float> flat = reader.floats();
+    if (flat.size() != rows * cols)
+        throw BlobError("baseline blob: weight matrix shape mismatch");
+    snn::Matrix weights(rows, cols);
+    std::copy(flat.begin(), flat.end(), weights.flat().begin());
+    std::vector<float> theta = reader.floats();
+    util::Rng::Snapshot rng;
+    for (auto& word : rng.words) word = reader.u64();
+    rng.cached_normal = reader.f64();
+    rng.has_cached_normal = reader.u8() != 0;
+    snn::TrainResult result;
+    result.train_accuracy = reader.f64();
+    result.retro_accuracy = reader.f64();
+    result.test_accuracy = reader.f64();
+    result.total_exc_spikes = reader.u64();
+    result.total_inh_spikes = reader.u64();
+    result.mean_exc_spikes_per_sample = reader.f64();
+    reader.expect_end();
+    util::Rng init_rng{0};
+    init_rng.restore(rng);
+    TrainedBaseline baseline;
+    try {
+        baseline.model = std::make_shared<snn::NetworkModel>(
+            config, std::move(weights), std::move(theta), init_rng);
+    } catch (const std::invalid_argument& error) {
+        // Shape-inconsistent content that survived the checksum is still a
+        // miss, not a crash.
+        throw BlobError(std::string("baseline blob: ") + error.what());
+    }
+    baseline.result = result;
+    return baseline;
+}
+
+std::vector<std::byte> encode_vdd_points(const std::vector<circuits::VddPoint>& points) {
+    BlobWriter writer;
+    writer.u64(points.size());
+    for (const circuits::VddPoint& point : points) {
+        writer.f64(point.vdd);
+        writer.f64(point.value);
+        writer.f64(point.change_pct);
+    }
+    return writer.take();
+}
+
+std::vector<circuits::VddPoint> decode_vdd_points(std::span<const std::byte> bytes) {
+    BlobReader reader(bytes);
+    const std::uint64_t count = reader.u64();
+    if (count > reader.remaining() / (3 * sizeof(double)))
+        throw BlobError("sweep blob truncated");
+    std::vector<circuits::VddPoint> points(count);
+    for (circuits::VddPoint& point : points) {
+        point.vdd = reader.f64();
+        point.value = reader.f64();
+        point.change_pct = reader.f64();
+    }
+    reader.expect_end();
+    return points;
+}
+
+std::vector<std::byte> encode_glitch_profile(const attack::GlitchProfile& profile) {
+    BlobWriter writer;
+    writer.u64(profile.windows().size());
+    for (const attack::GlitchWindow& window : profile.windows()) {
+        writer.f64(window.begin);
+        writer.f64(window.end);
+        writer.f64(window.threshold_delta);
+        writer.f64(window.driver_gain);
+    }
+    return writer.take();
+}
+
+attack::GlitchProfile decode_glitch_profile(std::span<const std::byte> bytes) {
+    BlobReader reader(bytes);
+    const std::uint64_t count = reader.u64();
+    if (count > reader.remaining() / (4 * sizeof(double)))
+        throw BlobError("glitch blob truncated");
+    std::vector<attack::GlitchWindow> windows(count);
+    for (attack::GlitchWindow& window : windows) {
+        window.begin = reader.f64();
+        window.end = reader.f64();
+        window.threshold_delta = reader.f64();
+        window.driver_gain = reader.f64();
+    }
+    reader.expect_end();
+    try {
+        return attack::GlitchProfile(std::move(windows));
+    } catch (const std::invalid_argument& error) {
+        throw BlobError(std::string("glitch blob: ") + error.what());
+    }
+}
+
+std::string network_config_key(const snn::DiehlCookConfig& config) {
+    const auto num = [](double value) { return util::json_number(value); };
+    std::ostringstream os;
+    const auto lif = [&](const snn::LifParams& params) {
+        os << num(params.v_rest) << ',' << num(params.v_reset) << ','
+           << num(params.v_thresh) << ',' << num(params.tau_ms) << ','
+           << params.refrac_steps << ',' << num(params.dt_ms);
+    };
+    os << "net|in=" << config.n_input << "|n=" << config.n_neurons
+       << "|w=" << num(config.exc_weight) << ',' << num(config.inh_weight) << ','
+       << num(config.norm_total) << "|stdp=" << num(config.stdp.nu_pre) << ','
+       << num(config.stdp.nu_post) << ',' << num(config.stdp.trace_tau_ms) << ','
+       << num(config.stdp.dt_ms) << ',' << num(config.stdp.wmin) << ','
+       << num(config.stdp.wmax) << "|exc=";
+    lif(config.excitatory.lif);
+    os << ',' << num(config.excitatory.theta_plus) << ','
+       << num(config.excitatory.theta_decay_ms) << "|inh=";
+    lif(config.inhibitory);
+    os << "|enc=" << num(config.encoder.max_rate_hz) << ','
+       << num(config.encoder.dt_ms) << "|steps=" << config.steps_per_sample;
+    return os.str();
+}
+
+}  // namespace snnfi::store

@@ -1,0 +1,52 @@
+// Artifact codecs: the typed layer between domain objects and the raw
+// byte blobs the ArtifactStore persists.
+//
+// Three artifact kinds cover everything a campaign computes more than
+// once: trained Diehl&Cook baselines (config + learned weights/theta +
+// post-training RNG state + the TrainResult that described the run),
+// circuit characterisation sweeps (VddPoint curves), and time-resolved
+// glitch profiles. Decoders throw store::BlobError on any structural
+// mismatch — the store maps that to a miss, so schema drift within one
+// kSchemaVersion can only cost a recompute, never a wrong artifact.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "attack/glitch.hpp"
+#include "circuits/characterization.hpp"
+#include "snn/model.hpp"
+#include "snn/trainer.hpp"
+
+namespace snnfi::store {
+
+/// Store `kind` names (the first blob-filename component).
+inline constexpr const char* kBaselineKind = "baseline";
+inline constexpr const char* kSweepKind = "sweep";
+inline constexpr const char* kGlitchProfileKind = "glitch";
+
+/// A trained baseline as the attack layer consumes it: the frozen model
+/// plus the training metrics reported next to it.
+struct TrainedBaseline {
+    std::shared_ptr<const snn::NetworkModel> model;
+    snn::TrainResult result;
+};
+
+std::vector<std::byte> encode_trained_baseline(const TrainedBaseline& baseline);
+TrainedBaseline decode_trained_baseline(std::span<const std::byte> bytes);
+
+std::vector<std::byte> encode_vdd_points(const std::vector<circuits::VddPoint>& points);
+std::vector<circuits::VddPoint> decode_vdd_points(std::span<const std::byte> bytes);
+
+std::vector<std::byte> encode_glitch_profile(const attack::GlitchProfile& profile);
+attack::GlitchProfile decode_glitch_profile(std::span<const std::byte> bytes);
+
+/// Stable fingerprint of every DiehlCookConfig field. Baseline store keys
+/// combine it with the training options so a topology or dynamics change
+/// can never alias a cached model.
+std::string network_config_key(const snn::DiehlCookConfig& config);
+
+}  // namespace snnfi::store

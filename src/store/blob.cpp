@@ -1,0 +1,114 @@
+#include "store/blob.hpp"
+
+#include <bit>
+#include <cstring>
+#include <limits>
+
+namespace snnfi::store {
+
+namespace {
+
+// The store targets the little-endian platforms the project builds on;
+// fixing the on-disk order makes blobs portable between them.
+static_assert(std::endian::native == std::endian::little,
+              "artifact store blobs assume a little-endian host");
+
+}  // namespace
+
+void BlobWriter::raw(const void* data, std::size_t size) {
+    const auto* bytes = static_cast<const std::byte*>(data);
+    bytes_.insert(bytes_.end(), bytes, bytes + size);
+}
+
+void BlobWriter::u8(std::uint8_t value) { raw(&value, sizeof value); }
+void BlobWriter::u32(std::uint32_t value) { raw(&value, sizeof value); }
+void BlobWriter::u64(std::uint64_t value) { raw(&value, sizeof value); }
+void BlobWriter::i32(std::int32_t value) { raw(&value, sizeof value); }
+
+void BlobWriter::f32(float value) {
+    const auto bits = std::bit_cast<std::uint32_t>(value);
+    raw(&bits, sizeof bits);
+}
+
+void BlobWriter::f64(double value) {
+    const auto bits = std::bit_cast<std::uint64_t>(value);
+    raw(&bits, sizeof bits);
+}
+
+void BlobWriter::str(std::string_view text) {
+    u64(text.size());
+    raw(text.data(), text.size());
+}
+
+void BlobWriter::floats(std::span<const float> values) {
+    u64(values.size());
+    for (const float value : values) f32(value);
+}
+
+void BlobWriter::doubles(std::span<const double> values) {
+    u64(values.size());
+    for (const double value : values) f64(value);
+}
+
+void BlobReader::raw(void* out, std::size_t size) {
+    if (size > bytes_.size() - cursor_) throw BlobError("store blob truncated");
+    std::memcpy(out, bytes_.data() + cursor_, size);
+    cursor_ += size;
+}
+
+std::uint8_t BlobReader::u8() {
+    std::uint8_t value;
+    raw(&value, sizeof value);
+    return value;
+}
+
+std::uint32_t BlobReader::u32() {
+    std::uint32_t value;
+    raw(&value, sizeof value);
+    return value;
+}
+
+std::uint64_t BlobReader::u64() {
+    std::uint64_t value;
+    raw(&value, sizeof value);
+    return value;
+}
+
+std::int32_t BlobReader::i32() {
+    std::int32_t value;
+    raw(&value, sizeof value);
+    return value;
+}
+
+float BlobReader::f32() { return std::bit_cast<float>(u32()); }
+double BlobReader::f64() { return std::bit_cast<double>(u64()); }
+
+std::string BlobReader::str() {
+    const std::uint64_t size = u64();
+    if (size > remaining()) throw BlobError("store blob truncated");
+    std::string text(size, '\0');
+    raw(text.data(), size);
+    return text;
+}
+
+std::vector<float> BlobReader::floats() {
+    const std::uint64_t count = u64();
+    if (count > remaining() / sizeof(float)) throw BlobError("store blob truncated");
+    std::vector<float> values(count);
+    for (auto& value : values) value = f32();
+    return values;
+}
+
+std::vector<double> BlobReader::doubles() {
+    const std::uint64_t count = u64();
+    if (count > remaining() / sizeof(double)) throw BlobError("store blob truncated");
+    std::vector<double> values(count);
+    for (auto& value : values) value = f64();
+    return values;
+}
+
+void BlobReader::expect_end() const {
+    if (cursor_ != bytes_.size()) throw BlobError("store blob has trailing bytes");
+}
+
+}  // namespace snnfi::store

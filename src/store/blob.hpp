@@ -1,0 +1,67 @@
+// Binary blob (de)serialisation primitives for the artifact store.
+//
+// Fixed little-endian widths, length-prefixed strings/arrays, bounds-
+// checked reads. Readers throw store::BlobError on truncated or
+// malformed input — the store layer maps that to a cache miss, so a
+// corrupt blob can never surface as a wrong artifact.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace snnfi::store {
+
+struct BlobError : std::runtime_error {
+    using std::runtime_error::runtime_error;
+};
+
+class BlobWriter {
+public:
+    void u8(std::uint8_t value);
+    void u32(std::uint32_t value);
+    void u64(std::uint64_t value);
+    void i32(std::int32_t value);
+    void f32(float value);
+    void f64(double value);
+    void str(std::string_view text);           ///< u64 length + bytes
+    void floats(std::span<const float> values);  ///< u64 count + payload
+    void doubles(std::span<const double> values);
+
+    const std::vector<std::byte>& bytes() const noexcept { return bytes_; }
+    std::vector<std::byte> take() noexcept { return std::move(bytes_); }
+
+private:
+    void raw(const void* data, std::size_t size);
+    std::vector<std::byte> bytes_;
+};
+
+class BlobReader {
+public:
+    explicit BlobReader(std::span<const std::byte> bytes) : bytes_(bytes) {}
+
+    std::uint8_t u8();
+    std::uint32_t u32();
+    std::uint64_t u64();
+    std::int32_t i32();
+    float f32();
+    double f64();
+    std::string str();
+    std::vector<float> floats();
+    std::vector<double> doubles();
+
+    std::size_t remaining() const noexcept { return bytes_.size() - cursor_; }
+    /// Throws BlobError unless every byte has been consumed — trailing
+    /// garbage means the blob does not match the expected schema.
+    void expect_end() const;
+
+private:
+    void raw(void* out, std::size_t size);
+    std::span<const std::byte> bytes_;
+    std::size_t cursor_ = 0;
+};
+
+}  // namespace snnfi::store

@@ -1,0 +1,31 @@
+#include "store/hash.hpp"
+
+namespace snnfi::store {
+
+namespace {
+constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+}  // namespace
+
+std::uint64_t fnv1a64(const void* data, std::size_t size) noexcept {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    std::uint64_t hash = kOffset;
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= static_cast<std::uint64_t>(bytes[i]);
+        hash *= kPrime;
+    }
+    return hash;
+}
+
+std::uint64_t fnv1a64(std::string_view text) noexcept {
+    return fnv1a64(text.data(), text.size());
+}
+
+std::string to_hex(std::uint64_t value) {
+    static constexpr char kDigits[] = "0123456789abcdef";
+    std::string hex(16, '0');
+    for (std::size_t i = 16; i-- > 0; value >>= 4) hex[i] = kDigits[value & 0xF];
+    return hex;
+}
+
+}  // namespace snnfi::store

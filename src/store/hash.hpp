@@ -1,0 +1,21 @@
+// Content hashing for the on-disk artifact store.
+//
+// Store entries are addressed by the FNV-1a 64-bit hash of their full
+// config key string; the key itself is echoed inside the blob so a hash
+// collision degrades to a cache miss, never to a wrong artifact.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace snnfi::store {
+
+/// FNV-1a 64-bit over a byte string.
+std::uint64_t fnv1a64(std::string_view text) noexcept;
+std::uint64_t fnv1a64(const void* data, std::size_t size) noexcept;
+
+/// 16-char lowercase hex rendering of a 64-bit hash (file-name safe).
+std::string to_hex(std::uint64_t value);
+
+}  // namespace snnfi::store

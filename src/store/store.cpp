@@ -1,0 +1,193 @@
+#include "store/store.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <fstream>
+#include <stdexcept>
+#include <system_error>
+
+#include "store/blob.hpp"
+#include "store/hash.hpp"
+
+namespace snnfi::store {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+constexpr std::uint32_t kMagic = 0x42464E53;  // "SNFB"
+
+/// Unique-enough temp suffix: processes are distinguished by the address
+/// of a per-process atomic, concurrent writers within one process by its
+/// value. (getpid would also work, but this keeps the store portable.)
+std::string temp_suffix() {
+    static std::atomic<std::uint64_t> counter{0};
+    const std::uint64_t id =
+        fnv1a64(&counter, sizeof(void*)) ^ counter.fetch_add(1, std::memory_order_relaxed);
+    return ".tmp" + to_hex(id);
+}
+
+std::optional<std::vector<std::byte>> read_file(const fs::path& path) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return std::nullopt;
+    std::vector<std::byte> bytes;
+    in.seekg(0, std::ios::end);
+    const std::streamoff size = in.tellg();
+    if (size < 0) return std::nullopt;
+    bytes.resize(static_cast<std::size_t>(size));
+    in.seekg(0, std::ios::beg);
+    in.read(reinterpret_cast<char*>(bytes.data()), size);
+    if (!in) return std::nullopt;
+    return bytes;
+}
+
+}  // namespace
+
+ArtifactStore::ArtifactStore(StoreConfig config) : config_(std::move(config)) {
+    if (config_.root.empty())
+        throw std::runtime_error("ArtifactStore: empty store directory");
+    std::string version_dir = "v";
+    version_dir += std::to_string(kSchemaVersion);
+    dir_ = config_.root / version_dir;
+    std::error_code ec;
+    fs::create_directories(dir_, ec);
+    if (ec || !fs::is_directory(dir_))
+        throw std::runtime_error("ArtifactStore: cannot create " + dir_.string() +
+                                 (ec ? ": " + ec.message() : ""));
+}
+
+fs::path ArtifactStore::blob_path(const std::string& kind,
+                                  const std::string& key) const {
+    return dir_ / (kind + "-" + to_hex(fnv1a64(kind + "\x1f" + key)) + ".blob");
+}
+
+std::optional<std::vector<std::byte>> ArtifactStore::load(const std::string& kind,
+                                                          const std::string& key) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const fs::path path = blob_path(kind, key);
+    const auto file = read_file(path);
+    if (file) {
+        try {
+            BlobReader reader(*file);
+            if (reader.u32() != kMagic) throw BlobError("bad magic");
+            if (reader.u32() != kSchemaVersion) throw BlobError("schema mismatch");
+            const std::string stored_key = reader.str();
+            const std::uint64_t payload_size = reader.u64();
+            const std::uint64_t checksum = reader.u64();
+            if (payload_size != reader.remaining())
+                throw BlobError("payload size mismatch");
+            std::vector<std::byte> payload(payload_size);
+            for (auto& byte : payload) byte = static_cast<std::byte>(reader.u8());
+            if (checksum != fnv1a64(payload.data(), payload.size()))
+                throw BlobError("checksum mismatch");
+            // A colliding hash lands two keys on one file name; the echoed
+            // key turns that into an honest miss.
+            if (stored_key != kind + "\x1f" + key) throw BlobError("key mismatch");
+            ++hits_;
+            // Re-touch for LRU recency (best effort; shared with other
+            // processes through the filesystem).
+            std::error_code ec;
+            fs::last_write_time(path, fs::file_time_type::clock::now(), ec);
+            return payload;
+        } catch (const BlobError&) {
+            // Corrupt blob: drop it so the slot heals on the next save.
+            std::error_code ec;
+            fs::remove(path, ec);
+        }
+    }
+    ++misses_;
+    return std::nullopt;
+}
+
+void ArtifactStore::save(const std::string& kind, const std::string& key,
+                         std::vector<std::byte> payload) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    BlobWriter writer;
+    writer.u32(kMagic);
+    writer.u32(kSchemaVersion);
+    writer.str(kind + "\x1f" + key);
+    writer.u64(payload.size());
+    writer.u64(fnv1a64(payload.data(), payload.size()));
+    const fs::path path = blob_path(kind, key);
+    const fs::path temp = path.string() + temp_suffix();
+    {
+        std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+        if (!out) return;  // unwritable store: behave as a cache, not a fault
+        out.write(reinterpret_cast<const char*>(writer.bytes().data()),
+                  static_cast<std::streamsize>(writer.bytes().size()));
+        out.write(reinterpret_cast<const char*>(payload.data()),
+                  static_cast<std::streamsize>(payload.size()));
+        if (!out) {
+            out.close();
+            std::error_code ec;
+            fs::remove(temp, ec);
+            return;
+        }
+    }
+    std::error_code ec;
+    fs::rename(temp, path, ec);  // atomic publish (same directory)
+    if (ec) {
+        fs::remove(temp, ec);
+        return;
+    }
+    enforce_cap(path);
+}
+
+void ArtifactStore::enforce_cap(const fs::path& keep) {
+    if (config_.max_bytes == 0) return;
+    struct Entry {
+        fs::path path;
+        std::uint64_t size;
+        fs::file_time_type mtime;
+    };
+    std::vector<Entry> entries;
+    std::uint64_t total = 0;
+    std::error_code ec;
+    for (const auto& item : fs::directory_iterator(dir_, ec)) {
+        if (item.path().extension() != ".blob") continue;
+        std::error_code item_ec;
+        const std::uint64_t size = item.file_size(item_ec);
+        if (item_ec) continue;
+        const fs::file_time_type mtime = item.last_write_time(item_ec);
+        if (item_ec) continue;
+        total += size;
+        entries.push_back({item.path(), size, mtime});
+    }
+    if (ec || total <= config_.max_bytes) return;
+    std::sort(entries.begin(), entries.end(),
+              [](const Entry& a, const Entry& b) { return a.mtime < b.mtime; });
+    for (const Entry& entry : entries) {
+        if (total <= config_.max_bytes) break;
+        if (entry.path == keep) continue;  // never evict the artifact just written
+        std::error_code remove_ec;
+        if (fs::remove(entry.path, remove_ec) && !remove_ec) {
+            total -= entry.size;
+            ++evictions_;
+        }
+    }
+}
+
+std::size_t ArtifactStore::entries() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t count = 0;
+    std::error_code ec;
+    for (const auto& item : fs::directory_iterator(dir_, ec)) {
+        if (item.path().extension() == ".blob") ++count;
+    }
+    return ec ? 0 : count;
+}
+
+std::uint64_t ArtifactStore::bytes() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::uint64_t total = 0;
+    std::error_code ec;
+    for (const auto& item : fs::directory_iterator(dir_, ec)) {
+        if (item.path().extension() != ".blob") continue;
+        std::error_code item_ec;
+        const std::uint64_t size = item.file_size(item_ec);
+        if (!item_ec) total += size;
+    }
+    return ec ? 0 : total;
+}
+
+}  // namespace snnfi::store

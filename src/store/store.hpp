@@ -1,0 +1,86 @@
+// ArtifactStore: a persistent, content-hash-keyed on-disk artifact cache.
+//
+// The in-memory Session cache (core/session.hpp) dies with the process, so
+// every CLI invocation used to retrain baselines and re-run SPICE
+// characterisations. The store is the second tier below it: expensive
+// artifacts (trained baselines, characterisation sweeps, glitch profiles)
+// are serialised once per distinct config *ever* and shared by every later
+// process — the substrate a sharded campaign fleet runs against.
+//
+// Layout: <root>/v<schema>/<kind>-<fnv1a64(key)>.blob. Each blob carries a
+// magic + schema header, the full key string (a hash collision degrades to
+// a miss, never a wrong artifact) and an FNV-1a payload checksum, so
+// truncated or corrupted files are rejected and treated as misses.
+//
+// Writes are atomic (temp file in the same directory + rename), which also
+// makes concurrent multi-process access safe: two processes racing on the
+// same key both write identical deterministic content and the last rename
+// wins. An optional size cap evicts least-recently-used blobs (file mtime;
+// hits re-touch) after each save. All counters are per-process.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <filesystem>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace snnfi::store {
+
+/// Bumped whenever any blob codec or the layout changes; old directories
+/// are simply ignored (they live under their own v<N>/ prefix).
+inline constexpr std::uint32_t kSchemaVersion = 1;
+
+struct StoreConfig {
+    std::filesystem::path root;   ///< store directory (created on demand)
+    /// Total on-disk byte cap across blobs; LRU-evicted beyond it.
+    /// 0 = unbounded.
+    std::uint64_t max_bytes = 0;
+};
+
+class ArtifactStore {
+public:
+    /// Creates <root>/v<schema>/ eagerly; throws std::runtime_error when
+    /// the directory cannot be created.
+    explicit ArtifactStore(StoreConfig config);
+
+    const StoreConfig& config() const noexcept { return config_; }
+    const std::filesystem::path& directory() const noexcept { return dir_; }
+
+    /// Loads the payload stored under (kind, key), or nullopt on a miss.
+    /// Missing, truncated, corrupted and key-mismatched blobs all count
+    /// (and behave) as misses; a hit re-touches the blob for LRU purposes.
+    std::optional<std::vector<std::byte>> load(const std::string& kind,
+                                               const std::string& key);
+
+    /// Atomically persists payload under (kind, key), replacing any
+    /// existing blob, then enforces the size cap (LRU by file mtime, the
+    /// just-written blob exempt). I/O failures are swallowed — the store
+    /// is a cache, never a correctness dependency.
+    void save(const std::string& kind, const std::string& key,
+              std::vector<std::byte> payload);
+
+    std::size_t hits() const noexcept { return hits_; }
+    std::size_t misses() const noexcept { return misses_; }
+    std::size_t evictions() const noexcept { return evictions_; }
+    /// Blobs currently on disk (counts every *.blob under the schema dir).
+    std::size_t entries() const;
+    /// Total payload bytes on disk.
+    std::uint64_t bytes() const;
+
+private:
+    std::filesystem::path blob_path(const std::string& kind,
+                                    const std::string& key) const;
+    void enforce_cap(const std::filesystem::path& keep);
+
+    StoreConfig config_;
+    std::filesystem::path dir_;  ///< <root>/v<schema>
+    mutable std::mutex mutex_;   ///< serialises this process's store I/O
+    std::size_t hits_ = 0;
+    std::size_t misses_ = 0;
+    std::size_t evictions_ = 0;
+};
+
+}  // namespace snnfi::store

@@ -32,6 +32,20 @@ void Rng::reseed(std::uint64_t seed) noexcept {
     has_cached_normal_ = false;
 }
 
+Rng::Snapshot Rng::snapshot() const noexcept {
+    Snapshot snap;
+    for (std::size_t i = 0; i < 4; ++i) snap.words[i] = state_[i];
+    snap.cached_normal = cached_normal_;
+    snap.has_cached_normal = has_cached_normal_;
+    return snap;
+}
+
+void Rng::restore(const Snapshot& snapshot) noexcept {
+    for (std::size_t i = 0; i < 4; ++i) state_[i] = snapshot.words[i];
+    cached_normal_ = snapshot.cached_normal;
+    has_cached_normal_ = snapshot.has_cached_normal;
+}
+
 std::uint64_t Rng::next_u64() noexcept {
     const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
     const std::uint64_t t = state_[1] << 17;

@@ -5,6 +5,7 @@
 // single seed reproduces an entire experiment bit-for-bit across runs.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <limits>
 #include <span>
@@ -66,6 +67,18 @@ public:
     /// k distinct indices drawn uniformly from [0, n), in random order.
     /// Used to pick "x% of the neurons in a layer" for localized faults.
     std::vector<std::size_t> sample_indices(std::size_t n, std::size_t k);
+
+    /// Full generator state for persistence (src/store artifact blobs):
+    /// the four xoshiro words plus the cached Box–Muller deviate, so a
+    /// restored generator reproduces the stream bit-exactly — including a
+    /// pending second normal deviate.
+    struct Snapshot {
+        std::array<std::uint64_t, 4> words{};
+        double cached_normal = 0.0;
+        bool has_cached_normal = false;
+    };
+    Snapshot snapshot() const noexcept;
+    void restore(const Snapshot& snapshot) noexcept;
 
 private:
     std::uint64_t state_[4] = {};

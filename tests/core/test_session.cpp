@@ -4,6 +4,7 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
 #include <set>
 
 #include "core/scenario.hpp"
@@ -184,12 +185,83 @@ TEST(Session, CacheCapacityEvictsLeastRecentlyUsed) {
     EXPECT_EQ(session.cache_evictions(), 2u);  // rebuilding 'b' evicted 'c'
 }
 
-TEST(Session, JsonEnvelopeCarriesCacheCounters) {
+TEST(Session, JsonEnvelopeCarriesTwoTierCacheCounters) {
     Session session(tiny_options());
     (void)session.characterizer();
     const std::string json = to_json({}, session);
+    // Two-tier cache object: the in-memory counters under "memory", the
+    // persistent store's under "store" (disabled here — no store_dir).
+    EXPECT_NE(json.find("\"cache\":{\"memory\":{"), std::string::npos);
     EXPECT_NE(json.find("\"evictions\":0"), std::string::npos);
     EXPECT_NE(json.find("\"entries\":1"), std::string::npos);
+    EXPECT_NE(json.find("\"store\":{\"enabled\":false"), std::string::npos);
+}
+
+TEST(Session, StorePersistsSweepsAcrossSessions) {
+    const std::filesystem::path store_dir =
+        std::filesystem::path(::testing::TempDir()) / "snnfi_session_store";
+    std::filesystem::remove_all(store_dir);
+    RunOptions options = tiny_options();
+    options.store_dir = store_dir.string();
+
+    const std::vector<double> grid{0.8, 1.0, 1.2};
+    std::vector<circuits::VddPoint> first_points;
+    {
+        Session first(options);
+        ASSERT_NE(first.store(), nullptr);
+        first_points = *first.threshold_sweep(circuits::NeuronKind::kAxonHillock,
+                                              grid);
+        EXPECT_EQ(first.store()->hits(), 0u);
+        EXPECT_GE(first.store()->misses(), 1u);
+        EXPECT_GE(first.store()->entries(), 1u);
+    }
+    // A cold process (fresh Session, empty in-memory cache) hits the store
+    // instead of re-simulating, and reproduces the sweep bit-for-bit.
+    Session second(options);
+    const auto points =
+        second.threshold_sweep(circuits::NeuronKind::kAxonHillock, grid);
+    EXPECT_EQ(second.store()->hits(), 1u);
+    EXPECT_EQ(second.store()->misses(), 0u);
+    ASSERT_EQ(points->size(), first_points.size());
+    for (std::size_t i = 0; i < points->size(); ++i) {
+        EXPECT_EQ((*points)[i].vdd, first_points[i].vdd);
+        EXPECT_EQ((*points)[i].value, first_points[i].value);
+        EXPECT_EQ((*points)[i].change_pct, first_points[i].change_pct);
+    }
+    const std::string json = to_json({}, second);
+    EXPECT_NE(json.find("\"store\":{\"enabled\":true,\"hits\":1"),
+              std::string::npos);
+    std::filesystem::remove_all(store_dir);
+}
+
+TEST(Session, StoreAdoptsTrainedBaselineAcrossSessions) {
+    const std::filesystem::path store_dir =
+        std::filesystem::path(::testing::TempDir()) / "snnfi_baseline_store";
+    std::filesystem::remove_all(store_dir);
+    RunOptions options = tiny_options();
+    options.store_dir = store_dir.string();
+
+    double baseline = 0.0;
+    {
+        Session first(options);
+        baseline = first.attack_suite()->baseline_accuracy();
+        EXPECT_GE(first.store()->misses(), 1u);  // baseline trained + saved
+    }
+    Session second(options);
+    const std::size_t misses_before = second.store()->misses();
+    // The cold process adopts the persisted model: a store hit, no
+    // training, and the exact same baseline accuracy.
+    EXPECT_EQ(second.attack_suite()->baseline_accuracy(), baseline);
+    EXPECT_GE(second.store()->hits(), 1u);
+    EXPECT_EQ(second.store()->misses(), misses_before);
+
+    // A different workload misses: the key covers the training config.
+    RunOptions other = options;
+    other.train_samples = options.train_samples / 2;
+    Session third(other);
+    (void)third.attack_suite()->baseline_accuracy();
+    EXPECT_EQ(third.store()->hits(), 0u);
+    std::filesystem::remove_all(store_dir);
 }
 
 }  // namespace

@@ -1,0 +1,336 @@
+// ArtifactStore + blob codec tests: raw round-trips, corruption and
+// truncation rejection, LRU size-cap eviction, concurrent access, and the
+// typed artifact codecs (baseline / sweep / glitch profile).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <thread>
+#include <vector>
+
+#include "attack/glitch.hpp"
+#include "store/artifacts.hpp"
+#include "store/blob.hpp"
+#include "store/hash.hpp"
+#include "store/store.hpp"
+#include "util/random.hpp"
+
+namespace snnfi::store {
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Fresh unique store root per test, removed on teardown.
+class StoreTest : public ::testing::Test {
+protected:
+    void SetUp() override {
+        const auto* info = ::testing::UnitTest::GetInstance()->current_test_info();
+        root_ = fs::path(::testing::TempDir()) /
+                (std::string("snnfi_store_") + info->name());
+        fs::remove_all(root_);
+    }
+    void TearDown() override { fs::remove_all(root_); }
+
+    ArtifactStore make_store(std::uint64_t max_bytes = 0) {
+        StoreConfig config;
+        config.root = root_;
+        config.max_bytes = max_bytes;
+        return ArtifactStore(config);
+    }
+
+    std::vector<std::byte> payload(std::initializer_list<int> values) {
+        std::vector<std::byte> bytes;
+        for (const int v : values) bytes.push_back(static_cast<std::byte>(v));
+        return bytes;
+    }
+
+    /// The single blob file of a one-entry store.
+    fs::path only_blob(const ArtifactStore& store) {
+        for (const auto& entry : fs::directory_iterator(store.directory())) {
+            if (entry.path().extension() == ".blob") return entry.path();
+        }
+        ADD_FAILURE() << "no blob file under " << store.directory();
+        return {};
+    }
+
+    fs::path root_;
+};
+
+TEST_F(StoreTest, RoundTripsPayloadAndCountsTraffic) {
+    ArtifactStore store = make_store();
+    EXPECT_FALSE(store.load("baseline", "k1").has_value());
+    EXPECT_EQ(store.misses(), 1u);
+
+    const auto bytes = payload({1, 2, 3, 4, 5});
+    store.save("baseline", "k1", bytes);
+    EXPECT_EQ(store.entries(), 1u);
+    EXPECT_GT(store.bytes(), 0u);
+
+    const auto loaded = store.load("baseline", "k1");
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(*loaded, bytes);
+    EXPECT_EQ(store.hits(), 1u);
+    EXPECT_EQ(store.misses(), 1u);
+
+    // Distinct kinds with the same key are distinct blobs.
+    EXPECT_FALSE(store.load("sweep", "k1").has_value());
+}
+
+TEST_F(StoreTest, SecondInstanceSeesPersistedBlob) {
+    const auto bytes = payload({42, 43});
+    make_store().save("glitch", "profile", bytes);
+    ArtifactStore reopened = make_store();  // a second "process"
+    const auto loaded = reopened.load("glitch", "profile");
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(*loaded, bytes);
+    EXPECT_EQ(reopened.hits(), 1u);
+}
+
+TEST_F(StoreTest, CorruptedBlobIsAMissAndIsRemoved) {
+    ArtifactStore store = make_store();
+    store.save("baseline", "k", payload({9, 9, 9, 9, 9, 9, 9, 9}));
+    const fs::path blob = only_blob(store);
+
+    // Flip one payload byte (the last byte of the file).
+    std::fstream file(blob, std::ios::binary | std::ios::in | std::ios::out);
+    file.seekp(-1, std::ios::end);
+    file.put('\x7f');
+    file.close();
+
+    EXPECT_FALSE(store.load("baseline", "k").has_value());
+    EXPECT_EQ(store.misses(), 1u);
+    EXPECT_FALSE(fs::exists(blob)) << "corrupt blob should be removed";
+}
+
+TEST_F(StoreTest, TruncatedBlobIsAMiss) {
+    ArtifactStore store = make_store();
+    store.save("baseline", "k", payload({1, 2, 3, 4, 5, 6, 7, 8}));
+    const fs::path blob = only_blob(store);
+    fs::resize_file(blob, fs::file_size(blob) / 2);
+    EXPECT_FALSE(store.load("baseline", "k").has_value());
+    EXPECT_EQ(store.hits(), 0u);
+}
+
+TEST_F(StoreTest, GarbageFileIsAMiss) {
+    ArtifactStore store = make_store();
+    store.save("baseline", "k", payload({1, 2, 3}));
+    std::ofstream(only_blob(store), std::ios::binary | std::ios::trunc)
+        << "not a blob at all";
+    EXPECT_FALSE(store.load("baseline", "k").has_value());
+}
+
+TEST_F(StoreTest, SizeCapEvictsLeastRecentlyUsed) {
+    ArtifactStore store = make_store(/*max_bytes=*/1);  // one blob at most
+    store.save("sweep", "a", payload({1}));
+    const fs::path first = only_blob(store);
+    // Age the first blob so mtime ordering is unambiguous even on coarse
+    // filesystem clocks.
+    fs::last_write_time(first,
+                        fs::last_write_time(first) - std::chrono::hours(1));
+
+    store.save("sweep", "b", payload({2}));
+    EXPECT_EQ(store.evictions(), 1u);
+    EXPECT_EQ(store.entries(), 1u);
+    EXPECT_FALSE(store.load("sweep", "a").has_value());
+    EXPECT_TRUE(store.load("sweep", "b").has_value());
+}
+
+TEST_F(StoreTest, HitRetouchProtectsRecentlyUsedBlobs) {
+    // Payloads dominate the ~40-byte blob headers: a+b fit the cap, a+b+c
+    // exceed it by about one small blob, so exactly one eviction restores
+    // the cap.
+    ArtifactStore store = make_store(/*max_bytes=*/450);
+    store.save("sweep", "a", std::vector<std::byte>(100, std::byte{1}));
+    store.save("sweep", "b", std::vector<std::byte>(100, std::byte{2}));
+    EXPECT_EQ(store.evictions(), 0u);
+    // Make both stale, then load "a" (re-touch) and push over the cap:
+    // "b" must be the eviction victim.
+    for (const auto& entry : fs::directory_iterator(store.directory()))
+        fs::last_write_time(entry.path(), fs::file_time_type::clock::now() -
+                                              std::chrono::hours(2));
+    ASSERT_TRUE(store.load("sweep", "a").has_value());
+    store.save("sweep", "c", std::vector<std::byte>(200, std::byte{7}));
+    EXPECT_EQ(store.evictions(), 1u);
+    EXPECT_TRUE(store.load("sweep", "a").has_value());
+    EXPECT_FALSE(store.load("sweep", "b").has_value());
+    EXPECT_TRUE(store.load("sweep", "c").has_value());
+}
+
+TEST_F(StoreTest, ConcurrentInstancesAgreeOnContent) {
+    // Two store instances over one directory (the two-process case: the
+    // mutex inside each instance does not serialise them against each
+    // other) racing saves and loads of the same keys. Writes are
+    // atomic-rename, so every load observes either a miss or a complete,
+    // checksummed blob — never a torn one.
+    const auto bytes_a = payload({1, 1, 1, 1});
+    const auto bytes_b = payload({2, 2, 2, 2});
+    ArtifactStore first = make_store();
+    ArtifactStore second = make_store();
+    std::atomic<bool> done{false};
+    std::thread writer([&] {
+        for (int i = 0; i < 200; ++i) {
+            first.save("baseline", "shared", bytes_a);
+            first.save("sweep", "other", bytes_b);
+        }
+        done = true;
+    });
+    // Every load racing the writes must be either a clean miss or the
+    // complete blob — never torn content.
+    while (!done) {
+        if (const auto loaded = second.load("baseline", "shared"))
+            EXPECT_EQ(*loaded, bytes_a);
+        std::this_thread::yield();
+    }
+    writer.join();
+    const auto final_read = second.load("baseline", "shared");
+    ASSERT_TRUE(final_read.has_value());
+    EXPECT_EQ(*final_read, bytes_a);
+    const auto other = second.load("sweep", "other");
+    ASSERT_TRUE(other.has_value());
+    EXPECT_EQ(*other, bytes_b);
+}
+
+// ------------------------------------------------------------------ codecs
+
+TEST(StoreHash, Fnv1a64MatchesReferenceVectors) {
+    EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL);
+    EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+    EXPECT_EQ(to_hex(0xaf63dc4c8601ec8cULL), "af63dc4c8601ec8c");
+}
+
+TEST(StoreBlob, WriterReaderRoundTripAndBoundsChecks) {
+    BlobWriter writer;
+    writer.u8(7);
+    writer.u32(0xDEADBEEFu);
+    writer.u64(1ull << 40);
+    writer.f64(3.141592653589793);
+    writer.str("hello\x1fworld");
+    writer.floats(std::vector<float>{1.5f, -2.5f});
+    const std::vector<std::byte> bytes = writer.take();
+
+    BlobReader reader(bytes);
+    EXPECT_EQ(reader.u8(), 7u);
+    EXPECT_EQ(reader.u32(), 0xDEADBEEFu);
+    EXPECT_EQ(reader.u64(), 1ull << 40);
+    EXPECT_EQ(reader.f64(), 3.141592653589793);
+    EXPECT_EQ(reader.str(), "hello\x1fworld");
+    const std::vector<float> floats = reader.floats();
+    ASSERT_EQ(floats.size(), 2u);
+    EXPECT_EQ(floats[0], 1.5f);
+    EXPECT_EQ(floats[1], -2.5f);
+    reader.expect_end();
+    EXPECT_THROW(reader.u8(), BlobError);  // reading past the end
+}
+
+TEST(StoreCodecs, VddPointsRoundTripBitExact) {
+    std::vector<circuits::VddPoint> points;
+    for (int i = 0; i < 5; ++i) {
+        circuits::VddPoint point;
+        point.vdd = 0.8 + 0.1 * i;
+        point.value = 1.0 / (i + 3.0);  // not exactly representable
+        point.change_pct = -12.345678901234567 * i;
+        points.push_back(point);
+    }
+    const auto decoded = decode_vdd_points(encode_vdd_points(points));
+    ASSERT_EQ(decoded.size(), points.size());
+    for (std::size_t i = 0; i < points.size(); ++i) {
+        EXPECT_EQ(decoded[i].vdd, points[i].vdd);
+        EXPECT_EQ(decoded[i].value, points[i].value);
+        EXPECT_EQ(decoded[i].change_pct, points[i].change_pct);
+    }
+}
+
+TEST(StoreCodecs, GlitchProfileRoundTripBitExact) {
+    std::vector<attack::GlitchWindow> windows;
+    windows.push_back({0.0, 0.25, 0.0, 1.0});
+    windows.push_back({0.25, 0.5, -0.007123456789, 0.83456789012345});
+    windows.push_back({0.5, 1.0, 0.001, 1.0});
+    const attack::GlitchProfile profile{windows};
+    const attack::GlitchProfile decoded =
+        decode_glitch_profile(encode_glitch_profile(profile));
+    ASSERT_EQ(decoded.windows().size(), profile.windows().size());
+    for (std::size_t w = 0; w < windows.size(); ++w) {
+        EXPECT_EQ(decoded.windows()[w].begin, windows[w].begin);
+        EXPECT_EQ(decoded.windows()[w].end, windows[w].end);
+        EXPECT_EQ(decoded.windows()[w].threshold_delta, windows[w].threshold_delta);
+        EXPECT_EQ(decoded.windows()[w].driver_gain, windows[w].driver_gain);
+    }
+    EXPECT_EQ(decoded.fingerprint(), profile.fingerprint());
+}
+
+TEST(StoreCodecs, TrainedBaselineRoundTripBitExact) {
+    snn::DiehlCookConfig config;
+    config.n_input = 4;
+    config.n_neurons = 3;
+    snn::Matrix weights(4, 3);
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            weights(r, c) = 0.1f * static_cast<float>(r * 3 + c + 1);
+    std::vector<float> theta{0.25f, 0.5f, 0.75f};
+    util::Rng rng(12345);
+    rng.normal();  // force a cached Box-Muller deviate into the snapshot
+
+    TrainedBaseline baseline;
+    baseline.model = std::make_shared<snn::NetworkModel>(config, weights, theta,
+                                                         rng);
+    baseline.result.train_accuracy = 0.87654321;
+    baseline.result.retro_accuracy = 0.91;
+    baseline.result.test_accuracy = -1.0;
+    baseline.result.total_exc_spikes = 123456;
+    baseline.result.total_inh_spikes = 654321;
+    baseline.result.mean_exc_spikes_per_sample = 17.25;
+
+    TrainedBaseline decoded =
+        decode_trained_baseline(encode_trained_baseline(baseline));
+    ASSERT_TRUE(decoded.model);
+    EXPECT_EQ(decoded.model->config().n_input, 4u);
+    EXPECT_EQ(decoded.model->config().n_neurons, 3u);
+    ASSERT_EQ(decoded.model->input_weights().rows(), 4u);
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            EXPECT_EQ(decoded.model->input_weights()(r, c), weights(r, c));
+    ASSERT_EQ(decoded.model->exc_theta().size(), theta.size());
+    for (std::size_t i = 0; i < theta.size(); ++i)
+        EXPECT_EQ(decoded.model->exc_theta()[i], theta[i]);
+    EXPECT_EQ(decoded.result.train_accuracy, baseline.result.train_accuracy);
+    EXPECT_EQ(decoded.result.retro_accuracy, baseline.result.retro_accuracy);
+    EXPECT_EQ(decoded.result.test_accuracy, baseline.result.test_accuracy);
+    EXPECT_EQ(decoded.result.total_exc_spikes, baseline.result.total_exc_spikes);
+    EXPECT_EQ(decoded.result.mean_exc_spikes_per_sample,
+              baseline.result.mean_exc_spikes_per_sample);
+
+    // The persisted RNG stream continues exactly where the original's
+    // would (cached normal deviate included).
+    util::Rng original = rng;
+    util::Rng restored = decoded.model->init_rng();
+    for (int i = 0; i < 8; ++i) {
+        EXPECT_EQ(restored.next_u64(), original.next_u64());
+        EXPECT_EQ(restored.normal(), original.normal());
+    }
+}
+
+TEST(StoreCodecs, DecodersRejectForeignBlobs) {
+    const auto profile_bytes =
+        encode_glitch_profile(attack::GlitchProfile::constant(0.01, 0.9));
+    EXPECT_THROW(decode_vdd_points(profile_bytes), BlobError);
+
+    auto points_bytes = encode_vdd_points({{1.0, 2.0, 3.0}});
+    points_bytes.resize(points_bytes.size() - 3);  // truncate mid-field
+    EXPECT_THROW(decode_vdd_points(points_bytes), BlobError);
+}
+
+TEST(StoreCodecs, NetworkConfigKeySeparatesTopologies) {
+    snn::DiehlCookConfig a;
+    snn::DiehlCookConfig b;
+    EXPECT_EQ(network_config_key(a), network_config_key(b));
+    b.n_neurons = a.n_neurons + 1;
+    EXPECT_NE(network_config_key(a), network_config_key(b));
+    snn::DiehlCookConfig c;
+    c.stdp.nu_pre = a.stdp.nu_pre * 2.0f;
+    EXPECT_NE(network_config_key(a), network_config_key(c));
+}
+
+}  // namespace
+}  // namespace snnfi::store

@@ -14,6 +14,8 @@
 
 #include "core/scenario.hpp"
 #include "core/session.hpp"
+#include "fi/catalog.hpp"
+#include "fi/shard.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
@@ -38,6 +40,16 @@ int main(int argc, char** argv) {
     parser.add_option("workers", "0", "Deprecated alias for --threads");
     parser.add_option("cache-capacity", "0",
                       "Artifact-cache entry cap with LRU eviction (0 = unbounded)");
+    parser.add_option("store-dir", "",
+                      "Persistent artifact store directory shared across "
+                      "processes (default: SNNFI_STORE_DIR env; empty = no "
+                      "store)");
+    parser.add_option("store-max-bytes", "0",
+                      "On-disk store size cap, LRU-evicted (0 = unbounded)");
+    parser.add_option("campaign-dir", "",
+                      "Merge a sharded campaign directory (see the worker "
+                      "binary) and print its tables instead of running "
+                      "experiments");
     try {
         if (!parser.parse(argc, argv)) return 0;
     } catch (const std::exception& e) {
@@ -74,6 +86,42 @@ int main(int argc, char** argv) {
         threads != 0 ? threads : static_cast<std::size_t>(parser.get_int("workers"));
     options.cache_capacity =
         static_cast<std::size_t>(parser.get_int("cache-capacity"));
+    options.store_dir = parser.get("store-dir");
+    options.store_max_bytes =
+        static_cast<std::uint64_t>(parser.get_int("store-max-bytes"));
+
+    // Merge mode: reassemble a sharded campaign directory into the full
+    // result (bit-identical to a single-process run of the scenario) and
+    // present it — no experiments execute.
+    const std::string campaign_dir = parser.get("campaign-dir");
+    if (!campaign_dir.empty()) {
+        try {
+            const fi::CampaignManifest manifest =
+                fi::read_manifest(campaign_dir);
+            const fi::CampaignResult merged =
+                fi::merge_campaign_dir(campaign_dir);
+            const std::string title =
+                fi::find_campaign_entry(manifest.scenario).title;
+            if (parser.get_bool("json")) {
+                std::cout << "{\"scenario\":\""
+                          << util::json_escape(manifest.scenario)
+                          << "\",\"shards\":" << manifest.shards
+                          << ",\"campaign\":" << merged.to_json() << "}\n";
+            } else {
+                const util::ResultTable table = merged.detail_table(title);
+                std::cout << table;
+                if (parser.get_bool("csv")) std::cout << table.to_csv();
+                std::cout << merged.sensitivity_map(title + " — sensitivity map");
+                std::cout << "[" << manifest.scenario << " merged from "
+                          << manifest.shards << " shard(s), " << merged.cells.size()
+                          << " cell(s)]\n";
+            }
+            return 0;
+        } catch (const std::exception& e) {
+            std::cerr << "error: " << e.what() << "\n";
+            return 1;
+        }
+    }
 
     // Repeated --experiment flags accumulate, so join all occurrences.
     std::string selector;

@@ -1,0 +1,88 @@
+// Shard worker — executes one shard of a campaign-backed fi.* scenario
+// into a campaign directory (see fi/shard.hpp for the layout and the
+// bit-identity contract).
+//
+//   $ worker --scenario=fi.quick-sweep --campaign-dir=/tmp/sweep \
+//            --shard=0 --shards=4 --quick
+//
+// Run one worker per shard (any machine, any order, any interleaving),
+// then merge with `run --campaign-dir=/tmp/sweep`. Workers checkpoint
+// after every chunk of cells, so a killed worker resumes where it left
+// off; with --store-dir the trained baseline and the characterisation
+// sweeps are shared across all workers through the artifact store instead
+// of being recomputed per process.
+#include <iostream>
+#include <string>
+
+#include "core/session.hpp"
+#include "fi/shard.hpp"
+#include "util/cli.hpp"
+#include "util/log.hpp"
+
+int main(int argc, char** argv) {
+    using namespace snnfi;
+
+    util::ArgParser parser("snnfi campaign shard worker");
+    parser.add_option("scenario", "",
+                      "Campaign-backed scenario id (e.g. fi.quick-sweep; "
+                      "see `run --list`)");
+    parser.add_option("campaign-dir", "",
+                      "Campaign directory (manifest + per-shard JSONL results)");
+    parser.add_option("shard", "0", "This worker's shard index (0-based)");
+    parser.add_option("shards", "1", "Total number of shards");
+    parser.add_flag("quick", "Shrink workloads (must match the other shards)");
+    parser.add_option("samples", "1000", "Training samples for SNN experiments");
+    parser.add_option("neurons", "100", "Neurons per layer for SNN experiments");
+    parser.add_option("threads", "0",
+                      "Session thread-pool size (0 = SNNFI_THREADS env or all "
+                      "cores)");
+    parser.add_option("store-dir", "",
+                      "Persistent artifact store shared between workers "
+                      "(default: SNNFI_STORE_DIR env; empty = no store)");
+    parser.add_option("store-max-bytes", "0",
+                      "On-disk store size cap, LRU-evicted (0 = unbounded)");
+    try {
+        if (!parser.parse(argc, argv)) return 0;
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n" << parser.usage();
+        return 2;
+    }
+
+    const std::string scenario = parser.get("scenario");
+    const std::string dir = parser.get("campaign-dir");
+    if (scenario.empty() || dir.empty()) {
+        std::cerr << "error: --scenario and --campaign-dir are required\n"
+                  << parser.usage();
+        return 2;
+    }
+
+    util::set_log_level(util::LogLevel::kWarn);
+    core::RunOptions options;
+    options.quick = parser.get_bool("quick");
+    options.train_samples = static_cast<std::size_t>(parser.get_int("samples"));
+    options.n_neurons = static_cast<std::size_t>(parser.get_int("neurons"));
+    options.max_workers = static_cast<std::size_t>(parser.get_int("threads"));
+    options.store_dir = parser.get("store-dir");
+    options.store_max_bytes =
+        static_cast<std::uint64_t>(parser.get_int("store-max-bytes"));
+
+    const auto shard = static_cast<std::size_t>(parser.get_int("shard"));
+    const auto shards = static_cast<std::size_t>(parser.get_int("shards"));
+
+    try {
+        core::Session session(options);
+        const std::size_t executed =
+            fi::run_shard(session, scenario, dir, shard, shards);
+        std::cout << "shard " << shard << "/" << shards << " of " << scenario
+                  << ": " << executed << " cell(s) executed"
+                  << (executed == 0 ? " (already complete)" : "") << "\n";
+        if (session.store()) {
+            std::cout << "store: " << session.store()->hits() << " hit(s), "
+                      << session.store()->misses() << " miss(es)\n";
+        }
+    } catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+    return 0;
+}
