@@ -48,6 +48,8 @@ std::string RunResult::to_json() const {
         os << "\"" << util::json_escape(tags[t]) << "\"";
     }
     os << "],\"seconds\":" << util::json_number(seconds)
+       << ",\"setup_seconds\":" << util::json_number(setup_seconds)
+       << ",\"run_seconds\":" << util::json_number(run_seconds)
        << ",\"cache_hits\":" << cache_hits << ",\"cache_misses\":" << cache_misses
        << ",\"table\":" << table.to_json() << "}";
     return os.str();

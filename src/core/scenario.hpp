@@ -125,7 +125,13 @@ struct RunResult {
     std::string title;
     std::vector<std::string> tags;
     util::ResultTable table;
-    double seconds = 0.0;
+    double seconds = 0.0;  ///< total wall time (setup + run)
+    /// Shared-artifact acquisition: baseline training, circuit
+    /// characterisation, calibration — the part a warm cache/store
+    /// eliminates. Reported even with telemetry off.
+    double setup_seconds = 0.0;
+    /// Sweep/body execution after setup (seconds - setup_seconds).
+    double run_seconds = 0.0;
     /// Session artifact-cache traffic attributable to this run.
     std::size_t cache_hits = 0;
     std::size_t cache_misses = 0;

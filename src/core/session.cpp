@@ -1,17 +1,36 @@
 #include "core/session.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 
 #include "data/idx.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "store/artifacts.hpp"
 #include "store/blob.hpp"
 
 namespace snnfi::core {
 
 namespace {
+
+/// Session cache instruments, resolved once (registry resolution takes a
+/// mutex; recording through the references does not).
+struct CacheMetrics {
+    obs::Counter& hits;
+    obs::Counter& misses;
+    obs::Counter& evictions;
+
+    static CacheMetrics& get() {
+        static CacheMetrics metrics{
+            obs::Registry::global().counter("session.cache.hits"),
+            obs::Registry::global().counter("session.cache.misses"),
+            obs::Registry::global().counter("session.cache.evictions")};
+        return metrics;
+    }
+};
 
 /// Resolves the session worker count: an explicit RunOptions::max_workers
 /// wins; otherwise the SNNFI_THREADS environment variable (so CI can run
@@ -58,10 +77,12 @@ std::shared_ptr<void> Session::cached(
         const auto it = artifacts_.find(key);
         if (it != artifacts_.end()) {
             ++hits_;
+            CacheMetrics::get().hits.add();
             lru_.splice(lru_.begin(), lru_, it->second.lru_position);
             return it->second.value;
         }
         ++misses_;
+        CacheMetrics::get().misses.add();
     }
     // Built outside the lock so factories may request other artifacts
     // (e.g. an attack suite pulling its dataset) without deadlocking.
@@ -81,6 +102,7 @@ std::shared_ptr<void> Session::cached(
         artifacts_.erase(lru_.back());
         lru_.pop_back();
         ++evictions_;
+        CacheMetrics::get().evictions.add();
     }
     return artifacts_.find(key)->second.value;
 }
@@ -95,6 +117,8 @@ std::shared_ptr<const snn::Dataset> Session::dataset(std::size_t samples,
     std::ostringstream key;
     key << "dataset|n=" << samples << "|seed=" << seed << "|dir=" << options_.mnist_dir;
     auto artifact = cached(key.str(), [&]() -> std::shared_ptr<void> {
+        obs::Span span("session.dataset");
+        span.tag("samples", static_cast<double>(samples));
         return std::make_shared<snn::Dataset>(
             data::load_digits(samples, seed, options_.mnist_dir));
     });
@@ -120,6 +144,7 @@ std::shared_ptr<const circuits::Characterizer> Session::characterizer(
     const circuits::CharacterizationConfig& config) {
     auto artifact = cached("characterizer|" + config.cache_key(),
                            [&]() -> std::shared_ptr<void> {
+                               obs::Span span("session.characterizer");
                                return std::make_shared<circuits::Characterizer>(config);
                            });
     return std::static_pointer_cast<const circuits::Characterizer>(artifact);
@@ -157,7 +182,11 @@ std::shared_ptr<const std::vector<circuits::VddPoint>> Session::stored_sweep(
                 }
             }
         }
-        auto points = std::make_shared<std::vector<circuits::VddPoint>>(measure());
+        auto points = [&] {
+            obs::Span span("session.characterize");
+            span.tag("key", key);
+            return std::make_shared<std::vector<circuits::VddPoint>>(measure());
+        }();
         if (store_) store_->save(store::kSweepKind, key, store::encode_vdd_points(*points));
         return points;
     });
@@ -227,6 +256,8 @@ std::shared_ptr<const attack::GlitchProfile> Session::glitch_profile(
                 }
             }
         }
+        obs::Span span("session.glitch_profile");
+        span.tag("key", key);
         auto profile = std::make_shared<attack::GlitchProfile>(
             attack::GlitchProfile::from_characterization(
                 characterizer->characterize_glitch(preset.kind, spec, n_windows,
@@ -299,7 +330,12 @@ std::shared_ptr<attack::AttackSuite> Session::attack_suite(
                     // Retrain below; the save overwrites the bad blob.
                 }
             }
-            (void)suite->baseline_accuracy();
+            {
+                obs::Span span("session.train");
+                span.tag("samples", static_cast<double>(samples));
+                span.tag("neurons", static_cast<double>(neurons));
+                (void)suite->baseline_accuracy();
+            }
             store_->save(store::kBaselineKind, baseline_key,
                          store::encode_trained_baseline(store::TrainedBaseline{
                              suite->baseline_model(), suite->baseline_result()}));
@@ -307,13 +343,18 @@ std::shared_ptr<attack::AttackSuite> Session::attack_suite(
         }
         // Train the shared baseline eagerly: it is part of the artifact, so
         // every later consumer is a pure cache hit.
+        obs::Span span("session.train");
+        span.tag("samples", static_cast<double>(samples));
+        span.tag("neurons", static_cast<double>(neurons));
         (void)suite->baseline_accuracy();
         return suite;
     });
     return std::static_pointer_cast<attack::AttackSuite>(artifact);
 }
 
-util::ResultTable Session::run_sweep(const ScenarioSpec& spec) {
+util::ResultTable Session::run_sweep(const ScenarioSpec& spec,
+                                     double& setup_seconds) {
+    const auto setup_start = std::chrono::steady_clock::now();
     auto suite = attack_suite(spec);
     const bool quick = options_.quick;
 
@@ -332,6 +373,11 @@ util::ResultTable Session::run_sweep(const ScenarioSpec& spec) {
 
     std::shared_ptr<const attack::VddCalibration> bridge;
     if (has_vdd_axis) bridge = calibration(spec.calibration_neuron);
+    // Setup = shared-artifact acquisition (suite incl. baseline training,
+    // calibration bridge); everything after is the sweep body.
+    setup_seconds = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - setup_start)
+                        .count();
 
     // Expand the cartesian product (last axis fastest) into fault specs
     // plus the sweep-coordinate cells of each table row.
@@ -390,7 +436,12 @@ util::ResultTable Session::run_sweep(const ScenarioSpec& spec) {
         faults[index] = fault;
     }
 
-    const std::vector<attack::AttackOutcome> outcomes = suite->run_many(faults);
+    const std::vector<attack::AttackOutcome> outcomes = [&] {
+        obs::Span span("session.sweep");
+        span.tag("scenario", spec.id);
+        span.tag("cells", static_cast<double>(total));
+        return suite->run_many(faults);
+    }();
 
     std::vector<std::string> columns;
     for (const auto& axis : spec.axes) columns.push_back(axis.column_label());
@@ -419,6 +470,8 @@ RunResult Session::run(const std::string& id) {
 }
 
 RunResult Session::run(const ScenarioSpec& spec) {
+    obs::Span span("session.scenario");
+    span.tag("scenario", spec.id);
     const auto start = std::chrono::steady_clock::now();
     std::size_t hits_before = 0;
     std::size_t misses_before = 0;
@@ -428,8 +481,11 @@ RunResult Session::run(const ScenarioSpec& spec) {
         misses_before = misses_;
     }
 
+    // Custom bodies have no separable setup phase: their whole wall time
+    // counts as run time.
+    double setup_seconds = 0.0;
     util::ResultTable table = [&] {
-        if (spec.declarative()) return run_sweep(spec);
+        if (spec.declarative()) return run_sweep(spec, setup_seconds);
         if (spec.custom_run) {
             util::ResultTable custom = spec.custom_run(*this, options_);
             // Declarative sweeps attach spec.notes inside run_sweep; give
@@ -444,10 +500,13 @@ RunResult Session::run(const ScenarioSpec& spec) {
     const double seconds =
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
+    RunResult result{spec.id, spec.title, spec.tags, std::move(table), seconds};
+    result.setup_seconds = std::min(setup_seconds, seconds);
+    result.run_seconds = seconds - result.setup_seconds;
     std::lock_guard<std::mutex> lock(mutex_);
-    return RunResult{spec.id,  spec.title,          spec.tags,
-                     std::move(table), seconds,
-                     hits_ - hits_before, misses_ - misses_before};
+    result.cache_hits = hits_ - hits_before;
+    result.cache_misses = misses_ - misses_before;
+    return result;
 }
 
 std::vector<RunResult> Session::run_selector(const std::string& selector) {
@@ -475,7 +534,7 @@ std::string to_json(const std::vector<RunResult>& results, const Session& sessio
         os << "\"enabled\":false,\"hits\":0,\"misses\":0,\"evictions\":0,"
               "\"entries\":0,\"bytes\":0";
     }
-    os << "}}}";
+    os << "}},\"obs\":" << obs::metrics_json() << "}";
     return os.str();
 }
 

@@ -127,7 +127,9 @@ public:
 private:
     std::shared_ptr<void> cached(const std::string& key,
                                  const std::function<std::shared_ptr<void>()>& make);
-    util::ResultTable run_sweep(const ScenarioSpec& spec);
+    /// `setup_seconds` receives the shared-artifact acquisition time (suite
+    /// + calibration) so RunResult can report the setup/run split.
+    util::ResultTable run_sweep(const ScenarioSpec& spec, double& setup_seconds);
     /// Store-backed sweep artifact: consult the store before running
     /// `measure`, persist on a miss. Used by every characterisation sweep.
     std::shared_ptr<const std::vector<circuits::VddPoint>> stored_sweep(
@@ -153,11 +155,14 @@ private:
 };
 
 /// The JSON envelope shared by every CLI front-end (`run`, bench binaries).
-/// The cache object distinguishes the two tiers:
+/// The cache object distinguishes the two tiers; "obs" is the global
+/// telemetry registry (obs::metrics_json — {"enabled":false,...} empty
+/// when telemetry stayed off):
 /// {"experiments":[<RunResult>...],
 ///  "cache":{"memory":{"hits":..,"misses":..,"evictions":..,"entries":..},
 ///           "store":{"enabled":..,"hits":..,"misses":..,"evictions":..,
-///                    "entries":..,"bytes":..}}}.
+///                    "entries":..,"bytes":..}},
+///  "obs":{"enabled":..,"counters":..,"gauges":..,"histograms":..}}.
 std::string to_json(const std::vector<RunResult>& results, const Session& session);
 
 }  // namespace snnfi::core

@@ -1,12 +1,15 @@
 #include "fi/campaign.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <iterator>
 #include <sstream>
 #include <stdexcept>
 
 #include "core/session.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "snn/classifier.hpp"
 #include "snn/runtime.hpp"
 #include "util/random.hpp"
@@ -20,6 +23,35 @@ constexpr double kZ95 = 1.96;            ///< 95% normal CI quantile
 constexpr std::size_t kNumClasses = 10;  ///< digit workload
 constexpr std::uint64_t kReplicaStream = CampaignEngine::kReplicaStream;
 constexpr std::size_t kBatchCells = CampaignEngine::kBatchCells;
+
+/// Campaign instruments, resolved once. Recording is lock-free and a no-op
+/// while telemetry is off; timings are never fed back into the campaign,
+/// so results stay bit-identical with telemetry on or off.
+struct FiMetrics {
+    obs::Counter& cells;
+    obs::Gauge& cells_per_s;
+    obs::Histogram& train_ms;
+    obs::Histogram& infer_batch_ms;
+    obs::Histogram& clean_ms;
+
+    static FiMetrics& get() {
+        static const std::vector<double> bounds{1,   3,    10,   30,  100,
+                                                300, 1000, 3000, 10000};
+        static FiMetrics metrics{
+            obs::Registry::global().counter("fi.cells"),
+            obs::Registry::global().gauge("fi.cells_per_s"),
+            obs::Registry::global().histogram("fi.phase.train_ms", bounds),
+            obs::Registry::global().histogram("fi.phase.infer_batch_ms", bounds),
+            obs::Registry::global().histogram("fi.phase.clean_ms", bounds)};
+        return metrics;
+    }
+};
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
 
 std::string yes_no(bool value) { return value ? "yes" : "no"; }
 
@@ -324,6 +356,8 @@ CampaignEngine::Plan CampaignEngine::make_plan() {
 // --------------------------------------------------------------- execution
 
 CampaignResult CampaignEngine::execute(Plan& plan, const std::vector<char>& include) {
+    obs::Span exec_span("fi.execute");
+    const auto exec_start = std::chrono::steady_clock::now();
     const bool quick = session_.options().quick;
     const snn::Dataset& data = plan.suite->dataset();
     const std::size_t eval_n = plan.eval_n;
@@ -338,6 +372,7 @@ CampaignResult CampaignEngine::execute(Plan& plan, const std::vector<char>& incl
         slot[c] = result.cells.size();
         result.cells.push_back(plan.cells[c]);
     }
+    exec_span.tag("cells", static_cast<double>(result.cells.size()));
 
     // --- train-under-fault cells (drift models + glitch cells) ----------
     // Replica 0 always runs the session-default suite, so a
@@ -367,6 +402,11 @@ CampaignResult CampaignEngine::execute(Plan& plan, const std::vector<char>& incl
         std::vector<std::vector<double>> ts_drops(ts_cells.size());
         std::vector<std::vector<double>> ts_accs(ts_cells.size());
         for (std::size_t r = 0; r < train_reps; ++r) {
+            obs::Span replica_span("fi.train");
+            replica_span.tag("replica", static_cast<double>(r));
+            replica_span.tag("cells",
+                             static_cast<double>(tr_cells.size() + ts_cells.size()));
+            const auto replica_start = std::chrono::steady_clock::now();
             std::shared_ptr<attack::AttackSuite> suite = plan.suite;
             if (r > 0) {
                 // Independent data + weight-init streams per replica; the
@@ -400,6 +440,7 @@ CampaignResult CampaignEngine::execute(Plan& plan, const std::vector<char>& incl
                     ts_drops[f].push_back(replica_baseline_pct - accuracy_pct);
                 }
             }
+            FiMetrics::get().train_ms.observe(ms_since(replica_start));
         }
         const auto finalize = [&](CellResult& cell, const std::vector<double>& drops,
                                   const std::vector<double>& accs) {
@@ -474,8 +515,16 @@ CampaignResult CampaignEngine::execute(Plan& plan, const std::vector<char>& incl
         for (std::size_t r = 0; r < replicas; ++r) {
             if (!clean[r].built) missing.push_back(r);
         }
-        session_.pool().parallel_for(missing.size(),
-                                     [&](std::size_t m) { build_clean(missing[m]); });
+        // Capture the span context BEFORE dispatch: the task bodies run on
+        // pool workers where this thread's current span is invisible.
+        const obs::Context ctx = obs::current_context();
+        session_.pool().parallel_for(missing.size(), [&](std::size_t m) {
+            obs::Span span("fi.clean", ctx);
+            span.tag("replica", static_cast<double>(missing[m]));
+            const auto start = std::chrono::steady_clock::now();
+            build_clean(missing[m]);
+            FiMetrics::get().clean_ms.observe(ms_since(start));
+        });
     };
 
     // Per-cell replica outcomes, grown round by round. Every open cell has
@@ -505,15 +554,31 @@ CampaignResult CampaignEngine::execute(Plan& plan, const std::vector<char>& incl
         }
         // Paired (drop_pct, accuracy_pct) per cell of each task's chunk.
         std::vector<std::vector<std::pair<double, double>>> outcomes(tasks.size());
+        // Cross-thread span hand-off: capture before dispatch (see
+        // obs/span.hpp), so every fi.batch nests under fi.execute even
+        // though it runs on an arbitrary pool worker.
+        const obs::Context exec_ctx = obs::current_context();
         session_.pool().parallel_for(tasks.size(), [&](std::size_t t) {
             const Task& task = tasks[t];
             const std::size_t count = task.end - task.begin;
+            obs::Span batch_span("fi.batch", exec_ctx);
+            batch_span.tag("replica", static_cast<double>(task.replica));
+            batch_span.tag("cells", static_cast<double>(count));
+            const auto batch_start = std::chrono::steady_clock::now();
             std::vector<snn::NetworkRuntime> runtimes;
             runtimes.reserve(count);
             std::vector<snn::NetworkRuntime*> members;
             members.reserve(count);
             for (std::size_t k = 0; k < count; ++k) {
                 const std::size_t cell = open[task.begin + k];
+                // Per-cell span: overlay + runtime construction. (The
+                // lockstep propagation below is shared by the whole batch,
+                // so per-cell *inference* time is not separable by design.)
+                obs::Span cell_span("fi.cell");
+                cell_span.tag("cell", static_cast<double>(cell));
+                cell_span.tag("model", plan.cells[cell].model);
+                cell_span.tag("severity", plan.cells[cell].severity);
+                cell_span.tag("replica", static_cast<double>(task.replica));
                 runtimes.emplace_back(plan.baseline, overlays[cell]);
                 if (!plan.schedules[cell].empty())
                     runtimes.back().set_schedule(plan.schedules[cell]);
@@ -542,6 +607,7 @@ CampaignResult CampaignEngine::execute(Plan& plan, const std::vector<char>& incl
                 outcomes[t].emplace_back(
                     clean[task.replica].accuracy_pct - accuracy_pct, accuracy_pct);
             }
+            FiMetrics::get().infer_batch_ms.observe(ms_since(batch_start));
         });
         // Merge in task order (replica-major, then chunk, then cell): the
         // per-cell replica sequence is identical for any worker count.
@@ -577,6 +643,14 @@ CampaignResult CampaignEngine::execute(Plan& plan, const std::vector<char>& incl
     }
 
     result.recount();
+    FiMetrics::get().cells.add(result.cells.size());
+    const double exec_seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      exec_start)
+            .count();
+    if (exec_seconds > 0.0 && !result.cells.empty())
+        FiMetrics::get().cells_per_s.set(
+            static_cast<double>(result.cells.size()) / exec_seconds);
     return result;
 }
 

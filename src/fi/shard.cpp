@@ -1,6 +1,7 @@
 #include "fi/shard.hpp"
 
 #include <algorithm>
+#include <chrono>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -8,6 +9,7 @@
 
 #include "core/session.hpp"
 #include "fi/catalog.hpp"
+#include "obs/heartbeat.hpp"
 #include "util/table.hpp"
 
 namespace snnfi::fi {
@@ -333,7 +335,30 @@ std::size_t run_shard(core::Session& session, const std::string& scenario,
     for (const std::size_t c : mine) {
         if (!done[c]) todo.push_back(c);
     }
-    if (todo.empty()) return 0;
+
+    // Heartbeats ride along unconditionally (they are how the progress
+    // table sees this worker) but stay best-effort observability: the
+    // JSONL checkpoints remain the only merged state. A resume adopts the
+    // previous heartbeat's EWMA rate and cadence so the rate estimate
+    // survives worker restarts.
+    obs::Heartbeat beat;
+    beat.shard = shard_index;
+    beat.shards = shard_count;
+    beat.cells_total = mine.size();
+    beat.cells_done = mine.size() - todo.size();
+    if (const auto previous = obs::read_heartbeat(dir, shard_index)) {
+        beat.ewma_cells_per_s = previous->ewma_cells_per_s;
+        beat.interval_s = std::max(1.0, previous->interval_s);
+    }
+    beat.checkpoint_unix_ms = obs::unix_now_ms();
+    if (todo.empty()) {
+        beat.done = true;
+        beat.written_unix_ms = obs::unix_now_ms();
+        obs::write_heartbeat(dir, beat);
+        return 0;
+    }
+    beat.written_unix_ms = obs::unix_now_ms();
+    obs::write_heartbeat(dir, beat);
 
     std::ofstream out(path, std::ios::binary | std::ios::app);
     if (!out) throw std::runtime_error("cannot append to " + path.string());
@@ -349,6 +374,7 @@ std::size_t run_shard(core::Session& session, const std::string& scenario,
             todo.begin() + static_cast<std::ptrdiff_t>(
                                std::min(b + CampaignEngine::kBatchCells,
                                         todo.size())));
+        const auto chunk_start = std::chrono::steady_clock::now();
         const CampaignResult part = engine.run_cells(chunk);
         for (const CellResult& cell : part.cells) {
             out << cell_to_jsonl(cell, part.baseline_accuracy_pct) << '\n';
@@ -357,8 +383,73 @@ std::size_t run_shard(core::Session& session, const std::string& scenario,
         out.flush();
         if (!out)
             throw std::runtime_error("short write to " + path.string());
+        const double chunk_seconds =
+            std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                          chunk_start)
+                .count();
+        beat.cells_done += part.cells.size();
+        if (chunk_seconds > 0.0)
+            beat.ewma_cells_per_s = obs::ewma_update(
+                beat.ewma_cells_per_s,
+                static_cast<double>(part.cells.size()) / chunk_seconds);
+        // The heartbeat self-describes its cadence: the next rewrite is one
+        // chunk away, so staleness scales with the workload instead of a
+        // hard-coded wall-clock guess.
+        beat.interval_s = std::max(1.0, chunk_seconds);
+        beat.checkpoint_unix_ms = beat.written_unix_ms = obs::unix_now_ms();
+        obs::write_heartbeat(dir, beat);
     }
+    beat.done = true;
+    beat.written_unix_ms = obs::unix_now_ms();
+    obs::write_heartbeat(dir, beat);
     return executed;
+}
+
+// ---------------------------------------------------------------- progress
+
+util::ResultTable shard_progress_table(const fs::path& dir) {
+    const CampaignManifest manifest = read_manifest(dir);
+    util::ResultTable table("shard progress",
+                            {"shard", "cells_done", "cells_total", "done_pct",
+                             "cells_per_s", "status", "age_s"});
+    table.add_note("Cell counts come from the shard JSONL checkpoints; "
+                   "rate and liveness from the heartbeat files.");
+    const std::int64_t now_ms = obs::unix_now_ms();
+    for (std::size_t shard = 0; shard < manifest.shards; ++shard) {
+        const std::size_t total =
+            shard_cells(manifest.cells, manifest.shards, shard).size();
+        std::size_t cells_done = 0;
+        for (const ShardCellRecord& record :
+             read_shard_file(shard_file(dir, shard))) {
+            if (record.cell.plan_index < manifest.cells) ++cells_done;
+        }
+        const auto beat = obs::read_heartbeat(dir, shard);
+        const double rate = beat ? beat->ewma_cells_per_s : 0.0;
+        const double age_s =
+            beat ? std::max(0.0, static_cast<double>(
+                                     now_ms - beat->written_unix_ms) /
+                                     1000.0)
+                 : 0.0;
+        std::string status;
+        if (cells_done >= total) {
+            status = "done";
+        } else if (!beat) {
+            status = "unknown";  // never started (or heartbeat unreadable)
+        } else if (beat->done) {
+            // A heartbeat claiming completion the JSONL does not back up:
+            // treat as stalled, never live.
+            status = "stalled";
+        } else {
+            status = obs::to_string(obs::heartbeat_status(*beat, now_ms));
+        }
+        table.add_row({std::to_string(shard), std::to_string(cells_done),
+                       std::to_string(total),
+                       total != 0 ? 100.0 * static_cast<double>(cells_done) /
+                                        static_cast<double>(total)
+                                  : 100.0,
+                       rate, status, age_s});
+    }
+    return table;
 }
 
 // ------------------------------------------------------------------- merge

@@ -13,9 +13,12 @@
 //     what a single-process run would have accumulated.
 //
 // Campaign directory layout:
-//   <dir>/manifest.json     shard topology + the campaign identity key
-//   <dir>/shard-<k>.jsonl   one JSON object per completed cell, appended
-//                           (and fsync-flushed) as the shard progresses
+//   <dir>/manifest.json      shard topology + the campaign identity key
+//   <dir>/shard-<k>.jsonl    one JSON object per completed cell, appended
+//                            (and fsync-flushed) as the shard progresses
+//   <dir>/heartbeat-<k>.json liveness/progress beacon (obs/heartbeat.hpp),
+//                            rewritten after every checkpointed chunk —
+//                            observability only, never merged state
 //
 // A worker killed mid-cell leaves at most one truncated trailing line;
 // resume drops it and re-executes that cell, which is why an interrupted
@@ -29,6 +32,7 @@
 #include <vector>
 
 #include "fi/campaign.hpp"
+#include "util/table.hpp"
 
 namespace snnfi::core {
 class Session;
@@ -101,6 +105,17 @@ CampaignManifest read_manifest(const std::filesystem::path& dir);
 std::size_t run_shard(core::Session& session, const std::string& scenario,
                       const std::filesystem::path& dir, std::size_t shard_index,
                       std::size_t shard_count);
+
+/// Per-shard progress/straggler table of a campaign directory: cells done
+/// (counted from the shard JSONL files — the source of truth) against the
+/// shard's partition size, the heartbeat's EWMA cell rate, and a status
+/// column: `done` (partition complete), `live` (fresh heartbeat),
+/// `stalled` (heartbeat older than obs::kStaleFactor x its own interval,
+/// or one claiming completion the JSONL does not back up — the SIGKILLed
+/// worker case), or `unknown` (no heartbeat at all, e.g. a shard never
+/// started). Throws std::runtime_error when the directory has no valid
+/// manifest.
+util::ResultTable shard_progress_table(const std::filesystem::path& dir);
 
 /// Merges a completed campaign directory back into the full
 /// CampaignResult, ordered by plan index, counters recounted — bit-for-bit

@@ -1,0 +1,181 @@
+#include "obs/span.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "util/log.hpp"
+#include "util/table.hpp"
+
+namespace snnfi::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// One thread's completed spans. The owning thread appends; exporters read
+/// under the buffer mutex, so a buffer is never contended except during an
+/// export or reset.
+struct ThreadBuffer {
+    std::mutex mutex;
+    std::vector<TraceEventRecord> events;
+    std::size_t tid = 0;
+};
+
+class Collector {
+public:
+    static Collector& instance() {
+        static Collector collector;
+        return collector;
+    }
+
+    std::uint64_t next_span_id() noexcept {
+        return next_id_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    std::int64_t now_us() const noexcept {
+        return std::chrono::duration_cast<std::chrono::microseconds>(
+                   Clock::now() - epoch_)
+            .count();
+    }
+
+    /// This thread's buffer, registered on first use and kept alive by the
+    /// collector even after the thread exits (pool threads die with their
+    /// pool; their spans must survive into the export).
+    ThreadBuffer& local_buffer() {
+        thread_local std::shared_ptr<ThreadBuffer> buffer = [this] {
+            auto fresh = std::make_shared<ThreadBuffer>();
+            fresh->tid = util::thread_ordinal();
+            std::lock_guard<std::mutex> lock(mutex_);
+            buffers_.push_back(fresh);
+            return fresh;
+        }();
+        return *buffer;
+    }
+
+    std::vector<TraceEventRecord> collect() {
+        std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            buffers = buffers_;
+        }
+        std::vector<TraceEventRecord> events;
+        for (const auto& buffer : buffers) {
+            std::lock_guard<std::mutex> lock(buffer->mutex);
+            events.insert(events.end(), buffer->events.begin(),
+                          buffer->events.end());
+        }
+        std::sort(events.begin(), events.end(),
+                  [](const TraceEventRecord& a, const TraceEventRecord& b) {
+                      if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+                      return a.id < b.id;
+                  });
+        return events;
+    }
+
+    void reset() {
+        std::vector<std::shared_ptr<ThreadBuffer>> buffers;
+        {
+            std::lock_guard<std::mutex> lock(mutex_);
+            buffers = buffers_;
+        }
+        for (const auto& buffer : buffers) {
+            std::lock_guard<std::mutex> lock(buffer->mutex);
+            buffer->events.clear();
+        }
+    }
+
+private:
+    Collector() : epoch_(Clock::now()) {}
+
+    Clock::time_point epoch_;
+    std::atomic<std::uint64_t> next_id_{1};
+    std::mutex mutex_;  ///< guards buffers_ (registration + collection)
+    std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
+};
+
+thread_local std::uint64_t t_current_span = 0;
+
+}  // namespace
+
+Context current_context() noexcept { return Context{t_current_span}; }
+
+Span::Span(std::string name, Context parent) {
+    if (!enabled()) return;  // inert: no clock read, no allocation beyond `name`
+    Collector& collector = Collector::instance();
+    active_ = true;
+    name_ = std::move(name);
+    parent_ = parent.span_id;
+    id_ = collector.next_span_id();
+    previous_current_ = t_current_span;
+    t_current_span = id_;
+    start_us_ = collector.now_us();
+}
+
+Span::~Span() {
+    if (!active_) return;
+    Collector& collector = Collector::instance();
+    t_current_span = previous_current_;
+    TraceEventRecord record;
+    record.name = std::move(name_);
+    record.id = id_;
+    record.parent = parent_;
+    record.ts_us = start_us_;
+    record.dur_us = std::max<std::int64_t>(0, collector.now_us() - start_us_);
+    record.args = std::move(args_);
+    ThreadBuffer& buffer = collector.local_buffer();
+    record.tid = buffer.tid;
+    std::lock_guard<std::mutex> lock(buffer.mutex);
+    buffer.events.push_back(std::move(record));
+}
+
+void Span::tag(const std::string& key, const std::string& value) {
+    if (!active_) return;
+    args_ += ",\"" + util::json_escape(key) + "\":\"" + util::json_escape(value) +
+             "\"";
+}
+
+void Span::tag(const std::string& key, double value) {
+    if (!active_) return;
+    args_ += ",\"" + util::json_escape(key) + "\":" + util::json_number(value);
+}
+
+std::vector<TraceEventRecord> trace_events() {
+    return Collector::instance().collect();
+}
+
+std::size_t trace_event_count() { return Collector::instance().collect().size(); }
+
+std::string chrome_trace_json() {
+    const std::vector<TraceEventRecord> events = trace_events();
+    std::ostringstream os;
+    os << "{\"traceEvents\":[";
+    for (std::size_t e = 0; e < events.size(); ++e) {
+        const TraceEventRecord& event = events[e];
+        if (e) os << ",";
+        os << "{\"name\":\"" << util::json_escape(event.name)
+           << "\",\"cat\":\"snnfi\",\"ph\":\"X\",\"ts\":" << event.ts_us
+           << ",\"dur\":" << event.dur_us << ",\"pid\":1,\"tid\":" << event.tid
+           << ",\"args\":{\"id\":" << event.id << ",\"parent\":" << event.parent
+           << event.args << "}}";
+    }
+    os << "],\"displayTimeUnit\":\"ms\"}";
+    return os.str();
+}
+
+bool write_chrome_trace(const std::string& path) {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out) return false;
+    out << chrome_trace_json() << "\n";
+    out.flush();
+    return static_cast<bool>(out);
+}
+
+void reset_trace() { Collector::instance().reset(); }
+
+}  // namespace snnfi::obs

@@ -1,0 +1,103 @@
+// obs::Span — RAII scoped timers recorded into per-thread trace buffers,
+// exported as a Chrome trace-event JSON file (chrome://tracing / Perfetto).
+//
+// Each Span records one complete ("ph":"X") event: name, wall-window
+// (steady-clock microseconds since the trace epoch), the small dense
+// thread ordinal (util::thread_ordinal — the same ids the log prefixes
+// print), its own span id, its parent's id, and free-form tags.
+//
+// Parent/child nesting is tracked through a thread-local current-span id,
+// PLUS explicit context capture for work that hops threads: a
+// util::ThreadPool task body runs on whatever worker claims it, where the
+// caller's thread-local context is invisible. Capture the context before
+// dispatch and re-anchor inside the body:
+//
+//   obs::Span sweep("fi.execute");
+//   const obs::Context ctx = obs::current_context();   // capture HERE
+//   pool.parallel_for(n, [&](std::size_t i) {
+//       obs::Span task("fi.batch", ctx);  // parented across the hand-off
+//       ...                               // nested spans chain off `task`
+//   });
+//
+// All recording is disabled-by-default and near-free when off: a Span
+// constructed while !obs::enabled() is inert (one relaxed atomic load, no
+// allocation, no clock read). Buffers are per-thread, so recording never
+// contends on a global lock; export stops the world only long enough to
+// copy each buffer.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace snnfi::obs {
+
+/// A capturable span identity: pass across threads to keep parent/child
+/// nesting intact through pool task hand-off. span_id 0 = "no parent".
+struct Context {
+    std::uint64_t span_id = 0;
+};
+
+/// The innermost live Span on this thread (0 when none). Capture before
+/// dispatching work to other threads.
+Context current_context() noexcept;
+
+class Span {
+public:
+    /// Parented under this thread's innermost live span.
+    explicit Span(std::string name) : Span(std::move(name), current_context()) {}
+    /// Explicitly parented (cross-thread hand-off).
+    Span(std::string name, Context parent);
+    ~Span();
+
+    Span(const Span&) = delete;
+    Span& operator=(const Span&) = delete;
+
+    /// Attaches a key/value tag (cell id, model, severity ...), rendered
+    /// into the Chrome event's "args". No-op on an inert span.
+    void tag(const std::string& key, const std::string& value);
+    void tag(const std::string& key, double value);
+
+    /// This span's identity — hand to tasks that should nest under it.
+    Context context() const noexcept { return Context{id_}; }
+
+private:
+    bool active_ = false;
+    std::uint64_t id_ = 0;
+    std::uint64_t parent_ = 0;
+    std::uint64_t previous_current_ = 0;
+    std::int64_t start_us_ = 0;
+    std::string name_;
+    std::string args_;  ///< pre-rendered `,"k":"v"` pairs
+};
+
+/// One recorded span, in export form (primarily for tests; the JSON
+/// exporters below are the product surface).
+struct TraceEventRecord {
+    std::string name;
+    std::uint64_t id = 0;
+    std::uint64_t parent = 0;    ///< 0 = root
+    std::int64_t ts_us = 0;      ///< start, microseconds since trace epoch
+    std::int64_t dur_us = 0;
+    std::size_t tid = 0;         ///< util::thread_ordinal of the recording thread
+    std::string args;            ///< pre-rendered `,"k":"v"` pairs (may be empty)
+};
+
+/// Snapshot of every completed span so far, sorted by (ts_us, id).
+std::vector<TraceEventRecord> trace_events();
+std::size_t trace_event_count();
+
+/// The full Chrome trace-event document:
+/// {"traceEvents":[{"name":..,"cat":"snnfi","ph":"X","ts":..,"dur":..,
+///   "pid":1,"tid":..,"args":{"id":"..","parent":"..",...}},...],
+///  "displayTimeUnit":"ms"} — loadable in chrome://tracing and Perfetto.
+std::string chrome_trace_json();
+/// Writes chrome_trace_json() to `path`. Returns false on I/O failure.
+bool write_chrome_trace(const std::string& path);
+
+/// Drops every recorded span (buffers stay registered; the epoch and span
+/// ids keep advancing).
+void reset_trace();
+
+}  // namespace snnfi::obs

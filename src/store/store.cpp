@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
 #include <fstream>
 #include <stdexcept>
 #include <system_error>
 
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "store/blob.hpp"
 #include "store/hash.hpp"
 
@@ -16,6 +19,37 @@ namespace fs = std::filesystem;
 namespace {
 
 constexpr std::uint32_t kMagic = 0x42464E53;  // "SNFB"
+
+/// Store instruments, resolved once; recording through the references is
+/// lock-free (and a no-op while telemetry is off).
+struct StoreMetrics {
+    obs::Counter& hits;
+    obs::Counter& misses;
+    obs::Counter& evictions;
+    obs::Counter& read_bytes;
+    obs::Counter& write_bytes;
+    obs::Histogram& load_ms;
+    obs::Histogram& save_ms;
+
+    static StoreMetrics& get() {
+        static const std::vector<double> bounds{0.1, 0.3, 1, 3, 10, 30, 100, 300};
+        static StoreMetrics metrics{
+            obs::Registry::global().counter("store.hits"),
+            obs::Registry::global().counter("store.misses"),
+            obs::Registry::global().counter("store.evictions"),
+            obs::Registry::global().counter("store.read_bytes"),
+            obs::Registry::global().counter("store.write_bytes"),
+            obs::Registry::global().histogram("store.load_ms", bounds),
+            obs::Registry::global().histogram("store.save_ms", bounds)};
+        return metrics;
+    }
+};
+
+double ms_since(std::chrono::steady_clock::time_point start) {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start)
+        .count();
+}
 
 /// Unique-enough temp suffix: processes are distinguished by the address
 /// of a per-process atomic, concurrent writers within one process by its
@@ -63,6 +97,9 @@ fs::path ArtifactStore::blob_path(const std::string& kind,
 
 std::optional<std::vector<std::byte>> ArtifactStore::load(const std::string& kind,
                                                           const std::string& key) {
+    obs::Span span("store.load");
+    span.tag("kind", kind);
+    const auto start = std::chrono::steady_clock::now();
     std::lock_guard<std::mutex> lock(mutex_);
     const fs::path path = blob_path(kind, key);
     const auto file = read_file(path);
@@ -84,6 +121,10 @@ std::optional<std::vector<std::byte>> ArtifactStore::load(const std::string& kin
             // key turns that into an honest miss.
             if (stored_key != kind + "\x1f" + key) throw BlobError("key mismatch");
             ++hits_;
+            StoreMetrics::get().hits.add();
+            StoreMetrics::get().read_bytes.add(file->size());
+            StoreMetrics::get().load_ms.observe(ms_since(start));
+            span.tag("outcome", "hit");
             // Re-touch for LRU recency (best effort; shared with other
             // processes through the filesystem).
             std::error_code ec;
@@ -96,11 +137,18 @@ std::optional<std::vector<std::byte>> ArtifactStore::load(const std::string& kin
         }
     }
     ++misses_;
+    StoreMetrics::get().misses.add();
+    StoreMetrics::get().load_ms.observe(ms_since(start));
+    span.tag("outcome", "miss");
     return std::nullopt;
 }
 
 void ArtifactStore::save(const std::string& kind, const std::string& key,
                          std::vector<std::byte> payload) {
+    obs::Span span("store.save");
+    span.tag("kind", kind);
+    span.tag("bytes", static_cast<double>(payload.size()));
+    const auto start = std::chrono::steady_clock::now();
     std::lock_guard<std::mutex> lock(mutex_);
     BlobWriter writer;
     writer.u32(kMagic);
@@ -130,6 +178,8 @@ void ArtifactStore::save(const std::string& kind, const std::string& key,
         fs::remove(temp, ec);
         return;
     }
+    StoreMetrics::get().write_bytes.add(writer.bytes().size() + payload.size());
+    StoreMetrics::get().save_ms.observe(ms_since(start));
     enforce_cap(path);
 }
 
@@ -163,6 +213,7 @@ void ArtifactStore::enforce_cap(const fs::path& keep) {
         if (fs::remove(entry.path, remove_ec) && !remove_ec) {
             total -= entry.size;
             ++evictions_;
+            StoreMetrics::get().evictions.add();
         }
     }
 }

@@ -1,6 +1,8 @@
 #include "util/log.hpp"
 
 #include <atomic>
+#include <chrono>
+#include <iomanip>
 #include <iostream>
 #include <mutex>
 
@@ -20,16 +22,43 @@ const char* level_name(LogLevel level) {
     }
     return "?";
 }
+
+/// Monotonic seconds since the first log call of the process.
+double seconds_since_start() {
+    static const std::chrono::steady_clock::time_point epoch =
+        std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch)
+        .count();
+}
+
 }  // namespace
 
 void set_log_level(LogLevel level) { g_level.store(level, std::memory_order_relaxed); }
 
 LogLevel log_level() noexcept { return g_level.load(std::memory_order_relaxed); }
 
+std::size_t thread_ordinal() noexcept {
+    static std::atomic<std::size_t> next{0};
+    thread_local const std::size_t ordinal =
+        next.fetch_add(1, std::memory_order_relaxed);
+    return ordinal;
+}
+
 void log_message(LogLevel level, const std::string& message) {
     if (static_cast<int>(level) < static_cast<int>(log_level())) return;
+    // Render the whole line before touching the stream: the final write is
+    // one buffer under one mutex, so concurrent workers (LineLogger
+    // destructors fire on whatever pool thread built the message) cannot
+    // interleave fragments on stderr.
+    std::ostringstream line;
+    line << '[' << std::fixed << std::setprecision(3) << seconds_since_start()
+         << "s T" << std::setw(2) << std::setfill('0') << thread_ordinal()
+         << ' ' << level_name(level) << "] " << message << '\n';
+    const std::string text = line.str();
     const std::lock_guard<std::mutex> lock(g_output_mutex);
-    std::cerr << "[" << level_name(level) << "] " << message << "\n";
+    std::cerr.write(text.data(), static_cast<std::streamsize>(text.size()));
+    std::cerr.flush();
 }
 
 }  // namespace snnfi::util

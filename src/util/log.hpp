@@ -2,8 +2,14 @@
 //
 // The library itself logs sparingly (solver fallbacks, calibration notes);
 // benches raise the level to keep figure output clean.
+//
+// Lines are composed in full — monotonic timestamp + thread ordinal +
+// level + message — and written to stderr with ONE serialized write, so
+// concurrent LineLogger destructors on pool workers can never interleave
+// partial lines.
 #pragma once
 
+#include <cstddef>
 #include <sstream>
 #include <string>
 
@@ -15,7 +21,14 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void set_log_level(LogLevel level);
 LogLevel log_level() noexcept;
 
-/// Emits one line to stderr as "[LEVEL] message" if enabled.
+/// Small dense per-thread ordinal (0 = the first thread that asked).
+/// Stable for a thread's lifetime; shared by the log prefixes and the
+/// obs:: trace "tid" field so log lines and trace rows correlate.
+std::size_t thread_ordinal() noexcept;
+
+/// Emits one line to stderr as
+/// "[<seconds-since-start> T<thread> LEVEL] message" if enabled. The line
+/// is rendered first and written with a single call under one mutex.
 void log_message(LogLevel level, const std::string& message);
 
 namespace detail {

@@ -9,6 +9,7 @@
 // All selected scenarios execute through ONE Session: trained baselines,
 // datasets and circuit characterisations are cached and shared, and the
 // summary line (or the "cache" object in --json mode) shows the reuse.
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
@@ -16,9 +17,24 @@
 #include "core/session.hpp"
 #include "fi/catalog.hpp"
 #include "fi/shard.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
 #include "util/table.hpp"
+
+namespace {
+
+/// Flag value, falling back to an environment variable so CI wrappers can
+/// request telemetry without editing command lines.
+std::string with_env_fallback(std::string value, const char* env_name) {
+    if (value.empty()) {
+        if (const char* env = std::getenv(env_name)) value = env;
+    }
+    return value;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
     using namespace snnfi;
@@ -50,6 +66,13 @@ int main(int argc, char** argv) {
                       "Merge a sharded campaign directory (see the worker "
                       "binary) and print its tables instead of running "
                       "experiments");
+    parser.add_option("trace-out", "",
+                      "Write a Chrome trace-event JSON file (chrome://tracing "
+                      "/ Perfetto) and enable telemetry (default: SNNFI_TRACE "
+                      "env)");
+    parser.add_option("metrics-out", "",
+                      "Write the metrics-registry JSON document and enable "
+                      "telemetry (default: SNNFI_METRICS env)");
     try {
         if (!parser.parse(argc, argv)) return 0;
     } catch (const std::exception& e) {
@@ -77,6 +100,19 @@ int main(int argc, char** argv) {
     }
 
     util::set_log_level(util::LogLevel::kWarn);
+    const std::string trace_out =
+        with_env_fallback(parser.get("trace-out"), "SNNFI_TRACE");
+    const std::string metrics_out =
+        with_env_fallback(parser.get("metrics-out"), "SNNFI_METRICS");
+    if (!trace_out.empty() || !metrics_out.empty()) obs::set_enabled(true);
+    const auto export_telemetry = [&] {
+        if (!trace_out.empty() && !obs::write_chrome_trace(trace_out))
+            std::cerr << "warning: cannot write trace to " << trace_out << "\n";
+        if (!metrics_out.empty() && !obs::write_metrics(metrics_out))
+            std::cerr << "warning: cannot write metrics to " << metrics_out
+                      << "\n";
+    };
+
     core::RunOptions options;
     options.quick = parser.get_bool("quick");
     options.train_samples = static_cast<std::size_t>(parser.get_int("samples"));
@@ -98,6 +134,12 @@ int main(int argc, char** argv) {
         try {
             const fi::CampaignManifest manifest =
                 fi::read_manifest(campaign_dir);
+            // Progress/straggler view first — printed before the merge is
+            // attempted, so incomplete campaigns still show which shard is
+            // behind (or stalled) instead of only the merge error.
+            const util::ResultTable progress =
+                fi::shard_progress_table(campaign_dir);
+            if (!parser.get_bool("json")) std::cout << progress;
             const fi::CampaignResult merged =
                 fi::merge_campaign_dir(campaign_dir);
             const std::string title =
@@ -106,6 +148,7 @@ int main(int argc, char** argv) {
                 std::cout << "{\"scenario\":\""
                           << util::json_escape(manifest.scenario)
                           << "\",\"shards\":" << manifest.shards
+                          << ",\"progress\":" << progress.to_json()
                           << ",\"campaign\":" << merged.to_json() << "}\n";
             } else {
                 const util::ResultTable table = merged.detail_table(title);
@@ -116,9 +159,11 @@ int main(int argc, char** argv) {
                           << manifest.shards << " shard(s), " << merged.cells.size()
                           << " cell(s)]\n";
             }
+            export_telemetry();
             return 0;
         } catch (const std::exception& e) {
             std::cerr << "error: " << e.what() << "\n";
+            export_telemetry();
             return 1;
         }
     }
@@ -146,20 +191,35 @@ int main(int argc, char** argv) {
 
     if (parser.get_bool("json")) {
         std::cout << core::to_json(results, session) << "\n";
+        export_telemetry();
         return 0;
     }
 
     for (const auto& result : results) {
         std::cout << result.table;
         if (parser.get_bool("csv")) std::cout << result.table.to_csv();
-        std::cout << "[" << result.id << " in " << result.seconds << " s, cache "
-                  << result.cache_hits << " hit(s) / " << result.cache_misses
-                  << " miss(es)]\n\n";
+        std::cout << "[" << result.id << " in " << result.seconds << " s (setup "
+                  << result.setup_seconds << " s + run " << result.run_seconds
+                  << " s), cache " << result.cache_hits << " hit(s) / "
+                  << result.cache_misses << " miss(es)]\n\n";
     }
+    // Wall-time summary across the batch: where the time went, and how much
+    // of it a warm cache/store would have saved (the setup column).
+    util::ResultTable timing("experiment timing",
+                             {"id", "seconds", "setup_s", "run_s", "cache_hits",
+                              "cache_misses"});
+    for (const auto& result : results) {
+        timing.add_row({result.id, result.seconds, result.setup_seconds,
+                        result.run_seconds,
+                        static_cast<double>(result.cache_hits),
+                        static_cast<double>(result.cache_misses)});
+    }
+    std::cout << timing;
     std::cout << "session cache: " << session.cache_hits() << " hit(s), "
               << session.cache_misses() << " miss(es), " << session.cache_evictions()
               << " eviction(s), " << session.cache_entries() << " live entr"
               << (session.cache_entries() == 1 ? "y" : "ies") << " across "
               << results.size() << " experiment(s)\n";
+    export_telemetry();
     return 0;
 }

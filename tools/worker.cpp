@@ -11,13 +11,27 @@
 // off; with --store-dir the trained baseline and the characterisation
 // sweeps are shared across all workers through the artifact store instead
 // of being recomputed per process.
+#include <cstdlib>
 #include <iostream>
 #include <string>
 
 #include "core/session.hpp"
 #include "fi/shard.hpp"
+#include "obs/metrics.hpp"
+#include "obs/span.hpp"
 #include "util/cli.hpp"
 #include "util/log.hpp"
+
+namespace {
+
+std::string with_env_fallback(std::string value, const char* env_name) {
+    if (value.empty()) {
+        if (const char* env = std::getenv(env_name)) value = env;
+    }
+    return value;
+}
+
+}  // namespace
 
 int main(int argc, char** argv) {
     using namespace snnfi;
@@ -41,6 +55,12 @@ int main(int argc, char** argv) {
                       "(default: SNNFI_STORE_DIR env; empty = no store)");
     parser.add_option("store-max-bytes", "0",
                       "On-disk store size cap, LRU-evicted (0 = unbounded)");
+    parser.add_option("trace-out", "",
+                      "Write a Chrome trace-event JSON file and enable "
+                      "telemetry (default: SNNFI_TRACE env)");
+    parser.add_option("metrics-out", "",
+                      "Write the metrics-registry JSON document and enable "
+                      "telemetry (default: SNNFI_METRICS env)");
     try {
         if (!parser.parse(argc, argv)) return 0;
     } catch (const std::exception& e) {
@@ -57,6 +77,18 @@ int main(int argc, char** argv) {
     }
 
     util::set_log_level(util::LogLevel::kWarn);
+    const std::string trace_out =
+        with_env_fallback(parser.get("trace-out"), "SNNFI_TRACE");
+    const std::string metrics_out =
+        with_env_fallback(parser.get("metrics-out"), "SNNFI_METRICS");
+    if (!trace_out.empty() || !metrics_out.empty()) obs::set_enabled(true);
+    const auto export_telemetry = [&] {
+        if (!trace_out.empty() && !obs::write_chrome_trace(trace_out))
+            std::cerr << "warning: cannot write trace to " << trace_out << "\n";
+        if (!metrics_out.empty() && !obs::write_metrics(metrics_out))
+            std::cerr << "warning: cannot write metrics to " << metrics_out
+                      << "\n";
+    };
     core::RunOptions options;
     options.quick = parser.get_bool("quick");
     options.train_samples = static_cast<std::size_t>(parser.get_int("samples"));
@@ -82,7 +114,9 @@ int main(int argc, char** argv) {
         }
     } catch (const std::exception& e) {
         std::cerr << "error: " << e.what() << "\n";
+        export_telemetry();
         return 1;
     }
+    export_telemetry();
     return 0;
 }
