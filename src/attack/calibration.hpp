@@ -9,6 +9,7 @@
 // against the paper's exact numbers.
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "circuits/characterization.hpp"

@@ -13,6 +13,7 @@
 // supported; scenario runners default to the paper's semantics.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -21,6 +21,7 @@
 // out bit-for-bit when the time axis is collapsed.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

@@ -13,7 +13,9 @@
 // baseline. Sweep points run in parallel (they are independent trainings).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <vector>
 

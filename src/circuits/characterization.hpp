@@ -6,6 +6,7 @@
 // solves of the (switch-held-on) driver.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

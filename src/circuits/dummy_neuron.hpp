@@ -13,6 +13,8 @@
 // window-invariant (documented in EXPERIMENTS.md).
 #pragma once
 
+#include <vector>
+
 #include "circuits/characterization.hpp"
 
 namespace snnfi::circuits {

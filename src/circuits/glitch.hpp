@@ -9,6 +9,7 @@
 // onto SNN steps — the one shared time axis of the glitch pipeline.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <vector>

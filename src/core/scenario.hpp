@@ -15,6 +15,8 @@
 // off one shared baseline.
 #pragma once
 
+#include <algorithm>
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <functional>

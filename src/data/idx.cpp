@@ -15,7 +15,9 @@ namespace {
 
 std::uint32_t read_be32(std::istream& in) {
     unsigned char bytes[4];
-    in.read(reinterpret_cast<char*>(bytes), 4);
+    // iostream's byte API takes char*; viewing an unsigned-char buffer
+    // through it is I/O, not punning.
+    in.read(reinterpret_cast<char*>(bytes), 4);  // snnfi-lint: allow(type-punning)
     if (!in) throw std::runtime_error("idx: truncated header");
     return (static_cast<std::uint32_t>(bytes[0]) << 24) |
            (static_cast<std::uint32_t>(bytes[1]) << 16) |
@@ -28,7 +30,8 @@ void write_be32(std::ostream& out, std::uint32_t value) {
                                     static_cast<unsigned char>(value >> 16),
                                     static_cast<unsigned char>(value >> 8),
                                     static_cast<unsigned char>(value)};
-    out.write(reinterpret_cast<const char*>(bytes), 4);
+    // Same as read_be32: char* view for stream I/O only.
+    out.write(reinterpret_cast<const char*>(bytes), 4);  // snnfi-lint: allow(type-punning)
 }
 
 constexpr std::uint32_t kImagesMagic = 2051;
@@ -65,6 +68,7 @@ snn::Dataset load_idx_pair(const std::string& images_path,
 
     std::vector<unsigned char> buffer(dataset.image_size);
     for (std::size_t i = 0; i < count; ++i) {
+        // snnfi-lint: allow(type-punning) — char* view of the pixel buffer for stream I/O
         images.read(reinterpret_cast<char*>(buffer.data()),
                     static_cast<std::streamsize>(buffer.size()));
         char label_byte = 0;
@@ -102,6 +106,7 @@ void save_idx_pair(const snn::Dataset& dataset, const std::string& images_path,
             const float clamped = std::min(1.0f, std::max(0.0f, dataset.images[i][p]));
             buffer[p] = static_cast<unsigned char>(std::lround(clamped * 255.0f));
         }
+        // snnfi-lint: allow(type-punning) — char* view of the pixel buffer for stream I/O
         images.write(reinterpret_cast<const char*>(buffer.data()),
                      static_cast<std::streamsize>(buffer.size()));
         const char label_byte = static_cast<char>(dataset.labels[i]);

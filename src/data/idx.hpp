@@ -5,6 +5,8 @@
 // otherwise they fall back to the synthetic digits (DESIGN.md §4).
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <optional>
 #include <string>
 

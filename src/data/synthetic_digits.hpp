@@ -8,7 +8,9 @@
 // depend on. DESIGN.md §4 documents the substitution.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
+#include <vector>
 
 #include "snn/trainer.hpp"
 #include "util/random.hpp"

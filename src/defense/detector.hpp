@@ -5,6 +5,7 @@
 // golden (nominal-VDD) count by at least `threshold_pct` (paper: 10%).
 #pragma once
 
+#include <utility>
 #include <vector>
 
 #include "circuits/dummy_neuron.hpp"

@@ -7,6 +7,7 @@
 // EXPERIMENTS.md discusses where our area model's constants diverge.
 #pragma once
 
+#include <cstddef>
 #include <string>
 #include <vector>
 

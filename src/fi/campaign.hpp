@@ -31,6 +31,7 @@
 // re-executing it.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>

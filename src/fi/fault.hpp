@@ -26,6 +26,7 @@
 // scenarios exactly.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <string>

@@ -13,7 +13,11 @@ namespace snnfi::obs {
 namespace fs = std::filesystem;
 
 std::int64_t unix_now_ms() {
+    // Heartbeat ages are compared across *processes* through the
+    // filesystem, where per-process steady_clock epochs are meaningless;
+    // the wall clock never feeds campaign results, only staleness display.
     return std::chrono::duration_cast<std::chrono::milliseconds>(
+               // snnfi-lint: allow(nondeterministic-source)
                std::chrono::system_clock::now().time_since_epoch())
         .count();
 }

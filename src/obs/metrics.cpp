@@ -9,7 +9,10 @@
 namespace snnfi::obs {
 
 namespace {
-std::atomic<bool> g_enabled{false};
+// The one telemetry master switch (default off). Registered singleton:
+// campaign output is bit-identical whichever way it is set (tested in
+// tests/obs), so the mutability cannot couple two runs.
+std::atomic<bool> g_enabled{false};  // snnfi-lint: allow(mutable-global)
 }  // namespace
 
 bool enabled() noexcept { return g_enabled.load(std::memory_order_relaxed); }

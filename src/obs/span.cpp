@@ -99,7 +99,9 @@ private:
     std::vector<std::shared_ptr<ThreadBuffer>> buffers_;
 };
 
-thread_local std::uint64_t t_current_span = 0;
+// Per-thread span context for parent/child nesting; thread_local state
+// never crosses threads except by the explicit current_context() capture.
+thread_local std::uint64_t t_current_span = 0;  // snnfi-lint: allow(mutable-global)
 
 }  // namespace
 

@@ -3,6 +3,7 @@
 // strongly; predictions sum per-label activity (BindsNET "all activity").
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>

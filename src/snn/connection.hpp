@@ -8,6 +8,7 @@
 // touched, which keeps the 784x100 training loop fast.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>

@@ -5,6 +5,7 @@
 // p = rate*dt. Only pixels with non-zero intensity are visited.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>

@@ -10,6 +10,7 @@
 // a mutable network.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <span>

@@ -12,6 +12,7 @@
 // README.md.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 

@@ -13,6 +13,7 @@
 //   * per-neuron refractory override — a stretched recovery period.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <span>
 #include <vector>

@@ -16,8 +16,9 @@
 // (threshold + driver gain, attack 5) rely on.
 #pragma once
 
+#include <bit>
+#include <cstddef>
 #include <cstdint>
-#include <cstring>
 #include <span>
 #include <vector>
 
@@ -28,11 +29,7 @@ namespace snnfi::snn {
 /// XORs a float32 weight word with a bit mask (the overlay's bit-flip
 /// primitive; applying the same mask twice restores the value bit-exactly).
 inline float xor_weight_bits(float value, std::uint32_t bits) {
-    std::uint32_t word = 0;
-    std::memcpy(&word, &value, sizeof(word));
-    word ^= bits;
-    std::memcpy(&value, &word, sizeof(word));
-    return value;
+    return std::bit_cast<float>(std::bit_cast<std::uint32_t>(value) ^ bits);
 }
 
 /// The two layers of the Diehl&Cook topology an overlay can address.

@@ -28,10 +28,12 @@
 // the batch — the campaign engine's batched-inference fast path.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
 #include <optional>
 #include <span>
+#include <utility>
 #include <vector>
 
 #include "snn/connection.hpp"

@@ -3,6 +3,7 @@
 // activity-based label assignment, accuracy on the training activity.
 #pragma once
 
+#include <cstddef>
 #include <functional>
 #include <span>
 #include <vector>

@@ -6,8 +6,10 @@
 // devices therefore see the iterate through the Stamper.
 #pragma once
 
+#include <cstddef>
 #include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "spice/linear.hpp"

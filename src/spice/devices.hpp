@@ -1,6 +1,10 @@
 // Concrete circuit elements: R, C, V/I sources, MOSFET, op-amp, VCVS.
 #pragma once
 
+#include <cstddef>
+#include <span>
+#include <string>
+
 #include "spice/device.hpp"
 #include "spice/mosfet_model.hpp"
 #include "spice/waveform.hpp"

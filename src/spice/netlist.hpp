@@ -5,6 +5,7 @@
 // (e.g. `netlist.voltage_source("VDD").spec().set_dc(0.9)`).
 #pragma once
 
+#include <cstddef>
 #include <map>
 #include <memory>
 #include <string>

@@ -2,8 +2,10 @@
 // and recorded simulation traces with measurement helpers.
 #pragma once
 
+#include <cstddef>
 #include <span>
 #include <string>
+#include <utility>
 #include <variant>
 #include <vector>
 

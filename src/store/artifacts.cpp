@@ -106,8 +106,15 @@ TrainedBaseline decode_trained_baseline(std::span<const std::byte> bytes) {
     const std::uint64_t rows = reader.u64();
     const std::uint64_t cols = reader.u64();
     const std::vector<float> flat = reader.floats();
-    if (flat.size() != rows * cols)
+    // Division instead of `flat.size() != rows * cols`: the product of two
+    // hostile u64 dimensions can wrap to a small value (even to
+    // flat.size() exactly) and then overflow the Matrix allocation.
+    if (rows == 0 || cols == 0) {
+        if (!flat.empty() || rows != 0 || cols != 0)
+            throw BlobError("baseline blob: weight matrix shape mismatch");
+    } else if (cols != flat.size() / rows || flat.size() % rows != 0) {
         throw BlobError("baseline blob: weight matrix shape mismatch");
+    }
     snn::Matrix weights(rows, cols);
     std::copy(flat.begin(), flat.end(), weights.flat().begin());
     std::vector<float> theta = reader.floats();

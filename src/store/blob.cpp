@@ -51,7 +51,11 @@ void BlobWriter::doubles(std::span<const double> values) {
 }
 
 void BlobReader::raw(void* out, std::size_t size) {
-    if (size > bytes_.size() - cursor_) throw BlobError("store blob truncated");
+    // Every cursor advance funnels through this check (remaining() cannot
+    // underflow: cursor_ <= bytes_.size() is a class invariant), so a
+    // truncated or hostile length prefix is always a BlobError, never an
+    // out-of-bounds read.
+    if (size > remaining()) throw BlobError("store blob truncated");
     std::memcpy(out, bytes_.data() + cursor_, size);
     cursor_ += size;
 }

@@ -5,6 +5,7 @@
 // collision degrades to a cache miss, never to a wrong artifact.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <string>
 #include <string_view>

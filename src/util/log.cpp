@@ -9,8 +9,11 @@
 namespace snnfi::util {
 
 namespace {
-std::atomic<LogLevel> g_level{LogLevel::kWarn};
-std::mutex g_output_mutex;
+// Process-wide logging knobs: the level is one relaxed atomic read per
+// call site and the mutex serializes whole records onto stderr. Neither
+// value ever feeds experiment output, so they are safe process globals.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};  // snnfi-lint: allow(mutable-global)
+std::mutex g_output_mutex;  // snnfi-lint: allow(mutable-global)
 
 const char* level_name(LogLevel level) {
     switch (level) {

@@ -5,8 +5,11 @@
 // serialise to CSV so results can be plotted externally.
 #pragma once
 
+#include <cstddef>
 #include <iosfwd>
+#include <ostream>
 #include <string>
+#include <utility>
 #include <variant>
 #include <vector>
 

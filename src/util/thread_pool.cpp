@@ -4,7 +4,9 @@
 
 namespace snnfi::util {
 
-thread_local bool ThreadPool::in_pool_job_ = false;
+// Per-thread reentrancy flag (nested parallel_for falls back to serial);
+// thread_local, so no cross-thread mutation is possible.
+thread_local bool ThreadPool::in_pool_job_ = false;  // snnfi-lint: allow(mutable-global)
 
 std::size_t resolve_worker_count(std::size_t requested) noexcept {
     if (requested != 0) return requested;

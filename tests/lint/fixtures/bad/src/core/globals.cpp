@@ -1,0 +1,16 @@
+// Fixture: each namespace-scope mutable here trips mutable-global.
+#include <atomic>
+#include <mutex>
+#include <string>
+
+namespace fixture {
+
+int g_plain = 0;                        // finding: assignment init
+static std::string g_name;              // finding: no initializer
+std::atomic<bool> g_enabled{false};     // finding: brace init
+thread_local int t_depth = 0;           // finding: thread_local
+namespace nested {
+std::mutex g_lock;                      // finding: nested namespace
+}  // namespace nested
+
+}  // namespace fixture

@@ -1,0 +1,12 @@
+// Fixture: include guard instead of #pragma once (finding), plus std
+// symbols with no direct includes (findings: string, vector).
+#ifndef SNNFI_TESTS_LINT_HEADER_BAD_HPP
+#define SNNFI_TESTS_LINT_HEADER_BAD_HPP
+
+namespace fixture {
+
+std::string join(const std::vector<std::string>& parts);
+
+}  // namespace fixture
+
+#endif

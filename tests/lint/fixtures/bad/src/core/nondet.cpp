@@ -1,0 +1,18 @@
+// Fixture: every construct here must trip nondeterministic-source.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+#include <random>
+
+int entropy() {
+    std::random_device device;              // finding: random_device
+    std::mt19937 engine(device());          // finding: mt19937
+    return static_cast<int>(std::rand()) +  // finding: rand
+           static_cast<int>(engine());
+}
+
+long long wall_clock() {
+    const auto now = std::chrono::system_clock::now();  // finding: system_clock
+    (void)std::time(nullptr);                           // finding: std::time(
+    return now.time_since_epoch().count();
+}

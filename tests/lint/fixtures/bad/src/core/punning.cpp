@@ -1,0 +1,10 @@
+// Fixture: type punning outside the blob codec trips type-punning.
+#include <cstdint>
+#include <cstring>
+
+float pun(std::uint32_t bits) {
+    float value = 0.0f;
+    std::memcpy(&value, &bits, sizeof(value));        // finding: memcpy
+    const auto* raw = reinterpret_cast<char*>(&value);  // finding: reinterpret_cast
+    return value + static_cast<float>(raw[0]);
+}

@@ -1,0 +1,9 @@
+// Fixture: raw console I/O in library code trips raw-stream.
+#include <cstdio>
+#include <iostream>
+
+void report(int value) {
+    std::cout << value << "\n";      // finding: cout
+    std::cerr << "oops\n";           // finding: cerr
+    printf("%d\n", value);           // finding: printf
+}

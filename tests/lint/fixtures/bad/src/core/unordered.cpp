@@ -1,0 +1,13 @@
+// Fixture: unordered containers in library code trip unordered-iteration.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+int hash_ordered() {
+    std::unordered_map<std::string, int> counts;   // finding
+    std::unordered_set<int> seen;                  // finding
+    counts["a"] = 1;
+    int total = 0;
+    for (const auto& [key, value] : counts) total += value;  // (decl already flagged)
+    return total + static_cast<int>(seen.size());
+}

@@ -1,0 +1,34 @@
+// Fixture: near-misses that must NOT trip any rule.
+#include <chrono>
+#include <map>
+#include <string>
+
+namespace fixture {
+
+// Constants and function-local statics are fine at namespace scope.
+constexpr int kAnswer = 42;
+const std::string kName = "fixture";
+inline constexpr double kScale = 2.0;
+
+struct Sim {
+    double time() const { return time_; }  // member named `time`: fine
+    double rand = 0.0;                     // member named `rand`: data member
+    double time_ = 0.0;
+};
+
+int& counter() {
+    static int count = 0;  // function-local static: the blessed pattern
+    return count;
+}
+
+double run(const Sim& sim) {
+    // steady_clock is the sanctioned monotonic clock.
+    const auto start = std::chrono::steady_clock::now();
+    std::map<std::string, int> ordered;  // ordered container: fine
+    ordered["cout"] = 1;                 // "cout" in a string literal: fine
+    // std::cout in a comment is fine too.
+    (void)start;
+    return sim.time() + sim.rand + static_cast<double>(ordered.size());
+}
+
+}  // namespace fixture

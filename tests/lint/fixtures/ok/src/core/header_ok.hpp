@@ -1,0 +1,13 @@
+// Fixture: a self-contained header — #pragma once first and a direct
+// include for every std symbol named.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace fixture {
+
+std::string join(const std::vector<std::string>& parts, std::size_t limit);
+
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Fixture: the blob codec path is exempt from type-punning by scope.
+#include <cstring>
+
+namespace fixture::store {
+
+void codec_copy(void* out, const void* in, unsigned size) {
+    std::memcpy(out, in, size);  // allowed: this file IS the codec
+}
+
+}  // namespace fixture::store

@@ -1,0 +1,19 @@
+// Fixture: src/util/ owns randomness, time, and the console, so none of
+// these trip the scoped rules there.
+#include <cstdio>
+#include <iostream>
+#include <random>
+
+namespace fixture::util {
+
+int seed_entropy() {
+    std::random_device device;  // allowed: util/ is the randomness seam
+    return static_cast<int>(device());
+}
+
+void print_usage() {
+    std::cout << "usage: fixture\n";  // allowed: util/ CLI/log seam
+    std::printf("ok\n");
+}
+
+}  // namespace fixture::util

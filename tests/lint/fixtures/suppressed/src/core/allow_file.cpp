@@ -1,0 +1,15 @@
+// Fixture: allow-file() silences a rule for the whole translation unit.
+// snnfi-lint: allow-file(unordered-iteration)
+#include <string>
+#include <unordered_map>
+
+namespace fixture {
+
+int lookup(const std::string& key) {
+    std::unordered_map<std::string, int> table;  // suppressed file-wide
+    std::unordered_map<std::string, int> other;  // suppressed file-wide
+    table[key] = 1;
+    return table[key] + static_cast<int>(other.size());
+}
+
+}  // namespace fixture

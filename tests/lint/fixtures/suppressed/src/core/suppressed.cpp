@@ -1,0 +1,26 @@
+// Fixture: every violation here carries a suppression, in each supported
+// form, so the file must lint clean with a nonzero suppressed count.
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <unordered_map>
+
+namespace fixture {
+
+// Same-line suppression.
+std::chrono::system_clock::time_point now();  // snnfi-lint: allow(nondeterministic-source)
+
+// Comment-only line covers the next line.
+// snnfi-lint: allow(raw-stream)
+void log_line() { std::cout << "hello\n"; }
+
+// Multiple rules in one suppression.
+// snnfi-lint: allow(type-punning, mutable-global)
+char g_buffer[8] = {0};
+
+void pun() {
+    int value = 0;
+    std::memcpy(g_buffer, &value, sizeof(value));  // snnfi-lint: allow(type-punning)
+}
+
+}  // namespace fixture

@@ -1,0 +1,159 @@
+// Coverage for every snnfi-lint rule: the fixture mini-trees under
+// tests/lint/fixtures/ mirror the repo layout (src/core, src/util,
+// src/store), so the same path scoping applies. `bad` must fire every
+// rule at the annotated sites, `ok` holds the near-misses that must stay
+// silent, and `suppressed` proves each allow() form is honored.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <string>
+
+#include "lint.hpp"
+
+namespace snnfi::lint {
+namespace {
+
+LintResult lint_fixture(const std::string& tree) {
+    return lint_paths(std::string(SNNFI_LINT_FIXTURES) + "/" + tree, {"src"});
+}
+
+std::map<std::string, int> by_rule(const LintResult& result) {
+    std::map<std::string, int> counts;
+    for (const Finding& finding : result.findings) ++counts[finding.rule];
+    return counts;
+}
+
+int count_at(const LintResult& result, const std::string& rule,
+             const std::string& file) {
+    return static_cast<int>(std::count_if(
+        result.findings.begin(), result.findings.end(), [&](const Finding& f) {
+            return f.rule == rule && f.file == file;
+        }));
+}
+
+// --- tokenizer ----------------------------------------------------------
+
+TEST(Tokenizer, DropsCommentsAndTracksLines) {
+    const auto tokens = tokenize("int a; // trailing std::rand()\n"
+                                 "/* block\n std::cout */ int b;\n");
+    ASSERT_EQ(tokens.size(), 6u);
+    EXPECT_EQ(tokens[0].text, "int");
+    EXPECT_EQ(tokens[2].text, ";");
+    EXPECT_EQ(tokens[3].text, "int");
+    EXPECT_EQ(tokens[3].line, 3u);  // newline inside the block comment counts
+    EXPECT_EQ(tokens[4].text, "b");
+}
+
+TEST(Tokenizer, LiteralsStayWhole) {
+    const auto tokens = tokenize("auto s = \"std::rand() \\\" quoted\";\n"
+                                 "auto r = R\"x(raw std::cout)x\";\n"
+                                 "char c = '\\'';");
+    const auto strings = std::count_if(
+        tokens.begin(), tokens.end(),
+        [](const Token& t) { return t.kind == TokenKind::kString; });
+    EXPECT_EQ(strings, 2);
+    for (const Token& token : tokens) EXPECT_NE(token.text, "rand");
+}
+
+TEST(Tokenizer, MultiCharPunctsAndPreprocessor) {
+    const auto tokens = tokenize("#include <vector>\nint x = a->b :: c << 2;");
+    ASSERT_GE(tokens.size(), 5u);
+    EXPECT_TRUE(tokens[0].preprocessor);  // '#'
+    EXPECT_TRUE(tokens[1].preprocessor);  // 'include'
+    bool arrow = false, scope = false, shift = false;
+    for (const Token& token : tokens) {
+        if (token.preprocessor) continue;
+        arrow |= token.text == "->";
+        scope |= token.text == "::";
+        shift |= token.text == "<<";
+    }
+    EXPECT_TRUE(arrow);
+    EXPECT_TRUE(scope);
+    EXPECT_TRUE(shift);
+}
+
+// --- positive fixtures: every rule fires where annotated ----------------
+
+TEST(LintRules, BadTreeFiresEveryRule) {
+    const LintResult result = lint_fixture("bad");
+    const auto counts = by_rule(result);
+    EXPECT_EQ(counts.at("nondeterministic-source"), 5);
+    EXPECT_EQ(counts.at("unordered-iteration"), 2);
+    EXPECT_EQ(counts.at("raw-stream"), 3);
+    EXPECT_EQ(counts.at("type-punning"), 2);
+    EXPECT_EQ(counts.at("mutable-global"), 5);
+    EXPECT_EQ(counts.at("header-selfcontained"), 3);
+    EXPECT_EQ(result.suppressed, 0u);
+
+    EXPECT_EQ(count_at(result, "nondeterministic-source", "src/core/nondet.cpp"), 5);
+    EXPECT_EQ(count_at(result, "unordered-iteration", "src/core/unordered.cpp"), 2);
+    EXPECT_EQ(count_at(result, "raw-stream", "src/core/stream.cpp"), 3);
+    EXPECT_EQ(count_at(result, "type-punning", "src/core/punning.cpp"), 2);
+    EXPECT_EQ(count_at(result, "mutable-global", "src/core/globals.cpp"), 5);
+    EXPECT_EQ(count_at(result, "header-selfcontained", "src/core/header_bad.hpp"), 3);
+}
+
+TEST(LintRules, BadHeaderMissingPragmaOnceReported) {
+    const LintResult result = lint_fixture("bad");
+    const bool pragma_finding = std::any_of(
+        result.findings.begin(), result.findings.end(), [](const Finding& f) {
+            return f.rule == "header-selfcontained" &&
+                   f.message.find("#pragma once") != std::string::npos;
+        });
+    EXPECT_TRUE(pragma_finding);
+}
+
+// --- negative fixtures: near-misses stay silent -------------------------
+
+TEST(LintRules, OkTreeIsClean) {
+    const LintResult result = lint_fixture("ok");
+    for (const Finding& finding : result.findings)
+        ADD_FAILURE() << finding.file << ":" << finding.line << " ["
+                      << finding.rule << "] " << finding.message;
+    EXPECT_EQ(result.suppressed, 0u);
+    EXPECT_EQ(result.files_scanned, 4u);
+}
+
+// --- suppressions -------------------------------------------------------
+
+TEST(LintRules, SuppressionsHonoredInEveryForm) {
+    const LintResult result = lint_fixture("suppressed");
+    for (const Finding& finding : result.findings)
+        ADD_FAILURE() << finding.file << ":" << finding.line << " ["
+                      << finding.rule << "] " << finding.message;
+    // same-line + next-line + multi-rule-line + memcpy line + 2 allow-file.
+    EXPECT_EQ(result.suppressed, 6u);
+}
+
+TEST(LintRules, SuppressionOnlySilencesNamedRule) {
+    // An allow() for one rule must not blanket the line for others: lint
+    // the bad tree's stream fixture content with an unrelated allow.
+    const LintResult bad = lint_fixture("bad");
+    EXPECT_FALSE(bad.findings.empty());  // sanity: allow() elsewhere didn't leak
+    const LintResult suppressed = lint_fixture("suppressed");
+    EXPECT_TRUE(suppressed.findings.empty());
+}
+
+// --- report -------------------------------------------------------------
+
+TEST(LintReport, JsonCarriesFindingsAndCounts) {
+    const LintResult result = lint_fixture("bad");
+    const std::string json = to_json(result, "fixtures/bad");
+    EXPECT_NE(json.find("\"files_scanned\": 6"), std::string::npos);
+    EXPECT_NE(json.find("\"rule\": \"raw-stream\""), std::string::npos);
+    EXPECT_NE(json.find("src/core/nondet.cpp"), std::string::npos);
+    EXPECT_EQ(json.find("\\u"), std::string::npos);  // no control chars leaked
+}
+
+TEST(LintReport, FindingsAreSortedDeterministically) {
+    const LintResult result = lint_fixture("bad");
+    for (std::size_t i = 1; i < result.findings.size(); ++i) {
+        const Finding& a = result.findings[i - 1];
+        const Finding& b = result.findings[i];
+        EXPECT_LE(std::tie(a.file, a.line, a.rule), std::tie(b.file, b.line, b.rule));
+    }
+}
+
+}  // namespace
+}  // namespace snnfi::lint

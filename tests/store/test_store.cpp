@@ -311,6 +311,93 @@ TEST(StoreCodecs, TrainedBaselineRoundTripBitExact) {
     }
 }
 
+// Builds the small trained-baseline blob the round-trip test uses, so the
+// truncation sweep exercises every field of the richest codec.
+std::vector<std::byte> sample_baseline_blob() {
+    snn::DiehlCookConfig config;
+    config.n_input = 4;
+    config.n_neurons = 3;
+    snn::Matrix weights(4, 3);
+    for (std::size_t r = 0; r < 4; ++r)
+        for (std::size_t c = 0; c < 3; ++c)
+            weights(r, c) = 0.1f * static_cast<float>(r * 3 + c + 1);
+    TrainedBaseline baseline;
+    baseline.model = std::make_shared<snn::NetworkModel>(
+        config, weights, std::vector<float>{0.25f, 0.5f, 0.75f},
+        util::Rng(12345));
+    baseline.result.train_accuracy = 0.5;
+    return encode_trained_baseline(baseline);
+}
+
+// The codec's core safety contract: a blob cut at ANY byte offset is a
+// clean BlobError (the store maps it to a miss) — never an out-of-bounds
+// read, a giant allocation, or a partially-initialised artifact.
+TEST(StoreCodecs, TruncationAtEveryOffsetRejected) {
+    const std::vector<std::byte> baseline = sample_baseline_blob();
+    for (std::size_t cut = 0; cut < baseline.size(); ++cut) {
+        const std::span<const std::byte> prefix(baseline.data(), cut);
+        EXPECT_THROW(decode_trained_baseline(prefix), BlobError)
+            << "baseline blob truncated to " << cut << " bytes";
+    }
+
+    const auto points = encode_vdd_points({{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}});
+    for (std::size_t cut = 0; cut < points.size(); ++cut) {
+        EXPECT_THROW(
+            decode_vdd_points(std::span<const std::byte>(points.data(), cut)),
+            BlobError)
+            << "vdd-points blob truncated to " << cut << " bytes";
+    }
+
+    const auto profile = encode_glitch_profile(
+        attack::GlitchProfile({{0.0, 0.5, -0.1, 0.9}, {0.5, 1.0, -0.2, 0.8}}));
+    for (std::size_t cut = 0; cut < profile.size(); ++cut) {
+        EXPECT_THROW(
+            decode_glitch_profile(std::span<const std::byte>(profile.data(), cut)),
+            BlobError)
+            << "glitch-profile blob truncated to " << cut << " bytes";
+    }
+}
+
+// Oversized input is as corrupt as truncated input: every decoder calls
+// expect_end(), so trailing bytes cannot smuggle past the schema.
+TEST(StoreCodecs, TrailingBytesRejected) {
+    auto baseline = sample_baseline_blob();
+    baseline.push_back(std::byte{0});
+    EXPECT_THROW(decode_trained_baseline(baseline), BlobError);
+
+    auto points = encode_vdd_points({{1.0, 2.0, 3.0}});
+    points.push_back(std::byte{0});
+    EXPECT_THROW(decode_vdd_points(points), BlobError);
+
+    auto profile = encode_glitch_profile(attack::GlitchProfile::constant(0.01, 0.9));
+    profile.push_back(std::byte{0});
+    EXPECT_THROW(decode_glitch_profile(profile), BlobError);
+}
+
+// Two hostile u64 dimensions whose product wraps to exactly the payload
+// length used to slip past a naive `flat.size() != rows * cols` check and
+// hit the Matrix allocator with 2^32 x 2^32; the decoder must reject the
+// shape instead. The blob mirrors the codec's config layout with zeroed
+// fields, then rows = cols = 2^32 and an empty weight array.
+TEST(StoreCodecs, OverflowingMatrixShapeRejected) {
+    BlobWriter writer;
+    writer.u64(0);                                  // n_input
+    writer.u64(0);                                  // n_neurons
+    for (int i = 0; i < 9; ++i) writer.f32(0.0f);   // weights + stdp scalars
+    writer.f32(0);  writer.f32(0); writer.f32(0);   // exc lif v_rest/v_reset/v_thresh
+    writer.f32(0);  writer.i32(0); writer.f32(0);   // exc lif tau/refrac/dt
+    writer.f32(0);  writer.f32(0);                  // theta_plus, theta_decay
+    writer.f32(0);  writer.f32(0); writer.f32(0);   // inh lif
+    writer.f32(0);  writer.i32(0); writer.f32(0);
+    writer.f64(0);  writer.f64(0);                  // encoder
+    writer.u64(0);                                  // steps_per_sample
+    writer.u64(std::uint64_t{1} << 32);             // rows
+    writer.u64(std::uint64_t{1} << 32);             // cols: rows*cols wraps to 0
+    writer.u64(0);                                  // weight payload: 0 floats
+    const std::vector<std::byte> bytes = writer.take();
+    EXPECT_THROW(decode_trained_baseline(bytes), BlobError);
+}
+
 TEST(StoreCodecs, DecodersRejectForeignBlobs) {
     const auto profile_bytes =
         encode_glitch_profile(attack::GlitchProfile::constant(0.01, 0.9));

@@ -131,5 +131,65 @@ TEST(ThreadPool, WorkerThreadExceptionReachesCaller) {
     EXPECT_EQ(ran.load(), 8);
 }
 
+// TSan target: tear a pool down immediately after jobs in which several
+// workers throw at once. Exercises the stopping_/job_ handshake and the
+// first-error-wins write to job.error under real contention; run under
+// `-DSNNFI_SANITIZE=thread` this is the shutdown-race detector.
+TEST(ThreadPoolStress, RapidCreateThrowDestroyCycles) {
+    for (int cycle = 0; cycle < 50; ++cycle) {
+        ThreadPool pool(4);
+        std::atomic<int> ran{0};
+        try {
+            pool.parallel_for(32, [&](std::size_t i) {
+                ran.fetch_add(1);
+                if (i % 5 == 0) throw std::runtime_error("stress");
+            });
+            FAIL() << "expected at least one throw to propagate";
+        } catch (const std::runtime_error& e) {
+            EXPECT_STREQ(e.what(), "stress");
+        }
+        EXPECT_GT(ran.load(), 0);
+        // Destructor runs here, possibly while workers are still parked
+        // between the failed job and the next wait.
+    }
+}
+
+// TSan target: two threads hammer the same pool concurrently. By contract
+// exactly one job runs at a time; the loser must get logic_error and
+// every accepted index must still run exactly once.
+TEST(ThreadPoolStress, CompetingSubmittersSerializeOrThrow) {
+    ThreadPool pool(4);
+    std::atomic<int> total{0};
+    std::atomic<int> rejected{0};
+    auto submit_loop = [&] {
+        for (int round = 0; round < 40; ++round) {
+            try {
+                pool.parallel_for(16, [&](std::size_t) { total.fetch_add(1); });
+            } catch (const std::logic_error&) {
+                rejected.fetch_add(1);
+            }
+        }
+    };
+    std::thread rival(submit_loop);
+    submit_loop();
+    rival.join();
+    // Every job that was accepted ran all 16 indices; rejected ones ran none.
+    EXPECT_EQ(total.load(), (80 - rejected.load()) * 16);
+}
+
+// TSan target: destruction races the tail of a completed job — the caller
+// returns from parallel_for on its own thread while pool workers may still
+// be inside the run loop re-checking the predicate.
+TEST(ThreadPoolStress, DestroyImmediatelyAfterCompletion) {
+    for (int cycle = 0; cycle < 100; ++cycle) {
+        std::atomic<int> ran{0};
+        {
+            ThreadPool pool(3);
+            pool.parallel_for(9, [&](std::size_t) { ran.fetch_add(1); });
+        }
+        EXPECT_EQ(ran.load(), 9);
+    }
+}
+
 }  // namespace
 }  // namespace snnfi::util

@@ -1,0 +1,311 @@
+#include "lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace snnfi::lint {
+
+namespace {
+
+bool ident_start(char c) {
+    return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool ident_char(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Multi-character punctuators the rules care about staying whole. Longest
+/// match first; everything else falls back to a single character.
+constexpr std::string_view kPuncts[] = {
+    "<<=", ">>=", "...", "->*", "::", "->", "<<", ">>", "<=", ">=", "==",
+    "!=", "&&", "||", "++", "--", "+=", "-=", "*=", "/=", "%=", "&=",
+    "|=", "^=",
+};
+
+}  // namespace
+
+std::vector<Token> tokenize(std::string_view source) {
+    std::vector<Token> tokens;
+    std::size_t i = 0;
+    std::size_t line = 1;
+    bool in_preproc = false;
+    const std::size_t n = source.size();
+
+    const auto push = [&](TokenKind kind, std::string text) {
+        tokens.push_back(Token{kind, std::move(text), line, in_preproc});
+    };
+
+    while (i < n) {
+        const char c = source[i];
+        if (c == '\n') {
+            // A preprocessor directive ends at an unescaped newline.
+            if (in_preproc && (tokens.empty() || i == 0 || source[i - 1] != '\\'))
+                in_preproc = false;
+            ++line;
+            ++i;
+            continue;
+        }
+        if (std::isspace(static_cast<unsigned char>(c))) {
+            ++i;
+            continue;
+        }
+        // Comments.
+        if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+            while (i < n && source[i] != '\n') ++i;
+            continue;
+        }
+        if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+            i += 2;
+            while (i + 1 < n && !(source[i] == '*' && source[i + 1] == '/')) {
+                if (source[i] == '\n') ++line;
+                ++i;
+            }
+            i = std::min(n, i + 2);
+            continue;
+        }
+        // Preprocessor directive start.
+        if (c == '#' && (tokens.empty() || tokens.back().line != line || in_preproc)) {
+            in_preproc = true;
+            push(TokenKind::kPunct, "#");
+            ++i;
+            continue;
+        }
+        // Raw string literal: R"delim( ... )delim".
+        if (c == 'R' && i + 1 < n && source[i + 1] == '"') {
+            std::size_t j = i + 2;
+            std::string delim;
+            while (j < n && source[j] != '(') delim += source[j++];
+            const std::string closer = ")" + delim + "\"";
+            const std::size_t end = source.find(closer, j);
+            const std::size_t stop = end == std::string_view::npos ? n : end + closer.size();
+            for (std::size_t k = i; k < stop; ++k)
+                if (source[k] == '\n') ++line;
+            push(TokenKind::kString, std::string(source.substr(i, stop - i)));
+            i = stop;
+            continue;
+        }
+        // String/char literals (with escape handling).
+        if (c == '"' || c == '\'') {
+            const char quote = c;
+            std::size_t j = i + 1;
+            while (j < n && source[j] != quote) {
+                if (source[j] == '\\' && j + 1 < n) ++j;
+                if (source[j] == '\n') ++line;
+                ++j;
+            }
+            j = std::min(n, j + 1);
+            push(quote == '"' ? TokenKind::kString : TokenKind::kChar,
+                 std::string(source.substr(i, j - i)));
+            i = j;
+            continue;
+        }
+        if (ident_start(c)) {
+            std::size_t j = i;
+            while (j < n && ident_char(source[j])) ++j;
+            push(TokenKind::kIdentifier, std::string(source.substr(i, j - i)));
+            i = j;
+            continue;
+        }
+        if (std::isdigit(static_cast<unsigned char>(c)) ||
+            (c == '.' && i + 1 < n && std::isdigit(static_cast<unsigned char>(source[i + 1])))) {
+            std::size_t j = i;
+            while (j < n && (ident_char(source[j]) || source[j] == '.' ||
+                             ((source[j] == '+' || source[j] == '-') && j > i &&
+                              (source[j - 1] == 'e' || source[j - 1] == 'E' ||
+                               source[j - 1] == 'p' || source[j - 1] == 'P'))))
+                ++j;
+            push(TokenKind::kNumber, std::string(source.substr(i, j - i)));
+            i = j;
+            continue;
+        }
+        // Punctuator: longest multi-char match, else single char.
+        std::string_view rest = source.substr(i);
+        std::string_view matched;
+        for (const std::string_view p : kPuncts) {
+            if (rest.substr(0, p.size()) == p) {
+                matched = p;
+                break;
+            }
+        }
+        if (matched.empty()) matched = rest.substr(0, 1);
+        push(TokenKind::kPunct, std::string(matched));
+        i += matched.size();
+    }
+    return tokens;
+}
+
+bool FileContext::allows(const std::string& rule, std::size_t line) const {
+    if (allowed_file.count(rule)) return true;
+    const auto it = allowed.find(line);
+    return it != allowed.end() && it->second.count(rule) != 0;
+}
+
+namespace {
+
+/// Extracts `allow(...)` / `allow-file(...)` rule lists from one comment
+/// body and records them for `line` (and `line + 1` when the comment is
+/// the only content on its line).
+void mine_suppressions(FileContext& ctx, std::string_view comment,
+                       std::size_t line, bool comment_only_line) {
+    const std::string_view kMarker = "snnfi-lint:";
+    std::size_t at = comment.find(kMarker);
+    if (at == std::string_view::npos) return;
+    std::string_view body = comment.substr(at + kMarker.size());
+    const bool file_wide = body.find("allow-file(") != std::string_view::npos;
+    const std::string_view open_marker = file_wide ? "allow-file(" : "allow(";
+    const std::size_t open = body.find(open_marker);
+    if (open == std::string_view::npos) return;
+    const std::size_t begin = open + open_marker.size();
+    const std::size_t close = body.find(')', begin);
+    if (close == std::string_view::npos) return;
+    std::string rules(body.substr(begin, close - begin));
+    std::replace(rules.begin(), rules.end(), ',', ' ');
+    std::istringstream stream(rules);
+    std::string rule;
+    while (stream >> rule) {
+        if (file_wide) {
+            ctx.allowed_file.insert(rule);
+        } else {
+            ctx.allowed[line].insert(rule);
+            if (comment_only_line) ctx.allowed[line + 1].insert(rule);
+        }
+    }
+}
+
+void collect_suppressions(FileContext& ctx) {
+    std::istringstream stream(ctx.source);
+    std::string text;
+    std::size_t line = 0;
+    while (std::getline(stream, text)) {
+        ++line;
+        const std::size_t comment = text.find("//");
+        if (comment == std::string::npos) continue;
+        const std::size_t content = text.find_first_not_of(" \t");
+        const bool comment_only = content == comment;
+        mine_suppressions(ctx, std::string_view(text).substr(comment), line,
+                          comment_only);
+    }
+}
+
+}  // namespace
+
+FileContext load_file(const std::filesystem::path& full_path, std::string path) {
+    std::ifstream in(full_path, std::ios::binary);
+    if (!in)
+        throw std::runtime_error("snnfi-lint: cannot read " + full_path.string());
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    FileContext ctx;
+    ctx.path = std::move(path);
+    std::replace(ctx.path.begin(), ctx.path.end(), '\\', '/');
+    ctx.source = buffer.str();
+    ctx.tokens = tokenize(ctx.source);
+    collect_suppressions(ctx);
+    return ctx;
+}
+
+void lint_file(const FileContext& file, LintResult& result) {
+    for (const Rule* rule : all_rules()) {
+        std::vector<Finding> raw;
+        rule->run(file, raw);
+        for (Finding& finding : raw) {
+            if (file.allows(finding.rule, finding.line))
+                ++result.suppressed;
+            else
+                result.findings.push_back(std::move(finding));
+        }
+    }
+    ++result.files_scanned;
+}
+
+namespace {
+
+bool lintable(const std::filesystem::path& path) {
+    const std::string ext = path.extension().string();
+    return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+}  // namespace
+
+LintResult lint_paths(const std::filesystem::path& root,
+                      const std::vector<std::string>& paths) {
+    std::vector<std::filesystem::path> files;
+    for (const std::string& entry : paths) {
+        const std::filesystem::path full = root / entry;
+        if (std::filesystem::is_directory(full)) {
+            for (const auto& item :
+                 std::filesystem::recursive_directory_iterator(full)) {
+                if (item.is_regular_file() && lintable(item.path()))
+                    files.push_back(item.path());
+            }
+        } else if (std::filesystem::is_regular_file(full)) {
+            files.push_back(full);
+        } else {
+            throw std::runtime_error("snnfi-lint: no such path: " + full.string());
+        }
+    }
+    std::sort(files.begin(), files.end());
+    files.erase(std::unique(files.begin(), files.end()), files.end());
+
+    LintResult result;
+    for (const std::filesystem::path& file : files) {
+        const std::string rel =
+            std::filesystem::relative(file, root).generic_string();
+        const FileContext ctx = load_file(file, rel);
+        lint_file(ctx, result);
+    }
+    std::sort(result.findings.begin(), result.findings.end(),
+              [](const Finding& a, const Finding& b) {
+                  return std::tie(a.file, a.line, a.rule) <
+                         std::tie(b.file, b.line, b.rule);
+              });
+    return result;
+}
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+    std::string out;
+    out.reserve(text.size());
+    for (const char c : text) {
+        switch (c) {
+            case '"': out += "\\\""; break;
+            case '\\': out += "\\\\"; break;
+            case '\n': out += "\\n"; break;
+            case '\t': out += "\\t"; break;
+            default:
+                if (static_cast<unsigned char>(c) < 0x20) {
+                    char buf[8];
+                    std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                    out += buf;
+                } else {
+                    out += c;
+                }
+        }
+    }
+    return out;
+}
+
+}  // namespace
+
+std::string to_json(const LintResult& result, const std::string& root) {
+    std::ostringstream os;
+    os << "{\n  \"root\": \"" << json_escape(root) << "\",\n"
+       << "  \"files_scanned\": " << result.files_scanned << ",\n"
+       << "  \"suppressed\": " << result.suppressed << ",\n"
+       << "  \"findings\": [";
+    for (std::size_t i = 0; i < result.findings.size(); ++i) {
+        const Finding& f = result.findings[i];
+        os << (i == 0 ? "\n" : ",\n")
+           << "    {\"file\": \"" << json_escape(f.file) << "\", \"line\": "
+           << f.line << ", \"rule\": \"" << json_escape(f.rule)
+           << "\", \"message\": \"" << json_escape(f.message) << "\"}";
+    }
+    os << (result.findings.empty() ? "]" : "\n  ]") << "\n}\n";
+    return os.str();
+}
+
+}  // namespace snnfi::lint

@@ -1,0 +1,120 @@
+// snnfi-lint — the repo's custom static analyzer.
+//
+// The library's determinism contract (campaigns bit-identical across
+// shard counts, thread counts, kill+resume, telemetry on/off) rests on
+// a handful of coding invariants that no compiler flag checks: no
+// ambient randomness or wall-clock reads outside util/, no
+// hash-ordered container iteration feeding emitted output, no raw
+// console writes outside the logging/CLI seams, no type punning
+// outside the store's blob codec, no mutable globals outside the
+// registered singletons, and self-contained headers. snnfi-lint
+// encodes those invariants as machine-checked rules over a light C++
+// token stream, so a future PR cannot erode them silently.
+//
+// A finding on line N is suppressed by an inline comment on the same
+// line, or by a comment-only line directly above it:
+//
+//     foo();  // snnfi-lint: allow(rule-id) — why this one is fine
+//
+// Whole files opt out with `// snnfi-lint: allow-file(rule-id)`.
+// Suppressions are part of the reviewed source, so every exception to
+// an invariant carries its justification next to the code.
+#pragma once
+
+#include <cstddef>
+#include <filesystem>
+#include <map>
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace snnfi::lint {
+
+// --- token stream -------------------------------------------------------
+
+enum class TokenKind {
+    kIdentifier,  ///< identifiers and keywords (no keyword table needed)
+    kNumber,
+    kString,  ///< string literal, including raw strings
+    kChar,
+    kPunct,  ///< one operator/punctuator per token (e.g. "::", "->", "{")
+};
+
+struct Token {
+    TokenKind kind;
+    std::string text;
+    std::size_t line;     ///< 1-based
+    bool preprocessor;    ///< true for tokens inside a #-directive line
+};
+
+/// Lexes C++ source into significant tokens: comments and whitespace are
+/// dropped, literals are kept whole, multi-char operators ("::", "->",
+/// "<<") stay single tokens, and preprocessor lines (with continuations)
+/// are tokenized with `preprocessor` set.
+std::vector<Token> tokenize(std::string_view source);
+
+// --- files and suppressions ---------------------------------------------
+
+/// One analyzed file: tokens plus the suppression map mined from its
+/// comments. `path` is kept relative to the lint root so rule scoping
+/// ("src/", "src/util/") works the same for the real tree and for the
+/// fixture mini-trees under tests/lint/.
+struct FileContext {
+    std::string path;  ///< root-relative, '/'-separated
+    std::string source;
+    std::vector<Token> tokens;
+    /// line -> rule ids allowed on that line (populated for the comment's
+    /// own line and, for comment-only lines, the next line as well).
+    std::map<std::size_t, std::set<std::string>> allowed;
+    std::set<std::string> allowed_file;  ///< allow-file(rule) ids
+
+    bool allows(const std::string& rule, std::size_t line) const;
+};
+
+/// Loads and tokenizes one file. `path` is the root-relative name
+/// recorded in findings; `full_path` is where the bytes live.
+FileContext load_file(const std::filesystem::path& full_path, std::string path);
+
+// --- findings and rules -------------------------------------------------
+
+struct Finding {
+    std::string file;
+    std::size_t line;
+    std::string rule;
+    std::string message;
+};
+
+class Rule {
+public:
+    virtual ~Rule() = default;
+    virtual const char* id() const = 0;
+    virtual const char* description() const = 0;
+    /// Appends findings for `file`; suppression filtering happens later.
+    virtual void run(const FileContext& file, std::vector<Finding>& out) const = 0;
+};
+
+/// The built-in rule set, in stable report order.
+const std::vector<const Rule*>& all_rules();
+
+// --- driver -------------------------------------------------------------
+
+struct LintResult {
+    std::vector<Finding> findings;   ///< surviving (unsuppressed) findings
+    std::size_t files_scanned = 0;
+    std::size_t suppressed = 0;      ///< findings silenced by allow()
+};
+
+/// Runs every rule over one loaded file.
+void lint_file(const FileContext& file, LintResult& result);
+
+/// Walks `paths` (files or directories, relative to `root`) for
+/// .hpp/.cpp sources, lints each, and aggregates. Files are visited in
+/// sorted path order so reports are deterministic.
+LintResult lint_paths(const std::filesystem::path& root,
+                      const std::vector<std::string>& paths);
+
+/// Renders `result` as the JSON findings report (stable key order).
+std::string to_json(const LintResult& result, const std::string& root);
+
+}  // namespace snnfi::lint

@@ -1,0 +1,95 @@
+// snnfi-lint CLI.
+//
+//   snnfi-lint [--root=DIR] [--json] [--out=FILE] [--list-rules] [PATH...]
+//
+// PATHs (default: src) are files or directories relative to --root
+// (default: the current directory). Exit code 0 = clean, 1 = findings,
+// 2 = usage or I/O error. `--json` writes the machine-readable findings
+// report (CI uploads it as an artifact) instead of the human lines.
+#include <exception>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace {
+
+int usage(std::ostream& os, int code) {
+    os << "usage: snnfi-lint [--root=DIR] [--json] [--out=FILE] [--list-rules] "
+          "[PATH...]\n"
+          "  Lints PATHs (default: src) relative to --root (default: .)\n"
+          "  against the repo's determinism/correctness rules.\n";
+    return code;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::filesystem::path root = ".";
+    std::string out_file;
+    bool json = false;
+    std::vector<std::string> paths;
+
+    for (int i = 1; i < argc; ++i) {
+        const std::string arg = argv[i];
+        if (arg.rfind("--root=", 0) == 0) {
+            root = arg.substr(7);
+        } else if (arg == "--json") {
+            json = true;
+        } else if (arg.rfind("--out=", 0) == 0) {
+            out_file = arg.substr(6);
+        } else if (arg == "--list-rules") {
+            for (const snnfi::lint::Rule* rule : snnfi::lint::all_rules())
+                std::cout << rule->id() << "\n    " << rule->description() << "\n";
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            return usage(std::cout, 0);
+        } else if (arg.rfind("--", 0) == 0) {
+            std::cerr << "snnfi-lint: unknown option " << arg << "\n";
+            return usage(std::cerr, 2);
+        } else {
+            paths.push_back(arg);
+        }
+    }
+    if (paths.empty()) paths.push_back("src");
+
+    snnfi::lint::LintResult result;
+    try {
+        result = snnfi::lint::lint_paths(root, paths);
+    } catch (const std::exception& error) {
+        std::cerr << error.what() << "\n";
+        return 2;
+    }
+
+    std::string report;
+    if (json) {
+        report = snnfi::lint::to_json(result, root.generic_string());
+    } else {
+        for (const snnfi::lint::Finding& f : result.findings)
+            report += f.file + ":" + std::to_string(f.line) + ": [" + f.rule +
+                      "] " + f.message + "\n";
+        report += "snnfi-lint: " + std::to_string(result.files_scanned) +
+                  " files, " + std::to_string(result.findings.size()) +
+                  " findings, " + std::to_string(result.suppressed) +
+                  " suppressed\n";
+    }
+
+    if (out_file.empty()) {
+        std::cout << report;
+    } else {
+        std::ofstream out(out_file, std::ios::trunc);
+        if (!out) {
+            std::cerr << "snnfi-lint: cannot write " << out_file << "\n";
+            return 2;
+        }
+        out << report;
+        // Keep the human summary visible even when the report goes to a file.
+        std::cerr << "snnfi-lint: " << result.files_scanned << " files, "
+                  << result.findings.size() << " findings, " << result.suppressed
+                  << " suppressed -> " << out_file << "\n";
+    }
+    return result.findings.empty() ? 0 : 1;
+}

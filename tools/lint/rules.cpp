@@ -1,0 +1,470 @@
+// The built-in snnfi-lint rules. Each one encodes a repo invariant; the
+// messages say what to do instead, and the scoping mirrors the layout
+// conventions (src/ is the library, src/util/ owns randomness/time/log,
+// src/store/{blob,store}.cpp are the blob codec).
+#include <cstdio>
+#include <map>
+#include <set>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include "lint.hpp"
+
+namespace snnfi::lint {
+
+namespace {
+
+bool starts_with(const std::string& text, std::string_view prefix) {
+    return text.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool in_src(const FileContext& file) { return starts_with(file.path, "src/"); }
+bool in_util(const FileContext& file) { return starts_with(file.path, "src/util/"); }
+
+/// True when tokens[i] is reached through member access (`x.rand`,
+/// `p->time`) — those are the project's own members, not the std symbol.
+bool member_access(const std::vector<Token>& tokens, std::size_t i) {
+    if (i == 0) return false;
+    const std::string& prev = tokens[i - 1].text;
+    return prev == "." || prev == "->";
+}
+
+/// True when tokens[i] is explicitly qualified (`std::time`, `::clock`).
+bool qualified(const std::vector<Token>& tokens, std::size_t i) {
+    return i > 0 && tokens[i - 1].text == "::";
+}
+
+// --- nondeterministic-source --------------------------------------------
+//
+// Campaign results must be a pure function of (config, seed). All
+// randomness flows through util::Rng's seed streams and all timing
+// through steady_clock (telemetry only); ambient entropy or wall-clock
+// reads anywhere else silently break bit-identical resume/merge.
+class NondeterministicSourceRule final : public Rule {
+public:
+    const char* id() const override { return "nondeterministic-source"; }
+    const char* description() const override {
+        return "ambient randomness / wall-clock time outside src/util/ "
+               "(use util::Rng seed streams; steady_clock for durations)";
+    }
+    void run(const FileContext& file, std::vector<Finding>& out) const override {
+        if (!in_src(file) || in_util(file)) return;
+        // Type-like names are distinctive enough to flag on sight.
+        static const std::set<std::string> kTypes{
+            "random_device", "mt19937", "mt19937_64", "default_random_engine",
+            "system_clock", "high_resolution_clock",
+        };
+        // Function-like names only count when actually called (a data
+        // member *named* `rand` is someone else's problem).
+        static const std::set<std::string> kCalls{
+            "rand", "srand", "gettimeofday", "timespec_get", "localtime",
+            "gmtime",
+        };
+        // `time`/`clock` are common member names; only the std-qualified
+        // call forms are unambiguous enough to flag.
+        static const std::set<std::string> kQualifiedCalls{"time", "clock"};
+        const auto& tokens = file.tokens;
+        for (std::size_t i = 0; i < tokens.size(); ++i) {
+            if (tokens[i].kind != TokenKind::kIdentifier || tokens[i].preprocessor)
+                continue;
+            if (member_access(tokens, i)) continue;
+            const bool called =
+                i + 1 < tokens.size() && tokens[i + 1].text == "(";
+            const bool hit =
+                kTypes.count(tokens[i].text) != 0 ||
+                (called && kCalls.count(tokens[i].text) != 0) ||
+                (called && qualified(tokens, i) &&
+                 kQualifiedCalls.count(tokens[i].text) != 0);
+            if (hit)
+                out.push_back({file.path, tokens[i].line, id(),
+                               "'" + tokens[i].text +
+                                   "' is a nondeterministic source; campaigns "
+                                   "must derive all randomness from util::Rng "
+                                   "seed streams and all timing from "
+                                   "steady_clock"});
+        }
+    }
+};
+
+// --- unordered-iteration ------------------------------------------------
+//
+// unordered_{map,set} iteration order varies across libstdc++ versions,
+// ASLR, and insertion history. Anything that could feed a ResultTable,
+// run --json, or a JSONL checkpoint must iterate in a defined order, so
+// the library simply bans the unordered containers: use std::map/std::set
+// (the maps here are tiny), or suppress with a proof that the order
+// never escapes.
+class UnorderedIterationRule final : public Rule {
+public:
+    const char* id() const override { return "unordered-iteration"; }
+    const char* description() const override {
+        return "std::unordered_{map,set} in the library (hash order leaks "
+               "into emitted tables/JSON/JSONL; use ordered containers)";
+    }
+    void run(const FileContext& file, std::vector<Finding>& out) const override {
+        if (!in_src(file)) return;
+        static const std::set<std::string> kUnordered{
+            "unordered_map", "unordered_set", "unordered_multimap",
+            "unordered_multiset"};
+        for (const Token& token : file.tokens) {
+            if (token.kind != TokenKind::kIdentifier || token.preprocessor)
+                continue;
+            if (kUnordered.count(token.text))
+                out.push_back({file.path, token.line, id(),
+                               "'" + token.text +
+                                   "' iterates in hash order, which is not "
+                                   "stable across runs; emitted output must "
+                                   "come from ordered containers"});
+        }
+    }
+};
+
+// --- raw-stream ---------------------------------------------------------
+//
+// The library reports through return values and util::log (serialized,
+// monotonic-stamped records); only the CLIs own stdout. A stray
+// std::cout in src/ interleaves with worker logs and corrupts --json.
+class RawStreamRule final : public Rule {
+public:
+    const char* id() const override { return "raw-stream"; }
+    const char* description() const override {
+        return "raw console I/O outside src/util/ (route through util::log "
+               "or return data to the CLI layer)";
+    }
+    void run(const FileContext& file, std::vector<Finding>& out) const override {
+        if (!in_src(file) || in_util(file)) return;
+        static const std::set<std::string> kStreams{"cout", "cerr", "clog",
+                                                    "printf", "fprintf", "puts",
+                                                    "putchar"};
+        const auto& tokens = file.tokens;
+        for (std::size_t i = 0; i < tokens.size(); ++i) {
+            if (tokens[i].kind != TokenKind::kIdentifier || tokens[i].preprocessor)
+                continue;
+            if (member_access(tokens, i)) continue;
+            if (kStreams.count(tokens[i].text))
+                out.push_back({file.path, tokens[i].line, id(),
+                               "'" + tokens[i].text +
+                                   "' writes to the console from library "
+                                   "code; use util::log or return the data"});
+        }
+    }
+};
+
+// --- type-punning -------------------------------------------------------
+//
+// Byte-level reinterpretation is confined to the store's blob codec,
+// where layout is an explicit, versioned, checksummed contract. Anywhere
+// else, reinterpret_cast/memcpy punning hides endianness and aliasing
+// assumptions — use std::bit_cast (value punning) or the codec.
+class TypePunningRule final : public Rule {
+public:
+    const char* id() const override { return "type-punning"; }
+    const char* description() const override {
+        return "reinterpret_cast/memcpy outside the src/store blob codec "
+               "(use std::bit_cast or store::Blob{Writer,Reader})";
+    }
+    void run(const FileContext& file, std::vector<Finding>& out) const override {
+        if (!in_src(file)) return;
+        // The codec itself: framing + primitive (de)serialisation.
+        if (file.path == "src/store/blob.cpp" || file.path == "src/store/blob.hpp" ||
+            file.path == "src/store/store.cpp")
+            return;
+        const auto& tokens = file.tokens;
+        for (std::size_t i = 0; i < tokens.size(); ++i) {
+            if (tokens[i].kind != TokenKind::kIdentifier || tokens[i].preprocessor)
+                continue;
+            if (member_access(tokens, i)) continue;
+            const std::string& text = tokens[i].text;
+            if (text == "reinterpret_cast" || text == "memcpy")
+                out.push_back({file.path, tokens[i].line, id(),
+                               "'" + text +
+                                   "' type punning outside the blob codec; "
+                                   "use std::bit_cast or the store codec"});
+        }
+    }
+};
+
+// --- mutable-global -----------------------------------------------------
+//
+// Process-wide mutable state is how two campaign runs stop being
+// independent. The blessed singletons (scenario registry, obs registry,
+// metric handles) are function-local statics behind accessors; anything
+// mutable at namespace scope needs a suppression explaining why it is
+// safe (e.g. a thread_local flag that never crosses threads).
+class MutableGlobalRule final : public Rule {
+public:
+    const char* id() const override { return "mutable-global"; }
+    const char* description() const override {
+        return "mutable namespace-scope variable (hidden cross-run "
+               "coupling; use function-local statics behind accessors)";
+    }
+
+    void run(const FileContext& file, std::vector<Finding>& out) const override {
+        if (!in_src(file)) return;
+        std::vector<Ctx> stack{Ctx::kNamespace};
+        const auto& tokens = file.tokens;
+        std::size_t stmt_begin = 0;  // first token of the current statement
+        for (std::size_t i = 0; i < tokens.size(); ++i) {
+            if (tokens[i].preprocessor) {
+                stmt_begin = i + 1;
+                continue;
+            }
+            const std::string& text = tokens[i].text;
+            if (text == "{") {
+                const Ctx ctx = classify(tokens, stmt_begin, i);
+                // Brace-initialized globals (`std::atomic<int> g{0};`)
+                // never reach the ';' scan with their head intact, so
+                // check them as the brace opens.
+                if (stack.back() == Ctx::kNamespace && ctx == Ctx::kOpaque)
+                    check_statement(file, tokens, stmt_begin, i, out);
+                stack.push_back(ctx);
+                stmt_begin = i + 1;
+                continue;
+            }
+            if (text == "}") {
+                if (stack.size() > 1) stack.pop_back();
+                stmt_begin = i + 1;
+                continue;
+            }
+            if (text == ";") {
+                if (stack.back() == Ctx::kNamespace)
+                    check_statement(file, tokens, stmt_begin, i, out);
+                stmt_begin = i + 1;
+            }
+        }
+    }
+
+private:
+    enum class Ctx { kNamespace, kType, kOpaque };
+
+    /// Classifies the block opened by tokens[open] == "{" from its
+    /// statement head tokens [begin, open).
+    static Ctx classify(const std::vector<Token>& tokens, std::size_t begin,
+                        std::size_t open) {
+        bool has_paren = false;
+        bool has_type_key = false;
+        for (std::size_t i = begin; i < open; ++i) {
+            const std::string& text = tokens[i].text;
+            if (text == "namespace") return Ctx::kNamespace;
+            if (text == "(") has_paren = true;
+            if (text == "class" || text == "struct" || text == "union" ||
+                text == "enum")
+                has_type_key = true;
+        }
+        if (open > begin && tokens[open - 1].text == "=") return Ctx::kOpaque;
+        if (has_type_key && !has_paren) return Ctx::kType;
+        return Ctx::kOpaque;
+    }
+
+    /// Flags the statement tokens [begin, end) when it defines a mutable
+    /// namespace-scope variable.
+    static void check_statement(const FileContext& file,
+                                const std::vector<Token>& tokens,
+                                std::size_t begin, std::size_t end,
+                                std::vector<Finding>& out) {
+        if (end <= begin + 1) return;  // need at least "type name"
+        static const std::set<std::string> kSkipLead{
+            "namespace", "using", "typedef", "template", "friend",
+            "static_assert", "class",  "struct",  "union",  "enum",
+            "concept",   "public", "private", "protected", "return"};
+        const std::string& lead = tokens[begin].text;
+        if (tokens[begin].kind != TokenKind::kIdentifier) return;
+        if (kSkipLead.count(lead)) return;
+        // `extern "C"` linkage blocks; plain `extern int x;` still counts.
+        if (lead == "extern" && begin + 1 < end &&
+            tokens[begin + 1].kind == TokenKind::kString)
+            return;
+        bool is_const = false;
+        std::size_t first_paren = end;
+        std::size_t first_assign = end;
+        for (std::size_t i = begin; i < end; ++i) {
+            const std::string& text = tokens[i].text;
+            if (text == "const" || text == "constexpr" || text == "constinit" ||
+                text == "consteval")
+                is_const = true;
+            if (text == "(" && first_paren == end) first_paren = i;
+            if (text == "=" && first_assign == end) first_assign = i;
+        }
+        if (is_const) return;
+        // A '(' before any '=' means a function declaration (or a
+        // constructor-style initializer, which namespace scope avoids).
+        if (first_paren < first_assign) return;
+        out.push_back({file.path, tokens[begin].line,
+                       "mutable-global",
+                       "mutable variable at namespace scope; wrap it in a "
+                       "function-local static accessor or justify with a "
+                       "suppression"});
+    }
+};
+
+// --- header-selfcontained -----------------------------------------------
+//
+// Every header must compile on its own: `#pragma once` first, and a
+// direct include for each std symbol it names (transitive includes are
+// an accident of today's include graph). The curated map below covers
+// the std surface this codebase uses; unknown symbols are ignored.
+class HeaderSelfContainedRule final : public Rule {
+public:
+    const char* id() const override { return "header-selfcontained"; }
+    const char* description() const override {
+        return "headers: #pragma once + a direct #include for every std "
+               "symbol used";
+    }
+
+    void run(const FileContext& file, std::vector<Finding>& out) const override {
+        if (!in_src(file)) return;
+        const bool is_header = file.path.size() > 4 &&
+                               file.path.compare(file.path.size() - 4, 4, ".hpp") == 0;
+        if (!is_header) return;
+        const auto& tokens = file.tokens;
+        if (tokens.size() < 3 || tokens[0].text != "#" ||
+            tokens[1].text != "pragma" || tokens[2].text != "once") {
+            out.push_back({file.path, 1, id(),
+                           "header does not open with #pragma once"});
+        }
+
+        // Direct includes: "#" "include" "<" name... ">".
+        std::set<std::string> included;
+        for (std::size_t i = 0; i + 3 < tokens.size(); ++i) {
+            if (tokens[i].text != "#" || tokens[i + 1].text != "include" ||
+                tokens[i + 2].text != "<")
+                continue;
+            std::string name;
+            for (std::size_t j = i + 3; j < tokens.size() && tokens[j].text != ">";
+                 ++j)
+                name += tokens[j].text;
+            included.insert(name);
+        }
+
+        const auto& required = symbol_headers();
+        std::set<std::pair<std::string, std::string>> reported;
+        for (std::size_t i = 0; i + 2 < tokens.size(); ++i) {
+            if (tokens[i].text != "std" || tokens[i + 1].text != "::") continue;
+            if (tokens[i].preprocessor) continue;
+            const std::string& symbol = tokens[i + 2].text;
+            const auto it = required.find(symbol);
+            if (it == required.end()) continue;
+            if (included.count(it->second)) continue;
+            if (!reported.insert({symbol, it->second}).second) continue;
+            out.push_back({file.path, tokens[i + 2].line, id(),
+                           "uses std::" + symbol + " but does not directly "
+                           "include <" + it->second + ">"});
+        }
+    }
+
+private:
+    static const std::map<std::string, std::string>& symbol_headers() {
+        static const std::map<std::string, std::string> map{
+            {"string", "string"},         {"to_string", "string"},
+            {"getline", "string"},        {"stoi", "string"},
+            {"stod", "string"},           {"stoull", "string"},
+            {"string_view", "string_view"},
+            {"vector", "vector"},         {"array", "array"},
+            {"span", "span"},             {"map", "map"},
+            {"multimap", "map"},          {"set", "set"},
+            {"multiset", "set"},          {"deque", "deque"},
+            {"optional", "optional"},     {"nullopt", "optional"},
+            {"variant", "variant"},       {"visit", "variant"},
+            {"monostate", "variant"},     {"function", "functional"},
+            {"shared_ptr", "memory"},     {"unique_ptr", "memory"},
+            {"weak_ptr", "memory"},       {"make_shared", "memory"},
+            {"make_unique", "memory"},    {"enable_shared_from_this", "memory"},
+            {"mutex", "mutex"},           {"lock_guard", "mutex"},
+            {"unique_lock", "mutex"},     {"scoped_lock", "mutex"},
+            {"call_once", "mutex"},       {"once_flag", "mutex"},
+            {"condition_variable", "condition_variable"},
+            {"thread", "thread"},         {"atomic", "atomic"},
+            {"memory_order", "atomic"},   {"memory_order_relaxed", "atomic"},
+            {"memory_order_acquire", "atomic"},
+            {"memory_order_release", "atomic"},
+            {"memory_order_seq_cst", "atomic"},
+            {"chrono", "chrono"},         {"filesystem", "filesystem"},
+            {"runtime_error", "stdexcept"},
+            {"invalid_argument", "stdexcept"},
+            {"logic_error", "stdexcept"}, {"out_of_range", "stdexcept"},
+            {"domain_error", "stdexcept"},
+            {"exception", "exception"},   {"exception_ptr", "exception"},
+            {"current_exception", "exception"},
+            {"rethrow_exception", "exception"},
+            {"ostringstream", "sstream"}, {"istringstream", "sstream"},
+            {"stringstream", "sstream"},  {"ostream", "ostream"},
+            {"istream", "istream"},       {"ifstream", "fstream"},
+            {"ofstream", "fstream"},      {"fstream", "fstream"},
+            {"cout", "iostream"},         {"cerr", "iostream"},
+            {"clog", "iostream"},         {"cin", "iostream"},
+            {"size_t", "cstddef"},        {"byte", "cstddef"},
+            {"ptrdiff_t", "cstddef"},     {"nullptr_t", "cstddef"},
+            {"uint8_t", "cstdint"},       {"uint16_t", "cstdint"},
+            {"uint32_t", "cstdint"},      {"uint64_t", "cstdint"},
+            {"int8_t", "cstdint"},        {"int16_t", "cstdint"},
+            {"int32_t", "cstdint"},       {"int64_t", "cstdint"},
+            {"uintptr_t", "cstdint"},     {"intptr_t", "cstdint"},
+            {"numeric_limits", "limits"},
+            {"move", "utility"},          {"forward", "utility"},
+            {"pair", "utility"},          {"make_pair", "utility"},
+            {"swap", "utility"},          {"exchange", "utility"},
+            {"declval", "utility"},
+            {"tuple", "tuple"},           {"make_tuple", "tuple"},
+            {"tie", "tuple"},             {"apply", "tuple"},
+            {"sort", "algorithm"},        {"stable_sort", "algorithm"},
+            {"min", "algorithm"},         {"max", "algorithm"},
+            {"clamp", "algorithm"},       {"copy", "algorithm"},
+            {"copy_n", "algorithm"},      {"fill", "algorithm"},
+            {"fill_n", "algorithm"},      {"find", "algorithm"},
+            {"find_if", "algorithm"},     {"transform", "algorithm"},
+            {"all_of", "algorithm"},      {"any_of", "algorithm"},
+            {"none_of", "algorithm"},     {"count_if", "algorithm"},
+            {"lower_bound", "algorithm"}, {"upper_bound", "algorithm"},
+            {"min_element", "algorithm"}, {"max_element", "algorithm"},
+            {"shuffle", "algorithm"},     {"nth_element", "algorithm"},
+            {"accumulate", "numeric"},    {"iota", "numeric"},
+            {"reduce", "numeric"},
+            {"memcpy", "cstring"},        {"memset", "cstring"},
+            {"memmove", "cstring"},       {"strlen", "cstring"},
+            {"snprintf", "cstdio"},       {"printf", "cstdio"},
+            {"fprintf", "cstdio"},
+            {"bit_cast", "bit"},          {"endian", "bit"},
+            {"popcount", "bit"},          {"bit_width", "bit"},
+            {"mt19937", "random"},        {"mt19937_64", "random"},
+            {"random_device", "random"},
+            {"uniform_int_distribution", "random"},
+            {"uniform_real_distribution", "random"},
+            {"normal_distribution", "random"},
+            {"bernoulli_distribution", "random"},
+            {"setw", "iomanip"},          {"setprecision", "iomanip"},
+            {"setfill", "iomanip"},
+            {"sqrt", "cmath"},            {"exp", "cmath"},
+            {"log", "cmath"},             {"pow", "cmath"},
+            {"floor", "cmath"},           {"ceil", "cmath"},
+            {"round", "cmath"},           {"lround", "cmath"},
+            {"isnan", "cmath"},           {"isfinite", "cmath"},
+            {"fabs", "cmath"},            {"fmod", "cmath"},
+            {"initializer_list", "initializer_list"},
+            {"is_same_v", "type_traits"}, {"enable_if_t", "type_traits"},
+            {"decay_t", "type_traits"},   {"conditional_t", "type_traits"},
+            {"remove_reference_t", "type_traits"},
+            {"is_trivially_copyable_v", "type_traits"},
+            {"invoke_result_t", "type_traits"},
+        };
+        return map;
+    }
+};
+
+}  // namespace
+
+const std::vector<const Rule*>& all_rules() {
+    static const NondeterministicSourceRule nondeterministic_source;
+    static const UnorderedIterationRule unordered_iteration;
+    static const RawStreamRule raw_stream;
+    static const TypePunningRule type_punning;
+    static const MutableGlobalRule mutable_global;
+    static const HeaderSelfContainedRule header_selfcontained;
+    static const std::vector<const Rule*> rules{
+        &nondeterministic_source, &unordered_iteration, &raw_stream,
+        &type_punning,            &mutable_global,      &header_selfcontained,
+    };
+    return rules;
+}
+
+}  // namespace snnfi::lint
