@@ -137,8 +137,10 @@ int main(int argc, char** argv) {
                 for (auto& runtime : runtimes) members.push_back(&runtime);
                 snn::BatchRunner batch(*baseline, std::move(members));
                 util::Rng rng(util::derive_seed(0xCA30, kReplicaStream + r));
+                std::vector<snn::SampleActivity> activities(batch.size());
                 for (std::size_t i = 0; i < eval_n; ++i) {
-                    for (const auto& activity : batch.run_sample(data.images[i], rng))
+                    batch.run_sample_into(data.images[i], rng, activities);
+                    for (const auto& activity : activities)
                         total_spikes += activity.total_exc_spikes;
                 }
             }

@@ -182,8 +182,9 @@ int main(int argc, char** argv) {
             snn::BatchRunner batch(*baseline, std::move(members));
             util::Rng rng(util::derive_seed(0xCA30, kReplicaStream + task.replica));
             std::vector<std::size_t> totals(count, 0);
+            std::vector<snn::SampleActivity> activities(count);
             for (std::size_t i = 0; i < eval_n; ++i) {
-                const auto activities = batch.run_sample(data.images[i], rng);
+                batch.run_sample_into(data.images[i], rng, activities);
                 for (std::size_t k = 0; k < count; ++k)
                     totals[k] += activities[k].total_exc_spikes;
             }

@@ -591,8 +591,12 @@ CampaignResult CampaignEngine::execute(Plan& plan, const std::vector<char>& incl
             const snn::ActivityClassifier& reference =
                 clean[task.replica].classifier;
             std::vector<std::size_t> correct(count, 0);
+            // One reusable activity per batch member: run_sample_into
+            // zeroes them in place, so the sample loop is steady-state
+            // allocation-free.
+            std::vector<snn::SampleActivity> activities(count);
             for (std::size_t i = 0; i < eval_n; ++i) {
-                const auto activities = batch.run_sample(data.images[i], rng);
+                batch.run_sample_into(data.images[i], rng, activities);
                 for (std::size_t k = 0; k < count; ++k) {
                     if (reference.predict(activities[k].exc_counts) ==
                         data.labels[i])

@@ -13,8 +13,12 @@ DenseConnection::DenseConnection(std::size_t n_pre, std::size_t n_post,
     if (n_pre == 0 || n_post == 0)
         throw std::invalid_argument("DenseConnection: empty dimension");
     trace_decay_ = std::exp(-params.dt_ms / params.trace_tau_ms);
-    for (float& w : weights_.flat())
-        w = static_cast<float>(rng.uniform()) * init_max;
+    // Row-major logical order — the same RNG draw sequence as the
+    // historical contiguous-storage init (padding lanes consume none).
+    for (std::size_t r = 0; r < n_pre; ++r) {
+        for (float& w : weights_.row(r))
+            w = static_cast<float>(rng.uniform()) * init_max;
+    }
     trace_pre_.assign(n_pre, 0.0f);
     trace_post_.assign(n_post, 0.0f);
     if (norm_total_ > 0.0f) normalize();
@@ -31,12 +35,14 @@ DenseConnection::DenseConnection(Matrix initial, StdpParams params, float norm_t
 
 void DenseConnection::propagate(std::span<const std::uint32_t> active_pre,
                                 std::span<float> out) const {
-    if (out.size() != n_post())
+    if (out.size() < n_post())
         throw std::invalid_argument("DenseConnection::propagate: size mismatch");
-    for (const std::uint32_t pre : active_pre) {
-        const auto row = weights_.row(pre);
-        for (std::size_t j = 0; j < row.size(); ++j) out[j] += row[j];
-    }
+    // Blocked kernel over the padded storage; a padded `out` (the
+    // runtime's drive buffer) skips the scalar tail, a logical one caps
+    // the write at n_post — bit-identical over the logical prefix.
+    const std::size_t n = std::min(out.size(), weights_.stride());
+    kernels::accumulate_rows(weights_.data(), weights_.stride(), active_pre,
+                             out.data(), n);
 }
 
 void DenseConnection::learn(std::span<const std::uint32_t> active_pre,

@@ -1,6 +1,7 @@
 #include "snn/encoding.hpp"
 
 #include <algorithm>
+#include <cmath>
 
 namespace snnfi::snn {
 
@@ -9,21 +10,41 @@ PoissonEncoder::PoissonEncoder(PoissonEncoderConfig config) : config_(config) {}
 void PoissonEncoder::set_image(std::span<const float> image) {
     probabilities_.assign(image.size(), 0.0f);
     active_pixels_.clear();
+    thresholds_.clear();
     const double p_full = config_.max_rate_hz * config_.dt_ms * 1e-3;
     for (std::size_t i = 0; i < image.size(); ++i) {
         const float intensity = std::clamp(image[i], 0.0f, 1.0f);
         if (intensity <= 0.0f) continue;
-        probabilities_[i] = static_cast<float>(
+        const float p = static_cast<float>(
             std::min(1.0, static_cast<double>(intensity) * p_full));
+        probabilities_[i] = p;
         active_pixels_.push_back(static_cast<std::uint32_t>(i));
+        // For integer x in [0, 2^53): x*2^-53 < p  ⟺  x < ceil(p*2^53).
+        // p -> double and the scale by 2^53 are both exact, so this is the
+        // same predicate `uniform() < p` evaluates — not an approximation.
+        thresholds_.push_back(static_cast<std::uint64_t>(
+            std::ceil(static_cast<double>(p) * 0x1.0p53)));
     }
 }
 
 void PoissonEncoder::step(util::Rng& rng, std::vector<std::uint32_t>& out) const {
-    out.clear();
-    for (const std::uint32_t pixel : active_pixels_) {
-        if (rng.uniform() < probabilities_[pixel]) out.push_back(pixel);
+    const std::size_t n_active = active_pixels_.size();
+    out.resize(n_active);
+    std::uint32_t* dst = out.data();
+    const std::uint32_t* pixels = active_pixels_.data();
+    const std::uint64_t* thresholds = thresholds_.data();
+    std::size_t count = 0;
+    // Branch-free Bernoulli loop: always stage the candidate pixel, advance
+    // the write cursor only on success. Draw order (one next_u64 per active
+    // pixel, ascending) is the determinism contract — kernels downstream
+    // assume the emitted indices are ascending, and any reordering here
+    // changes every golden in the repo.
+    for (std::size_t k = 0; k < n_active; ++k) {
+        const std::uint64_t draw = rng.next_u64() >> 11;
+        dst[count] = pixels[k];
+        count += static_cast<std::size_t>(draw < thresholds[k]);
     }
+    out.resize(count);
 }
 
 std::vector<std::vector<std::uint32_t>> encode_raster(const PoissonEncoder& encoder,

@@ -39,6 +39,11 @@ private:
     /// Per-pixel Bernoulli probability; parallel array of active indices.
     std::vector<float> probabilities_;
     std::vector<std::uint32_t> active_pixels_;  ///< pixels with p > 0
+    /// ceil(p * 2^53) per active pixel, parallel to active_pixels_. Lets
+    /// step() test `draw < threshold` on the raw 53-bit draw instead of
+    /// converting to double — bit-identical to `uniform() < p` because both
+    /// the scaling of the draw by 2^-53 and of p by 2^53 are exact.
+    std::vector<std::uint64_t> thresholds_;
 };
 
 /// Convenience: full raster for `steps` timesteps (used by tests/examples;

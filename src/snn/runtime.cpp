@@ -4,6 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "snn/kernels.hpp"
+
 namespace snnfi::snn {
 
 namespace {
@@ -11,6 +14,29 @@ namespace {
 constexpr std::uint8_t kDead = static_cast<std::uint8_t>(NeuronFault::kDead);
 constexpr std::uint8_t kSaturated = static_cast<std::uint8_t>(NeuronFault::kSaturated);
 constexpr std::uint8_t kNominal = static_cast<std::uint8_t>(NeuronFault::kNominal);
+
+/// Hot-loop instruments, resolved once. Step-path counts are tallied in
+/// locals and flushed once per sample so the per-step cost with telemetry
+/// enabled stays a handful of relaxed atomic ops per *sample*; the
+/// active-fraction histogram is the only per-step record. All of it is a
+/// no-op while telemetry is off — results never depend on it.
+struct SnnMetrics {
+    obs::Counter& fast_steps;
+    obs::Counter& scalar_steps;
+    obs::Gauge& active_fraction_last;
+    obs::Histogram& active_fraction;
+
+    static SnnMetrics& get() {
+        static const std::vector<double> bounds{0.02, 0.05, 0.1,
+                                                0.2,  0.4,  0.8};
+        static SnnMetrics metrics{
+            obs::Registry::global().counter("snn.steps.fast"),
+            obs::Registry::global().counter("snn.steps.scalar"),
+            obs::Registry::global().gauge("snn.active_fraction.last"),
+            obs::Registry::global().histogram("snn.active_fraction", bounds)};
+        return metrics;
+    }
+};
 
 }  // namespace
 
@@ -52,7 +78,15 @@ NetworkRuntime::NetworkRuntime(std::shared_ptr<const NetworkModel> model,
     inh_decay_ = std::exp(-config.inhibitory.dt_ms / config.inhibitory.tau_ms);
     theta_decay_factor_ =
         std::exp(-exc_params.dt_ms / config.excitatory.theta_decay_ms);
-    exc_input_.resize(config.n_neurons);
+    // Padded drive buffer: the blocked kernel streams whole padded weight
+    // rows, and the padding lanes (always zero in Matrix storage) land in
+    // the tail the neuron update never reads.
+    exc_input_.assign(kernels::padded_size(config.n_neurons), 0.0f);
+    drive_ = exc_input_.data();
+    // Worst-case worklist capacity up front: the per-step active list
+    // never reallocates, whatever the Poisson stream does (steady-state
+    // allocation-free hot loop, asserted by test_kernels).
+    active_inputs_.reserve(config.n_input);
     exc_spiked_.assign(config.n_neurons, 0);
     inh_spiked_.assign(config.n_neurons, 0);
     set_overlay(overlay);
@@ -88,12 +122,36 @@ void NetworkRuntime::apply_effective_overlay(const FaultOverlay& effective) {
     exc_.reset_faults();
     inh_.reset_faults();
     drive_gain_active_ = false;
+    exc_neuron_faults_ = false;
+    inh_neuron_faults_ = false;
     apply_overlay_ops(effective);
+    rebuild_patch_lists();
     if (learned_) {
         apply_weight_ops_learning(effective);
     } else {
         rebuild_weight_patches(effective);
     }
+}
+
+void NetworkRuntime::rebuild_patch_lists() {
+    exc_patch_.clear();
+    inh_patch_.clear();
+    const std::size_t n = model_->config().n_neurons;
+    // Identity values are excluded on purpose: multiplying by 1.0f and
+    // scaling a threshold by 1.0f are bitwise no-ops, so a neuron whose
+    // ops compose to the identity behaves exactly like the clean kernel.
+    const auto scan = [n](const LayerState& layer,
+                          std::vector<std::uint32_t>& out) {
+        for (std::uint32_t i = 0; i < n; ++i) {
+            if (layer.forced[i] != kNominal || layer.input_gain[i] != 1.0f ||
+                layer.thresh_scale[i] != 1.0f ||
+                layer.refrac_override[i] >= 0 || layer.drive_gain[i] != 1.0f)
+                out.push_back(i);
+        }
+    };
+    if (exc_neuron_faults_) scan(exc_, exc_patch_);
+    if (inh_neuron_faults_) scan(inh_, inh_patch_);
+    patch_save_.reserve(std::max(exc_patch_.size(), inh_patch_.size()));
 }
 
 void NetworkRuntime::advance_schedule(std::size_t step) {
@@ -132,6 +190,13 @@ void NetworkRuntime::apply_overlay_ops(const FaultOverlay& effective) {
         const LifParams& params = exc ? config.excitatory.lif : config.inhibitory;
         if (op.neuron >= config.n_neurons)
             throw std::out_of_range("NetworkRuntime: overlay neuron out of range");
+        // Dirty summary: ANY neuron op (even a numeric identity) drops
+        // the layer off the pure fast path until the next overlay/segment
+        // swap. Conservative on purpose — the fast path must be provably
+        // equivalent, not probably. rebuild_patch_lists then decides
+        // whether the faulted layer can still ride the kernel via the
+        // hybrid scalar redo.
+        (exc ? exc_neuron_faults_ : inh_neuron_faults_) = true;
         switch (op.field) {
             case NeuronOp::Field::kThresholdScale:
                 layer.thresh_scale[op.neuron] = op.value;
@@ -241,11 +306,12 @@ void NetworkRuntime::rebuild_weight_patches(const FaultOverlay& effective) {
     cell_deltas_.clear();
     row_ptr_.resize(config.n_input);
     for (std::size_t pre = 0; pre < config.n_input; ++pre)
-        row_ptr_[pre] = model_->weight_row(pre).data();
+        row_ptr_[pre] = model_->input_weights().padded_row(pre).data();
     if (effective.weight_ops().empty()) return;
 
-    // Materialise only the touched rows (copy-on-write), then apply the
-    // patch operations in order.
+    // Materialise only the touched rows (copy-on-write) as whole padded
+    // rows — padding lanes stay zero, so the blocked kernel can stream
+    // them like model rows — then apply the patch operations in order.
     std::vector<std::pair<std::uint32_t, std::uint32_t>> touched;
     for (const WeightOp& op : effective.weight_ops()) {
         if (op.pre >= config.n_input || op.post >= config.n_neurons)
@@ -253,9 +319,8 @@ void NetworkRuntime::rebuild_weight_patches(const FaultOverlay& effective) {
         auto it = std::find_if(cow_rows_.begin(), cow_rows_.end(),
                                [&](const auto& row) { return row.first == op.pre; });
         if (it == cow_rows_.end()) {
-            const auto row = model_->weight_row(op.pre);
-            cow_rows_.emplace_back(op.pre,
-                                   std::vector<float>(row.begin(), row.end()));
+            const auto row = model_->input_weights().padded_row(op.pre);
+            cow_rows_.emplace_back(op.pre, AlignedVector(row.begin(), row.end()));
             it = std::prev(cow_rows_.end());
         }
         float& w = it->second[op.post];
@@ -269,7 +334,9 @@ void NetworkRuntime::rebuild_weight_patches(const FaultOverlay& effective) {
             touched.push_back(cell);
     }
     for (auto& [pre, row] : cow_rows_) row_ptr_[pre] = row.data();
-    // Batch-path deltas of every touched cell versus the shared matrix.
+    // Batch-path deltas of every touched cell versus the shared matrix,
+    // sorted by (pre, post) so adopt_drive can merge-join them against
+    // the ascending active list in one pass.
     cell_deltas_.reserve(touched.size());
     for (const auto& [pre, post] : touched) {
         CellDelta delta;
@@ -278,6 +345,10 @@ void NetworkRuntime::rebuild_weight_patches(const FaultOverlay& effective) {
         delta.delta = row_ptr_[pre][post] - model_->input_weights()(pre, post);
         cell_deltas_.push_back(delta);
     }
+    std::sort(cell_deltas_.begin(), cell_deltas_.end(),
+              [](const CellDelta& a, const CellDelta& b) {
+                  return a.pre != b.pre ? a.pre < b.pre : a.post < b.post;
+              });
 }
 
 void NetworkRuntime::set_learning(bool enabled) {
@@ -370,7 +441,8 @@ std::shared_ptr<const NetworkModel> NetworkRuntime::freeze() const {
     }
     Matrix weights = model_->input_weights();
     for (const auto& [pre, row] : cow_rows_) {
-        for (std::size_t j = 0; j < row.size(); ++j) weights(pre, j) = row[j];
+        // cow rows are padded; copy the logical prefix only.
+        for (std::size_t j = 0; j < weights.cols(); ++j) weights(pre, j) = row[j];
     }
     return std::make_shared<const NetworkModel>(model_->config(), std::move(weights),
                                                 exc_theta_, rng_);
@@ -393,23 +465,37 @@ void NetworkRuntime::end_sample() {
 void NetworkRuntime::accumulate_drive(std::span<const std::uint32_t> active) {
     std::fill(exc_input_.begin(), exc_input_.end(), 0.0f);
     if (learned_) {
-        learned_->propagate(active, exc_input_);
-        return;
+        learned_->propagate(active,
+                            std::span<float>(exc_input_.data(), exc_input_.size()));
+    } else {
+        kernels::accumulate_rows(row_ptr_.data(), active, exc_input_.data(),
+                                 exc_input_.size());
     }
-    const std::size_t n = exc_input_.size();
-    for (const std::uint32_t pre : active) {
-        const float* row = row_ptr_[pre];
-        for (std::size_t j = 0; j < n; ++j) exc_input_[j] += row[j];
-    }
+    drive_ = exc_input_.data();
 }
 
 void NetworkRuntime::adopt_drive(std::span<const float> base,
                                  std::span<const std::uint32_t> active) {
-    exc_input_.assign(base.begin(), base.end());
-    for (const CellDelta& cell : cell_deltas_) {
-        if (std::binary_search(active.begin(), active.end(), cell.pre))
-            exc_input_[cell.post] += cell.delta;
+    if (cell_deltas_.empty()) {
+        // No weight patches: alias the batch's shared drive read-only —
+        // the common clean-replica case pays zero copies per step.
+        drive_ = base.data();
+        return;
     }
+    const std::size_t n = std::min(base.size(), exc_input_.size());
+    std::copy_n(base.data(), n, exc_input_.data());
+    // Merge-join: cell_deltas_ is sorted by (pre, post) and `active` is
+    // ascending (PoissonEncoder emits pixel indices in order), so one
+    // linear pass replaces the old per-delta binary_search.
+    auto delta = cell_deltas_.cbegin();
+    const auto deltas_end = cell_deltas_.cend();
+    for (const std::uint32_t pre : active) {
+        while (delta != deltas_end && delta->pre < pre) ++delta;
+        if (delta == deltas_end) break;
+        for (; delta != deltas_end && delta->pre == pre; ++delta)
+            exc_input_[delta->post] += delta->delta;
+    }
+    drive_ = exc_input_.data();
 }
 
 void NetworkRuntime::advance_step(std::span<const std::uint32_t> active,
@@ -424,45 +510,131 @@ void NetworkRuntime::advance_step(std::span<const std::uint32_t> active,
     for (const std::uint8_t s : inh_spiked_) inh_total += s;
     const float w_inh = config.inh_weight;
     const bool gain_active = driver_gain_ != 1.0f;
+    const float* drive = drive_;
 
     // Excitatory pass: drive assembly fused with the DiehlCook update.
+    // Clean fault state takes the branch-free kernel outright; a sparse
+    // set of per-neuron overrides takes the kernel plus an exact scalar
+    // redo of just those neurons (hybrid); a dense override set drops to
+    // the scalar fault-aware loop. All three produce bit-identical state
+    // (see snn/kernels.hpp and rebuild_patch_lists).
     std::size_t exc_count = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-        float x = exc_input_[i];
-        if (gain_active) x *= driver_gain_;
-        if (drive_gain_active_) x *= exc_.drive_gain[i];
-        if (inh_total > 0) {
-            x += w_inh * (static_cast<float>(inh_total) -
-                          static_cast<float>(inh_spiked_[i]));
+    // Fault-touched layers with a small override set still take the
+    // vector kernel: the kernel runs over the whole layer, then the few
+    // overridden neurons are redone with the exact scalar semantics from
+    // their saved pre-step state (neurons are independent within a step,
+    // so the redo composes bit-identically with the kernel's output for
+    // every untouched neuron). Dense fault sets fall back to the scalar
+    // loop, where the redo would dominate.
+    const bool exc_hybrid = exc_neuron_faults_ && !force_scalar_ &&
+                            exc_patch_.size() * 8 <= n;
+    if (!exc_neuron_faults_ || exc_hybrid) {
+        if (exc_hybrid) {
+            patch_save_.resize(exc_patch_.size());
+            for (std::size_t k = 0; k < exc_patch_.size(); ++k) {
+                const std::uint32_t i = exc_patch_[k];
+                patch_save_[k] = {exc_.v[i], exc_theta_[i], exc_.refrac[i]};
+            }
         }
-        exc_theta_[i] *= theta_decay_factor_;
-        std::uint8_t spike = 0;
-        if (exc_.forced[i] == kDead) {
-            exc_.v[i] = ep.v_rest;
-        } else if (exc_.forced[i] == kSaturated) {
-            spike = 1;
-            exc_.v[i] = ep.v_reset;
-            exc_theta_[i] += theta_plus;
-        } else if (exc_.refrac[i] > 0) {
-            --exc_.refrac[i];
-            exc_.v[i] = ep.v_reset;
-        } else {
-            float v = ep.v_rest + exc_decay_ * (exc_.v[i] - ep.v_rest);
-            v += exc_.input_gain[i] * x;
-            const float threshold = ep.v_rest +
-                                    (ep.v_thresh - ep.v_rest) * exc_.thresh_scale[i] +
-                                    exc_theta_[i];
-            if (v >= threshold) {
+        kernels::ExcParams p;
+        p.v_rest = ep.v_rest;
+        p.v_reset = ep.v_reset;
+        p.decay = exc_decay_;
+        p.thresh_base = ep.v_rest + (ep.v_thresh - ep.v_rest);
+        p.theta_decay = theta_decay_factor_;
+        p.theta_plus = theta_plus;
+        p.refrac_steps = ep.refrac_steps;
+        p.driver_gain = driver_gain_;
+        p.gain_active = gain_active;
+        p.w_inh = w_inh;
+        exc_count = kernels::exc_fast_step(p, drive, inh_spiked_.data(), inh_total,
+                                           exc_.v.data(), exc_.refrac.data(),
+                                           exc_theta_.data(), exc_spiked_.data(), n);
+        // Scalar redo of the overridden neurons — this block must mirror
+        // the scalar loop below statement for statement.
+        for (std::size_t k = 0; k < exc_patch_.size(); ++k) {
+            const std::uint32_t i = exc_patch_[k];
+            const NeuronSave& s = patch_save_[k];
+            exc_count -= static_cast<std::size_t>(exc_spiked_[i]);
+            float x = drive[i];
+            if (gain_active) x *= driver_gain_;
+            if (drive_gain_active_) x *= exc_.drive_gain[i];
+            if (inh_total > 0) {
+                x += w_inh * (static_cast<float>(inh_total) -
+                              static_cast<float>(inh_spiked_[i]));
+            }
+            float th = s.theta * theta_decay_factor_;
+            float v = s.v;
+            std::int32_t rc = s.refrac;
+            std::uint8_t spike = 0;
+            if (exc_.forced[i] == kDead) {
+                v = ep.v_rest;
+            } else if (exc_.forced[i] == kSaturated) {
                 spike = 1;
                 v = ep.v_reset;
-                exc_.refrac[i] = exc_.refrac_override[i] >= 0 ? exc_.refrac_override[i]
-                                                              : ep.refrac_steps;
-                exc_theta_[i] += theta_plus;
+                th += theta_plus;
+            } else if (rc > 0) {
+                --rc;
+                v = ep.v_reset;
+            } else {
+                v = ep.v_rest + exc_decay_ * (s.v - ep.v_rest);
+                v += exc_.input_gain[i] * x;
+                const float threshold =
+                    ep.v_rest + (ep.v_thresh - ep.v_rest) * exc_.thresh_scale[i] +
+                    th;
+                if (v >= threshold) {
+                    spike = 1;
+                    v = ep.v_reset;
+                    rc = exc_.refrac_override[i] >= 0 ? exc_.refrac_override[i]
+                                                      : ep.refrac_steps;
+                    th += theta_plus;
+                }
             }
             exc_.v[i] = v;
+            exc_.refrac[i] = rc;
+            exc_theta_[i] = th;
+            exc_spiked_[i] = spike;
+            exc_count += spike;
         }
-        exc_spiked_[i] = spike;
-        exc_count += spike;
+    } else {
+        for (std::size_t i = 0; i < n; ++i) {
+            float x = drive[i];
+            if (gain_active) x *= driver_gain_;
+            if (drive_gain_active_) x *= exc_.drive_gain[i];
+            if (inh_total > 0) {
+                x += w_inh * (static_cast<float>(inh_total) -
+                              static_cast<float>(inh_spiked_[i]));
+            }
+            exc_theta_[i] *= theta_decay_factor_;
+            std::uint8_t spike = 0;
+            if (exc_.forced[i] == kDead) {
+                exc_.v[i] = ep.v_rest;
+            } else if (exc_.forced[i] == kSaturated) {
+                spike = 1;
+                exc_.v[i] = ep.v_reset;
+                exc_theta_[i] += theta_plus;
+            } else if (exc_.refrac[i] > 0) {
+                --exc_.refrac[i];
+                exc_.v[i] = ep.v_reset;
+            } else {
+                float v = ep.v_rest + exc_decay_ * (exc_.v[i] - ep.v_rest);
+                v += exc_.input_gain[i] * x;
+                const float threshold =
+                    ep.v_rest + (ep.v_thresh - ep.v_rest) * exc_.thresh_scale[i] +
+                    exc_theta_[i];
+                if (v >= threshold) {
+                    spike = 1;
+                    v = ep.v_reset;
+                    exc_.refrac[i] = exc_.refrac_override[i] >= 0
+                                         ? exc_.refrac_override[i]
+                                         : ep.refrac_steps;
+                    exc_theta_[i] += theta_plus;
+                }
+                exc_.v[i] = v;
+            }
+            exc_spiked_[i] = spike;
+            exc_count += spike;
+        }
     }
     activity.total_exc_spikes += exc_count;
 
@@ -472,56 +644,149 @@ void NetworkRuntime::advance_step(std::span<const std::uint32_t> active,
     const LifParams& ip = config.inhibitory;
     const float w_exc = config.exc_weight;
     std::size_t inh_count = 0;
-    for (std::size_t i = 0; i < n; ++i) {
-        const float x = exc_spiked_[i] ? w_exc : 0.0f;
-        std::uint8_t spike = 0;
-        if (inh_.forced[i] == kDead) {
-            inh_.v[i] = ip.v_rest;
-        } else if (inh_.forced[i] == kSaturated) {
-            spike = 1;
-            inh_.v[i] = ip.v_reset;
-        } else if (inh_.refrac[i] > 0) {
-            --inh_.refrac[i];
-            inh_.v[i] = ip.v_reset;
-        } else {
-            float v = ip.v_rest + inh_decay_ * (inh_.v[i] - ip.v_rest);
-            v += inh_.input_gain[i] * x;
-            const float threshold =
-                ip.v_rest + (ip.v_thresh - ip.v_rest) * inh_.thresh_scale[i];
-            if (v >= threshold) {
+    const bool inh_hybrid = inh_neuron_faults_ && !force_scalar_ &&
+                            inh_patch_.size() * 8 <= n;
+    if (!inh_neuron_faults_ || inh_hybrid) {
+        if (inh_hybrid) {
+            patch_save_.resize(inh_patch_.size());
+            for (std::size_t k = 0; k < inh_patch_.size(); ++k) {
+                const std::uint32_t i = inh_patch_[k];
+                patch_save_[k] = {inh_.v[i], 0.0f, inh_.refrac[i]};
+            }
+        }
+        kernels::InhParams p;
+        p.v_rest = ip.v_rest;
+        p.v_reset = ip.v_reset;
+        p.decay = inh_decay_;
+        p.thresh_base = ip.v_rest + (ip.v_thresh - ip.v_rest);
+        p.refrac_steps = ip.refrac_steps;
+        p.w_exc = w_exc;
+        inh_count = kernels::inh_fast_step(p, exc_spiked_.data(), inh_.v.data(),
+                                           inh_.refrac.data(), inh_spiked_.data(), n);
+        // Scalar redo of the overridden neurons — mirrors the scalar loop
+        // below statement for statement.
+        for (std::size_t k = 0; k < inh_patch_.size(); ++k) {
+            const std::uint32_t i = inh_patch_[k];
+            const NeuronSave& s = patch_save_[k];
+            inh_count -= static_cast<std::size_t>(inh_spiked_[i]);
+            const float x = exc_spiked_[i] ? w_exc : 0.0f;
+            float v = s.v;
+            std::int32_t rc = s.refrac;
+            std::uint8_t spike = 0;
+            if (inh_.forced[i] == kDead) {
+                v = ip.v_rest;
+            } else if (inh_.forced[i] == kSaturated) {
                 spike = 1;
                 v = ip.v_reset;
-                inh_.refrac[i] = inh_.refrac_override[i] >= 0 ? inh_.refrac_override[i]
-                                                              : ip.refrac_steps;
+            } else if (rc > 0) {
+                --rc;
+                v = ip.v_reset;
+            } else {
+                v = ip.v_rest + inh_decay_ * (s.v - ip.v_rest);
+                v += inh_.input_gain[i] * x;
+                const float threshold =
+                    ip.v_rest + (ip.v_thresh - ip.v_rest) * inh_.thresh_scale[i];
+                if (v >= threshold) {
+                    spike = 1;
+                    v = ip.v_reset;
+                    rc = inh_.refrac_override[i] >= 0 ? inh_.refrac_override[i]
+                                                      : ip.refrac_steps;
+                }
             }
             inh_.v[i] = v;
+            inh_.refrac[i] = rc;
+            inh_spiked_[i] = spike;
+            inh_count += spike;
         }
-        inh_spiked_[i] = spike;
-        inh_count += spike;
+    } else {
+        for (std::size_t i = 0; i < n; ++i) {
+            const float x = exc_spiked_[i] ? w_exc : 0.0f;
+            std::uint8_t spike = 0;
+            if (inh_.forced[i] == kDead) {
+                inh_.v[i] = ip.v_rest;
+            } else if (inh_.forced[i] == kSaturated) {
+                spike = 1;
+                inh_.v[i] = ip.v_reset;
+            } else if (inh_.refrac[i] > 0) {
+                --inh_.refrac[i];
+                inh_.v[i] = ip.v_reset;
+            } else {
+                float v = ip.v_rest + inh_decay_ * (inh_.v[i] - ip.v_rest);
+                v += inh_.input_gain[i] * x;
+                const float threshold =
+                    ip.v_rest + (ip.v_thresh - ip.v_rest) * inh_.thresh_scale[i];
+                if (v >= threshold) {
+                    spike = 1;
+                    v = ip.v_reset;
+                    inh_.refrac[i] = inh_.refrac_override[i] >= 0
+                                         ? inh_.refrac_override[i]
+                                         : ip.refrac_steps;
+                }
+                inh_.v[i] = v;
+            }
+            inh_spiked_[i] = spike;
+            inh_count += spike;
+        }
     }
     activity.total_inh_spikes += inh_count;
 
-    if (exc_count > 0) {
-        for (std::size_t i = 0; i < n; ++i) activity.exc_counts[i] += exc_spiked_[i];
-    }
+    if (exc_count > 0)
+        kernels::add_counts(activity.exc_counts.data(), exc_spiked_.data(), n);
 }
 
+namespace {
+
+/// Zeroes a reusable activity record in place; only resizes (allocates)
+/// when the record has never been used with this network size.
+void reset_activity(SampleActivity& activity, std::size_t n) {
+    if (activity.exc_counts.size() == n) {
+        std::fill(activity.exc_counts.begin(), activity.exc_counts.end(), 0u);
+    } else {
+        activity.exc_counts.assign(n, 0u);
+    }
+    activity.total_exc_spikes = 0;
+    activity.total_inh_spikes = 0;
+}
+
+}  // namespace
+
 SampleActivity NetworkRuntime::run_sample(std::span<const float> image) {
+    SampleActivity activity;
+    run_sample_into(image, activity);
+    return activity;
+}
+
+void NetworkRuntime::run_sample_into(std::span<const float> image,
+                                     SampleActivity& activity) {
     const DiehlCookConfig& config = model_->config();
     if (image.size() != config.n_input)
         throw std::invalid_argument("run_sample: image size mismatch");
     encoder_.set_image(image);
     begin_sample();
-    SampleActivity activity;
-    activity.exc_counts.assign(config.n_neurons, 0);
+    reset_activity(activity, config.n_neurons);
+    const bool telemetry = obs::enabled();
+    SnnMetrics* metrics = telemetry ? &SnnMetrics::get() : nullptr;
+    const double inv_input = 1.0 / static_cast<double>(config.n_input);
+    std::uint64_t fast_steps = 0;
+    std::uint64_t scalar_steps = 0;
     for (std::size_t step = 0; step < config.steps_per_sample; ++step) {
         if (!schedule_.empty()) advance_schedule(step);
         encoder_.step(rng_, active_inputs_);
         accumulate_drive(active_inputs_);
         advance_step(active_inputs_, activity);
+        if (metrics) {
+            const double fraction =
+                static_cast<double>(active_inputs_.size()) * inv_input;
+            metrics->active_fraction.observe(fraction);
+            metrics->active_fraction_last.set(fraction);
+            ++(fast_path_active() ? fast_steps : scalar_steps);
+        }
+    }
+    if (metrics) {
+        metrics->fast_steps.add(fast_steps);
+        metrics->scalar_steps.add(scalar_steps);
     }
     end_sample();
-    return activity;
 }
 
 BatchRunner::BatchRunner(const NetworkModel& model,
@@ -539,35 +804,62 @@ BatchRunner::BatchRunner(const NetworkModel& model,
             throw std::invalid_argument(
                 "BatchRunner: learning runtimes cannot join a batch");
     }
-    base_drive_.resize(model_.n_neurons());
+    base_drive_.assign(kernels::padded_size(model_.n_neurons()), 0.0f);
+    active_.reserve(model_.n_input());
+    model_rows_.resize(model_.n_input());
+    for (std::size_t pre = 0; pre < model_.n_input(); ++pre)
+        model_rows_[pre] = model_.input_weights().padded_row(pre).data();
 }
 
 std::vector<SampleActivity> BatchRunner::run_sample(std::span<const float> image,
                                                     util::Rng& rng) {
+    std::vector<SampleActivity> activities(runtimes_.size());
+    run_sample_into(image, rng, activities);
+    return activities;
+}
+
+void BatchRunner::run_sample_into(std::span<const float> image, util::Rng& rng,
+                                  std::span<SampleActivity> activities) {
     if (image.size() != model_.n_input())
         throw std::invalid_argument("BatchRunner: image size mismatch");
+    if (activities.size() != runtimes_.size())
+        throw std::invalid_argument("BatchRunner: activity batch size mismatch");
     encoder_.set_image(image);
-    std::vector<SampleActivity> activities(runtimes_.size());
     for (std::size_t k = 0; k < runtimes_.size(); ++k) {
         runtimes_[k]->begin_sample();
-        activities[k].exc_counts.assign(model_.n_neurons(), 0);
+        reset_activity(activities[k], model_.n_neurons());
     }
-    const std::size_t n = model_.n_neurons();
+    const bool telemetry = obs::enabled();
+    SnnMetrics* metrics = telemetry ? &SnnMetrics::get() : nullptr;
+    const double inv_input = 1.0 / static_cast<double>(model_.n_input());
+    std::uint64_t fast_steps = 0;
+    std::uint64_t scalar_steps = 0;
+    const std::span<const float> base(base_drive_.data(), base_drive_.size());
     for (std::size_t step = 0; step < model_.config().steps_per_sample; ++step) {
         encoder_.step(rng, active_);
-        // Shared dense propagation over the frozen weights, once per step.
+        // Shared blocked propagation over the frozen weights, once per
+        // step, over the full padded length (padding lanes stay zero).
         std::fill(base_drive_.begin(), base_drive_.end(), 0.0f);
-        for (const std::uint32_t pre : active_) {
-            const auto row = model_.weight_row(pre);
-            for (std::size_t j = 0; j < n; ++j) base_drive_[j] += row[j];
+        kernels::accumulate_rows(model_rows_.data(), active_, base_drive_.data(),
+                                 base_drive_.size());
+        if (metrics) {
+            const double fraction =
+                static_cast<double>(active_.size()) * inv_input;
+            metrics->active_fraction.observe(fraction);
+            metrics->active_fraction_last.set(fraction);
         }
         for (std::size_t k = 0; k < runtimes_.size(); ++k) {
             if (!runtimes_[k]->schedule_.empty()) runtimes_[k]->advance_schedule(step);
-            runtimes_[k]->adopt_drive(base_drive_, active_);
+            runtimes_[k]->adopt_drive(base, active_);
             runtimes_[k]->advance_step(active_, activities[k]);
+            if (metrics)
+                ++(runtimes_[k]->fast_path_active() ? fast_steps : scalar_steps);
         }
     }
-    return activities;
+    if (metrics) {
+        metrics->fast_steps.add(fast_steps);
+        metrics->scalar_steps.add(scalar_steps);
+    }
 }
 
 }  // namespace snnfi::snn

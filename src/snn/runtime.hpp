@@ -40,6 +40,7 @@
 #include "snn/encoding.hpp"
 #include "snn/model.hpp"
 #include "snn/overlay.hpp"
+#include "snn/tensor.hpp"
 
 namespace snnfi::snn {
 
@@ -111,6 +112,20 @@ public:
     /// cursor rewound, weights normalised afterwards when learning.
     SampleActivity run_sample(std::span<const float> image);
 
+    /// Allocation-free variant: accumulates into a caller-owned activity
+    /// record. exc_counts is zeroed in place when already correctly
+    /// sized, so a reused record makes the per-sample loop steady-state
+    /// allocation-free (the campaign hot path).
+    void run_sample_into(std::span<const float> image, SampleActivity& activity);
+
+    /// True when the next step takes the branch-free fast-path neuron
+    /// kernels (snn/kernels.hpp): the effective overlay touches no
+    /// per-neuron state on either layer. Re-derived once per
+    /// overlay/schedule-segment swap, never per step.
+    bool fast_path_active() const noexcept {
+        return !exc_neuron_faults_ && !inh_neuron_faults_;
+    }
+
     /// Freezes the replica's current learned parameters (weights incl.
     /// patches, theta) into a new immutable model.
     std::shared_ptr<const NetworkModel> freeze() const;
@@ -123,6 +138,7 @@ public:
 
 private:
     friend class BatchRunner;
+    friend struct RuntimeTestPeer;  ///< white-box kernel-equivalence tests
 
     /// Per-layer dynamic + fault state, struct-of-arrays.
     struct LayerState {
@@ -177,13 +193,18 @@ private:
     /// learning).
     void accumulate_drive(std::span<const std::uint32_t> active);
     /// Batch path: adopts a shared base drive (computed over the *model*
-    /// weights) and adds this replica's weight-patch deltas for rows
-    /// active this step.
+    /// weights). A replica without cell deltas aliases the batch buffer
+    /// read-only (zero copies); a patched replica copies it once and
+    /// merge-joins its sorted deltas against the ascending active list.
     void adopt_drive(std::span<const float> base,
                      std::span<const std::uint32_t> active);
     /// The fused step: driver gain + lateral inhibition + excitatory
     /// DiehlCook update + STDP + one-to-one + inhibitory LIF update, one
-    /// pass per layer over contiguous spans. Reads exc_input_.
+    /// pass per layer over contiguous spans. Reads drive_; each layer
+    /// dispatches to the branch-free kernel when its fault state is
+    /// clean, to the kernel plus an exact scalar redo of the overridden
+    /// neurons when the override set is sparse, and to the full scalar
+    /// fault-aware loop otherwise. All three are bit-identical.
     void advance_step(std::span<const std::uint32_t> active, SampleActivity& activity);
 
     std::shared_ptr<const NetworkModel> model_;
@@ -202,7 +223,30 @@ private:
     float theta_decay_factor_ = 1.0f;
     float driver_gain_ = 1.0f;
     bool drive_gain_active_ = false;  ///< any per-neuron kDriverGain op applied
+    bool exc_neuron_faults_ = false;  ///< dirty summary: any EL neuron op applied
+    bool inh_neuron_faults_ = false;  ///< dirty summary: any IL neuron op applied
     bool learning_ = false;
+
+    /// Hybrid-step worklists: the neurons whose per-step behavior deviates
+    /// from the clean kernel under the current effective overlay (forced
+    /// state, non-identity gain/threshold, refractory override). When the
+    /// list is a small fraction of the layer, advance_step runs the vector
+    /// kernel over the whole layer and then redoes just these neurons with
+    /// the exact scalar semantics from their saved pre-step state — the
+    /// full scalar loop is kept for dense fault sets. Rebuilt on every
+    /// overlay/schedule-segment swap, never per step.
+    std::vector<std::uint32_t> exc_patch_;
+    std::vector<std::uint32_t> inh_patch_;
+    /// Pre-kernel (v, theta, refrac) of the patched neurons, captured per
+    /// step so the scalar redo starts from the same state the kernel read.
+    struct NeuronSave {
+        float v = 0.0f;
+        float theta = 0.0f;
+        std::int32_t refrac = 0;
+    };
+    std::vector<NeuronSave> patch_save_;
+    bool force_scalar_ = false;  ///< test hook: always take the scalar loop
+    void rebuild_patch_lists();
 
     /// Learning path: materialised weights + STDP state.
     std::optional<DenseConnection> learned_;
@@ -224,12 +268,17 @@ private:
     /// Inference path: per-row pointers into the model matrix, redirected
     /// to materialised copies for patched rows only.
     std::vector<const float*> row_ptr_;
-    std::vector<std::pair<std::uint32_t, std::vector<float>>> cow_rows_;
+    std::vector<std::pair<std::uint32_t, AlignedVector>> cow_rows_;
+    /// Sorted by (pre, post) — adopt_drive merge-joins this against the
+    /// ascending active list.
     std::vector<CellDelta> cell_deltas_;
 
-    // Scratch reused across steps.
+    // Scratch reused across steps. exc_input_ is padded to the kernel
+    // stride; drive_ points at it after accumulate_drive, or at the
+    // batch's shared base drive after a delta-free adopt_drive.
     std::vector<std::uint32_t> active_inputs_;
-    std::vector<float> exc_input_;
+    AlignedVector exc_input_;
+    const float* drive_ = nullptr;
     std::vector<std::uint8_t> exc_spiked_;
     std::vector<std::uint8_t> inh_spiked_;
 };
@@ -256,12 +305,22 @@ public:
     std::vector<SampleActivity> run_sample(std::span<const float> image,
                                            util::Rng& rng);
 
+    /// Allocation-free variant: one caller-owned activity per replica
+    /// (activities.size() must equal size()). Records already sized to
+    /// n_neurons are zeroed in place — reuse them across samples and the
+    /// batch loop performs no heap allocation at steady state.
+    void run_sample_into(std::span<const float> image, util::Rng& rng,
+                         std::span<SampleActivity> activities);
+
 private:
     const NetworkModel& model_;
     std::vector<NetworkRuntime*> runtimes_;
     PoissonEncoder encoder_;
     std::vector<std::uint32_t> active_;
-    std::vector<float> base_drive_;
+    /// Padded shared drive buffer + per-row pointer table over the model
+    /// matrix for the blocked accumulation kernel.
+    AlignedVector base_drive_;
+    std::vector<const float*> model_rows_;
 };
 
 }  // namespace snnfi::snn

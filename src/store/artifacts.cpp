@@ -85,7 +85,7 @@ std::vector<std::byte> encode_trained_baseline(const TrainedBaseline& baseline) 
     put_config(writer, model.config());
     writer.u64(model.input_weights().rows());
     writer.u64(model.input_weights().cols());
-    writer.floats(model.input_weights().flat());
+    writer.floats(model.input_weights().to_vector());
     writer.floats(model.exc_theta());
     const util::Rng::Snapshot rng = model.init_rng().snapshot();
     for (const std::uint64_t word : rng.words) writer.u64(word);
@@ -116,7 +116,12 @@ TrainedBaseline decode_trained_baseline(std::span<const std::byte> bytes) {
         throw BlobError("baseline blob: weight matrix shape mismatch");
     }
     snn::Matrix weights(rows, cols);
-    std::copy(flat.begin(), flat.end(), weights.flat().begin());
+    // The blob stores logical row-major floats (no padding); copy row by
+    // row into the padded storage, leaving the padding lanes zero.
+    for (std::uint64_t r = 0; r < rows; ++r) {
+        const float* src = flat.data() + r * cols;
+        std::copy(src, src + cols, weights.row(r).begin());
+    }
     std::vector<float> theta = reader.floats();
     util::Rng::Snapshot rng;
     for (auto& word : rng.words) word = reader.u64();

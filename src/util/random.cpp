@@ -5,12 +5,6 @@
 
 namespace snnfi::util {
 
-namespace {
-constexpr std::uint64_t rotl(std::uint64_t x, int k) noexcept {
-    return (x << k) | (x >> (64 - k));
-}
-}  // namespace
-
 std::uint64_t splitmix64(std::uint64_t& state) noexcept {
     state += 0x9e3779b97f4a7c15ULL;
     std::uint64_t z = state;
@@ -44,27 +38,6 @@ void Rng::restore(const Snapshot& snapshot) noexcept {
     for (std::size_t i = 0; i < 4; ++i) state_[i] = snapshot.words[i];
     cached_normal_ = snapshot.cached_normal;
     has_cached_normal_ = snapshot.has_cached_normal;
-}
-
-std::uint64_t Rng::next_u64() noexcept {
-    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
-    const std::uint64_t t = state_[1] << 17;
-    state_[2] ^= state_[0];
-    state_[3] ^= state_[1];
-    state_[1] ^= state_[2];
-    state_[0] ^= state_[3];
-    state_[2] ^= t;
-    state_[3] = rotl(state_[3], 45);
-    return result;
-}
-
-double Rng::uniform() noexcept {
-    // 53-bit mantissa yields uniform double in [0, 1).
-    return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
-}
-
-double Rng::uniform(double lo, double hi) noexcept {
-    return lo + (hi - lo) * uniform();
 }
 
 std::uint64_t Rng::below(std::uint64_t n) {

@@ -33,12 +33,30 @@ public:
     }
 
     result_type operator()() noexcept { return next_u64(); }
-    std::uint64_t next_u64() noexcept;
 
-    /// Uniform double in [0, 1).
-    double uniform() noexcept;
+    /// Defined inline: this is the innermost call of every Poisson encoder
+    /// step (one draw per active pixel per timestep), so it must not cost a
+    /// cross-TU function call in the simulation hot path.
+    std::uint64_t next_u64() noexcept {
+        const std::uint64_t result = rotl_(state_[0] + state_[3], 23) + state_[0];
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl_(state_[3], 45);
+        return result;
+    }
+
+    /// Uniform double in [0, 1). 53-bit mantissa yields a uniform double.
+    double uniform() noexcept {
+        return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+    }
     /// Uniform double in [lo, hi).
-    double uniform(double lo, double hi) noexcept;
+    double uniform(double lo, double hi) noexcept {
+        return lo + (hi - lo) * uniform();
+    }
     /// Uniform integer in [0, n). Requires n > 0.
     std::uint64_t below(std::uint64_t n);
     /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
@@ -83,6 +101,10 @@ public:
     void restore(const Snapshot& snapshot) noexcept;
 
 private:
+    static constexpr std::uint64_t rotl_(std::uint64_t x, int k) noexcept {
+        return (x << k) | (x >> (64 - k));
+    }
+
     std::uint64_t state_[4] = {};
     double cached_normal_ = 0.0;
     bool has_cached_normal_ = false;

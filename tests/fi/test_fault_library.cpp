@@ -199,9 +199,11 @@ TEST(FaultLibrary, FaultedReplicasNeverTouchTheSharedModel) {
     (void)dead.run_sample(image);
 
     // The shared frozen model is bit-identical after both faulted runs.
-    EXPECT_EQ(std::memcmp(model->input_weights().flat().data(),
-                          before.flat().data(),
-                          before.flat().size() * sizeof(float)),
+    const std::vector<float> after_flat = model->input_weights().to_vector();
+    const std::vector<float> before_flat = before.to_vector();
+    ASSERT_EQ(after_flat.size(), before_flat.size());
+    EXPECT_EQ(std::memcmp(after_flat.data(), before_flat.data(),
+                          before_flat.size() * sizeof(float)),
               0);
 }
 

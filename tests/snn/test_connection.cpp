@@ -20,7 +20,7 @@ TEST(DenseConnection, InitialWeightsInRangeAndNormalized) {
     DenseConnection conn(10, 4, test_params(), /*norm_total=*/2.0f, rng);
     for (std::size_t j = 0; j < 4; ++j)
         EXPECT_NEAR(conn.weights().column_sum(j), 2.0f, 1e-4);
-    for (const float w : conn.weights().flat()) EXPECT_GE(w, 0.0f);
+    for (const float w : conn.weights().to_vector()) EXPECT_GE(w, 0.0f);
 }
 
 TEST(DenseConnection, PropagateSumsActiveRows) {
@@ -35,8 +35,15 @@ TEST(DenseConnection, PropagateSumsActiveRows) {
     conn.propagate(active, out);
     EXPECT_FLOAT_EQ(out[0], 6.0f);
     EXPECT_FLOAT_EQ(out[1], 2.0f);
-    std::vector<float> wrong_size(3, 0.0f);
-    EXPECT_THROW(conn.propagate(active, wrong_size), std::invalid_argument);
+    std::vector<float> too_small(1, 0.0f);
+    EXPECT_THROW(conn.propagate(active, too_small), std::invalid_argument);
+    // Oversized (padded) outputs are allowed: extra lanes only ever
+    // accumulate the all-zero padding of the weight rows.
+    std::vector<float> padded(3, 7.0f);
+    conn.propagate(active, padded);
+    EXPECT_FLOAT_EQ(padded[0], 13.0f);
+    EXPECT_FLOAT_EQ(padded[1], 9.0f);
+    EXPECT_FLOAT_EQ(padded[2], 7.0f);
 }
 
 TEST(DenseConnection, PreEventDepressesViaPostTrace) {

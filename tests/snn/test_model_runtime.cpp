@@ -38,9 +38,11 @@ std::shared_ptr<const NetworkModel> trained_model(const Dataset& dataset,
 TEST(NetworkModel, RandomInitDeterministicBitExact) {
     const auto a = NetworkModel::random(tiny_config(), 7);
     const auto b = NetworkModel::random(tiny_config(), 7);
-    EXPECT_TRUE(same_bits(a->input_weights().flat(), b->input_weights().flat()));
+    EXPECT_TRUE(same_bits(a->input_weights().to_vector(),
+                          b->input_weights().to_vector()));
     const auto c = NetworkModel::random(tiny_config(), 8);
-    EXPECT_FALSE(same_bits(a->input_weights().flat(), c->input_weights().flat()));
+    EXPECT_FALSE(same_bits(a->input_weights().to_vector(),
+                           c->input_weights().to_vector()));
     for (const float theta : a->exc_theta()) EXPECT_EQ(theta, 0.0f);
 }
 
@@ -59,8 +61,8 @@ TEST(NetworkRuntime, TrainingDeterministicAndFreezeRoundTrips) {
 
     const auto frozen_a = first.freeze();
     const auto frozen_b = second.freeze();
-    EXPECT_TRUE(same_bits(frozen_a->input_weights().flat(),
-                          frozen_b->input_weights().flat()));
+    EXPECT_TRUE(same_bits(frozen_a->input_weights().to_vector(),
+                          frozen_b->input_weights().to_vector()));
     EXPECT_TRUE(same_bits(frozen_a->exc_theta(), frozen_b->exc_theta()));
     // Training actually moved the adaptive thresholds.
     float theta_total = 0.0f;

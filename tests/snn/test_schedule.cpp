@@ -218,8 +218,7 @@ std::pair<std::vector<float>, std::vector<float>> train_and_freeze(
     slice.labels.resize(samples);
     (void)trainer.run(slice);
     const auto frozen = runtime.freeze();
-    const auto flat = frozen->input_weights().flat();
-    return {{flat.begin(), flat.end()},
+    return {frozen->input_weights().to_vector(),
             {frozen->exc_theta().begin(), frozen->exc_theta().end()}};
 }
 
